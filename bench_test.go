@@ -1,0 +1,293 @@
+// Package semagent_test holds the benchmark harness: one benchmark per
+// experiment of DESIGN.md §4 (E1–E8) plus micro-benchmarks for the hot
+// components. Run with:
+//
+//	go test -bench=. -benchmem
+package semagent_test
+
+import (
+	"fmt"
+	"testing"
+
+	"semagent/internal/core"
+	"semagent/internal/corpus"
+	"semagent/internal/eval"
+	"semagent/internal/linkgrammar"
+	"semagent/internal/ontology"
+	"semagent/internal/qa"
+	"semagent/internal/semantic"
+	"semagent/internal/workload"
+)
+
+// BenchmarkE1ParserThroughput measures link-grammar parses per second
+// on grammatical course-domain sentences (experiment E1).
+func BenchmarkE1ParserThroughput(b *testing.B) {
+	sup, err := core.New(core.Config{DisableRecording: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(1, sup.Ontology())
+	sentences := make([]string, 256)
+	for i := range sentences {
+		sentences[i] = gen.Correct().Text
+	}
+	parser := sup.Parser()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(sentences[i%len(sentences)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2AngelPipeline measures the Learning_Angel check, half the
+// inputs corrupted (experiment E2). The error path includes the repair
+// search, so this is the realistic supervision cost.
+func BenchmarkE2AngelPipeline(b *testing.B) {
+	sup, err := core.New(core.Config{DisableRecording: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(2, sup.Ontology())
+	samples := make([]string, 256)
+	for i := range samples {
+		if i%2 == 0 {
+			samples[i] = gen.Correct().Text
+		} else {
+			samples[i] = gen.SyntaxError().Text
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sup.Angel().Check(samples[i%len(samples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3SemanticAgent measures the ontology-distance semantic
+// check (experiment E3).
+func BenchmarkE3SemanticAgent(b *testing.B) {
+	onto := ontology.BuildCourseOntology()
+	agent := semantic.New(onto, 0)
+	gen := workload.NewGenerator(3, onto)
+	samples := make([]string, 256)
+	for i := range samples {
+		if i%2 == 0 {
+			samples[i] = gen.Correct().Text
+		} else {
+			samples[i] = gen.SemanticError().Text
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.AnalyzeText(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkE4QASystem measures template-matched question answering
+// (experiment E4).
+func BenchmarkE4QASystem(b *testing.B) {
+	onto := ontology.BuildCourseOntology()
+	system := qa.New(onto, nil, nil)
+	gen := workload.NewGenerator(4, onto)
+	questions := make([]string, 256)
+	for i := range questions {
+		questions[i] = gen.Question(i%10 == 9).Text
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		system.Ask(questions[i%len(questions)])
+	}
+}
+
+// BenchmarkE5FAQMining measures dialogue consumption by the corpora
+// generator, including QA-pair mining (experiment E5).
+func BenchmarkE5FAQMining(b *testing.B) {
+	onto := ontology.BuildCourseOntology()
+	gen := workload.NewGenerator(5, onto)
+	script := gen.Session(4, 4, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := corpus.NewStore()
+		faq := qa.NewFAQ()
+		sup, err := core.New(core.Config{Corpus: store, FAQ: faq})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, msg := range script {
+			if _, err := sup.Process(msg.Room, msg.User, msg.Sample.Text); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE6ChatEndToEnd measures the supervised chat room over real
+// TCP loopback (experiment E6), one full room-session per iteration.
+func BenchmarkE6ChatEndToEnd(b *testing.B) {
+	for _, mode := range []eval.E6Mode{eval.E6Off, eval.E6Inline, eval.E6Async} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := eval.RunE6(eval.E6Config{
+					Rooms: 1, ClientsPerRoom: 4, MessagesEach: 8,
+					Mode: mode, Seed: 6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Throughput, "msg/s")
+				b.ReportMetric(float64(res.P95.Microseconds()), "p95-µs")
+			}
+		})
+	}
+}
+
+// BenchmarkE7Ablation measures both §4.3 methodologies side by side
+// (experiment E7).
+func BenchmarkE7Ablation(b *testing.B) {
+	onto := ontology.BuildCourseOntology()
+	gen := workload.NewGenerator(7, onto)
+	samples := make([]string, 256)
+	for i := range samples {
+		if i%2 == 0 {
+			samples[i] = gen.Correct().Text
+		} else {
+			samples[i] = gen.SemanticError().Text
+		}
+	}
+	checkers := []struct {
+		name    string
+		checker semantic.Checker
+	}{
+		{"ontology-distance", semantic.New(onto, 0)},
+		{"semantic-link-grammar", semantic.NewSLGChecker(onto)},
+	}
+	for _, c := range checkers {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.checker.AnalyzeText(samples[i%len(samples)])
+			}
+		})
+	}
+}
+
+// BenchmarkE8CorpusSuggestions measures corpus suggestion retrieval at
+// several corpus sizes (experiment E8).
+func BenchmarkE8CorpusSuggestions(b *testing.B) {
+	onto := ontology.BuildCourseOntology()
+	for _, size := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("corpus-%d", size), func(b *testing.B) {
+			gen := workload.NewGenerator(8, onto)
+			store := corpus.NewStore()
+			for i := 0; i < size; i++ {
+				s := gen.Correct()
+				store.Add(corpus.Record{
+					Text:    s.Text,
+					Tokens:  linkgrammar.Tokenize(s.Text),
+					Verdict: corpus.VerdictCorrect,
+					Topics:  s.Topics,
+				})
+			}
+			queries := make([][]string, 64)
+			for i := range queries {
+				queries[i] = linkgrammar.Tokenize(gen.SyntaxError().Text)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				store.Suggest(queries[i%len(queries)], nil, 3)
+			}
+		})
+	}
+}
+
+// ---- micro-benchmarks ---------------------------------------------------
+
+// BenchmarkParserBySentenceLength isolates the O(n³) parser cost curve.
+func BenchmarkParserBySentenceLength(b *testing.B) {
+	parser, err := linkgrammar.NewEnglishParser()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := map[string]string{
+		"len05": "the cat chased a mouse",
+		"len08": "the student understands the lesson about the stack",
+		"len11": "the teacher explains the lesson about the tree in the classroom",
+		"len14": "i want to learn the algorithm about the binary search tree in the course",
+	}
+	for name, sentenceText := range cases {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := parser.Parse(sentenceText); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOntologyDistance isolates the semantic-distance query.
+func BenchmarkOntologyDistance(b *testing.B) {
+	onto := ontology.BuildCourseOntology()
+	pairs := [][2]string{
+		{"stack", "pop"}, {"tree", "pop"}, {"binary search tree", "insert"},
+		{"hash table", "enqueue"}, {"vertex", "heapify"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		onto.Distance(p[0], p[1])
+	}
+}
+
+// BenchmarkSupervisorProcess measures the whole Figure-3 pipeline per
+// message with recording enabled (the production configuration).
+func BenchmarkSupervisorProcess(b *testing.B) {
+	sup, err := core.New(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(9, sup.Ontology())
+	samples := gen.Generate(512, workload.DefaultMix())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := samples[i%len(samples)]
+		if _, err := sup.Process("bench", "user", s.Text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPruningAblation isolates the pre-parse disjunct pruning
+// pass: the same sentences parsed with and without power pruning.
+func BenchmarkPruningAblation(b *testing.B) {
+	dict, err := linkgrammar.NewEnglishDictionary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Long sentences: the pass is length-gated because short chat
+	// lines parse faster without it.
+	sentences := []string{
+		"the teacher explains the lesson about the binary search tree in the classroom today",
+		"i want to learn the algorithm about the hash table in the course with the students",
+		"the students discuss the homework about the priority queue with the teacher in the room",
+	}
+	for _, tc := range []struct {
+		name string
+		opts linkgrammar.Options
+	}{
+		{"pruned", linkgrammar.Options{MaxNulls: 2}},
+		{"unpruned", linkgrammar.Options{MaxNulls: 2, DisablePruning: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			parser := linkgrammar.NewParser(dict, tc.opts)
+			for i := 0; i < b.N; i++ {
+				if _, err := parser.Parse(sentences[i%len(sentences)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+// Command assess runs the full supervision pipeline over sentences from
+// the command line or stdin — the quickest way to see what the agents
+// think of a sentence, including the link grammar diagram.
+//
+// Usage:
+//
+//	assess "The tree doesn't have a pop method."
+//	echo "I push the data into a tree." | assess
+//	assess -json "What is a stack?"
+//	assess -diagram "The cat chased a mouse."
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"semagent/internal/core"
+)
+
+func main() {
+	var (
+		asJSON  = flag.Bool("json", false, "emit one JSON object per sentence")
+		diagram = flag.Bool("diagram", false, "print the best linkage diagram")
+	)
+	flag.Parse()
+	if err := run(flag.Args(), *asJSON, *diagram); err != nil {
+		fmt.Fprintln(os.Stderr, "assess:", err)
+		os.Exit(1)
+	}
+}
+
+// verdictView is the JSON shape emitted with -json.
+type verdictView struct {
+	Text        string   `json:"text"`
+	Pattern     string   `json:"pattern"`
+	Verdict     string   `json:"verdict"`
+	ErrorTags   []string `json:"errorTags,omitempty"`
+	Repaired    string   `json:"repaired,omitempty"`
+	Explanation string   `json:"explanation,omitempty"`
+	Answer      string   `json:"answer,omitempty"`
+	Topics      []string `json:"topics,omitempty"`
+	Responses   []string `json:"responses,omitempty"`
+}
+
+func run(args []string, asJSON, diagram bool) error {
+	sup, err := core.New(core.Config{DisableRecording: true})
+	if err != nil {
+		return err
+	}
+
+	assess := func(text string) error {
+		a, err := sup.Process("assess", "user", text)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			view := verdictView{
+				Text:    text,
+				Pattern: a.Classification.Pattern.String(),
+				Verdict: a.Verdict.String(),
+			}
+			if a.Syntax != nil {
+				view.ErrorTags = a.Syntax.Tags
+				view.Repaired = a.Syntax.Repaired
+				view.Topics = a.Syntax.Topics
+			}
+			if a.Semantic != nil {
+				view.Explanation = a.Semantic.Explanation
+			}
+			if a.QAAnswer != nil && a.QAAnswer.Answered {
+				view.Answer = a.QAAnswer.Text
+			}
+			for _, r := range a.Responses {
+				view.Responses = append(view.Responses, r.Agent+": "+r.Text)
+			}
+			enc := json.NewEncoder(os.Stdout)
+			return enc.Encode(view)
+		}
+		fmt.Printf("%s\n  pattern=%s verdict=%s\n", text, a.Classification.Pattern, a.Verdict)
+		for _, r := range a.Responses {
+			fmt.Printf("  %s> %s\n", r.Agent, r.Text)
+		}
+		if diagram && a.Syntax != nil && a.Syntax.Linkage != nil {
+			fmt.Println(indent(a.Syntax.Linkage.String(), "  "))
+		}
+		return nil
+	}
+
+	if len(args) > 0 {
+		for _, text := range args {
+			if err := assess(text); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if err := assess(line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func indent(s, prefix string) string {
+	out := prefix
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += prefix
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+// Command chatclient is a terminal client for the supervised chat room.
+// Lines typed on stdin are sent to the room; chat, system and agent
+// messages are printed as they arrive.
+//
+// Usage:
+//
+//	chatclient -addr 127.0.0.1:7788 -room ds-course -name alice
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"semagent/internal/chat"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7788", "server address")
+		room = flag.String("room", "ds-course", "room to join")
+		name = flag.String("name", "", "user name (required)")
+	)
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "chatclient: -name is required")
+		os.Exit(1)
+	}
+	if err := run(*addr, *room, *name); err != nil {
+		fmt.Fprintln(os.Stderr, "chatclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, room, name string) error {
+	client, err := chat.Dial(addr, room, name, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	fmt.Printf("joined %s as %s — type to chat, ctrl-d to leave\n", room, name)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for m := range client.Receive() {
+			switch m.Type {
+			case chat.TypeChat:
+				fmt.Printf("[%s] %s\n", m.From, m.Text)
+			case chat.TypeSystem:
+				fmt.Printf("-- %s\n", m.Text)
+			case chat.TypeAgent:
+				scope := ""
+				if m.Private {
+					scope = " (only you see this)"
+				}
+				fmt.Printf("** %s%s: %s\n", m.Agent, scope, m.Text)
+			case chat.TypeError:
+				fmt.Printf("!! %s\n", m.Text)
+			}
+		}
+	}()
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if err := client.Say(line); err != nil {
+			return err
+		}
+	}
+	_ = client.Close()
+	<-done
+	return sc.Err()
+}

@@ -1,0 +1,100 @@
+// Command chatserver runs the supervised e-learning chat room: a TCP
+// server whose rooms are watched by the Learning_Angel Agent, the
+// Semantic Agent and the QA system (the paper's Figure 3 deployed as a
+// service).
+//
+// Usage:
+//
+//	chatserver -addr :7788
+//	chatserver -addr :7788 -data ./classdata   # persist corpus/FAQ/profiles
+//	chatserver -addr :7788 -async              # sidecar supervision
+//	chatserver -addr :7788 -nosupervise        # plain chat (E6 baseline)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"semagent/internal/chat"
+	"semagent/internal/core"
+	"semagent/internal/storage"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7788", "listen address")
+		dataDir     = flag.String("data", "", "directory for persistent corpus/profiles/FAQ/ontology (empty = in-memory only)")
+		async       = flag.Bool("async", false, "deliver agent responses from a sidecar goroutine")
+		noSupervise = flag.Bool("nosupervise", false, "disable the agents (plain chat room)")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataDir, *async, *noSupervise); err != nil {
+		fmt.Fprintln(os.Stderr, "chatserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataDir string, async, noSupervise bool) error {
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	opts := chat.ServerOptions{Logger: logger, Async: async}
+
+	var sup *core.Supervisor
+	if !noSupervise {
+		cfg := core.Config{}
+		if dataDir != "" {
+			snap, err := storage.Load(dataDir)
+			if err != nil {
+				return fmt.Errorf("load data dir: %w", err)
+			}
+			cfg.Ontology = snap.Ontology
+			cfg.Corpus = snap.Corpus
+			cfg.Profiles = snap.Profiles
+			cfg.FAQ = snap.FAQ
+			logger.Printf("data dir %s loaded", dataDir)
+		}
+		var err error
+		sup, err = core.New(cfg)
+		if err != nil {
+			return fmt.Errorf("build supervisor: %w", err)
+		}
+		opts.Supervisor = sup.ChatSupervisor()
+		logger.Printf("supervision: ontology %q with %d items, dictionary %d words, corpus %d records, faq %d entries",
+			sup.Ontology().Domain(), sup.Ontology().Len(),
+			sup.Parser().Dictionary().Len(), sup.Corpus().Len(), sup.FAQ().Len())
+	} else {
+		logger.Printf("supervision: disabled")
+	}
+
+	server := chat.NewServer(opts)
+	bound, err := server.Listen(addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("chat server listening on %s", bound)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	<-sigCh
+	logger.Printf("shutting down")
+	if sup != nil {
+		logger.Printf("session summary:\n%s", sup.Analyzer().Report())
+		if dataDir != "" {
+			err := storage.Save(dataDir, storage.Snapshot{
+				Ontology: sup.Ontology(),
+				Corpus:   sup.Corpus(),
+				Profiles: sup.Profiles(),
+				FAQ:      sup.FAQ(),
+			})
+			if err != nil {
+				logger.Printf("save data dir: %v", err)
+			} else {
+				logger.Printf("data dir %s saved", dataDir)
+			}
+		}
+	}
+	return server.Close()
+}

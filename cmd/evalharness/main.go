@@ -1,0 +1,214 @@
+// Command evalharness regenerates the evaluation of DESIGN.md §4: one
+// experiment per paper figure (E1–E8). It prints the measurement tables
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	evalharness -exp all            # run everything (default)
+//	evalharness -exp E3 -n 2000     # one experiment, bigger workload
+//	evalharness -exp E6 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"semagent/internal/eval"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment to run: E1..E8 or all")
+		n    = flag.Int("n", 1000, "workload size (samples/questions)")
+		seed = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if err := run(strings.ToUpper(*exp), *n, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "evalharness:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, n int, seed int64) error {
+	runners := map[string]func(int, int64) error{
+		"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4,
+		"E5": runE5, "E6": runE6, "E7": runE7, "E8": runE8,
+	}
+	if exp == "ALL" {
+		for _, name := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+			if err := runners[name](n, seed); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	runner, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want E1..E8 or all)", exp)
+	}
+	return runner(n, seed)
+}
+
+func header(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func runE1(n int, seed int64) error {
+	header("E1  parser correctness on grammatical sentences (Fig. 1-2)")
+	res, err := eval.RunE1(n, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sentences: %d   parsed clean: %d (%.1f%%)   meta-rule violations: %d\n",
+		res.Total, res.Parsed, res.ParseRate()*100, res.MetaViolations)
+	lengths := make([]int, 0, len(res.ByLength))
+	for l := range res.ByLength {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	fmt.Println("len  sentences  parse-rate")
+	for _, l := range lengths {
+		b := res.ByLength[l]
+		fmt.Printf("%3d  %9d  %9.1f%%\n", l, b.Total, 100*float64(b.Parsed)/float64(b.Total))
+	}
+	return nil
+}
+
+func runE2(n int, seed int64) error {
+	header("E2  Learning_Angel syntax-error detection (Fig. 4)")
+	fmt.Println("nulls  precision  recall  f1     acc    suggest  repair")
+	for _, nulls := range []int{0, 1, 2, 3} {
+		res, err := eval.RunE2(n, seed, nulls)
+		if err != nil {
+			return err
+		}
+		c := res.Confusion
+		fmt.Printf("%5d  %9.3f  %6.3f  %.3f  %.3f  %6.1f%%  %5.1f%%\n",
+			nulls, c.Precision(), c.Recall(), c.F1(), c.Accuracy(),
+			res.SuggestionRate*100, res.RepairRate*100)
+		if nulls == 2 {
+			muts := make([]string, 0, len(res.ByMutation))
+			for m := range res.ByMutation {
+				muts = append(muts, m)
+			}
+			sort.Strings(muts)
+			for _, m := range muts {
+				fmt.Printf("       mutation %-20s recall %.3f (n=%d)\n",
+					m, res.ByMutation[m].Recall(), res.ByMutation[m].Total())
+			}
+		}
+	}
+	return nil
+}
+
+func runE3(n int, seed int64) error {
+	header("E3  Semantic Agent: interrogative-sentence detection (Fig. 5, §4.3)")
+	fmt.Println("threshold  precision  recall  f1     acc")
+	for _, th := range []int{1, 2, 3, 4} {
+		res, err := eval.RunE3(n, seed, th)
+		if err != nil {
+			return err
+		}
+		c := res.Confusion
+		fmt.Printf("%9d  %9.3f  %6.3f  %.3f  %.3f\n",
+			th, c.Precision(), c.Recall(), c.F1(), c.Accuracy())
+		if th == 2 {
+			cells := make([]string, 0, len(res.Cells))
+			for cell := range res.Cells {
+				cells = append(cells, cell)
+			}
+			sort.Strings(cells)
+			for _, cell := range cells {
+				fmt.Printf("           cell %-18s acc %.3f (n=%d)\n",
+					cell, res.Cells[cell].Accuracy(), res.Cells[cell].Total())
+			}
+		}
+	}
+	return nil
+}
+
+func runE4(n int, seed int64) error {
+	header("E4  QA system answer rate per template (Fig. 6, §4.4)")
+	res, err := eval.RunE4(n, seed, 0.2)
+	if err != nil {
+		return err
+	}
+	fmt.Println("template       asked  answered  rate     y/n-correct")
+	for _, row := range res.Rows {
+		correct := "    -"
+		if row.Checkable > 0 {
+			correct = fmt.Sprintf("%.1f%%", 100*float64(row.Correct)/float64(row.Checkable))
+		}
+		fmt.Printf("%-13s  %5d  %8d  %5.1f%%  %10s\n",
+			row.Template, row.Asked, row.Answered,
+			100*float64(row.Answered)/float64(row.Asked), correct)
+	}
+	fmt.Printf("overall in-ontology answer rate: %.1f%%\n", res.AnswerRate()*100)
+	fmt.Printf("out-of-ontology: asked %d, wrongly answered %d\n",
+		res.OutOfOntologyAsked, res.OutOfOntologyAnswered)
+	return nil
+}
+
+func runE5(n int, seed int64) error {
+	header("E5  FAQ accumulation vs dialogue volume (§4.4 mining)")
+	sizes := []int{100, 300, 1000, 3000}
+	if n < 3000 {
+		sizes = []int{50, 150, 500, n}
+	}
+	rows, err := eval.RunE5(sizes, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("messages  faq-entries  mined-pairs  top-count")
+	for _, r := range rows {
+		fmt.Printf("%8d  %11d  %11d  %9d\n", r.Messages, r.FAQEntries, r.MinedPairs, r.TopCount)
+	}
+	return nil
+}
+
+func runE6(n int, seed int64) error {
+	header("E6  end-to-end chat room over TCP: supervision ablation (Fig. 3)")
+	fmt.Println("mode    msgs  throughput      p50        p95        p99       mean")
+	for _, mode := range []eval.E6Mode{eval.E6Off, eval.E6Inline, eval.E6Async} {
+		res, err := eval.RunE6(eval.E6Config{
+			Rooms: 4, ClientsPerRoom: 4, MessagesEach: 25, Mode: mode, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6s %5d  %7.0f/s  %9s  %9s  %9s  %9s\n",
+			mode, res.Messages, res.Throughput, res.P50, res.P95, res.P99, res.Mean)
+	}
+	return nil
+}
+
+func runE7(n int, seed int64) error {
+	header("E7  ablation: ontology-distance vs Semantic Link Grammar (§4.3)")
+	res, err := eval.RunE7(n, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("method                 acc    precision  recall  us/sentence  maintenance-rows")
+	for _, arm := range []eval.E7Arm{res.Onto, res.SLG} {
+		fmt.Printf("%-21s  %.3f  %9.3f  %6.3f  %11.1f  %16d\n",
+			arm.Name, arm.Confusion.Accuracy(), arm.Confusion.Precision(),
+			arm.Confusion.Recall(), arm.MicrosPerSentence, arm.MaintenanceSize)
+	}
+	return nil
+}
+
+func runE8(n int, seed int64) error {
+	header("E8  corpus growth vs suggestion quality (§1 instructor-off problem)")
+	rows, err := eval.RunE8([]int{0, 50, 200, 1000}, 100, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("corpus-size  hit-rate  topical-rate")
+	for _, r := range rows {
+		fmt.Printf("%11d  %7.1f%%  %11.1f%%\n", r.CorpusSize, r.HitRate*100, r.TopicalRate*100)
+	}
+	return nil
+}

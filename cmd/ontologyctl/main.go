@@ -1,0 +1,116 @@
+// Command ontologyctl is the paper's "Ontology Definition GUI" replaced
+// by a CLI: it loads, queries, translates (XML <-> DDL/DML) and extends
+// the Distance Learning Ontology.
+//
+// Usage:
+//
+//	ontologyctl export-xml                  # built-in ontology as XML
+//	ontologyctl export-ddl                  # built-in ontology as DDL/DML
+//	ontologyctl -xml course.xml export-ddl  # translate an authored XML file
+//	ontologyctl run extra.ddl               # replay DDL into the ontology, print SELECT output
+//	ontologyctl query "SELECT RELATED stack DEPTH 2;"
+//	ontologyctl export-qti 40               # QTI 1.2 true/false question bank
+//	ontologyctl stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"semagent/internal/ontology"
+	"semagent/internal/qti"
+)
+
+func main() {
+	xmlPath := flag.String("xml", "", "load ontology from this XML file instead of the built-in course ontology")
+	flag.Parse()
+	if err := run(*xmlPath, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "ontologyctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(xmlPath string, args []string) error {
+	onto, err := load(xmlPath)
+	if err != nil {
+		return err
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand: export-xml | export-ddl | export-qti [n] | run <file.ddl> | query <stmt> | stats")
+	}
+	switch args[0] {
+	case "export-xml":
+		return onto.EncodeXML(os.Stdout)
+	case "export-qti":
+		maxItems := 40
+		if len(args) >= 2 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n <= 0 {
+				return fmt.Errorf("export-qti: bad item count %q", args[1])
+			}
+			maxItems = n
+		}
+		return qti.FromOntology(onto, maxItems).Write(os.Stdout)
+	case "export-ddl":
+		fmt.Print(onto.ExportDDL())
+		return nil
+	case "run":
+		if len(args) < 2 {
+			return fmt.Errorf("run: missing DDL file")
+		}
+		src, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		return execDDL(onto, string(src))
+	case "query":
+		if len(args) < 2 {
+			return fmt.Errorf("query: missing statement")
+		}
+		return execDDL(onto, args[1])
+	case "stats":
+		items := onto.Items()
+		kinds := make(map[ontology.ItemKind]int)
+		for _, it := range items {
+			kinds[it.Kind]++
+		}
+		rels := make(map[ontology.RelationKind]int)
+		for _, r := range onto.Relations() {
+			rels[r.Kind]++
+		}
+		fmt.Printf("domain: %s\n", onto.Domain())
+		fmt.Printf("items: %d (concepts %d, operations %d, properties %d)\n",
+			len(items), kinds[ontology.KindConcept], kinds[ontology.KindOperation], kinds[ontology.KindProperty])
+		fmt.Printf("relations: %d (isa %d, hasoperation %d, hasproperty %d, partof %d, relatedto %d)\n",
+			len(onto.Relations()), rels[ontology.RelIsA], rels[ontology.RelHasOperation],
+			rels[ontology.RelHasProperty], rels[ontology.RelPartOf], rels[ontology.RelRelatedTo])
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func load(xmlPath string) (*ontology.Ontology, error) {
+	if xmlPath == "" {
+		return ontology.BuildCourseOntology(), nil
+	}
+	f, err := os.Open(xmlPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ontology.DecodeXML(f)
+}
+
+func execDDL(onto *ontology.Ontology, src string) error {
+	in := ontology.NewInterpreter(onto)
+	if err := in.Run(src); err != nil {
+		return err
+	}
+	for _, line := range in.Output {
+		fmt.Println(line)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Classroom: a full end-to-end simulation over real TCP — the paper's
+// deployment scenario. A supervised chat server is started, scripted
+// students join rooms and hold a course discussion, and the session
+// ends with the statistic analyzer's report plus per-student teaching
+// material recommendations.
+//
+//	go run ./examples/classroom
+//	go run ./examples/classroom -students 6 -messages 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"semagent/internal/chat"
+	"semagent/internal/core"
+	"semagent/internal/recommend"
+	"semagent/internal/workload"
+)
+
+func main() {
+	var (
+		students = flag.Int("students", 4, "students per room")
+		rooms    = flag.Int("rooms", 2, "number of rooms")
+		messages = flag.Int("messages", 60, "total scripted messages")
+		seed     = flag.Int64("seed", 2026, "dialogue seed")
+	)
+	flag.Parse()
+	if err := run(*rooms, *students, *messages, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(rooms, students, messages int, seed int64) error {
+	sup, err := core.New(core.Config{})
+	if err != nil {
+		return err
+	}
+	server := chat.NewServer(chat.ServerOptions{Supervisor: sup.ChatSupervisor()})
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	fmt.Printf("classroom server on %s (%d rooms × %d students)\n\n", addr, rooms, students)
+
+	// Connect the scripted students.
+	type student struct {
+		client *chat.Client
+		agentN int
+	}
+	clients := make(map[string]*student)
+	gen := workload.NewGenerator(seed, sup.Ontology())
+	script := gen.Session(rooms, students, messages)
+	for _, msg := range script {
+		if _, ok := clients[msg.User]; ok {
+			continue
+		}
+		c, err := chat.Dial(addr.String(), msg.Room, msg.User, 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("%s join: %w", msg.User, err)
+		}
+		defer c.Close()
+		clients[msg.User] = &student{client: c}
+	}
+
+	// Play the script; print the interesting exchanges.
+	shown := 0
+	for _, msg := range script {
+		st := clients[msg.User]
+		if err := st.client.Say(msg.Sample.Text); err != nil {
+			return err
+		}
+		// Drain the student's inbox briefly, looking for agent feedback.
+		timeout := time.After(300 * time.Millisecond)
+	drain:
+		for {
+			select {
+			case m, ok := <-st.client.Receive():
+				if !ok {
+					break drain
+				}
+				if m.Type == chat.TypeAgent && shown < 12 {
+					fmt.Printf("[%s] %s\n", msg.User, msg.Sample.Text)
+					fmt.Printf("    %s> %s\n", m.Agent, m.Text)
+					shown++
+					break drain
+				}
+				if m.Type == chat.TypeChat && m.From == msg.User {
+					// Own echo seen and no agent response expected for
+					// correct sentences: move on quickly.
+					if msg.Sample.Kind == workload.KindCorrect {
+						break drain
+					}
+				}
+			case <-timeout:
+				break drain
+			}
+		}
+	}
+
+	fmt.Println()
+	fmt.Println(sup.Analyzer().Report())
+	fmt.Println(sup.FAQ().Render(3))
+
+	// Per-student recommendations from their profiles.
+	rec := recommend.New(recommend.CourseLibrary())
+	for _, p := range sup.Profiles().Snapshot() {
+		recs := rec.ForUser(p, 2)
+		if len(recs) == 0 {
+			continue
+		}
+		fmt.Printf("%s (%d msgs, %.0f%% error rate):\n", p.User, p.Messages, p.ErrorRate()*100)
+		fmt.Print("  " + recommend.Render(recs))
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Moderation: a deep dive into the Learning_Angel Agent of Figure 4 —
+// fault-tolerant parsing, error localisation, error-kind tagging,
+// "did you mean" repairs and learner-corpus suggestions, with the
+// link-grammar diagrams printed for inspection.
+//
+//	go run ./examples/moderation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semagent/internal/angel"
+	"semagent/internal/core"
+	"semagent/internal/corpus"
+	"semagent/internal/linkgrammar"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sup, err := core.New(core.Config{})
+	if err != nil {
+		return err
+	}
+
+	// Warm the learner corpus so suggestions can fire.
+	for _, text := range []string{
+		"The stack has a push operation.",
+		"A queue is a fifo structure.",
+		"I push the data into the stack.",
+		"The tree has many nodes.",
+	} {
+		sup.Corpus().Add(corpus.Record{
+			Text:    text,
+			Tokens:  linkgrammar.Tokenize(text),
+			Verdict: corpus.VerdictCorrect,
+		})
+	}
+
+	fmt.Println("--- a correct sentence and its linkage (paper Fig. 2) ---")
+	res, err := sup.Parser().Parse("The cat chased a mouse.")
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Best())
+	fmt.Println()
+
+	fmt.Println("--- broken sentences through the Learning_Angel ---")
+	broken := []string{
+		"The stack have a push operation.", // agreement
+		"The the cat chased a mouse.",      // duplicated determiner
+		"Cat the chased a mouse.",          // word order
+		"The blorf has a push operation.",  // unknown word
+	}
+	for _, text := range broken {
+		rep, err := sup.Angel().Check(text)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("learner: %s\n", text)
+		if rep.OK {
+			fmt.Println("  (accepted)")
+			continue
+		}
+		fmt.Printf("  error tags: %v\n", rep.Tags)
+		if len(rep.NullTokens) > 0 {
+			words := make([]string, 0, len(rep.NullTokens))
+			for _, i := range rep.NullTokens {
+				words = append(words, rep.Tokens[i])
+			}
+			fmt.Printf("  skipped words: %v\n", words)
+		}
+		if rep.Repaired != "" {
+			fmt.Printf("  did you mean: %q\n", rep.Repaired)
+		}
+		for _, s := range rep.Suggestions {
+			fmt.Printf("  similar correct sentence (score %.2f): %s\n", s.Score, s.Record.Text)
+		}
+		if rep.Linkage != nil {
+			fmt.Println("  best fault-tolerant linkage:")
+			fmt.Println(indent(rep.Linkage.String(), "    "))
+		}
+		fmt.Println()
+	}
+
+	// Show the tag taxonomy.
+	fmt.Printf("error tag taxonomy: %v\n", []string{
+		angel.TagAgreement, angel.TagDeterminer, angel.TagWordOrder,
+		angel.TagExtraWord, angel.TagUnknownWord, angel.TagUnparseable,
+	})
+	return nil
+}
+
+func indent(s, prefix string) string {
+	out := prefix
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += prefix
+		}
+	}
+	return out
+}

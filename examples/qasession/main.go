@@ -1,0 +1,86 @@
+// QA session: exercise the Questions-and-Answers system and FAQ mining
+// of §4.4 directly — every paper template, FAQ accumulation across
+// repeated questions, the ontology-definition pipeline (DDL/DML →
+// interpreter) extending the knowledge base at runtime, and the QTI
+// quiz export of the accumulated FAQ (the paper's "famous
+// distance-learning standards" future work).
+//
+//	go run ./examples/qasession
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"semagent/internal/core"
+	"semagent/internal/ontology"
+	"semagent/internal/qti"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sup, err := core.New(core.Config{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("--- the paper's own example questions (§4.4) ---")
+	questions := []string{
+		"What is stack?",
+		"Which data structure has the method push?",
+		"Does stack have pop method?",
+		"What is the relation between a tree and a pop?",
+		"Is a heap a binary tree?",
+		"What is a zorklist?", // out of ontology: must be refused
+	}
+	for _, q := range questions {
+		ans := sup.QA().Ask(q)
+		fmt.Printf("Q: %s\n", q)
+		if ans.Answered {
+			fmt.Printf("A (%s, %s): %s\n\n", ans.Source, ans.Template, ans.Text)
+		} else {
+			fmt.Printf("A: no answer found (template %s)\n\n", ans.Template)
+		}
+	}
+
+	fmt.Println("--- FAQ accumulation: repeated and rephrased questions ---")
+	for i := 0; i < 3; i++ {
+		sup.QA().Ask("What is a queue?")
+	}
+	sup.QA().Ask("what is the queue") // rephrased: same FAQ entry
+	sup.QA().Ask("Does a stack have a push method?")
+	fmt.Println(sup.FAQ().Render(3))
+
+	fmt.Println("--- extending the ontology at runtime via DDL/DML ---")
+	ddl := `
+		CREATE ITEM "avl tree" KIND concept;
+		SET DESCRIPTION "avl tree" "An AVL tree is a self-balancing binary search tree in which the heights of the two child subtrees differ by at most one.";
+		RELATE "avl tree" "binary search tree" KIND isa;
+		RELATE "avl tree" rotate KIND hasoperation;
+	`
+	in := ontology.NewInterpreter(sup.Ontology())
+	if err := in.Run(ddl); err != nil {
+		return err
+	}
+	if err := core.TeachOntologyTerms(sup.Parser().Dictionary(), sup.Ontology()); err != nil {
+		return err
+	}
+	ans := sup.QA().Ask("What is an avl tree?")
+	fmt.Printf("Q: What is an avl tree?\nA: %s\n", ans.Text)
+	ans = sup.QA().Ask("Does an avl tree have a rotate method?")
+	fmt.Printf("Q: Does an avl tree have a rotate method?\nA: %s\n", ans.Text)
+
+	fmt.Println()
+	fmt.Println("--- QTI export of the session's FAQ (first lines) ---")
+	doc := qti.FromFAQ(sup.FAQ(), 2)
+	if err := doc.Write(os.Stdout); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+// Quickstart: build the paper's supervisor and run a handful of
+// classroom messages through it, printing what each agent decided.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semagent/internal/core"
+)
+
+func main() {
+	sup, err := core.New(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	messages := []struct{ user, text string }{
+		{"alice", "Hello everyone, I am ready."},
+		{"alice", "A stack is a lifo structure."},
+		{"bob", "The stack have a push operation."},      // grammar slip
+		{"bob", "I push the data into a tree."},          // semantic slip (paper §4.3)
+		{"carol", "The tree doesn't have a pop method."}, // correct BECAUSE negated
+		{"carol", "What is a stack?"},                    // QA template (paper §4.4)
+		{"dave", "Does a tree have a pop method?"},       // QA yes/no
+	}
+
+	for _, m := range messages {
+		a, err := sup.Process("ds-course", m.user, m.text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%s] %s\n", m.user, m.text)
+		fmt.Printf("    pattern=%s verdict=%s\n", a.Classification.Pattern, a.Verdict)
+		for _, r := range a.Responses {
+			fmt.Printf("    %s> %s\n", r.Agent, r.Text)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println(sup.Analyzer().Report())
+	fmt.Println(sup.FAQ().Render(3))
+}

@@ -1,0 +1,119 @@
+package angel
+
+import (
+	"strings"
+	"testing"
+
+	"semagent/internal/linkgrammar"
+	"semagent/internal/ontology"
+)
+
+func TestRepairDisabled(t *testing.T) {
+	parser, err := linkgrammar.NewEnglishParser()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(parser, nil, nil, Options{MaxSuggestions: 1, Repair: false})
+	rep, err := a.Check("The stack have a push operation.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("error not detected")
+	}
+	if rep.Repaired != "" {
+		t.Errorf("repair produced despite Repair=false: %q", rep.Repaired)
+	}
+}
+
+func TestNilCorpusAndOntology(t *testing.T) {
+	parser, err := linkgrammar.NewEnglishParser()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(parser, nil, nil, DefaultOptions())
+	rep, err := a.Check("The stack have a push operation.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Suggestions) != 0 || len(rep.Topics) != 0 {
+		t.Errorf("nil stores should yield no suggestions/topics: %+v", rep)
+	}
+	if rep.Comment == "" {
+		t.Error("comment still expected")
+	}
+}
+
+func TestImperativeWithError(t *testing.T) {
+	parser, err := linkgrammar.NewEnglishParser()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(parser, nil, ontology.BuildCourseOntology(), DefaultOptions())
+	rep, err := a.Check("Push the the data into the stack.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("duplicated determiner in imperative not detected")
+	}
+	if rep.Repaired == "" || strings.Contains(rep.Repaired, "the the") {
+		t.Errorf("repaired = %q", rep.Repaired)
+	}
+}
+
+func TestQuestionsPassSyntaxCheck(t *testing.T) {
+	a, _ := newAgent(t, false)
+	for _, q := range []string{
+		"Does a stack have a pop method?",
+		"What is a stack?",
+		"How does a queue work?",
+	} {
+		rep, err := a.Check(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			t.Errorf("%q flagged: %v", q, rep.Tags)
+		}
+	}
+}
+
+func TestOverlongInputErrors(t *testing.T) {
+	a, _ := newAgent(t, false)
+	if _, err := a.Check(strings.Repeat("cat ", 64)); err == nil {
+		t.Error("overlong input should propagate the parser error")
+	}
+}
+
+func TestMultipleErrorsLocated(t *testing.T) {
+	a, _ := newAgent(t, false)
+	// Two independent corruptions.
+	rep, err := a.Check("The the cat chased chased a mouse.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("double corruption not detected")
+	}
+	if rep.Parsed && len(rep.NullTokens) < 2 {
+		t.Errorf("expected 2 null tokens, got %v", rep.NullTokens)
+	}
+}
+
+func TestReportTokensMatchInput(t *testing.T) {
+	a, _ := newAgent(t, false)
+	rep, err := a.Check("The Stack HAS a push operation.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"the", "stack", "has", "a", "push", "operation"}
+	if len(rep.Tokens) != len(want) {
+		t.Fatalf("tokens = %v", rep.Tokens)
+	}
+	for i := range want {
+		if rep.Tokens[i] != want[i] {
+			t.Errorf("token[%d] = %q, want %q", i, rep.Tokens[i], want[i])
+		}
+	}
+}

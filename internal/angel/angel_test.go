@@ -1,0 +1,189 @@
+package angel
+
+import (
+	"strings"
+	"testing"
+
+	"semagent/internal/corpus"
+	"semagent/internal/linkgrammar"
+	"semagent/internal/ontology"
+)
+
+func newAgent(t *testing.T, withCorpus bool) (*Agent, *corpus.Store) {
+	t.Helper()
+	parser, err := linkgrammar.NewEnglishParser()
+	if err != nil {
+		t.Fatal(err)
+	}
+	onto := ontology.BuildCourseOntology()
+	var store *corpus.Store
+	if withCorpus {
+		store = corpus.NewStore()
+		for _, text := range []string{
+			"The stack has a push operation.",
+			"A queue is a fifo structure.",
+			"I push the data into the stack.",
+			"The cat chased a mouse.",
+		} {
+			store.Add(corpus.Record{
+				Text:    text,
+				Tokens:  linkgrammar.Tokenize(text),
+				Verdict: corpus.VerdictCorrect,
+			})
+		}
+	}
+	return New(parser, store, onto, DefaultOptions()), store
+}
+
+func TestCorrectSentencesPass(t *testing.T) {
+	a, _ := newAgent(t, false)
+	for _, text := range []string{
+		"The stack has a push operation.",
+		"I push the data into the stack.",
+		"Does a stack have a pop method?",
+		"The tree doesn't have a pop method.",
+	} {
+		rep, err := a.Check(text)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if !rep.OK {
+			t.Errorf("%q: flagged incorrectly: nulls=%v tags=%v", text, rep.NullTokens, rep.Tags)
+		}
+		if rep.Comment != "" {
+			t.Errorf("%q: agent should stay silent on correct sentences, said %q", text, rep.Comment)
+		}
+	}
+}
+
+func TestAgreementErrorDetectedAndTagged(t *testing.T) {
+	a, _ := newAgent(t, false)
+	rep, err := a.Check("The stack have a push operation.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("agreement error not detected")
+	}
+	if !hasTag(rep.Tags, TagAgreement) {
+		t.Errorf("tags = %v, want %s", rep.Tags, TagAgreement)
+	}
+	// Either rewrite restores agreement: "the stack has …" or
+	// "the stacks have …".
+	if !strings.Contains(rep.Repaired, "stack has") && !strings.Contains(rep.Repaired, "stacks have") {
+		t.Errorf("repaired = %q, want an agreement rewrite", rep.Repaired)
+	}
+	if rep.Comment == "" {
+		t.Error("agent should comment on a broken sentence")
+	}
+}
+
+func TestDuplicatedDeterminerTagged(t *testing.T) {
+	a, _ := newAgent(t, false)
+	rep, err := a.Check("The the stack has a push operation.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("duplicate determiner not detected")
+	}
+	if !hasTag(rep.Tags, TagDeterminer) && !hasTag(rep.Tags, TagExtraWord) {
+		t.Errorf("tags = %v, want determiner/extra-word", rep.Tags)
+	}
+}
+
+func TestWordOrderTagged(t *testing.T) {
+	a, _ := newAgent(t, false)
+	rep, err := a.Check("Stack the has a push operation.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("word-order error not detected")
+	}
+	// The repair search may classify this as word-order (swap) or as
+	// another single-edit fix; it must at least produce a diagnosis.
+	if len(rep.Tags) == 0 {
+		t.Error("no tags produced")
+	}
+}
+
+func TestUnknownWordsSurface(t *testing.T) {
+	a, _ := newAgent(t, false)
+	rep, err := a.Check("The blorf has a push operation.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.UnknownWords) != 1 {
+		t.Fatalf("unknown words = %v, want exactly one", rep.UnknownWords)
+	}
+	if rep.Tokens[rep.UnknownWords[0]] != "blorf" {
+		t.Errorf("unknown word = %q", rep.Tokens[rep.UnknownWords[0]])
+	}
+}
+
+func TestSuggestionsComeFromCorpus(t *testing.T) {
+	a, _ := newAgent(t, true)
+	rep, err := a.Check("The stack have a push operation.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Suggestions) == 0 {
+		t.Fatal("no corpus suggestions")
+	}
+	if !strings.Contains(rep.Suggestions[0].Record.Text, "stack has a push") {
+		t.Errorf("top suggestion = %q", rep.Suggestions[0].Record.Text)
+	}
+	if !strings.Contains(rep.Comment, "similar correct sentence") {
+		t.Errorf("comment should quote the suggestion: %q", rep.Comment)
+	}
+}
+
+func TestTopicsExtracted(t *testing.T) {
+	a, _ := newAgent(t, false)
+	rep, err := a.Check("The stack has a push operation.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(rep.Topics, " ")
+	if !strings.Contains(joined, "stack") || !strings.Contains(joined, "push") {
+		t.Errorf("topics = %v", rep.Topics)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	a, _ := newAgent(t, false)
+	rep, err := a.Check("   !!! ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Error("empty message should pass")
+	}
+}
+
+func TestToggleS(t *testing.T) {
+	cases := map[string]string{
+		"has":     "ha", // mechanical, not linguistic: toggles trailing s
+		"have":    "haves",
+		"pushes":  "push",
+		"studies": "study",
+		"study":   "studies",
+		"boxes":   "box",
+		"class":   "classes",
+	}
+	for in, want := range cases {
+		if got := toggleS(in); got != want {
+			t.Errorf("toggleS(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func hasTag(tags []string, tag string) bool {
+	for _, t := range tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}

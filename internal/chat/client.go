@@ -1,0 +1,122 @@
+package chat
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a chat room participant over TCP.
+type Client struct {
+	conn  net.Conn
+	codec *Codec
+
+	mu     sync.Mutex
+	closed bool
+
+	incoming chan Message
+	done     chan struct{}
+	readErr  error
+	wg       sync.WaitGroup
+}
+
+// Dial connects, joins the room under the given name and starts the
+// receive loop. It waits for the server's welcome (or error) so that a
+// returned *Client is fully joined.
+func Dial(addr, roomName, userName string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("chat dial: %w", err)
+	}
+	c := &Client{
+		conn:     conn,
+		codec:    NewCodec(conn),
+		incoming: make(chan Message, 64),
+		done:     make(chan struct{}),
+	}
+	if err := c.codec.Write(Message{Type: TypeJoin, Room: roomName, From: userName}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("chat join: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	first, err := c.codec.Read()
+	_ = conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("chat join read: %w", err)
+	}
+	switch first.Type {
+	case TypeWelcome:
+	case TypeError:
+		_ = conn.Close()
+		return nil, fmt.Errorf("chat join rejected: %s", first.Text)
+	default:
+		// Unexpected but survivable: deliver it to the consumer.
+		c.incoming <- first
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	defer close(c.incoming)
+	for {
+		m, err := c.codec.Read()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			return
+		}
+		select {
+		case c.incoming <- m:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Say sends a chat line.
+func (c *Client) Say(text string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("chat client closed")
+	}
+	return c.codec.Write(Message{Type: TypeSay, Text: text})
+}
+
+// Receive returns the stream of incoming messages. The channel closes
+// when the connection drops or Close is called.
+func (c *Client) Receive() <-chan Message { return c.incoming }
+
+// Err reports the terminal read error after Receive closes (nil for a
+// clean shutdown).
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}
+
+// Close announces departure and tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	_ = c.codec.Write(Message{Type: TypeLeave})
+	c.mu.Unlock()
+
+	close(c.done)
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

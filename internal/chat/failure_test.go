@@ -1,0 +1,222 @@
+package chat
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rawDial opens a bare TCP connection to exercise protocol-level
+// failure handling without the well-behaved Client.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return conn
+}
+
+func TestMalformedJSONDisconnects(t *testing.T) {
+	addr := startServer(t, ServerOptions{})
+	conn := rawDial(t, addr)
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The server must drop the connection rather than hang or crash.
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return // closed: good
+		}
+	}
+}
+
+func TestJoinWithWrongFirstMessage(t *testing.T) {
+	addr := startServer(t, ServerOptions{})
+	conn := rawDial(t, addr)
+	if _, err := conn.Write([]byte(`{"type":"say","text":"hi"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	codec := NewCodec(conn)
+	m, err := codec.Read()
+	if err != nil {
+		t.Fatalf("expected an error message, got read error %v", err)
+	}
+	if m.Type != TypeError {
+		t.Errorf("first-say response = %+v, want error", m)
+	}
+}
+
+func TestAbruptDisconnectDuringChat(t *testing.T) {
+	addr := startServer(t, ServerOptions{})
+	alice, err := Dial(addr, "room", "alice", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+
+	conn := rawDial(t, addr)
+	codec := NewCodec(conn)
+	if err := codec.Write(Message{Type: TypeJoin, Room: "room", From: "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Read(); err != nil { // welcome
+		t.Fatal(err)
+	}
+	// Kill the socket mid-session without a leave message.
+	_ = conn.Close()
+
+	// Alice must observe the departure and the room must stay healthy.
+	waitFor(t, alice, 2*time.Second, func(m Message) bool {
+		return m.Type == TypeSystem && strings.Contains(m.Text, "ghost left")
+	})
+	if err := alice.Say("still alive?"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, alice, time.Second, func(m Message) bool { return m.Type == TypeChat })
+}
+
+func TestNameFreedAfterDisconnect(t *testing.T) {
+	addr := startServer(t, ServerOptions{})
+	first, err := Dial(addr, "room", "alice", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The name must be reusable once the first session is gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		second, err := Dial(addr, "room", "alice", time.Second)
+		if err == nil {
+			second.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("name never freed: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestOversizedMessageRejected(t *testing.T) {
+	addr := startServer(t, ServerOptions{})
+	conn := rawDial(t, addr)
+	codec := NewCodec(conn)
+	if err := codec.Write(Message{Type: TypeJoin, Room: "room", From: "bulk"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Read(); err != nil { // welcome
+		t.Fatal(err)
+	}
+	huge := strings.Repeat("x", maxLineBytes*2)
+	if _, err := conn.Write([]byte(`{"type":"say","text":"` + huge + `"}` + "\n")); err != nil {
+		// Remote may already have closed while we streamed: acceptable.
+		return
+	}
+	// Whatever happens, the server must survive and serve others.
+	other, err := Dial(addr, "room2", "ok", time.Second)
+	if err != nil {
+		t.Fatalf("server unhealthy after oversized message: %v", err)
+	}
+	other.Close()
+}
+
+func TestServerCloseWithActiveClients(t *testing.T) {
+	s := NewServer(ServerOptions{})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, 0, 4)
+	for i := 0; i < 4; i++ {
+		c, err := Dial(addr.String(), "room", fmt.Sprintf("u%d", i), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("server Close deadlocked with active clients")
+	}
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+func TestDialTimeoutOnDeadServer(t *testing.T) {
+	// A listener that accepts but never speaks: Dial must time out, not
+	// hang.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_ = conn // accept and stay silent
+		}
+	}()
+	start := time.Now()
+	_, err = Dial(l.Addr().String(), "room", "x", 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to silent server should fail")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("dial took %v, timeout not applied", time.Since(start))
+	}
+}
+
+func TestSayAfterClose(t *testing.T) {
+	addr := startServer(t, ServerOptions{})
+	c, err := Dial(addr, "room", "alice", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Say("too late"); err == nil {
+		t.Error("Say after Close should error")
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close should be nil, got %v", err)
+	}
+}
+
+func TestEmptySayIgnored(t *testing.T) {
+	addr := startServer(t, ServerOptions{})
+	a, err := Dial(addr, "room", "alice", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Say("   "); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Say("real message"); err != nil {
+		t.Fatal(err)
+	}
+	got := waitFor(t, a, time.Second, func(m Message) bool { return m.Type == TypeChat })
+	if got.Text != "real message" {
+		t.Errorf("first chat = %q, blank say leaked", got.Text)
+	}
+}

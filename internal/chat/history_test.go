@@ -1,0 +1,123 @@
+package chat
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistoryReplayedToLateJoiner(t *testing.T) {
+	addr := startServer(t, ServerOptions{HistorySize: 10})
+	alice, err := Dial(addr, "room", "alice", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+	for i := 0; i < 3; i++ {
+		if err := alice.Say(fmt.Sprintf("message %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until alice's own echoes arrive so history is committed.
+	for i := 0; i < 3; i++ {
+		waitFor(t, alice, time.Second, func(m Message) bool { return m.Type == TypeChat })
+	}
+
+	bob, err := Dial(addr, "room", "bob", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bob.Close()
+	// Bob must receive the three history messages in order.
+	for i := 0; i < 3; i++ {
+		got := waitFor(t, bob, time.Second, func(m Message) bool { return m.Type == TypeChat })
+		want := fmt.Sprintf("message %d", i)
+		if got.Text != want {
+			t.Errorf("history[%d] = %q, want %q", i, got.Text, want)
+		}
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	addr := startServer(t, ServerOptions{HistorySize: 2})
+	alice, err := Dial(addr, "room", "alice", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+	for i := 0; i < 5; i++ {
+		if err := alice.Say(fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, alice, time.Second, func(m Message) bool { return m.Type == TypeChat })
+	}
+	bob, err := Dial(addr, "room", "bob", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bob.Close()
+	// Only the last two messages replay.
+	first := waitFor(t, bob, time.Second, func(m Message) bool { return m.Type == TypeChat })
+	if first.Text != "m3" {
+		t.Errorf("first replayed = %q, want m3", first.Text)
+	}
+	second := waitFor(t, bob, time.Second, func(m Message) bool { return m.Type == TypeChat })
+	if second.Text != "m4" {
+		t.Errorf("second replayed = %q, want m4", second.Text)
+	}
+}
+
+func TestHistoryDisabledByDefault(t *testing.T) {
+	addr := startServer(t, ServerOptions{})
+	alice, err := Dial(addr, "room", "alice", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+	if err := alice.Say("ephemeral"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, alice, time.Second, func(m Message) bool { return m.Type == TypeChat })
+
+	bob, err := Dial(addr, "room", "bob", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bob.Close()
+	select {
+	case m := <-bob.Receive():
+		if m.Type == TypeChat {
+			t.Errorf("history replayed despite being disabled: %+v", m)
+		}
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+func TestHistoryIncludesPublicAgentResponses(t *testing.T) {
+	sup := SupervisorFunc(func(room, user, text string) []Response {
+		if strings.HasSuffix(text, "?") {
+			return []Response{{Agent: "QA_System", Text: "the answer"}}
+		}
+		return nil
+	})
+	addr := startServer(t, ServerOptions{HistorySize: 10, Supervisor: sup})
+	alice, err := Dial(addr, "room", "alice", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+	if err := alice.Say("what is a stack?"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, alice, time.Second, func(m Message) bool { return m.Type == TypeAgent })
+
+	bob, err := Dial(addr, "room", "bob", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bob.Close()
+	waitFor(t, bob, time.Second, func(m Message) bool {
+		return m.Type == TypeAgent && m.Text == "the answer"
+	})
+}

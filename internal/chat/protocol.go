@@ -1,0 +1,117 @@
+// Package chat implements the Augmentative Chat Room of the paper: a
+// TCP chat service with rooms, a newline-delimited JSON wire protocol,
+// and a supervisor hook through which the Learning_Angel Agent, the
+// Semantic Agent and the QA system observe every message and inject
+// their responses — the "supervisors constantly online" of the
+// abstract.
+package chat
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// MsgType enumerates protocol message types.
+type MsgType string
+
+// Wire message types.
+const (
+	// Client -> server.
+	TypeJoin  MsgType = "join"  // Room, From required
+	TypeSay   MsgType = "say"   // Text required
+	TypeLeave MsgType = "leave" //
+
+	// Server -> client.
+	TypeWelcome MsgType = "welcome" // join acknowledged
+	TypeChat    MsgType = "chat"    // a user's message, broadcast
+	TypeSystem  MsgType = "system"  // membership notices
+	TypeAgent   MsgType = "agent"   // supervisor responses; Agent names the sender
+	TypeError   MsgType = "error"   // protocol errors
+)
+
+// Message is the wire unit, one JSON object per line.
+type Message struct {
+	Type  MsgType   `json:"type"`
+	Room  string    `json:"room,omitempty"`
+	From  string    `json:"from,omitempty"`
+	Text  string    `json:"text,omitempty"`
+	Agent string    `json:"agent,omitempty"`
+	Time  time.Time `json:"time,omitempty"`
+	// Private marks agent responses addressed only to the speaker.
+	Private bool `json:"private,omitempty"`
+}
+
+// maxLineBytes bounds a single protocol line (a chat message).
+const maxLineBytes = 64 * 1024
+
+// Codec frames Messages as newline-delimited JSON over a stream.
+type Codec struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// NewCodec wraps a bidirectional stream.
+func NewCodec(rw io.ReadWriter) *Codec {
+	return &Codec{
+		r: bufio.NewReaderSize(rw, maxLineBytes),
+		w: bufio.NewWriterSize(rw, maxLineBytes),
+	}
+}
+
+// Read decodes the next message.
+func (c *Codec) Read() (Message, error) {
+	var m Message
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return m, err
+	}
+	if len(line) > maxLineBytes {
+		return m, fmt.Errorf("message exceeds %d bytes", maxLineBytes)
+	}
+	if err := json.Unmarshal(line, &m); err != nil {
+		return m, fmt.Errorf("decode message: %w", err)
+	}
+	return m, nil
+}
+
+// Write encodes and flushes one message.
+func (c *Codec) Write(m Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("encode message: %w", err)
+	}
+	if _, err := c.w.Write(data); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Response is a supervisor's reaction to a chat message.
+type Response struct {
+	// Agent names the responder ("Learning_Angel", "Semantic_Agent",
+	// "QA_System").
+	Agent string
+	Text  string
+	// Private responses go only to the speaker, not the whole room.
+	Private bool
+}
+
+// Supervisor observes every chat message and may respond. The core
+// package's Supervisor implements this; tests may plug stubs.
+type Supervisor interface {
+	Process(room, user, text string) []Response
+}
+
+// SupervisorFunc adapts a function to the Supervisor interface.
+type SupervisorFunc func(room, user, text string) []Response
+
+// Process implements Supervisor.
+func (f SupervisorFunc) Process(room, user, text string) []Response {
+	return f(room, user, text)
+}

@@ -1,0 +1,372 @@
+package chat
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ServerOptions configures a chat server.
+type ServerOptions struct {
+	// Supervisor observes messages; nil runs an unsupervised room
+	// (the OFF arm of experiment E6).
+	Supervisor Supervisor
+	// Async delivers supervisor responses from a sidecar goroutine per
+	// message instead of inline before the broadcast (design decision
+	// D5). Inline guarantees ordering; async minimizes broadcast
+	// latency.
+	Async bool
+	// Logger receives operational messages; nil discards them.
+	Logger *log.Logger
+	// SendQueue is the per-client outgoing buffer. When a slow client's
+	// queue fills, the client is dropped (a supervised classroom must
+	// not let one stalled socket block the room).
+	SendQueue int
+	// HistorySize keeps the last N chat messages per room and replays
+	// them to joining clients, so late learners see the recent
+	// discussion (and its agent feedback). 0 disables replay.
+	HistorySize int
+}
+
+// Server is the chat room service.
+type Server struct {
+	opts     ServerOptions
+	listener net.Listener
+
+	mu      sync.Mutex
+	rooms   map[string]*room
+	clients map[*client]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type room struct {
+	name    string
+	members map[string]*client
+	// history is a bounded ring of recent broadcast messages.
+	history []Message
+}
+
+type client struct {
+	name  string
+	room  string
+	conn  net.Conn
+	codec *Codec
+	out   chan Message
+	done  chan struct{}
+}
+
+// NewServer returns an unstarted server.
+func NewServer(opts ServerOptions) *Server {
+	if opts.SendQueue <= 0 {
+		opts.SendQueue = 64
+	}
+	return &Server{
+		opts:    opts,
+		rooms:   make(map[string]*room),
+		clients: make(map[*client]struct{}),
+	}
+}
+
+// Listen starts accepting on addr ("127.0.0.1:0" for tests) and returns
+// the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("chat listen: %w", err)
+	}
+	s.listener = l
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Close stops the listener, disconnects all clients and waits for every
+// goroutine to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var conns []net.Conn
+	for c := range s.clients {
+		conns = append(conns, c.conn)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// RoomNames returns the names of active rooms.
+func (s *Server) RoomNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.rooms))
+	for name := range s.rooms {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Members returns the user names present in a room.
+func (s *Server) Members(roomName string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rooms[roomName]
+	if r == nil {
+		return nil
+	}
+	out := make([]string, 0, len(r.members))
+	for name := range r.members {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	codec := NewCodec(conn)
+
+	// The first message must be a join.
+	first, err := codec.Read()
+	if err != nil {
+		return
+	}
+	if first.Type != TypeJoin || first.From == "" || first.Room == "" {
+		_ = codec.Write(Message{Type: TypeError, Text: "first message must be a join with room and from"})
+		return
+	}
+
+	c := &client{
+		name:  first.From,
+		room:  first.Room,
+		conn:  conn,
+		codec: codec,
+		out:   make(chan Message, s.opts.SendQueue),
+		done:  make(chan struct{}),
+	}
+	if err := s.join(c); err != nil {
+		_ = codec.Write(Message{Type: TypeError, Text: err.Error()})
+		return
+	}
+
+	// Writer goroutine: the only writer to the codec after join.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case m, ok := <-c.out:
+				if !ok {
+					return
+				}
+				if err := c.codec.Write(m); err != nil {
+					_ = c.conn.Close()
+					return
+				}
+			case <-c.done:
+				return
+			}
+		}
+	}()
+
+	s.enqueue(c, Message{Type: TypeWelcome, Room: c.room, Text: "welcome, " + c.name, Time: time.Now()})
+	for _, m := range s.historyOf(c.room) {
+		s.enqueue(c, m)
+	}
+	s.broadcast(c.room, Message{
+		Type: TypeSystem, Room: c.room,
+		Text: c.name + " joined the room", Time: time.Now(),
+	}, nil)
+	s.logf("chat: %s joined %s", c.name, c.room)
+
+	for {
+		m, err := codec.Read()
+		if err != nil {
+			break
+		}
+		switch m.Type {
+		case TypeSay:
+			s.handleSay(c, m.Text)
+		case TypeLeave:
+			err = errors.New("left")
+		case TypeJoin:
+			s.enqueue(c, Message{Type: TypeError, Text: "already joined"})
+		default:
+			s.enqueue(c, Message{Type: TypeError, Text: "unknown message type " + string(m.Type)})
+		}
+		if err != nil {
+			break
+		}
+	}
+
+	s.leave(c)
+	close(c.done)
+	s.broadcast(c.room, Message{
+		Type: TypeSystem, Room: c.room,
+		Text: c.name + " left the room", Time: time.Now(),
+	}, nil)
+	s.logf("chat: %s left %s", c.name, c.room)
+}
+
+// handleSay broadcasts a chat line and runs supervision.
+func (s *Server) handleSay(c *client, text string) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return
+	}
+	now := time.Now()
+	s.broadcast(c.room, Message{
+		Type: TypeChat, Room: c.room, From: c.name, Text: text, Time: now,
+	}, nil)
+	if s.opts.Supervisor == nil {
+		return
+	}
+	deliver := func() {
+		for _, resp := range s.opts.Supervisor.Process(c.room, c.name, text) {
+			msg := Message{
+				Type: TypeAgent, Room: c.room, Agent: resp.Agent,
+				Text: resp.Text, Time: time.Now(), Private: resp.Private,
+			}
+			if resp.Private {
+				s.enqueue(c, msg)
+			} else {
+				s.broadcast(c.room, msg, nil)
+			}
+		}
+	}
+	if s.opts.Async {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			deliver()
+		}()
+		return
+	}
+	deliver()
+}
+
+func (s *Server) join(c *client) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("server shutting down")
+	}
+	r := s.rooms[c.room]
+	if r == nil {
+		r = &room{name: c.room, members: make(map[string]*client)}
+		s.rooms[c.room] = r
+	}
+	if _, taken := r.members[c.name]; taken {
+		return fmt.Errorf("name %q already in use in room %q", c.name, c.room)
+	}
+	r.members[c.name] = c
+	s.clients[c] = struct{}{}
+	return nil
+}
+
+func (s *Server) leave(c *client) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r := s.rooms[c.room]; r != nil {
+		if r.members[c.name] == c {
+			delete(r.members, c.name)
+		}
+		if len(r.members) == 0 {
+			delete(s.rooms, c.room)
+		}
+	}
+	delete(s.clients, c)
+}
+
+// broadcast sends to every room member except skip (may be nil) and
+// records chat/agent traffic in the room history.
+func (s *Server) broadcast(roomName string, m Message, skip *client) {
+	s.mu.Lock()
+	r := s.rooms[roomName]
+	var members []*client
+	if r != nil {
+		members = make([]*client, 0, len(r.members))
+		for _, c := range r.members {
+			if c != skip {
+				members = append(members, c)
+			}
+		}
+		if s.opts.HistorySize > 0 && (m.Type == TypeChat || m.Type == TypeAgent) {
+			r.history = append(r.history, m)
+			if len(r.history) > s.opts.HistorySize {
+				r.history = r.history[len(r.history)-s.opts.HistorySize:]
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range members {
+		s.enqueue(c, m)
+	}
+}
+
+// historyOf returns a copy of a room's replayable history.
+func (s *Server) historyOf(roomName string) []Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rooms[roomName]
+	if r == nil || len(r.history) == 0 {
+		return nil
+	}
+	return append([]Message(nil), r.history...)
+}
+
+// enqueue delivers without blocking; a stalled client is disconnected.
+func (s *Server) enqueue(c *client, m Message) {
+	select {
+	case c.out <- m:
+	case <-c.done:
+	default:
+		s.logf("chat: dropping stalled client %s in %s", c.name, c.room)
+		_ = c.conn.Close()
+	}
+}

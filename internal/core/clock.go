@@ -1,0 +1,6 @@
+package core
+
+import "time"
+
+// timeNow is indirected for tests that need deterministic event times.
+var timeNow = time.Now

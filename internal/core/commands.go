@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"semagent/internal/chat"
+	"semagent/internal/recommend"
+)
+
+// IsCommand reports whether a chat line is a learner command rather
+// than course discussion.
+func IsCommand(text string) bool {
+	return strings.HasPrefix(strings.TrimSpace(text), "/")
+}
+
+// Command handles the learner-facing slash commands that expose the
+// accumulated knowledge (the paper's FAQ "learning tool", the
+// statistic analyzer's view and the material recommendations):
+//
+//	/faq [n]        top FAQ entries
+//	/recommend      teaching material for the asking learner
+//	/stats          room statistics summary
+//	/define <term>  the ontology definition of a term
+//	/help           command list
+//
+// The returned responses are always private to the asking learner.
+func (s *Supervisor) Command(room, user, text string) []chat.Response {
+	fields := strings.Fields(strings.TrimSpace(text))
+	if len(fields) == 0 {
+		return nil
+	}
+	private := func(agent, msg string) []chat.Response {
+		return []chat.Response{{Agent: agent, Text: msg, Private: true}}
+	}
+	switch strings.ToLower(fields[0]) {
+	case "/faq":
+		n := 5
+		if len(fields) > 1 {
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n <= 0 {
+				n = 5
+			}
+		}
+		return private(AgentQA, s.faq.Render(n))
+	case "/recommend":
+		recs := s.Recommend(user, 3)
+		return private(AgentSemantic, recommend.Render(recs))
+	case "/stats":
+		return private(AgentAngel, s.analyzer.Report())
+	case "/define":
+		if len(fields) < 2 {
+			return private(AgentQA, "usage: /define <term>")
+		}
+		term := strings.Join(fields[1:], " ")
+		ans := s.qa.Ask("what is " + term + "?")
+		if !ans.Answered {
+			return private(AgentQA, fmt.Sprintf("I have no definition for %q.", term))
+		}
+		return private(AgentQA, ans.Text)
+	case "/help":
+		return private(AgentQA, "commands: /faq [n], /recommend, /stats, /define <term>, /help")
+	default:
+		return private(AgentQA, fmt.Sprintf("unknown command %s — try /help", fields[0]))
+	}
+}

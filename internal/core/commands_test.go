@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIsCommand(t *testing.T) {
+	cases := map[string]bool{
+		"/faq":            true,
+		"  /help":         true,
+		"/define stack":   true,
+		"hello everyone":  false,
+		"what is a /faq?": false,
+		"":                false,
+	}
+	for text, want := range cases {
+		if got := IsCommand(text); got != want {
+			t.Errorf("IsCommand(%q) = %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestCommandFAQ(t *testing.T) {
+	s := newSupervisor(t)
+	if _, err := s.Process("room", "alice", "What is a stack?"); err != nil {
+		t.Fatal(err)
+	}
+	resps := s.Command("room", "alice", "/faq 3")
+	if len(resps) != 1 || !resps[0].Private {
+		t.Fatalf("resps = %+v", resps)
+	}
+	if !strings.Contains(resps[0].Text, "stack") {
+		t.Errorf("faq output = %q", resps[0].Text)
+	}
+}
+
+func TestCommandDefine(t *testing.T) {
+	s := newSupervisor(t)
+	resps := s.Command("room", "bob", "/define binary search tree")
+	if len(resps) != 1 {
+		t.Fatal("no response")
+	}
+	if !strings.Contains(resps[0].Text, "binary search tree") {
+		t.Errorf("define output = %q", resps[0].Text)
+	}
+	missing := s.Command("room", "bob", "/define zorkblatt")
+	if !strings.Contains(missing[0].Text, "no definition") {
+		t.Errorf("missing term output = %q", missing[0].Text)
+	}
+	usage := s.Command("room", "bob", "/define")
+	if !strings.Contains(usage[0].Text, "usage") {
+		t.Errorf("usage output = %q", usage[0].Text)
+	}
+}
+
+func TestCommandRecommendAndStats(t *testing.T) {
+	s := newSupervisor(t)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Process("room", "carol", "I push the data into a tree."); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := s.Command("room", "carol", "/recommend")
+	if !strings.Contains(recs[0].Text, "Chapter") {
+		t.Errorf("recommend output = %q", recs[0].Text)
+	}
+	stats := s.Command("room", "carol", "/stats")
+	if !strings.Contains(stats[0].Text, "messages") {
+		t.Errorf("stats output = %q", stats[0].Text)
+	}
+}
+
+func TestCommandHelpAndUnknown(t *testing.T) {
+	s := newSupervisor(t)
+	help := s.Command("room", "dave", "/help")
+	if !strings.Contains(help[0].Text, "/faq") {
+		t.Errorf("help output = %q", help[0].Text)
+	}
+	unknown := s.Command("room", "dave", "/frobnicate")
+	if !strings.Contains(unknown[0].Text, "unknown command") {
+		t.Errorf("unknown output = %q", unknown[0].Text)
+	}
+}
+
+func TestChatSupervisorRoutesCommands(t *testing.T) {
+	s := newSupervisor(t)
+	sup := s.ChatSupervisor()
+	resps := sup.Process("room", "alice", "/help")
+	if len(resps) != 1 || !strings.Contains(resps[0].Text, "commands:") {
+		t.Errorf("adapter command routing broken: %+v", resps)
+	}
+	// Commands must not be recorded as dialogue.
+	if s.Analyzer().Total() != 0 {
+		t.Error("command was recorded as a message")
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"semagent/internal/workload"
+)
+
+// TestConcurrentProcess hammers one Supervisor from many goroutines —
+// the chat server does exactly this, one goroutine per connection — and
+// checks that every message is accounted for exactly once.
+func TestConcurrentProcess(t *testing.T) {
+	s := newSupervisor(t)
+	gen := workload.NewGenerator(77, s.Ontology())
+	samples := gen.Generate(64, workload.DefaultMix())
+
+	const (
+		workers = 8
+		rounds  = 16
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			user := fmt.Sprintf("user-%d", w)
+			for r := 0; r < rounds; r++ {
+				text := samples[(w*rounds+r)%len(samples)].Text
+				if _, err := s.Process("room", user, text); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	want := workers * rounds
+	if got := s.Analyzer().Total(); got != want {
+		t.Errorf("analyzer total = %d, want %d", got, want)
+	}
+	if got := s.Corpus().Len(); got != want {
+		t.Errorf("corpus len = %d, want %d", got, want)
+	}
+	totalMsgs := 0
+	for _, p := range s.Profiles().Snapshot() {
+		totalMsgs += p.Messages
+	}
+	if totalMsgs != want {
+		t.Errorf("profile messages = %d, want %d", totalMsgs, want)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"semagent/internal/corpus"
+	"semagent/internal/semantic"
+)
+
+// TestPaperSection41Examples reproduces §4.1's motivation for domain
+// restriction with the paper's own two sentences:
+//
+//   - "The car is drinking water." — syntactically correct; the paper
+//     notes that outside a restricted domain its meaning cannot be
+//     judged ("in fairy tale, cars maybe can drink water"). Our system
+//     must accept the syntax and have the Semantic Agent *skip* it
+//     (no Data Structure ontology terms to evaluate).
+//   - "The data is pushed in this heap." — syntactically correct but
+//     wrong in the Data Structure course: heap has no push. The
+//     Semantic Agent must flag it.
+func TestPaperSection41Examples(t *testing.T) {
+	s := newSupervisor(t)
+
+	car, err := s.Process("room", "alice", "The car is drinking water.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if car.Syntax == nil || !car.Syntax.OK {
+		t.Fatalf("'The car is drinking water.' must parse; report=%+v", car.Syntax)
+	}
+	if car.Verdict != corpus.VerdictCorrect {
+		t.Errorf("out-of-domain sentence verdict = %s, want correct (not judged)", car.Verdict)
+	}
+	if car.Semantic == nil || car.Semantic.Verdict != semantic.VerdictSkipped {
+		t.Errorf("semantic verdict = %v, want skipped (no domain terms)", car.Semantic)
+	}
+
+	heap, err := s.Process("room", "alice", "The data is pushed in this heap.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heap.Syntax == nil || !heap.Syntax.OK {
+		t.Fatalf("'The data is pushed in this heap.' must parse; report=%+v", heap.Syntax)
+	}
+	if heap.Verdict != corpus.VerdictSemanticError {
+		t.Fatalf("verdict = %s, want semantic-error (heap has no push)", heap.Verdict)
+	}
+	if len(heap.Responses) == 0 || !strings.Contains(heap.Responses[0].Text, "push") {
+		t.Errorf("semantic response should name push: %+v", heap.Responses)
+	}
+}
+
+// TestPaperSection43Examples reproduces §4.3's two "possible
+// Interrogative Sentences" verbatim.
+func TestPaperSection43Examples(t *testing.T) {
+	s := newSupervisor(t)
+
+	// "I push the data into a tree." — flagged.
+	a, err := s.Process("room", "bob", "I push the data into a tree.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != corpus.VerdictSemanticError {
+		t.Errorf("'I push the data into a tree.' verdict = %s, want semantic-error", a.Verdict)
+	}
+
+	// "The tree doesn't have pop method." — the paper's exact wording
+	// (no article). Accepted: unrelated pair under negation.
+	b, err := s.Process("room", "bob", "The tree doesn't have pop method.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Verdict != corpus.VerdictCorrect {
+		t.Errorf("'The tree doesn't have pop method.' verdict = %s, want correct", b.Verdict)
+	}
+}
+
+// TestPaperSection44Questions reproduces §4.4's three example questions
+// verbatim, including the stack definition text the paper quotes from
+// its knowledge ontology markup.
+func TestPaperSection44Questions(t *testing.T) {
+	s := newSupervisor(t)
+
+	ans := s.QA().Ask("What is Stack?")
+	if !ans.Answered {
+		t.Fatal("'What is Stack?' unanswered")
+	}
+	// The paper's own markup text.
+	for _, want := range []string{
+		"Last In, First Out", "insertions and deletions are restricted",
+		"push, pop, and stack top",
+	} {
+		if !strings.Contains(ans.Text, want) {
+			t.Errorf("stack definition missing %q: %q", want, ans.Text)
+		}
+	}
+
+	ans = s.QA().Ask("Which data structure has the method push?")
+	if !ans.Answered || !strings.Contains(ans.Text, "stack") {
+		t.Errorf("which-has answer = %+v", ans)
+	}
+
+	ans = s.QA().Ask("Does stack have pop method?")
+	if !ans.Answered || !strings.HasPrefix(ans.Text, "Yes") {
+		t.Errorf("does-have answer = %+v", ans)
+	}
+}
+
+// TestPaperFigure5IDs pins the knowledge-body IDs drawn in Figure 5:
+// the keywords "tree" and "pop" resolve to ids 4 and 33, and the
+// system discovers they are not related.
+func TestPaperFigure5IDs(t *testing.T) {
+	s := newSupervisor(t)
+	tree, ok := s.Ontology().Lookup("tree")
+	if !ok || tree.ID != 4 {
+		t.Errorf("tree id = %v, want 4", tree)
+	}
+	pop, ok := s.Ontology().Lookup("pop")
+	if !ok || pop.ID != 33 {
+		t.Errorf("pop id = %v, want 33", pop)
+	}
+	if s.Ontology().Related("tree", "pop", 0) {
+		t.Error("tree and pop must be unrelated (Fig. 5 discussion)")
+	}
+}
+
+// TestPaperFigure2Linkage pins the Fig. 2 linkage of "The cat chased a
+// mouse": D(the,cat), S(cat,chased), O(chased,mouse), D(a,mouse).
+func TestPaperFigure2Linkage(t *testing.T) {
+	s := newSupervisor(t)
+	res, err := s.Parser().Parse("The cat chased a mouse.")
+	if err != nil || !res.Valid() {
+		t.Fatalf("parse failed: %v", err)
+	}
+	best := res.Best()
+	type link struct{ a, b int }
+	for _, want := range []struct {
+		link
+		label string
+	}{
+		{link{1, 2}, "D"}, {link{2, 3}, "S"}, {link{3, 5}, "O"}, {link{4, 5}, "D"},
+	} {
+		found := false
+		for _, l := range best.Links {
+			if l.Left == want.a && l.Right == want.b && strings.HasPrefix(l.Label, want.label) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %s link between words %d and %d\n%s", want.label, want.a, want.b, best)
+		}
+	}
+}

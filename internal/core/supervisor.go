@@ -1,0 +1,297 @@
+// Package core composes the paper's full supervision pipeline
+// (Figure 3): every chat-room message flows through the Learning_Angel
+// Agent (syntax), the Semantic Agent (ontology-distance semantics) and
+// the Questions-and-Answers System, while the Learning Statistic
+// Analyzer and Corpora Generator record the dialogue into the Learner
+// Corpus, User Profile and FAQ databases. This is the library's main
+// entry point — a downstream user builds a Supervisor and attaches it
+// to a chat room (package chat) or calls Process directly.
+package core
+
+import (
+	"fmt"
+
+	"semagent/internal/angel"
+	"semagent/internal/chat"
+	"semagent/internal/corpus"
+	"semagent/internal/linkgrammar"
+	"semagent/internal/ontology"
+	"semagent/internal/profile"
+	"semagent/internal/qa"
+	"semagent/internal/recommend"
+	"semagent/internal/semantic"
+	"semagent/internal/sentence"
+	"semagent/internal/stats"
+)
+
+// Agent names used in chat responses.
+const (
+	AgentAngel    = "Learning_Angel"
+	AgentSemantic = "Semantic_Agent"
+	AgentQA       = "QA_System"
+)
+
+// Config assembles a Supervisor. Zero values select the built-in
+// course-domain components.
+type Config struct {
+	// Ontology defaults to the built-in Data Structure course ontology.
+	Ontology *ontology.Ontology
+	// Dictionary defaults to the built-in English dictionary; ontology
+	// terms are taught to it automatically (TeachOntologyTerms).
+	Dictionary *linkgrammar.Dictionary
+	// ParserOptions defaults to linkgrammar.DefaultOptions.
+	ParserOptions linkgrammar.Options
+	// SemanticThreshold defaults to ontology.DefaultRelatedThreshold.
+	SemanticThreshold int
+	// Corpus defaults to a fresh store.
+	Corpus *corpus.Store
+	// Profiles defaults to a fresh store.
+	Profiles *profile.Store
+	// FAQ defaults to a fresh database.
+	FAQ *qa.FAQ
+	// DisableRecording turns off corpus/profile/stats updates
+	// (useful for pure benchmarking of the agent pipeline).
+	DisableRecording bool
+}
+
+// Supervisor is the composed system.
+type Supervisor struct {
+	onto     *ontology.Ontology
+	parser   *linkgrammar.Parser
+	angel    *angel.Agent
+	semantic *semantic.Agent
+	qa       *qa.System
+	corpus   *corpus.Store
+	profiles *profile.Store
+	faq      *qa.FAQ
+	analyzer *stats.Analyzer
+	gen      *stats.CorporaGenerator
+	recorder bool
+}
+
+// New builds a Supervisor from the config.
+func New(cfg Config) (*Supervisor, error) {
+	onto := cfg.Ontology
+	if onto == nil {
+		onto = ontology.BuildCourseOntology()
+	}
+	dict := cfg.Dictionary
+	if dict == nil {
+		var err error
+		dict, err = linkgrammar.NewEnglishDictionary()
+		if err != nil {
+			return nil, fmt.Errorf("build dictionary: %w", err)
+		}
+	}
+	if err := TeachOntologyTerms(dict, onto); err != nil {
+		return nil, fmt.Errorf("teach ontology terms: %w", err)
+	}
+	parser := linkgrammar.NewParser(dict, cfg.ParserOptions)
+
+	store := cfg.Corpus
+	if store == nil {
+		store = corpus.NewStore()
+	}
+	profiles := cfg.Profiles
+	if profiles == nil {
+		profiles = profile.NewStore()
+	}
+	faq := cfg.FAQ
+	if faq == nil {
+		faq = qa.NewFAQ()
+	}
+
+	s := &Supervisor{
+		onto:     onto,
+		parser:   parser,
+		angel:    angel.New(parser, store, onto, angel.DefaultOptions()),
+		semantic: semantic.New(onto, cfg.SemanticThreshold),
+		qa:       qa.New(onto, store, faq),
+		corpus:   store,
+		profiles: profiles,
+		faq:      faq,
+		analyzer: stats.NewAnalyzer(),
+		gen:      stats.NewCorporaGenerator(store, faq),
+		recorder: !cfg.DisableRecording,
+	}
+	return s, nil
+}
+
+// TeachOntologyTerms gives every ontology term a domain-noun reading in
+// the dictionary (multi-word terms word by word), so newly authored
+// course vocabulary parses. Terms that already exist as verbs
+// ("balance", "access") gain the noun reading as an alternative —
+// "the balance method" must parse. Function words inside multi-word
+// aliases ("last in first out") are skipped.
+func TeachOntologyTerms(dict *linkgrammar.Dictionary, onto *ontology.Ontology) error {
+	taught := make(map[string]bool)
+	for _, it := range onto.Items() {
+		names := append([]string{it.Name}, it.Aliases...)
+		for _, name := range names {
+			for _, word := range linkgrammar.Tokenize(name) {
+				if taught[word] || sentence.Stopwords[word] || len(word) < 3 {
+					continue
+				}
+				taught[word] = true
+				if err := dict.Define(word, "<domain-term>"); err != nil {
+					return fmt.Errorf("define %q: %w", word, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Accessors for the composed subsystems.
+func (s *Supervisor) Ontology() *ontology.Ontology { return s.onto }
+func (s *Supervisor) Parser() *linkgrammar.Parser  { return s.parser }
+func (s *Supervisor) Corpus() *corpus.Store        { return s.corpus }
+func (s *Supervisor) Profiles() *profile.Store     { return s.profiles }
+func (s *Supervisor) FAQ() *qa.FAQ                 { return s.faq }
+func (s *Supervisor) QA() *qa.System               { return s.qa }
+func (s *Supervisor) Analyzer() *stats.Analyzer    { return s.analyzer }
+func (s *Supervisor) Angel() *angel.Agent          { return s.angel }
+func (s *Supervisor) Semantic() *semantic.Agent    { return s.semantic }
+func (s *Supervisor) Generator() *stats.CorporaGenerator {
+	return s.gen
+}
+
+// Assessment is the complete result of supervising one message.
+type Assessment struct {
+	Room, User, Text string
+	Classification   sentence.Classification
+	// Verdict summarizes the outcome for the corpus.
+	Verdict corpus.Verdict
+	// Syntax is the Learning_Angel report (nil for questions).
+	Syntax *angel.Report
+	// Semantic is the Semantic Agent analysis (nil unless syntax passed).
+	Semantic *semantic.Analysis
+	// QAAnswer is set for questions.
+	QAAnswer *qa.Answer
+	// Responses are the agent messages to show in the chat room.
+	Responses []chat.Response
+}
+
+// Process supervises one message: the full pipeline of Figure 3.
+func (s *Supervisor) Process(room, user, text string) (*Assessment, error) {
+	tokens := linkgrammar.Tokenize(text)
+	cls := sentence.Classify(tokens, linkgrammar.EndsWithQuestionMark(text))
+	a := &Assessment{
+		Room: room, User: user, Text: text,
+		Classification: cls,
+		Verdict:        corpus.VerdictCorrect,
+	}
+	topics := s.topicsOf(tokens)
+
+	if cls.Pattern.IsQuestion() {
+		// Questions go to the QA subsystem; the Semantic Agent ignores
+		// them per §4.3 stage 1.
+		ans := s.qa.Ask(text)
+		a.QAAnswer = &ans
+		a.Verdict = corpus.VerdictQuestion
+		if ans.Answered {
+			a.Responses = append(a.Responses, chat.Response{Agent: AgentQA, Text: ans.Text})
+		}
+		s.record(a, tokens, topics, nil)
+		return a, nil
+	}
+
+	rep, err := s.angel.Check(text)
+	if err != nil {
+		return nil, fmt.Errorf("learning angel: %w", err)
+	}
+	a.Syntax = rep
+	if rep.Linkage != nil {
+		a.Classification = sentence.Refine(cls, rep.Linkage)
+	}
+	if !rep.OK {
+		a.Verdict = corpus.VerdictSyntaxError
+		if rep.Comment != "" {
+			a.Responses = append(a.Responses, chat.Response{
+				Agent: AgentAngel, Text: rep.Comment, Private: true,
+			})
+		}
+		s.record(a, tokens, topics, rep.Tags)
+		return a, nil
+	}
+
+	sem := s.semantic.Analyze(a.Classification)
+	a.Semantic = sem
+	if sem.Verdict == semantic.VerdictInterrogative {
+		a.Verdict = corpus.VerdictSemanticError
+		text := sem.Explanation
+		if sem.Suggestion != "" {
+			text += " — hint: " + sem.Suggestion
+		}
+		a.Responses = append(a.Responses, chat.Response{
+			Agent: AgentSemantic, Text: text, Private: true,
+		})
+	}
+	s.record(a, tokens, topics, nil)
+	return a, nil
+}
+
+// record feeds the statistic analyzer, corpora generator and profiles.
+func (s *Supervisor) record(a *Assessment, tokens, topics, tags []string) {
+	if !s.recorder {
+		return
+	}
+	ev := stats.Event{
+		Time:    timeNow(),
+		Room:    a.Room,
+		User:    a.User,
+		Text:    a.Text,
+		Tokens:  tokens,
+		Verdict: a.Verdict,
+		Pattern: a.Classification.Pattern,
+		Tags:    tags,
+		Topics:  topics,
+	}
+	s.analyzer.Record(ev)
+	s.gen.Consume(ev)
+	s.profiles.RecordMessage(a.User, topics)
+	switch a.Verdict {
+	case corpus.VerdictSyntaxError:
+		s.profiles.RecordSyntaxError(a.User, tags...)
+	case corpus.VerdictSemanticError:
+		s.profiles.RecordSemanticError(a.User, "ontology-violation")
+	case corpus.VerdictQuestion:
+		s.profiles.RecordQuestion(a.User)
+	}
+}
+
+func (s *Supervisor) topicsOf(tokens []string) []string {
+	matches := s.onto.ExtractTerms(tokens)
+	out := make([]string, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, m.Item.Name)
+	}
+	return out
+}
+
+// Recommend produces teaching-material suggestions for a learner from
+// their profile (empty if the learner is unknown).
+func (s *Supervisor) Recommend(user string, limit int) []recommend.Recommendation {
+	p, ok := s.profiles.Get(user)
+	if !ok {
+		return nil
+	}
+	r := recommend.New(recommend.CourseLibrary())
+	return r.ForUser(p, limit)
+}
+
+// ChatSupervisor adapts the Supervisor to the chat.Supervisor interface;
+// pipeline errors turn into (rare) silent skips rather than crashing the
+// chat room.
+func (s *Supervisor) ChatSupervisor() chat.Supervisor {
+	return chat.SupervisorFunc(func(room, user, text string) []chat.Response {
+		if IsCommand(text) {
+			return s.Command(room, user, text)
+		}
+		a, err := s.Process(room, user, text)
+		if err != nil {
+			return nil
+		}
+		return a.Responses
+	})
+}

@@ -1,0 +1,286 @@
+// Package corpus implements the Learner Corpus database of the paper:
+// every supervised utterance is recorded with its verdict and tags, and
+// the store answers the Learning_Angel's "suitable sentence" queries —
+// given a broken sentence, retrieve similar correct sentences to show
+// the learner.
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"semagent/internal/sentence"
+)
+
+// Verdict classifies a recorded utterance.
+type Verdict int8
+
+// Verdicts attached to corpus records.
+const (
+	VerdictUnknown       Verdict = iota // not yet assessed
+	VerdictCorrect                      // parsed and semantically plausible
+	VerdictSyntaxError                  // rejected by the Learning_Angel
+	VerdictSemanticError                // the paper's "Interrogative Sentence"
+	VerdictQuestion                     // routed to the QA system
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictCorrect:
+		return "correct"
+	case VerdictSyntaxError:
+		return "syntax-error"
+	case VerdictSemanticError:
+		return "semantic-error"
+	case VerdictQuestion:
+		return "question"
+	default:
+		return "unknown"
+	}
+}
+
+// Record is one corpus entry.
+type Record struct {
+	ID      int64     `json:"id"`
+	Time    time.Time `json:"time"`
+	Room    string    `json:"room,omitempty"`
+	User    string    `json:"user,omitempty"`
+	Text    string    `json:"text"`
+	Tokens  []string  `json:"tokens"`
+	Verdict Verdict   `json:"verdict"`
+	// ErrorTokens indexes Tokens the parser had to skip (grammar-error
+	// locations).
+	ErrorTokens []int `json:"errorTokens,omitempty"`
+	// Topics are the ontology terms mentioned.
+	Topics []string `json:"topics,omitempty"`
+	// Tags carries free-form labels ("agreement", "determiner", ...).
+	Tags []string `json:"tags,omitempty"`
+}
+
+// Store is the in-memory learner corpus with an inverted token index.
+type Store struct {
+	mu      sync.RWMutex
+	records []*Record
+	byToken map[string][]int64 // content token -> record IDs
+	byID    map[int64]*Record
+	nextID  int64
+}
+
+// NewStore returns an empty corpus.
+func NewStore() *Store {
+	return &Store{
+		byToken: make(map[string][]int64),
+		byID:    make(map[int64]*Record),
+		nextID:  1,
+	}
+}
+
+// Add records an utterance and returns its assigned ID. The record is
+// copied; the caller keeps ownership of its argument.
+func (s *Store) Add(r Record) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.ID = s.nextID
+	s.nextID++
+	if r.Time.IsZero() {
+		r.Time = time.Now()
+	}
+	rec := r
+	rec.Tokens = append([]string(nil), r.Tokens...)
+	rec.ErrorTokens = append([]int(nil), r.ErrorTokens...)
+	rec.Topics = append([]string(nil), r.Topics...)
+	rec.Tags = append([]string(nil), r.Tags...)
+	s.records = append(s.records, &rec)
+	s.byID[rec.ID] = &rec
+	for _, t := range uniqueContentTokens(rec.Tokens) {
+		s.byToken[t] = append(s.byToken[t], rec.ID)
+	}
+	return rec.ID
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// ByID returns a copy of the record with the given ID.
+func (s *Store) ByID(id int64) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.byID[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *r, true
+}
+
+// All returns copies of every record in insertion order.
+func (s *Store) All() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Record, len(s.records))
+	for i, r := range s.records {
+		out[i] = *r
+	}
+	return out
+}
+
+// CountByVerdict aggregates record counts per verdict.
+func (s *Store) CountByVerdict() map[Verdict]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[Verdict]int)
+	for _, r := range s.records {
+		out[r.Verdict]++
+	}
+	return out
+}
+
+// Suggestion is a corpus sentence offered to a learner.
+type Suggestion struct {
+	Record Record
+	Score  float64
+}
+
+// Suggest returns up to limit correct corpus sentences similar to the
+// given tokens, best first. Similarity is a weighted Jaccard overlap of
+// content tokens with a bonus for shared ontology topics — the
+// "search for the suitable sentences from Learner Corpus" step of the
+// paper's Figure 4.
+func (s *Store) Suggest(tokens []string, topics []string, limit int) []Suggestion {
+	if limit <= 0 {
+		limit = 3
+	}
+	query := uniqueContentTokens(tokens)
+	if len(query) == 0 {
+		return nil
+	}
+	topicSet := make(map[string]bool, len(topics))
+	for _, t := range topics {
+		topicSet[t] = true
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Gather candidates via the inverted index.
+	hits := make(map[int64]int)
+	for _, t := range query {
+		for _, id := range s.byToken[t] {
+			hits[id]++
+		}
+	}
+	var out []Suggestion
+	for id, shared := range hits {
+		r := s.byID[id]
+		if r.Verdict != VerdictCorrect {
+			continue
+		}
+		candTokens := uniqueContentTokens(r.Tokens)
+		union := len(candTokens) + len(query) - shared
+		if union <= 0 {
+			continue
+		}
+		score := float64(shared) / float64(union)
+		for _, topic := range r.Topics {
+			if topicSet[topic] {
+				score += 0.25
+			}
+		}
+		out = append(out, Suggestion{Record: *r, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Record.ID < out[j].Record.ID
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// ByTopic returns copies of records mentioning the given ontology term.
+func (s *Store) ByTopic(topic string) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, r := range s.records {
+		for _, t := range r.Topics {
+			if t == topic {
+				out = append(out, *r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SaveJSONL writes the corpus as JSON lines.
+func (s *Store) SaveJSONL(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range s.records {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("encode corpus record %d: %w", r.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadJSONL reads JSON lines into a fresh store, preserving record IDs.
+func LoadJSONL(r io.Reader) (*Store, error) {
+	s := NewStore()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("corpus line %d: %w", line, err)
+		}
+		s.mu.Lock()
+		stored := rec
+		s.records = append(s.records, &stored)
+		s.byID[stored.ID] = &stored
+		for _, t := range uniqueContentTokens(stored.Tokens) {
+			s.byToken[t] = append(s.byToken[t], stored.ID)
+		}
+		if stored.ID >= s.nextID {
+			s.nextID = stored.ID + 1
+		}
+		s.mu.Unlock()
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read corpus: %w", err)
+	}
+	return s, nil
+}
+
+func uniqueContentTokens(tokens []string) []string {
+	seen := make(map[string]bool, len(tokens))
+	out := make([]string, 0, len(tokens))
+	for _, t := range sentence.ContentTokens(tokens) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

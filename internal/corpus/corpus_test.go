@@ -1,0 +1,173 @@
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"semagent/internal/linkgrammar"
+)
+
+func record(text string, verdict Verdict, topics ...string) Record {
+	return Record{
+		Text:    text,
+		Tokens:  linkgrammar.Tokenize(text),
+		Verdict: verdict,
+		Topics:  topics,
+	}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	s := NewStore()
+	id := s.Add(record("The stack has a push operation.", VerdictCorrect, "stack", "push"))
+	if id != 1 {
+		t.Fatalf("first id = %d, want 1", id)
+	}
+	got, ok := s.ByID(id)
+	if !ok {
+		t.Fatal("record not found by id")
+	}
+	if got.Text != "The stack has a push operation." {
+		t.Errorf("text = %q", got.Text)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if _, ok := s.ByID(999); ok {
+		t.Error("missing id should not be found")
+	}
+}
+
+func TestSuggestPrefersSimilarCorrectSentences(t *testing.T) {
+	s := NewStore()
+	s.Add(record("The stack has a push operation.", VerdictCorrect, "stack", "push"))
+	s.Add(record("A queue is a fifo structure.", VerdictCorrect, "queue", "fifo"))
+	s.Add(record("The stack have a push operation.", VerdictSyntaxError, "stack", "push"))
+	s.Add(record("Trees have many nodes.", VerdictCorrect, "tree", "node"))
+
+	query := linkgrammar.Tokenize("the stack have push operation")
+	got := s.Suggest(query, []string{"stack", "push"}, 2)
+	if len(got) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if !strings.Contains(got[0].Record.Text, "stack has a push") {
+		t.Errorf("top suggestion = %q, want the correct stack/push sentence", got[0].Record.Text)
+	}
+	for _, sg := range got {
+		if sg.Record.Verdict != VerdictCorrect {
+			t.Errorf("suggestion with verdict %s leaked through", sg.Record.Verdict)
+		}
+	}
+}
+
+func TestSuggestEmptyQueryAndLimit(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.Add(record(fmt.Sprintf("The stack has operation number %d.", i), VerdictCorrect, "stack"))
+	}
+	if got := s.Suggest(nil, nil, 3); got != nil {
+		t.Errorf("nil query should give nil suggestions, got %d", len(got))
+	}
+	got := s.Suggest(linkgrammar.Tokenize("stack operation"), nil, 3)
+	if len(got) > 3 {
+		t.Errorf("limit ignored: %d suggestions", len(got))
+	}
+}
+
+func TestCountByVerdict(t *testing.T) {
+	s := NewStore()
+	s.Add(record("a", VerdictCorrect))
+	s.Add(record("b", VerdictCorrect))
+	s.Add(record("c", VerdictSyntaxError))
+	s.Add(record("d", VerdictSemanticError))
+	s.Add(record("e", VerdictQuestion))
+	counts := s.CountByVerdict()
+	if counts[VerdictCorrect] != 2 || counts[VerdictSyntaxError] != 1 ||
+		counts[VerdictSemanticError] != 1 || counts[VerdictQuestion] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestByTopic(t *testing.T) {
+	s := NewStore()
+	s.Add(record("The stack has push.", VerdictCorrect, "stack", "push"))
+	s.Add(record("The queue has enqueue.", VerdictCorrect, "queue", "enqueue"))
+	got := s.ByTopic("stack")
+	if len(got) != 1 || !strings.Contains(got[0].Text, "stack") {
+		t.Errorf("ByTopic(stack) = %v", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Add(record("The stack has a push operation.", VerdictCorrect, "stack", "push"))
+	r := record("Cat the chased mouse.", VerdictSyntaxError)
+	r.ErrorTokens = []int{0, 1}
+	r.Tags = []string{"word-order"}
+	s.Add(r)
+
+	var buf bytes.Buffer
+	if err := s.SaveJSONL(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := LoadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("round trip lost records: %d -> %d", s.Len(), back.Len())
+	}
+	got, ok := back.ByID(2)
+	if !ok {
+		t.Fatal("record 2 missing after round trip")
+	}
+	if len(got.ErrorTokens) != 2 || got.Tags[0] != "word-order" {
+		t.Errorf("record 2 fields lost: %+v", got)
+	}
+	// IDs keep incrementing after a load.
+	id := back.Add(record("new", VerdictCorrect))
+	if id != 3 {
+		t.Errorf("next id after load = %d, want 3", id)
+	}
+}
+
+func TestRecordIsolation(t *testing.T) {
+	s := NewStore()
+	src := record("The stack has push.", VerdictCorrect, "stack")
+	id := s.Add(src)
+	src.Topics[0] = "mutated"
+	got, _ := s.ByID(id)
+	if got.Topics[0] != "stack" {
+		t.Error("store shares slice memory with caller")
+	}
+}
+
+func TestSuggestScoreMonotonicProperty(t *testing.T) {
+	// Property: a stored sentence identical to the query always scores
+	// at least as high as any other suggestion.
+	f := func(words []uint8) bool {
+		if len(words) == 0 {
+			return true
+		}
+		if len(words) > 8 {
+			words = words[:8]
+		}
+		tokens := make([]string, len(words))
+		for i, w := range words {
+			tokens[i] = fmt.Sprintf("word%d", w%16)
+		}
+		s := NewStore()
+		s.Add(Record{Text: strings.Join(tokens, " "), Tokens: tokens, Verdict: VerdictCorrect})
+		s.Add(Record{Text: "unrelated filler sentence", Tokens: []string{"unrelated", "filler", "sentence"}, Verdict: VerdictCorrect})
+		got := s.Suggest(tokens, nil, 2)
+		if len(got) == 0 {
+			return true
+		}
+		return got[0].Record.ID == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"semagent/internal/chat"
+	"semagent/internal/core"
+	"semagent/internal/ontology"
+	"semagent/internal/workload"
+)
+
+// E6Mode selects the supervision arm of experiment E6 (Figure 3 /
+// design decision D5).
+type E6Mode int8
+
+// Supervision arms.
+const (
+	E6Off    E6Mode = iota + 1 // no supervisor attached
+	E6Inline                   // supervisor runs before the broadcast returns
+	E6Async                    // supervisor runs in a sidecar goroutine
+)
+
+// String names the mode.
+func (m E6Mode) String() string {
+	switch m {
+	case E6Off:
+		return "off"
+	case E6Inline:
+		return "inline"
+	case E6Async:
+		return "async"
+	default:
+		return "unknown"
+	}
+}
+
+// E6Config sizes the end-to-end chat experiment.
+type E6Config struct {
+	Rooms          int
+	ClientsPerRoom int
+	MessagesEach   int
+	Mode           E6Mode
+	Seed           int64
+}
+
+// E6Result reports end-to-end throughput and echo latency over TCP
+// loopback.
+type E6Result struct {
+	Config     E6Config
+	Messages   int
+	Elapsed    time.Duration
+	Throughput float64 // messages per second
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	Mean       time.Duration
+}
+
+// RunE6 runs one arm of the chat experiment: real TCP server, scripted
+// clients, latency measured from Say to receiving one's own broadcast.
+func RunE6(cfg E6Config) (*E6Result, error) {
+	if cfg.Rooms <= 0 {
+		cfg.Rooms = 2
+	}
+	if cfg.ClientsPerRoom <= 0 {
+		cfg.ClientsPerRoom = 4
+	}
+	if cfg.MessagesEach <= 0 {
+		cfg.MessagesEach = 10
+	}
+
+	opts := chat.ServerOptions{}
+	if cfg.Mode != E6Off {
+		sup, err := core.New(core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		opts.Supervisor = sup.ChatSupervisor()
+		opts.Async = cfg.Mode == E6Async
+	}
+	server := chat.NewServer(opts)
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer server.Close()
+
+	// Pre-generate each client's sentences.
+	gen := workload.NewGenerator(cfg.Seed, ontology.BuildCourseOntology())
+	type clientScript struct {
+		room, user string
+		lines      []string
+	}
+	var scripts []clientScript
+	for r := 0; r < cfg.Rooms; r++ {
+		for c := 0; c < cfg.ClientsPerRoom; c++ {
+			cs := clientScript{
+				room: fmt.Sprintf("room-%d", r),
+				user: fmt.Sprintf("user-%d-%d", r, c),
+			}
+			for m := 0; m < cfg.MessagesEach; m++ {
+				s := gen.Generate(1, workload.DefaultMix())[0]
+				// Unique prefix so each client recognizes its own echo.
+				cs.lines = append(cs.lines, fmt.Sprintf("%s-%d %s", cs.user, m, s.Text))
+			}
+			scripts = append(scripts, cs)
+		}
+	}
+
+	var (
+		mu  sync.Mutex
+		lat Latencies
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	errCh := make(chan error, len(scripts))
+	for _, cs := range scripts {
+		wg.Add(1)
+		go func(cs clientScript) {
+			defer wg.Done()
+			cl, err := chat.Dial(addr.String(), cs.room, cs.user, 5*time.Second)
+			if err != nil {
+				errCh <- fmt.Errorf("%s dial: %w", cs.user, err)
+				return
+			}
+			defer cl.Close()
+			for _, line := range cs.lines {
+				sent := time.Now()
+				if err := cl.Say(line); err != nil {
+					errCh <- fmt.Errorf("%s say: %w", cs.user, err)
+					return
+				}
+				// Wait for own echo.
+				deadline := time.After(10 * time.Second)
+				for {
+					var m chat.Message
+					var ok bool
+					select {
+					case m, ok = <-cl.Receive():
+						if !ok {
+							errCh <- fmt.Errorf("%s: connection closed mid-run", cs.user)
+							return
+						}
+					case <-deadline:
+						errCh <- fmt.Errorf("%s: echo timeout", cs.user)
+						return
+					}
+					if m.Type == chat.TypeChat && m.From == cs.user && m.Text == line {
+						mu.Lock()
+						lat.Record(time.Since(sent))
+						mu.Unlock()
+						break
+					}
+				}
+			}
+		}(cs)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	total := len(scripts) * cfg.MessagesEach
+	res := &E6Result{
+		Config:   cfg,
+		Messages: total,
+		Elapsed:  elapsed,
+		P50:      lat.Quantile(0.50),
+		P95:      lat.Quantile(0.95),
+		P99:      lat.Quantile(0.99),
+		Mean:     lat.Mean(),
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(total) / elapsed.Seconds()
+	}
+	return res, nil
+}

@@ -1,0 +1,174 @@
+package linkgrammar
+
+import "testing"
+
+// TestGrammarCoverage is the dictionary's acceptance suite: a broad
+// table of classroom-chat sentences that must parse cleanly, and of
+// clearly broken ones that must not. It documents (and pins) the
+// grammar's coverage envelope.
+func TestGrammarCoverage(t *testing.T) {
+	p := newTestParser(t)
+
+	good := []string{
+		// Declaratives around the course domain.
+		"The stack has a push operation.",
+		"A queue is a fifo structure.",
+		"The binary tree has a root node.",
+		"A heap is a complete binary tree.",
+		"The hash table stores the values in buckets.",
+		"The algorithm sorts the elements in the array.",
+		"Pointers connect the nodes in the list.",
+		"The root is the first node of the tree.",
+		"An array is a linear structure.",
+		"The complexity of the search is logarithmic.",
+		"The teacher explains the insertion.",
+		"Students implement the algorithm.",
+		"This structure supports the insert operation.",
+		"The data is stored in the heap.",
+		"The data is pushed in this heap.",
+		"The list contains many elements.",
+		"Every node has a pointer.",
+		"These stacks are empty.",
+		"The last element is at the top.",
+
+		// Negation.
+		"The tree doesn't have a pop method.",
+		"The queue is not a lifo structure.",
+		"I don't understand the lesson.",
+		"The array cannot grow.",
+		"You shouldn't delete the root.",
+		"The list isn't empty.",
+		"We never use this method.",
+
+		// Questions.
+		"What is a stack?",
+		"What is the difference?",
+		"Which structure has the method push?",
+		"Who knows the answer?",
+		"Does a stack have a pop method?",
+		"Is the tree balanced?",
+		"Are these stacks empty?",
+		"Can I insert a value into the tree?",
+		"How does a queue work?",
+		"Why is the heap a complete tree?",
+		"Did you understand the lesson?",
+		"Do the students like the course?",
+
+		// Imperatives.
+		"Push the data into the stack.",
+		"Insert the value into the tree.",
+		"Delete the node from the list.",
+		"Sort the elements in the array.",
+		"Please explain the algorithm.",
+		"Check the front of the queue.",
+		"Don't remove the root.",
+
+		// Pronouns, modals, infinitives.
+		"I push the data into the stack.",
+		"You can traverse the tree.",
+		"We should balance the tree.",
+		"It is very useful.",
+		"They discuss the homework.",
+		"I want to learn the algorithm.",
+		"She needs to review the chapter.",
+		"He understands the concept.",
+
+		// Copula varieties.
+		"The stack is empty.",
+		"The answer is correct.",
+		"The tree is in the memory.",
+		"The elements are sorted.",
+		"That is a good question.",
+		"It's a binary tree.",
+
+		// Progressives.
+		"The student is reading the chapter.",
+		"We are discussing the homework.",
+		"The car is drinking water.",
+
+		// Greetings and chit-chat.
+		"Hello everyone, I am ready.",
+		"Yes, the stack has a push operation.",
+		"Thanks, I understand the lesson now.",
+		"Sorry, I don't know the answer.",
+
+		// General English.
+		"The cat chased a mouse.",
+		"The students read many books.",
+		"My friend likes the course.",
+		"The program runs quickly.",
+		"The teacher gave an example.",
+	}
+	for _, s := range good {
+		res, err := p.Parse(s)
+		if err != nil {
+			t.Errorf("%q: %v", s, err)
+			continue
+		}
+		if !res.Valid() {
+			t.Errorf("%q: expected clean parse, got nulls=%d linkages=%d unknown=%v",
+				s, res.NullCount, len(res.Linkages), res.UnknownWords)
+		}
+	}
+
+	bad := []string{
+		// Agreement.
+		"The stack have a push operation.",
+		"The stacks has a push operation.",
+		"I pushes the data.",
+		"The students reads the book.",
+		"He understand the concept.",
+		"The trees is balanced.",
+		// Word order / duplication.
+		"Cat the chased a mouse.",
+		"The the stack has a push operation.",
+		"Stack the has a operation push the.",
+		"Chased the cat a mouse.",
+		"Have the stack does a pop method.",
+		// Fragments that cannot link.
+		"The into stack the.",
+		"Is the the.",
+		"A an the.",
+	}
+	for _, s := range bad {
+		res, err := p.Parse(s)
+		if err != nil {
+			continue // rejected outright is fine
+		}
+		if res.Valid() {
+			t.Errorf("%q: expected a grammar error, but parsed cleanly:\n%s", s, res.Best())
+		}
+	}
+}
+
+// TestGrammarCoverageExtension pins the second vocabulary round:
+// discourse openers, perception copulas and classroom nouns.
+func TestGrammarCoverageExtension(t *testing.T) {
+	p := newTestParser(t)
+	good := []string{
+		"But the stack is empty.",
+		"Maybe the algorithm is wrong.",
+		"So the tree is balanced.",
+		"That seems correct.",
+		"This looks confusing.",
+		"The quiz has ten questions.",
+		"The deadline of the project is in a week.",
+		"I believe the answer is correct.",
+		"I think that the tree is balanced.",
+		"She knows the algorithm works.",
+		"The teacher shows a slide.",
+		"We solve the problem together.",
+		"The difference is very clear.",
+	}
+	for _, s := range good {
+		res, err := p.Parse(s)
+		if err != nil {
+			t.Errorf("%q: %v", s, err)
+			continue
+		}
+		if !res.Valid() {
+			t.Errorf("%q: expected clean parse, got nulls=%d unknown=%v",
+				s, res.NullCount, res.UnknownWords)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package linkgrammar
+
+// BaseDictionary returns the source text of the built-in dictionary: a
+// compact English grammar in the CMU connector style covering classroom
+// chat in the paper's "Data Structure" course domain.
+//
+// Connector types:
+//
+//	W  — LEFT-WALL anchor (Wd declarative subject, Wq question, Wi imperative)
+//	D  — determiner to noun (Ds singular, Dp plural)
+//	A  — (pre-)modifier to noun; AP appositive name after "method"/"operation"
+//	S  — subject to finite verb (Ss singular, Sp plural/base)
+//	SI — inverted subject in questions
+//	O  — verb to object
+//	Pa — copula to predicate adjective / participle
+//	Pp — copula to predicate prepositional phrase
+//	I  — modal/auxiliary/"to" to bare verb
+//	N  — auxiliary to "not"
+//	M  — noun-attached preposition; MV — verb-attached preposition/adverb
+//	J  — preposition to its object
+//	Q  — wh-adverb to inverted auxiliary
+//	EA — intensifier to adjective
+//	TO — verb to "to"-infinitive
+func BaseDictionary() string { return baseDictionary }
+
+const baseDictionary = `
+% ---------------------------------------------------------------- macros
+% A noun hosts prepositional modifiers via @M+; in subject position the
+% modifier attaches nearer than the verb, so @M+ precedes S+.
+% A subject links to the wall (Wd) in a plain declarative, or to a
+% leading interjection/greeting via CL ("hello everyone, i am ready").
+<subj>: {Wd- or CL-};
+<noun-roles>:   (<subj> & {@M+} & Ss+) or ((SIs- or O- or J-) & {@M+});
+<noun-roles-p>: (<subj> & {@M+} & Sp+) or ((SIp- or O- or J-) & {@M+});
+<n-s>: {@A-} & Ds- & <noun-roles>;
+<n-p>: {@A-} & {Dp-} & <noun-roles-p>;
+<n-m>: {@A-} & {D-} & <noun-roles>;
+<n-d>: {@A-} & (Ds- or [()]) & (<noun-roles> or AP-);
+<adj>: {EA-} & (A+ or (Pa- & {@MV+}));
+<pp-adj>: Pa- & {@MV+};
+% {E-} hosts a pre-verb adverb; it is nearer than the subject, so it
+% precedes the S-/I-/Wi- connector in traversal order.
+<vt>:  {E-} & (Sp- or I- or Wi-) & O+ & {@MV+};
+<vts>: {E-} & Ss- & O+ & {@MV+};
+<vtd>: ({E-} & S- & O+ & {@MV+}) or (Pa- & {@MV+});
+<vi>:  {E-} & (Sp- or I- or Wi-) & {@MV+};
+<vis>: {E-} & Ss- & {@MV+};
+<vid>: {E-} & S- & {@MV+};
+<vo>:  {E-} & (Sp- or I- or Wi-) & {O+} & {@MV+};
+<vos>: {E-} & Ss- & {O+} & {@MV+};
+<vod>: ({E-} & S- & {O+} & {@MV+}) or (Pa- & {@MV+});
+<prep>: (M- or MV- or Pp-) & J+;
+<be-pred>: (O+ or Pa+ or Pp+ or Pg+) & {@MV+};
+<ving>: Pg- & {O+} & {@MV+};
+<unknown-word>: {@A-} & {D-} & ((<subj> & {@M+} & S+) or ((SI- or O- or J-) & {@M+}) or A+ or AP-);
+<number>: A+ or Dp+ or ((O- or J-) & {@M+}) or (<subj> & {@M+} & S+);
+<domain-term>: {@A-} & (Ds- or [()]) & (<noun-roles> or AP-) or [A+];
+
+% ---------------------------------------------------------------- wall
+left-wall: Wd+ or Wq+ or Wi+;
+
+% ---------------------------------------------------------------- determiners
+the: D+;
+a an: Ds+;
+every each another one: Ds+;
+some all many most few several two three four five ten: Dp+;
+no: D+;
+my your our their its his: D+;
+this that: Ds+ or (<subj> & Ss+) or O- or J-;
+these those: Dp+ or (<subj> & Sp+) or O- or J-;
+
+% ---------------------------------------------------------------- pronouns
+i you we they: (<subj> & Sp+) or SIp- or O- or J-;
+he she it: (<subj> & Ss+) or SIs- or O- or J-;
+me him us them: O- or J-;
+her: O- or J- or D+;
+there: <subj> & (Ss+ or Sp+);
+everyone someone anybody everything something nothing: (<subj> & Ss+) or O- or J- or VO-;
+
+% ---------------------------------------------------------------- be / have / do
+is was: (Ss- & {N+} & <be-pred>) or ((Wq- or Q-) & SIs+ & <be-pred>);
+are were: (Sp- & {N+} & <be-pred>) or ((Wq- or Q-) & SIp+ & <be-pred>);
+am: Sp- & {N+} & <be-pred>;
+be: I- & <be-pred>;
+isn't wasn't: Ss- & <be-pred>;
+aren't weren't: Sp- & <be-pred>;
+it's that's: {Wd-} & <be-pred>;
+what's: Wq- & <be-pred>;
+have: (Sp- or I-) & O+ & {@MV+};
+has: Ss- & O+ & {@MV+};
+had: S- & O+ & {@MV+};
+do: ((Wq- or Q-) & SIp+ & {N+} & I+) or (Sp- & N+ & I+);
+does: ((Wq- or Q-) & SIs+ & {N+} & I+) or (Ss- & N+ & I+);
+did: ((Wq- or Q-) & SI+ & {N+} & I+) or (S- & N+ & I+);
+don't: (Sp- & I+) or (Wi- & I+);
+doesn't: Ss- & I+;
+didn't: S- & I+;
+not: N-;
+never: N- or E+ or MV-;
+
+% ---------------------------------------------------------------- modals
+can could will would should must may might shall: (S- & {N+} & I+) or (Wq- & SI+ & {N+} & I+);
+can't cannot won't wouldn't shouldn't couldn't mustn't: S- & I+;
+
+% ---------------------------------------------------------------- wh-words
+what: Wq- & (Ss+ or D+);
+which: Wq- & D+;
+who: Wq- & Ss+;
+how why where when: Wq- & Q+;
+
+% ---------------------------------------------------------------- prepositions
+in on at of from with by for under over after before between during without inside near about like onto upon: <prep>;
+into: <prep>;
+to: <prep> or (TO- & I+);
+
+% ---------------------------------------------------------------- interjections
+% Interjections anchor to the wall; they may take a vocative
+% ("hello everyone") and hand the rest of the line to a clause.
+yes ok okay thanks hello hi sorry right exactly: Wd- & {VO+} & {CL+};
+class guys folks all: VO- or D+;
+% Discourse openers: "but the stack is empty", "maybe it works".
+but so because then maybe perhaps anyway actually well-disc: Wd- & {CL+};
+
+please: (Wi- & I+) or MV-;
+
+% ---------------------------------------------------------------- adjectives
+big small empty full new old good bad correct wrong efficient fast slow easy hard simple complex useful important last first second final linear binary balanced unbalanced sorted unsorted linked dynamic static complete ordered abstract recursive constant logarithmic basic main different same similar other wonderful difficult ready busy free fine sure happy interesting boring clear confusing tricky strange normal special common rare typical modern classic nice great terrible amazing possible impossible: <adj>;
+lifo fifo: <adj> or <n-d>;
+very quite really so too: EA+;
+
+% participial adjectives (passives)
+stored called defined implemented restricted allowed connected located based written performed organized: <pp-adj>;
+
+% progressive participles ("the car is drinking water", §4.1)
+drinking eating pushing popping inserting deleting removing adding storing using learning studying working running sorting searching traversing reading writing talking discussing asking answering playing waiting thinking: <ving>;
+
+% ---------------------------------------------------------------- adverbs
+quickly slowly carefully efficiently correctly again here then now together well: MV-;
+always usually often sometimes also just only still: E+ or MV-;
+
+% ---------------------------------------------------------------- nouns: domain (relaxed determiner)
+stack queue tree heap array graph deque trie: <domain-term>;
+node element pointer structure method operation function algorithm value key index table vertex edge root leaf child parent top bottom front rear head tail level depth height length weight cost path cycle degree subtree branch bucket slot cell entry record field link chain order traversal recursion iteration insertion deletion rotation partition merge complexity implementation definition description relation property symbol example buffer overflow underflow: <domain-term>;
+push pop enqueue dequeue peek insert delete search sort traverse: [[<domain-term>]];
+hash priority search binary-search: <domain-term> or A+;
+data: <n-m> or A+;
+% "the method push", "the push operation": method-class nouns take an
+% appositive name on their right.
+method operation function: {@A-} & (Ds- or [()]) & (<noun-roles> or AP-) & {AP+};
+% Minimal noun-phrase coordination: "the relations of stack and queue".
+and: (M- & J+) or MV-;
+
+% ---------------------------------------------------------------- nouns: domain plurals
+stacks queues trees heaps arrays graphs nodes elements pointers structures methods operations functions algorithms values keys indexes indices tables vertices edges roots leaves children parents levels paths cycles subtrees branches buckets slots cells entries records fields links chains orders traversals insertions deletions rotations partitions merges implementations definitions descriptions relations properties symbols examples buffers: <n-p>;
+
+% ---------------------------------------------------------------- nouns: general singular (strict determiner)
+cat dog mouse book car program computer class course question answer teacher student classroom lesson chapter topic test exam homework item set loop variable way thing time size type reason word sentence meaning language grammar mistake error line number hour day week month year minute school university house room door window friend person man woman boy girl idea plan job work game story name list quiz project deadline grade score note slide page board difference: <n-s>;
+
+% ---------------------------------------------------------------- nouns: general plurals
+cats dogs mice books cars programs computers classes courses questions answers teachers students classrooms lessons chapters topics tests exams items sets loops variables ways things times sizes types reasons words sentences meanings languages grammars mistakes errors lines numbers hours days weeks months years minutes schools universities houses rooms doors windows friends people men women boys girls ideas plans jobs games stories names lists quizzes projects deadlines grades scores notes slides pages boards differences: <n-p>;
+
+% ---------------------------------------------------------------- nouns: mass
+memory information water knowledge code space english math science music food: <n-m>;
+
+% ---------------------------------------------------------------- verbs: strict transitive
+push pop insert delete remove add store contain support hold implement create build define return call allocate free enqueue dequeue access modify update print check ask teach take put make visit chase drink eat restrict connect locate organize perform: <vt>;
+pushes pops inserts deletes removes adds stores contains supports holds implements creates builds defines returns calls allocates frees enqueues dequeues accesses modifies updates prints checks asks teaches takes puts makes visits chases drinks eats restricts connects locates organizes performs: <vts>;
+pushed popped inserted deleted removed added contained supported held created built returned allocated freed enqueued dequeued accessed modified updated printed checked asked taught took put made visited chased drank ate: <vtd>;
+
+% ---------------------------------------------------------------- verbs: optional object
+use need want like know understand explain learn study read write search sort traverse balance compare answer discuss mean see find get help say tell show give start stop begin finish remember forget practice review believe feel guess suppose prefer solve draw test count measure copy share skip repeat: <vo>;
+uses needs wants likes knows understands explains learns studies reads writes searches sorts traverses balances compares answers discusses means sees finds gets helps says tells shows gives starts stops begins finishes remembers forgets practices reviews believes feels guesses supposes prefers solves draws tests counts measures copies shares skips repeats: <vos>;
+used needed wanted liked knew understood explained learned studied wrote sorted traversed balanced compared answered discussed meant saw found got helped said told showed gave started stopped began finished remembered forgot practiced reviewed: <vod>;
+
+% copular perception verbs: "that seems correct"
+seem look sound: Sp- & Pa+ & {@MV+};
+seems looks sounds: Ss- & Pa+ & {@MV+};
+seemed looked sounded: S- & Pa+ & {@MV+};
+
+% clause complements: "i believe the answer is correct", "i think that
+% the tree is balanced" — CL links the verb to the complement clause's
+% subject (directly or through the complementizer "that").
+believe know say guess suppose feel mean remember forget understand explain think hope agree: (Sp- or I-) & {E-} & CL+;
+believes knows says guesses supposes feels means remembers forgets understands explains thinks hopes agrees: Ss- & {E-} & CL+;
+believed knew said guessed supposed felt meant remembered forgot understood explained thought hoped agreed: S- & {E-} & CL+;
+that: CL- & CL+;
+
+% want/need/like/try + to-infinitive
+want need like try plan hope: (Sp- or I- or Wi-) & TO+ & {@MV+};
+wants needs likes tries plans hopes: Ss- & TO+ & {@MV+};
+wanted tried planned hoped: S- & TO+ & {@MV+};
+
+% ---------------------------------------------------------------- verbs: intransitive
+work run grow happen fail crash wait talk listen think agree disagree come go live sleep play: <vi>;
+works runs grows happens fails crashes waits talks listens thinks agrees disagrees comes goes lives sleeps plays: <vis>;
+worked ran grew happened failed crashed waited talked listened thought agreed disagreed came went lived slept played: <vid>;
+`

@@ -1,0 +1,272 @@
+package linkgrammar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// exprKind enumerates the node kinds of a parsed linking-requirement
+// formula.
+type exprKind int8
+
+const (
+	exprConn  exprKind = iota + 1 // a single connector
+	exprAnd                       // ordered conjunction: every operand must be satisfied
+	exprOr                        // disjunction: exactly one operand is satisfied
+	exprEmpty                     // the empty formula "()", always satisfied
+	exprRef                       // reference to a named macro "<name>"
+)
+
+// Expr is a node of a linking-requirement formula, e.g. "{@A-} & D- & S+".
+type Expr struct {
+	kind exprKind
+	conn Connector // exprConn
+	subs []*Expr   // exprAnd / exprOr operands
+	ref  string    // exprRef macro name
+	cost int       // extra cost from enclosing [] brackets
+}
+
+// String renders the expression in dictionary notation.
+func (e *Expr) String() string {
+	var s string
+	switch e.kind {
+	case exprConn:
+		s = e.conn.String()
+	case exprEmpty:
+		s = "()"
+	case exprRef:
+		s = "<" + e.ref + ">"
+	case exprAnd, exprOr:
+		op := " & "
+		if e.kind == exprOr {
+			op = " or "
+		}
+		parts := make([]string, len(e.subs))
+		for i, sub := range e.subs {
+			parts[i] = sub.String()
+		}
+		s = "(" + strings.Join(parts, op) + ")"
+	}
+	for i := 0; i < e.cost; i++ {
+		s = "[" + s + "]"
+	}
+	return s
+}
+
+// formulaParser is a recursive-descent parser for dictionary formulas.
+//
+// Grammar:
+//
+//	expr    := andExpr ( "or" andExpr )*
+//	andExpr := unary ( "&" unary )*
+//	unary   := CONNECTOR | "<name>" | "(" expr? ")" | "{" expr "}" | "[" expr "]"
+//	CONNECTOR := "@"? [A-Z]+ [a-z*]* ("+"|"-")
+type formulaParser struct {
+	toks []string
+	pos  int
+}
+
+// ParseFormula parses a linking-requirement formula into an expression
+// tree. Macro references ("<name>") are left unresolved; Dictionary
+// resolves them at disjunct-building time.
+func ParseFormula(src string) (*Expr, error) {
+	toks, err := lexFormula(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &formulaParser{toks: toks}
+	if len(toks) == 0 {
+		return &Expr{kind: exprEmpty}, nil
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("formula %q: unexpected token %q", src, p.toks[p.pos])
+	}
+	return e, nil
+}
+
+// lexFormula splits a formula into tokens: connectors, macro references,
+// brackets and operators.
+func lexFormula(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			i++
+		case ch == '(' || ch == ')' || ch == '{' || ch == '}' || ch == '[' || ch == ']' || ch == '&':
+			toks = append(toks, string(ch))
+			i++
+		case ch == '<':
+			j := strings.IndexByte(src[i:], '>')
+			if j < 0 {
+				return nil, fmt.Errorf("formula %q: unterminated macro reference", src)
+			}
+			toks = append(toks, src[i:i+j+1])
+			i += j + 1
+		case ch == 'o' && strings.HasPrefix(src[i:], "or") &&
+			(i+2 >= len(src) || !isConnChar(src[i+2])):
+			toks = append(toks, "or")
+			i += 2
+		case ch == '@' || (ch >= 'A' && ch <= 'Z'):
+			j := i
+			if src[j] == '@' {
+				j++
+			}
+			for j < len(src) && src[j] >= 'A' && src[j] <= 'Z' {
+				j++
+			}
+			for j < len(src) && (src[j] == '*' || (src[j] >= 'a' && src[j] <= 'z')) {
+				j++
+			}
+			if j >= len(src) || (src[j] != '+' && src[j] != '-') {
+				return nil, fmt.Errorf("formula %q: connector at offset %d lacks +/- direction", src, i)
+			}
+			toks = append(toks, src[i:j+1])
+			i = j + 1
+		default:
+			return nil, fmt.Errorf("formula %q: unexpected character %q", src, ch)
+		}
+	}
+	return toks, nil
+}
+
+func isConnChar(b byte) bool {
+	return b == '@' || b == '*' || (b >= 'A' && b <= 'Z') || (b >= 'a' && b <= 'z')
+}
+
+func (p *formulaParser) parseOr() (*Expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for p.pos < len(p.toks) && p.toks[p.pos] == "or" {
+		p.pos++
+		next, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return first, nil
+	}
+	return &Expr{kind: exprOr, subs: subs}, nil
+}
+
+func (p *formulaParser) parseAnd() (*Expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for p.pos < len(p.toks) && p.toks[p.pos] == "&" {
+		p.pos++
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return first, nil
+	}
+	return &Expr{kind: exprAnd, subs: subs}, nil
+}
+
+func (p *formulaParser) parseUnary() (*Expr, error) {
+	if p.pos >= len(p.toks) {
+		return nil, fmt.Errorf("unexpected end of formula")
+	}
+	tok := p.toks[p.pos]
+	switch tok {
+	case "(":
+		p.pos++
+		if p.pos < len(p.toks) && p.toks[p.pos] == ")" {
+			p.pos++
+			return &Expr{kind: exprEmpty}, nil
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case "{":
+		// {X} is sugar for (X or ()).
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return &Expr{kind: exprOr, subs: []*Expr{e, {kind: exprEmpty}}}, nil
+	case "[":
+		// [X] keeps X but adds one unit of cost to every disjunct it
+		// contributes to, used to rank linkages.
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		e.cost++
+		return e, nil
+	}
+	p.pos++
+	if strings.HasPrefix(tok, "<") {
+		return &Expr{kind: exprRef, ref: tok[1 : len(tok)-1]}, nil
+	}
+	conn, err := parseConnectorToken(tok)
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{kind: exprConn, conn: conn}, nil
+}
+
+func (p *formulaParser) expect(tok string) error {
+	if p.pos >= len(p.toks) || p.toks[p.pos] != tok {
+		got := "end of formula"
+		if p.pos < len(p.toks) {
+			got = fmt.Sprintf("%q", p.toks[p.pos])
+		}
+		return fmt.Errorf("expected %q, got %s", tok, got)
+	}
+	p.pos++
+	return nil
+}
+
+func parseConnectorToken(tok string) (Connector, error) {
+	c := Connector{}
+	if strings.HasPrefix(tok, "@") {
+		c.Multi = true
+		tok = tok[1:]
+	}
+	if len(tok) < 2 {
+		return c, fmt.Errorf("connector token %q too short", tok)
+	}
+	switch tok[len(tok)-1] {
+	case '+':
+		c.Dir = DirRight
+	case '-':
+		c.Dir = DirLeft
+	default:
+		return c, fmt.Errorf("connector token %q lacks direction", tok)
+	}
+	c.Name = tok[:len(tok)-1]
+	if upperLen(c.Name) == 0 {
+		return c, fmt.Errorf("connector token %q lacks an upper-case type", tok)
+	}
+	return c, nil
+}

@@ -1,0 +1,277 @@
+package linkgrammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Link is one established connection between two words of a linkage.
+// Word indices are wall-included: index 0 is LEFT-WALL, index i>=1 is the
+// (i-1)-th sentence token.
+type Link struct {
+	Left  int
+	Right int
+	Label string
+	LConn Connector
+	RConn Connector
+}
+
+// Linkage is a complete assignment of links to a sentence that satisfies
+// every word's linking requirements and the four meta-rules.
+type Linkage struct {
+	// Words holds LEFT-WALL followed by the sentence tokens.
+	Words []string
+	// Links are sorted by (Left, Right).
+	Links []Link
+	// NullWords are wall-included indices of words skipped by the
+	// fault-tolerant parser; empty for a fully grammatical sentence.
+	NullWords []int
+	// Cost is the summed disjunct cost; lower is a more natural parse.
+	Cost int
+}
+
+// TokenIndex converts a wall-included word index to a token index.
+func (lk *Linkage) TokenIndex(wordIndex int) int { return wordIndex - 1 }
+
+// NullTokens returns the skipped words as token indices.
+func (lk *Linkage) NullTokens() []int {
+	out := make([]int, len(lk.NullWords))
+	for i, w := range lk.NullWords {
+		out[i] = w - 1
+	}
+	return out
+}
+
+// HasLinkBetween reports whether some link joins words a and b.
+func (lk *Linkage) HasLinkBetween(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	for _, l := range lk.Links {
+		if l.Left == a && l.Right == b {
+			return true
+		}
+	}
+	return false
+}
+
+// LinksFrom returns all links that touch the given word.
+func (lk *Linkage) LinksFrom(word int) []Link {
+	var out []Link
+	for _, l := range lk.Links {
+		if l.Left == word || l.Right == word {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// HasLabel reports whether any link's label starts with prefix, e.g.
+// HasLabel("Wq") detects a question linkage.
+func (lk *Linkage) HasLabel(prefix string) bool {
+	for _, l := range lk.Links {
+		if strings.HasPrefix(l.Label, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// violatesExclusion reports whether two links join the same word pair.
+// Links must already be sorted by (Left, Right).
+func (lk *Linkage) violatesExclusion() bool {
+	for i := 1; i < len(lk.Links); i++ {
+		if lk.Links[i].Left == lk.Links[i-1].Left && lk.Links[i].Right == lk.Links[i-1].Right {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the four link grammar meta-rules: planarity,
+// connectivity (null words exempt), ordering (implied by construction
+// but re-checked structurally: links from a word never cross each other)
+// and exclusion. It returns nil when the linkage is well formed.
+func (lk *Linkage) Validate() error {
+	n := len(lk.Words)
+	isNull := make(map[int]bool, len(lk.NullWords))
+	for _, w := range lk.NullWords {
+		isNull[w] = true
+	}
+	for _, l := range lk.Links {
+		if l.Left < 0 || l.Right >= n || l.Left >= l.Right {
+			return fmt.Errorf("link %s(%d,%d): out of range or inverted", l.Label, l.Left, l.Right)
+		}
+		if isNull[l.Left] || isNull[l.Right] {
+			return fmt.Errorf("link %s(%d,%d) touches a null word", l.Label, l.Left, l.Right)
+		}
+	}
+
+	// Exclusion.
+	seen := make(map[[2]int]bool, len(lk.Links))
+	for _, l := range lk.Links {
+		key := [2]int{l.Left, l.Right}
+		if seen[key] {
+			return fmt.Errorf("exclusion violated: two links join words %d and %d", l.Left, l.Right)
+		}
+		seen[key] = true
+	}
+
+	// Planarity: for links (a,b) and (c,d) with a<c, crossing means
+	// a < c < b < d.
+	sorted := make([]Link, len(lk.Links))
+	copy(sorted, lk.Links)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Left != sorted[j].Left {
+			return sorted[i].Left < sorted[j].Left
+		}
+		return sorted[i].Right < sorted[j].Right
+	})
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			a, b := sorted[i].Left, sorted[i].Right
+			c, d := sorted[j].Left, sorted[j].Right
+			if a < c && c < b && b < d {
+				return fmt.Errorf("planarity violated: links (%d,%d) and (%d,%d) cross", a, b, c, d)
+			}
+		}
+	}
+
+	// Connectivity over non-null words.
+	adj := make(map[int][]int, n)
+	for _, l := range lk.Links {
+		adj[l.Left] = append(adj[l.Left], l.Right)
+		adj[l.Right] = append(adj[l.Right], l.Left)
+	}
+	start := -1
+	want := 0
+	for w := 0; w < n; w++ {
+		if !isNull[w] {
+			want++
+			if start < 0 {
+				start = w
+			}
+		}
+	}
+	if start < 0 {
+		return nil // degenerate: everything skipped
+	}
+	visited := make(map[int]bool, want)
+	stack := []int{start}
+	visited[start] = true
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[w] {
+			if !visited[u] {
+				visited[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	if len(visited) != want {
+		return fmt.Errorf("connectivity violated: %d of %d non-null words reachable", len(visited), want)
+	}
+	return nil
+}
+
+// String renders the linkage as an ASCII diagram in the style of the CMU
+// parser, links drawn as brackets above the sentence:
+//
+//	+------Wd-----+
+//	|    +-D-+-S--+--O-+-D-+
+//	LEFT-WALL the cat chased a mouse
+func (lk *Linkage) String() string {
+	if len(lk.Words) == 0 {
+		return "(empty linkage)"
+	}
+	// Column start of each word in the sentence line.
+	starts := make([]int, len(lk.Words))
+	var sentence strings.Builder
+	for i, w := range lk.Words {
+		if i > 0 {
+			sentence.WriteByte(' ')
+		}
+		starts[i] = sentence.Len()
+		sentence.WriteString(w)
+	}
+	centers := make([]int, len(lk.Words))
+	for i, w := range lk.Words {
+		centers[i] = starts[i] + len(w)/2
+	}
+
+	// Assign each link a height: short links low, enclosing links higher.
+	links := make([]Link, len(lk.Links))
+	copy(links, lk.Links)
+	sort.Slice(links, func(i, j int) bool {
+		si, sj := links[i].Right-links[i].Left, links[j].Right-links[j].Left
+		if si != sj {
+			return si < sj
+		}
+		return links[i].Left < links[j].Left
+	})
+	heights := make([]int, len(links))
+	for i := range links {
+		h := 1
+		for j := 0; j < i; j++ {
+			if links[j].Left >= links[i].Left && links[j].Right <= links[i].Right && heights[j] >= h {
+				h = heights[j] + 1
+			}
+		}
+		heights[i] = h
+	}
+	maxH := 0
+	for _, h := range heights {
+		if h > maxH {
+			maxH = h
+		}
+	}
+
+	width := sentence.Len()
+	rows := make([][]byte, maxH)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	for i, l := range links {
+		row := rows[maxH-heights[i]]
+		lc, rc := centers[l.Left], centers[l.Right]
+		row[lc] = '+'
+		row[rc] = '+'
+		for c := lc + 1; c < rc; c++ {
+			if row[c] == ' ' {
+				row[c] = '-'
+			}
+		}
+		label := l.Label
+		mid := (lc + rc - len(label)) / 2
+		if mid <= lc {
+			mid = lc + 1
+		}
+		for k := 0; k < len(label) && mid+k < rc; k++ {
+			row[mid+k] = label[k]
+		}
+		// Draw verticals down to the words.
+		for h := maxH - heights[i] + 1; h < maxH; h++ {
+			for _, c := range []int{lc, rc} {
+				if rows[h][c] == ' ' || rows[h][c] == '-' {
+					rows[h][c] = '|'
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		b.Write(r)
+		b.WriteByte('\n')
+	}
+	b.WriteString(sentence.String())
+	if len(lk.NullWords) > 0 {
+		b.WriteString("\n[null words:")
+		for _, w := range lk.NullWords {
+			fmt.Fprintf(&b, " %s", lk.Words[w])
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}

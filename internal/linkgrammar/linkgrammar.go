@@ -1,0 +1,26 @@
+package linkgrammar
+
+import "fmt"
+
+// NewEnglishDictionary loads the built-in course-domain English
+// dictionary with the unknown-word fallback enabled.
+func NewEnglishDictionary() (*Dictionary, error) {
+	d := NewDictionary()
+	if err := d.LoadString(BaseDictionary()); err != nil {
+		return nil, fmt.Errorf("base dictionary: %w", err)
+	}
+	if err := d.SetUnknownWordMacro("unknown-word"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// NewEnglishParser is the one-call constructor used throughout the
+// system: the built-in dictionary with default fault-tolerance options.
+func NewEnglishParser() (*Parser, error) {
+	d, err := NewEnglishDictionary()
+	if err != nil {
+		return nil, err
+	}
+	return NewParser(d, DefaultOptions()), nil
+}

@@ -1,0 +1,495 @@
+package linkgrammar
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options configures a Parser.
+type Options struct {
+	// MaxNulls is the largest number of words the fault-tolerant parser
+	// may skip ("null words") before giving up. 0 selects the default
+	// budget; a negative value reproduces stock link grammar behaviour
+	// (no skipping at all).
+	MaxNulls int
+	// MaxLinkages caps the number of alternative linkages returned.
+	MaxLinkages int
+	// MaxTokens rejects absurdly long inputs before the O(n³) parse.
+	MaxTokens int
+	// DisablePruning turns off the pre-parse disjunct pruning pass
+	// (kept only for the pruning ablation benchmark).
+	DisablePruning bool
+}
+
+// DefaultOptions returns the options used by the e-learning supervisor:
+// tolerate up to two broken words and keep the eight cheapest linkages.
+func DefaultOptions() Options {
+	return Options{MaxNulls: 2, MaxLinkages: 8, MaxTokens: 40}
+}
+
+// Parser parses sentences against a dictionary.
+type Parser struct {
+	dict *Dictionary
+	opts Options
+}
+
+// NewParser returns a parser over dict with the given options. Zero
+// option fields fall back to DefaultOptions values.
+func NewParser(dict *Dictionary, opts Options) *Parser {
+	def := DefaultOptions()
+	if opts.MaxLinkages <= 0 {
+		opts.MaxLinkages = def.MaxLinkages
+	}
+	if opts.MaxTokens <= 0 {
+		opts.MaxTokens = def.MaxTokens
+	}
+	switch {
+	case opts.MaxNulls == 0:
+		opts.MaxNulls = def.MaxNulls
+	case opts.MaxNulls < 0:
+		opts.MaxNulls = 0
+	}
+	return &Parser{dict: dict, opts: opts}
+}
+
+// Dictionary returns the dictionary the parser reads.
+func (p *Parser) Dictionary() *Dictionary { return p.dict }
+
+// Result is the outcome of parsing one sentence.
+type Result struct {
+	// Tokens are the words as parsed, LEFT-WALL excluded.
+	Tokens []string
+	// Linkages holds the valid linkages found, cheapest first. Empty
+	// when the sentence does not parse within the null budget.
+	Linkages []*Linkage
+	// NullCount is the number of words that had to be skipped for the
+	// best linkages (0 = fully grammatical).
+	NullCount int
+	// UnknownWords indexes Tokens that were absent from the dictionary.
+	UnknownWords []int
+}
+
+// Valid reports whether the sentence parsed without skipping any word.
+func (r *Result) Valid() bool { return len(r.Linkages) > 0 && r.NullCount == 0 }
+
+// Best returns the cheapest linkage, or nil if none.
+func (r *Result) Best() *Linkage {
+	if len(r.Linkages) == 0 {
+		return nil
+	}
+	return r.Linkages[0]
+}
+
+// Parse tokenizes and parses a raw sentence.
+func (p *Parser) Parse(sentence string) (*Result, error) {
+	return p.ParseTokens(Tokenize(sentence))
+}
+
+// ParseTokens parses an already-tokenized sentence. The tokens should not
+// include LEFT-WALL; it is added internally.
+func (p *Parser) ParseTokens(tokens []string) (*Result, error) {
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("empty sentence")
+	}
+	if len(tokens) > p.opts.MaxTokens {
+		return nil, fmt.Errorf("sentence has %d tokens, limit is %d", len(tokens), p.opts.MaxTokens)
+	}
+
+	words := make([]string, 0, len(tokens)+1)
+	words = append(words, LeftWall)
+	words = append(words, tokens...)
+
+	res := &Result{Tokens: tokens}
+	st := &parseState{
+		dict:      p.dict,
+		words:     words,
+		disjuncts: make([][]*Disjunct, len(words)),
+		counts:    make(map[countKey]int64),
+	}
+	for i, w := range words {
+		ds, err := p.dict.Disjuncts(w)
+		if err != nil {
+			return nil, err
+		}
+		if !p.dict.Has(w) && i > 0 {
+			res.UnknownWords = append(res.UnknownWords, i-1)
+		}
+		st.disjuncts[i] = ds
+	}
+	if !p.opts.DisablePruning {
+		st.disjuncts = pruneDisjuncts(st.disjuncts)
+	}
+
+	maxNulls := p.opts.MaxNulls
+	if maxNulls > len(tokens)-1 {
+		maxNulls = len(tokens) - 1
+	}
+	if maxNulls < 0 {
+		maxNulls = 0
+	}
+	for nulls := 0; nulls <= maxNulls; nulls++ {
+		if st.countTotal(nulls) == 0 {
+			continue
+		}
+		linkages := st.extractTotal(nulls, p.opts.MaxLinkages)
+		if len(linkages) == 0 {
+			continue
+		}
+		for _, lk := range linkages {
+			lk.Words = words
+		}
+		sort.SliceStable(linkages, func(i, j int) bool {
+			return linkages[i].Cost < linkages[j].Cost
+		})
+		res.Linkages = linkages
+		res.NullCount = nulls
+		break
+	}
+	return res, nil
+}
+
+// parseState holds the memoized dynamic program for one sentence.
+// Internally word 0 is LEFT-WALL and a virtual word len(words) with no
+// connectors closes the region on the right.
+type parseState struct {
+	dict      *Dictionary
+	words     []string
+	disjuncts [][]*Disjunct
+	counts    map[countKey]int64
+}
+
+type countKey struct {
+	a, b   int16
+	la, lb *connNode
+	nulls  int8
+}
+
+const countCap = int64(1) << 40
+
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if s > countCap {
+		return countCap
+	}
+	return s
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > countCap/b {
+		return countCap
+	}
+	return a * b
+}
+
+// countTotal counts complete linkages of the whole sentence with exactly
+// `nulls` skipped words. LEFT-WALL is never skipped.
+func (st *parseState) countTotal(nulls int) int64 {
+	var total int64
+	n := len(st.words)
+	for _, d0 := range st.disjuncts[0] {
+		if d0.leftList != nil {
+			continue
+		}
+		total = satAdd(total, st.count(0, n, d0.rightList, nil, nulls))
+	}
+	return total
+}
+
+// count returns the number of linkages of the region strictly between
+// words a and b, where la is the remaining right-going connector list of
+// a and lb the remaining left-going list of b (both far-to-near), with
+// exactly `nulls` inner words skipped.
+//
+// Decomposition: if la is non-empty its head (a's farthest rightward
+// link) attaches either to some inner word w — splitting the region at w
+// by planarity — or directly to b's farthest left connector. If la is
+// empty, lb's head attaches to the farthest inner word it can reach.
+// Ordering of each disjunct's connector lists is preserved because lists
+// are consumed far-to-near from both ends. Connectivity holds because a
+// region whose two boundary lists are empty admits no links at all, so
+// its inner words can only be nulls.
+func (st *parseState) count(a, b int, la, lb *connNode, nulls int) int64 {
+	if b == a+1 {
+		if la == nil && lb == nil && nulls == 0 {
+			return 1
+		}
+		return 0
+	}
+	if la == nil && lb == nil {
+		if nulls == b-a-1 {
+			return 1
+		}
+		return 0
+	}
+	inner := b - a - 1
+	if nulls > inner {
+		return 0
+	}
+	key := countKey{a: int16(a), b: int16(b), la: la, lb: lb, nulls: int8(nulls)}
+	if v, ok := st.counts[key]; ok {
+		return v
+	}
+	st.counts[key] = 0 // cycle guard; real value set below
+
+	var total int64
+	if la != nil {
+		for w := a + 1; w < b; w++ {
+			for _, d := range st.disjuncts[w] {
+				dl := d.leftList
+				if dl == nil || !Match(la.conn, dl.conn) {
+					continue
+				}
+				for _, v := range matchVariants(la, dl) {
+					for k1 := 0; k1 <= nulls; k1++ {
+						left := st.count(a, w, v.x, v.y, k1)
+						if left == 0 {
+							continue
+						}
+						right := st.count(w, b, d.rightList, lb, nulls-k1)
+						total = satAdd(total, satMul(left, right))
+					}
+				}
+			}
+		}
+		if lb != nil && Match(la.conn, lb.conn) {
+			// Direct link a–b: both heads are the farthest connectors of
+			// their words within this region.
+			for _, v := range matchVariants(la, lb) {
+				total = satAdd(total, st.count(a, b, v.x, v.y, nulls))
+			}
+		}
+	} else { // la == nil, lb != nil
+		for w := a + 1; w < b; w++ {
+			for _, d := range st.disjuncts[w] {
+				dr := d.rightList
+				if dr == nil || !Match(dr.conn, lb.conn) {
+					continue
+				}
+				for _, v := range matchVariants(dr, lb) {
+					for k1 := 0; k1 <= nulls; k1++ {
+						left := st.count(a, w, nil, d.leftList, k1)
+						if left == 0 {
+							continue
+						}
+						right := st.count(w, b, v.x, v.y, nulls-k1)
+						total = satAdd(total, satMul(left, right))
+					}
+				}
+			}
+		}
+	}
+	st.counts[key] = total
+	return total
+}
+
+// matchVariant is one way of consuming the two matched head connectors:
+// multi-connectors may stay in their list for further links.
+type matchVariant struct{ x, y *connNode }
+
+func matchVariants(x, y *connNode) []matchVariant {
+	vs := make([]matchVariant, 0, 4)
+	vs = append(vs, matchVariant{x.next, y.next})
+	if x.conn.Multi {
+		vs = append(vs, matchVariant{x, y.next})
+	}
+	if y.conn.Multi {
+		vs = append(vs, matchVariant{x.next, y})
+	}
+	if x.conn.Multi && y.conn.Multi {
+		vs = append(vs, matchVariant{x, y})
+	}
+	return vs
+}
+
+// partial is an intermediate extraction result for a region.
+type partial struct {
+	links []Link
+	nulls []int // word indices skipped (internal indexing, wall = 0)
+	cost  int
+}
+
+func crossPartials(ls, rs []partial, budget int) []partial {
+	out := make([]partial, 0, min(budget, len(ls)*len(rs)))
+	for _, l := range ls {
+		for _, r := range rs {
+			if len(out) >= budget {
+				return out
+			}
+			p := partial{
+				links: make([]Link, 0, len(l.links)+len(r.links)),
+				nulls: append(append([]int{}, l.nulls...), r.nulls...),
+				cost:  l.cost + r.cost,
+			}
+			p.links = append(append(p.links, l.links...), r.links...)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// extractTotal enumerates up to `budget` full-sentence linkages with
+// exactly `nulls` skipped words, filtering any that violate the
+// exclusion meta-rule (possible only via multi-connectors).
+func (st *parseState) extractTotal(nulls, budget int) []*Linkage {
+	n := len(st.words)
+	var out []*Linkage
+	for _, d0 := range st.disjuncts[0] {
+		if d0.leftList != nil {
+			continue
+		}
+		if st.count(0, n, d0.rightList, nil, nulls) == 0 {
+			continue
+		}
+		for _, p := range st.extract(0, n, d0.rightList, nil, nulls, budget-len(out)) {
+			lk := &Linkage{
+				Links: p.links,
+				Cost:  p.cost + d0.Cost,
+			}
+			lk.NullWords = append(lk.NullWords, p.nulls...)
+			sort.Ints(lk.NullWords)
+			sort.Slice(lk.Links, func(i, j int) bool {
+				if lk.Links[i].Left != lk.Links[j].Left {
+					return lk.Links[i].Left < lk.Links[j].Left
+				}
+				return lk.Links[i].Right < lk.Links[j].Right
+			})
+			if lk.violatesExclusion() {
+				continue
+			}
+			out = append(out, lk)
+			if len(out) >= budget {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// extract mirrors count but materializes the linkages.
+func (st *parseState) extract(a, b int, la, lb *connNode, nulls, budget int) []partial {
+	if budget <= 0 {
+		return nil
+	}
+	if b == a+1 {
+		if la == nil && lb == nil && nulls == 0 {
+			return []partial{{}}
+		}
+		return nil
+	}
+	if la == nil && lb == nil {
+		if nulls != b-a-1 {
+			return nil
+		}
+		p := partial{nulls: make([]int, 0, nulls)}
+		for w := a + 1; w < b; w++ {
+			p.nulls = append(p.nulls, w)
+		}
+		return []partial{p}
+	}
+	if st.count(a, b, la, lb, nulls) == 0 {
+		return nil
+	}
+
+	var out []partial
+	emit := func(link Link, ls, rs []partial) {
+		for _, p := range crossPartials(ls, rs, budget-len(out)) {
+			p.links = append(p.links, link)
+			out = append(out, p)
+			if len(out) >= budget {
+				return
+			}
+		}
+	}
+
+	if la != nil {
+		for w := a + 1; w < b && len(out) < budget; w++ {
+			for _, d := range st.disjuncts[w] {
+				dl := d.leftList
+				if dl == nil || !Match(la.conn, dl.conn) {
+					continue
+				}
+				link := Link{
+					Left: a, Right: w,
+					Label: LinkLabel(la.conn, dl.conn),
+					LConn: la.conn, RConn: dl.conn,
+				}
+				for _, v := range matchVariants(la, dl) {
+					for k1 := 0; k1 <= nulls && len(out) < budget; k1++ {
+						if st.count(a, w, v.x, v.y, k1) == 0 ||
+							st.count(w, b, d.rightList, lb, nulls-k1) == 0 {
+							continue
+						}
+						ls := st.extract(a, w, v.x, v.y, k1, budget-len(out))
+						rs := st.extract(w, b, d.rightList, lb, nulls-k1, budget-len(out))
+						withCost := make([]partial, len(rs))
+						for i, r := range rs {
+							r.cost += d.Cost
+							withCost[i] = r
+						}
+						emit(link, ls, withCost)
+					}
+				}
+			}
+		}
+		if lb != nil && Match(la.conn, lb.conn) && len(out) < budget {
+			link := Link{
+				Left: a, Right: b,
+				Label: LinkLabel(la.conn, lb.conn),
+				LConn: la.conn, RConn: lb.conn,
+			}
+			for _, v := range matchVariants(la, lb) {
+				if st.count(a, b, v.x, v.y, nulls) == 0 {
+					continue
+				}
+				for _, p := range st.extract(a, b, v.x, v.y, nulls, budget-len(out)) {
+					p.links = append(p.links, link)
+					out = append(out, p)
+					if len(out) >= budget {
+						return out
+					}
+				}
+			}
+		}
+	} else {
+		for w := a + 1; w < b && len(out) < budget; w++ {
+			for _, d := range st.disjuncts[w] {
+				dr := d.rightList
+				if dr == nil || !Match(dr.conn, lb.conn) {
+					continue
+				}
+				link := Link{
+					Left: w, Right: b,
+					Label: LinkLabel(dr.conn, lb.conn),
+					LConn: dr.conn, RConn: lb.conn,
+				}
+				for _, v := range matchVariants(dr, lb) {
+					for k1 := 0; k1 <= nulls && len(out) < budget; k1++ {
+						if st.count(a, w, nil, d.leftList, k1) == 0 ||
+							st.count(w, b, v.x, v.y, nulls-k1) == 0 {
+							continue
+						}
+						ls := st.extract(a, w, nil, d.leftList, k1, budget-len(out))
+						rs := st.extract(w, b, v.x, v.y, nulls-k1, budget-len(out))
+						withCost := make([]partial, len(ls))
+						for i, l := range ls {
+							l.cost += d.Cost
+							withCost[i] = l
+						}
+						emit(link, withCost, rs)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package linkgrammar
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyLinkagesSatisfyMetaRules is the central parser invariant:
+// every linkage the parser emits — for any input assembled from
+// dictionary words — satisfies planarity, connectivity, ordering and
+// exclusion.
+func TestPropertyLinkagesSatisfyMetaRules(t *testing.T) {
+	p := newTestParser(t)
+	words := p.Dictionary().Words()
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			n := 2 + rng.Intn(8)
+			tokens := make([]string, n)
+			for i := range tokens {
+				tokens[i] = words[rng.Intn(len(words))]
+			}
+			vals[0] = reflect.ValueOf(tokens)
+		},
+	}
+	f := func(tokens []string) bool {
+		// Strip the wall if randomly drawn: it is parser-internal.
+		clean := tokens[:0]
+		for _, tok := range tokens {
+			if tok != LeftWall {
+				clean = append(clean, tok)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		res, err := p.ParseTokens(clean)
+		if err != nil {
+			return true // length guards etc. are fine
+		}
+		for _, lk := range res.Linkages {
+			if err := lk.Validate(); err != nil {
+				t.Logf("tokens %v: %v\n%s", clean, err, lk)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNullCountMatchesLinkage checks that the parser's reported
+// NullCount always equals the null words on every returned linkage.
+func TestPropertyNullCountMatchesLinkage(t *testing.T) {
+	p := newTestParser(t)
+	words := p.Dictionary().Words()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		n := 2 + rng.Intn(7)
+		tokens := make([]string, n)
+		for j := range tokens {
+			tokens[j] = words[rng.Intn(len(words))]
+		}
+		res, err := p.ParseTokens(tokens)
+		if err != nil {
+			continue
+		}
+		for _, lk := range res.Linkages {
+			if len(lk.NullWords) != res.NullCount {
+				t.Fatalf("tokens %v: linkage has %d nulls, result says %d",
+					tokens, len(lk.NullWords), res.NullCount)
+			}
+		}
+	}
+}
+
+// TestPropertyTokenizeIdempotent: tokenizing the joined tokens yields
+// the same tokens.
+func TestPropertyTokenizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		first := Tokenize(s)
+		second := Tokenize(strings.Join(first, " "))
+		if len(first) != len(second) {
+			return false
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTokenizeLowercasesASCII: no token contains an upper-case
+// ASCII letter.
+func TestPropertyTokenizeLowercasesASCII(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			for i := 0; i < len(tok); i++ {
+				if tok[i] >= 'A' && tok[i] <= 'Z' {
+					return false
+				}
+			}
+			if tok == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMatchNeedsOppositeDirections: two connectors match only
+// with a right-pointing left operand and left-pointing right operand.
+func TestPropertyMatchNeedsOppositeDirections(t *testing.T) {
+	names := []string{"S", "Ss", "Sp", "D", "Ds", "O", "W", "Wd", "A", "S*b"}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a := Connector{Name: names[rng.Intn(len(names))], Dir: Direction(1 + rng.Intn(2))}
+		b := Connector{Name: names[rng.Intn(len(names))], Dir: Direction(1 + rng.Intn(2))}
+		if Match(a, b) && (a.Dir != DirRight || b.Dir != DirLeft) {
+			t.Fatalf("Match(%v,%v) true with wrong directions", a, b)
+		}
+		// Same names, correct directions, no subscripts conflict ⇒ the
+		// upper-case prefix decides.
+		if a.Dir == DirRight && b.Dir == DirLeft && Match(a, b) {
+			au, bu := a.Name[:upperLen(a.Name)], b.Name[:upperLen(b.Name)]
+			if au != bu {
+				t.Fatalf("Match(%v,%v) true with different types", a, b)
+			}
+		}
+	}
+}
+
+// TestPropertyLinkLabelSharedPrefix: a link's label always starts with
+// the connectors' shared upper-case type.
+func TestPropertyLinkLabelSharedPrefix(t *testing.T) {
+	pairs := [][2]string{
+		{"Ss+", "S-"}, {"S+", "Ss-"}, {"Wd+", "Wd-"}, {"D+", "Ds-"},
+		{"S*b+", "Spb-"}, {"MV+", "MV-"},
+	}
+	for _, pair := range pairs {
+		r, err := parseConnectorToken(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := parseConnectorToken(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Match(r, l) {
+			t.Fatalf("pair %v should match", pair)
+		}
+		label := LinkLabel(r, l)
+		base := r.Name[:upperLen(r.Name)]
+		if !strings.HasPrefix(label, base) {
+			t.Errorf("label %q does not start with type %q", label, base)
+		}
+	}
+}
+
+// TestPropertyDisjunctExpansionBounded: random small formulas expand
+// into a bounded, deduplicated disjunct set with non-negative costs.
+func TestPropertyDisjunctExpansionBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	connectors := []string{"A+", "A-", "B+", "B-", "C+", "C-", "@D-", "Ss+"}
+	var build func(depth int) string
+	build = func(depth int) string {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return connectors[rng.Intn(len(connectors))]
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return "(" + build(depth-1) + " & " + build(depth-1) + ")"
+		case 1:
+			return "(" + build(depth-1) + " or " + build(depth-1) + ")"
+		case 2:
+			return "{" + build(depth-1) + "}"
+		default:
+			return "[" + build(depth-1) + "]"
+		}
+	}
+	for i := 0; i < 300; i++ {
+		src := build(4)
+		expr, err := ParseFormula(src)
+		if err != nil {
+			t.Fatalf("formula %q: %v", src, err)
+		}
+		ds, err := buildDisjuncts(expr, func(string) (*Expr, error) { return nil, nil })
+		if err != nil {
+			t.Fatalf("expand %q: %v", src, err)
+		}
+		if len(ds) > maxDisjunctsPerWord {
+			t.Fatalf("expansion exceeded cap: %d", len(ds))
+		}
+		seen := make(map[string]bool, len(ds))
+		for _, d := range ds {
+			if d.Cost < 0 {
+				t.Fatalf("negative cost in %q", src)
+			}
+			key := d.key()
+			if seen[key] {
+				t.Fatalf("duplicate disjunct %s from %q", key, src)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+// TestPropertyFormulaStringReparses: rendering an expression and
+// re-parsing it yields the same disjunct set.
+func TestPropertyFormulaStringReparses(t *testing.T) {
+	formulas := []string{
+		"{@A-} & Ds- & (({Wd-} & Ss+) or O- or J-)",
+		"(Sp- or I- or Wi-) & O+ & {@MV+}",
+		"[A+] or (Pa- & {@MV+})",
+		"Wd+ or Wq+ or Wi+",
+	}
+	for _, src := range formulas {
+		e1, err := ParseFormula(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		e2, err := ParseFormula(e1.String())
+		if err != nil {
+			t.Fatalf("reparse %q -> %q: %v", src, e1.String(), err)
+		}
+		noMacros := func(string) (*Expr, error) { return nil, nil }
+		d1, err := buildDisjuncts(e1, noMacros)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := buildDisjuncts(e2, noMacros)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d1) != len(d2) {
+			t.Fatalf("%q: %d vs %d disjuncts after round trip", src, len(d1), len(d2))
+		}
+		for i := range d1 {
+			if d1[i].key() != d2[i].key() || d1[i].Cost != d2[i].Cost {
+				t.Fatalf("%q: disjunct %d differs: %s vs %s", src, i, d1[i], d2[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package linkgrammar
+
+// pruneMinWords gates the pruning pass: chat sentences are short and
+// the O(n³) search over them is already cheap, so the pass pays for
+// itself only on longer inputs (measured by BenchmarkPruningAblation).
+const pruneMinWords = 12
+
+// pruneDisjuncts implements the "power pruning" idea of the CMU parser:
+// before the O(n³) search, drop every disjunct with a connector that
+// cannot possibly match any connector of any surviving disjunct on the
+// appropriate side of the sentence. Iterates to a fixpoint; sound
+// because a removed disjunct provably cannot participate in any
+// linkage (including fault-tolerant ones — links never attach to null
+// words).
+func pruneDisjuncts(disjuncts [][]*Disjunct) [][]*Disjunct {
+	n := len(disjuncts)
+	if n < pruneMinWords {
+		return disjuncts
+	}
+	out := make([][]*Disjunct, n)
+	for i := range disjuncts {
+		out[i] = append([]*Disjunct(nil), disjuncts[i]...)
+	}
+
+	for changed := true; changed; {
+		changed = false
+
+		// rightAvail[w] indexes, by upper-case connector type, the
+		// right-pointing connectors offered by any surviving disjunct
+		// of any word < w. leftAvail[w] mirrors it for words > w.
+		rightAvail := make([]connTypeSet, n)
+		acc := make(connTypeSet)
+		for w := 0; w < n; w++ {
+			if w > 0 {
+				for _, d := range out[w-1] {
+					for _, c := range d.Right {
+						acc = acc.add(c)
+					}
+				}
+			}
+			rightAvail[w] = acc.clone()
+		}
+		leftAvail := make([]connTypeSet, n)
+		acc = make(connTypeSet)
+		for w := n - 1; w >= 0; w-- {
+			if w < n-1 {
+				for _, d := range out[w+1] {
+					for _, c := range d.Left {
+						acc = acc.add(c)
+					}
+				}
+			}
+			leftAvail[w] = acc.clone()
+		}
+
+		for w := 0; w < n; w++ {
+			keep := out[w][:0]
+			for _, d := range out[w] {
+				if disjunctViable(d, rightAvail[w], leftAvail[w]) {
+					keep = append(keep, d)
+				} else {
+					changed = true
+				}
+			}
+			out[w] = keep
+		}
+	}
+	return out
+}
+
+// connTypeSet groups connectors by their upper-case type so that the
+// viability check only compares connectors that could possibly match.
+type connTypeSet map[string][]Connector
+
+func (s connTypeSet) add(c Connector) connTypeSet {
+	key := c.Name[:upperLen(c.Name)]
+	for _, existing := range s[key] {
+		if existing == c {
+			return s
+		}
+	}
+	s[key] = append(s[key], c)
+	return s
+}
+
+func (s connTypeSet) clone() connTypeSet {
+	out := make(connTypeSet, len(s))
+	for k, v := range s {
+		out[k] = append([]Connector(nil), v...)
+	}
+	return out
+}
+
+// disjunctViable reports whether every connector of d has at least one
+// potential partner among the available opposite connectors.
+func disjunctViable(d *Disjunct, rightAvail, leftAvail connTypeSet) bool {
+	for _, c := range d.Left {
+		if !someMatch(rightAvail, c, true) {
+			return false
+		}
+	}
+	for _, c := range d.Right {
+		if !someMatch(leftAvail, c, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// someMatch reports whether any available connector of the same type
+// matches c. wantRight is true when c points left and needs a
+// right-pointing partner.
+func someMatch(avail connTypeSet, c Connector, wantRight bool) bool {
+	key := c.Name[:upperLen(c.Name)]
+	for _, other := range avail[key] {
+		if wantRight {
+			if Match(other, c) {
+				return true
+			}
+		} else if Match(c, other) {
+			return true
+		}
+	}
+	return false
+}

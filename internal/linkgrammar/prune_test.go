@@ -1,0 +1,126 @@
+package linkgrammar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPruningPreservesResults is the pruning soundness check: for a
+// large random and curated sentence set, parsing with and without
+// pruning yields identical linkage counts, null counts and best costs.
+func TestPruningPreservesResults(t *testing.T) {
+	dict, err := NewEnglishDictionary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := NewParser(dict, Options{MaxNulls: 2, MaxLinkages: 64})
+	unpruned := NewParser(dict, Options{MaxNulls: 2, MaxLinkages: 64, DisablePruning: true})
+
+	sentences := []string{
+		"The cat chased a mouse.",
+		"A stack is a lifo structure.",
+		"Does a stack have a pop method?",
+		"The the cat chased a mouse.",
+		"Cat the chased a mouse.",
+		"I pushes the data.",
+		"Push the data into the stack.",
+		"What is a stack?",
+	}
+	words := dict.Words()
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 120; i++ {
+		n := 2 + rng.Intn(7)
+		toks := make([]string, n)
+		for j := range toks {
+			toks[j] = words[rng.Intn(len(words))]
+		}
+		sentences = append(sentences, joinTokens(toks))
+	}
+
+	for _, s := range sentences {
+		a, err := pruned.Parse(s)
+		if err != nil {
+			t.Fatalf("pruned %q: %v", s, err)
+		}
+		b, err := unpruned.Parse(s)
+		if err != nil {
+			t.Fatalf("unpruned %q: %v", s, err)
+		}
+		if (len(a.Linkages) == 0) != (len(b.Linkages) == 0) {
+			t.Fatalf("%q: parseability differs with pruning: %d vs %d linkages",
+				s, len(a.Linkages), len(b.Linkages))
+		}
+		if a.NullCount != b.NullCount {
+			t.Errorf("%q: null count differs: %d vs %d", s, a.NullCount, b.NullCount)
+		}
+		if len(a.Linkages) > 0 && a.Best().Cost != b.Best().Cost {
+			t.Errorf("%q: best cost differs: %d vs %d", s, a.Best().Cost, b.Best().Cost)
+		}
+		if len(a.Linkages) != len(b.Linkages) {
+			t.Errorf("%q: linkage count differs: %d vs %d", s, len(a.Linkages), len(b.Linkages))
+		}
+	}
+}
+
+func joinTokens(toks []string) string {
+	out := ""
+	for i, tok := range toks {
+		if i > 0 {
+			out += " "
+		}
+		out += tok
+	}
+	return out
+}
+
+// TestPruningRemovesDeadDisjuncts checks the mechanism directly: a
+// sentence of bare determiners has nothing for any connector to link
+// with, so the fixpoint must remove every disjunct.
+func TestPruningRemovesDeadDisjuncts(t *testing.T) {
+	dict, err := NewEnglishDictionary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	theDs, err := dict.Disjuncts("the")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wallDs, err := dict.Disjuncts(LeftWall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wallDs) == 0 || len(theDs) == 0 {
+		t.Fatal("test setup broken: empty disjunct lists")
+	}
+	// Wall + pruneMinWords determiners: nothing offers D- or Wd-, so
+	// everything dies.
+	in := make([][]*Disjunct, 0, pruneMinWords+1)
+	in = append(in, wallDs)
+	for i := 0; i < pruneMinWords; i++ {
+		in = append(in, theDs)
+	}
+	out := pruneDisjuncts(in)
+	for w, ds := range out {
+		if len(ds) != 0 {
+			t.Errorf("word %d kept %d disjuncts, want 0", w, len(ds))
+		}
+	}
+}
+
+// TestPruningSkipsShortSentences verifies the length gate: short
+// inputs are returned untouched.
+func TestPruningSkipsShortSentences(t *testing.T) {
+	dict, err := NewEnglishDictionary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	theDs, err := dict.Disjuncts("the")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := [][]*Disjunct{theDs, theDs}
+	out := pruneDisjuncts(in)
+	if len(out[0]) != len(theDs) || len(out[1]) != len(theDs) {
+		t.Error("short input should not be pruned")
+	}
+}

@@ -1,0 +1,57 @@
+package linkgrammar
+
+import "strings"
+
+// LeftWall is the dictionary key of the virtual word anchoring every
+// sentence on the left, as in the CMU parser.
+const LeftWall = "left-wall"
+
+// Tokenize splits a raw chat line into dictionary tokens: lower-cased
+// words with sentence punctuation stripped. Apostrophes inside words are
+// kept so contractions ("doesn't") match their dictionary entries.
+// Hyphenated compounds are kept whole ("last-in").
+func Tokenize(sentence string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range sentence {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			cur.WriteRune(r)
+		case r == '\'' || r == '’':
+			if cur.Len() > 0 {
+				cur.WriteByte('\'')
+			}
+		case r == '-':
+			if cur.Len() > 0 {
+				cur.WriteByte('-')
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	// Trim trailing hyphens/apostrophes left by malformed input.
+	for i, t := range toks {
+		toks[i] = strings.Trim(t, "-'")
+	}
+	out := toks[:0]
+	for _, t := range toks {
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// EndsWithQuestionMark reports whether the raw sentence is punctuated as
+// a question, a cue the sentence-pattern classifier uses.
+func EndsWithQuestionMark(sentence string) bool {
+	s := strings.TrimRight(sentence, " \t\r\n")
+	return strings.HasSuffix(s, "?")
+}

@@ -1,0 +1,231 @@
+package ontology
+
+import "fmt"
+
+// BuildCourseOntology constructs the built-in "Data Structure" knowledge
+// ontology used throughout the reproduction. IDs of the items the paper
+// names explicitly are kept identical to the paper's Figure 5: stack=3,
+// tree=4, push=32, pop=33.
+func BuildCourseOntology() *Ontology {
+	o := New("Data Structure")
+	must := func(err error) {
+		if err != nil {
+			// The built-in ontology is a compile-time artifact; a failure
+			// here is a programming error equivalent to a bad literal.
+			panic(fmt.Sprintf("course ontology: %v", err))
+		}
+	}
+	item := func(id int, name string, kind ItemKind, aliases ...string) {
+		_, err := o.AddItemWithID(id, name, kind)
+		must(err)
+		for _, a := range aliases {
+			must(o.AddAlias(name, a))
+		}
+	}
+
+	// ---- concepts (ids 1..29) -------------------------------------
+	item(1, "data structure", KindConcept)
+	item(2, "linear structure", KindConcept, "linear list")
+	item(3, "stack", KindConcept)
+	item(4, "tree", KindConcept)
+	item(5, "queue", KindConcept)
+	item(6, "array", KindConcept)
+	item(7, "linked list", KindConcept)
+	item(8, "binary tree", KindConcept)
+	item(9, "binary search tree", KindConcept, "bst", "search tree")
+	item(10, "heap", KindConcept)
+	item(11, "graph", KindConcept)
+	item(12, "hash table", KindConcept, "hash map")
+	item(13, "node", KindConcept)
+	item(14, "pointer", KindConcept)
+	item(15, "element", KindConcept, "item")
+	item(16, "vertex", KindConcept)
+	item(17, "edge", KindConcept)
+	item(18, "root", KindConcept, "root node")
+	item(19, "leaf", KindConcept, "leaf node")
+	item(20, "key", KindConcept)
+	item(21, "value", KindConcept)
+	item(22, "index", KindConcept)
+	item(23, "hash function", KindConcept)
+	item(24, "priority queue", KindConcept)
+	item(25, "deque", KindConcept, "double ended queue")
+	item(26, "subtree", KindConcept)
+	item(27, "child", KindConcept, "child node")
+	item(28, "parent", KindConcept, "parent node")
+	item(29, "bucket", KindConcept)
+
+	// ---- operations (ids 32..49, push/pop per the paper) -----------
+	item(32, "push", KindOperation)
+	item(33, "pop", KindOperation)
+	item(34, "peek", KindOperation, "stack top", "top")
+	item(35, "enqueue", KindOperation)
+	item(36, "dequeue", KindOperation)
+	item(37, "insert", KindOperation, "insertion")
+	item(38, "delete", KindOperation, "deletion", "remove")
+	item(39, "search", KindOperation, "find", "lookup")
+	item(40, "traverse", KindOperation, "traversal")
+	item(41, "sort", KindOperation, "sorting")
+	item(42, "access", KindOperation)
+	item(43, "heapify", KindOperation)
+	item(44, "extract min", KindOperation, "extract minimum")
+	item(45, "hash", KindOperation, "hashing")
+	item(46, "rotate", KindOperation, "rotation")
+	item(47, "front", KindOperation)
+	item(48, "balance", KindOperation)
+	item(49, "merge", KindOperation)
+
+	// ---- properties (ids 60..69) -----------------------------------
+	item(60, "lifo", KindProperty, "last in first out")
+	item(61, "fifo", KindProperty, "first in first out")
+	item(62, "complete", KindProperty)
+	item(63, "balanced", KindProperty)
+	item(64, "ordered", KindProperty, "sorted order")
+	item(65, "dynamic", KindProperty)
+	item(66, "contiguous", KindProperty)
+	item(67, "acyclic", KindProperty)
+	item(68, "heap property", KindProperty, "heap order")
+	item(69, "rear", KindProperty)
+
+	rel := func(from, to string, kind RelationKind) { must(o.Relate(from, to, kind)) }
+
+	// ---- taxonomy ---------------------------------------------------
+	rel("linear structure", "data structure", RelIsA)
+	rel("stack", "linear structure", RelIsA)
+	rel("queue", "linear structure", RelIsA)
+	rel("deque", "linear structure", RelIsA)
+	rel("array", "data structure", RelIsA)
+	rel("linked list", "linear structure", RelIsA)
+	rel("tree", "data structure", RelIsA)
+	rel("binary tree", "tree", RelIsA)
+	rel("binary search tree", "binary tree", RelIsA)
+	rel("heap", "binary tree", RelIsA)
+	rel("priority queue", "data structure", RelIsA)
+	rel("graph", "data structure", RelIsA)
+	rel("hash table", "data structure", RelIsA)
+
+	// ---- structure --------------------------------------------------
+	rel("node", "linked list", RelPartOf)
+	rel("node", "tree", RelPartOf)
+	rel("vertex", "graph", RelPartOf)
+	rel("edge", "graph", RelPartOf)
+	rel("root", "tree", RelPartOf)
+	rel("leaf", "tree", RelPartOf)
+	rel("subtree", "tree", RelPartOf)
+	rel("child", "tree", RelPartOf)
+	rel("parent", "tree", RelPartOf)
+	rel("bucket", "hash table", RelPartOf)
+	rel("element", "array", RelPartOf)
+	rel("index", "array", RelPartOf)
+	rel("key", "hash table", RelPartOf)
+	rel("value", "hash table", RelPartOf)
+	rel("hash function", "hash table", RelPartOf)
+	rel("pointer", "node", RelRelatedTo)
+	rel("key", "binary search tree", RelRelatedTo)
+	rel("heap", "priority queue", RelRelatedTo)
+	rel("child", "parent", RelRelatedTo)
+
+	// ---- operations -------------------------------------------------
+	rel("stack", "push", RelHasOperation)
+	rel("stack", "pop", RelHasOperation)
+	rel("stack", "peek", RelHasOperation)
+	rel("queue", "enqueue", RelHasOperation)
+	rel("queue", "dequeue", RelHasOperation)
+	rel("queue", "front", RelHasOperation)
+	rel("deque", "enqueue", RelHasOperation)
+	rel("deque", "dequeue", RelHasOperation)
+	rel("array", "access", RelHasOperation)
+	rel("array", "sort", RelHasOperation)
+	rel("array", "search", RelHasOperation)
+	rel("linked list", "insert", RelHasOperation)
+	rel("linked list", "delete", RelHasOperation)
+	rel("linked list", "traverse", RelHasOperation)
+	rel("tree", "insert", RelHasOperation)
+	rel("tree", "delete", RelHasOperation)
+	rel("tree", "traverse", RelHasOperation)
+	rel("binary search tree", "search", RelHasOperation)
+	rel("binary search tree", "rotate", RelHasOperation)
+	rel("binary search tree", "balance", RelHasOperation)
+	rel("heap", "heapify", RelHasOperation)
+	rel("heap", "extract min", RelHasOperation)
+	rel("heap", "insert", RelHasOperation)
+	rel("priority queue", "insert", RelHasOperation)
+	rel("priority queue", "extract min", RelHasOperation)
+	rel("hash table", "hash", RelHasOperation)
+	rel("hash table", "insert", RelHasOperation)
+	rel("hash table", "delete", RelHasOperation)
+	rel("hash table", "search", RelHasOperation)
+	rel("graph", "traverse", RelHasOperation)
+	rel("graph", "search", RelHasOperation)
+
+	// ---- properties ---------------------------------------------------
+	rel("stack", "lifo", RelHasProperty)
+	rel("queue", "fifo", RelHasProperty)
+	rel("queue", "rear", RelHasProperty)
+	rel("heap", "complete", RelHasProperty)
+	rel("heap", "heap property", RelHasProperty)
+	rel("binary search tree", "ordered", RelHasProperty)
+	rel("binary search tree", "balanced", RelHasProperty)
+	rel("linked list", "dynamic", RelHasProperty)
+	rel("array", "contiguous", RelHasProperty)
+	rel("tree", "acyclic", RelHasProperty)
+
+	// ---- definitions (descriptions quoted or adapted from standard
+	// course material; the stack text is the paper's own §4.4 sample) --
+	desc := func(name, text string) { must(o.SetDescription(name, text)) }
+	desc("data structure",
+		"A data structure is a way of organizing data in a computer so that it can be used efficiently.")
+	desc("stack",
+		"A stack is a Last In, First Out (LIFO) data structure in which all insertions and deletions "+
+			"are restricted to one end called a top. There are three basic stack operations: push, pop, and stack top.")
+	desc("queue",
+		"A queue is a First In, First Out (FIFO) linear structure in which insertions take place at "+
+			"the rear and deletions take place at the front.")
+	desc("tree",
+		"A tree is a hierarchical data structure of nodes connected by edges, with a single root node "+
+			"and no cycles.")
+	desc("array",
+		"An array is a contiguous block of memory holding elements that are accessed by integer index "+
+			"in constant time.")
+	desc("linked list",
+		"A linked list is a linear collection of nodes in which each node stores a value and a pointer "+
+			"to the next node.")
+	desc("binary tree",
+		"A binary tree is a tree in which every node has at most two children, called the left child "+
+			"and the right child.")
+	desc("binary search tree",
+		"A binary search tree is a binary tree in which the key of each node is greater than every key "+
+			"in its left subtree and smaller than every key in its right subtree.")
+	desc("heap",
+		"A heap is a complete binary tree that satisfies the heap property: each parent's key is ordered "+
+			"with respect to its children's keys.")
+	desc("graph",
+		"A graph is a set of vertices together with a set of edges connecting pairs of vertices.")
+	desc("hash table",
+		"A hash table stores key-value pairs in buckets selected by applying a hash function to the key, "+
+			"giving expected constant-time insert, delete and search.")
+	desc("priority queue",
+		"A priority queue is a data structure in which each element has a priority and deletion always "+
+			"removes the element with the highest priority.")
+	desc("push", "Push adds a new element onto the top of a stack.")
+	desc("pop", "Pop removes and returns the element at the top of a stack.")
+	desc("peek", "Stack top returns the element at the top of a stack without removing it.")
+	desc("enqueue", "Enqueue adds an element at the rear of a queue.")
+	desc("dequeue", "Dequeue removes the element at the front of a queue.")
+	desc("insert", "Insert places a new element into a data structure at the position required by its invariants.")
+	desc("delete", "Delete removes an element from a data structure while preserving its invariants.")
+	desc("search", "Search locates the element with a given key inside a data structure.")
+	desc("traverse", "Traverse visits every element of a data structure exactly once in a systematic order.")
+	desc("heapify", "Heapify restores the heap property by sifting an element up or down the tree.")
+	desc("hash", "Hashing maps a key to a bucket index using a hash function.")
+	desc("lifo", "Last in, first out: the element added most recently is removed first.")
+	desc("fifo", "First in, first out: the element added earliest is removed first.")
+
+	// The paper's example symbol on the stack item.
+	must(o.AddSymbol("stack", "top",
+		"A stack is a linear list in which all additions and deletions are restricted to one end "+
+			"which is called the top."))
+	must(o.SetAlgorithm("stack", "c",
+		"push(S, x): S.top = S.top + 1; S[S.top] = x\npop(S): x = S[S.top]; S.top = S.top - 1; return x"))
+
+	return o
+}

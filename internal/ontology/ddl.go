@@ -1,0 +1,412 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The paper's Ontology Definition flow translates the authored ontology
+// into "DDL and DML" statements which an interpreter replays into the
+// Distance Learning Ontology database. This file implements that
+// mini-language.
+//
+// Statement forms (keywords case-insensitive, names may be quoted,
+// "--" starts a comment, ";" terminates a statement):
+//
+//	CREATE DOMAIN "Data Structure";
+//	CREATE ITEM stack KIND concept [ID 3];
+//	SET DESCRIPTION stack "A stack is ...";
+//	ADD SYMBOL stack top "A stack is a linear list ...";
+//	SET ALGORITHM stack "c" "push(s, x) { ... }";
+//	ADD ALIAS stack lifo;
+//	RELATE stack push KIND hasoperation;
+//	UNRELATE stack push;
+//	REMOVE ITEM stack;
+//	SELECT ITEM stack;
+//	SELECT OPERATIONS stack;
+//	SELECT CONCEPTS WITH push;
+//	SELECT RELATED stack DEPTH 2;
+//	SELECT DISTANCE stack pop;
+
+// Statement is one parsed DDL/DML statement.
+type Statement struct {
+	Verb string   // upper-cased verb phrase, e.g. "CREATE ITEM"
+	Args []string // positional arguments in source order
+	Line int
+}
+
+// ParseDDL splits source text into statements.
+func ParseDDL(src string) ([]Statement, error) {
+	toks, lines, err := lexDDL(src)
+	if err != nil {
+		return nil, err
+	}
+	var stmts []Statement
+	start := 0
+	for i := 0; i <= len(toks); i++ {
+		if i < len(toks) && toks[i] != ";" {
+			continue
+		}
+		if i > start {
+			stmt, err := buildStatement(toks[start:i], lines[start])
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, stmt)
+		}
+		start = i + 1
+	}
+	return stmts, nil
+}
+
+func lexDDL(src string) (toks []string, lines []int, err error) {
+	line := 1
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == '\n':
+			line++
+			i++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			i++
+		case ch == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case ch == ';':
+			toks = append(toks, ";")
+			lines = append(lines, line)
+			i++
+		case ch == '"':
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					line++
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, nil, fmt.Errorf("line %d: unterminated string", line)
+			}
+			toks = append(toks, "\x00"+b.String()) // \x00 marks a quoted literal
+			lines = append(lines, line)
+			i = j + 1
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\r\n;\"", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			lines = append(lines, line)
+			i = j
+		}
+	}
+	return toks, lines, nil
+}
+
+// verbTable maps the first one or two keywords to a verb phrase.
+var verbTable = map[string]bool{
+	"CREATE DOMAIN": true, "CREATE ITEM": true,
+	"SET DESCRIPTION": true, "SET ALGORITHM": true,
+	"ADD SYMBOL": true, "ADD ALIAS": true,
+	"RELATE": true, "UNRELATE": true,
+	"REMOVE ITEM": true,
+	"SELECT ITEM": true, "SELECT OPERATIONS": true,
+	"SELECT CONCEPTS": true, "SELECT RELATED": true,
+	"SELECT DISTANCE": true,
+}
+
+func buildStatement(toks []string, line int) (Statement, error) {
+	unquote := func(t string) string { return strings.TrimPrefix(t, "\x00") }
+	if len(toks) == 0 {
+		return Statement{}, fmt.Errorf("line %d: empty statement", line)
+	}
+	verb := strings.ToUpper(unquote(toks[0]))
+	rest := toks[1:]
+	if len(toks) >= 2 && !strings.HasPrefix(toks[1], "\x00") {
+		two := verb + " " + strings.ToUpper(toks[1])
+		if verbTable[two] {
+			verb = two
+			rest = toks[2:]
+		}
+	}
+	if !verbTable[verb] {
+		return Statement{}, fmt.Errorf("line %d: unknown statement %q", line, unquote(toks[0]))
+	}
+	args := make([]string, len(rest))
+	for i, t := range rest {
+		args[i] = unquote(t)
+	}
+	return Statement{Verb: verb, Args: args, Line: line}, nil
+}
+
+// Interpreter replays DDL/DML statements into an ontology, collecting
+// SELECT output rows.
+type Interpreter struct {
+	onto *Ontology
+	// Output accumulates one string per SELECT result row.
+	Output []string
+}
+
+// NewInterpreter wraps an ontology; pass nil to start from an empty one.
+func NewInterpreter(o *Ontology) *Interpreter {
+	if o == nil {
+		o = New("")
+	}
+	return &Interpreter{onto: o}
+}
+
+// Ontology returns the ontology being built.
+func (in *Interpreter) Ontology() *Ontology { return in.onto }
+
+// Run parses and executes DDL source.
+func (in *Interpreter) Run(src string) error {
+	stmts, err := ParseDDL(src)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if err := in.Exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exec executes one statement.
+func (in *Interpreter) Exec(s Statement) error {
+	need := func(n int) error {
+		if len(s.Args) < n {
+			return fmt.Errorf("line %d: %s needs %d arguments, got %d", s.Line, s.Verb, n, len(s.Args))
+		}
+		return nil
+	}
+	switch s.Verb {
+	case "CREATE DOMAIN":
+		if err := need(1); err != nil {
+			return err
+		}
+		in.onto.mu.Lock()
+		in.onto.domain = s.Args[0]
+		in.onto.mu.Unlock()
+		return nil
+	case "CREATE ITEM":
+		if err := need(3); err != nil {
+			return err
+		}
+		if strings.ToUpper(s.Args[1]) != "KIND" {
+			return fmt.Errorf("line %d: expected KIND, got %q", s.Line, s.Args[1])
+		}
+		kind, err := ParseItemKind(s.Args[2])
+		if err != nil {
+			return fmt.Errorf("line %d: %w", s.Line, err)
+		}
+		id := 0
+		if len(s.Args) >= 5 && strings.ToUpper(s.Args[3]) == "ID" {
+			id, err = strconv.Atoi(s.Args[4])
+			if err != nil {
+				return fmt.Errorf("line %d: bad ID %q", s.Line, s.Args[4])
+			}
+		}
+		if id > 0 {
+			_, err = in.onto.AddItemWithID(id, s.Args[0], kind)
+		} else {
+			_, err = in.onto.AddItem(s.Args[0], kind)
+		}
+		if err != nil {
+			return fmt.Errorf("line %d: %w", s.Line, err)
+		}
+		return nil
+	case "SET DESCRIPTION":
+		if err := need(2); err != nil {
+			return err
+		}
+		return lineErr(s.Line, in.onto.SetDescription(s.Args[0], s.Args[1]))
+	case "ADD SYMBOL":
+		if err := need(3); err != nil {
+			return err
+		}
+		return lineErr(s.Line, in.onto.AddSymbol(s.Args[0], s.Args[1], s.Args[2]))
+	case "SET ALGORITHM":
+		if err := need(3); err != nil {
+			return err
+		}
+		return lineErr(s.Line, in.onto.SetAlgorithm(s.Args[0], s.Args[1], s.Args[2]))
+	case "ADD ALIAS":
+		if err := need(2); err != nil {
+			return err
+		}
+		return lineErr(s.Line, in.onto.AddAlias(s.Args[0], s.Args[1]))
+	case "RELATE":
+		if err := need(4); err != nil {
+			return err
+		}
+		if strings.ToUpper(s.Args[2]) != "KIND" {
+			return fmt.Errorf("line %d: expected KIND, got %q", s.Line, s.Args[2])
+		}
+		kind, err := ParseRelationKind(s.Args[3])
+		if err != nil {
+			return fmt.Errorf("line %d: %w", s.Line, err)
+		}
+		return lineErr(s.Line, in.onto.Relate(s.Args[0], s.Args[1], kind))
+	case "UNRELATE":
+		if err := need(2); err != nil {
+			return err
+		}
+		return lineErr(s.Line, in.onto.Unrelate(s.Args[0], s.Args[1]))
+	case "REMOVE ITEM":
+		if err := need(1); err != nil {
+			return err
+		}
+		return lineErr(s.Line, in.onto.RemoveItem(s.Args[0]))
+	case "SELECT ITEM":
+		if err := need(1); err != nil {
+			return err
+		}
+		it, ok := in.onto.Lookup(s.Args[0])
+		if !ok {
+			return fmt.Errorf("line %d: %w: %q", s.Line, ErrNotFound, s.Args[0])
+		}
+		in.Output = append(in.Output, fmt.Sprintf("item %d %s kind=%s description=%q",
+			it.ID, it.Name, it.Kind, it.Definition.Description))
+		return nil
+	case "SELECT OPERATIONS":
+		if err := need(1); err != nil {
+			return err
+		}
+		for _, op := range in.onto.OperationsOf(s.Args[0]) {
+			in.Output = append(in.Output, fmt.Sprintf("operation %d %s", op.ID, op.Name))
+		}
+		return nil
+	case "SELECT CONCEPTS":
+		if err := need(2); err != nil {
+			return err
+		}
+		if strings.ToUpper(s.Args[0]) != "WITH" {
+			return fmt.Errorf("line %d: expected WITH, got %q", s.Line, s.Args[0])
+		}
+		for _, c := range in.onto.ConceptsWith(s.Args[1]) {
+			in.Output = append(in.Output, fmt.Sprintf("concept %d %s", c.ID, c.Name))
+		}
+		return nil
+	case "SELECT RELATED":
+		if err := need(1); err != nil {
+			return err
+		}
+		depth := DefaultRelatedThreshold
+		if len(s.Args) >= 3 && strings.ToUpper(s.Args[1]) == "DEPTH" {
+			d, err := strconv.Atoi(s.Args[2])
+			if err != nil {
+				return fmt.Errorf("line %d: bad DEPTH %q", s.Line, s.Args[2])
+			}
+			depth = d
+		}
+		it, ok := in.onto.Lookup(s.Args[0])
+		if !ok {
+			return fmt.Errorf("line %d: %w: %q", s.Line, ErrNotFound, s.Args[0])
+		}
+		type related struct {
+			name string
+			dist int
+		}
+		var rows []related
+		for _, other := range in.onto.Items() {
+			if other.ID == it.ID {
+				continue
+			}
+			if d := in.onto.Distance(it.Name, other.Name); d <= depth {
+				rows = append(rows, related{name: other.Name, dist: d})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].dist != rows[j].dist {
+				return rows[i].dist < rows[j].dist
+			}
+			return rows[i].name < rows[j].name
+		})
+		for _, r := range rows {
+			in.Output = append(in.Output, fmt.Sprintf("related %s distance=%d", r.name, r.dist))
+		}
+		return nil
+	case "SELECT DISTANCE":
+		if err := need(2); err != nil {
+			return err
+		}
+		d := in.onto.Distance(s.Args[0], s.Args[1])
+		if d >= Unreachable {
+			in.Output = append(in.Output, fmt.Sprintf("distance %s %s = unreachable", s.Args[0], s.Args[1]))
+		} else {
+			in.Output = append(in.Output, fmt.Sprintf("distance %s %s = %d", s.Args[0], s.Args[1], d))
+		}
+		return nil
+	}
+	return fmt.Errorf("line %d: unhandled verb %s", s.Line, s.Verb)
+}
+
+func lineErr(line int, err error) error {
+	if err != nil {
+		return fmt.Errorf("line %d: %w", line, err)
+	}
+	return nil
+}
+
+// ExportDDL translates an ontology into a DDL/DML script that, replayed
+// through the Interpreter, reconstructs it. This is the paper's
+// "DDL and DML Translation" step.
+func (o *Ontology) ExportDDL() string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- ontology export: %d items\n", len(o.items))
+	if o.domain != "" {
+		fmt.Fprintf(&b, "CREATE DOMAIN %s;\n", quoteDDL(o.domain))
+	}
+	ids := make([]int, 0, len(o.items))
+	for id := range o.items {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		it := o.items[id]
+		fmt.Fprintf(&b, "CREATE ITEM %s KIND %s ID %d;\n", quoteDDL(it.Name), it.Kind, it.ID)
+		for _, a := range it.Aliases {
+			fmt.Fprintf(&b, "ADD ALIAS %s %s;\n", quoteDDL(it.Name), quoteDDL(a))
+		}
+		if it.Definition.Description != "" {
+			fmt.Fprintf(&b, "SET DESCRIPTION %s %s;\n", quoteDDL(it.Name), quoteDDL(it.Definition.Description))
+		}
+		for _, s := range it.Definition.Symbols {
+			fmt.Fprintf(&b, "ADD SYMBOL %s %s %s;\n", quoteDDL(it.Name), quoteDDL(s.Name), quoteDDL(s.Text))
+		}
+		if it.Definition.Algorithm != "" {
+			fmt.Fprintf(&b, "SET ALGORITHM %s %s %s;\n",
+				quoteDDL(it.Name), quoteDDL(it.Definition.AlgorithmType), quoteDDL(it.Definition.Algorithm))
+		}
+	}
+	for _, id := range ids {
+		rels := append([]Relation(nil), o.out[id]...)
+		sort.Slice(rels, func(i, j int) bool {
+			if rels[i].To != rels[j].To {
+				return rels[i].To < rels[j].To
+			}
+			return rels[i].Kind < rels[j].Kind
+		})
+		for _, r := range rels {
+			fmt.Fprintf(&b, "RELATE %s %s KIND %s;\n",
+				quoteDDL(o.items[r.From].Name), quoteDDL(o.items[r.To].Name), r.Kind)
+		}
+	}
+	return b.String()
+}
+
+func quoteDDL(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\";") {
+		return "\"" + strings.ReplaceAll(s, "\"", "'") + "\""
+	}
+	return s
+}

@@ -1,0 +1,325 @@
+package ontology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPaperIDsPreserved(t *testing.T) {
+	o := BuildCourseOntology()
+	cases := map[string]int{"stack": 3, "tree": 4, "push": 32, "pop": 33}
+	for name, wantID := range cases {
+		it, ok := o.Lookup(name)
+		if !ok {
+			t.Fatalf("missing item %q", name)
+		}
+		if it.ID != wantID {
+			t.Errorf("%s: id = %d, want %d (paper figure 5)", name, it.ID, wantID)
+		}
+	}
+}
+
+func TestPaperSemanticDistanceExamples(t *testing.T) {
+	o := BuildCourseOntology()
+	// §4.3: "tree" and "pop" are not related; "stack" and "pop" are.
+	if o.Related("tree", "pop", 0) {
+		t.Errorf("tree–pop should be unrelated (distance %d)", o.Distance("tree", "pop"))
+	}
+	if !o.Related("stack", "pop", 0) {
+		t.Errorf("stack–pop should be related (distance %d)", o.Distance("stack", "pop"))
+	}
+	if !o.Related("push", "pop", 0) {
+		t.Errorf("push–pop are operations of the same concept (distance %d)", o.Distance("push", "pop"))
+	}
+	if o.Related("tree", "push", 0) {
+		t.Errorf("tree–push should be unrelated (distance %d)", o.Distance("tree", "push"))
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	o := BuildCourseOntology()
+	items := o.Items()
+	// Symmetry and identity on a sample of pairs.
+	for i := 0; i < len(items); i += 3 {
+		for j := 1; j < len(items); j += 5 {
+			a, b := items[i].Name, items[j].Name
+			if d1, d2 := o.Distance(a, b), o.Distance(b, a); d1 != d2 {
+				t.Errorf("distance asymmetric: d(%s,%s)=%d d(%s,%s)=%d", a, b, d1, b, a, d2)
+			}
+		}
+	}
+	if d := o.Distance("stack", "stack"); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+	if d := o.Distance("stack", "no such thing"); d != Unreachable {
+		t.Errorf("missing item distance = %d, want Unreachable", d)
+	}
+}
+
+func TestTriangleInequalitySample(t *testing.T) {
+	o := BuildCourseOntology()
+	names := []string{"stack", "queue", "tree", "heap", "push", "pop", "enqueue", "graph", "node"}
+	for _, a := range names {
+		for _, b := range names {
+			for _, c := range names {
+				ab, bc, ac := o.Distance(a, b), o.Distance(b, c), o.Distance(a, c)
+				if ab < Unreachable && bc < Unreachable && ac > ab+bc {
+					t.Errorf("triangle inequality violated: d(%s,%s)=%d > d(%s,%s)+d(%s,%s)=%d",
+						a, c, ac, a, b, b, c, ab+bc)
+				}
+			}
+		}
+	}
+}
+
+func TestLookupFoldsPlurals(t *testing.T) {
+	o := BuildCourseOntology()
+	for plural, singular := range map[string]string{
+		"stacks": "stack", "queues": "queue", "trees": "tree",
+		"indices": "index", "searches": "search", "vertices": "vertex",
+	} {
+		it, ok := o.Lookup(plural)
+		if !ok {
+			if _, okSing := o.Lookup(singular); okSing && plural != "vertices" && plural != "indices" {
+				t.Errorf("Lookup(%q) failed though %q exists", plural, singular)
+			}
+			continue
+		}
+		if it.Name != singular {
+			t.Errorf("Lookup(%q) = %q, want %q", plural, it.Name, singular)
+		}
+	}
+}
+
+func TestAliases(t *testing.T) {
+	o := BuildCourseOntology()
+	for alias, canonical := range map[string]string{
+		"lifo": "lifo", "bst": "binary search tree", "last in first out": "lifo",
+		"hash map": "hash table", "deletion": "delete",
+	} {
+		it, ok := o.Lookup(alias)
+		if !ok {
+			t.Errorf("alias %q not found", alias)
+			continue
+		}
+		if it.Name != canonical {
+			t.Errorf("alias %q resolved to %q, want %q", alias, it.Name, canonical)
+		}
+	}
+}
+
+func TestOperationsOfInheritsThroughIsA(t *testing.T) {
+	o := BuildCourseOntology()
+	ops := o.OperationsOf("binary search tree")
+	names := make(map[string]bool, len(ops))
+	for _, op := range ops {
+		names[op.Name] = true
+	}
+	// Direct operations plus inherited ones from tree.
+	for _, want := range []string{"search", "rotate", "insert", "delete", "traverse"} {
+		if !names[want] {
+			t.Errorf("binary search tree should offer %q (directly or via tree), got %v", want, names)
+		}
+	}
+}
+
+func TestConceptsWith(t *testing.T) {
+	o := BuildCourseOntology()
+	got := o.ConceptsWith("push")
+	if len(got) != 1 || got[0].Name != "stack" {
+		t.Fatalf("ConceptsWith(push) = %v, want [stack]", got)
+	}
+	multi := o.ConceptsWith("insert")
+	if len(multi) < 3 {
+		t.Errorf("ConceptsWith(insert) = %d concepts, want >= 3", len(multi))
+	}
+}
+
+func TestIsATransitive(t *testing.T) {
+	o := BuildCourseOntology()
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"stack", "data structure", true},
+		{"binary search tree", "tree", true},
+		{"heap", "tree", true},
+		{"stack", "queue", false},
+		{"tree", "binary tree", false}, // is-a is directional
+	}
+	for _, tc := range cases {
+		if got := o.IsA(tc.a, tc.b); got != tc.want {
+			t.Errorf("IsA(%s,%s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestExtractTermsLongestMatch(t *testing.T) {
+	o := BuildCourseOntology()
+	tokens := strings.Fields("a binary search tree has the search operation")
+	matches := o.ExtractTerms(tokens)
+	if len(matches) < 2 {
+		t.Fatalf("want >= 2 matches, got %v", matches)
+	}
+	if matches[0].Item.Name != "binary search tree" {
+		t.Errorf("first match = %q, want longest match %q", matches[0].Item.Name, "binary search tree")
+	}
+	found := false
+	for _, m := range matches[1:] {
+		if m.Item.Name == "search" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a separate 'search' match, got %v", matches)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	o := BuildCourseOntology()
+	var buf bytes.Buffer
+	if err := o.EncodeXML(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !strings.Contains(buf.String(), `name="stack"`) {
+		t.Fatalf("xml output missing stack item:\n%s", clipStr(buf.String()))
+	}
+	back, err := DecodeXML(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Len() != o.Len() {
+		t.Fatalf("round trip lost items: %d -> %d", o.Len(), back.Len())
+	}
+	if back.Domain() != o.Domain() {
+		t.Errorf("domain: %q -> %q", o.Domain(), back.Domain())
+	}
+	// Semantics must survive: same distances on the paper pairs.
+	for _, pair := range [][2]string{{"stack", "pop"}, {"tree", "pop"}, {"push", "pop"}} {
+		if d1, d2 := o.Distance(pair[0], pair[1]), back.Distance(pair[0], pair[1]); d1 != d2 {
+			t.Errorf("distance(%s,%s) changed across XML round trip: %d -> %d", pair[0], pair[1], d1, d2)
+		}
+	}
+	st, ok := back.Lookup("stack")
+	if !ok {
+		t.Fatal("stack lost in round trip")
+	}
+	if !strings.Contains(st.Definition.Description, "Last In, First Out") {
+		t.Errorf("stack description lost: %q", st.Definition.Description)
+	}
+	if len(st.Definition.Symbols) == 0 || st.Definition.Symbols[0].Name != "top" {
+		t.Errorf("stack symbol lost: %+v", st.Definition.Symbols)
+	}
+}
+
+func TestDDLRoundTrip(t *testing.T) {
+	o := BuildCourseOntology()
+	script := o.ExportDDL()
+	in := NewInterpreter(nil)
+	if err := in.Run(script); err != nil {
+		t.Fatalf("replay exported DDL: %v", err)
+	}
+	back := in.Ontology()
+	if back.Len() != o.Len() {
+		t.Fatalf("DDL round trip lost items: %d -> %d", o.Len(), back.Len())
+	}
+	for _, pair := range [][2]string{{"stack", "pop"}, {"tree", "pop"}, {"stack", "lifo"}} {
+		if d1, d2 := o.Distance(pair[0], pair[1]), back.Distance(pair[0], pair[1]); d1 != d2 {
+			t.Errorf("distance(%s,%s) changed across DDL round trip: %d -> %d", pair[0], pair[1], d1, d2)
+		}
+	}
+}
+
+func TestDDLStatements(t *testing.T) {
+	in := NewInterpreter(nil)
+	err := in.Run(`
+		-- build a small ontology
+		CREATE DOMAIN "Test Domain";
+		CREATE ITEM stack KIND concept ID 3;
+		CREATE ITEM push KIND operation ID 32;
+		CREATE ITEM "hash table" KIND concept;
+		SET DESCRIPTION stack "A stack is a LIFO structure.";
+		ADD SYMBOL stack top "the accessible end";
+		ADD ALIAS stack lifo;
+		RELATE stack push KIND hasoperation;
+		SELECT ITEM stack;
+		SELECT OPERATIONS stack;
+		SELECT DISTANCE stack push;
+	`)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := strings.Join(in.Output, "\n")
+	for _, want := range []string{"item 3 stack", "operation 32 push", "distance stack push = 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if in.Ontology().Domain() != "Test Domain" {
+		t.Errorf("domain = %q", in.Ontology().Domain())
+	}
+}
+
+func TestDDLErrors(t *testing.T) {
+	cases := []string{
+		`CREATE ITEM;`,
+		`CREATE ITEM x KIND nonsense;`,
+		`RELATE a b KIND isa;`,
+		`FROBNICATE x;`,
+		`SELECT ITEM missing;`,
+		`CREATE ITEM dup KIND concept; CREATE ITEM dup KIND concept;`,
+	}
+	for _, src := range cases {
+		in := NewInterpreter(nil)
+		if err := in.Run(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestRemoveAndUnrelate(t *testing.T) {
+	o := BuildCourseOntology()
+	if err := o.Unrelate("stack", "pop"); err != nil {
+		t.Fatalf("unrelate: %v", err)
+	}
+	if d := o.Distance("stack", "pop"); d <= 1 {
+		t.Errorf("after unrelate, distance(stack,pop) = %d, want > 1", d)
+	}
+	if err := o.RemoveItem("graph"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, ok := o.Lookup("graph"); ok {
+		t.Error("graph still present after RemoveItem")
+	}
+	for _, r := range o.Relations() {
+		if _, ok := o.ByID(r.From); !ok {
+			t.Errorf("dangling relation from %d", r.From)
+		}
+		if _, ok := o.ByID(r.To); !ok {
+			t.Errorf("dangling relation to %d", r.To)
+		}
+	}
+}
+
+func TestPathDescription(t *testing.T) {
+	o := BuildCourseOntology()
+	steps := o.Path("tree", "pop")
+	if len(steps) == 0 {
+		t.Fatal("expected a path from tree to pop")
+	}
+	text := DescribePath(steps)
+	if text == "" || text == "no relation found" {
+		t.Errorf("DescribePath = %q", text)
+	}
+	if got := o.Path("stack", "no such"); got != nil {
+		t.Errorf("path to missing item should be nil, got %v", got)
+	}
+}
+
+func clipStr(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "…"
+	}
+	return s
+}

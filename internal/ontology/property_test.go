@@ -1,0 +1,149 @@
+package ontology
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomOntology builds a random but well-formed knowledge graph.
+func randomOntology(rng *rand.Rand) *Ontology {
+	o := New("random")
+	nItems := 5 + rng.Intn(20)
+	kinds := []ItemKind{KindConcept, KindOperation, KindProperty}
+	names := make([]string, 0, nItems)
+	for i := 0; i < nItems; i++ {
+		name := fmt.Sprintf("item%d", i)
+		if _, err := o.AddItem(name, kinds[rng.Intn(len(kinds))]); err != nil {
+			panic(err)
+		}
+		names = append(names, name)
+	}
+	relKinds := []RelationKind{RelIsA, RelHasOperation, RelHasProperty, RelPartOf, RelRelatedTo}
+	nEdges := rng.Intn(3 * nItems)
+	for i := 0; i < nEdges; i++ {
+		a := names[rng.Intn(len(names))]
+		b := names[rng.Intn(len(names))]
+		if a == b {
+			continue
+		}
+		_ = o.Relate(a, b, relKinds[rng.Intn(len(relKinds))])
+	}
+	return o
+}
+
+func TestPropertyDistanceIsAMetricOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		o := randomOntology(rng)
+		items := o.Items()
+		// Identity and symmetry on all pairs; triangle inequality on a
+		// sample of triples.
+		for i := 0; i < len(items); i++ {
+			if d := o.Distance(items[i].Name, items[i].Name); d != 0 {
+				t.Fatalf("trial %d: self distance %d", trial, d)
+			}
+			for j := i + 1; j < len(items); j++ {
+				ab := o.Distance(items[i].Name, items[j].Name)
+				ba := o.Distance(items[j].Name, items[i].Name)
+				if ab != ba {
+					t.Fatalf("trial %d: asymmetric %s/%s: %d vs %d",
+						trial, items[i].Name, items[j].Name, ab, ba)
+				}
+			}
+		}
+		for k := 0; k < 50; k++ {
+			a := items[rng.Intn(len(items))].Name
+			b := items[rng.Intn(len(items))].Name
+			c := items[rng.Intn(len(items))].Name
+			ab, bc, ac := o.Distance(a, b), o.Distance(b, c), o.Distance(a, c)
+			if ab < Unreachable && bc < Unreachable && ac > ab+bc {
+				t.Fatalf("trial %d: triangle violated: d(%s,%s)=%d > %d+%d", trial, a, c, ac, ab, bc)
+			}
+		}
+	}
+}
+
+func TestPropertyPathWeightsSumToDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 30; trial++ {
+		o := randomOntology(rng)
+		items := o.Items()
+		for k := 0; k < 30; k++ {
+			a := items[rng.Intn(len(items))].Name
+			b := items[rng.Intn(len(items))].Name
+			d := o.Distance(a, b)
+			steps := o.Path(a, b)
+			if d >= Unreachable {
+				if steps != nil {
+					t.Fatalf("trial %d: unreachable pair has a path", trial)
+				}
+				continue
+			}
+			if a == b {
+				continue
+			}
+			sum := 0
+			for _, s := range steps {
+				sum += s.Kind.Weight()
+			}
+			if sum != d {
+				t.Fatalf("trial %d: path weight %d != distance %d for %s→%s", trial, sum, d, a, b)
+			}
+			// Path endpoints must be the queried items.
+			if steps[0].From.Name != a && steps[0].To.Name != a {
+				t.Fatalf("trial %d: path does not start at %s", trial, a)
+			}
+		}
+	}
+}
+
+func TestPropertyXMLRoundTripPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		o := randomOntology(rng)
+		var buf bytes.Buffer
+		if err := o.EncodeXML(&buf); err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		back, err := DecodeXML(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v\n%s", trial, err, buf.String())
+		}
+		if back.Len() != o.Len() {
+			t.Fatalf("trial %d: item count %d -> %d", trial, o.Len(), back.Len())
+		}
+		items := o.Items()
+		for k := 0; k < 40; k++ {
+			a := items[rng.Intn(len(items))].Name
+			b := items[rng.Intn(len(items))].Name
+			if d1, d2 := o.Distance(a, b), back.Distance(a, b); d1 != d2 {
+				t.Fatalf("trial %d: distance(%s,%s) %d -> %d after XML round trip", trial, a, b, d1, d2)
+			}
+		}
+	}
+}
+
+func TestPropertyDDLRoundTripPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		o := randomOntology(rng)
+		in := NewInterpreter(nil)
+		if err := in.Run(o.ExportDDL()); err != nil {
+			t.Fatalf("trial %d: replay: %v", trial, err)
+		}
+		back := in.Ontology()
+		if back.Len() != o.Len() {
+			t.Fatalf("trial %d: item count %d -> %d", trial, o.Len(), back.Len())
+		}
+		items := o.Items()
+		for k := 0; k < 40; k++ {
+			a := items[rng.Intn(len(items))].Name
+			b := items[rng.Intn(len(items))].Name
+			if d1, d2 := o.Distance(a, b), back.Distance(a, b); d1 != d2 {
+				t.Fatalf("trial %d: distance(%s,%s) %d -> %d after DDL round trip", trial, a, b, d1, d2)
+			}
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package ontology
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The XML schema mirrors the paper's Figure 5 / §4.4 markup:
+//
+//	<Ontology domain="Data Structure">
+//	  <KeyItem id="3" name="stack" kind="concept">
+//	    <Definition>
+//	      <Description>A stack is a Last In, First Out ...</Description>
+//	      <Symbol name="top">A stack is a linear list ...</Symbol>
+//	      <Algorithm type="c">...</Algorithm>
+//	    </Definition>
+//	    <Alias>lifo</Alias>
+//	    <SubItem id="32" name="push" kind="operation"/>
+//	    <Relation kind="isa" target="2"/>
+//	  </KeyItem>
+//	</Ontology>
+//
+// SubItem nests an operation/property under its owning concept exactly
+// as the paper draws it; the importer creates the nested item plus the
+// corresponding has-operation / has-property edge.
+
+type xmlOntology struct {
+	XMLName xml.Name     `xml:"Ontology"`
+	Domain  string       `xml:"domain,attr"`
+	Items   []xmlKeyItem `xml:"KeyItem"`
+}
+
+type xmlKeyItem struct {
+	ID         int            `xml:"id,attr"`
+	Name       string         `xml:"name,attr"`
+	Kind       string         `xml:"kind,attr"`
+	Definition *xmlDefinition `xml:"Definition,omitempty"`
+	Aliases    []string       `xml:"Alias,omitempty"`
+	SubItems   []xmlSubItem   `xml:"SubItem,omitempty"`
+	Relations  []xmlRelation  `xml:"Relation,omitempty"`
+}
+
+type xmlDefinition struct {
+	Description string        `xml:"Description,omitempty"`
+	Symbols     []xmlSymbol   `xml:"Symbol,omitempty"`
+	Algorithm   *xmlAlgorithm `xml:"Algorithm,omitempty"`
+}
+
+type xmlSymbol struct {
+	Name string `xml:"name,attr"`
+	Text string `xml:",chardata"`
+}
+
+type xmlAlgorithm struct {
+	Type string `xml:"type,attr,omitempty"`
+	Text string `xml:",chardata"`
+}
+
+type xmlSubItem struct {
+	ID   int    `xml:"id,attr"`
+	Name string `xml:"name,attr"`
+	Kind string `xml:"kind,attr"`
+}
+
+type xmlRelation struct {
+	Kind   string `xml:"kind,attr"`
+	Target int    `xml:"target,attr"`
+}
+
+// EncodeXML writes the ontology in the paper's markup. Operations and
+// properties owned by exactly one concept are nested as SubItems of that
+// concept; everything else appears as a top-level KeyItem.
+func (o *Ontology) EncodeXML(w io.Writer) error {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+
+	// owner[id] = concept that solely owns this operation/property.
+	owner := make(map[int]int)
+	for id, it := range o.items {
+		if it.Kind == KindConcept {
+			continue
+		}
+		owners := make([]int, 0, 2)
+		for _, r := range o.in[id] {
+			if r.Kind == RelHasOperation || r.Kind == RelHasProperty {
+				owners = append(owners, r.From)
+			}
+		}
+		if len(owners) == 1 && len(o.out[id]) == 0 && o.items[id].Definition.isEmpty() && len(o.items[id].Aliases) == 0 {
+			owner[id] = owners[0]
+		}
+	}
+
+	doc := xmlOntology{Domain: o.domain}
+	ids := make([]int, 0, len(o.items))
+	for id := range o.items {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if _, nested := owner[id]; nested {
+			continue
+		}
+		it := o.items[id]
+		xi := xmlKeyItem{ID: it.ID, Name: it.Name, Kind: it.Kind.String()}
+		xi.Aliases = append(xi.Aliases, it.Aliases...)
+		if !it.Definition.isEmpty() {
+			def := &xmlDefinition{Description: it.Definition.Description}
+			for _, s := range it.Definition.Symbols {
+				def.Symbols = append(def.Symbols, xmlSymbol{Name: s.Name, Text: s.Text})
+			}
+			if it.Definition.Algorithm != "" {
+				def.Algorithm = &xmlAlgorithm{Type: it.Definition.AlgorithmType, Text: it.Definition.Algorithm}
+			}
+			xi.Definition = def
+		}
+		for _, r := range o.out[id] {
+			nestable := r.Kind == RelHasOperation || r.Kind == RelHasProperty
+			if nestable && owner[r.To] == id {
+				subIt := o.items[r.To]
+				xi.SubItems = append(xi.SubItems, xmlSubItem{ID: subIt.ID, Name: subIt.Name, Kind: subIt.Kind.String()})
+				continue
+			}
+			xi.Relations = append(xi.Relations, xmlRelation{Kind: r.Kind.String(), Target: r.To})
+		}
+		sort.Slice(xi.SubItems, func(a, b int) bool { return xi.SubItems[a].ID < xi.SubItems[b].ID })
+		sort.Slice(xi.Relations, func(a, b int) bool {
+			if xi.Relations[a].Target != xi.Relations[b].Target {
+				return xi.Relations[a].Target < xi.Relations[b].Target
+			}
+			return xi.Relations[a].Kind < xi.Relations[b].Kind
+		})
+		doc.Items = append(doc.Items, xi)
+	}
+
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("encode ontology xml: %w", err)
+	}
+	return nil
+}
+
+// DecodeXML parses the paper's markup into a fresh Ontology.
+func DecodeXML(r io.Reader) (*Ontology, error) {
+	var doc xmlOntology
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode ontology xml: %w", err)
+	}
+	o := New(doc.Domain)
+
+	// First pass: create all items so relations can refer to IDs.
+	type pendingSub struct {
+		ownerName string
+		sub       xmlSubItem
+	}
+	var subs []pendingSub
+	for _, xi := range doc.Items {
+		kind, err := ParseItemKind(defaultKind(xi.Kind))
+		if err != nil {
+			return nil, fmt.Errorf("item %q: %w", xi.Name, err)
+		}
+		it, err := o.AddItemWithID(xi.ID, xi.Name, kind)
+		if err != nil {
+			return nil, fmt.Errorf("item %q: %w", xi.Name, err)
+		}
+		for _, a := range xi.Aliases {
+			if err := o.AddAlias(it.Name, a); err != nil {
+				return nil, fmt.Errorf("alias %q of %q: %w", a, xi.Name, err)
+			}
+		}
+		if xi.Definition != nil {
+			if err := o.SetDescription(it.Name, xi.Definition.Description); err != nil {
+				return nil, err
+			}
+			for _, s := range xi.Definition.Symbols {
+				if err := o.AddSymbol(it.Name, s.Name, s.Text); err != nil {
+					return nil, err
+				}
+			}
+			if xi.Definition.Algorithm != nil {
+				if err := o.SetAlgorithm(it.Name, xi.Definition.Algorithm.Type, xi.Definition.Algorithm.Text); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, sub := range xi.SubItems {
+			subs = append(subs, pendingSub{ownerName: it.Name, sub: sub})
+		}
+	}
+	for _, ps := range subs {
+		kind, err := ParseItemKind(defaultKind(ps.sub.Kind))
+		if err != nil {
+			return nil, fmt.Errorf("subitem %q: %w", ps.sub.Name, err)
+		}
+		// Exact-name check: morphological folding must not conflate a
+		// distinct subitem ("balanced") with an existing item
+		// ("balance").
+		if !o.hasExact(ps.sub.Name) {
+			if _, err := o.AddItemWithID(ps.sub.ID, ps.sub.Name, kind); err != nil {
+				return nil, fmt.Errorf("subitem %q: %w", ps.sub.Name, err)
+			}
+		}
+		relKind := RelHasOperation
+		if kind == KindProperty {
+			relKind = RelHasProperty
+		}
+		if err := o.Relate(ps.ownerName, ps.sub.Name, relKind); err != nil {
+			return nil, fmt.Errorf("subitem %q of %q: %w", ps.sub.Name, ps.ownerName, err)
+		}
+	}
+
+	// Second pass: explicit relations by target ID.
+	for _, xi := range doc.Items {
+		for _, xr := range xi.Relations {
+			kind, err := ParseRelationKind(xr.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("relation of %q: %w", xi.Name, err)
+			}
+			target, ok := o.ByID(xr.Target)
+			if !ok {
+				return nil, fmt.Errorf("relation of %q: target id %d not found", xi.Name, xr.Target)
+			}
+			if err := o.Relate(xi.Name, target.Name, kind); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return o, nil
+}
+
+func defaultKind(k string) string {
+	if k == "" {
+		return "concept"
+	}
+	return k
+}

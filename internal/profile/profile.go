@@ -1,0 +1,229 @@
+// Package profile implements the User Profile database of the paper's
+// architecture (Fig. 3): per-learner identity, activity counters and
+// mistake statistics that feed the statistic analyzer and the teaching
+// material recommendation.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Profile aggregates one learner's history.
+type Profile struct {
+	User      string    `json:"user"`
+	FirstSeen time.Time `json:"firstSeen"`
+	LastSeen  time.Time `json:"lastSeen"`
+
+	Messages       int `json:"messages"`
+	SyntaxErrors   int `json:"syntaxErrors"`
+	SemanticErrors int `json:"semanticErrors"`
+	Questions      int `json:"questions"`
+
+	// MistakeKinds counts fine-grained error tags ("agreement",
+	// "determiner", "word-order", ...).
+	MistakeKinds map[string]int `json:"mistakeKinds,omitempty"`
+	// TopicCounts counts ontology terms the learner has talked about.
+	TopicCounts map[string]int `json:"topicCounts,omitempty"`
+}
+
+// ErrorRate is the fraction of messages with any error.
+func (p *Profile) ErrorRate() float64 {
+	if p.Messages == 0 {
+		return 0
+	}
+	return float64(p.SyntaxErrors+p.SemanticErrors) / float64(p.Messages)
+}
+
+// Proficiency is a [0,1] score: 1 means no recorded mistakes.
+func (p *Profile) Proficiency() float64 {
+	return 1 - p.ErrorRate()
+}
+
+// TopTopics returns the learner's most-discussed ontology terms.
+func (p *Profile) TopTopics(n int) []string {
+	return topKeys(p.TopicCounts, n)
+}
+
+// TopMistakes returns the learner's most frequent mistake kinds.
+func (p *Profile) TopMistakes(n int) []string {
+	return topKeys(p.MistakeKinds, n)
+}
+
+func topKeys(m map[string]int, n int) []string {
+	type kv struct {
+		k string
+		v int
+	}
+	rows := make([]kv, 0, len(m))
+	for k, v := range m {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].k < rows[j].k
+	})
+	if n > len(rows) {
+		n = len(rows)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = rows[i].k
+	}
+	return out
+}
+
+// Store is the thread-safe profile database.
+type Store struct {
+	mu       sync.RWMutex
+	profiles map[string]*Profile
+	now      func() time.Time
+}
+
+// NewStore returns an empty profile store.
+func NewStore() *Store {
+	return &Store{profiles: make(map[string]*Profile), now: time.Now}
+}
+
+// SetClock overrides the time source (tests).
+func (s *Store) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// Get returns a copy of the profile, if present.
+func (s *Store) Get(user string) (Profile, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[user]
+	if !ok {
+		return Profile{}, false
+	}
+	return clone(p), true
+}
+
+// Update applies fn to the (possibly new) profile of user.
+func (s *Store) Update(user string, fn func(*Profile)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.profiles[user]
+	if !ok {
+		p = &Profile{
+			User:         user,
+			FirstSeen:    s.now(),
+			MistakeKinds: make(map[string]int),
+			TopicCounts:  make(map[string]int),
+		}
+		s.profiles[user] = p
+	}
+	p.LastSeen = s.now()
+	fn(p)
+}
+
+// RecordMessage bumps the message counter and topic counts.
+func (s *Store) RecordMessage(user string, topics []string) {
+	s.Update(user, func(p *Profile) {
+		p.Messages++
+		for _, t := range topics {
+			p.TopicCounts[t]++
+		}
+	})
+}
+
+// RecordSyntaxError counts a syntax mistake with optional fine-grained
+// tags.
+func (s *Store) RecordSyntaxError(user string, tags ...string) {
+	s.Update(user, func(p *Profile) {
+		p.SyntaxErrors++
+		for _, t := range tags {
+			p.MistakeKinds[t]++
+		}
+	})
+}
+
+// RecordSemanticError counts a semantic mistake.
+func (s *Store) RecordSemanticError(user string, tags ...string) {
+	s.Update(user, func(p *Profile) {
+		p.SemanticErrors++
+		for _, t := range tags {
+			p.MistakeKinds[t]++
+		}
+	})
+}
+
+// RecordQuestion counts a question routed to the QA system.
+func (s *Store) RecordQuestion(user string) {
+	s.Update(user, func(p *Profile) { p.Questions++ })
+}
+
+// Len returns the number of profiles.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.profiles)
+}
+
+// Snapshot returns copies of all profiles sorted by user name.
+func (s *Store) Snapshot() []Profile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Profile, 0, len(s.profiles))
+	for _, p := range s.profiles {
+		out = append(out, clone(p))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// Save writes all profiles as a JSON array.
+func (s *Store) Save(w io.Writer) error {
+	snap := s.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("encode profiles: %w", err)
+	}
+	return nil
+}
+
+// Load reads a JSON array of profiles into a fresh store.
+func Load(r io.Reader) (*Store, error) {
+	var rows []Profile
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("decode profiles: %w", err)
+	}
+	s := NewStore()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range rows {
+		p := rows[i]
+		if p.MistakeKinds == nil {
+			p.MistakeKinds = make(map[string]int)
+		}
+		if p.TopicCounts == nil {
+			p.TopicCounts = make(map[string]int)
+		}
+		s.profiles[p.User] = &p
+	}
+	return s, nil
+}
+
+func clone(p *Profile) Profile {
+	out := *p
+	out.MistakeKinds = make(map[string]int, len(p.MistakeKinds))
+	for k, v := range p.MistakeKinds {
+		out.MistakeKinds[k] = v
+	}
+	out.TopicCounts = make(map[string]int, len(p.TopicCounts))
+	for k, v := range p.TopicCounts {
+		out.TopicCounts[k] = v
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package profile
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordingAndRates(t *testing.T) {
+	s := NewStore()
+	s.RecordMessage("alice", []string{"stack"})
+	s.RecordMessage("alice", []string{"stack", "push"})
+	s.RecordSyntaxError("alice", "agreement")
+	s.RecordQuestion("alice")
+
+	p, ok := s.Get("alice")
+	if !ok {
+		t.Fatal("alice missing")
+	}
+	if p.Messages != 2 || p.SyntaxErrors != 1 || p.Questions != 1 {
+		t.Errorf("counters = %+v", p)
+	}
+	if p.TopicCounts["stack"] != 2 {
+		t.Errorf("stack topic count = %d", p.TopicCounts["stack"])
+	}
+	if got := p.ErrorRate(); got != 0.5 {
+		t.Errorf("error rate = %v, want 0.5", got)
+	}
+	if got := p.Proficiency(); got != 0.5 {
+		t.Errorf("proficiency = %v, want 0.5", got)
+	}
+}
+
+func TestZeroMessagesRates(t *testing.T) {
+	p := &Profile{}
+	if p.ErrorRate() != 0 || p.Proficiency() != 1 {
+		t.Errorf("zero-message profile: rate=%v prof=%v", p.ErrorRate(), p.Proficiency())
+	}
+}
+
+func TestTopTopicsAndMistakes(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 3; i++ {
+		s.RecordMessage("bob", []string{"stack"})
+	}
+	s.RecordMessage("bob", []string{"queue"})
+	s.RecordSyntaxError("bob", "agreement")
+	s.RecordSyntaxError("bob", "agreement")
+	s.RecordSyntaxError("bob", "word-order")
+
+	p, _ := s.Get("bob")
+	if top := p.TopTopics(1); len(top) != 1 || top[0] != "stack" {
+		t.Errorf("TopTopics = %v", top)
+	}
+	if top := p.TopMistakes(2); len(top) != 2 || top[0] != "agreement" {
+		t.Errorf("TopMistakes = %v", top)
+	}
+	if top := p.TopTopics(10); len(top) != 2 {
+		t.Errorf("TopTopics(10) = %v, want both topics", top)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	s.RecordMessage("carol", []string{"tree"})
+	p, _ := s.Get("carol")
+	p.TopicCounts["tree"] = 99
+	p2, _ := s.Get("carol")
+	if p2.TopicCounts["tree"] != 1 {
+		t.Error("Get leaks internal map")
+	}
+}
+
+func TestClockAndTimestamps(t *testing.T) {
+	s := NewStore()
+	t0 := time.Date(2026, 6, 11, 10, 0, 0, 0, time.UTC)
+	now := t0
+	s.SetClock(func() time.Time { return now })
+	s.RecordMessage("dave", nil)
+	now = t0.Add(time.Hour)
+	s.RecordMessage("dave", nil)
+	p, _ := s.Get("dave")
+	if !p.FirstSeen.Equal(t0) {
+		t.Errorf("FirstSeen = %v", p.FirstSeen)
+	}
+	if !p.LastSeen.Equal(t0.Add(time.Hour)) {
+		t.Errorf("LastSeen = %v", p.LastSeen)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.RecordMessage("alice", []string{"stack"})
+	s.RecordSemanticError("alice", "ontology-violation")
+	s.RecordMessage("bob", []string{"queue"})
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("len = %d, want 2", back.Len())
+	}
+	p, ok := back.Get("alice")
+	if !ok || p.SemanticErrors != 1 || p.MistakeKinds["ontology-violation"] != 1 {
+		t.Errorf("alice = %+v", p)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.RecordMessage("race", []string{"stack"})
+			}
+		}()
+	}
+	wg.Wait()
+	p, _ := s.Get("race")
+	if p.Messages != 1600 {
+		t.Errorf("messages = %d, want 1600", p.Messages)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	s := NewStore()
+	for _, u := range []string{"zed", "alice", "mike"} {
+		s.RecordMessage(u, nil)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 3 || snap[0].User != "alice" || snap[2].User != "zed" {
+		t.Errorf("snapshot order: %v", []string{snap[0].User, snap[1].User, snap[2].User})
+	}
+}

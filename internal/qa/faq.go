@@ -1,0 +1,165 @@
+package qa
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entry is one accumulated question/answer pair.
+type Entry struct {
+	// Key is the normalized question (content tokens).
+	Key string `json:"key"`
+	// Question is the first raw phrasing seen.
+	Question string       `json:"question"`
+	Answer   string       `json:"answer"`
+	Template TemplateKind `json:"template"`
+	Count    int          `json:"count"`
+	First    time.Time    `json:"first"`
+	Last     time.Time    `json:"last"`
+}
+
+// FAQ is the frequency-counted question/answer database of §4.4. When
+// enough QA pairs accumulate, Top returns the most frequent pairs — the
+// paper's "powerful learning tool for the learners".
+type FAQ struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	now     func() time.Time
+}
+
+// NewFAQ returns an empty FAQ database.
+func NewFAQ() *FAQ {
+	return &FAQ{entries: make(map[string]*Entry), now: time.Now}
+}
+
+// SetClock overrides the time source (tests).
+func (f *FAQ) SetClock(now func() time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = now
+}
+
+// Record stores (or bumps) a question/answer pair.
+func (f *FAQ) Record(question, answer string, template TemplateKind) {
+	key := NormalizeQuestion(question)
+	if key == "" || answer == "" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.entries[key]
+	if !ok {
+		e = &Entry{
+			Key:      key,
+			Question: question,
+			Answer:   answer,
+			Template: template,
+			First:    f.now(),
+		}
+		f.entries[key] = e
+	}
+	e.Count++
+	e.Last = f.now()
+}
+
+// Lookup finds an entry matching the (normalized) question.
+func (f *FAQ) Lookup(question string) (Entry, bool) {
+	key := NormalizeQuestion(question)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	e, ok := f.entries[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Len returns the number of distinct QA pairs.
+func (f *FAQ) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.entries)
+}
+
+// Top returns the n most frequently asked entries.
+func (f *FAQ) Top(n int) []Entry {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]Entry, 0, len(f.entries))
+	for _, e := range f.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Render formats the top-n FAQ as learner-facing text.
+func (f *FAQ) Render(n int) string {
+	top := f.Top(n)
+	if len(top) == 0 {
+		return "No frequently asked questions yet."
+	}
+	var b strings.Builder
+	b.WriteString("Frequently asked questions:\n")
+	for i, e := range top {
+		fmt.Fprintf(&b, "%d. (%d×) %s\n   %s\n", i+1, e.Count, e.Question, e.Answer)
+	}
+	return b.String()
+}
+
+// Save writes the FAQ as JSON lines.
+func (f *FAQ) Save(w io.Writer) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	keys := make([]string, 0, len(f.entries))
+	for k := range f.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, k := range keys {
+		if err := enc.Encode(f.entries[k]); err != nil {
+			return fmt.Errorf("encode faq entry %q: %w", k, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFAQ reads JSON lines into a fresh FAQ.
+func LoadFAQ(r io.Reader) (*FAQ, error) {
+	f := NewFAQ()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("faq line %d: %w", line, err)
+		}
+		f.entries[e.Key] = &e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read faq: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,384 @@
+// Package qa implements the Questions and Answers System of the paper's
+// §4.4: interrogative sentences are matched against question templates
+// ("What is …", "The relations of …", "Does … have …", "Which … has …"),
+// keywords are located in the knowledge ontology, the semantic distance
+// of the keywords shapes the answer, and answered pairs accumulate in
+// the FAQ database whose most frequent entries become a learning aid.
+package qa
+
+import (
+	"fmt"
+	"strings"
+
+	"semagent/internal/corpus"
+	"semagent/internal/linkgrammar"
+	"semagent/internal/ontology"
+	"semagent/internal/sentence"
+)
+
+// TemplateKind identifies which interrogative template matched.
+type TemplateKind int8
+
+// The paper's template set plus the is-a variant.
+const (
+	TemplateNone       TemplateKind = iota // no template matched
+	TemplateDefinition                     // "What is X?"
+	TemplateRelations                      // "The relations of X and Y?"
+	TemplateHasFeature                     // "Does X have Y?"
+	TemplateWhichHas                       // "Which X has Y?"
+	TemplateIsA                            // "Is X a Y?"
+)
+
+// String names the template.
+func (k TemplateKind) String() string {
+	switch k {
+	case TemplateDefinition:
+		return "what-is"
+	case TemplateRelations:
+		return "relations-of"
+	case TemplateHasFeature:
+		return "does-have"
+	case TemplateWhichHas:
+		return "which-has"
+	case TemplateIsA:
+		return "is-a"
+	default:
+		return "none"
+	}
+}
+
+// Answer is the system's response to a question.
+type Answer struct {
+	Question string
+	Template TemplateKind
+	Answered bool
+	Text     string
+	// Source is "ontology", "faq" or "corpus".
+	Source string
+	// Terms are the ontology keywords located in the question.
+	Terms []ontology.TermMatch
+}
+
+// System wires the ontology, the learner corpus fallback and the FAQ.
+type System struct {
+	onto   *ontology.Ontology
+	corpus *corpus.Store
+	faq    *FAQ
+}
+
+// New builds a QA system. The corpus may be nil; the FAQ is created
+// internally when nil.
+func New(onto *ontology.Ontology, store *corpus.Store, faq *FAQ) *System {
+	if faq == nil {
+		faq = NewFAQ()
+	}
+	return &System{onto: onto, corpus: store, faq: faq}
+}
+
+// FAQ returns the FAQ database.
+func (s *System) FAQ() *FAQ { return s.faq }
+
+// Ask answers a learner question: FAQ first (accumulated knowledge),
+// then template matching over the ontology, then the learner corpus.
+func (s *System) Ask(text string) Answer {
+	tokens := linkgrammar.Tokenize(text)
+	ans := Answer{Question: text}
+	if len(tokens) == 0 {
+		return ans
+	}
+	ans.Terms = s.onto.ExtractTerms(tokens)
+
+	// FAQ hit: a previously answered, equivalent question.
+	if entry, ok := s.faq.Lookup(text); ok {
+		ans.Answered = true
+		ans.Text = entry.Answer
+		ans.Source = "faq"
+		ans.Template = entry.Template
+		s.faq.Record(text, entry.Answer, entry.Template)
+		return ans
+	}
+
+	kind, a := s.answerByTemplate(tokens, ans.Terms)
+	ans.Template = kind
+	if a != "" {
+		ans.Answered = true
+		ans.Text = a
+		ans.Source = "ontology"
+		s.faq.Record(text, a, kind)
+		return ans
+	}
+
+	// Corpus fallback: a correct recorded sentence mentioning the terms.
+	if s.corpus != nil && len(ans.Terms) > 0 {
+		topics := make([]string, len(ans.Terms))
+		for i, t := range ans.Terms {
+			topics[i] = t.Item.Name
+		}
+		if sugg := s.corpus.Suggest(tokens, topics, 1); len(sugg) > 0 && sugg[0].Score > 0.2 {
+			ans.Answered = true
+			ans.Text = "From earlier discussion: \"" + sugg[0].Record.Text + "\""
+			ans.Source = "corpus"
+			return ans
+		}
+	}
+	return ans
+}
+
+// answerByTemplate matches the token stream against the interrogative
+// templates and produces an ontology-backed answer.
+func (s *System) answerByTemplate(tokens []string, terms []ontology.TermMatch) (TemplateKind, string) {
+	if len(tokens) == 0 {
+		return TemplateNone, ""
+	}
+	has := func(words ...string) bool {
+		for _, t := range tokens {
+			for _, w := range words {
+				if t == w {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	first := tokens[0]
+
+	// "the relations of X and Y", "what is the relation between X and Y"
+	if has("relation", "relations", "relationship") && len(terms) >= 2 {
+		return TemplateRelations, s.answerRelations(terms[0].Item, terms[1].Item)
+	}
+
+	switch {
+	case first == "what" || first == "what's":
+		// "which X has Y" phrased with what: "what structure has push"
+		if has("has", "have", "supports", "support", "contains", "contain", "offers", "offer") && len(terms) >= 1 {
+			if ans := s.answerWhichHas(tokens, terms); ans != "" {
+				return TemplateWhichHas, ans
+			}
+		}
+		if len(terms) >= 1 {
+			return TemplateDefinition, s.answerDefinition(terms[0].Item)
+		}
+		return TemplateDefinition, ""
+	case first == "which":
+		if ans := s.answerWhichHas(tokens, terms); ans != "" {
+			return TemplateWhichHas, ans
+		}
+		return TemplateWhichHas, ""
+	case first == "does" || first == "do" || first == "can":
+		if len(terms) >= 2 {
+			concept, feature := orient(terms)
+			if concept != nil {
+				return TemplateHasFeature, s.answerHasFeature(concept, feature)
+			}
+		}
+		return TemplateHasFeature, ""
+	case first == "is" || first == "are":
+		// "is X a Y": two concepts.
+		if len(terms) >= 2 {
+			a, b := terms[0].Item, terms[1].Item
+			if a.Kind == ontology.KindConcept && b.Kind == ontology.KindConcept {
+				return TemplateIsA, s.answerIsA(a, b)
+			}
+			concept, feature := orient(terms)
+			if concept != nil {
+				return TemplateHasFeature, s.answerHasFeature(concept, feature)
+			}
+		}
+		if len(terms) == 1 {
+			// "is a stack useful?" — answer with the definition.
+			return TemplateDefinition, s.answerDefinition(terms[0].Item)
+		}
+		return TemplateIsA, ""
+	case first == "how" || first == "why":
+		if len(terms) >= 1 {
+			return TemplateDefinition, s.answerDefinition(terms[0].Item)
+		}
+	}
+	return TemplateNone, ""
+}
+
+func (s *System) answerDefinition(it *ontology.Item) string {
+	if it.Definition.Description != "" {
+		return it.Definition.Description
+	}
+	// Synthesize from relations when no prose is stored.
+	var parts []string
+	if parents := s.onto.ParentsOf(it.Name); len(parents) > 0 {
+		parts = append(parts, fmt.Sprintf("%s is a %s", it.Name, parents[0].Name))
+	}
+	if ops := s.onto.OperationsOf(it.Name); len(ops) > 0 {
+		names := make([]string, len(ops))
+		for i, op := range ops {
+			names[i] = op.Name
+		}
+		parts = append(parts, fmt.Sprintf("it supports %s", strings.Join(names, ", ")))
+	}
+	if owners := s.onto.ConceptsWith(it.Name); len(owners) > 0 {
+		names := make([]string, len(owners))
+		for i, c := range owners {
+			names[i] = c.Name
+		}
+		parts = append(parts, fmt.Sprintf("%s belongs to %s", it.Name, strings.Join(names, ", ")))
+	}
+	// Structural knowledge: part-of and related-to edges still define
+	// an item ("a node is part of a linked list and a tree").
+	var partOf, related []string
+	for _, r := range s.onto.Neighbors(it.ID) {
+		other := r.To
+		forward := r.From == it.ID
+		if !forward {
+			other = r.From
+		}
+		target, ok := s.onto.ByID(other)
+		if !ok {
+			continue
+		}
+		switch {
+		case r.Kind == ontology.RelPartOf && forward:
+			partOf = append(partOf, target.Name)
+		case r.Kind == ontology.RelRelatedTo:
+			related = append(related, target.Name)
+		}
+	}
+	if len(partOf) > 0 {
+		parts = append(parts, fmt.Sprintf("a %s is part of %s", it.Name, strings.Join(partOf, " and ")))
+	}
+	if len(parts) == 0 && len(related) > 0 {
+		parts = append(parts, fmt.Sprintf("%s is related to %s", it.Name, strings.Join(related, " and ")))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return strings.Join(parts, "; ") + "."
+}
+
+func (s *System) answerRelations(a, b *ontology.Item) string {
+	steps := s.onto.Path(a.Name, b.Name)
+	if len(steps) == 0 {
+		return fmt.Sprintf("I find no relation between %s and %s in the %s ontology.",
+			a.Name, b.Name, s.onto.Domain())
+	}
+	d := s.onto.Distance(a.Name, b.Name)
+	return fmt.Sprintf("%s (semantic distance %d).", ontology.DescribePath(steps), d)
+}
+
+func (s *System) answerHasFeature(concept, feature *ontology.Item) string {
+	for _, op := range s.onto.OperationsOf(concept.Name) {
+		if op.ID == feature.ID {
+			return fmt.Sprintf("Yes, %s has the %s %s.", concept.Name, roleNoun(feature), feature.Name)
+		}
+	}
+	// Property check via direct relation distance.
+	if feature.Kind == ontology.KindProperty && s.onto.Distance(concept.Name, feature.Name) == 1 {
+		return fmt.Sprintf("Yes, %s has the property %s.", concept.Name, feature.Name)
+	}
+	answer := fmt.Sprintf("No, %s does not have %s.", concept.Name, feature.Name)
+	if owners := s.onto.ConceptsWith(feature.Name); len(owners) > 0 {
+		names := make([]string, len(owners))
+		for i, c := range owners {
+			names[i] = c.Name
+		}
+		answer += fmt.Sprintf(" %s is %s of %s.", feature.Name, aRoleNoun(feature), strings.Join(names, ", "))
+	}
+	return answer
+}
+
+func (s *System) answerWhichHas(tokens []string, terms []ontology.TermMatch) string {
+	// The feature is the operation/property term; an optional concept
+	// term ("data structure") restricts the category.
+	var feature *ontology.Item
+	var category *ontology.Item
+	for _, t := range terms {
+		switch t.Item.Kind {
+		case ontology.KindOperation, ontology.KindProperty:
+			if feature == nil {
+				feature = t.Item
+			}
+		case ontology.KindConcept:
+			if category == nil {
+				category = t.Item
+			}
+		}
+	}
+	if feature == nil {
+		return ""
+	}
+	owners := s.onto.ConceptsWith(feature.Name)
+	if category != nil {
+		filtered := owners[:0]
+		for _, o := range owners {
+			if s.onto.IsA(o.Name, category.Name) {
+				filtered = append(filtered, o)
+			}
+		}
+		if len(filtered) > 0 {
+			owners = filtered
+		}
+	}
+	if len(owners) == 0 {
+		return fmt.Sprintf("No %s in the ontology has %s.", categoryName(category), feature.Name)
+	}
+	names := make([]string, len(owners))
+	for i, o := range owners {
+		names[i] = o.Name
+	}
+	return fmt.Sprintf("%s has the %s %s.", strings.Join(names, ", "), roleNoun(feature), feature.Name)
+}
+
+func (s *System) answerIsA(a, b *ontology.Item) string {
+	if s.onto.IsA(a.Name, b.Name) {
+		return fmt.Sprintf("Yes, %s is a %s.", a.Name, b.Name)
+	}
+	if s.onto.IsA(b.Name, a.Name) {
+		return fmt.Sprintf("Not exactly — %s is a %s, not the other way around.", b.Name, a.Name)
+	}
+	return fmt.Sprintf("No, %s is not a %s.", a.Name, b.Name)
+}
+
+func orient(terms []ontology.TermMatch) (*ontology.Item, *ontology.Item) {
+	var concept, feature *ontology.Item
+	for _, t := range terms {
+		switch t.Item.Kind {
+		case ontology.KindConcept:
+			if concept == nil {
+				concept = t.Item
+			}
+		default:
+			if feature == nil {
+				feature = t.Item
+			}
+		}
+	}
+	if concept == nil || feature == nil {
+		return nil, nil
+	}
+	return concept, feature
+}
+
+func roleNoun(it *ontology.Item) string {
+	if it.Kind == ontology.KindProperty {
+		return "property"
+	}
+	return "operation"
+}
+
+func aRoleNoun(it *ontology.Item) string {
+	if it.Kind == ontology.KindProperty {
+		return "a property"
+	}
+	return "an operation"
+}
+
+func categoryName(category *ontology.Item) string {
+	if category == nil {
+		return "item"
+	}
+	return category.Name
+}
+
+// NormalizeQuestion reduces a question to its content-token key so that
+// trivially rephrased questions share an FAQ entry.
+func NormalizeQuestion(text string) string {
+	tokens := sentence.ContentTokens(linkgrammar.Tokenize(text))
+	return strings.Join(tokens, " ")
+}

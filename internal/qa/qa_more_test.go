@@ -1,0 +1,119 @@
+package qa
+
+import (
+	"strings"
+	"testing"
+
+	"semagent/internal/ontology"
+)
+
+func TestPluralQuestionForms(t *testing.T) {
+	s := newSystem(t)
+	ans := s.Ask("Do stacks have pop methods?")
+	if !ans.Answered || !strings.HasPrefix(ans.Text, "Yes") {
+		t.Errorf("plural does-have: %+v", ans)
+	}
+	ans = s.Ask("What are queues?")
+	if !ans.Answered || !strings.Contains(ans.Text, "First In, First Out") {
+		t.Errorf("plural what-is: %+v", ans)
+	}
+}
+
+func TestCanFrontedQuestion(t *testing.T) {
+	s := newSystem(t)
+	ans := s.Ask("Can a heap have a heapify operation?")
+	if !ans.Answered || !strings.HasPrefix(ans.Text, "Yes") {
+		t.Errorf("can-fronted: %+v", ans)
+	}
+}
+
+func TestWhichHasProperty(t *testing.T) {
+	s := newSystem(t)
+	ans := s.Ask("Which structure has lifo?")
+	if !ans.Answered || !strings.Contains(ans.Text, "stack") {
+		t.Errorf("which-has property: %+v", ans)
+	}
+}
+
+func TestWhichHasWithCategoryFilter(t *testing.T) {
+	s := newSystem(t)
+	// insert is offered by several concepts; restricting to trees must
+	// keep only tree-ish owners.
+	ans := s.Ask("Which tree has the insert operation?")
+	if !ans.Answered {
+		t.Fatal("unanswered")
+	}
+	if strings.Contains(ans.Text, "hash table") || strings.Contains(ans.Text, "linked list") {
+		t.Errorf("category filter leaked non-trees: %q", ans.Text)
+	}
+}
+
+func TestSynthesizedDefinitionForBareItem(t *testing.T) {
+	// "node" has no stored description; the answer must be synthesized
+	// from its relations instead of going unanswered.
+	s := newSystem(t)
+	ans := s.Ask("What is a node?")
+	if !ans.Answered {
+		t.Fatal("unanswered")
+	}
+	if !strings.Contains(ans.Text, "part of") {
+		t.Errorf("synthesized definition = %q", ans.Text)
+	}
+}
+
+func TestMorphologicalFoldInQuestions(t *testing.T) {
+	s := newSystem(t)
+	// "insertion" is an alias of insert; "deletions" needs plural+alias
+	// folding.
+	ans := s.Ask("Does a tree have insertion?")
+	if !ans.Answered || !strings.HasPrefix(ans.Text, "Yes") {
+		t.Errorf("alias fold: %+v", ans)
+	}
+}
+
+func TestEmptyAndJunkQuestions(t *testing.T) {
+	s := newSystem(t)
+	for _, q := range []string{"", "   ", "???", "!!!"} {
+		ans := s.Ask(q)
+		if ans.Answered {
+			t.Errorf("junk question %q answered: %q", q, ans.Text)
+		}
+	}
+}
+
+func TestHowQuestionFallsBackToDefinition(t *testing.T) {
+	s := newSystem(t)
+	ans := s.Ask("How does a hash table work?")
+	if !ans.Answered || !strings.Contains(ans.Text, "hash") {
+		t.Errorf("how fallback: %+v", ans)
+	}
+}
+
+func TestRelationsOfUnreachablePair(t *testing.T) {
+	onto := ontology.BuildCourseOntology()
+	// Add an isolated island item.
+	if _, err := onto.AddItem("widget", ontology.KindConcept); err != nil {
+		t.Fatal(err)
+	}
+	s := New(onto, nil, nil)
+	ans := s.Ask("What is the relation between a widget and a stack?")
+	if !ans.Answered {
+		t.Fatal("unanswered")
+	}
+	if !strings.Contains(ans.Text, "no relation") {
+		t.Errorf("unreachable pair answer = %q", ans.Text)
+	}
+}
+
+func TestFAQKeyCollapsesArticlesOnly(t *testing.T) {
+	// Two genuinely different questions must not share an FAQ entry.
+	f := NewFAQ()
+	f.Record("What is a stack?", "stack answer", TemplateDefinition)
+	f.Record("What is a queue?", "queue answer", TemplateDefinition)
+	if f.Len() != 2 {
+		t.Errorf("distinct questions merged: len=%d", f.Len())
+	}
+	if e, ok := f.Lookup("what is the stack"); !ok || e.Answer != "stack answer" {
+		t.Errorf("article variation should hit: %+v ok=%v", e, ok)
+	}
+}

@@ -1,0 +1,209 @@
+// Package qti exports the system's accumulated knowledge as IMS QTI
+// 1.2-style assessment items — the paper's stated future work of
+// "trying to follow some famous distance-learning standards". Two
+// generators are provided:
+//
+//   - FAQ entries become open-response items (the question text with
+//     the mined answer as the scoring rubric), so a term's frequent
+//     questions turn directly into quiz material.
+//   - Ontology has-operation facts become true/false items
+//     ("Does a stack have a pop operation?"), giving instructors an
+//     auto-generated question bank per topic.
+//
+// The emitted XML follows the questestinterop/item/presentation shape
+// of QTI 1.2 closely enough for LMS import pipelines that accept the
+// classic format; it is intentionally a subset (no response processing
+// scripts).
+package qti
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"semagent/internal/ontology"
+	"semagent/internal/qa"
+)
+
+// Interop is the questestinterop document root.
+type Interop struct {
+	XMLName xml.Name `xml:"questestinterop"`
+	Items   []Item   `xml:"item"`
+}
+
+// Item is one assessment item.
+type Item struct {
+	Ident         string         `xml:"ident,attr"`
+	Title         string         `xml:"title,attr"`
+	Presentation  Presentation   `xml:"presentation"`
+	Resprocessing *Resprocessing `xml:"resprocessing,omitempty"`
+	Itemfeedback  []Feedback     `xml:"itemfeedback,omitempty"`
+}
+
+// Presentation carries the question material.
+type Presentation struct {
+	Material    Material     `xml:"material"`
+	ResponseLid *ResponseLid `xml:"response_lid,omitempty"`
+	ResponseStr *ResponseStr `xml:"response_str,omitempty"`
+}
+
+// Material wraps display text.
+type Material struct {
+	Mattext string `xml:"mattext"`
+}
+
+// ResponseLid is a single-choice response block (true/false items).
+type ResponseLid struct {
+	Ident        string          `xml:"ident,attr"`
+	Rcardinality string          `xml:"rcardinality,attr"`
+	Labels       []ResponseLabel `xml:"render_choice>response_label"`
+}
+
+// ResponseLabel is one choice.
+type ResponseLabel struct {
+	Ident    string   `xml:"ident,attr"`
+	Material Material `xml:"material"`
+}
+
+// ResponseStr is a free-text response block (FAQ items).
+type ResponseStr struct {
+	Ident string `xml:"ident,attr"`
+	Fib   struct {
+		Rows int `xml:"rows,attr"`
+	} `xml:"render_fib"`
+}
+
+// Resprocessing records the correct answer.
+type Resprocessing struct {
+	Respconditions []Respcondition `xml:"respcondition"`
+}
+
+// Respcondition maps a response to a score.
+type Respcondition struct {
+	Varequal string  `xml:"conditionvar>varequal"`
+	Setvar   float64 `xml:"setvar"`
+}
+
+// Feedback carries the rubric/answer text.
+type Feedback struct {
+	Ident    string   `xml:"ident,attr"`
+	Material Material `xml:"material"`
+}
+
+// FromFAQ converts the top-n FAQ entries into open-response items.
+func FromFAQ(f *qa.FAQ, n int) Interop {
+	var doc Interop
+	for i, e := range f.Top(n) {
+		item := Item{
+			Ident: fmt.Sprintf("faq-%03d", i+1),
+			Title: clip(e.Question, 60),
+			Presentation: Presentation{
+				Material:    Material{Mattext: e.Question},
+				ResponseStr: &ResponseStr{Ident: "answer"},
+			},
+			Itemfeedback: []Feedback{{
+				Ident:    "rubric",
+				Material: Material{Mattext: e.Answer},
+			}},
+		}
+		item.Presentation.ResponseStr.Fib.Rows = 3
+		doc.Items = append(doc.Items, item)
+	}
+	return doc
+}
+
+// FromOntology generates true/false items from has-operation and
+// has-property facts, plus deliberately false distractors built from
+// unrelated pairs so the bank is balanced.
+func FromOntology(o *ontology.Ontology, maxItems int) Interop {
+	var doc Interop
+	add := func(concept, feature string, truth bool) {
+		if len(doc.Items) >= maxItems {
+			return
+		}
+		question := fmt.Sprintf("True or false: a %s has a %s operation.", concept, feature)
+		correct := "false"
+		if truth {
+			correct = "true"
+		}
+		doc.Items = append(doc.Items, Item{
+			Ident: fmt.Sprintf("fact-%03d", len(doc.Items)+1),
+			Title: clip(question, 60),
+			Presentation: Presentation{
+				Material: Material{Mattext: question},
+				ResponseLid: &ResponseLid{
+					Ident: "truth", Rcardinality: "Single",
+					Labels: []ResponseLabel{
+						{Ident: "true", Material: Material{Mattext: "True"}},
+						{Ident: "false", Material: Material{Mattext: "False"}},
+					},
+				},
+			},
+			Resprocessing: &Resprocessing{Respconditions: []Respcondition{{
+				Varequal: correct, Setvar: 1,
+			}}},
+		})
+	}
+
+	items := o.Items()
+	// True facts from direct edges.
+	for _, r := range o.Relations() {
+		if r.Kind != ontology.RelHasOperation {
+			continue
+		}
+		from, okF := o.ByID(r.From)
+		to, okT := o.ByID(r.To)
+		if okF && okT {
+			add(from.Name, to.Name, true)
+		}
+	}
+	// False distractors: concept × operation pairs far apart.
+	for _, c := range items {
+		if c.Kind != ontology.KindConcept {
+			continue
+		}
+		for _, op := range items {
+			if op.Kind != ontology.KindOperation {
+				continue
+			}
+			if len(doc.Items) >= maxItems {
+				return doc
+			}
+			if o.Distance(c.Name, op.Name) > ontology.DefaultRelatedThreshold+1 {
+				add(c.Name, op.Name, false)
+			}
+		}
+	}
+	return doc
+}
+
+// Write emits the document with the QTI prolog.
+func (doc Interop) Write(w io.Writer) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("encode qti: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Parse reads a questestinterop document (round-trip support).
+func Parse(r io.Reader) (Interop, error) {
+	var doc Interop
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return doc, fmt.Errorf("decode qti: %w", err)
+	}
+	return doc, nil
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return strings.TrimSpace(s[:n-1]) + "…"
+}

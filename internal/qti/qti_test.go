@@ -1,0 +1,121 @@
+package qti
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"semagent/internal/ontology"
+	"semagent/internal/qa"
+)
+
+func TestFromFAQ(t *testing.T) {
+	f := qa.NewFAQ()
+	f.Record("What is a stack?", "A stack is a LIFO structure.", qa.TemplateDefinition)
+	f.Record("What is a queue?", "A queue is a FIFO structure.", qa.TemplateDefinition)
+	f.Record("What is a stack?", "A stack is a LIFO structure.", qa.TemplateDefinition)
+
+	doc := FromFAQ(f, 10)
+	if len(doc.Items) != 2 {
+		t.Fatalf("items = %d", len(doc.Items))
+	}
+	// Most-asked first.
+	if !strings.Contains(doc.Items[0].Presentation.Material.Mattext, "stack") {
+		t.Errorf("item 0 = %q", doc.Items[0].Presentation.Material.Mattext)
+	}
+	if doc.Items[0].Presentation.ResponseStr == nil {
+		t.Error("FAQ items must be open-response")
+	}
+	if len(doc.Items[0].Itemfeedback) == 0 ||
+		!strings.Contains(doc.Items[0].Itemfeedback[0].Material.Mattext, "LIFO") {
+		t.Error("rubric missing")
+	}
+}
+
+func TestFromOntologyBalancedBank(t *testing.T) {
+	onto := ontology.BuildCourseOntology()
+	doc := FromOntology(onto, 60)
+	if len(doc.Items) == 0 {
+		t.Fatal("no items")
+	}
+	trueItems, falseItems := 0, 0
+	for _, item := range doc.Items {
+		if item.Resprocessing == nil || len(item.Resprocessing.Respconditions) == 0 {
+			t.Fatalf("item %s has no answer key", item.Ident)
+		}
+		switch item.Resprocessing.Respconditions[0].Varequal {
+		case "true":
+			trueItems++
+		case "false":
+			falseItems++
+		default:
+			t.Fatalf("item %s has bad answer %q", item.Ident, item.Resprocessing.Respconditions[0].Varequal)
+		}
+		if item.Presentation.ResponseLid == nil || len(item.Presentation.ResponseLid.Labels) != 2 {
+			t.Errorf("item %s is not a two-choice item", item.Ident)
+		}
+	}
+	if trueItems == 0 || falseItems == 0 {
+		t.Errorf("bank unbalanced: %d true, %d false", trueItems, falseItems)
+	}
+}
+
+func TestOntologyFactsAreCorrect(t *testing.T) {
+	onto := ontology.BuildCourseOntology()
+	doc := FromOntology(onto, 200)
+	for _, item := range doc.Items {
+		text := item.Presentation.Material.Mattext
+		// Parse back "True or false: a X has a Y operation."
+		text = strings.TrimPrefix(text, "True or false: a ")
+		text = strings.TrimSuffix(text, " operation.")
+		parts := strings.SplitN(text, " has a ", 2)
+		if len(parts) != 2 {
+			t.Fatalf("unparseable item text %q", item.Presentation.Material.Mattext)
+		}
+		concept, op := parts[0], parts[1]
+		wantTrue := item.Resprocessing.Respconditions[0].Varequal == "true"
+		hasDirect := false
+		for _, o := range onto.OperationsOf(concept) {
+			if o.Name == op {
+				hasDirect = true
+			}
+		}
+		if wantTrue && !hasDirect {
+			t.Errorf("item claims %q has %q but ontology disagrees", concept, op)
+		}
+		if !wantTrue && hasDirect {
+			t.Errorf("distractor %q/%q is actually true", concept, op)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	onto := ontology.BuildCourseOntology()
+	doc := FromOntology(onto, 10)
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<?xml") || !strings.Contains(out, "<questestinterop>") {
+		t.Errorf("output shape wrong:\n%s", out[:120])
+	}
+	back, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(back.Items) != len(doc.Items) {
+		t.Errorf("round trip lost items: %d -> %d", len(doc.Items), len(back.Items))
+	}
+	if back.Items[0].Ident != doc.Items[0].Ident {
+		t.Errorf("ident lost: %q", back.Items[0].Ident)
+	}
+}
+
+func TestMaxItemsRespected(t *testing.T) {
+	onto := ontology.BuildCourseOntology()
+	doc := FromOntology(onto, 5)
+	if len(doc.Items) != 5 {
+		t.Errorf("items = %d, want 5", len(doc.Items))
+	}
+}

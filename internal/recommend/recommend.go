@@ -1,0 +1,185 @@
+// Package recommend implements the Teaching Material Recommendation
+// component of the paper's architecture (Fig. 3): frequent mistakes and
+// struggled-with topics map to sections of the course material, giving
+// each learner — and the instructor — targeted reading.
+package recommend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semagent/internal/profile"
+	"semagent/internal/stats"
+)
+
+// Material is one section of course material.
+type Material struct {
+	ID      string
+	Topic   string // ontology term the section teaches
+	Title   string
+	Chapter int
+}
+
+// Library is an immutable set of course materials indexed by topic.
+type Library struct {
+	byTopic map[string][]Material
+	all     []Material
+}
+
+// NewLibrary indexes the given materials.
+func NewLibrary(materials []Material) *Library {
+	l := &Library{byTopic: make(map[string][]Material, len(materials))}
+	l.all = append(l.all, materials...)
+	for _, m := range materials {
+		l.byTopic[m.Topic] = append(l.byTopic[m.Topic], m)
+	}
+	return l
+}
+
+// CourseLibrary returns the built-in "Data Structure" course material
+// index matching the built-in ontology's topics.
+func CourseLibrary() *Library {
+	return NewLibrary([]Material{
+		{ID: "ch1-intro", Topic: "data structure", Title: "Introduction to Data Structures", Chapter: 1},
+		{ID: "ch2-array", Topic: "array", Title: "Arrays and Contiguous Storage", Chapter: 2},
+		{ID: "ch2-index", Topic: "index", Title: "Indexing and Random Access", Chapter: 2},
+		{ID: "ch3-list", Topic: "linked list", Title: "Linked Lists and Pointers", Chapter: 3},
+		{ID: "ch3-node", Topic: "node", Title: "Nodes and Dynamic Allocation", Chapter: 3},
+		{ID: "ch3-pointer", Topic: "pointer", Title: "Pointers in Depth", Chapter: 3},
+		{ID: "ch4-stack", Topic: "stack", Title: "Stacks and LIFO Discipline", Chapter: 4},
+		{ID: "ch4-push", Topic: "push", Title: "Stack Operations: push", Chapter: 4},
+		{ID: "ch4-pop", Topic: "pop", Title: "Stack Operations: pop and stack top", Chapter: 4},
+		{ID: "ch4-lifo", Topic: "lifo", Title: "LIFO Order and Applications", Chapter: 4},
+		{ID: "ch5-queue", Topic: "queue", Title: "Queues and FIFO Discipline", Chapter: 5},
+		{ID: "ch5-enqueue", Topic: "enqueue", Title: "Queue Operations: enqueue/dequeue", Chapter: 5},
+		{ID: "ch5-dequeue", Topic: "dequeue", Title: "Queue Operations: enqueue/dequeue", Chapter: 5},
+		{ID: "ch5-fifo", Topic: "fifo", Title: "FIFO Order and Buffering", Chapter: 5},
+		{ID: "ch5-deque", Topic: "deque", Title: "Double-Ended Queues", Chapter: 5},
+		{ID: "ch6-tree", Topic: "tree", Title: "Trees and Hierarchies", Chapter: 6},
+		{ID: "ch6-bintree", Topic: "binary tree", Title: "Binary Trees", Chapter: 6},
+		{ID: "ch6-bst", Topic: "binary search tree", Title: "Binary Search Trees", Chapter: 6},
+		{ID: "ch6-traverse", Topic: "traverse", Title: "Tree Traversal Orders", Chapter: 6},
+		{ID: "ch6-root", Topic: "root", Title: "Roots, Leaves and Subtrees", Chapter: 6},
+		{ID: "ch7-heap", Topic: "heap", Title: "Heaps and Priority Queues", Chapter: 7},
+		{ID: "ch7-heapify", Topic: "heapify", Title: "Heapify and Heap Maintenance", Chapter: 7},
+		{ID: "ch7-pq", Topic: "priority queue", Title: "Priority Queues", Chapter: 7},
+		{ID: "ch8-hash", Topic: "hash table", Title: "Hash Tables", Chapter: 8},
+		{ID: "ch8-hashfn", Topic: "hash function", Title: "Hash Functions and Collisions", Chapter: 8},
+		{ID: "ch9-graph", Topic: "graph", Title: "Graphs, Vertices and Edges", Chapter: 9},
+		{ID: "ch9-vertex", Topic: "vertex", Title: "Graph Representations", Chapter: 9},
+		{ID: "ch10-sort", Topic: "sort", Title: "Sorting Algorithms", Chapter: 10},
+		{ID: "ch10-search", Topic: "search", Title: "Searching Algorithms", Chapter: 10},
+		{ID: "ch10-insert", Topic: "insert", Title: "Insertion Across Structures", Chapter: 10},
+		{ID: "ch10-delete", Topic: "delete", Title: "Deletion Across Structures", Chapter: 10},
+	})
+}
+
+// ByTopic returns the sections teaching a topic.
+func (l *Library) ByTopic(topic string) []Material {
+	return append([]Material(nil), l.byTopic[topic]...)
+}
+
+// Len returns the number of sections.
+func (l *Library) Len() int { return len(l.all) }
+
+// Recommendation is a ranked material suggestion.
+type Recommendation struct {
+	Material Material
+	// Weight is the evidence strength (error counts) behind it.
+	Weight int
+	// Reason explains why it was recommended.
+	Reason string
+}
+
+// Recommender ranks materials against learner evidence.
+type Recommender struct {
+	lib *Library
+}
+
+// New returns a recommender over the library.
+func New(lib *Library) *Recommender {
+	return &Recommender{lib: lib}
+}
+
+// ForUser recommends sections for one learner from the topics they
+// discuss and the mistakes they make.
+func (r *Recommender) ForUser(p profile.Profile, limit int) []Recommendation {
+	weights := make(map[string]int)
+	reasons := make(map[string]string)
+	for topic, n := range p.TopicCounts {
+		weights[topic] += n
+		reasons[topic] = fmt.Sprintf("you discussed %s %d times", topic, n)
+	}
+	// Mistakes weigh three times as much as mere mentions.
+	if p.SyntaxErrors+p.SemanticErrors > 0 {
+		for _, topic := range p.TopTopics(3) {
+			weights[topic] += 3 * (p.SyntaxErrors + p.SemanticErrors)
+			reasons[topic] = fmt.Sprintf("you made mistakes while discussing %s", topic)
+		}
+	}
+	return r.rank(weights, reasons, limit)
+}
+
+// ForClass recommends sections for the whole class from aggregate
+// statistics, prioritizing the hardest topics.
+func (r *Recommender) ForClass(a *stats.Analyzer, limit int) []Recommendation {
+	weights := make(map[string]int)
+	reasons := make(map[string]string)
+	for _, row := range a.HardestTopics(10) {
+		weights[row.Name] += 5 * row.Count
+		reasons[row.Name] = fmt.Sprintf("%d errors while discussing %s", row.Count, row.Name)
+	}
+	for _, row := range a.TopTopics(10) {
+		weights[row.Name] += row.Count
+		if reasons[row.Name] == "" {
+			reasons[row.Name] = fmt.Sprintf("%s was discussed %d times", row.Name, row.Count)
+		}
+	}
+	return r.rank(weights, reasons, limit)
+}
+
+func (r *Recommender) rank(weights map[string]int, reasons map[string]string, limit int) []Recommendation {
+	if limit <= 0 {
+		limit = 3
+	}
+	var out []Recommendation
+	for topic, w := range weights {
+		for _, m := range r.lib.byTopic[topic] {
+			out = append(out, Recommendation{Material: m, Weight: w, Reason: reasons[topic]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Material.ID < out[j].Material.ID
+	})
+	// Dedupe by material ID (a title can back several topics).
+	seen := make(map[string]bool, len(out))
+	deduped := out[:0]
+	for _, rec := range out {
+		if !seen[rec.Material.ID] {
+			seen[rec.Material.ID] = true
+			deduped = append(deduped, rec)
+		}
+	}
+	if len(deduped) > limit {
+		deduped = deduped[:limit]
+	}
+	return deduped
+}
+
+// Render formats recommendations as learner-facing text.
+func Render(recs []Recommendation) string {
+	if len(recs) == 0 {
+		return "No recommendations yet — keep chatting!"
+	}
+	var b strings.Builder
+	b.WriteString("Recommended reading:\n")
+	for i, rec := range recs {
+		fmt.Fprintf(&b, "%d. Chapter %d, %q (%s)\n",
+			i+1, rec.Material.Chapter, rec.Material.Title, rec.Reason)
+	}
+	return b.String()
+}

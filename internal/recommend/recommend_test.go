@@ -1,0 +1,104 @@
+package recommend
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"semagent/internal/corpus"
+	"semagent/internal/profile"
+	"semagent/internal/sentence"
+	"semagent/internal/stats"
+)
+
+func TestCourseLibraryCoversCoreTopics(t *testing.T) {
+	lib := CourseLibrary()
+	for _, topic := range []string{"stack", "queue", "tree", "heap", "hash table", "push", "pop"} {
+		if len(lib.ByTopic(topic)) == 0 {
+			t.Errorf("library has no material for %q", topic)
+		}
+	}
+	if lib.Len() < 20 {
+		t.Errorf("library has only %d sections", lib.Len())
+	}
+}
+
+func TestForUserPrioritizesMistakeTopics(t *testing.T) {
+	ps := profile.NewStore()
+	ps.RecordMessage("alice", []string{"stack"})
+	ps.RecordMessage("alice", []string{"stack", "push"})
+	ps.RecordMessage("alice", []string{"queue"})
+	ps.RecordSyntaxError("alice", "agreement")
+	p, _ := ps.Get("alice")
+
+	r := New(CourseLibrary())
+	recs := r.ForUser(p, 3)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if recs[0].Material.Topic != "stack" && recs[0].Material.Topic != "push" {
+		t.Errorf("top recommendation = %q, want a stack-related section", recs[0].Material.Topic)
+	}
+	for _, rec := range recs {
+		if rec.Reason == "" {
+			t.Errorf("recommendation %q lacks a reason", rec.Material.ID)
+		}
+	}
+}
+
+func TestForClassUsesHardestTopics(t *testing.T) {
+	a := stats.NewAnalyzer()
+	mk := func(user string, verdict corpus.Verdict, topics ...string) stats.Event {
+		return stats.Event{
+			Time: time.Now(), Room: "r1", User: user,
+			Verdict: verdict, Pattern: sentence.Simple, Topics: topics,
+		}
+	}
+	for i := 0; i < 5; i++ {
+		a.Record(mk("u1", corpus.VerdictSemanticError, "heap"))
+	}
+	a.Record(mk("u2", corpus.VerdictCorrect, "stack"))
+
+	r := New(CourseLibrary())
+	recs := r.ForClass(a, 2)
+	if len(recs) == 0 {
+		t.Fatal("no class recommendations")
+	}
+	if recs[0].Material.Topic != "heap" {
+		t.Errorf("top class recommendation = %q, want heap", recs[0].Material.Topic)
+	}
+}
+
+func TestRenderAndEmpty(t *testing.T) {
+	if got := Render(nil); !strings.Contains(got, "No recommendations") {
+		t.Errorf("empty render = %q", got)
+	}
+	r := New(CourseLibrary())
+	ps := profile.NewStore()
+	ps.RecordMessage("bob", []string{"tree"})
+	p, _ := ps.Get("bob")
+	got := Render(r.ForUser(p, 2))
+	if !strings.Contains(got, "Chapter") {
+		t.Errorf("render = %q", got)
+	}
+}
+
+func TestDedupeAndLimit(t *testing.T) {
+	r := New(CourseLibrary())
+	ps := profile.NewStore()
+	for i := 0; i < 3; i++ {
+		ps.RecordMessage("carol", []string{"enqueue", "dequeue", "queue", "fifo"})
+	}
+	p, _ := ps.Get("carol")
+	recs := r.ForUser(p, 10)
+	seen := make(map[string]bool)
+	for _, rec := range recs {
+		if seen[rec.Material.ID] {
+			t.Errorf("duplicate material %q", rec.Material.ID)
+		}
+		seen[rec.Material.ID] = true
+	}
+	if len(r.ForUser(p, 1)) != 1 {
+		t.Error("limit not applied")
+	}
+}

@@ -1,0 +1,218 @@
+// Package semantic implements the Semantic Agent of the paper's §4.3.
+// A syntactically well-formed sentence flows through three stages:
+//
+//  1. Sentence Pattern Classification — questions are skipped (the QA
+//     system handles them); the five patterns of package sentence drive
+//     the negation logic.
+//  2. Semantic Keywords Filter — ontology terms are extracted from the
+//     sentence.
+//  3. Sentence Distance Evaluation — the semantic distance between
+//     keyword pairs in the knowledge ontology decides whether the
+//     sentence makes sense in the course domain. Negation flips the
+//     verdict: "The tree doesn't have pop method" is correct precisely
+//     because tree and pop are unrelated.
+//
+// A sentence that is grammatical but nonsensical in-domain is the
+// paper's "Interrogative Sentence"; the agent explains why and suggests
+// a correction from the ontology.
+package semantic
+
+import (
+	"fmt"
+	"strings"
+
+	"semagent/internal/ontology"
+	"semagent/internal/sentence"
+)
+
+// Verdict is the semantic assessment of a sentence.
+type Verdict int8
+
+// Verdicts.
+const (
+	// VerdictSkipped: questions and keyword-free sentences are not
+	// semantically judged.
+	VerdictSkipped Verdict = iota + 1
+	// VerdictOK: keyword pairs are consistent with the ontology.
+	VerdictOK
+	// VerdictInterrogative: the paper's term for a sentence that is
+	// syntactically fine but semantically wrong in the domain.
+	VerdictInterrogative
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSkipped:
+		return "skipped"
+	case VerdictOK:
+		return "ok"
+	case VerdictInterrogative:
+		return "interrogative-sentence"
+	default:
+		return "unknown"
+	}
+}
+
+// Pair is one evaluated keyword pair.
+type Pair struct {
+	A, B     *ontology.Item
+	Distance int
+	Related  bool
+	// Violation is true when this pair, combined with the sentence
+	// polarity, makes the sentence semantically wrong.
+	Violation bool
+	// Reason explains the violation in English.
+	Reason string
+}
+
+// Analysis is the agent's full output for one sentence.
+type Analysis struct {
+	Classification sentence.Classification
+	Keywords       []ontology.TermMatch
+	Pairs          []Pair
+	Verdict        Verdict
+	// Explanation is the learner-facing justification ("" if OK).
+	Explanation string
+	// Suggestion proposes a correct alternative ("" if none).
+	Suggestion string
+}
+
+// Agent is the ontology-distance Semantic Agent (the methodology the
+// paper selects: "Semantic Relation of Knowledge Ontology").
+type Agent struct {
+	onto      *ontology.Ontology
+	threshold int
+}
+
+// New returns an agent over the ontology. threshold <= 0 uses
+// ontology.DefaultRelatedThreshold.
+func New(onto *ontology.Ontology, threshold int) *Agent {
+	if threshold <= 0 {
+		threshold = ontology.DefaultRelatedThreshold
+	}
+	return &Agent{onto: onto, threshold: threshold}
+}
+
+// Threshold returns the relatedness threshold in use.
+func (a *Agent) Threshold() int { return a.threshold }
+
+// Analyze runs the three-stage pipeline on a classified sentence.
+func (a *Agent) Analyze(cls sentence.Classification) *Analysis {
+	out := &Analysis{Classification: cls, Verdict: VerdictOK}
+
+	// Stage 1: questions are the QA system's job.
+	if cls.Pattern.IsQuestion() {
+		out.Verdict = VerdictSkipped
+		return out
+	}
+
+	// Stage 2: semantic keywords filter.
+	out.Keywords = a.onto.ExtractTerms(cls.Tokens)
+	if len(out.Keywords) < 2 {
+		out.Verdict = VerdictSkipped
+		return out
+	}
+
+	// Stage 3: sentence distance evaluation over keyword pairs.
+	negated := cls.Negated
+	for i := 0; i < len(out.Keywords); i++ {
+		for j := i + 1; j < len(out.Keywords); j++ {
+			ka, kb := out.Keywords[i].Item, out.Keywords[j].Item
+			pair := a.evaluatePair(ka, kb, negated)
+			if pair == nil {
+				continue
+			}
+			out.Pairs = append(out.Pairs, *pair)
+			if pair.Violation && out.Verdict == VerdictOK {
+				out.Verdict = VerdictInterrogative
+				out.Explanation = pair.Reason
+				out.Suggestion = a.suggest(ka, kb)
+			}
+		}
+	}
+	if len(out.Pairs) == 0 {
+		out.Verdict = VerdictSkipped
+	}
+	return out
+}
+
+// AnalyzeText tokenizes, classifies and analyzes raw text.
+func (a *Agent) AnalyzeText(text string) *Analysis {
+	return a.Analyze(sentence.ClassifyText(text))
+}
+
+// evaluatePair applies the §4.3 truth table to one keyword pair. Pairs
+// that carry no concept/operation/property assertion return nil.
+func (a *Agent) evaluatePair(ka, kb *ontology.Item, negated bool) *Pair {
+	concept, feature := orientPair(ka, kb)
+	if concept == nil {
+		// concept-concept or feature-feature mention: informational
+		// only, except the is-a case handled by the caller through
+		// distance too. Evaluate distance but never flag.
+		d := a.onto.Distance(ka.Name, kb.Name)
+		return &Pair{A: ka, B: kb, Distance: d, Related: d <= a.threshold}
+	}
+	d := a.onto.Distance(concept.Name, feature.Name)
+	related := d <= a.threshold
+	p := &Pair{A: concept, B: feature, Distance: d, Related: related}
+	switch {
+	case !related && !negated:
+		p.Violation = true
+		p.Reason = fmt.Sprintf("%q is not %s of %q in the %s ontology",
+			feature.Name, featureRole(feature), concept.Name, a.onto.Domain())
+	case related && negated:
+		p.Violation = true
+		p.Reason = fmt.Sprintf("%q actually is %s of %q — the negation looks wrong",
+			feature.Name, featureRole(feature), concept.Name)
+	}
+	return p
+}
+
+// suggest proposes the correct association for a violated pair.
+func (a *Agent) suggest(ka, kb *ontology.Item) string {
+	concept, feature := orientPair(ka, kb)
+	if concept == nil || feature == nil {
+		return ""
+	}
+	owners := a.onto.ConceptsWith(feature.Name)
+	if len(owners) > 0 {
+		names := make([]string, len(owners))
+		for i, o := range owners {
+			names[i] = o.Name
+		}
+		return fmt.Sprintf("%s is an operation of %s", feature.Name, strings.Join(names, ", "))
+	}
+	ops := a.onto.OperationsOf(concept.Name)
+	if len(ops) > 0 {
+		names := make([]string, 0, len(ops))
+		for _, o := range ops {
+			names = append(names, o.Name)
+		}
+		return fmt.Sprintf("%s supports: %s", concept.Name, strings.Join(names, ", "))
+	}
+	return ""
+}
+
+// orientPair returns (concept, feature) when exactly one of the two
+// items is a concept and the other an operation/property; otherwise
+// (nil, nil).
+func orientPair(ka, kb *ontology.Item) (*ontology.Item, *ontology.Item) {
+	aIsConcept := ka.Kind == ontology.KindConcept
+	bIsConcept := kb.Kind == ontology.KindConcept
+	switch {
+	case aIsConcept && !bIsConcept:
+		return ka, kb
+	case bIsConcept && !aIsConcept:
+		return kb, ka
+	default:
+		return nil, nil
+	}
+}
+
+func featureRole(it *ontology.Item) string {
+	if it.Kind == ontology.KindProperty {
+		return "a property"
+	}
+	return "an operation"
+}

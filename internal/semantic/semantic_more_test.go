@@ -1,0 +1,122 @@
+package semantic
+
+import (
+	"strings"
+	"testing"
+
+	"semagent/internal/ontology"
+)
+
+func TestMorphologicalFoldsReachOperations(t *testing.T) {
+	a, _ := newAgent(t)
+	cases := []struct {
+		text string
+		want Verdict
+	}{
+		// The paper's §4.1 example: passive "pushed" must resolve to
+		// the push operation and clash with heap.
+		{"The data is pushed in this heap.", VerdictInterrogative},
+		{"The data is pushed in this stack.", VerdictOK},
+		// Gerunds.
+		{"We are inserting the value into the tree.", VerdictOK},
+		{"We are popping the value from the queue.", VerdictInterrogative},
+	}
+	for _, tc := range cases {
+		if got := a.AnalyzeText(tc.text); got.Verdict != tc.want {
+			t.Errorf("%q: verdict = %s, want %s (pairs %+v)", tc.text, got.Verdict, tc.want, got.Pairs)
+		}
+	}
+}
+
+func TestNegatedQuestionSkipped(t *testing.T) {
+	a, _ := newAgent(t)
+	got := a.AnalyzeText("Doesn't the tree have a pop method?")
+	if got.Verdict != VerdictSkipped {
+		t.Errorf("negated question verdict = %s, want skipped", got.Verdict)
+	}
+}
+
+func TestFirstViolationReported(t *testing.T) {
+	a, _ := newAgent(t)
+	// Two violations: tree+pop and tree+push (affirmative).
+	got := a.AnalyzeText("The tree has a pop operation and a push operation.")
+	if got.Verdict != VerdictInterrogative {
+		t.Fatalf("verdict = %s", got.Verdict)
+	}
+	if got.Explanation == "" {
+		t.Error("explanation missing")
+	}
+	violations := 0
+	for _, p := range got.Pairs {
+		if p.Violation {
+			violations++
+		}
+	}
+	if violations < 2 {
+		t.Errorf("expected both violating pairs recorded, got %d", violations)
+	}
+}
+
+func TestConceptConceptPairsNeverFlag(t *testing.T) {
+	a, _ := newAgent(t)
+	// Two concepts with no feature: informational only.
+	for _, text := range []string{
+		"The stack is near the queue.",
+		"The tree has many nodes.", // node is a concept, not an operation
+	} {
+		got := a.AnalyzeText(text)
+		if got.Verdict == VerdictInterrogative {
+			t.Errorf("%q wrongly flagged: %+v", text, got.Pairs)
+		}
+	}
+}
+
+func TestCustomOntologyAgent(t *testing.T) {
+	onto := ontology.New("music")
+	mustAdd := func(name string, kind ontology.ItemKind) {
+		if _, err := onto.AddItem(name, kind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd("guitar", ontology.KindConcept)
+	mustAdd("piano", ontology.KindConcept)
+	mustAdd("strum", ontology.KindOperation)
+	if err := onto.Relate("guitar", "strum", ontology.RelHasOperation); err != nil {
+		t.Fatal(err)
+	}
+	a := New(onto, 0)
+	if got := a.AnalyzeText("i strum the guitar"); got.Verdict != VerdictOK {
+		t.Errorf("guitar+strum = %s", got.Verdict)
+	}
+	if got := a.AnalyzeText("i strum the piano"); got.Verdict != VerdictInterrogative {
+		t.Errorf("piano+strum = %s", got.Verdict)
+	}
+	if got := a.AnalyzeText("i don't strum the piano"); got.Verdict != VerdictOK {
+		t.Errorf("negated piano+strum = %s", got.Verdict)
+	}
+}
+
+func TestSuggestionListsAllOwners(t *testing.T) {
+	a, _ := newAgent(t)
+	got := a.AnalyzeText("The stack has an insert operation.") // insert belongs to several concepts
+	if got.Verdict != VerdictInterrogative {
+		t.Skipf("stack-insert related at this threshold: %+v", got.Pairs)
+	}
+	if !strings.Contains(got.Suggestion, "tree") {
+		t.Errorf("suggestion should list owners of insert: %q", got.Suggestion)
+	}
+}
+
+func TestSLGAnalyzeTextParity(t *testing.T) {
+	onto := ontology.BuildCourseOntology()
+	slg := NewSLGChecker(onto)
+	// The checker interface must behave identically via both entry
+	// points.
+	a1 := slg.AnalyzeText("The tree has a pop operation.")
+	if a1.Verdict != VerdictInterrogative {
+		t.Errorf("verdict = %s", a1.Verdict)
+	}
+	if a1.Explanation == "" || !strings.Contains(a1.Explanation, "lexicon") {
+		t.Errorf("explanation = %q", a1.Explanation)
+	}
+}

@@ -1,0 +1,178 @@
+package semantic
+
+import (
+	"strings"
+	"testing"
+
+	"semagent/internal/ontology"
+	"semagent/internal/sentence"
+)
+
+func newAgent(t *testing.T) (*Agent, *ontology.Ontology) {
+	t.Helper()
+	onto := ontology.BuildCourseOntology()
+	return New(onto, 0), onto
+}
+
+func TestPaperTruthTable(t *testing.T) {
+	// The §4.3 examples and the four cells of the negation truth table.
+	a, _ := newAgent(t)
+	cases := []struct {
+		text string
+		want Verdict
+	}{
+		// Paper example: affirmative + unrelated = interrogative.
+		{"I push the data into a tree.", VerdictInterrogative},
+		// Paper example: negative + unrelated = correct.
+		{"The tree doesn't have a pop method.", VerdictOK},
+		// affirmative + related = correct.
+		{"I push the data into a stack.", VerdictOK},
+		{"The stack has a pop method.", VerdictOK},
+		// negative + related = the false negation case.
+		{"The stack doesn't have a pop method.", VerdictInterrogative},
+		// Property pairs behave the same.
+		{"The stack is a lifo structure.", VerdictOK},
+		{"The queue is a lifo structure.", VerdictInterrogative},
+	}
+	for _, tc := range cases {
+		got := a.AnalyzeText(tc.text)
+		if got.Verdict != tc.want {
+			t.Errorf("%q: verdict = %s, want %s (pairs: %+v)",
+				tc.text, got.Verdict, tc.want, got.Pairs)
+		}
+	}
+}
+
+func TestQuestionsAreSkipped(t *testing.T) {
+	a, _ := newAgent(t)
+	for _, text := range []string{
+		"Does a tree have a pop method?",
+		"What is a stack?",
+		"Which structure has push?",
+	} {
+		if got := a.AnalyzeText(text); got.Verdict != VerdictSkipped {
+			t.Errorf("%q: verdict = %s, want skipped (QA system's job)", text, got.Verdict)
+		}
+	}
+}
+
+func TestSentencesWithoutKeywordPairsSkipped(t *testing.T) {
+	a, _ := newAgent(t)
+	for _, text := range []string{
+		"The cat chased a mouse.",     // no ontology terms
+		"The stack is very useful.",   // single term
+		"Hello everyone, I am ready.", // chit-chat
+	} {
+		if got := a.AnalyzeText(text); got.Verdict != VerdictSkipped {
+			t.Errorf("%q: verdict = %s, want skipped", text, got.Verdict)
+		}
+	}
+}
+
+func TestExplanationAndSuggestion(t *testing.T) {
+	a, _ := newAgent(t)
+	got := a.AnalyzeText("I push the data into a tree.")
+	if got.Verdict != VerdictInterrogative {
+		t.Fatalf("verdict = %s", got.Verdict)
+	}
+	if !strings.Contains(got.Explanation, "push") || !strings.Contains(got.Explanation, "tree") {
+		t.Errorf("explanation should name the offending pair: %q", got.Explanation)
+	}
+	if !strings.Contains(got.Suggestion, "stack") {
+		t.Errorf("suggestion should point at stack (the owner of push): %q", got.Suggestion)
+	}
+}
+
+func TestMultiwordTermsEvaluated(t *testing.T) {
+	a, _ := newAgent(t)
+	got := a.AnalyzeText("The binary search tree has a search operation.")
+	if got.Verdict != VerdictOK {
+		t.Errorf("verdict = %s, want ok (bst has search)", got.Verdict)
+	}
+	got = a.AnalyzeText("The hash table has a pop method.")
+	if got.Verdict != VerdictInterrogative {
+		t.Errorf("verdict = %s, want interrogative (hash table has no pop)", got.Verdict)
+	}
+}
+
+func TestInheritedOperationsAreRelated(t *testing.T) {
+	// insert is an operation of tree; bst is-a binary tree is-a tree,
+	// so distance(bst, insert) stays within the threshold.
+	a, onto := newAgent(t)
+	d := onto.Distance("binary search tree", "search")
+	if d > a.Threshold() {
+		t.Fatalf("bst–search distance %d above threshold %d", d, a.Threshold())
+	}
+	got := a.AnalyzeText("The binary search tree supports the search operation.")
+	if got.Verdict != VerdictOK {
+		t.Errorf("verdict = %s", got.Verdict)
+	}
+}
+
+func TestThresholdSweepChangesVerdicts(t *testing.T) {
+	onto := ontology.BuildCourseOntology()
+	strict := New(onto, 1)
+	loose := New(onto, 10)
+	text := "The queue has a push operation." // distance(queue, push) > 1
+	if got := strict.AnalyzeText(text); got.Verdict != VerdictInterrogative {
+		t.Errorf("strict: verdict = %s, want interrogative", got.Verdict)
+	}
+	if got := loose.AnalyzeText(text); got.Verdict != VerdictOK {
+		t.Errorf("loose: verdict = %s, want ok at threshold 10", got.Verdict)
+	}
+}
+
+func TestSLGBaselineMatchesOnDirectPairs(t *testing.T) {
+	onto := ontology.BuildCourseOntology()
+	slg := NewSLGChecker(onto)
+	cases := []struct {
+		text string
+		want Verdict
+	}{
+		{"I push the data into a tree.", VerdictInterrogative},
+		{"The tree doesn't have a pop method.", VerdictOK},
+		{"The stack has a pop method.", VerdictOK},
+	}
+	for _, tc := range cases {
+		if got := slg.AnalyzeText(tc.text); got.Verdict != tc.want {
+			t.Errorf("SLG %q: verdict = %s, want %s", tc.text, got.Verdict, tc.want)
+		}
+	}
+	if slg.DictionaryEntries() == 0 {
+		t.Error("baseline dictionary should have compiled entries")
+	}
+}
+
+func TestSLGWeakerThanOntologyOnSiblings(t *testing.T) {
+	// The lexicalized baseline only knows direct (feature, concept)
+	// rows; sibling-operation sentences like "push and pop" mentions
+	// don't involve concept pairs, but operation-vs-distant-concept
+	// with inheritance shows the difference: deque inherits nothing in
+	// the lexicon unless enumerated. Here we check the measured metric
+	// exists: the baseline dictionary is strictly larger than the
+	// number of has-operation edges (it must enumerate subtypes).
+	onto := ontology.BuildCourseOntology()
+	slg := NewSLGChecker(onto)
+	direct := 0
+	for _, r := range onto.Relations() {
+		if r.Kind == ontology.RelHasOperation || r.Kind == ontology.RelHasProperty {
+			direct++
+		}
+	}
+	if slg.DictionaryEntries() <= direct {
+		t.Errorf("lexicalized dictionary (%d rows) should exceed the %d graph edges",
+			slg.DictionaryEntries(), direct)
+	}
+}
+
+func TestAnalyzeUsesProvidedClassification(t *testing.T) {
+	a, _ := newAgent(t)
+	cls := sentence.ClassifyText("The tree has a pop method.")
+	got := a.Analyze(cls)
+	if got.Verdict != VerdictInterrogative {
+		t.Errorf("verdict = %s", got.Verdict)
+	}
+	if got.Classification.Pattern != sentence.Simple {
+		t.Errorf("pattern = %s", got.Classification.Pattern)
+	}
+}

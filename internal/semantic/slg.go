@@ -1,0 +1,129 @@
+package semantic
+
+import (
+	"fmt"
+
+	"semagent/internal/ontology"
+	"semagent/internal/sentence"
+)
+
+// SLGChecker is the paper's *first* candidate methodology, "Semantic
+// Link Grammar": semantic validity is encoded lexically — every
+// operation word enumerates the concepts it may combine with, the way a
+// semantically-annotated link grammar dictionary would. The paper
+// rejects this design because "it is quite difficult to modify the
+// dictionary … it will take a lot of cost and time for linguistic
+// classification and the performance is not very well"; we implement it
+// as the E7 ablation baseline so that claim can be measured.
+//
+// The checker compiles the ontology's has-operation/has-property edges
+// into a static dictionary mapping each feature word to its admissible
+// concepts. Unlike the ontology agent, it has no notion of distance:
+// anything not enumerated is invalid, and every ontology edit requires
+// recompiling the dictionary.
+type SLGChecker struct {
+	onto *ontology.Ontology
+	// allowed maps feature item ID -> set of concept item IDs.
+	allowed map[int]map[int]bool
+	// entries counts compiled (feature, concept) rows: the dictionary
+	// maintenance burden measured by experiment E7.
+	entries int
+}
+
+// NewSLGChecker compiles the baseline dictionary from the ontology.
+func NewSLGChecker(onto *ontology.Ontology) *SLGChecker {
+	c := &SLGChecker{onto: onto, allowed: make(map[int]map[int]bool)}
+	for _, it := range onto.Items() {
+		if it.Kind == ontology.KindConcept {
+			continue
+		}
+		set := make(map[int]bool)
+		for _, owner := range onto.ConceptsWith(it.Name) {
+			set[owner.ID] = true
+			c.entries++
+			// The lexicalized dictionary must also enumerate every
+			// subtype explicitly — there is no graph to traverse.
+			for _, other := range onto.Items() {
+				if other.Kind == ontology.KindConcept && other.ID != owner.ID &&
+					onto.IsA(other.Name, owner.Name) {
+					set[other.ID] = true
+					c.entries++
+				}
+			}
+		}
+		c.allowed[it.ID] = set
+	}
+	return c
+}
+
+// DictionaryEntries reports the number of compiled lexical rows, the
+// maintenance-cost metric of experiment E7.
+func (c *SLGChecker) DictionaryEntries() int { return c.entries }
+
+// Analyze applies the lexicalized semantic check. The interface mirrors
+// Agent.Analyze so the evaluation harness can swap the two.
+func (c *SLGChecker) Analyze(cls sentence.Classification) *Analysis {
+	out := &Analysis{Classification: cls, Verdict: VerdictOK}
+	if cls.Pattern.IsQuestion() {
+		out.Verdict = VerdictSkipped
+		return out
+	}
+	out.Keywords = c.onto.ExtractTerms(cls.Tokens)
+	if len(out.Keywords) < 2 {
+		out.Verdict = VerdictSkipped
+		return out
+	}
+	negated := cls.Negated
+	for i := 0; i < len(out.Keywords); i++ {
+		for j := i + 1; j < len(out.Keywords); j++ {
+			ka, kb := out.Keywords[i].Item, out.Keywords[j].Item
+			concept, feature := orientPair(ka, kb)
+			if concept == nil {
+				continue
+			}
+			ok := c.allowed[feature.ID][concept.ID]
+			pair := Pair{A: concept, B: feature, Related: ok}
+			if ok {
+				pair.Distance = 1
+			} else {
+				pair.Distance = ontology.Unreachable
+			}
+			switch {
+			case !ok && !negated:
+				pair.Violation = true
+				pair.Reason = fmt.Sprintf("lexicon has no entry combining %q with %q",
+					feature.Name, concept.Name)
+			case ok && negated:
+				pair.Violation = true
+				pair.Reason = fmt.Sprintf("lexicon says %q combines with %q — the negation looks wrong",
+					feature.Name, concept.Name)
+			}
+			out.Pairs = append(out.Pairs, pair)
+			if pair.Violation && out.Verdict == VerdictOK {
+				out.Verdict = VerdictInterrogative
+				out.Explanation = pair.Reason
+			}
+		}
+	}
+	if len(out.Pairs) == 0 {
+		out.Verdict = VerdictSkipped
+	}
+	return out
+}
+
+// AnalyzeText tokenizes, classifies and analyzes raw text.
+func (c *SLGChecker) AnalyzeText(text string) *Analysis {
+	return c.Analyze(sentence.ClassifyText(text))
+}
+
+// Checker is the interface shared by the ontology-distance agent and
+// the Semantic Link Grammar baseline (experiment E7).
+type Checker interface {
+	Analyze(cls sentence.Classification) *Analysis
+	AnalyzeText(text string) *Analysis
+}
+
+var (
+	_ Checker = (*Agent)(nil)
+	_ Checker = (*SLGChecker)(nil)
+)

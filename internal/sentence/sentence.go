@@ -1,0 +1,211 @@
+// Package sentence implements the Sentence Pattern Classification stage
+// of the paper's Semantic Agent (§4.3): every utterance is classified
+// into one of five patterns — simple, negative, question (yes/no),
+// WH-question and imperative — before semantic keyword filtering. The
+// classifier is lexical; when a linkage from the link grammar parser is
+// available its wall labels (Wd/Wq/Wi) refine the decision.
+package sentence
+
+import (
+	"strings"
+
+	"semagent/internal/linkgrammar"
+)
+
+// Pattern is one of the paper's five sentence patterns.
+type Pattern int8
+
+// The five patterns of §4.3.
+const (
+	Simple Pattern = iota + 1
+	Negative
+	Question   // yes/no question
+	WHQuestion // question fronted by a wh-word
+	Imperative
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Simple:
+		return "simple"
+	case Negative:
+		return "negative"
+	case Question:
+		return "question"
+	case WHQuestion:
+		return "wh-question"
+	case Imperative:
+		return "imperative"
+	default:
+		return "unknown"
+	}
+}
+
+// IsQuestion reports whether the pattern is interrogative.
+func (p Pattern) IsQuestion() bool { return p == Question || p == WHQuestion }
+
+// Classification is the result of analysing one sentence.
+type Classification struct {
+	Pattern Pattern
+	// Negated is true when the sentence contains a negation, regardless
+	// of the primary pattern ("doesn't the stack have push?" is a
+	// negated question). For a declarative sentence Negated==true
+	// coincides with Pattern==Negative.
+	Negated bool
+	// WHWord is the fronting word of a WH-question ("what", "which").
+	WHWord string
+	// Tokens are the tokens the classification was made from.
+	Tokens []string
+}
+
+var whWords = map[string]bool{
+	"what": true, "which": true, "who": true, "whom": true, "whose": true,
+	"how": true, "why": true, "where": true, "when": true, "what's": true,
+}
+
+var auxWords = map[string]bool{
+	"is": true, "are": true, "am": true, "was": true, "were": true,
+	"do": true, "does": true, "did": true,
+	"can": true, "could": true, "will": true, "would": true, "should": true,
+	"must": true, "may": true, "might": true, "shall": true,
+	"isn't": true, "aren't": true, "wasn't": true, "weren't": true,
+	"don't": true, "doesn't": true, "didn't": true,
+	"can't": true, "won't": true, "wouldn't": true, "shouldn't": true,
+	"couldn't": true, "mustn't": true,
+}
+
+var negationWords = map[string]bool{
+	"not": true, "never": true, "no": true, "nothing": true, "none": true,
+	"doesn't": true, "don't": true, "didn't": true, "isn't": true,
+	"aren't": true, "wasn't": true, "weren't": true, "can't": true,
+	"cannot": true, "won't": true, "wouldn't": true, "shouldn't": true,
+	"couldn't": true, "mustn't": true,
+}
+
+// imperativeVerbs are base-form verbs that plausibly open an imperative
+// in classroom chat.
+var imperativeVerbs = map[string]bool{
+	"push": true, "pop": true, "insert": true, "delete": true, "remove": true,
+	"add": true, "store": true, "use": true, "implement": true, "create": true,
+	"build": true, "define": true, "traverse": true, "search": true,
+	"sort": true, "check": true, "print": true, "read": true, "write": true,
+	"look": true, "open": true, "close": true, "try": true, "remember": true,
+	"explain": true, "answer": true, "ask": true, "discuss": true,
+	"review": true, "practice": true, "compare": true, "balance": true,
+	"enqueue": true, "dequeue": true, "take": true, "put": true, "draw": true,
+	"please": true, "let": true, "visit": true,
+}
+
+// Classify analyses a tokenized sentence. questionMark should be true
+// when the raw text ended with '?'.
+func Classify(tokens []string, questionMark bool) Classification {
+	c := Classification{Pattern: Simple, Tokens: tokens}
+	if len(tokens) == 0 {
+		return c
+	}
+	for _, t := range tokens {
+		if negationWords[t] {
+			c.Negated = true
+			break
+		}
+	}
+	first := tokens[0]
+	switch {
+	case whWords[first]:
+		c.Pattern = WHQuestion
+		c.WHWord = strings.TrimSuffix(first, "'s")
+	case auxWords[first]:
+		// Aux-fronted: yes/no question ("does a stack have pop?").
+		c.Pattern = Question
+	case questionMark:
+		// Punctuated as a question without fronting — echo questions
+		// ("the stack has pop?") count as yes/no questions.
+		c.Pattern = Question
+	case imperativeVerbs[first]:
+		c.Pattern = Imperative
+	case c.Negated:
+		c.Pattern = Negative
+	}
+	// A WH or aux question that also negates keeps its interrogative
+	// pattern; Negated stays true for the semantic stage.
+	if c.Pattern == Simple && c.Negated {
+		c.Pattern = Negative
+	}
+	return c
+}
+
+// ClassifyText tokenizes and classifies raw text.
+func ClassifyText(text string) Classification {
+	return Classify(linkgrammar.Tokenize(text), linkgrammar.EndsWithQuestionMark(text))
+}
+
+// Refine adjusts a lexical classification using a linkage's wall links:
+// Wq marks questions, Wi imperatives, Wd declaratives. The lexical
+// Negated flag is kept.
+func Refine(c Classification, lk *linkgrammar.Linkage) Classification {
+	if lk == nil {
+		return c
+	}
+	switch {
+	case lk.HasLabel("Wq"):
+		if !c.Pattern.IsQuestion() {
+			c.Pattern = Question
+		}
+	case lk.HasLabel("Wi"):
+		c.Pattern = Imperative
+	case lk.HasLabel("Wd"):
+		if c.Pattern.IsQuestion() {
+			// The parser found a declarative structure; trust the
+			// question mark only if the lexical form was interrogative.
+			if c.WHWord == "" && !auxWords[firstToken(c.Tokens)] {
+				if c.Negated {
+					c.Pattern = Negative
+				} else {
+					c.Pattern = Simple
+				}
+			}
+		}
+	}
+	return c
+}
+
+func firstToken(tokens []string) string {
+	if len(tokens) == 0 {
+		return ""
+	}
+	return tokens[0]
+}
+
+// Stopwords are function words ignored by keyword extraction and corpus
+// similarity scoring.
+var Stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "this": true, "that": true,
+	"these": true, "those": true, "is": true, "are": true, "am": true,
+	"was": true, "were": true, "be": true, "been": true, "being": true,
+	"do": true, "does": true, "did": true, "have": true, "has": true,
+	"had": true, "i": true, "you": true, "we": true, "they": true,
+	"he": true, "she": true, "it": true, "me": true, "him": true,
+	"her": true, "us": true, "them": true, "my": true, "your": true,
+	"our": true, "their": true, "its": true, "his": true, "of": true,
+	"in": true, "on": true, "at": true, "to": true, "into": true,
+	"from": true, "with": true, "by": true, "for": true, "and": true,
+	"or": true, "not": true, "no": true, "so": true, "very": true,
+	"can": true, "could": true, "will": true, "would": true,
+	"should": true, "must": true, "may": true, "might": true,
+	"what": true, "which": true, "who": true, "how": true, "why": true,
+	"where": true, "when": true, "there": true, "here": true,
+	"doesn't": true, "don't": true, "didn't": true, "isn't": true,
+	"aren't": true, "please": true, "yes": true, "ok": true,
+}
+
+// ContentTokens filters stopwords out of a token list.
+func ContentTokens(tokens []string) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if !Stopwords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

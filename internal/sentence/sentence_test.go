@@ -1,0 +1,114 @@
+package sentence
+
+import (
+	"testing"
+
+	"semagent/internal/linkgrammar"
+)
+
+func TestClassifyFivePatterns(t *testing.T) {
+	cases := []struct {
+		text    string
+		want    Pattern
+		negated bool
+	}{
+		// The five patterns of §4.3.
+		{"The stack has a push operation.", Simple, false},
+		{"A queue is a linear structure.", Simple, false},
+		{"The tree doesn't have a pop method.", Negative, true},
+		{"The stack is not empty.", Negative, true},
+		{"I never use arrays.", Negative, true},
+		{"Does a stack have a pop method?", Question, false},
+		{"Is the tree balanced?", Question, false},
+		{"Can I push a value?", Question, false},
+		{"What is a stack?", WHQuestion, false},
+		{"Which data structure has the method push?", WHQuestion, false},
+		{"How does a queue work?", WHQuestion, false},
+		{"Push the data into the stack.", Imperative, false},
+		{"Insert the value into the tree.", Imperative, false},
+		{"Please explain the algorithm.", Imperative, false},
+		// Negated question keeps its interrogative pattern.
+		{"Doesn't the stack have push?", Question, true},
+		// Echo question via question mark.
+		{"The stack has pop?", Question, false},
+	}
+	for _, tc := range cases {
+		got := ClassifyText(tc.text)
+		if got.Pattern != tc.want {
+			t.Errorf("%q: pattern = %s, want %s", tc.text, got.Pattern, tc.want)
+		}
+		if got.Negated != tc.negated {
+			t.Errorf("%q: negated = %v, want %v", tc.text, got.Negated, tc.negated)
+		}
+	}
+}
+
+func TestWHWordExtraction(t *testing.T) {
+	c := ClassifyText("What is a stack?")
+	if c.WHWord != "what" {
+		t.Errorf("WHWord = %q, want what", c.WHWord)
+	}
+	c = ClassifyText("What's a queue?")
+	if c.WHWord != "what" {
+		t.Errorf("WHWord = %q, want what (contracted)", c.WHWord)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	c := Classify(nil, false)
+	if c.Pattern != Simple || c.Negated {
+		t.Errorf("empty input should be a non-negated simple sentence, got %+v", c)
+	}
+}
+
+func TestRefineWithLinkage(t *testing.T) {
+	p, err := linkgrammar.NewEnglishParser()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lexically ambiguous: "push" opens both imperatives and (rarely)
+	// noun phrases; the linkage confirms the imperative.
+	res, err := p.Parse("Push the data into the stack.")
+	if err != nil || !res.Valid() {
+		t.Fatalf("parse failed: %v", err)
+	}
+	c := ClassifyText("Push the data into the stack.")
+	refined := Refine(c, res.Best())
+	if refined.Pattern != Imperative {
+		t.Errorf("refined pattern = %s, want imperative", refined.Pattern)
+	}
+	if got := Refine(c, nil); got.Pattern != c.Pattern {
+		t.Errorf("nil linkage should not change the pattern")
+	}
+}
+
+func TestPatternStringAndIsQuestion(t *testing.T) {
+	if !Question.IsQuestion() || !WHQuestion.IsQuestion() {
+		t.Error("question patterns must report IsQuestion")
+	}
+	if Simple.IsQuestion() || Negative.IsQuestion() || Imperative.IsQuestion() {
+		t.Error("non-question patterns must not report IsQuestion")
+	}
+	names := map[Pattern]string{
+		Simple: "simple", Negative: "negative", Question: "question",
+		WHQuestion: "wh-question", Imperative: "imperative",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("String(%d) = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestContentTokens(t *testing.T) {
+	toks := ContentTokens([]string{"the", "stack", "has", "a", "push", "operation"})
+	want := []string{"stack", "push", "operation"}
+	if len(toks) != len(want) {
+		t.Fatalf("ContentTokens = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("ContentTokens[%d] = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}

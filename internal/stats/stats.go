@@ -1,0 +1,325 @@
+// Package stats implements the Learning Statistic Analyzer and Corpora
+// Generator of the paper's architecture (Fig. 3): it records,
+// classifies and analyzes the learners' dialogue, generates QA pairs by
+// mining question/answer adjacency, updates the learner corpus, and
+// renders the reports instructors use to "revise or enhance their
+// content of teaching materials".
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"semagent/internal/corpus"
+	"semagent/internal/qa"
+	"semagent/internal/sentence"
+)
+
+// Event is one supervised utterance entering the analyzer.
+type Event struct {
+	Time    time.Time
+	Room    string
+	User    string
+	Text    string
+	Tokens  []string
+	Verdict corpus.Verdict
+	Pattern sentence.Pattern
+	// Tags are fine-grained error labels from the Learning_Angel.
+	Tags []string
+	// Topics are the ontology terms mentioned.
+	Topics []string
+}
+
+// Analyzer aggregates dialogue statistics.
+type Analyzer struct {
+	mu sync.Mutex
+
+	total      int
+	byVerdict  map[corpus.Verdict]int
+	byPattern  map[sentence.Pattern]int
+	byTag      map[string]int
+	byTopic    map[string]int
+	topicError map[string]int // errors per topic
+	byUser     map[string]*userAgg
+	byRoom     map[string]int
+	firstSeen  time.Time
+	lastSeen   time.Time
+}
+
+type userAgg struct {
+	messages int
+	errors   int
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		byVerdict:  make(map[corpus.Verdict]int),
+		byPattern:  make(map[sentence.Pattern]int),
+		byTag:      make(map[string]int),
+		byTopic:    make(map[string]int),
+		topicError: make(map[string]int),
+		byUser:     make(map[string]*userAgg),
+		byRoom:     make(map[string]int),
+	}
+}
+
+// Record consumes one event.
+func (a *Analyzer) Record(e Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.total++
+	a.byVerdict[e.Verdict]++
+	a.byPattern[e.Pattern]++
+	a.byRoom[e.Room]++
+	for _, t := range e.Tags {
+		a.byTag[t]++
+	}
+	isErr := e.Verdict == corpus.VerdictSyntaxError || e.Verdict == corpus.VerdictSemanticError
+	for _, t := range e.Topics {
+		a.byTopic[t]++
+		if isErr {
+			a.topicError[t]++
+		}
+	}
+	u := a.byUser[e.User]
+	if u == nil {
+		u = &userAgg{}
+		a.byUser[e.User] = u
+	}
+	u.messages++
+	if isErr {
+		u.errors++
+	}
+	if a.firstSeen.IsZero() || e.Time.Before(a.firstSeen) {
+		a.firstSeen = e.Time
+	}
+	if e.Time.After(a.lastSeen) {
+		a.lastSeen = e.Time
+	}
+}
+
+// Total returns the number of recorded events.
+func (a *Analyzer) Total() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// VerdictCounts returns a copy of the per-verdict histogram.
+func (a *Analyzer) VerdictCounts() map[corpus.Verdict]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[corpus.Verdict]int, len(a.byVerdict))
+	for k, v := range a.byVerdict {
+		out[k] = v
+	}
+	return out
+}
+
+// PatternCounts returns a copy of the per-pattern histogram.
+func (a *Analyzer) PatternCounts() map[sentence.Pattern]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[sentence.Pattern]int, len(a.byPattern))
+	for k, v := range a.byPattern {
+		out[k] = v
+	}
+	return out
+}
+
+// ErrorRate is the fraction of events with a syntax or semantic error.
+func (a *Analyzer) ErrorRate() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total == 0 {
+		return 0
+	}
+	errs := a.byVerdict[corpus.VerdictSyntaxError] + a.byVerdict[corpus.VerdictSemanticError]
+	return float64(errs) / float64(a.total)
+}
+
+// Ranked is a (name, count) row of a ranking.
+type Ranked struct {
+	Name  string
+	Count int
+}
+
+// TopMistakes returns the most frequent error tags.
+func (a *Analyzer) TopMistakes(n int) []Ranked {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return rank(a.byTag, n)
+}
+
+// TopTopics returns the most discussed ontology terms.
+func (a *Analyzer) TopTopics(n int) []Ranked {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return rank(a.byTopic, n)
+}
+
+// HardestTopics returns topics ranked by error count — the signal that
+// tells instructors which course material learners struggle with.
+func (a *Analyzer) HardestTopics(n int) []Ranked {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return rank(a.topicError, n)
+}
+
+func rank(m map[string]int, n int) []Ranked {
+	out := make([]Ranked, 0, len(m))
+	for k, v := range m {
+		out = append(out, Ranked{Name: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Report renders a teacher-facing summary.
+func (a *Analyzer) Report() string {
+	a.mu.Lock()
+	total := a.total
+	verdicts := make(map[corpus.Verdict]int, len(a.byVerdict))
+	for k, v := range a.byVerdict {
+		verdicts[k] = v
+	}
+	users := len(a.byUser)
+	rooms := len(a.byRoom)
+	a.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Learning statistics: %d messages from %d learners in %d rooms\n", total, users, rooms)
+	order := []corpus.Verdict{
+		corpus.VerdictCorrect, corpus.VerdictSyntaxError,
+		corpus.VerdictSemanticError, corpus.VerdictQuestion, corpus.VerdictUnknown,
+	}
+	for _, v := range order {
+		if c := verdicts[v]; c > 0 {
+			fmt.Fprintf(&b, "  %-15s %d\n", v.String()+":", c)
+		}
+	}
+	fmt.Fprintf(&b, "  error rate:     %.1f%%\n", a.ErrorRate()*100)
+	if top := a.TopMistakes(3); len(top) > 0 {
+		b.WriteString("  frequent mistakes:")
+		for _, r := range top {
+			fmt.Fprintf(&b, " %s(%d)", r.Name, r.Count)
+		}
+		b.WriteByte('\n')
+	}
+	if top := a.HardestTopics(3); len(top) > 0 {
+		b.WriteString("  hardest topics:")
+		for _, r := range top {
+			fmt.Fprintf(&b, " %s(%d)", r.Name, r.Count)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CorporaGenerator turns supervised dialogue into learner-corpus records
+// and mines QA pairs into the FAQ: a question is paired with the next
+// utterance in the same room from a different user that shares a topic
+// with it (the paper's "technologies of data mining to collect the
+// question and answer pairs from the learner").
+type CorporaGenerator struct {
+	mu     sync.Mutex
+	corpus *corpus.Store
+	faq    *qa.FAQ
+	// pending holds the last unanswered question per room.
+	pending map[string]*Event
+	// Window is how long a question stays eligible for pairing.
+	Window time.Duration
+
+	minedPairs int
+}
+
+// NewCorporaGenerator wires the corpus store and FAQ to update.
+func NewCorporaGenerator(store *corpus.Store, faq *qa.FAQ) *CorporaGenerator {
+	return &CorporaGenerator{
+		corpus:  store,
+		faq:     faq,
+		pending: make(map[string]*Event),
+		Window:  2 * time.Minute,
+	}
+}
+
+// MinedPairs reports how many QA pairs were mined from dialogue.
+func (g *CorporaGenerator) MinedPairs() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.minedPairs
+}
+
+// Consume records the event into the corpus and advances QA mining.
+func (g *CorporaGenerator) Consume(e Event) int64 {
+	var id int64
+	if g.corpus != nil {
+		id = g.corpus.Add(corpus.Record{
+			Time:    e.Time,
+			Room:    e.Room,
+			User:    e.User,
+			Text:    e.Text,
+			Tokens:  e.Tokens,
+			Verdict: e.Verdict,
+			Topics:  e.Topics,
+			Tags:    e.Tags,
+		})
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if e.Verdict == corpus.VerdictQuestion {
+		ev := e
+		g.pending[e.Room] = &ev
+		return id
+	}
+	q := g.pending[e.Room]
+	if q == nil {
+		return id
+	}
+	if e.User == q.User {
+		return id // same speaker continuing, keep waiting
+	}
+	if g.Window > 0 && e.Time.Sub(q.Time) > g.Window {
+		delete(g.pending, e.Room)
+		return id
+	}
+	// An answer must be a correct statement sharing a topic with the
+	// question.
+	if e.Verdict == corpus.VerdictCorrect && sharesTopic(q.Topics, e.Topics) {
+		if g.faq != nil {
+			g.faq.Record(q.Text, e.Text, qa.TemplateNone)
+		}
+		g.minedPairs++
+		delete(g.pending, e.Room)
+	}
+	return id
+}
+
+func sharesTopic(a, b []string) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	set := make(map[string]bool, len(a))
+	for _, t := range a {
+		set[t] = true
+	}
+	for _, t := range b {
+		if set[t] {
+			return true
+		}
+	}
+	return false
+}

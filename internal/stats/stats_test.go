@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"semagent/internal/corpus"
+	"semagent/internal/qa"
+	"semagent/internal/sentence"
+)
+
+func ev(room, user, text string, verdict corpus.Verdict, topics ...string) Event {
+	return Event{
+		Time:    time.Now(),
+		Room:    room,
+		User:    user,
+		Text:    text,
+		Tokens:  strings.Fields(strings.ToLower(text)),
+		Verdict: verdict,
+		Pattern: sentence.Simple,
+		Topics:  topics,
+	}
+}
+
+func TestAnalyzerAggregates(t *testing.T) {
+	a := NewAnalyzer()
+	a.Record(ev("r1", "alice", "the stack has push", corpus.VerdictCorrect, "stack", "push"))
+	a.Record(ev("r1", "bob", "the stack have push", corpus.VerdictSyntaxError, "stack", "push"))
+	a.Record(ev("r2", "carol", "the tree has pop", corpus.VerdictSemanticError, "tree", "pop"))
+	a.Record(ev("r1", "alice", "what is a stack", corpus.VerdictQuestion, "stack"))
+
+	if a.Total() != 4 {
+		t.Errorf("total = %d", a.Total())
+	}
+	vc := a.VerdictCounts()
+	if vc[corpus.VerdictCorrect] != 1 || vc[corpus.VerdictSyntaxError] != 1 ||
+		vc[corpus.VerdictSemanticError] != 1 || vc[corpus.VerdictQuestion] != 1 {
+		t.Errorf("verdicts = %v", vc)
+	}
+	if got := a.ErrorRate(); got != 0.5 {
+		t.Errorf("error rate = %v", got)
+	}
+	top := a.TopTopics(1)
+	if len(top) != 1 || top[0].Name != "stack" || top[0].Count != 3 {
+		t.Errorf("top topics = %v", top)
+	}
+	hard := a.HardestTopics(4)
+	if len(hard) == 0 {
+		t.Fatal("no hardest topics")
+	}
+	for _, r := range hard {
+		if r.Name == "stack" && r.Count != 1 {
+			t.Errorf("stack errors = %d, want 1", r.Count)
+		}
+	}
+}
+
+func TestAnalyzerEmpty(t *testing.T) {
+	a := NewAnalyzer()
+	if a.ErrorRate() != 0 {
+		t.Error("empty analyzer must report 0 error rate")
+	}
+	if rep := a.Report(); !strings.Contains(rep, "0 messages") {
+		t.Errorf("report = %q", rep)
+	}
+}
+
+func TestReportMentionsKeyNumbers(t *testing.T) {
+	a := NewAnalyzer()
+	a.Record(ev("r1", "alice", "x", corpus.VerdictCorrect, "stack"))
+	ev2 := ev("r1", "bob", "y", corpus.VerdictSyntaxError, "stack")
+	ev2.Tags = []string{"agreement"}
+	a.Record(ev2)
+	rep := a.Report()
+	for _, want := range []string{"2 messages", "2 learners", "agreement", "stack"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestCorporaGeneratorRecordsAndMines(t *testing.T) {
+	store := corpus.NewStore()
+	faq := qa.NewFAQ()
+	g := NewCorporaGenerator(store, faq)
+
+	q := ev("r1", "alice", "what is a stack", corpus.VerdictQuestion, "stack")
+	ans := ev("r1", "bob", "a stack is a lifo structure", corpus.VerdictCorrect, "stack", "lifo")
+	g.Consume(q)
+	g.Consume(ans)
+
+	if store.Len() != 2 {
+		t.Errorf("corpus records = %d, want 2", store.Len())
+	}
+	if g.MinedPairs() != 1 {
+		t.Errorf("mined pairs = %d, want 1", g.MinedPairs())
+	}
+	entry, ok := faq.Lookup("what is a stack")
+	if !ok {
+		t.Fatal("mined pair missing from FAQ")
+	}
+	if !strings.Contains(entry.Answer, "lifo") {
+		t.Errorf("mined answer = %q", entry.Answer)
+	}
+}
+
+func TestMiningRequiresDifferentUserAndSharedTopic(t *testing.T) {
+	store := corpus.NewStore()
+	faq := qa.NewFAQ()
+	g := NewCorporaGenerator(store, faq)
+
+	// Same user answering their own question: not mined; question stays
+	// pending for a later answer by someone else.
+	g.Consume(ev("r1", "alice", "what is a stack", corpus.VerdictQuestion, "stack"))
+	g.Consume(ev("r1", "alice", "a stack is a lifo structure", corpus.VerdictCorrect, "stack"))
+	if g.MinedPairs() != 0 {
+		t.Errorf("self-answer mined: %d", g.MinedPairs())
+	}
+
+	// Different user but unrelated topic: not mined, and the pending
+	// question is consumed only on a topical answer.
+	g.Consume(ev("r1", "bob", "a queue is a fifo structure", corpus.VerdictCorrect, "queue"))
+	if g.MinedPairs() != 0 {
+		t.Errorf("off-topic answer mined: %d", g.MinedPairs())
+	}
+
+	// Topical answer by another user: mined.
+	g.Consume(ev("r1", "bob", "a stack is a lifo structure", corpus.VerdictCorrect, "stack"))
+	if g.MinedPairs() != 1 {
+		t.Errorf("mined pairs = %d, want 1", g.MinedPairs())
+	}
+}
+
+func TestMiningWindowExpires(t *testing.T) {
+	store := corpus.NewStore()
+	faq := qa.NewFAQ()
+	g := NewCorporaGenerator(store, faq)
+	g.Window = time.Minute
+
+	q := ev("r1", "alice", "what is a stack", corpus.VerdictQuestion, "stack")
+	q.Time = time.Now().Add(-5 * time.Minute)
+	g.Consume(q)
+	g.Consume(ev("r1", "bob", "a stack is a lifo structure", corpus.VerdictCorrect, "stack"))
+	if g.MinedPairs() != 0 {
+		t.Errorf("stale question mined: %d", g.MinedPairs())
+	}
+}
+
+func TestMiningPerRoomIsolation(t *testing.T) {
+	store := corpus.NewStore()
+	faq := qa.NewFAQ()
+	g := NewCorporaGenerator(store, faq)
+
+	g.Consume(ev("r1", "alice", "what is a stack", corpus.VerdictQuestion, "stack"))
+	// Answer lands in a different room: must not pair.
+	g.Consume(ev("r2", "bob", "a stack is a lifo structure", corpus.VerdictCorrect, "stack"))
+	if g.MinedPairs() != 0 {
+		t.Errorf("cross-room answer mined: %d", g.MinedPairs())
+	}
+}

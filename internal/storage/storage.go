@@ -1,0 +1,141 @@
+// Package storage persists the supervisor's four databases — Distance
+// Learning Ontology, Learner Corpus, User Profiles and FAQ — to a plain
+// directory, so a chat service survives restarts with its accumulated
+// knowledge intact (the paper's premise is agents that stay online and
+// keep learning from dialogue).
+//
+// Layout inside the data directory:
+//
+//	ontology.xml    paper-markup ontology (Fig. 5 / §4.4 format)
+//	corpus.jsonl    learner corpus records, one JSON object per line
+//	profiles.json   user profile array
+//	faq.jsonl       FAQ entries, one JSON object per line
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"semagent/internal/corpus"
+	"semagent/internal/ontology"
+	"semagent/internal/profile"
+	"semagent/internal/qa"
+)
+
+// File names inside a data directory.
+const (
+	OntologyFile = "ontology.xml"
+	CorpusFile   = "corpus.jsonl"
+	ProfilesFile = "profiles.json"
+	FAQFile      = "faq.jsonl"
+)
+
+// Snapshot is the set of persisted stores. Nil fields are skipped on
+// save and left nil on load when the file is absent.
+type Snapshot struct {
+	Ontology *ontology.Ontology
+	Corpus   *corpus.Store
+	Profiles *profile.Store
+	FAQ      *qa.FAQ
+}
+
+// Save writes every non-nil store into dir, creating it if needed.
+// Files are written atomically (temp file + rename) so a crash cannot
+// leave a half-written database.
+func Save(dir string, snap Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if snap.Ontology != nil {
+		if err := atomicWrite(filepath.Join(dir, OntologyFile), snap.Ontology.EncodeXML); err != nil {
+			return fmt.Errorf("storage: ontology: %w", err)
+		}
+	}
+	if snap.Corpus != nil {
+		if err := atomicWrite(filepath.Join(dir, CorpusFile), snap.Corpus.SaveJSONL); err != nil {
+			return fmt.Errorf("storage: corpus: %w", err)
+		}
+	}
+	if snap.Profiles != nil {
+		if err := atomicWrite(filepath.Join(dir, ProfilesFile), snap.Profiles.Save); err != nil {
+			return fmt.Errorf("storage: profiles: %w", err)
+		}
+	}
+	if snap.FAQ != nil {
+		if err := atomicWrite(filepath.Join(dir, FAQFile), snap.FAQ.Save); err != nil {
+			return fmt.Errorf("storage: faq: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reads whatever databases exist in dir. Missing files yield nil
+// fields, not errors; a missing directory yields an all-nil snapshot.
+func Load(dir string) (Snapshot, error) {
+	var snap Snapshot
+
+	if f, err := os.Open(filepath.Join(dir, OntologyFile)); err == nil {
+		snap.Ontology, err = ontology.DecodeXML(f)
+		_ = f.Close()
+		if err != nil {
+			return snap, fmt.Errorf("storage: ontology: %w", err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return snap, fmt.Errorf("storage: ontology: %w", err)
+	}
+
+	if f, err := os.Open(filepath.Join(dir, CorpusFile)); err == nil {
+		snap.Corpus, err = corpus.LoadJSONL(f)
+		_ = f.Close()
+		if err != nil {
+			return snap, fmt.Errorf("storage: corpus: %w", err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return snap, fmt.Errorf("storage: corpus: %w", err)
+	}
+
+	if f, err := os.Open(filepath.Join(dir, ProfilesFile)); err == nil {
+		snap.Profiles, err = profile.Load(f)
+		_ = f.Close()
+		if err != nil {
+			return snap, fmt.Errorf("storage: profiles: %w", err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return snap, fmt.Errorf("storage: profiles: %w", err)
+	}
+
+	if f, err := os.Open(filepath.Join(dir, FAQFile)); err == nil {
+		snap.FAQ, err = qa.LoadFAQ(f)
+		_ = f.Close()
+		if err != nil {
+			return snap, fmt.Errorf("storage: faq: %w", err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return snap, fmt.Errorf("storage: faq: %w", err)
+	}
+
+	return snap, nil
+}
+
+// atomicWrite writes via a temp file and rename.
+func atomicWrite(path string, write func(w io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if err := write(tmp); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return err
+	}
+	return os.Rename(tmpName, path)
+}

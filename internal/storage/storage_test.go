@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"semagent/internal/corpus"
+	"semagent/internal/linkgrammar"
+	"semagent/internal/ontology"
+	"semagent/internal/profile"
+	"semagent/internal/qa"
+)
+
+func buildSnapshot() Snapshot {
+	onto := ontology.BuildCourseOntology()
+	store := corpus.NewStore()
+	store.Add(corpus.Record{
+		Text:    "The stack has a push operation.",
+		Tokens:  linkgrammar.Tokenize("The stack has a push operation."),
+		Verdict: corpus.VerdictCorrect,
+		Topics:  []string{"stack", "push"},
+	})
+	profiles := profile.NewStore()
+	profiles.RecordMessage("alice", []string{"stack"})
+	profiles.RecordSyntaxError("alice", "agreement")
+	faq := qa.NewFAQ()
+	faq.Record("What is a stack?", "A stack is a LIFO structure.", qa.TemplateDefinition)
+	return Snapshot{Ontology: onto, Corpus: store, Profiles: profiles, FAQ: faq}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := buildSnapshot()
+	if err := Save(dir, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	for _, f := range []string{OntologyFile, CorpusFile, ProfilesFile, FAQFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if back.Ontology == nil || back.Ontology.Len() != snap.Ontology.Len() {
+		t.Errorf("ontology lost: %v", back.Ontology)
+	}
+	if back.Ontology != nil {
+		if d := back.Ontology.Distance("stack", "pop"); d != 1 {
+			t.Errorf("distance(stack,pop) = %d after reload", d)
+		}
+	}
+	if back.Corpus == nil || back.Corpus.Len() != 1 {
+		t.Errorf("corpus lost")
+	}
+	if back.Profiles == nil {
+		t.Fatal("profiles lost")
+	}
+	p, ok := back.Profiles.Get("alice")
+	if !ok || p.SyntaxErrors != 1 {
+		t.Errorf("alice profile = %+v ok=%v", p, ok)
+	}
+	if back.FAQ == nil {
+		t.Fatal("faq lost")
+	}
+	if _, ok := back.FAQ.Lookup("what is a stack"); !ok {
+		t.Error("faq entry lost")
+	}
+}
+
+func TestLoadMissingDirectory(t *testing.T) {
+	snap, err := Load(filepath.Join(t.TempDir(), "does-not-exist"))
+	if err != nil {
+		t.Fatalf("missing dir should not error: %v", err)
+	}
+	if snap.Ontology != nil || snap.Corpus != nil || snap.Profiles != nil || snap.FAQ != nil {
+		t.Error("missing dir should yield an empty snapshot")
+	}
+}
+
+func TestPartialSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	faq := qa.NewFAQ()
+	faq.Record("q", "a", qa.TemplateNone)
+	if err := Save(dir, Snapshot{FAQ: faq}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if back.FAQ == nil || back.FAQ.Len() != 1 {
+		t.Error("faq missing")
+	}
+	if back.Corpus != nil || back.Ontology != nil || back.Profiles != nil {
+		t.Error("absent stores should load as nil")
+	}
+}
+
+func TestCorruptFileSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, OntologyFile), []byte("not xml at all <"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("corrupt ontology should fail loading")
+	}
+}
+
+func TestSaveOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	snap := buildSnapshot()
+	if err := Save(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Corpus.Add(corpus.Record{Text: "second", Tokens: []string{"second"}, Verdict: corpus.VerdictCorrect})
+	if err := Save(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Corpus.Len() != 2 {
+		t.Errorf("corpus len = %d after overwrite, want 2", back.Corpus.Len())
+	}
+	// No leftover temp files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if len(e.Name()) > 4 && e.Name()[:4] == ".tmp" {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,480 @@
+// Package workload generates deterministic, labelled synthetic
+// classroom dialogue. The paper deployed its system on real students
+// and reported no measurements; the generator replaces the students
+// with scripted learners whose mistakes carry ground-truth labels, so
+// the reproduction can score precision and recall (see DESIGN.md §3).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"semagent/internal/ontology"
+)
+
+// Kind is the ground-truth label of a generated sample.
+type Kind int8
+
+// Sample kinds.
+const (
+	KindCorrect Kind = iota + 1
+	KindSyntaxError
+	KindSemanticError
+	KindQuestion
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCorrect:
+		return "correct"
+	case KindSyntaxError:
+		return "syntax-error"
+	case KindSemanticError:
+		return "semantic-error"
+	case KindQuestion:
+		return "question"
+	default:
+		return "unknown"
+	}
+}
+
+// Sample is one labelled utterance.
+type Sample struct {
+	Text string
+	Kind Kind
+	// Mutation tags the syntax corruption applied ("agreement",
+	// "duplicate-determiner", "word-order", "extra-word").
+	Mutation string
+	// Template tags question samples ("what-is", "does-have", ...).
+	Template string
+	// Negated marks negative-polarity sentences.
+	Negated bool
+	// Topics are the ontology terms embedded in the sample.
+	Topics []string
+	// WantYes is the ground truth for yes/no questions.
+	WantYes bool
+	// InOntology is false for questions about unknown terms.
+	InOntology bool
+}
+
+// Generator produces samples deterministically from a seed.
+type Generator struct {
+	rng  *rand.Rand
+	onto *ontology.Ontology
+
+	relatedPairs   [][2]string // (concept, operation) within the distance threshold
+	unrelatedPairs [][2]string // (concept, operation) beyond threshold
+	// hasPairs/notHasPairs carry the crisp "concept offers operation"
+	// ground truth (inheritance-aware) used for yes/no questions.
+	hasPairs      [][2]string
+	notHasPairs   [][2]string
+	verbOps       []string // operations usable as verbs
+	concepts      []string
+	properties    map[string][]string // concept -> properties
+	allProperties []string
+}
+
+// NewGenerator builds a generator over the ontology.
+func NewGenerator(seed int64, onto *ontology.Ontology) *Generator {
+	g := &Generator{
+		rng:        rand.New(rand.NewSource(seed)),
+		onto:       onto,
+		properties: make(map[string][]string),
+	}
+	opSet := map[string]bool{
+		"push": true, "pop": true, "insert": true, "delete": true,
+		"enqueue": true, "dequeue": true, "search": true, "sort": true,
+		"traverse": true,
+	}
+	items := onto.Items()
+	var ops []string
+	for _, it := range items {
+		switch it.Kind {
+		case ontology.KindConcept:
+			// Multi-word concepts work fine in templates.
+			g.concepts = append(g.concepts, it.Name)
+		case ontology.KindOperation:
+			ops = append(ops, it.Name)
+			if opSet[it.Name] {
+				g.verbOps = append(g.verbOps, it.Name)
+			}
+		case ontology.KindProperty:
+			if !strings.Contains(it.Name, " ") {
+				g.allProperties = append(g.allProperties, it.Name)
+			}
+		}
+	}
+	for _, c := range g.concepts {
+		offered := make(map[string]bool)
+		for _, op := range onto.OperationsOf(c) {
+			offered[op.Name] = true
+		}
+		for _, op := range ops {
+			if strings.Contains(op, " ") {
+				continue // keep templates fluent
+			}
+			d := onto.Distance(c, op)
+			switch {
+			case d <= ontology.DefaultRelatedThreshold:
+				// Direct operations (d=1) and operations inherited
+				// through one is-a hop (d=2) are both valid usage.
+				g.relatedPairs = append(g.relatedPairs, [2]string{c, op})
+			default:
+				g.unrelatedPairs = append(g.unrelatedPairs, [2]string{c, op})
+			}
+			switch {
+			case offered[op]:
+				g.hasPairs = append(g.hasPairs, [2]string{c, op})
+			case d > ontology.DefaultRelatedThreshold:
+				// Crisply false: not offered and not even nearby.
+				g.notHasPairs = append(g.notHasPairs, [2]string{c, op})
+			}
+		}
+		for _, r := range onto.Neighbors(itemID(onto, c)) {
+			if r.Kind == ontology.RelHasProperty {
+				if to, ok := onto.ByID(r.To); ok && !strings.Contains(to.Name, " ") {
+					g.properties[c] = append(g.properties[c], to.Name)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func itemID(onto *ontology.Ontology, name string) int {
+	it, ok := onto.Lookup(name)
+	if !ok {
+		return -1
+	}
+	return it.ID
+}
+
+func (g *Generator) pick(list []string) string {
+	return list[g.rng.Intn(len(list))]
+}
+
+func (g *Generator) pickPair(pairs [][2]string) [2]string {
+	return pairs[g.rng.Intn(len(pairs))]
+}
+
+// ---- correct sentences ------------------------------------------------
+
+// generalSubjects/verbs/objects build in-dictionary filler sentences for
+// chit-chat turns with no ontology content.
+var (
+	generalSubjectsSing = []string{"the teacher", "the student", "the cat", "the program"}
+	generalSubjectsPl   = []string{"the teachers", "the students", "the cats", "the programs"}
+	generalVerbsSing    = []string{"explains", "understands", "likes", "reviews"}
+	generalVerbsPl      = []string{"explain", "understand", "like", "review"}
+	generalObjects      = []string{"the lesson", "the course", "the homework", "the example", "the question"}
+)
+
+// Correct generates a grammatical, semantically valid sentence.
+func (g *Generator) Correct() Sample {
+	switch g.rng.Intn(6) {
+	case 0: // concept has operation (related)
+		p := g.pickPair(g.relatedPairs)
+		return Sample{
+			Text:   fmt.Sprintf("the %s has a %s operation", p[0], p[1]),
+			Kind:   KindCorrect,
+			Topics: []string{p[0], p[1]},
+		}
+	case 1: // verb-operation applied to its concept
+		for tries := 0; tries < 16; tries++ {
+			p := g.pickPair(g.relatedPairs)
+			if isVerbOp(g.verbOps, p[1]) {
+				return Sample{
+					Text:   fmt.Sprintf("i %s the data into the %s", p[1], p[0]),
+					Kind:   KindCorrect,
+					Topics: []string{p[0], p[1]},
+				}
+			}
+		}
+		fallthrough
+	case 2: // negated unrelated pair — the paper's flagship correct case
+		p := g.pickPair(g.unrelatedPairs)
+		return Sample{
+			Text:    fmt.Sprintf("the %s doesn't have a %s method", p[0], p[1]),
+			Kind:    KindCorrect,
+			Negated: true,
+			Topics:  []string{p[0], p[1]},
+		}
+	case 3: // property assertion
+		for tries := 0; tries < 16; tries++ {
+			c := g.pick(g.concepts)
+			if props := g.properties[c]; len(props) > 0 {
+				prop := props[g.rng.Intn(len(props))]
+				return Sample{
+					Text:   fmt.Sprintf("the %s is a %s structure", c, prop),
+					Kind:   KindCorrect,
+					Topics: []string{c, prop},
+				}
+			}
+		}
+		fallthrough
+	case 4: // general chit-chat (singular)
+		return Sample{
+			Text: fmt.Sprintf("%s %s %s",
+				g.pick(generalSubjectsSing), g.pick(generalVerbsSing), g.pick(generalObjects)),
+			Kind: KindCorrect,
+		}
+	default: // general chit-chat (plural)
+		return Sample{
+			Text: fmt.Sprintf("%s %s %s",
+				g.pick(generalSubjectsPl), g.pick(generalVerbsPl), g.pick(generalObjects)),
+			Kind: KindCorrect,
+		}
+	}
+}
+
+func isVerbOp(verbOps []string, op string) bool {
+	for _, v := range verbOps {
+		if v == op {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- syntax errors ----------------------------------------------------
+
+// SyntaxError corrupts a correct sentence with one labelled mutation.
+func (g *Generator) SyntaxError() Sample {
+	base := g.Correct()
+	tokens := strings.Fields(base.Text)
+	switch g.rng.Intn(4) {
+	case 0: // subject-verb agreement break
+		for i, t := range tokens {
+			switch t {
+			case "has":
+				tokens[i] = "have"
+				return mutated(base, tokens, "agreement")
+			case "is":
+				tokens[i] = "are"
+				return mutated(base, tokens, "agreement")
+			case "explains", "understands", "likes", "reviews":
+				tokens[i] = strings.TrimSuffix(t, "s")
+				return mutated(base, tokens, "agreement")
+			case "explain", "understand", "like", "review":
+				tokens[i] = t + "s"
+				return mutated(base, tokens, "agreement")
+			}
+		}
+		fallthrough
+	case 1: // duplicated determiner
+		for i, t := range tokens {
+			if t == "the" || t == "a" {
+				out := make([]string, 0, len(tokens)+1)
+				out = append(out, tokens[:i+1]...)
+				out = append(out, t)
+				out = append(out, tokens[i+1:]...)
+				return mutated(base, out, "duplicate-determiner")
+			}
+		}
+		fallthrough
+	case 2: // adjacent swap around the verb
+		if len(tokens) >= 3 {
+			i := 1 + g.rng.Intn(len(tokens)-2)
+			tokens[i], tokens[i+1] = tokens[i+1], tokens[i]
+			return mutated(base, tokens, "word-order")
+		}
+		fallthrough
+	default: // spurious extra word
+		i := g.rng.Intn(len(tokens) + 1)
+		extra := []string{"the", "very", "is", "do"}[g.rng.Intn(4)]
+		out := make([]string, 0, len(tokens)+1)
+		out = append(out, tokens[:i]...)
+		out = append(out, extra)
+		out = append(out, tokens[i:]...)
+		return mutated(base, out, "extra-word")
+	}
+}
+
+func mutated(base Sample, tokens []string, mutation string) Sample {
+	return Sample{
+		Text:     strings.Join(tokens, " "),
+		Kind:     KindSyntaxError,
+		Mutation: mutation,
+		Topics:   base.Topics,
+		Negated:  base.Negated,
+	}
+}
+
+// ---- semantic errors ----------------------------------------------------
+
+// SemanticError generates a grammatical but domain-nonsensical sentence:
+// either an affirmative unrelated pair or a negated related pair.
+func (g *Generator) SemanticError() Sample {
+	if g.rng.Intn(3) == 0 {
+		// Negated related pair: "the stack doesn't have a pop method".
+		p := g.pickPair(g.relatedPairs)
+		return Sample{
+			Text:    fmt.Sprintf("the %s doesn't have a %s method", p[0], p[1]),
+			Kind:    KindSemanticError,
+			Negated: true,
+			Topics:  []string{p[0], p[1]},
+		}
+	}
+	p := g.pickPair(g.unrelatedPairs)
+	if isVerbOp(g.verbOps, p[1]) && g.rng.Intn(2) == 0 {
+		// "i push the data into a tree" — the paper's own example.
+		return Sample{
+			Text:   fmt.Sprintf("i %s the data into the %s", p[1], p[0]),
+			Kind:   KindSemanticError,
+			Topics: []string{p[0], p[1]},
+		}
+	}
+	return Sample{
+		Text:   fmt.Sprintf("the %s has a %s operation", p[0], p[1]),
+		Kind:   KindSemanticError,
+		Topics: []string{p[0], p[1]},
+	}
+}
+
+// ---- questions ----------------------------------------------------------
+
+// unknownTerms are deliberately out-of-ontology subjects.
+var unknownTerms = []string{"zorklist", "flumtree", "quuxtable", "blorfheap"}
+
+// Question generates an interrogative sample. outOfOntology forces an
+// unanswerable subject.
+func (g *Generator) Question(outOfOntology bool) Sample {
+	if outOfOntology {
+		return Sample{
+			Text:       fmt.Sprintf("what is a %s?", g.pick(unknownTerms)),
+			Kind:       KindQuestion,
+			Template:   "what-is",
+			InOntology: false,
+		}
+	}
+	switch g.rng.Intn(5) {
+	case 0:
+		c := g.pick(g.concepts)
+		return Sample{
+			Text: fmt.Sprintf("what is a %s?", c), Kind: KindQuestion,
+			Template: "what-is", Topics: []string{c}, InOntology: true,
+		}
+	case 1:
+		if g.rng.Intn(2) == 0 {
+			p := g.pickPair(g.hasPairs)
+			return Sample{
+				Text: fmt.Sprintf("does a %s have a %s method?", p[0], p[1]), Kind: KindQuestion,
+				Template: "does-have", Topics: []string{p[0], p[1]}, WantYes: true, InOntology: true,
+			}
+		}
+		p := g.pickPair(g.notHasPairs)
+		return Sample{
+			Text: fmt.Sprintf("does a %s have a %s method?", p[0], p[1]), Kind: KindQuestion,
+			Template: "does-have", Topics: []string{p[0], p[1]}, WantYes: false, InOntology: true,
+		}
+	case 2:
+		p := g.pickPair(g.hasPairs)
+		return Sample{
+			Text: fmt.Sprintf("which data structure has the %s operation?", p[1]), Kind: KindQuestion,
+			Template: "which-has", Topics: []string{p[1]}, InOntology: true,
+		}
+	case 3:
+		a, b := g.pick(g.concepts), g.pick(g.concepts)
+		return Sample{
+			Text: fmt.Sprintf("is a %s a %s?", a, b), Kind: KindQuestion,
+			Template: "is-a", Topics: []string{a, b},
+			WantYes: g.onto.IsA(a, b), InOntology: true,
+		}
+	default:
+		a, b := g.pick(g.concepts), g.pick(g.concepts)
+		return Sample{
+			Text: fmt.Sprintf("what is the relation between a %s and a %s?", a, b), Kind: KindQuestion,
+			Template: "relations-of", Topics: []string{a, b}, InOntology: true,
+		}
+	}
+}
+
+// ---- mixed workloads ------------------------------------------------------
+
+// Mix describes sample-kind proportions (weights need not sum to 1).
+type Mix struct {
+	Correct       float64
+	SyntaxError   float64
+	SemanticError float64
+	Question      float64
+	// OutOfOntology is the fraction of questions about unknown terms.
+	OutOfOntology float64
+}
+
+// DefaultMix resembles a supervised classroom: mostly correct talk with
+// a realistic error and question rate.
+func DefaultMix() Mix {
+	return Mix{Correct: 0.5, SyntaxError: 0.2, SemanticError: 0.15, Question: 0.15, OutOfOntology: 0.2}
+}
+
+// Generate produces n samples with the given mix.
+func (g *Generator) Generate(n int, mix Mix) []Sample {
+	total := mix.Correct + mix.SyntaxError + mix.SemanticError + mix.Question
+	if total <= 0 {
+		total = 1
+		mix.Correct = 1
+	}
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		r := g.rng.Float64() * total
+		switch {
+		case r < mix.Correct:
+			out = append(out, g.Correct())
+		case r < mix.Correct+mix.SyntaxError:
+			out = append(out, g.SyntaxError())
+		case r < mix.Correct+mix.SyntaxError+mix.SemanticError:
+			out = append(out, g.SemanticError())
+		default:
+			out = append(out, g.Question(g.rng.Float64() < mix.OutOfOntology))
+		}
+	}
+	return out
+}
+
+// ScriptedMessage is one turn of a simulated classroom session.
+type ScriptedMessage struct {
+	Room   string
+	User   string
+	Sample Sample
+}
+
+// Session scripts a classroom dialogue: users in rooms, questions often
+// answered by a peer on the same topic (exercising the QA mining of the
+// corpora generator).
+func (g *Generator) Session(rooms, usersPerRoom, messages int) []ScriptedMessage {
+	if rooms <= 0 {
+		rooms = 1
+	}
+	if usersPerRoom <= 0 {
+		usersPerRoom = 2
+	}
+	out := make([]ScriptedMessage, 0, messages)
+	mix := DefaultMix()
+	for i := 0; i < messages; i++ {
+		room := fmt.Sprintf("room-%d", i%rooms)
+		user := fmt.Sprintf("student-%d-%d", i%rooms, g.rng.Intn(usersPerRoom))
+		s := g.Generate(1, mix)[0]
+		out = append(out, ScriptedMessage{Room: room, User: user, Sample: s})
+		// Questions get answered by a classmate ~70% of the time.
+		if s.Kind == KindQuestion && s.InOntology && len(s.Topics) > 0 && g.rng.Float64() < 0.7 {
+			answerer := fmt.Sprintf("student-%d-%d", i%rooms, g.rng.Intn(usersPerRoom))
+			if answerer == user {
+				answerer += "b"
+			}
+			topic := s.Topics[0]
+			answer := Sample{
+				Text:   fmt.Sprintf("the %s is a useful structure", topic),
+				Kind:   KindCorrect,
+				Topics: []string{topic},
+			}
+			if len(g.properties[topic]) > 0 {
+				answer.Text = fmt.Sprintf("the %s is a %s structure", topic, g.properties[topic][0])
+			}
+			out = append(out, ScriptedMessage{Room: room, User: answerer, Sample: answer})
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+
+	"semagent/internal/ontology"
+)
+
+func newGen(t *testing.T, seed int64) *Generator {
+	t.Helper()
+	return NewGenerator(seed, ontology.BuildCourseOntology())
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := newGen(t, 42)
+	g2 := newGen(t, 42)
+	for i := 0; i < 50; i++ {
+		a := g1.Generate(1, DefaultMix())[0]
+		b := g2.Generate(1, DefaultMix())[0]
+		if a.Text != b.Text || a.Kind != b.Kind {
+			t.Fatalf("sample %d diverged: %q vs %q", i, a.Text, b.Text)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	g1 := newGen(t, 1)
+	g2 := newGen(t, 2)
+	same := 0
+	for i := 0; i < 30; i++ {
+		if g1.Correct().Text == g2.Correct().Text {
+			same++
+		}
+	}
+	if same == 30 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestCorrectSamplesAreLabelled(t *testing.T) {
+	g := newGen(t, 7)
+	for i := 0; i < 100; i++ {
+		s := g.Correct()
+		if s.Kind != KindCorrect {
+			t.Fatalf("kind = %s", s.Kind)
+		}
+		if s.Text == "" {
+			t.Fatal("empty text")
+		}
+	}
+}
+
+func TestSyntaxErrorsCarryMutationTags(t *testing.T) {
+	g := newGen(t, 7)
+	tags := make(map[string]int)
+	for i := 0; i < 200; i++ {
+		s := g.SyntaxError()
+		if s.Kind != KindSyntaxError {
+			t.Fatalf("kind = %s", s.Kind)
+		}
+		if s.Mutation == "" {
+			t.Fatalf("no mutation tag for %q", s.Text)
+		}
+		tags[s.Mutation]++
+	}
+	if len(tags) < 3 {
+		t.Errorf("mutation diversity too low: %v", tags)
+	}
+}
+
+func TestSemanticErrorsUseOntologyPairs(t *testing.T) {
+	g := newGen(t, 7)
+	onto := ontology.BuildCourseOntology()
+	for i := 0; i < 100; i++ {
+		s := g.SemanticError()
+		if s.Kind != KindSemanticError {
+			t.Fatalf("kind = %s", s.Kind)
+		}
+		if len(s.Topics) != 2 {
+			t.Fatalf("topics = %v", s.Topics)
+		}
+		related := onto.Related(s.Topics[0], s.Topics[1], 0)
+		if s.Negated && !related {
+			t.Errorf("negated semantic error must use a related pair: %q", s.Text)
+		}
+		if !s.Negated && related {
+			t.Errorf("affirmative semantic error must use an unrelated pair: %q", s.Text)
+		}
+	}
+}
+
+func TestQuestionsCoverTemplates(t *testing.T) {
+	g := newGen(t, 7)
+	templates := make(map[string]int)
+	for i := 0; i < 300; i++ {
+		s := g.Question(false)
+		if s.Kind != KindQuestion || !s.InOntology {
+			t.Fatalf("bad question sample: %+v", s)
+		}
+		templates[s.Template]++
+	}
+	for _, want := range []string{"what-is", "does-have", "which-has", "is-a", "relations-of"} {
+		if templates[want] == 0 {
+			t.Errorf("template %q never generated (%v)", want, templates)
+		}
+	}
+	oo := g.Question(true)
+	if oo.InOntology {
+		t.Error("out-of-ontology question mislabelled")
+	}
+}
+
+func TestGenerateMixProportions(t *testing.T) {
+	g := newGen(t, 11)
+	samples := g.Generate(1000, DefaultMix())
+	counts := make(map[Kind]int)
+	for _, s := range samples {
+		counts[s.Kind]++
+	}
+	if counts[KindCorrect] < 300 || counts[KindSyntaxError] < 80 ||
+		counts[KindSemanticError] < 50 || counts[KindQuestion] < 50 {
+		t.Errorf("mix far from expectation: %v", counts)
+	}
+}
+
+func TestSessionAnswersFollowQuestions(t *testing.T) {
+	g := newGen(t, 13)
+	script := g.Session(2, 3, 200)
+	if len(script) < 200 {
+		t.Fatalf("script too short: %d", len(script))
+	}
+	answered := 0
+	for i := 0; i < len(script)-1; i++ {
+		if script[i].Sample.Kind == KindQuestion && script[i].Sample.InOntology {
+			next := script[i+1]
+			if next.Room == script[i].Room && next.User != script[i].User &&
+				next.Sample.Kind == KindCorrect {
+				answered++
+			}
+		}
+	}
+	if answered == 0 {
+		t.Error("no question was followed by a peer answer")
+	}
+}
