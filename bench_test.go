@@ -1,5 +1,5 @@
 // Package semagent_test holds the benchmark harness: one benchmark per
-// experiment of DESIGN.md §4 (E1–E8) plus micro-benchmarks for the hot
+// experiment of DESIGN.md §4 (E1–E9) plus micro-benchmarks for the hot
 // components. Run with:
 //
 //	go test -bench=. -benchmem
@@ -14,15 +14,20 @@ import (
 	"semagent/internal/eval"
 	"semagent/internal/linkgrammar"
 	"semagent/internal/ontology"
+	"semagent/internal/pipeline"
 	"semagent/internal/qa"
 	"semagent/internal/semantic"
 	"semagent/internal/workload"
 )
 
+// uncached disables the parse cache so a benchmark isolates the parser
+// itself; the cached-vs-uncached comparison lives in E9.
+var uncached = linkgrammar.Options{CacheSize: -1}
+
 // BenchmarkE1ParserThroughput measures link-grammar parses per second
 // on grammatical course-domain sentences (experiment E1).
 func BenchmarkE1ParserThroughput(b *testing.B) {
-	sup, err := core.New(core.Config{DisableRecording: true})
+	sup, err := core.New(core.Config{DisableRecording: true, ParserOptions: uncached})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -44,7 +49,7 @@ func BenchmarkE1ParserThroughput(b *testing.B) {
 // inputs corrupted (experiment E2). The error path includes the repair
 // search, so this is the realistic supervision cost.
 func BenchmarkE2AngelPipeline(b *testing.B) {
-	sup, err := core.New(core.Config{DisableRecording: true})
+	sup, err := core.New(core.Config{DisableRecording: true, ParserOptions: uncached})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -199,6 +204,75 @@ func BenchmarkE8CorpusSuggestions(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				store.Suggest(queries[i%len(queries)], nil, 3)
 			}
+		})
+	}
+}
+
+// BenchmarkE9ShardedSupervision measures concurrent classroom
+// throughput (experiment E9): the same room-interleaved message stream
+// through the single-threaded Process loop and through the room-sharded
+// pipeline, each with the parse cache off and on. The acceptance bar is
+// sharded ≥ 2× serial on ≥ 4 rooms.
+//
+// The workload is shared with eval.RunE9 (eval.E9Workload); the arm
+// execution deliberately is not: RunE9 measures one cold pass per
+// fresh Supervisor, while this benchmark reuses one Supervisor across
+// b.N iterations so the cached arms report steady-state hit rates.
+func BenchmarkE9ShardedSupervision(b *testing.B) {
+	msgs := eval.E9Workload(eval.E9Config{Rooms: 8, MessagesPerRoom: 32, Seed: 90})
+
+	for _, arm := range []struct {
+		name            string
+		sharded, cached bool
+	}{
+		{"serial-uncached", false, false},
+		{"serial-cached", false, true},
+		{"sharded-uncached", true, false},
+		{"sharded-cached", true, true},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			popts := linkgrammar.Options{CacheSize: -1}
+			if arm.cached {
+				popts = linkgrammar.Options{} // core default: cache on
+			}
+			sup, err := core.New(core.Config{ParserOptions: popts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			errCh := make(chan error, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if arm.sharded {
+					pipe := pipeline.New(pipeline.Config{Block: true})
+					for _, m := range msgs {
+						m := m
+						if err := pipe.Submit(m.Room, func() {
+							if _, perr := sup.Process(m.Room, m.User, m.Text); perr != nil {
+								select {
+								case errCh <- perr:
+								default:
+								}
+							}
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					pipe.Close()
+					select {
+					case perr := <-errCh:
+						b.Fatal(perr)
+					default:
+					}
+				} else {
+					for _, m := range msgs {
+						if _, err := sup.Process(m.Room, m.User, m.Text); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(msgs)*b.N)/b.Elapsed().Seconds(), "msg/s")
 		})
 	}
 }

@@ -28,19 +28,21 @@ func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:7788", "listen address")
 		dataDir     = flag.String("data", "", "directory for persistent corpus/profiles/FAQ/ontology (empty = in-memory only)")
-		async       = flag.Bool("async", false, "deliver agent responses from a sidecar goroutine")
+		async       = flag.Bool("async", false, "supervise off the broadcast path via the room-sharded worker pool")
+		workers     = flag.Int("workers", 0, "async supervision workers (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "async supervision queue per shard (0 = 256)")
 		noSupervise = flag.Bool("nosupervise", false, "disable the agents (plain chat room)")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataDir, *async, *noSupervise); err != nil {
+	if err := run(*addr, *dataDir, *async, *noSupervise, *workers, *queue); err != nil {
 		fmt.Fprintln(os.Stderr, "chatserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, async, noSupervise bool) error {
+func run(addr, dataDir string, async, noSupervise bool, workers, queue int) error {
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	opts := chat.ServerOptions{Logger: logger, Async: async}
+	opts := chat.ServerOptions{Logger: logger, Async: async, Workers: workers, SuperviseQueue: queue}
 
 	var sup *core.Supervisor
 	if !noSupervise {
@@ -80,7 +82,19 @@ func run(addr, dataDir string, async, noSupervise bool) error {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	<-sigCh
 	logger.Printf("shutting down")
+	// Close first: it drains the async supervision pipeline, so the
+	// stats, summary and snapshot below include every queued message.
+	closeErr := server.Close()
+	if st, ok := server.SupervisionStats(); ok {
+		logger.Printf("supervision pipeline: %d workers, %d submitted, %d completed, %d blocked submits, max shard queue %d",
+			st.Workers, st.Submitted, st.Completed, st.Blocked, st.MaxQueueDepth)
+	}
 	if sup != nil {
+		cs := sup.Parser().CacheStats()
+		if cs.Capacity > 0 {
+			logger.Printf("parse cache: %d/%d entries, %.1f%% hit rate, %d evictions, %d invalidations",
+				cs.Size, cs.Capacity, cs.HitRate()*100, cs.Evictions, cs.Invalidations)
+		}
 		logger.Printf("session summary:\n%s", sup.Analyzer().Report())
 		if dataDir != "" {
 			err := storage.Save(dataDir, storage.Snapshot{
@@ -96,5 +110,5 @@ func run(addr, dataDir string, async, noSupervise bool) error {
 			}
 		}
 	}
-	return server.Close()
+	return closeErr
 }

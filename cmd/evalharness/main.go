@@ -1,12 +1,14 @@
 // Command evalharness regenerates the evaluation of DESIGN.md §4: one
-// experiment per paper figure (E1–E8). It prints the measurement tables
-// recorded in EXPERIMENTS.md.
+// experiment per paper figure (E1–E8) plus the scale experiment E9
+// (concurrent rooms through the sharded supervision pipeline, cached
+// vs uncached parses).
 //
 // Usage:
 //
 //	evalharness -exp all            # run everything (default)
 //	evalharness -exp E3 -n 2000     # one experiment, bigger workload
 //	evalharness -exp E6 -seed 7
+//	evalharness -exp E9 -rooms 16   # scale: more concurrent rooms
 package main
 
 import (
@@ -21,25 +23,35 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run: E1..E8 or all")
-		n    = flag.Int("n", 1000, "workload size (samples/questions)")
-		seed = flag.Int64("seed", 1, "workload seed")
+		exp   = flag.String("exp", "all", "experiment to run: E1..E9 or all")
+		n     = flag.Int("n", 1000, "workload size (samples/questions)")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		rooms = flag.Int("rooms", 8, "concurrent rooms (E9)")
 	)
 	flag.Parse()
-	if err := run(strings.ToUpper(*exp), *n, *seed); err != nil {
+	p := params{n: *n, seed: *seed, rooms: *rooms}
+	if err := run(strings.ToUpper(*exp), p); err != nil {
 		fmt.Fprintln(os.Stderr, "evalharness:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, n int, seed int64) error {
-	runners := map[string]func(int, int64) error{
+// params carries the command-line knobs to the experiment runners.
+type params struct {
+	n     int
+	seed  int64
+	rooms int
+}
+
+func run(exp string, p params) error {
+	runners := map[string]func(params) error{
 		"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4,
 		"E5": runE5, "E6": runE6, "E7": runE7, "E8": runE8,
+		"E9": runE9,
 	}
 	if exp == "ALL" {
-		for _, name := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
-			if err := runners[name](n, seed); err != nil {
+		for _, name := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+			if err := runners[name](p); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
@@ -47,18 +59,18 @@ func run(exp string, n int, seed int64) error {
 	}
 	runner, ok := runners[exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want E1..E8 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want E1..E9 or all)", exp)
 	}
-	return runner(n, seed)
+	return runner(p)
 }
 
 func header(title string) {
 	fmt.Printf("\n== %s ==\n", title)
 }
 
-func runE1(n int, seed int64) error {
+func runE1(p params) error {
 	header("E1  parser correctness on grammatical sentences (Fig. 1-2)")
-	res, err := eval.RunE1(n, seed)
+	res, err := eval.RunE1(p.n, p.seed)
 	if err != nil {
 		return err
 	}
@@ -77,11 +89,11 @@ func runE1(n int, seed int64) error {
 	return nil
 }
 
-func runE2(n int, seed int64) error {
+func runE2(p params) error {
 	header("E2  Learning_Angel syntax-error detection (Fig. 4)")
 	fmt.Println("nulls  precision  recall  f1     acc    suggest  repair")
 	for _, nulls := range []int{0, 1, 2, 3} {
-		res, err := eval.RunE2(n, seed, nulls)
+		res, err := eval.RunE2(p.n, p.seed, nulls)
 		if err != nil {
 			return err
 		}
@@ -104,11 +116,11 @@ func runE2(n int, seed int64) error {
 	return nil
 }
 
-func runE3(n int, seed int64) error {
+func runE3(p params) error {
 	header("E3  Semantic Agent: interrogative-sentence detection (Fig. 5, §4.3)")
 	fmt.Println("threshold  precision  recall  f1     acc")
 	for _, th := range []int{1, 2, 3, 4} {
-		res, err := eval.RunE3(n, seed, th)
+		res, err := eval.RunE3(p.n, p.seed, th)
 		if err != nil {
 			return err
 		}
@@ -130,9 +142,9 @@ func runE3(n int, seed int64) error {
 	return nil
 }
 
-func runE4(n int, seed int64) error {
+func runE4(p params) error {
 	header("E4  QA system answer rate per template (Fig. 6, §4.4)")
-	res, err := eval.RunE4(n, seed, 0.2)
+	res, err := eval.RunE4(p.n, p.seed, 0.2)
 	if err != nil {
 		return err
 	}
@@ -152,13 +164,13 @@ func runE4(n int, seed int64) error {
 	return nil
 }
 
-func runE5(n int, seed int64) error {
+func runE5(p params) error {
 	header("E5  FAQ accumulation vs dialogue volume (§4.4 mining)")
 	sizes := []int{100, 300, 1000, 3000}
-	if n < 3000 {
-		sizes = []int{50, 150, 500, n}
+	if p.n < 3000 {
+		sizes = []int{50, 150, 500, p.n}
 	}
-	rows, err := eval.RunE5(sizes, seed)
+	rows, err := eval.RunE5(sizes, p.seed)
 	if err != nil {
 		return err
 	}
@@ -169,12 +181,12 @@ func runE5(n int, seed int64) error {
 	return nil
 }
 
-func runE6(n int, seed int64) error {
+func runE6(p params) error {
 	header("E6  end-to-end chat room over TCP: supervision ablation (Fig. 3)")
 	fmt.Println("mode    msgs  throughput      p50        p95        p99       mean")
 	for _, mode := range []eval.E6Mode{eval.E6Off, eval.E6Inline, eval.E6Async} {
 		res, err := eval.RunE6(eval.E6Config{
-			Rooms: 4, ClientsPerRoom: 4, MessagesEach: 25, Mode: mode, Seed: seed,
+			Rooms: 4, ClientsPerRoom: 4, MessagesEach: 25, Mode: mode, Seed: p.seed,
 		})
 		if err != nil {
 			return err
@@ -185,9 +197,9 @@ func runE6(n int, seed int64) error {
 	return nil
 }
 
-func runE7(n int, seed int64) error {
+func runE7(p params) error {
 	header("E7  ablation: ontology-distance vs Semantic Link Grammar (§4.3)")
-	res, err := eval.RunE7(n, seed)
+	res, err := eval.RunE7(p.n, p.seed)
 	if err != nil {
 		return err
 	}
@@ -200,9 +212,9 @@ func runE7(n int, seed int64) error {
 	return nil
 }
 
-func runE8(n int, seed int64) error {
+func runE8(p params) error {
 	header("E8  corpus growth vs suggestion quality (§1 instructor-off problem)")
-	rows, err := eval.RunE8([]int{0, 50, 200, 1000}, 100, seed)
+	rows, err := eval.RunE8([]int{0, 50, 200, 1000}, 100, p.seed)
 	if err != nil {
 		return err
 	}
@@ -210,5 +222,33 @@ func runE8(n int, seed int64) error {
 	for _, r := range rows {
 		fmt.Printf("%11d  %7.1f%%  %11.1f%%\n", r.CorpusSize, r.HitRate*100, r.TopicalRate*100)
 	}
+	return nil
+}
+
+func runE9(p params) error {
+	header("E9  sharded supervision pipeline: concurrent rooms, parse cache (§4)")
+	perRoom := p.n / 10
+	res, err := eval.RunE9(eval.E9Config{
+		Rooms: p.rooms, MessagesPerRoom: perRoom, Seed: p.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rooms: %d   messages/room: %d   workers: GOMAXPROCS\n",
+		res.Config.Rooms, res.Config.MessagesPerRoom)
+	fmt.Println("arm               msgs  throughput  cache-hit  max-queue")
+	for _, arm := range res.Arms {
+		hit, queue := "    -", "    -"
+		if arm.Cached {
+			hit = fmt.Sprintf("%.1f%%", arm.Cache.HitRate()*100)
+		}
+		if arm.Sharded {
+			queue = fmt.Sprintf("%d", arm.Pipeline.MaxQueueDepth)
+		}
+		fmt.Printf("%-16s %5d  %8.0f/s  %9s  %9s\n",
+			arm.Name, arm.Messages, arm.Throughput, hit, queue)
+	}
+	fmt.Printf("speedup over serial-uncached: sharded %.1fx, sharded+cached %.1fx\n",
+		res.SpeedupSharded, res.SpeedupCached)
 	return nil
 }

@@ -1,0 +1,3 @@
+module semagent
+
+go 1.24

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"semagent/internal/pipeline"
 )
 
 // ServerOptions configures a chat server.
@@ -16,11 +18,19 @@ type ServerOptions struct {
 	// Supervisor observes messages; nil runs an unsupervised room
 	// (the OFF arm of experiment E6).
 	Supervisor Supervisor
-	// Async delivers supervisor responses from a sidecar goroutine per
-	// message instead of inline before the broadcast (design decision
-	// D5). Inline guarantees ordering; async minimizes broadcast
-	// latency.
+	// Async delivers supervisor responses off the broadcast path,
+	// through a worker pool sharded by room (design decision D5 +
+	// package pipeline). Inline runs supervision before the broadcast
+	// returns; async minimizes broadcast latency while the sharding
+	// still preserves per-room response order.
 	Async bool
+	// Workers sizes the async supervision pool (shards). 0 selects
+	// runtime.GOMAXPROCS. Ignored unless Async with a Supervisor.
+	Workers int
+	// SuperviseQueue is each supervision shard's queue capacity
+	// (default 256). A full shard blocks the flooding client's reader
+	// — backpressure — rather than dropping supervision.
+	SuperviseQueue int
 	// Logger receives operational messages; nil discards them.
 	Logger *log.Logger
 	// SendQueue is the per-client outgoing buffer. When a slow client's
@@ -37,6 +47,8 @@ type ServerOptions struct {
 type Server struct {
 	opts     ServerOptions
 	listener net.Listener
+	// pipe fans async supervision out by room; nil in inline/off modes.
+	pipe *pipeline.Pipeline
 
 	mu      sync.Mutex
 	rooms   map[string]*room
@@ -51,6 +63,10 @@ type room struct {
 	members map[string]*client
 	// history is a bounded ring of recent broadcast messages.
 	history []Message
+	// sayMu serializes broadcast+submit per room in async mode, so the
+	// supervision pipeline sees messages in the order the room did —
+	// even when they come from different clients' reader goroutines.
+	sayMu sync.Mutex
 }
 
 type client struct {
@@ -67,11 +83,28 @@ func NewServer(opts ServerOptions) *Server {
 	if opts.SendQueue <= 0 {
 		opts.SendQueue = 64
 	}
-	return &Server{
+	s := &Server{
 		opts:    opts,
 		rooms:   make(map[string]*room),
 		clients: make(map[*client]struct{}),
 	}
+	if opts.Async && opts.Supervisor != nil {
+		s.pipe = pipeline.New(pipeline.Config{
+			Workers:   opts.Workers,
+			QueueSize: opts.SuperviseQueue,
+			Block:     true,
+		})
+	}
+	return s
+}
+
+// SupervisionStats reports the async supervision pipeline counters and
+// whether a pipeline is running (false in inline/off modes).
+func (s *Server) SupervisionStats() (pipeline.Stats, bool) {
+	if s.pipe == nil {
+		return pipeline.Stats{}, false
+	}
+	return s.pipe.Stats(), true
 }
 
 // Listen starts accepting on addr ("127.0.0.1:0" for tests) and returns
@@ -129,6 +162,11 @@ func (s *Server) Close() error {
 		_ = conn.Close()
 	}
 	s.wg.Wait()
+	if s.pipe != nil {
+		// Readers are gone; run queued supervision to completion so
+		// recording (corpus, profiles, FAQ) is not lost on shutdown.
+		s.pipe.Close()
+	}
 	return err
 }
 
@@ -260,10 +298,11 @@ func (s *Server) handleSay(c *client, text string) {
 		return
 	}
 	now := time.Now()
-	s.broadcast(c.room, Message{
+	chatMsg := Message{
 		Type: TypeChat, Room: c.room, From: c.name, Text: text, Time: now,
-	}, nil)
+	}
 	if s.opts.Supervisor == nil {
+		s.broadcast(c.room, chatMsg, nil)
 		return
 	}
 	deliver := func() {
@@ -279,14 +318,25 @@ func (s *Server) handleSay(c *client, text string) {
 			}
 		}
 	}
-	if s.opts.Async {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			deliver()
-		}()
+	if s.pipe != nil {
+		// Sharded by room: per-room response order is preserved, rooms
+		// run in parallel, and a full shard queue back-pressures this
+		// room's senders instead of spawning unbounded goroutines. The
+		// room's sayMu makes broadcast order == submission order across
+		// clients; backpressure therefore stalls only this room.
+		s.mu.Lock()
+		r := s.rooms[c.room]
+		s.mu.Unlock()
+		if r == nil {
+			return // client raced a leave; nothing to supervise
+		}
+		r.sayMu.Lock()
+		s.broadcast(c.room, chatMsg, nil)
+		_ = s.pipe.Submit(c.room, deliver) // ErrClosed only during shutdown
+		r.sayMu.Unlock()
 		return
 	}
+	s.broadcast(c.room, chatMsg, nil)
 	deliver()
 }
 

@@ -39,7 +39,11 @@ type Config struct {
 	// Dictionary defaults to the built-in English dictionary; ontology
 	// terms are taught to it automatically (TeachOntologyTerms).
 	Dictionary *linkgrammar.Dictionary
-	// ParserOptions defaults to linkgrammar.DefaultOptions.
+	// ParserOptions defaults to linkgrammar.DefaultOptions. Its
+	// CacheSize field is tri-state at this layer: 0 enables the parse
+	// cache at linkgrammar.DefaultParseCacheSize (identical classroom
+	// sentences recur heavily, see DESIGN.md D6), a positive value sets
+	// the capacity, a negative value disables caching.
 	ParserOptions linkgrammar.Options
 	// SemanticThreshold defaults to ontology.DefaultRelatedThreshold.
 	SemanticThreshold int
@@ -54,7 +58,12 @@ type Config struct {
 	DisableRecording bool
 }
 
-// Supervisor is the composed system.
+// Supervisor is the composed system. It is safe for concurrent use:
+// the stores (corpus, profiles, FAQ, ontology, dictionary, analyzer,
+// generator) lock internally, the agents keep no per-message state, and
+// the parser's result cache locks internally — so many goroutines (one
+// per chat connection, or a pipeline.Pipeline worker pool) may call
+// Process on one Supervisor at once.
 type Supervisor struct {
 	onto     *ontology.Ontology
 	parser   *linkgrammar.Parser
@@ -86,7 +95,14 @@ func New(cfg Config) (*Supervisor, error) {
 	if err := TeachOntologyTerms(dict, onto); err != nil {
 		return nil, fmt.Errorf("teach ontology terms: %w", err)
 	}
-	parser := linkgrammar.NewParser(dict, cfg.ParserOptions)
+	popts := cfg.ParserOptions
+	switch {
+	case popts.CacheSize == 0:
+		popts.CacheSize = linkgrammar.DefaultParseCacheSize
+	case popts.CacheSize < 0:
+		popts.CacheSize = 0
+	}
+	parser := linkgrammar.NewParser(dict, popts)
 
 	store := cfg.Corpus
 	if store == nil {

@@ -34,6 +34,10 @@ type Dictionary struct {
 	// assigned to words missing from the dictionary (the paper's system
 	// must keep working when learners type unknown words).
 	unknownWord string
+
+	// gen counts definition changes; parse caches compare it to flush
+	// entries parsed under an older vocabulary.
+	gen uint64
 }
 
 // NewDictionary returns an empty dictionary.
@@ -52,6 +56,7 @@ func NewDictionary() *Dictionary {
 func (d *Dictionary) LoadString(src string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.gen++
 	stripped := stripComments(src)
 	statements := splitStatements(stripped)
 	for i, stmt := range statements {
@@ -96,7 +101,17 @@ func (d *Dictionary) SetUnknownWordMacro(name string) error {
 		}
 	}
 	d.unknownWord = name
+	d.gen++
 	return nil
+}
+
+// Generation returns a counter incremented by every definition change
+// (LoadString, Define, SetUnknownWordMacro). Parse caches key their
+// validity on it.
+func (d *Dictionary) Generation() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.gen
 }
 
 // Define adds a single word with the given formula source, merging with
@@ -109,6 +124,7 @@ func (d *Dictionary) Define(word, formulaSrc string) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.gen++
 	word = normalizeWord(word)
 	d.entries[word] = mergeOr(d.entries[word], formula)
 	delete(d.disjuncts, word)

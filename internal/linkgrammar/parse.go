@@ -19,6 +19,13 @@ type Options struct {
 	// DisablePruning turns off the pre-parse disjunct pruning pass
 	// (kept only for the pruning ablation benchmark).
 	DisablePruning bool
+	// CacheSize, when positive, bounds an LRU cache of parse results
+	// keyed on the normalized token stream. 0 leaves caching off at
+	// this layer (package core turns it on for the supervisor — design
+	// decision D6). Cached *Results are shared across callers and must
+	// be treated as read-only; the cache is flushed automatically when
+	// the dictionary's generation changes.
+	CacheSize int
 }
 
 // DefaultOptions returns the options used by the e-learning supervisor:
@@ -27,10 +34,14 @@ func DefaultOptions() Options {
 	return Options{MaxNulls: 2, MaxLinkages: 8, MaxTokens: 40}
 }
 
-// Parser parses sentences against a dictionary.
+// Parser parses sentences against a dictionary. A Parser is safe for
+// concurrent use: each parse builds its own state, the dictionary
+// guards its lazy disjunct expansion, and the optional result cache
+// locks internally.
 type Parser struct {
-	dict *Dictionary
-	opts Options
+	dict  *Dictionary
+	opts  Options
+	cache *parseCache // nil when Options.CacheSize <= 0
 }
 
 // NewParser returns a parser over dict with the given options. Zero
@@ -49,7 +60,20 @@ func NewParser(dict *Dictionary, opts Options) *Parser {
 	case opts.MaxNulls < 0:
 		opts.MaxNulls = 0
 	}
-	return &Parser{dict: dict, opts: opts}
+	p := &Parser{dict: dict, opts: opts}
+	if opts.CacheSize > 0 {
+		p.cache = newParseCache(opts.CacheSize)
+	}
+	return p
+}
+
+// CacheStats reports the parse-cache counters (zero value when caching
+// is disabled).
+func (p *Parser) CacheStats() CacheStats {
+	if p.cache == nil {
+		return CacheStats{}
+	}
+	return p.cache.stats()
 }
 
 // Dictionary returns the dictionary the parser reads.
@@ -93,6 +117,15 @@ func (p *Parser) ParseTokens(tokens []string) (*Result, error) {
 	}
 	if len(tokens) > p.opts.MaxTokens {
 		return nil, fmt.Errorf("sentence has %d tokens, limit is %d", len(tokens), p.opts.MaxTokens)
+	}
+
+	var key string
+	var gen uint64
+	if p.cache != nil {
+		key, gen = cacheKey(tokens), p.dict.Generation()
+		if res, ok := p.cache.get(key, gen); ok {
+			return res, nil
+		}
 	}
 
 	words := make([]string, 0, len(tokens)+1)
@@ -144,6 +177,9 @@ func (p *Parser) ParseTokens(tokens []string) (*Result, error) {
 		res.Linkages = linkages
 		res.NullCount = nulls
 		break
+	}
+	if p.cache != nil {
+		p.cache.put(key, res, gen)
 	}
 	return res, nil
 }

@@ -1,0 +1,243 @@
+// Package pipeline fans supervised chat-room messages out to a pool of
+// worker goroutines sharded by room (DESIGN.md, design decision D7).
+// One classroom at paper scale is a single-threaded loop; a deployment
+// supervising many classrooms needs rooms to run in parallel while each
+// room's dialogue keeps its order — agent feedback referring to "the
+// previous message" is wrong if messages are reordered. Hashing the
+// room name onto a fixed shard gives both properties: tasks for one
+// room always land on the same single-worker queue (FIFO), different
+// rooms spread across the pool.
+//
+// Each shard's queue is bounded. A full queue either rejects the task
+// (ErrFull, Config.Block=false) or blocks the submitter until space
+// frees (Config.Block=true) — backpressure instead of unbounded
+// goroutine growth. Stats exposes submitted/completed/rejected counts
+// and queue high-water marks so operators can see saturation.
+package pipeline
+
+import (
+	"errors"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrFull reports a full shard queue in non-blocking mode.
+	ErrFull = errors.New("pipeline: shard queue full")
+	// ErrClosed reports submission after Close.
+	ErrClosed = errors.New("pipeline: closed")
+)
+
+// Config sizes a Pipeline. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the number of shards, each served by one goroutine.
+	// 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueSize is each shard's task-queue capacity. 0 selects 256.
+	QueueSize int
+	// Block makes Submit wait for queue space instead of returning
+	// ErrFull. The chat server uses blocking mode: supervision applies
+	// backpressure to a flooding client rather than silently dropping
+	// its messages.
+	Block bool
+}
+
+// Stats is a snapshot of pipeline counters.
+type Stats struct {
+	// Workers is the shard count.
+	Workers int
+	// Submitted, Completed and Rejected count tasks accepted, finished
+	// and refused (ErrFull).
+	Submitted, Completed, Rejected int64
+	// Blocked counts Submit calls that had to wait for queue space.
+	Blocked int64
+	// QueueDepth is the current number of queued tasks across shards.
+	QueueDepth int
+	// MaxQueueDepth is the high-water mark of a single shard queue.
+	MaxQueueDepth int
+}
+
+// Pending is the number of accepted tasks not yet completed.
+func (s Stats) Pending() int64 { return s.Submitted - s.Completed }
+
+// Pipeline is the sharded worker pool. Safe for concurrent use.
+type Pipeline struct {
+	shards []chan func()
+	block  bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	closed   bool
+	closing  chan struct{}
+	inflight int // blocked submitters Close must wait out
+
+	submitted, rejected, blocked int64
+	maxDepth                     int
+
+	// completed is atomic and waiters gates the cond broadcast, so the
+	// per-task completion path stays off the shared mutex — workers on
+	// different shards must not serialize on bookkeeping.
+	completed atomic.Int64
+	waiters   atomic.Int32
+
+	wg sync.WaitGroup
+}
+
+// New starts the worker pool.
+func New(cfg Config) *Pipeline {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 256
+	}
+	p := &Pipeline{
+		shards:  make([]chan func(), cfg.Workers),
+		block:   cfg.Block,
+		closing: make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := range p.shards {
+		p.shards[i] = make(chan func(), cfg.QueueSize)
+		p.wg.Add(1)
+		go p.worker(p.shards[i])
+	}
+	return p
+}
+
+func (p *Pipeline) worker(jobs chan func()) {
+	defer p.wg.Done()
+	for task := range jobs {
+		task()
+		p.completed.Add(1)
+		if p.waiters.Load() > 0 {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+}
+
+// shardFor hashes the room name onto a shard; every task of one room
+// lands on the same FIFO queue.
+func (p *Pipeline) shardFor(room string) chan func() {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(room))
+	return p.shards[int(h.Sum32())%len(p.shards)]
+}
+
+// Submit enqueues a task on the room's shard. Tasks of one room run in
+// submission order; tasks of different rooms run in parallel. Returns
+// ErrFull when the shard queue is full in non-blocking mode, ErrClosed
+// after Close.
+func (p *Pipeline) Submit(room string, task func()) error {
+	if task == nil {
+		return errors.New("pipeline: nil task")
+	}
+	jobs := p.shardFor(room)
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	select {
+	case jobs <- task:
+		p.accountSubmitLocked(jobs)
+		p.mu.Unlock()
+		return nil
+	default:
+	}
+	if !p.block {
+		p.rejected++
+		p.mu.Unlock()
+		return ErrFull
+	}
+	// Blocking path: wait for space outside the lock, but register as
+	// in flight so Close does not tear the queues down under us.
+	p.blocked++
+	p.inflight++
+	p.mu.Unlock()
+
+	select {
+	case jobs <- task:
+		p.mu.Lock()
+		p.inflight--
+		p.accountSubmitLocked(jobs)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return nil
+	case <-p.closing:
+		p.mu.Lock()
+		p.inflight--
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return ErrClosed
+	}
+}
+
+func (p *Pipeline) accountSubmitLocked(jobs chan func()) {
+	p.submitted++
+	if d := len(jobs); d > p.maxDepth {
+		p.maxDepth = d
+	}
+}
+
+// Drain blocks until every accepted task has completed. Tasks submitted
+// concurrently with Drain may or may not be waited for.
+func (p *Pipeline) Drain() {
+	p.waiters.Add(1)
+	defer p.waiters.Add(-1)
+	p.mu.Lock()
+	for p.completed.Load() < p.submitted {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Close stops accepting tasks, runs everything already queued to
+// completion and joins the workers. Blocked submitters are released
+// with ErrClosed. Close is idempotent.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.closing)
+	// A blocked submitter may still win its racing send; wait until all
+	// of them have resolved before closing the queues.
+	for p.inflight > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+
+	for _, jobs := range p.shards {
+		close(jobs)
+	}
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	depth := 0
+	for _, jobs := range p.shards {
+		depth += len(jobs)
+	}
+	return Stats{
+		Workers:       len(p.shards),
+		Submitted:     p.submitted,
+		Completed:     p.completed.Load(),
+		Rejected:      p.rejected,
+		Blocked:       p.blocked,
+		QueueDepth:    depth,
+		MaxQueueDepth: p.maxDepth,
+	}
+}
