@@ -7,6 +7,7 @@ package semagent_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"semagent/internal/core"
@@ -274,6 +275,54 @@ func BenchmarkE9ShardedSupervision(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(len(msgs)*b.N)/b.Elapsed().Seconds(), "msg/s")
 		})
+	}
+}
+
+// BenchmarkE10SnapshotReadPath measures the knowledge-layer read path
+// (experiment E10): the legacy locked ontology (RWMutex + map-allocating
+// Dijkstra per query) against the immutable compiled snapshot
+// (lock-free, table-lookup Related) at 1, 4 and 16 workers. The
+// acceptance bar is snapshot ≥ locked at every width and strictly
+// faster at 16 workers; run with -benchmem to see the snapshot arm's
+// zero allocations per query.
+func BenchmarkE10SnapshotReadPath(b *testing.B) {
+	onto := ontology.BuildCourseOntology()
+	items := onto.Items()
+	var pairs [][2]string
+	for i, a := range items {
+		for _, c := range items[i+1:] {
+			pairs = append(pairs, [2]string{a.Name, c.Name})
+		}
+	}
+	snap := onto.Snapshot()
+	locked := onto.LockedReadPath()
+
+	arms := []struct {
+		name  string
+		query func(a, bn string)
+	}{
+		{"locked", func(a, bn string) { locked.Related(a, bn, 0) }},
+		{"snapshot", func(a, bn string) { snap.Related(a, bn, 0) }},
+	}
+	for _, workers := range []int{1, 4, 16} {
+		for _, arm := range arms {
+			b.Run(fmt.Sprintf("%s-%dw", arm.name, workers), func(b *testing.B) {
+				var wg sync.WaitGroup
+				per := b.N/workers + 1
+				b.ResetTimer()
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							p := pairs[(w+i)%len(pairs)]
+							arm.query(p[0], p[1])
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
 	}
 }
 

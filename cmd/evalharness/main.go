@@ -1,7 +1,8 @@
 // Command evalharness regenerates the evaluation of DESIGN.md §4: one
-// experiment per paper figure (E1–E8) plus the scale experiment E9
+// experiment per paper figure (E1–E8) plus the scale experiments E9
 // (concurrent rooms through the sharded supervision pipeline, cached
-// vs uncached parses).
+// vs uncached parses) and E10 (lock-free snapshot read path vs the
+// legacy locked ontology).
 //
 // Usage:
 //
@@ -9,9 +10,11 @@
 //	evalharness -exp E3 -n 2000     # one experiment, bigger workload
 //	evalharness -exp E6 -seed 7
 //	evalharness -exp E9 -rooms 16   # scale: more concurrent rooms
+//	evalharness -exp E10 -json      # machine-readable results (JSON)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,13 +26,14 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: E1..E9 or all")
-		n     = flag.Int("n", 1000, "workload size (samples/questions)")
-		seed  = flag.Int64("seed", 1, "workload seed")
-		rooms = flag.Int("rooms", 8, "concurrent rooms (E9)")
+		exp      = flag.String("exp", "all", "experiment to run: E1..E10 or all")
+		n        = flag.Int("n", 1000, "workload size (samples/questions)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9)")
+		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10)")
 	)
 	flag.Parse()
-	p := params{n: *n, seed: *seed, rooms: *rooms}
+	p := params{n: *n, seed: *seed, rooms: *rooms, json: *jsonFlag}
 	if err := run(strings.ToUpper(*exp), p); err != nil {
 		fmt.Fprintln(os.Stderr, "evalharness:", err)
 		os.Exit(1)
@@ -41,16 +45,17 @@ type params struct {
 	n     int
 	seed  int64
 	rooms int
+	json  bool
 }
 
 func run(exp string, p params) error {
 	runners := map[string]func(params) error{
 		"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4,
 		"E5": runE5, "E6": runE6, "E7": runE7, "E8": runE8,
-		"E9": runE9,
+		"E9": runE9, "E10": runE10,
 	}
 	if exp == "ALL" {
-		for _, name := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+		for _, name := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
 			if err := runners[name](p); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -59,7 +64,7 @@ func run(exp string, p params) error {
 	}
 	runner, ok := runners[exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want E1..E9 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want E1..E10 or all)", exp)
 	}
 	return runner(p)
 }
@@ -250,5 +255,35 @@ func runE9(p params) error {
 	}
 	fmt.Printf("speedup over serial-uncached: sharded %.1fx, sharded+cached %.1fx\n",
 		res.SpeedupSharded, res.SpeedupCached)
+	return nil
+}
+
+func runE10(p params) error {
+	res, err := eval.RunE10(eval.E10Config{QueriesPerWorker: p.n * 20, Seed: p.seed})
+	if err != nil {
+		return err
+	}
+	if p.json {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	header("E10 lock-free snapshot read path vs locked ontology (D8)")
+	fmt.Printf("snapshot v%d: %d items, %d relations, %d table entries (radius %d), max phrase %d\n",
+		res.Snapshot.Version, res.Snapshot.Items, res.Snapshot.Relations,
+		res.Snapshot.TableEntries, res.Snapshot.TableRadius, res.Snapshot.MaxPhraseLen)
+	fmt.Println("path      workers   queries  ns/query   queries/s")
+	for _, arm := range res.Arms {
+		fmt.Printf("%-9s %7d  %8d  %8.1f  %10.0f\n",
+			arm.Path, arm.Workers, arm.Queries, arm.NsPerQuery, arm.QueriesPerSec)
+	}
+	workers := make([]int, 0, len(res.Speedup))
+	for w := range res.Speedup {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	for _, w := range workers {
+		fmt.Printf("speedup at %2d workers: %.1fx\n", w, res.Speedup[w])
+	}
 	return nil
 }

@@ -11,6 +11,7 @@
 //	ontologyctl query "SELECT RELATED stack DEPTH 2;"
 //	ontologyctl export-qti 40               # QTI 1.2 true/false question bank
 //	ontologyctl stats
+//	ontologyctl snapshot                    # compiled read-path snapshot info
 package main
 
 import (
@@ -38,7 +39,7 @@ func run(xmlPath string, args []string) error {
 		return err
 	}
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand: export-xml | export-ddl | export-qti [n] | run <file.ddl> | query <stmt> | stats")
+		return fmt.Errorf("missing subcommand: export-xml | export-ddl | export-qti [n] | run <file.ddl> | query <stmt> | stats | snapshot")
 	}
 	switch args[0] {
 	case "export-xml":
@@ -71,25 +72,39 @@ func run(xmlPath string, args []string) error {
 		}
 		return execDDL(onto, args[1])
 	case "stats":
-		items := onto.Items()
+		// One pinned snapshot keeps every reported number consistent.
+		snap := onto.Snapshot()
+		items := snap.Items()
 		kinds := make(map[ontology.ItemKind]int)
 		for _, it := range items {
 			kinds[it.Kind]++
 		}
+		relations := snap.Relations()
 		rels := make(map[ontology.RelationKind]int)
-		for _, r := range onto.Relations() {
+		for _, r := range relations {
 			rels[r.Kind]++
 		}
-		fmt.Printf("domain: %s\n", onto.Domain())
+		fmt.Printf("domain: %s\n", snap.Domain())
 		fmt.Printf("items: %d (concepts %d, operations %d, properties %d)\n",
 			len(items), kinds[ontology.KindConcept], kinds[ontology.KindOperation], kinds[ontology.KindProperty])
 		fmt.Printf("relations: %d (isa %d, hasoperation %d, hasproperty %d, partof %d, relatedto %d)\n",
-			len(onto.Relations()), rels[ontology.RelIsA], rels[ontology.RelHasOperation],
+			len(relations), rels[ontology.RelIsA], rels[ontology.RelHasOperation],
 			rels[ontology.RelHasProperty], rels[ontology.RelPartOf], rels[ontology.RelRelatedTo])
+		printSnapshot(snap.Stats())
+		return nil
+	case "snapshot":
+		printSnapshot(onto.Snapshot().Stats())
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+// printSnapshot reports the compiled read-path snapshot the chat
+// pipeline serves queries from.
+func printSnapshot(st ontology.SnapshotStats) {
+	fmt.Printf("snapshot: v%d, %d items, %d relations, %d shortest-path table entries (radius %d), max phrase %d tokens\n",
+		st.Version, st.Items, st.Relations, st.TableEntries, st.TableRadius, st.MaxPhraseLen)
 }
 
 func load(xmlPath string) (*ontology.Ontology, error) {
@@ -105,12 +120,19 @@ func load(xmlPath string) (*ontology.Ontology, error) {
 }
 
 func execDDL(onto *ontology.Ontology, src string) error {
+	before := onto.Snapshot().Version()
 	in := ontology.NewInterpreter(onto)
 	if err := in.Run(src); err != nil {
 		return err
 	}
 	for _, line := range in.Output {
 		fmt.Println(line)
+	}
+	// DDL mutations republish the compiled read-path snapshot; report
+	// the new version so operators see the publish happen.
+	if after := onto.Snapshot().Stats(); after.Version != before {
+		fmt.Fprintf(os.Stderr, "ontologyctl: republished snapshot v%d -> v%d (%d items, %d relations, %d table entries)\n",
+			before, after.Version, after.Items, after.Relations, after.TableEntries)
 	}
 	return nil
 }

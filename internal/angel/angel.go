@@ -88,6 +88,18 @@ type Report struct {
 
 // Check runs syntax supervision on one chat message.
 func (a *Agent) Check(text string) (*Report, error) {
+	var snap *ontology.Snapshot
+	if a.onto != nil {
+		snap = a.onto.Snapshot()
+	}
+	return a.CheckWith(snap, text)
+}
+
+// CheckWith runs syntax supervision extracting topics from a
+// caller-pinned ontology snapshot (nil skips topic extraction). The
+// supervisor pins one snapshot per message so the syntax and semantic
+// stages agree on the vocabulary.
+func (a *Agent) CheckWith(snap *ontology.Snapshot, text string) (*Report, error) {
 	tokens := linkgrammar.Tokenize(text)
 	rep := &Report{Text: text, Tokens: tokens}
 	if len(tokens) == 0 {
@@ -99,8 +111,8 @@ func (a *Agent) Check(text string) (*Report, error) {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
 	rep.UnknownWords = res.UnknownWords
-	if a.onto != nil {
-		for _, m := range a.onto.ExtractTerms(tokens) {
+	if snap != nil {
+		for _, m := range snap.ExtractTerms(tokens) {
 			rep.Topics = append(rep.Topics, m.Item.Name)
 		}
 	}

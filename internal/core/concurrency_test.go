@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"semagent/internal/corpus"
+	"semagent/internal/ontology"
 	"semagent/internal/workload"
 )
 
@@ -55,5 +57,82 @@ func TestConcurrentProcess(t *testing.T) {
 	}
 	if totalMsgs != want {
 		t.Errorf("profile messages = %d, want %d", totalMsgs, want)
+	}
+}
+
+// TestProcessWhileTeachingOntology mutates the live ontology — new
+// terms, new relations — while pipeline-style workers call Process,
+// under -race. This exercises the whole snapshot publish path end to
+// end: per-message snapshot pinning, incremental vocabulary teaching
+// (dictionary generation bump -> parse-cache flush), and the semantic
+// stage judging every pair of a message against one snapshot.
+func TestProcessWhileTeachingOntology(t *testing.T) {
+	s := newSupervisor(t)
+	onto := s.Ontology()
+
+	const (
+		workers = 4
+		rounds  = 25
+		teaches = 50
+	)
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; i < teaches; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("gadget%d", i)
+			if _, err := onto.AddItem(name, ontology.KindConcept); err != nil {
+				t.Errorf("add %s: %v", name, err)
+				return
+			}
+			if err := onto.Relate(name, "data structure", ontology.RelIsA); err != nil {
+				t.Errorf("relate %s: %v", name, err)
+				return
+			}
+		}
+	}()
+
+	texts := []string{
+		"the stack has the pop operation",
+		"the tree has the pop operation",
+		"what is a stack?",
+		"the student learns the binary search tree",
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := s.Process("room", fmt.Sprintf("user-%d", w), texts[(w+r)%len(texts)]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	writer.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// After the dust settles, the new vocabulary must be taught: a
+	// sentence about a taught term parses and is judged semantically.
+	a, err := s.Process("room", "late", "the gadget0 is a data structure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != corpus.VerdictCorrect {
+		t.Errorf("taught-term sentence verdict = %v, want correct", a.Verdict)
 	}
 }

@@ -10,6 +10,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"semagent/internal/angel"
 	"semagent/internal/chat"
@@ -59,13 +61,17 @@ type Config struct {
 }
 
 // Supervisor is the composed system. It is safe for concurrent use:
-// the stores (corpus, profiles, FAQ, ontology, dictionary, analyzer,
-// generator) lock internally, the agents keep no per-message state, and
-// the parser's result cache locks internally — so many goroutines (one
-// per chat connection, or a pipeline.Pipeline worker pool) may call
-// Process on one Supervisor at once.
+// the stores (corpus, profiles, FAQ, dictionary, analyzer, generator)
+// lock internally, the agents keep no per-message state, and the
+// parser's result cache locks internally — so many goroutines (one per
+// chat connection, or a pipeline.Pipeline worker pool) may call Process
+// on one Supervisor at once. Ontology reads never lock at all: Process
+// pins one immutable ontology.Snapshot per message, so the syntax,
+// semantic, QA and topic stages of a message all see one consistent
+// knowledge state even while the live ontology is being mutated.
 type Supervisor struct {
 	onto     *ontology.Ontology
+	dict     *linkgrammar.Dictionary
 	parser   *linkgrammar.Parser
 	angel    *angel.Agent
 	semantic *semantic.Agent
@@ -76,6 +82,14 @@ type Supervisor struct {
 	analyzer *stats.Analyzer
 	gen      *stats.CorporaGenerator
 	recorder bool
+
+	// Vocabulary follows the snapshot publish path: when Process sees a
+	// snapshot version it has not taught the dictionary from yet, it
+	// defines the new terms (Define bumps the dictionary generation,
+	// which flushes the parse cache — the D6 invalidation hook).
+	vocabMu      sync.Mutex
+	vocabVersion atomic.Uint64
+	taught       map[string]bool
 }
 
 // New builds a Supervisor from the config.
@@ -91,9 +105,6 @@ func New(cfg Config) (*Supervisor, error) {
 		if err != nil {
 			return nil, fmt.Errorf("build dictionary: %w", err)
 		}
-	}
-	if err := TeachOntologyTerms(dict, onto); err != nil {
-		return nil, fmt.Errorf("teach ontology terms: %w", err)
 	}
 	popts := cfg.ParserOptions
 	switch {
@@ -119,6 +130,7 @@ func New(cfg Config) (*Supervisor, error) {
 
 	s := &Supervisor{
 		onto:     onto,
+		dict:     dict,
 		parser:   parser,
 		angel:    angel.New(parser, store, onto, angel.DefaultOptions()),
 		semantic: semantic.New(onto, cfg.SemanticThreshold),
@@ -129,19 +141,38 @@ func New(cfg Config) (*Supervisor, error) {
 		analyzer: stats.NewAnalyzer(),
 		gen:      stats.NewCorporaGenerator(store, faq),
 		recorder: !cfg.DisableRecording,
+		taught:   make(map[string]bool),
+	}
+	if err := s.syncVocabulary(onto.Snapshot()); err != nil {
+		return nil, fmt.Errorf("teach ontology terms: %w", err)
 	}
 	return s, nil
 }
 
-// TeachOntologyTerms gives every ontology term a domain-noun reading in
-// the dictionary (multi-word terms word by word), so newly authored
-// course vocabulary parses. Terms that already exist as verbs
-// ("balance", "access") gain the noun reading as an alternative —
-// "the balance method" must parse. Function words inside multi-word
-// aliases ("last in first out") are skipped.
-func TeachOntologyTerms(dict *linkgrammar.Dictionary, onto *ontology.Ontology) error {
-	taught := make(map[string]bool)
-	for _, it := range onto.Items() {
+// syncVocabulary teaches the dictionary every term of the snapshot it
+// has not defined yet (multi-word terms word by word), then records the
+// snapshot version. Defining a word bumps the dictionary generation,
+// which invalidates the link-grammar parse cache — so publishing an
+// ontology snapshot with new course vocabulary automatically flushes
+// stale parses. Re-syncing an already-taught snapshot defines nothing
+// and leaves the cache warm.
+func (s *Supervisor) syncVocabulary(snap *ontology.Snapshot) error {
+	s.vocabMu.Lock()
+	defer s.vocabMu.Unlock()
+	if err := teachTerms(s.dict, snap.Items(), s.taught); err != nil {
+		return err
+	}
+	if v := snap.Version(); v > s.vocabVersion.Load() {
+		s.vocabVersion.Store(v)
+	}
+	return nil
+}
+
+// teachTerms defines every not-yet-taught term word as a domain noun,
+// recording what it taught in taught (shared by TeachOntologyTerms and
+// the supervisor's incremental syncVocabulary).
+func teachTerms(dict *linkgrammar.Dictionary, items []*ontology.Item, taught map[string]bool) error {
+	for _, it := range items {
 		names := append([]string{it.Name}, it.Aliases...)
 		for _, name := range names {
 			for _, word := range linkgrammar.Tokenize(name) {
@@ -156,6 +187,18 @@ func TeachOntologyTerms(dict *linkgrammar.Dictionary, onto *ontology.Ontology) e
 		}
 	}
 	return nil
+}
+
+// TeachOntologyTerms gives every ontology term a domain-noun reading in
+// the dictionary (multi-word terms word by word), so newly authored
+// course vocabulary parses. Terms that already exist as verbs
+// ("balance", "access") gain the noun reading as an alternative —
+// "the balance method" must parse. Function words inside multi-word
+// aliases ("last in first out") are skipped. The terms are read from
+// one consistent ontology snapshot; the Supervisor itself uses the
+// incremental per-snapshot variant (syncVocabulary).
+func TeachOntologyTerms(dict *linkgrammar.Dictionary, onto *ontology.Ontology) error {
+	return teachTerms(dict, onto.Snapshot().Items(), make(map[string]bool))
 }
 
 // Accessors for the composed subsystems.
@@ -188,8 +231,22 @@ type Assessment struct {
 	Responses []chat.Response
 }
 
-// Process supervises one message: the full pipeline of Figure 3.
+// Process supervises one message: the full pipeline of Figure 3. It
+// pins one immutable ontology snapshot up front — every stage of this
+// message (topics, QA, syntax, semantics) reads that snapshot, so a
+// concurrent ontology mutation can never produce a torn assessment; at
+// worst the message is judged against the knowledge state from just
+// before the mutation (the bounded-staleness window of DESIGN.md D8).
 func (s *Supervisor) Process(room, user, text string) (*Assessment, error) {
+	snap := s.onto.Snapshot()
+	if snap.Version() > s.vocabVersion.Load() {
+		// A newly published snapshot may carry new course vocabulary:
+		// teach it before parsing (bumps the dictionary generation and
+		// flushes the parse cache exactly once per publication).
+		if err := s.syncVocabulary(snap); err != nil {
+			return nil, fmt.Errorf("sync vocabulary: %w", err)
+		}
+	}
 	tokens := linkgrammar.Tokenize(text)
 	cls := sentence.Classify(tokens, linkgrammar.EndsWithQuestionMark(text))
 	a := &Assessment{
@@ -197,12 +254,12 @@ func (s *Supervisor) Process(room, user, text string) (*Assessment, error) {
 		Classification: cls,
 		Verdict:        corpus.VerdictCorrect,
 	}
-	topics := s.topicsOf(tokens)
+	topics := topicsOf(snap, tokens)
 
 	if cls.Pattern.IsQuestion() {
 		// Questions go to the QA subsystem; the Semantic Agent ignores
 		// them per §4.3 stage 1.
-		ans := s.qa.Ask(text)
+		ans := s.qa.AskWith(snap, text)
 		a.QAAnswer = &ans
 		a.Verdict = corpus.VerdictQuestion
 		if ans.Answered {
@@ -212,7 +269,7 @@ func (s *Supervisor) Process(room, user, text string) (*Assessment, error) {
 		return a, nil
 	}
 
-	rep, err := s.angel.Check(text)
+	rep, err := s.angel.CheckWith(snap, text)
 	if err != nil {
 		return nil, fmt.Errorf("learning angel: %w", err)
 	}
@@ -231,7 +288,7 @@ func (s *Supervisor) Process(room, user, text string) (*Assessment, error) {
 		return a, nil
 	}
 
-	sem := s.semantic.Analyze(a.Classification)
+	sem := s.semantic.AnalyzeWith(snap, a.Classification)
 	a.Semantic = sem
 	if sem.Verdict == semantic.VerdictInterrogative {
 		a.Verdict = corpus.VerdictSemanticError
@@ -276,8 +333,8 @@ func (s *Supervisor) record(a *Assessment, tokens, topics, tags []string) {
 	}
 }
 
-func (s *Supervisor) topicsOf(tokens []string) []string {
-	matches := s.onto.ExtractTerms(tokens)
+func topicsOf(snap *ontology.Snapshot, tokens []string) []string {
+	matches := snap.ExtractTerms(tokens)
 	out := make([]string, 0, len(matches))
 	for _, m := range matches {
 		out = append(out, m.Item.Name)
@@ -286,14 +343,15 @@ func (s *Supervisor) topicsOf(tokens []string) []string {
 }
 
 // Recommend produces teaching-material suggestions for a learner from
-// their profile (empty if the learner is unknown).
+// their profile (empty if the learner is unknown), expanding to
+// semantically related sections through a pinned ontology snapshot.
 func (s *Supervisor) Recommend(user string, limit int) []recommend.Recommendation {
 	p, ok := s.profiles.Get(user)
 	if !ok {
 		return nil
 	}
 	r := recommend.New(recommend.CourseLibrary())
-	return r.ForUser(p, limit)
+	return r.ForUserWith(s.onto.Snapshot(), p, limit)
 }
 
 // ChatSupervisor adapts the Supervisor to the chat.Supervisor interface;

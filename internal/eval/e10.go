@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"semagent/internal/ontology"
+)
+
+// E10Config sizes experiment E10 (DESIGN.md §4): the snapshot read path
+// against the legacy locked read path, swept over worker counts. This
+// is the knowledge-layer ablation behind design decision D8 — PR 1's
+// room-sharded pipeline made every worker contend on one ontology
+// RWMutex and re-run a map-allocating Dijkstra per keyword pair; the
+// immutable compiled snapshot removes both.
+type E10Config struct {
+	// Workers lists the concurrency levels to sweep (default 1, 4, 16).
+	Workers []int
+	// QueriesPerWorker is each worker's Related+Distance query count
+	// (default 20000).
+	QueriesPerWorker int
+	// Seed drives the pair selection.
+	Seed int64
+}
+
+// E10Arm is one measured (path, workers) cell.
+type E10Arm struct {
+	Path          string // "locked" or "snapshot"
+	Workers       int
+	Queries       int
+	Elapsed       time.Duration
+	NsPerQuery    float64
+	QueriesPerSec float64
+}
+
+// E10Result holds the sweep plus the headline speedups, and is emitted
+// as JSON by `evalharness -exp E10 -json` so successive PRs can diff
+// the perf trajectory mechanically.
+type E10Result struct {
+	Config E10Config
+	// Snapshot describes the compiled form being measured.
+	Snapshot ontology.SnapshotStats
+	Arms     []E10Arm
+	// Speedup maps worker count -> snapshot-path throughput over
+	// locked-path throughput.
+	Speedup map[int]float64
+}
+
+// e10Pair is one precomputed query of the E10 workload.
+type e10Pair struct{ a, b string }
+
+// RunE10 sweeps both read paths over the same precomputed pair stream.
+// The workload mixes within-threshold pairs (table hits), distant pairs
+// (Dijkstra fallback) and pairs with inflected spellings (fold path),
+// mirroring what the Semantic Agent actually asks per sentence.
+func RunE10(cfg E10Config) (*E10Result, error) {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 4, 16}
+	}
+	if cfg.QueriesPerWorker <= 0 {
+		cfg.QueriesPerWorker = 20000
+	}
+
+	onto := ontology.BuildCourseOntology()
+	pairs := e10Pairs(onto, cfg.Seed)
+	res := &E10Result{
+		Config:   cfg,
+		Snapshot: onto.Snapshot().Stats(),
+		Speedup:  make(map[int]float64),
+	}
+
+	for _, workers := range cfg.Workers {
+		locked := runE10Arm("locked", workers, cfg.QueriesPerWorker, pairs, func(p e10Pair) {
+			lp := onto.LockedReadPath()
+			if !lp.Related(p.a, p.b, 0) {
+				lp.Distance(p.a, p.b)
+			}
+		})
+		snap := onto.Snapshot()
+		snapshot := runE10Arm("snapshot", workers, cfg.QueriesPerWorker, pairs, func(p e10Pair) {
+			if !snap.Related(p.a, p.b, 0) {
+				snap.Distance(p.a, p.b)
+			}
+		})
+		res.Arms = append(res.Arms, locked, snapshot)
+		if locked.QueriesPerSec > 0 {
+			res.Speedup[workers] = snapshot.QueriesPerSec / locked.QueriesPerSec
+		}
+	}
+	return res, nil
+}
+
+// e10Pairs precomputes the query stream: every (concept, feature) and
+// (concept, concept) combination the generator would phrase, plus
+// inflected variants, shuffled deterministically.
+func e10Pairs(onto *ontology.Ontology, seed int64) []e10Pair {
+	rng := rand.New(rand.NewSource(seed + 10))
+	items := onto.Items()
+	var pairs []e10Pair
+	for i, a := range items {
+		for _, b := range items[i+1:] {
+			pairs = append(pairs, e10Pair{a.Name, b.Name})
+		}
+	}
+	// Inflected spellings exercise the fold-on-miss lookup path.
+	pairs = append(pairs,
+		e10Pair{"stacks", "pops"},
+		e10Pair{"trees", "pushed"},
+		e10Pair{"queues", "enqueued"},
+	)
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	return pairs
+}
+
+func runE10Arm(path string, workers, perWorker int, pairs []e10Pair, query func(e10Pair)) E10Arm {
+	arm := E10Arm{Path: path, Workers: workers, Queries: workers * perWorker}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				query(pairs[(w+i)%len(pairs)])
+			}
+		}(w)
+	}
+	wg.Wait()
+	arm.Elapsed = time.Since(start)
+	if arm.Elapsed > 0 {
+		arm.NsPerQuery = float64(arm.Elapsed.Nanoseconds()) / float64(arm.Queries)
+		arm.QueriesPerSec = float64(arm.Queries) / arm.Elapsed.Seconds()
+	}
+	return arm
+}

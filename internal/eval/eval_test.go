@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"encoding/json"
 	"testing"
 	"time"
 )
@@ -226,5 +227,39 @@ func TestRunE8SuggestionsImproveWithCorpus(t *testing.T) {
 	}
 	if rows[1].HitRate <= rows[0].HitRate {
 		t.Errorf("suggestions did not improve with corpus: %+v", rows)
+	}
+}
+
+func TestRunE10SnapshotReadPath(t *testing.T) {
+	res, err := RunE10(E10Config{Workers: []int{1, 2}, QueriesPerWorker: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 4 {
+		t.Fatalf("arms = %d, want 4 (2 paths x 2 widths)", len(res.Arms))
+	}
+	for _, arm := range res.Arms {
+		if arm.Queries != arm.Workers*500 {
+			t.Errorf("%s-%dw queries = %d", arm.Path, arm.Workers, arm.Queries)
+		}
+		if arm.QueriesPerSec <= 0 {
+			t.Errorf("%s-%dw throughput not positive", arm.Path, arm.Workers)
+		}
+	}
+	if res.Snapshot.Items == 0 || res.Snapshot.TableEntries == 0 {
+		t.Errorf("snapshot stats empty: %+v", res.Snapshot)
+	}
+	// The result must be JSON-marshalable: the harness emits it for the
+	// perf trajectory (-json).
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back E10Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Snapshot.Items != res.Snapshot.Items || len(back.Arms) != len(res.Arms) {
+		t.Errorf("JSON round trip lost data")
 	}
 }

@@ -191,9 +191,7 @@ func (in *Interpreter) Exec(s Statement) error {
 		if err := need(1); err != nil {
 			return err
 		}
-		in.onto.mu.Lock()
-		in.onto.domain = s.Args[0]
-		in.onto.mu.Unlock()
+		in.onto.SetDomain(s.Args[0])
 		return nil
 	case "CREATE ITEM":
 		if err := need(3); err != nil {

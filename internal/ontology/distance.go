@@ -1,7 +1,6 @@
 package ontology
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 )
@@ -19,30 +18,18 @@ const DefaultRelatedThreshold = 2
 
 // Distance returns the weighted shortest-path distance between two named
 // items, traversing edges in both directions. It returns Unreachable if
-// either item is missing or no path exists.
+// either item is missing or no path exists. The query rides the current
+// immutable snapshot: no lock, and pairs within SnapshotTableRadius are
+// a table lookup.
 func (o *Ontology) Distance(a, b string) int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	ia, ok := o.lookupFoldedLocked(a)
-	if !ok {
-		return Unreachable
-	}
-	ib, ok := o.lookupFoldedLocked(b)
-	if !ok {
-		return Unreachable
-	}
-	dist, _ := o.dijkstraLocked(ia.ID, ib.ID)
-	return dist
+	return o.Snapshot().Distance(a, b)
 }
 
 // Related reports whether the semantic distance between the two items is
 // at most threshold. A non-positive threshold uses
 // DefaultRelatedThreshold.
 func (o *Ontology) Related(a, b string, threshold int) bool {
-	if threshold <= 0 {
-		threshold = DefaultRelatedThreshold
-	}
-	return o.Distance(a, b) <= threshold
+	return o.Snapshot().Related(a, b, threshold)
 }
 
 // PathStep is one hop of a semantic path, used to explain verdicts to
@@ -59,37 +46,7 @@ type PathStep struct {
 // Path returns the weighted shortest path between two items as a list of
 // steps, or nil if unreachable.
 func (o *Ontology) Path(a, b string) []PathStep {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	ia, ok := o.lookupFoldedLocked(a)
-	if !ok {
-		return nil
-	}
-	ib, ok := o.lookupFoldedLocked(b)
-	if !ok {
-		return nil
-	}
-	dist, prev := o.dijkstraLocked(ia.ID, ib.ID)
-	if dist >= Unreachable {
-		return nil
-	}
-	var steps []PathStep
-	for at := ib.ID; at != ia.ID; {
-		p := prev[at]
-		step := PathStep{
-			From:    o.items[p.from],
-			To:      o.items[at],
-			Kind:    p.kind,
-			Forward: p.forward,
-		}
-		steps = append(steps, step)
-		at = p.from
-	}
-	// Reverse into a->b order.
-	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
-		steps[i], steps[j] = steps[j], steps[i]
-	}
-	return steps
+	return o.Snapshot().Path(a, b)
 }
 
 // DescribePath renders a path as an English explanation.
@@ -134,66 +91,6 @@ func DescribePath(steps []PathStep) string {
 	return strings.Join(parts, ", and ")
 }
 
-type prevEdge struct {
-	from    int
-	kind    RelationKind
-	forward bool
-}
-
-type pqItem struct {
-	id   int
-	dist int
-}
-
-type priorityQueue []pqItem
-
-func (pq priorityQueue) Len() int            { return len(pq) }
-func (pq priorityQueue) Less(i, j int) bool  { return pq[i].dist < pq[j].dist }
-func (pq priorityQueue) Swap(i, j int)       { pq[i], pq[j] = pq[j], pq[i] }
-func (pq *priorityQueue) Push(x interface{}) { *pq = append(*pq, x.(pqItem)) }
-func (pq *priorityQueue) Pop() interface{} {
-	old := *pq
-	n := len(old)
-	item := old[n-1]
-	*pq = old[:n-1]
-	return item
-}
-
-// dijkstraLocked runs weighted shortest path from src, stopping early at
-// dst, and returns the distance plus the predecessor map.
-func (o *Ontology) dijkstraLocked(src, dst int) (int, map[int]prevEdge) {
-	dist := map[int]int{src: 0}
-	prev := make(map[int]prevEdge)
-	pq := priorityQueue{{id: src, dist: 0}}
-	for pq.Len() > 0 {
-		cur := heap.Pop(&pq).(pqItem)
-		if cur.dist > dist[cur.id] {
-			continue
-		}
-		if cur.id == dst {
-			return cur.dist, prev
-		}
-		relax := func(to int, kind RelationKind, forward bool) {
-			nd := cur.dist + kind.Weight()
-			if d, seen := dist[to]; !seen || nd < d {
-				dist[to] = nd
-				prev[to] = prevEdge{from: cur.id, kind: kind, forward: forward}
-				heap.Push(&pq, pqItem{id: to, dist: nd})
-			}
-		}
-		for _, r := range o.out[cur.id] {
-			relax(r.To, r.Kind, true)
-		}
-		for _, r := range o.in[cur.id] {
-			relax(r.From, r.Kind, false)
-		}
-	}
-	if d, ok := dist[dst]; ok {
-		return d, prev
-	}
-	return Unreachable, prev
-}
-
 // TermMatch is one ontology term located in a token stream.
 type TermMatch struct {
 	Item  *Item
@@ -205,37 +102,8 @@ type TermMatch struct {
 // ExtractTerms scans a tokenized sentence for ontology terms using
 // greedy longest-first matching, so "binary search tree" is found as one
 // term rather than three. Plural forms fold to their singular items.
-// This is the Semantic Keywords Filter primitive of the paper's §4.3.
+// This is the Semantic Keywords Filter primitive of the paper's §4.3,
+// served by the compiled snapshot's phrase index.
 func (o *Ontology) ExtractTerms(tokens []string) []TermMatch {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	maxLen := 1
-	for name := range o.byName {
-		if n := strings.Count(name, " ") + 1; n > maxLen {
-			maxLen = n
-		}
-	}
-	var out []TermMatch
-	for i := 0; i < len(tokens); {
-		matched := false
-		for l := min(maxLen, len(tokens)-i); l >= 1 && !matched; l-- {
-			phrase := strings.Join(tokens[i:i+l], " ")
-			if it, ok := o.lookupFoldedLocked(phrase); ok {
-				out = append(out, TermMatch{Item: it, Start: i, End: i + l, Text: phrase})
-				i += l
-				matched = true
-			}
-		}
-		if !matched {
-			i++
-		}
-	}
-	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return o.Snapshot().ExtractTerms(tokens)
 }

@@ -16,9 +16,9 @@ package ontology
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ItemKind classifies a knowledge item.
@@ -147,7 +147,11 @@ type Relation struct {
 	Kind RelationKind
 }
 
-// Ontology is the thread-safe knowledge graph.
+// Ontology is the thread-safe knowledge graph. The maps below are the
+// authoritative mutable state, guarded by mu and touched only by the
+// mutating API; all read traffic goes through an immutable compiled
+// Snapshot published via an atomic pointer (see Snapshot), so readers
+// never take the lock and mutation is copy-on-write.
 type Ontology struct {
 	mu     sync.RWMutex
 	domain string
@@ -156,6 +160,36 @@ type Ontology struct {
 	out    map[int][]Relation
 	in     map[int][]Relation
 	nextID int
+
+	// gen counts successful mutations (guarded by mu); the published
+	// snapshot records the gen it was compiled from as its Version.
+	gen  uint64
+	snap atomic.Pointer[Snapshot]
+}
+
+// Snapshot returns the current immutable compiled view, building and
+// publishing it if a mutation invalidated the previous one. The fast
+// path is a single atomic load; the slow path runs at most once per
+// mutation generation.
+func (o *Ontology) Snapshot() *Snapshot {
+	if s := o.snap.Load(); s != nil {
+		return s
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if s := o.snap.Load(); s != nil {
+		return s
+	}
+	s := o.buildSnapshotLocked()
+	o.snap.Store(s)
+	return s
+}
+
+// invalidateLocked marks the published snapshot stale after a
+// successful mutation; o.mu must be held for writing.
+func (o *Ontology) invalidateLocked() {
+	o.gen++
+	o.snap.Store(nil)
 }
 
 // New returns an empty ontology for the named domain.
@@ -175,6 +209,14 @@ func (o *Ontology) Domain() string {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	return o.domain
+}
+
+// SetDomain renames the domain (the DDL interpreter's CREATE DOMAIN).
+func (o *Ontology) SetDomain(domain string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.domain = domain
+	o.invalidateLocked()
 }
 
 // Normalize canonicalizes an item name for lookup: lower case, single
@@ -230,6 +272,7 @@ func (o *Ontology) addItemLocked(id int, name string, kind ItemKind) (*Item, err
 	it := &Item{ID: id, Name: key, Kind: kind}
 	o.items[id] = it
 	o.byName[key] = id
+	o.invalidateLocked()
 	return it, nil
 }
 
@@ -253,6 +296,7 @@ func (o *Ontology) AddAlias(name, alias string) error {
 	}
 	o.byName[key] = it.ID
 	it.Aliases = append(it.Aliases, key)
+	o.invalidateLocked()
 	return nil
 }
 
@@ -265,6 +309,7 @@ func (o *Ontology) SetDescription(name, text string) error {
 		return err
 	}
 	it.Definition.Description = text
+	o.invalidateLocked()
 	return nil
 }
 
@@ -279,10 +324,12 @@ func (o *Ontology) AddSymbol(name, symbolName, text string) error {
 	for i := range it.Definition.Symbols {
 		if it.Definition.Symbols[i].Name == symbolName {
 			it.Definition.Symbols[i].Text = text
+			o.invalidateLocked()
 			return nil
 		}
 	}
 	it.Definition.Symbols = append(it.Definition.Symbols, Symbol{Name: symbolName, Text: text})
+	o.invalidateLocked()
 	return nil
 }
 
@@ -296,6 +343,7 @@ func (o *Ontology) SetAlgorithm(name, algType, text string) error {
 	}
 	it.Definition.Algorithm = text
 	it.Definition.AlgorithmType = algType
+	o.invalidateLocked()
 	return nil
 }
 
@@ -323,6 +371,7 @@ func (o *Ontology) Relate(from, to string, kind RelationKind) error {
 	}
 	o.out[f.ID] = append(o.out[f.ID], rel)
 	o.in[t.ID] = append(o.in[t.ID], rel)
+	o.invalidateLocked()
 	return nil
 }
 
@@ -353,6 +402,7 @@ func (o *Ontology) Unrelate(a, b string) error {
 	o.out[ib.ID] = removePair(o.out[ib.ID], ia.ID, ib.ID)
 	o.in[ia.ID] = removePair(o.in[ia.ID], ia.ID, ib.ID)
 	o.in[ib.ID] = removePair(o.in[ib.ID], ia.ID, ib.ID)
+	o.invalidateLocked()
 	return nil
 }
 
@@ -389,6 +439,7 @@ func (o *Ontology) RemoveItem(name string) error {
 		}
 		o.in[id] = keep
 	}
+	o.invalidateLocked()
 	return nil
 }
 
@@ -401,11 +452,10 @@ func (o *Ontology) lookupLocked(name string) (*Item, error) {
 }
 
 // Lookup finds an item by name or alias, folding plural forms
-// ("stacks" finds "stack").
+// ("stacks" finds "stack"). The returned item is the current snapshot's
+// immutable copy.
 func (o *Ontology) Lookup(name string) (*Item, bool) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.lookupFoldedLocked(name)
+	return o.Snapshot().Lookup(name)
 }
 
 func (o *Ontology) lookupFoldedLocked(name string) (*Item, bool) {
@@ -456,171 +506,59 @@ func pluralFolds(key string) []string {
 	return out
 }
 
-// ByID returns the item with the given ID.
+// ByID returns the item with the given ID (the snapshot's immutable
+// copy).
 func (o *Ontology) ByID(id int) (*Item, bool) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	it, ok := o.items[id]
-	return it, ok
+	return o.Snapshot().ByID(id)
 }
 
 // Len returns the number of items.
 func (o *Ontology) Len() int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return len(o.items)
+	return o.Snapshot().Len()
 }
 
 // Items returns all items ordered by ID.
 func (o *Ontology) Items() []*Item {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	out := make([]*Item, 0, len(o.items))
-	for _, it := range o.items {
-		out = append(out, it)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return o.Snapshot().Items()
 }
 
 // Relations returns all edges ordered by (From, To, Kind).
 func (o *Ontology) Relations() []Relation {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	var out []Relation
-	for _, rels := range o.out {
-		out = append(out, rels...)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		if out[i].To != out[j].To {
-			return out[i].To < out[j].To
-		}
-		return out[i].Kind < out[j].Kind
-	})
-	return out
+	return o.Snapshot().Relations()
 }
 
 // Neighbors returns the relations touching the item (both directions).
 func (o *Ontology) Neighbors(id int) []Relation {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	out := make([]Relation, 0, len(o.out[id])+len(o.in[id]))
-	out = append(out, o.out[id]...)
-	out = append(out, o.in[id]...)
-	return out
+	return o.Snapshot().Neighbors(id)
 }
 
 // OperationsOf returns the operations an item offers, including those
 // inherited through is-a edges (a binary search tree inherits insert
 // from tree if modelled that way).
 func (o *Ontology) OperationsOf(name string) []*Item {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	it, ok := o.lookupFoldedLocked(name)
-	if !ok {
-		return nil
-	}
-	seen := make(map[int]bool)
-	var out []*Item
-	// Walk up the is-a chain collecting has-operation edges.
-	queue := []int{it.ID}
-	visited := map[int]bool{it.ID: true}
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		for _, r := range o.out[id] {
-			switch r.Kind {
-			case RelHasOperation:
-				if !seen[r.To] {
-					seen[r.To] = true
-					out = append(out, o.items[r.To])
-				}
-			case RelIsA:
-				if !visited[r.To] {
-					visited[r.To] = true
-					queue = append(queue, r.To)
-				}
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return o.Snapshot().OperationsOf(name)
+}
+
+// PropertiesOf returns the properties an item carries, including those
+// inherited through is-a edges.
+func (o *Ontology) PropertiesOf(name string) []*Item {
+	return o.Snapshot().PropertiesOf(name)
 }
 
 // ConceptsWith returns the concepts that directly offer the named
 // operation or property.
 func (o *Ontology) ConceptsWith(opOrProp string) []*Item {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	it, ok := o.lookupFoldedLocked(opOrProp)
-	if !ok {
-		return nil
-	}
-	var out []*Item
-	for _, r := range o.in[it.ID] {
-		if r.Kind == RelHasOperation || r.Kind == RelHasProperty {
-			out = append(out, o.items[r.From])
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return o.Snapshot().ConceptsWith(opOrProp)
 }
 
 // ParentsOf returns the is-a parents of an item.
 func (o *Ontology) ParentsOf(name string) []*Item {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	it, ok := o.lookupFoldedLocked(name)
-	if !ok {
-		return nil
-	}
-	var out []*Item
-	for _, r := range o.out[it.ID] {
-		if r.Kind == RelIsA {
-			out = append(out, o.items[r.To])
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return o.Snapshot().ParentsOf(name)
 }
 
 // IsA reports whether item a transitively is-a item b.
 func (o *Ontology) IsA(a, b string) bool {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	ia, ok := o.lookupFoldedLocked(a)
-	if !ok {
-		return false
-	}
-	ib, ok := o.lookupFoldedLocked(b)
-	if !ok {
-		return false
-	}
-	if ia.ID == ib.ID {
-		return true
-	}
-	visited := map[int]bool{ia.ID: true}
-	queue := []int{ia.ID}
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		for _, r := range o.out[id] {
-			if r.Kind != RelIsA {
-				continue
-			}
-			if r.To == ib.ID {
-				return true
-			}
-			if !visited[r.To] {
-				visited[r.To] = true
-				queue = append(queue, r.To)
-			}
-		}
-	}
-	return false
+	return o.Snapshot().IsA(a, b)
 }
 
 // isEmpty reports whether the definition carries no content.

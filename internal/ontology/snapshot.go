@@ -1,0 +1,683 @@
+package ontology
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SnapshotTableRadius is how far out the compiled shortest-path tables
+// reach (DESIGN.md, design decision D8). Every pair within this weighted
+// distance answers Related/Distance from an O(1) table lookup with zero
+// allocations; only explain-path queries and pairs farther apart run the
+// (allocation-free, pooled-scratch) Dijkstra fallback. Radius 4 covers
+// the whole E3 threshold sweep, so every plausible relatedness threshold
+// is a table hit.
+const SnapshotTableRadius = 4
+
+// Snapshot is an immutable, precompiled read-only view of an Ontology,
+// published through an atomic pointer (Ontology.Snapshot). All read
+// traffic — the Semantic Agent, QA, term extraction, DDL SELECTs — rides
+// a snapshot without taking any lock, and a consumer that resolves one
+// snapshot per sentence gets internally consistent answers no matter how
+// the live ontology is mutated mid-analysis. Mutation is copy-on-write:
+// every Ontology write invalidates the published pointer and the next
+// reader compiles a fresh snapshot (mutation is O(rebuild), reads are
+// lock-free).
+//
+// The compiled form holds dense int-indexed adjacency slices, bounded
+// multi-source shortest-path tables out to SnapshotTableRadius, and a
+// first-token phrase index with the stored maximum phrase length for
+// ExtractTerms — the three hot structures of the per-message read path.
+type Snapshot struct {
+	version uint64
+	domain  string
+
+	// items is dense, ascending by ID; every *Item is a deep copy owned
+	// by the snapshot and must be treated as immutable.
+	items   []*Item
+	idToIdx map[int]int32
+	byName  map[string]int32
+
+	// maxPhraseLen is the token count of the longest name/alias,
+	// maintained at compile time instead of rescanned per ExtractTerms
+	// call; firstTok maps the first word of every multi-word name to the
+	// longest phrase starting with it, pruning the greedy matcher.
+	maxPhraseLen int
+	firstTok     map[string]int
+
+	// adj[i] lists node i's edges in both directions: out edges first
+	// (forward=true, preserving stored order), then in edges.
+	adj   [][]snapEdge
+	edges int
+
+	// near[i] maps node index -> exact weighted shortest-path distance,
+	// for every node within SnapshotTableRadius of i (including i at 0).
+	near []map[int32]int32
+
+	scratch sync.Pool
+}
+
+type snapEdge struct {
+	to      int32
+	weight  int32
+	kind    RelationKind
+	forward bool
+}
+
+// buildSnapshotLocked compiles the current graph; o.mu must be held.
+func (o *Ontology) buildSnapshotLocked() *Snapshot {
+	n := len(o.items)
+	s := &Snapshot{
+		version:  o.gen,
+		domain:   o.domain,
+		items:    make([]*Item, 0, n),
+		idToIdx:  make(map[int]int32, n),
+		byName:   make(map[string]int32, len(o.byName)),
+		firstTok: make(map[string]int),
+		adj:      make([][]snapEdge, n),
+		near:     make([]map[int32]int32, n),
+	}
+
+	ids := make([]int, 0, n)
+	for id := range o.items {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		it := o.items[id]
+		clone := &Item{
+			ID:      it.ID,
+			Name:    it.Name,
+			Aliases: append([]string(nil), it.Aliases...),
+			Kind:    it.Kind,
+			Definition: Definition{
+				Description:   it.Definition.Description,
+				Symbols:       append([]Symbol(nil), it.Definition.Symbols...),
+				Algorithm:     it.Definition.Algorithm,
+				AlgorithmType: it.Definition.AlgorithmType,
+			},
+		}
+		s.idToIdx[id] = int32(len(s.items))
+		s.items = append(s.items, clone)
+	}
+
+	s.maxPhraseLen = 1
+	for name, id := range o.byName {
+		idx, ok := s.idToIdx[id]
+		if !ok {
+			continue
+		}
+		s.byName[name] = idx
+		words := strings.Count(name, " ") + 1
+		if words > s.maxPhraseLen {
+			s.maxPhraseLen = words
+		}
+		if words > 1 {
+			first := name[:strings.IndexByte(name, ' ')]
+			if words > s.firstTok[first] {
+				s.firstTok[first] = words
+			}
+		}
+	}
+
+	for id, rels := range o.out {
+		i, ok := s.idToIdx[id]
+		if !ok {
+			continue
+		}
+		for _, r := range rels {
+			to, ok := s.idToIdx[r.To]
+			if !ok {
+				continue
+			}
+			s.adj[i] = append(s.adj[i], snapEdge{to: to, weight: int32(r.Kind.Weight()), kind: r.Kind, forward: true})
+			s.edges++
+		}
+	}
+	for id, rels := range o.in {
+		i, ok := s.idToIdx[id]
+		if !ok {
+			continue
+		}
+		for _, r := range rels {
+			from, ok := s.idToIdx[r.From]
+			if !ok {
+				continue
+			}
+			s.adj[i] = append(s.adj[i], snapEdge{to: from, weight: int32(r.Kind.Weight()), kind: r.Kind, forward: false})
+		}
+	}
+
+	s.scratch.New = func() interface{} { return newSnapScratch(n) }
+
+	// Bounded multi-source shortest paths: one cutoff Dijkstra per node.
+	sc := newSnapScratch(n)
+	for i := range s.items {
+		s.dijkstra(int32(i), -1, SnapshotTableRadius, sc)
+		m := make(map[int32]int32, len(sc.touched))
+		for _, j := range sc.touched {
+			m[j] = sc.dist[j]
+		}
+		s.near[i] = m
+		sc.reset()
+	}
+	return s
+}
+
+// Version identifies the mutation generation this snapshot was compiled
+// from; it increases monotonically with every ontology write.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Domain returns the domain label.
+func (s *Snapshot) Domain() string { return s.domain }
+
+// Len returns the number of items.
+func (s *Snapshot) Len() int { return len(s.items) }
+
+// MaxPhraseLen returns the token count of the longest name or alias,
+// compiled once per snapshot rather than rescanned per extraction.
+func (s *Snapshot) MaxPhraseLen() int { return s.maxPhraseLen }
+
+// SnapshotStats describes a compiled snapshot (ontologyctl and the E10
+// harness report it).
+type SnapshotStats struct {
+	Version      uint64
+	Items        int
+	Relations    int
+	TableEntries int
+	TableRadius  int
+	MaxPhraseLen int
+}
+
+// Stats reports the compiled sizes.
+func (s *Snapshot) Stats() SnapshotStats {
+	entries := 0
+	for _, m := range s.near {
+		entries += len(m)
+	}
+	return SnapshotStats{
+		Version:      s.version,
+		Items:        len(s.items),
+		Relations:    s.edges,
+		TableEntries: entries,
+		TableRadius:  SnapshotTableRadius,
+		MaxPhraseLen: s.maxPhraseLen,
+	}
+}
+
+// Items returns all items ordered by ID. The returned slice is fresh;
+// the *Item values are the snapshot's immutable copies.
+func (s *Snapshot) Items() []*Item {
+	return append([]*Item(nil), s.items...)
+}
+
+// ByID returns the item with the given ID.
+func (s *Snapshot) ByID(id int) (*Item, bool) {
+	idx, ok := s.idToIdx[id]
+	if !ok {
+		return nil, false
+	}
+	return s.items[idx], true
+}
+
+// Lookup finds an item by name or alias, folding plural forms.
+func (s *Snapshot) Lookup(name string) (*Item, bool) {
+	idx, ok := s.lookupIdx(name)
+	if !ok {
+		return nil, false
+	}
+	return s.items[idx], true
+}
+
+// lookupIdx resolves a name to a dense index. The first probe uses the
+// raw string so already-normalized names (the overwhelmingly common
+// case: item names and tokens are stored normalized) resolve with zero
+// allocations; normalization and plural folding only run on a miss.
+func (s *Snapshot) lookupIdx(name string) (int32, bool) {
+	if idx, ok := s.byName[name]; ok {
+		return idx, true
+	}
+	key := Normalize(name)
+	if key != name {
+		if idx, ok := s.byName[key]; ok {
+			return idx, true
+		}
+	}
+	for _, folded := range pluralFolds(key) {
+		if idx, ok := s.byName[folded]; ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// Relations returns all edges ordered by (From, To, Kind).
+func (s *Snapshot) Relations() []Relation {
+	out := make([]Relation, 0, s.edges)
+	for i, edges := range s.adj {
+		from := s.items[i].ID
+		for _, e := range edges {
+			if e.forward {
+				out = append(out, Relation{From: from, To: s.items[e.to].ID, Kind: e.kind})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Neighbors returns the relations touching the item (both directions,
+// outgoing first).
+func (s *Snapshot) Neighbors(id int) []Relation {
+	idx, ok := s.idToIdx[id]
+	if !ok {
+		return nil
+	}
+	out := make([]Relation, 0, len(s.adj[idx]))
+	for _, e := range s.adj[idx] {
+		if e.forward {
+			out = append(out, Relation{From: id, To: s.items[e.to].ID, Kind: e.kind})
+		} else {
+			out = append(out, Relation{From: s.items[e.to].ID, To: id, Kind: e.kind})
+		}
+	}
+	return out
+}
+
+// featuresOf walks the is-a chain collecting has-operation or
+// has-property targets.
+func (s *Snapshot) featuresOf(name string, kind RelationKind) []*Item {
+	start, ok := s.lookupIdx(name)
+	if !ok {
+		return nil
+	}
+	seen := make(map[int32]bool)
+	var out []*Item
+	queue := []int32{start}
+	visited := map[int32]bool{start: true}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, e := range s.adj[i] {
+			if !e.forward {
+				continue
+			}
+			switch e.kind {
+			case kind:
+				if !seen[e.to] {
+					seen[e.to] = true
+					out = append(out, s.items[e.to])
+				}
+			case RelIsA:
+				if !visited[e.to] {
+					visited[e.to] = true
+					queue = append(queue, e.to)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// OperationsOf returns the operations an item offers, including those
+// inherited through is-a edges.
+func (s *Snapshot) OperationsOf(name string) []*Item {
+	return s.featuresOf(name, RelHasOperation)
+}
+
+// PropertiesOf returns the properties an item carries, including those
+// inherited through is-a edges.
+func (s *Snapshot) PropertiesOf(name string) []*Item {
+	return s.featuresOf(name, RelHasProperty)
+}
+
+// ConceptsWith returns the concepts that directly offer the named
+// operation or property.
+func (s *Snapshot) ConceptsWith(opOrProp string) []*Item {
+	idx, ok := s.lookupIdx(opOrProp)
+	if !ok {
+		return nil
+	}
+	var out []*Item
+	for _, e := range s.adj[idx] {
+		if !e.forward && (e.kind == RelHasOperation || e.kind == RelHasProperty) {
+			out = append(out, s.items[e.to])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ParentsOf returns the is-a parents of an item.
+func (s *Snapshot) ParentsOf(name string) []*Item {
+	idx, ok := s.lookupIdx(name)
+	if !ok {
+		return nil
+	}
+	var out []*Item
+	for _, e := range s.adj[idx] {
+		if e.forward && e.kind == RelIsA {
+			out = append(out, s.items[e.to])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IsA reports whether item a transitively is-a item b.
+func (s *Snapshot) IsA(a, b string) bool {
+	ia, ok := s.lookupIdx(a)
+	if !ok {
+		return false
+	}
+	ib, ok := s.lookupIdx(b)
+	if !ok {
+		return false
+	}
+	if ia == ib {
+		return true
+	}
+	visited := map[int32]bool{ia: true}
+	queue := []int32{ia}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, e := range s.adj[i] {
+			if !e.forward || e.kind != RelIsA {
+				continue
+			}
+			if e.to == ib {
+				return true
+			}
+			if !visited[e.to] {
+				visited[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return false
+}
+
+// Distance returns the weighted shortest-path distance between two named
+// items (Unreachable if either is missing or no path exists). Pairs
+// within SnapshotTableRadius are an O(1) table lookup.
+func (s *Snapshot) Distance(a, b string) int {
+	ia, ok := s.lookupIdx(a)
+	if !ok {
+		return Unreachable
+	}
+	ib, ok := s.lookupIdx(b)
+	if !ok {
+		return Unreachable
+	}
+	return s.distanceIdx(ia, ib)
+}
+
+func (s *Snapshot) distanceIdx(ia, ib int32) int {
+	if ia == ib {
+		return 0
+	}
+	if d, ok := s.near[ia][ib]; ok {
+		return int(d)
+	}
+	sc := s.scratch.Get().(*snapScratch)
+	d := s.dijkstra(ia, ib, -1, sc)
+	sc.reset()
+	s.scratch.Put(sc)
+	if d < 0 {
+		return Unreachable
+	}
+	return int(d)
+}
+
+// Related reports whether the semantic distance between the two items is
+// at most threshold (non-positive selects DefaultRelatedThreshold).
+// Thresholds within SnapshotTableRadius — every deployed configuration —
+// are answered from the compiled table with zero allocations.
+func (s *Snapshot) Related(a, b string, threshold int) bool {
+	if threshold <= 0 {
+		threshold = DefaultRelatedThreshold
+	}
+	ia, ok := s.lookupIdx(a)
+	if !ok {
+		return false
+	}
+	ib, ok := s.lookupIdx(b)
+	if !ok {
+		return false
+	}
+	if ia == ib {
+		return true
+	}
+	if threshold <= SnapshotTableRadius {
+		d, ok := s.near[ia][ib]
+		return ok && int(d) <= threshold
+	}
+	return s.distanceIdx(ia, ib) <= threshold
+}
+
+// Path returns the weighted shortest path between two items as a list of
+// steps, or nil if unreachable. The returned steps reference the
+// snapshot's immutable items.
+func (s *Snapshot) Path(a, b string) []PathStep {
+	ia, ok := s.lookupIdx(a)
+	if !ok {
+		return nil
+	}
+	ib, ok := s.lookupIdx(b)
+	if !ok {
+		return nil
+	}
+	if ia == ib {
+		return nil
+	}
+	sc := s.scratch.Get().(*snapScratch)
+	defer func() {
+		sc.reset()
+		s.scratch.Put(sc)
+	}()
+	if d := s.dijkstra(ia, ib, -1, sc); d < 0 {
+		return nil
+	}
+	var steps []PathStep
+	for at := ib; at != ia; {
+		p := sc.prev[at]
+		steps = append(steps, PathStep{
+			From:    s.items[p.from],
+			To:      s.items[at],
+			Kind:    p.kind,
+			Forward: p.forward,
+		})
+		at = p.from
+	}
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	return steps
+}
+
+// ExtractTerms scans a tokenized sentence for ontology terms using
+// greedy longest-first matching over the compiled phrase index: the
+// stored max phrase length bounds the window and the first-token map
+// prunes positions that cannot start a multi-word term.
+func (s *Snapshot) ExtractTerms(tokens []string) []TermMatch {
+	var out []TermMatch
+	for i := 0; i < len(tokens); {
+		limit := s.maxPhraseLen
+		if rem := len(tokens) - i; rem < limit {
+			limit = rem
+		}
+		// A plain token is its own normalized form, so multi-word names
+		// starting with it are exactly the firstTok entries; tokens that
+		// normalization could rewrite (hyphens, upper case) skip the
+		// prune and keep the full window.
+		if plainToken(tokens[i]) {
+			if ml, ok := s.firstTok[tokens[i]]; ok {
+				if ml < limit {
+					limit = ml
+				}
+			} else {
+				limit = 1
+			}
+		}
+		matched := false
+		for l := limit; l >= 1 && !matched; l-- {
+			phrase := tokens[i]
+			if l > 1 {
+				phrase = strings.Join(tokens[i:i+l], " ")
+			}
+			if idx, ok := s.lookupIdx(phrase); ok {
+				out = append(out, TermMatch{Item: s.items[idx], Start: i, End: i + l, Text: phrase})
+				i += l
+				matched = true
+			}
+		}
+		if !matched {
+			i++
+		}
+	}
+	return out
+}
+
+// plainToken reports whether normalization is the identity for this
+// token (no hyphens, spaces or upper-case ASCII).
+func plainToken(t string) bool {
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c == '-' || c == ' ' || (c >= 'A' && c <= 'Z') {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- allocation-free Dijkstra over the dense adjacency ----------------
+
+// snapScratch is the reusable per-query state of the slice-based
+// Dijkstra: distances, predecessor cells and a manual binary heap, all
+// index-addressed so the steady-state query path performs no heap
+// allocation (scratch cycles through a sync.Pool).
+type snapScratch struct {
+	dist    []int32 // -1 = unvisited
+	prev    []prevCell
+	heap    []heapEnt
+	touched []int32
+}
+
+type prevCell struct {
+	from    int32
+	kind    RelationKind
+	forward bool
+}
+
+type heapEnt struct {
+	idx  int32
+	dist int32
+}
+
+func newSnapScratch(n int) *snapScratch {
+	sc := &snapScratch{
+		dist:    make([]int32, n),
+		prev:    make([]prevCell, n),
+		heap:    make([]heapEnt, 0, 16),
+		touched: make([]int32, 0, 32),
+	}
+	for i := range sc.dist {
+		sc.dist[i] = -1
+	}
+	return sc
+}
+
+func (sc *snapScratch) reset() {
+	for _, i := range sc.touched {
+		sc.dist[i] = -1
+	}
+	sc.touched = sc.touched[:0]
+	sc.heap = sc.heap[:0]
+}
+
+func (sc *snapScratch) push(e heapEnt) {
+	sc.heap = append(sc.heap, e)
+	i := len(sc.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if sc.heap[parent].dist <= sc.heap[i].dist {
+			break
+		}
+		sc.heap[parent], sc.heap[i] = sc.heap[i], sc.heap[parent]
+		i = parent
+	}
+}
+
+func (sc *snapScratch) pop() heapEnt {
+	top := sc.heap[0]
+	last := len(sc.heap) - 1
+	sc.heap[0] = sc.heap[last]
+	sc.heap = sc.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && sc.heap[l].dist < sc.heap[smallest].dist {
+			smallest = l
+		}
+		if r < last && sc.heap[r].dist < sc.heap[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		sc.heap[i], sc.heap[smallest] = sc.heap[smallest], sc.heap[i]
+		i = smallest
+	}
+	return top
+}
+
+// dijkstra runs weighted shortest path from src. dst >= 0 stops early at
+// the destination; cutoff >= 0 bounds exploration to that distance (used
+// to compile the near tables — distances at or under the cutoff are
+// globally exact because prefix distances along a shortest path are
+// monotone). Returns the distance to dst, or -1. Visited state lands in
+// sc (sc.touched lists every reached node); callers must sc.reset().
+func (s *Snapshot) dijkstra(src, dst int32, cutoff int32, sc *snapScratch) int32 {
+	sc.dist[src] = 0
+	sc.touched = append(sc.touched, src)
+	sc.push(heapEnt{idx: src, dist: 0})
+	for len(sc.heap) > 0 {
+		cur := sc.pop()
+		if cur.dist > sc.dist[cur.idx] {
+			continue
+		}
+		if cur.idx == dst {
+			return cur.dist
+		}
+		for _, e := range s.adj[cur.idx] {
+			nd := cur.dist + e.weight
+			if cutoff >= 0 && nd > cutoff {
+				continue
+			}
+			if d := sc.dist[e.to]; d < 0 || nd < d {
+				if d < 0 {
+					sc.touched = append(sc.touched, e.to)
+				}
+				sc.dist[e.to] = nd
+				sc.prev[e.to] = prevCell{from: cur.idx, kind: e.kind, forward: e.forward}
+				sc.push(heapEnt{idx: e.to, dist: nd})
+			}
+		}
+	}
+	if dst >= 0 && sc.dist[dst] >= 0 {
+		return sc.dist[dst]
+	}
+	return -1
+}

@@ -80,13 +80,20 @@ func (s *System) FAQ() *FAQ { return s.faq }
 
 // Ask answers a learner question: FAQ first (accumulated knowledge),
 // then template matching over the ontology, then the learner corpus.
+// The whole question is answered against one ontology snapshot.
 func (s *System) Ask(text string) Answer {
+	return s.AskWith(s.onto.Snapshot(), text)
+}
+
+// AskWith answers against a caller-pinned snapshot (the supervisor pins
+// one snapshot per message).
+func (s *System) AskWith(snap *ontology.Snapshot, text string) Answer {
 	tokens := linkgrammar.Tokenize(text)
 	ans := Answer{Question: text}
 	if len(tokens) == 0 {
 		return ans
 	}
-	ans.Terms = s.onto.ExtractTerms(tokens)
+	ans.Terms = snap.ExtractTerms(tokens)
 
 	// FAQ hit: a previously answered, equivalent question.
 	if entry, ok := s.faq.Lookup(text); ok {
@@ -98,7 +105,7 @@ func (s *System) Ask(text string) Answer {
 		return ans
 	}
 
-	kind, a := s.answerByTemplate(tokens, ans.Terms)
+	kind, a := s.answerByTemplate(snap, tokens, ans.Terms)
 	ans.Template = kind
 	if a != "" {
 		ans.Answered = true
@@ -126,7 +133,7 @@ func (s *System) Ask(text string) Answer {
 
 // answerByTemplate matches the token stream against the interrogative
 // templates and produces an ontology-backed answer.
-func (s *System) answerByTemplate(tokens []string, terms []ontology.TermMatch) (TemplateKind, string) {
+func (s *System) answerByTemplate(snap *ontology.Snapshot, tokens []string, terms []ontology.TermMatch) (TemplateKind, string) {
 	if len(tokens) == 0 {
 		return TemplateNone, ""
 	}
@@ -144,23 +151,23 @@ func (s *System) answerByTemplate(tokens []string, terms []ontology.TermMatch) (
 
 	// "the relations of X and Y", "what is the relation between X and Y"
 	if has("relation", "relations", "relationship") && len(terms) >= 2 {
-		return TemplateRelations, s.answerRelations(terms[0].Item, terms[1].Item)
+		return TemplateRelations, s.answerRelations(snap, terms[0].Item, terms[1].Item)
 	}
 
 	switch {
 	case first == "what" || first == "what's":
 		// "which X has Y" phrased with what: "what structure has push"
 		if has("has", "have", "supports", "support", "contains", "contain", "offers", "offer") && len(terms) >= 1 {
-			if ans := s.answerWhichHas(tokens, terms); ans != "" {
+			if ans := s.answerWhichHas(snap, tokens, terms); ans != "" {
 				return TemplateWhichHas, ans
 			}
 		}
 		if len(terms) >= 1 {
-			return TemplateDefinition, s.answerDefinition(terms[0].Item)
+			return TemplateDefinition, s.answerDefinition(snap, terms[0].Item)
 		}
 		return TemplateDefinition, ""
 	case first == "which":
-		if ans := s.answerWhichHas(tokens, terms); ans != "" {
+		if ans := s.answerWhichHas(snap, tokens, terms); ans != "" {
 			return TemplateWhichHas, ans
 		}
 		return TemplateWhichHas, ""
@@ -168,7 +175,7 @@ func (s *System) answerByTemplate(tokens []string, terms []ontology.TermMatch) (
 		if len(terms) >= 2 {
 			concept, feature := orient(terms)
 			if concept != nil {
-				return TemplateHasFeature, s.answerHasFeature(concept, feature)
+				return TemplateHasFeature, s.answerHasFeature(snap, concept, feature)
 			}
 		}
 		return TemplateHasFeature, ""
@@ -177,43 +184,43 @@ func (s *System) answerByTemplate(tokens []string, terms []ontology.TermMatch) (
 		if len(terms) >= 2 {
 			a, b := terms[0].Item, terms[1].Item
 			if a.Kind == ontology.KindConcept && b.Kind == ontology.KindConcept {
-				return TemplateIsA, s.answerIsA(a, b)
+				return TemplateIsA, s.answerIsA(snap, a, b)
 			}
 			concept, feature := orient(terms)
 			if concept != nil {
-				return TemplateHasFeature, s.answerHasFeature(concept, feature)
+				return TemplateHasFeature, s.answerHasFeature(snap, concept, feature)
 			}
 		}
 		if len(terms) == 1 {
 			// "is a stack useful?" — answer with the definition.
-			return TemplateDefinition, s.answerDefinition(terms[0].Item)
+			return TemplateDefinition, s.answerDefinition(snap, terms[0].Item)
 		}
 		return TemplateIsA, ""
 	case first == "how" || first == "why":
 		if len(terms) >= 1 {
-			return TemplateDefinition, s.answerDefinition(terms[0].Item)
+			return TemplateDefinition, s.answerDefinition(snap, terms[0].Item)
 		}
 	}
 	return TemplateNone, ""
 }
 
-func (s *System) answerDefinition(it *ontology.Item) string {
+func (s *System) answerDefinition(snap *ontology.Snapshot, it *ontology.Item) string {
 	if it.Definition.Description != "" {
 		return it.Definition.Description
 	}
 	// Synthesize from relations when no prose is stored.
 	var parts []string
-	if parents := s.onto.ParentsOf(it.Name); len(parents) > 0 {
+	if parents := snap.ParentsOf(it.Name); len(parents) > 0 {
 		parts = append(parts, fmt.Sprintf("%s is a %s", it.Name, parents[0].Name))
 	}
-	if ops := s.onto.OperationsOf(it.Name); len(ops) > 0 {
+	if ops := snap.OperationsOf(it.Name); len(ops) > 0 {
 		names := make([]string, len(ops))
 		for i, op := range ops {
 			names[i] = op.Name
 		}
 		parts = append(parts, fmt.Sprintf("it supports %s", strings.Join(names, ", ")))
 	}
-	if owners := s.onto.ConceptsWith(it.Name); len(owners) > 0 {
+	if owners := snap.ConceptsWith(it.Name); len(owners) > 0 {
 		names := make([]string, len(owners))
 		for i, c := range owners {
 			names[i] = c.Name
@@ -223,13 +230,13 @@ func (s *System) answerDefinition(it *ontology.Item) string {
 	// Structural knowledge: part-of and related-to edges still define
 	// an item ("a node is part of a linked list and a tree").
 	var partOf, related []string
-	for _, r := range s.onto.Neighbors(it.ID) {
+	for _, r := range snap.Neighbors(it.ID) {
 		other := r.To
 		forward := r.From == it.ID
 		if !forward {
 			other = r.From
 		}
-		target, ok := s.onto.ByID(other)
+		target, ok := snap.ByID(other)
 		if !ok {
 			continue
 		}
@@ -252,28 +259,28 @@ func (s *System) answerDefinition(it *ontology.Item) string {
 	return strings.Join(parts, "; ") + "."
 }
 
-func (s *System) answerRelations(a, b *ontology.Item) string {
-	steps := s.onto.Path(a.Name, b.Name)
+func (s *System) answerRelations(snap *ontology.Snapshot, a, b *ontology.Item) string {
+	steps := snap.Path(a.Name, b.Name)
 	if len(steps) == 0 {
 		return fmt.Sprintf("I find no relation between %s and %s in the %s ontology.",
-			a.Name, b.Name, s.onto.Domain())
+			a.Name, b.Name, snap.Domain())
 	}
-	d := s.onto.Distance(a.Name, b.Name)
+	d := snap.Distance(a.Name, b.Name)
 	return fmt.Sprintf("%s (semantic distance %d).", ontology.DescribePath(steps), d)
 }
 
-func (s *System) answerHasFeature(concept, feature *ontology.Item) string {
-	for _, op := range s.onto.OperationsOf(concept.Name) {
+func (s *System) answerHasFeature(snap *ontology.Snapshot, concept, feature *ontology.Item) string {
+	for _, op := range snap.OperationsOf(concept.Name) {
 		if op.ID == feature.ID {
 			return fmt.Sprintf("Yes, %s has the %s %s.", concept.Name, roleNoun(feature), feature.Name)
 		}
 	}
 	// Property check via direct relation distance.
-	if feature.Kind == ontology.KindProperty && s.onto.Distance(concept.Name, feature.Name) == 1 {
+	if feature.Kind == ontology.KindProperty && snap.Distance(concept.Name, feature.Name) == 1 {
 		return fmt.Sprintf("Yes, %s has the property %s.", concept.Name, feature.Name)
 	}
 	answer := fmt.Sprintf("No, %s does not have %s.", concept.Name, feature.Name)
-	if owners := s.onto.ConceptsWith(feature.Name); len(owners) > 0 {
+	if owners := snap.ConceptsWith(feature.Name); len(owners) > 0 {
 		names := make([]string, len(owners))
 		for i, c := range owners {
 			names[i] = c.Name
@@ -283,7 +290,7 @@ func (s *System) answerHasFeature(concept, feature *ontology.Item) string {
 	return answer
 }
 
-func (s *System) answerWhichHas(tokens []string, terms []ontology.TermMatch) string {
+func (s *System) answerWhichHas(snap *ontology.Snapshot, tokens []string, terms []ontology.TermMatch) string {
 	// The feature is the operation/property term; an optional concept
 	// term ("data structure") restricts the category.
 	var feature *ontology.Item
@@ -303,11 +310,11 @@ func (s *System) answerWhichHas(tokens []string, terms []ontology.TermMatch) str
 	if feature == nil {
 		return ""
 	}
-	owners := s.onto.ConceptsWith(feature.Name)
+	owners := snap.ConceptsWith(feature.Name)
 	if category != nil {
 		filtered := owners[:0]
 		for _, o := range owners {
-			if s.onto.IsA(o.Name, category.Name) {
+			if snap.IsA(o.Name, category.Name) {
 				filtered = append(filtered, o)
 			}
 		}
@@ -325,11 +332,11 @@ func (s *System) answerWhichHas(tokens []string, terms []ontology.TermMatch) str
 	return fmt.Sprintf("%s has the %s %s.", strings.Join(names, ", "), roleNoun(feature), feature.Name)
 }
 
-func (s *System) answerIsA(a, b *ontology.Item) string {
-	if s.onto.IsA(a.Name, b.Name) {
+func (s *System) answerIsA(snap *ontology.Snapshot, a, b *ontology.Item) string {
+	if snap.IsA(a.Name, b.Name) {
 		return fmt.Sprintf("Yes, %s is a %s.", a.Name, b.Name)
 	}
-	if s.onto.IsA(b.Name, a.Name) {
+	if snap.IsA(b.Name, a.Name) {
 		return fmt.Sprintf("Not exactly — %s is a %s, not the other way around.", b.Name, a.Name)
 	}
 	return fmt.Sprintf("No, %s is not a %s.", a.Name, b.Name)

@@ -117,6 +117,9 @@ func FromFAQ(f *qa.FAQ, n int) Interop {
 // has-property facts, plus deliberately false distractors built from
 // unrelated pairs so the bank is balanced.
 func FromOntology(o *ontology.Ontology, maxItems int) Interop {
+	// One pinned snapshot: the exported question bank is internally
+	// consistent even if the ontology is being edited concurrently.
+	snap := o.Snapshot()
 	var doc Interop
 	add := func(concept, feature string, truth bool) {
 		if len(doc.Items) >= maxItems {
@@ -146,14 +149,14 @@ func FromOntology(o *ontology.Ontology, maxItems int) Interop {
 		})
 	}
 
-	items := o.Items()
+	items := snap.Items()
 	// True facts from direct edges.
-	for _, r := range o.Relations() {
+	for _, r := range snap.Relations() {
 		if r.Kind != ontology.RelHasOperation {
 			continue
 		}
-		from, okF := o.ByID(r.From)
-		to, okT := o.ByID(r.To)
+		from, okF := snap.ByID(r.From)
+		to, okT := snap.ByID(r.To)
 		if okF && okT {
 			add(from.Name, to.Name, true)
 		}
@@ -170,7 +173,7 @@ func FromOntology(o *ontology.Ontology, maxItems int) Interop {
 			if len(doc.Items) >= maxItems {
 				return doc
 			}
-			if o.Distance(c.Name, op.Name) > ontology.DefaultRelatedThreshold+1 {
+			if snap.Distance(c.Name, op.Name) > ontology.DefaultRelatedThreshold+1 {
 				add(c.Name, op.Name, false)
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"semagent/internal/ontology"
 	"semagent/internal/profile"
 	"semagent/internal/stats"
 )
@@ -105,6 +106,16 @@ func New(lib *Library) *Recommender {
 // ForUser recommends sections for one learner from the topics they
 // discuss and the mistakes they make.
 func (r *Recommender) ForUser(p profile.Profile, limit int) []Recommendation {
+	return r.ForUserWith(nil, p, limit)
+}
+
+// ForUserWith is ForUser with a pinned ontology snapshot: sections
+// teaching topics semantically related (within the default threshold)
+// to what the learner discusses are pulled in at half weight, so a
+// learner struggling with "stack" is also pointed at the push/pop and
+// LIFO sections even before mentioning them. A nil snapshot skips the
+// expansion.
+func (r *Recommender) ForUserWith(snap *ontology.Snapshot, p profile.Profile, limit int) []Recommendation {
 	weights := make(map[string]int)
 	reasons := make(map[string]string)
 	for topic, n := range p.TopicCounts {
@@ -116,6 +127,31 @@ func (r *Recommender) ForUser(p profile.Profile, limit int) []Recommendation {
 		for _, topic := range p.TopTopics(3) {
 			weights[topic] += 3 * (p.SyntaxErrors + p.SemanticErrors)
 			reasons[topic] = fmt.Sprintf("you made mistakes while discussing %s", topic)
+		}
+	}
+	if snap != nil {
+		// Expand from the learner's own topics only — the base weights
+		// are frozen first so the result does not depend on map order.
+		base := make(map[string]int, len(weights))
+		for topic, w := range weights {
+			base[topic] = w
+		}
+		for topic := range r.lib.byTopic {
+			if base[topic] > 0 {
+				continue
+			}
+			best, because := 0, ""
+			for learnerTopic, w := range base {
+				if (w > best || (w == best && learnerTopic < because)) && snap.Related(topic, learnerTopic, 0) {
+					best, because = w, learnerTopic
+				}
+			}
+			// Strict floor halving: a related topic must rank below the
+			// direct topic that pulled it in, never tie it.
+			if half := best / 2; half > 0 {
+				weights[topic] = half
+				reasons[topic] = fmt.Sprintf("%s is closely related to %s", topic, because)
+			}
 		}
 	}
 	return r.rank(weights, reasons, limit)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"semagent/internal/corpus"
+	"semagent/internal/ontology"
 	"semagent/internal/profile"
 	"semagent/internal/sentence"
 	"semagent/internal/stats"
@@ -100,5 +101,70 @@ func TestDedupeAndLimit(t *testing.T) {
 	}
 	if len(r.ForUser(p, 1)) != 1 {
 		t.Error("limit not applied")
+	}
+}
+
+// TestForUserWithExpandsRelatedTopics pins an ontology snapshot and
+// checks that sections for topics semantically related to the learner's
+// own (stack -> pop/push/lifo) join the list at half weight, below the
+// directly discussed topic, while unrelated sections stay out.
+func TestForUserWithExpandsRelatedTopics(t *testing.T) {
+	ps := profile.NewStore()
+	for i := 0; i < 4; i++ {
+		ps.RecordMessage("carol", []string{"stack"})
+	}
+	p, _ := ps.Get("carol")
+
+	snap := ontology.BuildCourseOntology().Snapshot()
+	recs := New(CourseLibrary()).ForUserWith(snap, p, 10)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if recs[0].Material.Topic != "stack" {
+		t.Fatalf("top recommendation %q, want the directly discussed stack", recs[0].Material.Topic)
+	}
+	got := make(map[string]Recommendation)
+	for _, r := range recs {
+		got[r.Material.Topic] = r
+	}
+	for _, related := range []string{"pop", "push", "lifo"} {
+		rec, ok := got[related]
+		if !ok {
+			t.Errorf("related topic %q not recommended", related)
+			continue
+		}
+		if rec.Weight >= got["stack"].Weight {
+			t.Errorf("related %q weight %d not below direct stack weight %d",
+				related, rec.Weight, got["stack"].Weight)
+		}
+		if !strings.Contains(rec.Reason, "related to stack") {
+			t.Errorf("related %q reason %q does not cite stack", related, rec.Reason)
+		}
+	}
+	if _, ok := got["graph"]; ok {
+		t.Error("unrelated topic graph recommended")
+	}
+
+	// Nil snapshot must reproduce the unexpanded behaviour.
+	plain := New(CourseLibrary()).ForUserWith(nil, p, 10)
+	for _, r := range plain {
+		if r.Material.Topic != "stack" {
+			t.Errorf("nil-snapshot expansion leaked topic %q", r.Material.Topic)
+		}
+	}
+}
+
+// TestForUserWithSingleMentionNoTies: with only one mention (weight 1),
+// floor-halving yields 0, so no related section may join — and in
+// particular none may tie or outrank the directly discussed topic.
+func TestForUserWithSingleMentionNoTies(t *testing.T) {
+	ps := profile.NewStore()
+	ps.RecordMessage("dave", []string{"stack"})
+	p, _ := ps.Get("dave")
+
+	snap := ontology.BuildCourseOntology().Snapshot()
+	recs := New(CourseLibrary()).ForUserWith(snap, p, 10)
+	if len(recs) != 1 || recs[0].Material.Topic != "stack" {
+		t.Fatalf("single mention must recommend only the stack section, got %+v", recs)
 	}
 }

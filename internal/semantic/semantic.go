@@ -97,8 +97,18 @@ func New(onto *ontology.Ontology, threshold int) *Agent {
 // Threshold returns the relatedness threshold in use.
 func (a *Agent) Threshold() int { return a.threshold }
 
-// Analyze runs the three-stage pipeline on a classified sentence.
+// Analyze runs the three-stage pipeline on a classified sentence. It
+// resolves one ontology snapshot up front, so every keyword pair of the
+// sentence is judged against the same knowledge state even while a
+// writer is mutating the live ontology (no torn verdicts).
 func (a *Agent) Analyze(cls sentence.Classification) *Analysis {
+	return a.AnalyzeWith(a.onto.Snapshot(), cls)
+}
+
+// AnalyzeWith runs the pipeline against a caller-pinned snapshot; the
+// supervisor pins one snapshot per message and shares it across the
+// syntax, semantic and topic stages.
+func (a *Agent) AnalyzeWith(snap *ontology.Snapshot, cls sentence.Classification) *Analysis {
 	out := &Analysis{Classification: cls, Verdict: VerdictOK}
 
 	// Stage 1: questions are the QA system's job.
@@ -108,7 +118,7 @@ func (a *Agent) Analyze(cls sentence.Classification) *Analysis {
 	}
 
 	// Stage 2: semantic keywords filter.
-	out.Keywords = a.onto.ExtractTerms(cls.Tokens)
+	out.Keywords = snap.ExtractTerms(cls.Tokens)
 	if len(out.Keywords) < 2 {
 		out.Verdict = VerdictSkipped
 		return out
@@ -119,7 +129,7 @@ func (a *Agent) Analyze(cls sentence.Classification) *Analysis {
 	for i := 0; i < len(out.Keywords); i++ {
 		for j := i + 1; j < len(out.Keywords); j++ {
 			ka, kb := out.Keywords[i].Item, out.Keywords[j].Item
-			pair := a.evaluatePair(ka, kb, negated)
+			pair := a.evaluatePair(snap, ka, kb, negated)
 			if pair == nil {
 				continue
 			}
@@ -127,7 +137,7 @@ func (a *Agent) Analyze(cls sentence.Classification) *Analysis {
 			if pair.Violation && out.Verdict == VerdictOK {
 				out.Verdict = VerdictInterrogative
 				out.Explanation = pair.Reason
-				out.Suggestion = a.suggest(ka, kb)
+				out.Suggestion = a.suggest(snap, ka, kb)
 			}
 		}
 	}
@@ -144,23 +154,23 @@ func (a *Agent) AnalyzeText(text string) *Analysis {
 
 // evaluatePair applies the §4.3 truth table to one keyword pair. Pairs
 // that carry no concept/operation/property assertion return nil.
-func (a *Agent) evaluatePair(ka, kb *ontology.Item, negated bool) *Pair {
+func (a *Agent) evaluatePair(snap *ontology.Snapshot, ka, kb *ontology.Item, negated bool) *Pair {
 	concept, feature := orientPair(ka, kb)
 	if concept == nil {
 		// concept-concept or feature-feature mention: informational
 		// only, except the is-a case handled by the caller through
 		// distance too. Evaluate distance but never flag.
-		d := a.onto.Distance(ka.Name, kb.Name)
+		d := snap.Distance(ka.Name, kb.Name)
 		return &Pair{A: ka, B: kb, Distance: d, Related: d <= a.threshold}
 	}
-	d := a.onto.Distance(concept.Name, feature.Name)
+	d := snap.Distance(concept.Name, feature.Name)
 	related := d <= a.threshold
 	p := &Pair{A: concept, B: feature, Distance: d, Related: related}
 	switch {
 	case !related && !negated:
 		p.Violation = true
 		p.Reason = fmt.Sprintf("%q is not %s of %q in the %s ontology",
-			feature.Name, featureRole(feature), concept.Name, a.onto.Domain())
+			feature.Name, featureRole(feature), concept.Name, snap.Domain())
 	case related && negated:
 		p.Violation = true
 		p.Reason = fmt.Sprintf("%q actually is %s of %q — the negation looks wrong",
@@ -169,21 +179,32 @@ func (a *Agent) evaluatePair(ka, kb *ontology.Item, negated bool) *Pair {
 	return p
 }
 
-// suggest proposes the correct association for a violated pair.
-func (a *Agent) suggest(ka, kb *ontology.Item) string {
+// suggest proposes the correct association for a violated pair, phrased
+// for the feature's actual kind: a violated property pair gets "is a
+// property of", not an operation suggestion.
+func (a *Agent) suggest(snap *ontology.Snapshot, ka, kb *ontology.Item) string {
 	concept, feature := orientPair(ka, kb)
 	if concept == nil || feature == nil {
 		return ""
 	}
-	owners := a.onto.ConceptsWith(feature.Name)
+	owners := snap.ConceptsWith(feature.Name)
 	if len(owners) > 0 {
 		names := make([]string, len(owners))
 		for i, o := range owners {
 			names[i] = o.Name
 		}
-		return fmt.Sprintf("%s is an operation of %s", feature.Name, strings.Join(names, ", "))
+		return fmt.Sprintf("%s is %s of %s", feature.Name, featureRole(feature), strings.Join(names, ", "))
 	}
-	ops := a.onto.OperationsOf(concept.Name)
+	if feature.Kind == ontology.KindProperty {
+		if props := snap.PropertiesOf(concept.Name); len(props) > 0 {
+			names := make([]string, 0, len(props))
+			for _, p := range props {
+				names = append(names, p.Name)
+			}
+			return fmt.Sprintf("%s has the properties: %s", concept.Name, strings.Join(names, ", "))
+		}
+	}
+	ops := snap.OperationsOf(concept.Name)
 	if len(ops) > 0 {
 		names := make([]string, 0, len(ops))
 		for _, o := range ops {

@@ -30,22 +30,25 @@ type SLGChecker struct {
 	entries int
 }
 
-// NewSLGChecker compiles the baseline dictionary from the ontology.
+// NewSLGChecker compiles the baseline dictionary from one consistent
+// snapshot of the ontology.
 func NewSLGChecker(onto *ontology.Ontology) *SLGChecker {
 	c := &SLGChecker{onto: onto, allowed: make(map[int]map[int]bool)}
-	for _, it := range onto.Items() {
+	snap := onto.Snapshot()
+	items := snap.Items()
+	for _, it := range items {
 		if it.Kind == ontology.KindConcept {
 			continue
 		}
 		set := make(map[int]bool)
-		for _, owner := range onto.ConceptsWith(it.Name) {
+		for _, owner := range snap.ConceptsWith(it.Name) {
 			set[owner.ID] = true
 			c.entries++
 			// The lexicalized dictionary must also enumerate every
 			// subtype explicitly — there is no graph to traverse.
-			for _, other := range onto.Items() {
+			for _, other := range items {
 				if other.Kind == ontology.KindConcept && other.ID != owner.ID &&
-					onto.IsA(other.Name, owner.Name) {
+					snap.IsA(other.Name, owner.Name) {
 					set[other.ID] = true
 					c.entries++
 				}
@@ -68,7 +71,7 @@ func (c *SLGChecker) Analyze(cls sentence.Classification) *Analysis {
 		out.Verdict = VerdictSkipped
 		return out
 	}
-	out.Keywords = c.onto.ExtractTerms(cls.Tokens)
+	out.Keywords = c.onto.Snapshot().ExtractTerms(cls.Tokens)
 	if len(out.Keywords) < 2 {
 		out.Verdict = VerdictSkipped
 		return out
