@@ -13,6 +13,7 @@ import (
 	"semagent/internal/core"
 	"semagent/internal/corpus"
 	"semagent/internal/eval"
+	"semagent/internal/journal"
 	"semagent/internal/linkgrammar"
 	"semagent/internal/ontology"
 	"semagent/internal/pipeline"
@@ -274,6 +275,85 @@ func BenchmarkE9ShardedSupervision(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(len(msgs)*b.N)/b.Elapsed().Seconds(), "msg/s")
+		})
+	}
+}
+
+// BenchmarkE11JournaledSupervision measures the write-ahead journal's
+// cost on the E9 sharded-cached supervision path (experiment E11):
+// journal off, batched group commit, and fsync-per-record. The
+// acceptance bar is group commit within 15% of the no-journal arm; the
+// fsync-per-record arm is reported for comparison (it pays one disk
+// flush per learned fact).
+func BenchmarkE11JournaledSupervision(b *testing.B) {
+	msgs := eval.E9Workload(eval.E9Config{Rooms: 8, MessagesPerRoom: 32, Seed: 110})
+
+	for _, arm := range []struct {
+		name      string
+		journaled bool
+		syncEvery bool
+	}{
+		{"no-journal", false, false},
+		{"group-commit", true, false},
+		{"fsync-per-record", true, true},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			cfg := core.Config{}
+			var mgr *journal.Manager
+			if arm.journaled {
+				dir := b.TempDir()
+				stores, err := journal.LoadStores(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mgr, err = journal.Open(dir, stores, journal.Options{SyncEveryRecord: arm.syncEvery})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer func() {
+					if err := mgr.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}()
+				cfg.Ontology = stores.Ontology
+				cfg.Corpus = stores.Corpus
+				cfg.Profiles = stores.Profiles
+				cfg.FAQ = stores.FAQ
+			}
+			sup, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			errCh := make(chan error, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pipe := pipeline.New(pipeline.Config{Block: true})
+				for _, m := range msgs {
+					m := m
+					if err := pipe.Submit(m.Room, func() {
+						if _, perr := sup.Process(m.Room, m.User, m.Text); perr != nil {
+							select {
+							case errCh <- perr:
+							default:
+							}
+						}
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				pipe.Close()
+				select {
+				case perr := <-errCh:
+					b.Fatal(perr)
+				default:
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(msgs)*b.N)/b.Elapsed().Seconds(), "msg/s")
+			if mgr != nil {
+				st := mgr.Stats()
+				b.ReportMetric(float64(st.Fsyncs)/float64(b.N), "fsyncs/op")
+			}
 		})
 	}
 }

@@ -6,9 +6,16 @@
 // Usage:
 //
 //	chatserver -addr :7788
-//	chatserver -addr :7788 -data ./classdata   # persist corpus/FAQ/profiles
-//	chatserver -addr :7788 -async              # sidecar supervision
-//	chatserver -addr :7788 -nosupervise        # plain chat (E6 baseline)
+//	chatserver -addr :7788 -data ./classdata           # persist corpus/FAQ/profiles
+//	chatserver -addr :7788 -data ./classdata -journal  # crash-safe write-ahead log
+//	chatserver -addr :7788 -async                      # sidecar supervision
+//	chatserver -addr :7788 -nosupervise                # plain chat (E6 baseline)
+//
+// With -journal every learned fact (corpus record, profile event, FAQ
+// pair, ontology mutation) is appended to an fsync'd write-ahead log in
+// the data directory and replayed over the last checkpoint at boot, so
+// a crash or kill loses at most the mutations after the last group
+// commit instead of the whole session.
 package main
 
 import (
@@ -18,9 +25,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"semagent/internal/chat"
 	"semagent/internal/core"
+	"semagent/internal/journal"
 	"semagent/internal/storage"
 )
 
@@ -32,23 +41,79 @@ func main() {
 		workers     = flag.Int("workers", 0, "async supervision workers (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 0, "async supervision queue per shard (0 = 256)")
 		noSupervise = flag.Bool("nosupervise", false, "disable the agents (plain chat room)")
+
+		useJournal  = flag.Bool("journal", false, "write-ahead journal in the data dir: crash recovery for the knowledge stores (requires -data)")
+		journalSync = flag.Bool("journal-sync", false, "fsync the journal on every record instead of batched group commit")
+		ckptEvery   = flag.Duration("checkpoint-interval", 5*time.Minute, "journal checkpoint interval (0 disables the time trigger)")
+		ckptBytes   = flag.Int64("checkpoint-bytes", 4<<20, "journal checkpoint size threshold in bytes (0 disables the size trigger)")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataDir, *async, *noSupervise, *workers, *queue); err != nil {
+	cfg := serverConfig{
+		addr: *addr, dataDir: *dataDir, async: *async, noSupervise: *noSupervise,
+		workers: *workers, queue: *queue,
+		journal: *useJournal, journalSync: *journalSync,
+		ckptEvery: *ckptEvery, ckptBytes: *ckptBytes,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "chatserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, async, noSupervise bool, workers, queue int) error {
+type serverConfig struct {
+	addr, dataDir        string
+	async, noSupervise   bool
+	workers, queue       int
+	journal, journalSync bool
+	ckptEvery            time.Duration
+	ckptBytes            int64
+}
+
+func run(c serverConfig) error {
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	opts := chat.ServerOptions{Logger: logger, Async: async, Workers: workers, SuperviseQueue: queue}
+	opts := chat.ServerOptions{Logger: logger, Async: c.async, Workers: c.workers, SuperviseQueue: c.queue}
+
+	if c.journal && c.dataDir == "" {
+		return fmt.Errorf("-journal requires -data")
+	}
+	if c.journal && c.noSupervise {
+		// The journal records supervisor learning; with supervision off
+		// there is nothing to journal, and pretending otherwise would
+		// let an operator believe crash-safety is on.
+		return fmt.Errorf("-journal requires supervision (drop -nosupervise)")
+	}
 
 	var sup *core.Supervisor
-	if !noSupervise {
+	var mgr *journal.Manager
+	if !c.noSupervise {
 		cfg := core.Config{}
-		if dataDir != "" {
-			snap, err := storage.Load(dataDir)
+		switch {
+		case c.journal:
+			// Crash recovery: load the last checkpoint, replay the
+			// write-ahead log over it, then journal every new mutation.
+			stores, err := journal.LoadStores(c.dataDir)
+			if err != nil {
+				return fmt.Errorf("load data dir: %w", err)
+			}
+			jopts := journal.Options{
+				SyncEveryRecord:    c.journalSync,
+				CheckpointInterval: orDisabled(c.ckptEvery),
+				CheckpointBytes:    orDisabledBytes(c.ckptBytes),
+				Logger:             logger,
+			}
+			mgr, err = journal.Open(c.dataDir, stores, jopts)
+			if err != nil {
+				return fmt.Errorf("open journal: %w", err)
+			}
+			rs := mgr.Stats().Replay
+			logger.Printf("journal: recovered %s (%d segments, %d records replayed, %d skipped, %d errors, %d torn bytes dropped)",
+				c.dataDir, rs.Segments, rs.Applied, rs.Skipped, rs.Errors, rs.TornTail)
+			cfg.Ontology = stores.Ontology
+			cfg.Corpus = stores.Corpus
+			cfg.Profiles = stores.Profiles
+			cfg.FAQ = stores.FAQ
+		case c.dataDir != "":
+			snap, err := storage.Load(c.dataDir)
 			if err != nil {
 				return fmt.Errorf("load data dir: %w", err)
 			}
@@ -56,7 +121,7 @@ func run(addr, dataDir string, async, noSupervise bool, workers, queue int) erro
 			cfg.Corpus = snap.Corpus
 			cfg.Profiles = snap.Profiles
 			cfg.FAQ = snap.FAQ
-			logger.Printf("data dir %s loaded", dataDir)
+			logger.Printf("data dir %s loaded", c.dataDir)
 		}
 		var err error
 		sup, err = core.New(cfg)
@@ -72,7 +137,7 @@ func run(addr, dataDir string, async, noSupervise bool, workers, queue int) erro
 	}
 
 	server := chat.NewServer(opts)
-	bound, err := server.Listen(addr)
+	bound, err := server.Listen(c.addr)
 	if err != nil {
 		return err
 	}
@@ -96,8 +161,19 @@ func run(addr, dataDir string, async, noSupervise bool, workers, queue int) erro
 				cs.Size, cs.Capacity, cs.HitRate()*100, cs.Evictions, cs.Invalidations)
 		}
 		logger.Printf("session summary:\n%s", sup.Analyzer().Report())
-		if dataDir != "" {
-			err := storage.Save(dataDir, storage.Snapshot{
+		switch {
+		case mgr != nil:
+			// Final checkpoint + journal seal: the next boot loads the
+			// snapshot and finds an empty log.
+			st := mgr.Stats()
+			if err := mgr.Close(); err != nil {
+				logger.Printf("close journal: %v", err)
+			} else {
+				logger.Printf("journal: sealed at lsn %d (%d records, %d fsyncs, %d checkpoints)",
+					st.LastLSN, st.Records, st.Fsyncs, st.Checkpoints+1)
+			}
+		case c.dataDir != "":
+			err := storage.Save(c.dataDir, storage.Snapshot{
 				Ontology: sup.Ontology(),
 				Corpus:   sup.Corpus(),
 				Profiles: sup.Profiles(),
@@ -106,9 +182,25 @@ func run(addr, dataDir string, async, noSupervise bool, workers, queue int) erro
 			if err != nil {
 				logger.Printf("save data dir: %v", err)
 			} else {
-				logger.Printf("data dir %s saved", dataDir)
+				logger.Printf("data dir %s saved", c.dataDir)
 			}
 		}
 	}
 	return closeErr
+}
+
+// orDisabled maps the flag convention (0 = off) to the journal option
+// convention (negative = off, 0 = default).
+func orDisabled(d time.Duration) time.Duration {
+	if d == 0 {
+		return -1
+	}
+	return d
+}
+
+func orDisabledBytes(n int64) int64 {
+	if n == 0 {
+		return -1
+	}
+	return n
 }

@@ -1,8 +1,9 @@
 // Command evalharness regenerates the evaluation of DESIGN.md §4: one
 // experiment per paper figure (E1–E8) plus the scale experiments E9
 // (concurrent rooms through the sharded supervision pipeline, cached
-// vs uncached parses) and E10 (lock-free snapshot read path vs the
-// legacy locked ontology).
+// vs uncached parses), E10 (lock-free snapshot read path vs the legacy
+// locked ontology) and E11 (write-ahead journaling overhead and crash
+// recovery).
 //
 // Usage:
 //
@@ -11,6 +12,7 @@
 //	evalharness -exp E6 -seed 7
 //	evalharness -exp E9 -rooms 16   # scale: more concurrent rooms
 //	evalharness -exp E10 -json      # machine-readable results (JSON)
+//	evalharness -exp E11 -json      # journaling overhead (JSON)
 package main
 
 import (
@@ -26,11 +28,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: E1..E10 or all")
+		exp      = flag.String("exp", "all", "experiment to run: E1..E11 or all")
 		n        = flag.Int("n", 1000, "workload size (samples/questions)")
 		seed     = flag.Int64("seed", 1, "workload seed")
-		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9)")
-		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10)")
+		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11)")
+		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10, E11)")
 	)
 	flag.Parse()
 	p := params{n: *n, seed: *seed, rooms: *rooms, json: *jsonFlag}
@@ -52,10 +54,10 @@ func run(exp string, p params) error {
 	runners := map[string]func(params) error{
 		"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4,
 		"E5": runE5, "E6": runE6, "E7": runE7, "E8": runE8,
-		"E9": runE9, "E10": runE10,
+		"E9": runE9, "E10": runE10, "E11": runE11,
 	}
 	if exp == "ALL" {
-		for _, name := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+		for _, name := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
 			if err := runners[name](p); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -64,7 +66,7 @@ func run(exp string, p params) error {
 	}
 	runner, ok := runners[exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want E1..E10 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want E1..E11 or all)", exp)
 	}
 	return runner(p)
 }
@@ -255,6 +257,37 @@ func runE9(p params) error {
 	}
 	fmt.Printf("speedup over serial-uncached: sharded %.1fx, sharded+cached %.1fx\n",
 		res.SpeedupSharded, res.SpeedupCached)
+	return nil
+}
+
+func runE11(p params) error {
+	perRoom := p.n / 10
+	res, err := eval.RunE11(eval.E11Config{
+		Rooms: p.rooms, MessagesPerRoom: perRoom, Seed: p.seed,
+	})
+	if err != nil {
+		return err
+	}
+	if p.json {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	header("E11 write-ahead journaling overhead + crash recovery (D9)")
+	fmt.Printf("rooms: %d   messages/room: %d   workers: GOMAXPROCS\n",
+		res.Config.Rooms, res.Config.MessagesPerRoom)
+	fmt.Println("arm               msgs  throughput  overhead  wal-records  fsyncs  recovered")
+	for _, arm := range res.Arms {
+		overhead, recovered := "       -", "        -"
+		if arm.Name != "no-journal" {
+			overhead = fmt.Sprintf("%7.1f%%", arm.OverheadPct)
+			recovered = fmt.Sprintf("%d/%d", arm.RecoveredCorpus, arm.Messages)
+		}
+		fmt.Printf("%-16s %5d  %8.0f/s  %8s  %11d  %6d  %9s\n",
+			arm.Name, arm.Messages, arm.Throughput, overhead, arm.Records, arm.Fsyncs, recovered)
+	}
+	fmt.Printf("journaling cost vs no-journal: group-commit %.1f%%, fsync-per-record %.1f%%\n",
+		res.GroupOverheadPct, res.SyncOverheadPct)
 	return nil
 }
 

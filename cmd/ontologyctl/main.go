@@ -12,34 +12,73 @@
 //	ontologyctl export-qti 40               # QTI 1.2 true/false question bank
 //	ontologyctl stats
 //	ontologyctl snapshot                    # compiled read-path snapshot info
+//	ontologyctl -data ./classdata run extra.ddl   # journaled authoring
+//
+// With -data the ontology is recovered from the chatserver's data
+// directory (checkpoint + write-ahead log), every DDL mutation is
+// journaled, and a checkpoint is taken on exit — authoring survives a
+// crash at any point.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strconv"
 
+	"semagent/internal/journal"
 	"semagent/internal/ontology"
 	"semagent/internal/qti"
 )
 
 func main() {
 	xmlPath := flag.String("xml", "", "load ontology from this XML file instead of the built-in course ontology")
+	dataDir := flag.String("data", "", "recover the ontology from this journaled data directory (see chatserver -journal); mutations are journaled and checkpointed")
 	flag.Parse()
-	if err := run(*xmlPath, flag.Args()); err != nil {
+	if err := run(*xmlPath, *dataDir, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "ontologyctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(xmlPath string, args []string) error {
-	onto, err := load(xmlPath)
-	if err != nil {
+func run(xmlPath, dataDir string, args []string) error {
+	if xmlPath != "" && dataDir != "" {
+		return fmt.Errorf("-xml and -data are mutually exclusive")
+	}
+	// Validate the subcommand before touching any state: opening a
+	// journaled data directory replays and (on exit) checkpoints it, so
+	// a typo'd command must not rewrite the databases.
+	if err := validateArgs(args); err != nil {
 		return err
 	}
-	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand: export-xml | export-ddl | export-qti [n] | run <file.ddl> | query <stmt> | stats | snapshot")
+	var onto *ontology.Ontology
+	var mgr *journal.Manager
+	if dataDir != "" {
+		stores, err := journal.LoadStores(dataDir)
+		if err != nil {
+			return err
+		}
+		mgr, err = journal.Open(dataDir, stores, journal.Options{
+			Logger: log.New(os.Stderr, "", 0),
+		})
+		if err != nil {
+			return err
+		}
+		onto = stores.Ontology
+		defer func() {
+			// Seal with a checkpoint so the next reader boots from a
+			// fresh snapshot; the WAL already holds every mutation.
+			if err := mgr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ontologyctl: close journal:", err)
+			}
+		}()
+	} else {
+		var err error
+		onto, err = load(xmlPath)
+		if err != nil {
+			return err
+		}
 	}
 	switch args[0] {
 	case "export-xml":
@@ -97,6 +136,31 @@ func run(xmlPath string, args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// validateArgs rejects unknown or malformed subcommands before any
+// store is opened.
+func validateArgs(args []string) error {
+	usage := "export-xml | export-ddl | export-qti [n] | run <file.ddl> | query <stmt> | stats | snapshot"
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand: %s", usage)
+	}
+	switch args[0] {
+	case "export-xml", "export-ddl", "export-qti", "stats", "snapshot":
+		return nil
+	case "run":
+		if len(args) < 2 {
+			return fmt.Errorf("run: missing DDL file")
+		}
+		return nil
+	case "query":
+		if len(args) < 2 {
+			return fmt.Errorf("query: missing statement")
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q (want %s)", args[0], usage)
 	}
 }
 

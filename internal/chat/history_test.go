@@ -121,3 +121,89 @@ func TestHistoryIncludesPublicAgentResponses(t *testing.T) {
 		return m.Type == TypeAgent && m.Text == "the answer"
 	})
 }
+
+// TestJoinReplayExactlyOnce races joiners against a live sender: a
+// message broadcast between registration and history replay used to be
+// delivered twice (live and replayed) or before the welcome line. Each
+// joiner must now see the welcome first, then a strictly increasing,
+// duplicate-free message sequence across the replay/live boundary.
+func TestJoinReplayExactlyOnce(t *testing.T) {
+	const total = 60
+	const joiners = 5
+	addr := startServer(t, ServerOptions{HistorySize: total})
+
+	alice, err := Dial(addr, "room", "alice", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+
+	sendDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			if err := alice.Say(fmt.Sprintf("m%04d", i)); err != nil {
+				sendDone <- err
+				return
+			}
+		}
+		sendDone <- nil
+	}()
+
+	errCh := make(chan error, joiners)
+	for j := 0; j < joiners; j++ {
+		j := j
+		go func() {
+			c, err := Dial(addr, "room", fmt.Sprintf("joiner-%d", j), 2*time.Second)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			last := -1
+			deadline := time.After(10 * time.Second)
+			for {
+				select {
+				case m, ok := <-c.Receive():
+					if !ok {
+						errCh <- fmt.Errorf("joiner-%d: connection closed: %v", j, c.Err())
+						return
+					}
+					switch m.Type {
+					case TypeWelcome:
+						// Dial consumes the welcome when it arrives
+						// first; seeing one here means a line jumped
+						// ahead of it.
+						errCh <- fmt.Errorf("joiner-%d: message delivered before the welcome", j)
+						return
+					case TypeChat:
+						var n int
+						if _, err := fmt.Sscanf(m.Text, "m%04d", &n); err != nil {
+							continue
+						}
+						if n <= last {
+							errCh <- fmt.Errorf("joiner-%d: got m%04d after m%04d (duplicate or reorder)", j, n, last)
+							return
+						}
+						last = n
+						if n == total-1 {
+							errCh <- nil
+							return
+						}
+					}
+				case <-deadline:
+					errCh <- fmt.Errorf("joiner-%d: timed out at m%04d", j, last)
+					return
+				}
+			}
+		}()
+	}
+
+	if err := <-sendDone; err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+	for j := 0; j < joiners; j++ {
+		if err := <-errCh; err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -224,8 +224,11 @@ func (s *Server) handleConn(conn net.Conn) {
 		room:  first.Room,
 		conn:  conn,
 		codec: codec,
-		out:   make(chan Message, s.opts.SendQueue),
-		done:  make(chan struct{}),
+		// The queue must absorb the join-time burst — welcome plus a
+		// full history replay, enqueued before the writer goroutine
+		// starts — on top of the configured live-traffic slack.
+		out:  make(chan Message, s.opts.SendQueue+s.opts.HistorySize+1),
+		done: make(chan struct{}),
 	}
 	if err := s.join(c); err != nil {
 		_ = codec.Write(Message{Type: TypeError, Text: err.Error()})
@@ -252,10 +255,6 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 	}()
 
-	s.enqueue(c, Message{Type: TypeWelcome, Room: c.room, Text: "welcome, " + c.name, Time: time.Now()})
-	for _, m := range s.historyOf(c.room) {
-		s.enqueue(c, m)
-	}
 	s.broadcast(c.room, Message{
 		Type: TypeSystem, Room: c.room,
 		Text: c.name + " joined the room", Time: time.Now(),
@@ -340,6 +339,12 @@ func (s *Server) handleSay(c *client, text string) {
 	deliver()
 }
 
+// join registers the client and queues its welcome plus the room's
+// history replay in the same critical section that makes the client a
+// broadcast recipient. Broadcasters also hold s.mu, so every room
+// message either predates the join (it is in the replayed history, and
+// only there) or follows it (it is queued live, after the replay) —
+// a late joiner sees each message exactly once, welcome first.
 func (s *Server) join(c *client) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -356,6 +361,10 @@ func (s *Server) join(c *client) error {
 	}
 	r.members[c.name] = c
 	s.clients[c] = struct{}{}
+	s.enqueue(c, Message{Type: TypeWelcome, Room: c.room, Text: "welcome, " + c.name, Time: time.Now()})
+	for _, m := range r.history {
+		s.enqueue(c, m)
+	}
 	return nil
 }
 
@@ -397,17 +406,6 @@ func (s *Server) broadcast(roomName string, m Message, skip *client) {
 	for _, c := range members {
 		s.enqueue(c, m)
 	}
-}
-
-// historyOf returns a copy of a room's replayable history.
-func (s *Server) historyOf(roomName string) []Message {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r := s.rooms[roomName]
-	if r == nil || len(r.history) == 0 {
-		return nil
-	}
-	return append([]Message(nil), r.history...)
 }
 
 // enqueue delivers without blocking; a stalled client is disconnected.

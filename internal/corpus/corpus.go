@@ -64,6 +64,15 @@ type Record struct {
 	Tags []string `json:"tags,omitempty"`
 }
 
+// Observer is the write-ahead-log hook: it receives every mutation
+// (the final record, ID assigned) and returns the log sequence number
+// the mutation was journaled under. It is invoked while the store lock
+// is held, so the store's state and its JournalLSN always move
+// together — the durability subsystem (internal/journal) relies on
+// that atomicity to take exact checkpoints. A nil observer disables
+// journaling.
+type Observer func(Record) uint64
+
 // Store is the in-memory learner corpus with an inverted token index.
 type Store struct {
 	mu      sync.RWMutex
@@ -71,6 +80,35 @@ type Store struct {
 	byToken map[string][]int64 // content token -> record IDs
 	byID    map[int64]*Record
 	nextID  int64
+
+	// observer and lsn implement the journal hook: lsn is the highest
+	// WAL sequence number reflected in the store's state, persisted by
+	// SaveJSONL and used on recovery to skip already-applied records.
+	observer Observer
+	lsn      uint64
+}
+
+// SetObserver installs the journal hook (nil to detach).
+func (s *Store) SetObserver(fn Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
+}
+
+// JournalLSN returns the highest WAL sequence number reflected in the
+// store's state (0 when the store has never been journaled).
+func (s *Store) JournalLSN() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lsn
+}
+
+// SetJournalLSN records the WAL position the state corresponds to
+// (used by recovery after replaying the journal).
+func (s *Store) SetJournalLSN(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lsn = v
 }
 
 // NewStore returns an empty corpus.
@@ -102,7 +140,58 @@ func (s *Store) Add(r Record) int64 {
 	for _, t := range uniqueContentTokens(rec.Tokens) {
 		s.byToken[t] = append(s.byToken[t], rec.ID)
 	}
+	if s.observer != nil {
+		s.lsn = s.observer(rec)
+	}
 	return rec.ID
+}
+
+// Put inserts a record under its explicit ID, replacing any existing
+// record with that ID (last write wins). It is the journal-replay
+// counterpart of Add: IDs come from the log, not the store's counter,
+// and the observer is not notified.
+func (s *Store) Put(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(r)
+}
+
+func (s *Store) putLocked(r Record) {
+	stored := r
+	stored.Tokens = append([]string(nil), r.Tokens...)
+	stored.ErrorTokens = append([]int(nil), r.ErrorTokens...)
+	stored.Topics = append([]string(nil), r.Topics...)
+	stored.Tags = append([]string(nil), r.Tags...)
+	if old, ok := s.byID[stored.ID]; ok {
+		// Replace in place: drop the old token postings, overwrite the
+		// shared record (records slice and byID point at the same
+		// *Record), and index the new tokens.
+		for _, t := range uniqueContentTokens(old.Tokens) {
+			ids := s.byToken[t]
+			keep := ids[:0]
+			for _, id := range ids {
+				if id != old.ID {
+					keep = append(keep, id)
+				}
+			}
+			if len(keep) == 0 {
+				delete(s.byToken, t)
+			} else {
+				s.byToken[t] = keep
+			}
+		}
+		*old = stored
+	} else {
+		s.records = append(s.records, &stored)
+		s.byID[stored.ID] = &stored
+	}
+	rec := s.byID[stored.ID]
+	for _, t := range uniqueContentTokens(rec.Tokens) {
+		s.byToken[t] = append(s.byToken[t], rec.ID)
+	}
+	if rec.ID >= s.nextID {
+		s.nextID = rec.ID + 1
+	}
 }
 
 // Len returns the number of records.
@@ -225,12 +314,29 @@ func (s *Store) ByTopic(topic string) []Record {
 	return out
 }
 
-// SaveJSONL writes the corpus as JSON lines.
+// jsonlHeader is the optional first line of a journaled JSONL store
+// file, recording the WAL position the snapshot corresponds to.
+type jsonlHeader struct {
+	JournalLSN uint64 `json:"journalLSN"`
+}
+
+// jsonlHeaderPrefix distinguishes the header from record lines (records
+// never start with this key).
+const jsonlHeaderPrefix = `{"journalLSN":`
+
+// SaveJSONL writes the corpus as JSON lines. When the store has been
+// journaled, a header line records the WAL position the snapshot
+// covers; loaders without journaling simply skip it.
 func (s *Store) SaveJSONL(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	if s.lsn > 0 {
+		if err := enc.Encode(jsonlHeader{JournalLSN: s.lsn}); err != nil {
+			return fmt.Errorf("encode corpus header: %w", err)
+		}
+	}
 	for _, r := range s.records {
 		if err := enc.Encode(r); err != nil {
 			return fmt.Errorf("encode corpus record %d: %w", r.ID, err)
@@ -240,32 +346,35 @@ func (s *Store) SaveJSONL(w io.Writer) error {
 }
 
 // LoadJSONL reads JSON lines into a fresh store, preserving record IDs.
+// Duplicate IDs resolve last-write-wins (a journal replayed over a
+// checkpoint may legitimately rewrite a record), so Len/All/
+// CountByVerdict never double-count.
 func LoadJSONL(r io.Reader) (*Store, error) {
 	s := NewStore()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	line := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
 		}
+		if strings.HasPrefix(text, jsonlHeaderPrefix) {
+			var h jsonlHeader
+			if err := json.Unmarshal([]byte(text), &h); err != nil {
+				return nil, fmt.Errorf("corpus header line %d: %w", line, err)
+			}
+			s.lsn = h.JournalLSN
+			continue
+		}
 		var rec Record
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
 			return nil, fmt.Errorf("corpus line %d: %w", line, err)
 		}
-		s.mu.Lock()
-		stored := rec
-		s.records = append(s.records, &stored)
-		s.byID[stored.ID] = &stored
-		for _, t := range uniqueContentTokens(stored.Tokens) {
-			s.byToken[t] = append(s.byToken[t], stored.ID)
-		}
-		if stored.ID >= s.nextID {
-			s.nextID = stored.ID + 1
-		}
-		s.mu.Unlock()
+		s.putLocked(rec)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("read corpus: %w", err)

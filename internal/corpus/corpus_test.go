@@ -171,3 +171,96 @@ func TestSuggestScoreMonotonicProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLoadJSONLDuplicateIDsLastWriteWins(t *testing.T) {
+	// A journal replayed over a checkpoint can legitimately rewrite a
+	// record; the loader must dedupe by ID, keeping the last version.
+	in := strings.Join([]string{
+		`{"id":1,"text":"the stack has push","tokens":["the","stack","has","push"],"verdict":1}`,
+		`{"id":2,"text":"the queue has enqueue","tokens":["the","queue","has","enqueue"],"verdict":1}`,
+		`{"id":1,"text":"the stack has pop","tokens":["the","stack","has","pop"],"verdict":1}`,
+	}, "\n")
+	s, err := LoadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2 (dup ID must not double-count)", got)
+	}
+	if got := len(s.All()); got != 2 {
+		t.Errorf("len(All) = %d, want 2", got)
+	}
+	if got := s.CountByVerdict()[VerdictCorrect]; got != 2 {
+		t.Errorf("CountByVerdict[correct] = %d, want 2", got)
+	}
+	r, ok := s.ByID(1)
+	if !ok || r.Text != "the stack has pop" {
+		t.Errorf("ByID(1).Text = %q, want the last version", r.Text)
+	}
+	// The inverted index must drop the replaced tokens: "push" belongs
+	// to no live record any more.
+	if got := s.Suggest([]string{"push"}, nil, 5); len(got) != 0 {
+		t.Errorf("Suggest(push) = %d hits, want 0 (stale index entry)", len(got))
+	}
+	if got := s.Suggest([]string{"pop"}, nil, 5); len(got) != 1 {
+		t.Errorf("Suggest(pop) = %d hits, want 1", len(got))
+	}
+	// The next Add must not collide with a loaded ID.
+	if id := s.Add(Record{Text: "new", Tokens: []string{"new"}}); id != 3 {
+		t.Errorf("next ID = %d, want 3", id)
+	}
+}
+
+func TestPutReplacesAndReindexes(t *testing.T) {
+	s := NewStore()
+	s.Add(Record{Text: "the stack has push", Tokens: []string{"the", "stack", "has", "push"}, Verdict: VerdictCorrect})
+	s.Put(Record{ID: 1, Text: "the tree has insert", Tokens: []string{"the", "tree", "has", "insert"}, Verdict: VerdictCorrect})
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	if got := s.Suggest([]string{"stack"}, nil, 5); len(got) != 0 {
+		t.Errorf("old tokens still indexed: %d hits", len(got))
+	}
+	if got := s.Suggest([]string{"tree"}, nil, 5); len(got) != 1 {
+		t.Errorf("new tokens not indexed: %d hits", len(got))
+	}
+}
+
+func TestSaveLoadJournalLSNRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Add(Record{Text: "the stack has push", Tokens: []string{"the", "stack", "has", "push"}, Verdict: VerdictCorrect})
+	s.SetJournalLSN(42)
+	var buf strings.Builder
+	if err := s.SaveJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.JournalLSN(); got != 42 {
+		t.Errorf("JournalLSN = %d, want 42", got)
+	}
+	if got := loaded.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+}
+
+func TestAddObserverAdvancesLSN(t *testing.T) {
+	s := NewStore()
+	var seen []Record
+	var next uint64
+	s.SetObserver(func(r Record) uint64 {
+		seen = append(seen, r)
+		next++
+		return next
+	})
+	s.Add(Record{Text: "a", Tokens: []string{"a"}})
+	s.Add(Record{Text: "b", Tokens: []string{"b"}})
+	if len(seen) != 2 || seen[0].ID != 1 || seen[1].ID != 2 {
+		t.Fatalf("observer saw %+v, want records with IDs 1,2", seen)
+	}
+	if got := s.JournalLSN(); got != 2 {
+		t.Errorf("JournalLSN = %d, want 2", got)
+	}
+}

@@ -263,3 +263,34 @@ func TestRunE10SnapshotReadPath(t *testing.T) {
 		t.Errorf("JSON round trip lost data")
 	}
 }
+
+func TestRunE11JournalOverheadAndRecovery(t *testing.T) {
+	res, err := RunE11(E11Config{Rooms: 2, MessagesPerRoom: 8, Seed: 11, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 3 {
+		t.Fatalf("arms = %d, want 3", len(res.Arms))
+	}
+	total := res.Config.Rooms * res.Config.MessagesPerRoom
+	for _, arm := range res.Arms {
+		if arm.Messages != total {
+			t.Errorf("%s: messages = %d, want %d", arm.Name, arm.Messages, total)
+		}
+		if arm.Throughput <= 0 {
+			t.Errorf("%s: throughput = %f", arm.Name, arm.Throughput)
+		}
+	}
+	for _, arm := range res.Arms[1:] {
+		if arm.Records == 0 {
+			t.Errorf("%s: no WAL records appended", arm.Name)
+		}
+		// The crash-recovery proof: the corpus survives in full.
+		if arm.RecoveredCorpus != total {
+			t.Errorf("%s: recovered corpus = %d, want %d", arm.Name, arm.RecoveredCorpus, total)
+		}
+	}
+	if res.Arms[2].Fsyncs < res.Arms[2].Records {
+		t.Errorf("fsync-per-record arm: %d fsyncs for %d records", res.Arms[2].Fsyncs, res.Arms[2].Records)
+	}
+}

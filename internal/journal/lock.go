@@ -1,0 +1,28 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFileName guards a journaled data directory against concurrent
+// writers (e.g. ontologyctl run against a live chatserver's directory).
+const lockFileName = "journal.lock"
+
+// acquireLock takes an exclusive, non-blocking flock on the lock file.
+// flock is tied to the open file description: the kernel releases it
+// when the process exits, however it exits, so a crash never leaves a
+// stale lock. The caller keeps the file open for the journal's
+// lifetime and closes it to release.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("journal: data directory is journaled by another process (flock %s: %w)", path, err)
+	}
+	return f, nil
+}

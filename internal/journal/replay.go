@@ -1,0 +1,193 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"semagent/internal/corpus"
+	"semagent/internal/ontology"
+	"semagent/internal/profile"
+	"semagent/internal/qa"
+)
+
+// ReplayStats summarizes boot-time recovery.
+type ReplayStats struct {
+	Segments int    // journal segments scanned
+	Applied  int    // records applied to a store
+	Skipped  int    // records at or below a store's checkpointed LSN
+	Errors   int    // records that failed to apply (logged, replay continues)
+	TornTail int64  // bytes truncated from a torn segment tail
+	LastLSN  uint64 // highest LSN seen in the journal
+	// LastSegment is the segment the appender resumes (0 = none found,
+	// start fresh).
+	LastSegment uint64
+}
+
+// replayAll scans every journal segment in order and applies each
+// record whose LSN exceeds the target store's checkpointed LSN. It
+// stops at the first torn or corrupt record, truncates that segment
+// there, and drops any later segments (the WAL prefix rule: nothing
+// after a tear can be trusted to be ordered).
+func (m *Manager) replayAll() (ReplayStats, error) {
+	var st ReplayStats
+	seqs, err := listSegments(m.dir)
+	if err != nil {
+		return st, fmt.Errorf("journal: list segments: %w", err)
+	}
+	for i, seq := range seqs {
+		st.Segments++
+		st.LastSegment = seq
+		path := filepath.Join(m.dir, segmentName(seq))
+		clean, validOffset, err := m.replaySegment(path, &st)
+		if err != nil {
+			return st, err
+		}
+		if clean {
+			continue
+		}
+		// Torn or corrupt record: truncate this segment to the last
+		// complete record and drop anything after it.
+		fi, err := os.Stat(path)
+		if err != nil {
+			return st, fmt.Errorf("journal: stat %s: %w", path, err)
+		}
+		st.TornTail += fi.Size() - validOffset
+		if err := truncateFile(path, validOffset); err != nil {
+			return st, fmt.Errorf("journal: truncate %s: %w", path, err)
+		}
+		for _, later := range seqs[i+1:] {
+			laterPath := filepath.Join(m.dir, segmentName(later))
+			if fi, err := os.Stat(laterPath); err == nil {
+				st.TornTail += fi.Size()
+			}
+			if err := os.Remove(laterPath); err != nil {
+				return st, fmt.Errorf("journal: drop %s: %w", laterPath, err)
+			}
+			m.logf("journal: dropped segment %d after torn record in segment %d", later, seq)
+		}
+		m.logf("journal: truncated torn tail of segment %d at byte %d", seq, validOffset)
+		break
+	}
+	return st, nil
+}
+
+// replaySegment applies one segment's records. It returns clean=false
+// with the byte offset of the end of the last valid record when the
+// scan hits a torn or corrupt line.
+func (m *Manager) replaySegment(path string, st *ReplayStats) (clean bool, validOffset int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, 0, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 256*1024)
+	var offset int64
+	for {
+		line, readErr := br.ReadBytes('\n')
+		if len(line) > 0 {
+			trimmed := bytes.TrimSpace(line)
+			if len(trimmed) > 0 {
+				rec, ok := decodeRecord(trimmed)
+				if !ok || rec.LSN <= st.LastLSN {
+					// Torn write, corruption, or a sequence anomaly —
+					// the log is only trustworthy up to here.
+					return false, offset, nil
+				}
+				st.LastLSN = rec.LSN
+				m.applyRecord(rec, st)
+			}
+			offset += int64(len(line))
+		}
+		if readErr == io.EOF {
+			return true, offset, nil
+		}
+		if readErr != nil {
+			return false, 0, fmt.Errorf("journal: read %s: %w", path, readErr)
+		}
+	}
+}
+
+// applyRecord routes one journal record to its store, honoring the
+// store's checkpointed LSN so nothing is applied twice.
+func (m *Manager) applyRecord(rec Record, st *ReplayStats) {
+	switch rec.Type {
+	case TypeCorpusAdd:
+		if rec.LSN <= m.stores.Corpus.JournalLSN() {
+			st.Skipped++
+			return
+		}
+		var r corpus.Record
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			st.Errors++
+			m.logf("journal: replay lsn %d: corpus record: %v", rec.LSN, err)
+			return
+		}
+		m.stores.Corpus.Put(r)
+		st.Applied++
+	case TypeProfileEvent:
+		if rec.LSN <= m.stores.Profiles.JournalLSN() {
+			st.Skipped++
+			return
+		}
+		var ev profile.Event
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			st.Errors++
+			m.logf("journal: replay lsn %d: profile event: %v", rec.LSN, err)
+			return
+		}
+		m.stores.Profiles.Apply(ev)
+		st.Applied++
+	case TypeFAQRecord:
+		if rec.LSN <= m.stores.FAQ.JournalLSN() {
+			st.Skipped++
+			return
+		}
+		var ev qa.FAQEvent
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			st.Errors++
+			m.logf("journal: replay lsn %d: faq event: %v", rec.LSN, err)
+			return
+		}
+		m.stores.FAQ.Apply(ev)
+		st.Applied++
+	case TypeOntologyOp:
+		if rec.LSN <= m.stores.Ontology.JournalLSN() {
+			st.Skipped++
+			return
+		}
+		var ev ontology.Event
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			st.Errors++
+			m.logf("journal: replay lsn %d: ontology event: %v", rec.LSN, err)
+			return
+		}
+		if err := m.stores.Ontology.Apply(ev); err != nil {
+			st.Errors++
+			m.logf("journal: replay lsn %d: ontology %s: %v", rec.LSN, ev.Op, err)
+			return
+		}
+		st.Applied++
+	default:
+		// Unknown record type (a newer writer?): skip, keep replaying.
+		st.Errors++
+		m.logf("journal: replay lsn %d: unknown record type %q", rec.LSN, rec.Type)
+	}
+}
+
+func truncateFile(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -165,6 +165,110 @@ type Ontology struct {
 	// snapshot records the gen it was compiled from as its Version.
 	gen  uint64
 	snap atomic.Pointer[Snapshot]
+
+	// observer and lsn implement the write-ahead-log hook (guarded by
+	// mu): every successful mutation is reported to the observer, which
+	// returns the WAL sequence number it was journaled under. State and
+	// JournalLSN therefore always move together.
+	observer EventObserver
+	lsn      uint64
+}
+
+// Event is one journaled ontology mutation — the authoring/teach
+// operations (DDL, XML import, chat teaching) in replayable form.
+type Event struct {
+	Op   string `json:"op"`
+	ID   int    `json:"id,omitempty"`   // explicit item id (add-item)
+	Name string `json:"name,omitempty"` // item name, from-item, or domain
+	Arg  string `json:"arg,omitempty"`  // alias / symbol name / algorithm type / to-item
+	Text string `json:"text,omitempty"` // description / symbol / algorithm body
+	Kind string `json:"kind,omitempty"` // item kind or relation kind spelling
+}
+
+// Event op names.
+const (
+	OpDomain    = "domain"
+	OpAddItem   = "add-item"
+	OpAlias     = "alias"
+	OpDescribe  = "describe"
+	OpSymbol    = "symbol"
+	OpAlgorithm = "algorithm"
+	OpRelate    = "relate"
+	OpUnrelate  = "unrelate"
+	OpRemove    = "remove"
+)
+
+// EventObserver is the write-ahead-log hook, invoked under the ontology
+// write lock after each successful mutation; it returns the assigned
+// WAL sequence number. Nil disables journaling.
+type EventObserver func(Event) uint64
+
+// SetObserver installs the journal hook (nil to detach).
+func (o *Ontology) SetObserver(fn EventObserver) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.observer = fn
+}
+
+// JournalLSN returns the highest WAL sequence number reflected in the
+// ontology's state (0 when never journaled).
+func (o *Ontology) JournalLSN() uint64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.lsn
+}
+
+// SetJournalLSN records the WAL position the state corresponds to
+// (used by recovery after replaying the journal).
+func (o *Ontology) SetJournalLSN(v uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.lsn = v
+}
+
+// emitLocked journals a successful mutation; o.mu must be held.
+func (o *Ontology) emitLocked(ev Event) {
+	if o.observer != nil {
+		o.lsn = o.observer(ev)
+	}
+}
+
+// Apply replays a journaled mutation through the regular mutating API.
+// It is the recovery path of internal/journal and runs before an
+// observer is attached, so replayed events are not re-journaled.
+func (o *Ontology) Apply(ev Event) error {
+	switch ev.Op {
+	case OpDomain:
+		o.SetDomain(ev.Name)
+		return nil
+	case OpAddItem:
+		kind, err := ParseItemKind(ev.Kind)
+		if err != nil {
+			return err
+		}
+		_, err = o.AddItemWithID(ev.ID, ev.Name, kind)
+		return err
+	case OpAlias:
+		return o.AddAlias(ev.Name, ev.Arg)
+	case OpDescribe:
+		return o.SetDescription(ev.Name, ev.Text)
+	case OpSymbol:
+		return o.AddSymbol(ev.Name, ev.Arg, ev.Text)
+	case OpAlgorithm:
+		return o.SetAlgorithm(ev.Name, ev.Arg, ev.Text)
+	case OpRelate:
+		kind, err := ParseRelationKind(ev.Kind)
+		if err != nil {
+			return err
+		}
+		return o.Relate(ev.Name, ev.Arg, kind)
+	case OpUnrelate:
+		return o.Unrelate(ev.Name, ev.Arg)
+	case OpRemove:
+		return o.RemoveItem(ev.Name)
+	default:
+		return fmt.Errorf("unknown ontology event op %q", ev.Op)
+	}
 }
 
 // Snapshot returns the current immutable compiled view, building and
@@ -217,6 +321,7 @@ func (o *Ontology) SetDomain(domain string) {
 	defer o.mu.Unlock()
 	o.domain = domain
 	o.invalidateLocked()
+	o.emitLocked(Event{Op: OpDomain, Name: domain})
 }
 
 // Normalize canonicalizes an item name for lookup: lower case, single
@@ -273,6 +378,7 @@ func (o *Ontology) addItemLocked(id int, name string, kind ItemKind) (*Item, err
 	o.items[id] = it
 	o.byName[key] = id
 	o.invalidateLocked()
+	o.emitLocked(Event{Op: OpAddItem, ID: id, Name: key, Kind: kind.String()})
 	return it, nil
 }
 
@@ -297,6 +403,7 @@ func (o *Ontology) AddAlias(name, alias string) error {
 	o.byName[key] = it.ID
 	it.Aliases = append(it.Aliases, key)
 	o.invalidateLocked()
+	o.emitLocked(Event{Op: OpAlias, Name: it.Name, Arg: key})
 	return nil
 }
 
@@ -310,6 +417,7 @@ func (o *Ontology) SetDescription(name, text string) error {
 	}
 	it.Definition.Description = text
 	o.invalidateLocked()
+	o.emitLocked(Event{Op: OpDescribe, Name: it.Name, Text: text})
 	return nil
 }
 
@@ -325,11 +433,13 @@ func (o *Ontology) AddSymbol(name, symbolName, text string) error {
 		if it.Definition.Symbols[i].Name == symbolName {
 			it.Definition.Symbols[i].Text = text
 			o.invalidateLocked()
+			o.emitLocked(Event{Op: OpSymbol, Name: it.Name, Arg: symbolName, Text: text})
 			return nil
 		}
 	}
 	it.Definition.Symbols = append(it.Definition.Symbols, Symbol{Name: symbolName, Text: text})
 	o.invalidateLocked()
+	o.emitLocked(Event{Op: OpSymbol, Name: it.Name, Arg: symbolName, Text: text})
 	return nil
 }
 
@@ -344,6 +454,7 @@ func (o *Ontology) SetAlgorithm(name, algType, text string) error {
 	it.Definition.Algorithm = text
 	it.Definition.AlgorithmType = algType
 	o.invalidateLocked()
+	o.emitLocked(Event{Op: OpAlgorithm, Name: it.Name, Arg: algType, Text: text})
 	return nil
 }
 
@@ -372,6 +483,7 @@ func (o *Ontology) Relate(from, to string, kind RelationKind) error {
 	o.out[f.ID] = append(o.out[f.ID], rel)
 	o.in[t.ID] = append(o.in[t.ID], rel)
 	o.invalidateLocked()
+	o.emitLocked(Event{Op: OpRelate, Name: f.Name, Arg: t.Name, Kind: kind.String()})
 	return nil
 }
 
@@ -403,6 +515,7 @@ func (o *Ontology) Unrelate(a, b string) error {
 	o.in[ia.ID] = removePair(o.in[ia.ID], ia.ID, ib.ID)
 	o.in[ib.ID] = removePair(o.in[ib.ID], ia.ID, ib.ID)
 	o.invalidateLocked()
+	o.emitLocked(Event{Op: OpUnrelate, Name: ia.Name, Arg: ib.Name})
 	return nil
 }
 
@@ -440,6 +553,7 @@ func (o *Ontology) RemoveItem(name string) error {
 		o.in[id] = keep
 	}
 	o.invalidateLocked()
+	o.emitLocked(Event{Op: OpRemove, Name: it.Name})
 	return nil
 }
 

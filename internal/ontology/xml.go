@@ -27,9 +27,12 @@ import (
 // corresponding has-operation / has-property edge.
 
 type xmlOntology struct {
-	XMLName xml.Name     `xml:"Ontology"`
-	Domain  string       `xml:"domain,attr"`
-	Items   []xmlKeyItem `xml:"KeyItem"`
+	XMLName xml.Name `xml:"Ontology"`
+	Domain  string   `xml:"domain,attr"`
+	// JournalLSN records the WAL position a journaled checkpoint covers
+	// (0 / absent for un-journaled exports; see internal/journal).
+	JournalLSN uint64       `xml:"journalLSN,attr,omitempty"`
+	Items      []xmlKeyItem `xml:"KeyItem"`
 }
 
 type xmlKeyItem struct {
@@ -93,7 +96,7 @@ func (o *Ontology) EncodeXML(w io.Writer) error {
 		}
 	}
 
-	doc := xmlOntology{Domain: o.domain}
+	doc := xmlOntology{Domain: o.domain, JournalLSN: o.lsn}
 	ids := make([]int, 0, len(o.items))
 	for id := range o.items {
 		ids = append(ids, id)
@@ -228,6 +231,7 @@ func DecodeXML(r io.Reader) (*Ontology, error) {
 			}
 		}
 	}
+	o.SetJournalLSN(doc.JournalLSN)
 	return o, nil
 }
 

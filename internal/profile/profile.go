@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+	"unicode"
 )
 
 // Profile aggregates one learner's history.
@@ -79,16 +81,69 @@ func topKeys(m map[string]int, n int) []string {
 	return out
 }
 
+// EventKind names a journaled profile mutation.
+type EventKind string
+
+// The four journaled profile mutations.
+const (
+	EventMessage       EventKind = "message"
+	EventSyntaxError   EventKind = "syntax-error"
+	EventSemanticError EventKind = "semantic-error"
+	EventQuestion      EventKind = "question"
+)
+
+// Event is one profile mutation, carrying everything needed to replay
+// it deterministically (including the observed time, so FirstSeen and
+// LastSeen survive a crash-replay unchanged).
+type Event struct {
+	Kind   EventKind `json:"kind"`
+	User   string    `json:"user"`
+	Time   time.Time `json:"time"`
+	Topics []string  `json:"topics,omitempty"`
+	Tags   []string  `json:"tags,omitempty"`
+}
+
+// Observer is the write-ahead-log hook: it receives every Record*
+// mutation and returns the log sequence number it was journaled under.
+// Invoked under the store lock, so state and JournalLSN move together.
+type Observer func(Event) uint64
+
 // Store is the thread-safe profile database.
 type Store struct {
 	mu       sync.RWMutex
 	profiles map[string]*Profile
 	now      func() time.Time
+
+	observer Observer
+	lsn      uint64
 }
 
 // NewStore returns an empty profile store.
 func NewStore() *Store {
 	return &Store{profiles: make(map[string]*Profile), now: time.Now}
+}
+
+// SetObserver installs the journal hook (nil to detach).
+func (s *Store) SetObserver(fn Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
+}
+
+// JournalLSN returns the highest WAL sequence number reflected in the
+// store's state (0 when never journaled).
+func (s *Store) JournalLSN() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lsn
+}
+
+// SetJournalLSN records the WAL position the state corresponds to
+// (used by recovery after replaying the journal).
+func (s *Store) SetJournalLSN(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lsn = v
 }
 
 // SetClock overrides the time source (tests).
@@ -109,58 +164,100 @@ func (s *Store) Get(user string) (Profile, bool) {
 	return clone(p), true
 }
 
-// Update applies fn to the (possibly new) profile of user.
+// Update applies fn to the (possibly new) profile of user. Update is a
+// free-form escape hatch and is NOT journaled; durable callers use the
+// Record* methods, whose mutations flow through the Observer.
 func (s *Store) Update(user string, fn func(*Profile)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.now()
+	p := s.profileLocked(user, now)
+	p.LastSeen = now
+	fn(p)
+}
+
+// profileLocked returns the profile for user, creating it (FirstSeen =
+// at) if absent. Callers hold s.mu.
+func (s *Store) profileLocked(user string, at time.Time) *Profile {
 	p, ok := s.profiles[user]
 	if !ok {
 		p = &Profile{
 			User:         user,
-			FirstSeen:    s.now(),
+			FirstSeen:    at,
 			MistakeKinds: make(map[string]int),
 			TopicCounts:  make(map[string]int),
 		}
 		s.profiles[user] = p
 	}
-	p.LastSeen = s.now()
-	fn(p)
+	return p
+}
+
+// applyLocked mutates the store according to ev; when notify is set and
+// an observer is attached, the event is journaled and the store's LSN
+// advances — atomically with the mutation, under s.mu.
+func (s *Store) applyLocked(ev Event, notify bool) {
+	p := s.profileLocked(ev.User, ev.Time)
+	if ev.Time.After(p.LastSeen) {
+		p.LastSeen = ev.Time
+	}
+	switch ev.Kind {
+	case EventMessage:
+		p.Messages++
+		for _, t := range ev.Topics {
+			p.TopicCounts[t]++
+		}
+	case EventSyntaxError:
+		p.SyntaxErrors++
+		for _, t := range ev.Tags {
+			p.MistakeKinds[t]++
+		}
+	case EventSemanticError:
+		p.SemanticErrors++
+		for _, t := range ev.Tags {
+			p.MistakeKinds[t]++
+		}
+	case EventQuestion:
+		p.Questions++
+	}
+	if notify && s.observer != nil {
+		s.lsn = s.observer(ev)
+	}
+}
+
+// Apply replays a journaled event without re-journaling it (the
+// recovery path of internal/journal).
+func (s *Store) Apply(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyLocked(ev, false)
+}
+
+func (s *Store) record(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev.Time = s.now()
+	s.applyLocked(ev, true)
 }
 
 // RecordMessage bumps the message counter and topic counts.
 func (s *Store) RecordMessage(user string, topics []string) {
-	s.Update(user, func(p *Profile) {
-		p.Messages++
-		for _, t := range topics {
-			p.TopicCounts[t]++
-		}
-	})
+	s.record(Event{Kind: EventMessage, User: user, Topics: topics})
 }
 
 // RecordSyntaxError counts a syntax mistake with optional fine-grained
 // tags.
 func (s *Store) RecordSyntaxError(user string, tags ...string) {
-	s.Update(user, func(p *Profile) {
-		p.SyntaxErrors++
-		for _, t := range tags {
-			p.MistakeKinds[t]++
-		}
-	})
+	s.record(Event{Kind: EventSyntaxError, User: user, Tags: tags})
 }
 
 // RecordSemanticError counts a semantic mistake.
 func (s *Store) RecordSemanticError(user string, tags ...string) {
-	s.Update(user, func(p *Profile) {
-		p.SemanticErrors++
-		for _, t := range tags {
-			p.MistakeKinds[t]++
-		}
-	})
+	s.record(Event{Kind: EventSemanticError, User: user, Tags: tags})
 }
 
 // RecordQuestion counts a question routed to the QA system.
 func (s *Store) RecordQuestion(user string) {
-	s.Update(user, func(p *Profile) { p.Questions++ })
+	s.record(Event{Kind: EventQuestion, User: user})
 }
 
 // Len returns the number of profiles.
@@ -182,26 +279,62 @@ func (s *Store) Snapshot() []Profile {
 	return out
 }
 
-// Save writes all profiles as a JSON array.
+// savedStore is the journaled on-disk form: the profile array plus the
+// WAL position the snapshot covers.
+type savedStore struct {
+	JournalLSN uint64    `json:"journalLSN"`
+	Profiles   []Profile `json:"profiles"`
+}
+
+// Save writes all profiles. An un-journaled store keeps the legacy
+// plain-array format; a journaled store wraps the array in an object
+// carrying the WAL position the snapshot covers (state and LSN are
+// captured under one lock, so they are always consistent).
 func (s *Store) Save(w io.Writer) error {
-	snap := s.Snapshot()
+	s.mu.RLock()
+	lsn := s.lsn
+	snap := make([]Profile, 0, len(s.profiles))
+	for _, p := range s.profiles {
+		snap = append(snap, clone(p))
+	}
+	s.mu.RUnlock()
+	sort.Slice(snap, func(i, j int) bool { return snap[i].User < snap[j].User })
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
+	var v interface{} = snap
+	if lsn > 0 {
+		v = savedStore{JournalLSN: lsn, Profiles: snap}
+	}
+	if err := enc.Encode(v); err != nil {
 		return fmt.Errorf("encode profiles: %w", err)
 	}
 	return nil
 }
 
-// Load reads a JSON array of profiles into a fresh store.
+// Load reads profiles into a fresh store, accepting both the legacy
+// plain-array format and the journaled object format.
 func Load(r io.Reader) (*Store, error) {
+	var raw json.RawMessage
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("decode profiles: %w", err)
+	}
 	var rows []Profile
-	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+	var lsn uint64
+	trimmed := strings.TrimLeftFunc(string(raw), unicode.IsSpace)
+	if strings.HasPrefix(trimmed, "{") {
+		var saved savedStore
+		if err := json.Unmarshal(raw, &saved); err != nil {
+			return nil, fmt.Errorf("decode profiles: %w", err)
+		}
+		rows, lsn = saved.Profiles, saved.JournalLSN
+	} else if err := json.Unmarshal(raw, &rows); err != nil {
 		return nil, fmt.Errorf("decode profiles: %w", err)
 	}
 	s := NewStore()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.lsn = lsn
 	for i := range rows {
 		p := rows[i]
 		if p.MistakeKinds == nil {

@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bytes"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -139,5 +140,84 @@ func TestSnapshotSorted(t *testing.T) {
 	snap := s.Snapshot()
 	if len(snap) != 3 || snap[0].User != "alice" || snap[2].User != "zed" {
 		t.Errorf("snapshot order: %v", []string{snap[0].User, snap[1].User, snap[2].User})
+	}
+}
+
+func TestApplyReplaysEventTimes(t *testing.T) {
+	s := NewStore()
+	calls := 0
+	s.SetObserver(func(Event) uint64 { calls++; return uint64(calls) })
+	at := time.Date(2026, 3, 3, 9, 0, 0, 0, time.UTC)
+	s.Apply(Event{Kind: EventMessage, User: "alice", Time: at, Topics: []string{"stack"}})
+	s.Apply(Event{Kind: EventSyntaxError, User: "alice", Time: at.Add(time.Minute), Tags: []string{"agreement"}})
+	if calls != 0 {
+		t.Errorf("Apply notified the observer %d times, want 0", calls)
+	}
+	p, ok := s.Get("alice")
+	if !ok {
+		t.Fatal("profile missing")
+	}
+	if p.Messages != 1 || p.SyntaxErrors != 1 {
+		t.Errorf("counters = %d msgs, %d syntax errors; want 1,1", p.Messages, p.SyntaxErrors)
+	}
+	if !p.FirstSeen.Equal(at) {
+		t.Errorf("FirstSeen = %v, want the first event time %v", p.FirstSeen, at)
+	}
+	if !p.LastSeen.Equal(at.Add(time.Minute)) {
+		t.Errorf("LastSeen = %v, want the last event time", p.LastSeen)
+	}
+}
+
+func TestRecordNotifiesObserverAndAdvancesLSN(t *testing.T) {
+	s := NewStore()
+	var events []Event
+	s.SetObserver(func(ev Event) uint64 {
+		events = append(events, ev)
+		return uint64(len(events))
+	})
+	s.RecordMessage("bob", []string{"queue"})
+	s.RecordQuestion("bob")
+	if len(events) != 2 || events[0].Kind != EventMessage || events[1].Kind != EventQuestion {
+		t.Fatalf("observer saw %+v", events)
+	}
+	if events[0].Time.IsZero() {
+		t.Error("journaled event carries no timestamp")
+	}
+	if got := s.JournalLSN(); got != 2 {
+		t.Errorf("JournalLSN = %d, want 2", got)
+	}
+}
+
+func TestSaveLoadJournalLSNRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.RecordMessage("carol", []string{"tree"})
+	s.SetJournalLSN(9)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.JournalLSN(); got != 9 {
+		t.Errorf("JournalLSN = %d, want 9", got)
+	}
+	if p, ok := back.Get("carol"); !ok || p.Messages != 1 {
+		t.Errorf("profile = %+v ok=%v", p, ok)
+	}
+}
+
+func TestLoadLegacyArrayFormat(t *testing.T) {
+	legacy := `[{"user":"dave","messages":3,"firstSeen":"2026-01-01T00:00:00Z","lastSeen":"2026-01-02T00:00:00Z"}]`
+	s, err := Load(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := s.Get("dave"); !ok || p.Messages != 3 {
+		t.Errorf("profile = %+v ok=%v", p, ok)
+	}
+	if got := s.JournalLSN(); got != 0 {
+		t.Errorf("JournalLSN = %d, want 0 for legacy file", got)
 	}
 }

@@ -24,6 +24,20 @@ type Entry struct {
 	Last     time.Time    `json:"last"`
 }
 
+// FAQEvent is one journaled FAQ mutation, carrying the observed time so
+// First/Last survive a crash-replay unchanged.
+type FAQEvent struct {
+	Question string       `json:"question"`
+	Answer   string       `json:"answer"`
+	Template TemplateKind `json:"template"`
+	Time     time.Time    `json:"time"`
+}
+
+// FAQObserver is the write-ahead-log hook: it receives every Record
+// mutation and returns the log sequence number it was journaled under.
+// Invoked under the FAQ lock, so state and JournalLSN move together.
+type FAQObserver func(FAQEvent) uint64
+
 // FAQ is the frequency-counted question/answer database of §4.4. When
 // enough QA pairs accumulate, Top returns the most frequent pairs — the
 // paper's "powerful learning tool for the learners".
@@ -31,6 +45,9 @@ type FAQ struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	now     func() time.Time
+
+	observer FAQObserver
+	lsn      uint64
 }
 
 // NewFAQ returns an empty FAQ database.
@@ -45,27 +62,72 @@ func (f *FAQ) SetClock(now func() time.Time) {
 	f.now = now
 }
 
-// Record stores (or bumps) a question/answer pair.
-func (f *FAQ) Record(question, answer string, template TemplateKind) {
-	key := NormalizeQuestion(question)
-	if key == "" || answer == "" {
-		return
-	}
+// SetObserver installs the journal hook (nil to detach).
+func (f *FAQ) SetObserver(fn FAQObserver) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.observer = fn
+}
+
+// JournalLSN returns the highest WAL sequence number reflected in the
+// FAQ's state (0 when never journaled).
+func (f *FAQ) JournalLSN() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.lsn
+}
+
+// SetJournalLSN records the WAL position the state corresponds to
+// (used by recovery after replaying the journal).
+func (f *FAQ) SetJournalLSN(v uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lsn = v
+}
+
+// Record stores (or bumps) a question/answer pair. Re-recording an
+// existing question refreshes its Answer and Template — a corrected
+// answer or a newly templated phrasing must not be dropped — while
+// Count accumulates, First stays at the original sighting and Question
+// keeps the first raw phrasing.
+func (f *FAQ) Record(question, answer string, template TemplateKind) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ev := FAQEvent{Question: question, Answer: answer, Template: template, Time: f.now()}
+	f.applyLocked(ev, true)
+}
+
+// Apply replays a journaled event without re-journaling it (the
+// recovery path of internal/journal).
+func (f *FAQ) Apply(ev FAQEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.applyLocked(ev, false)
+}
+
+func (f *FAQ) applyLocked(ev FAQEvent, notify bool) {
+	key := NormalizeQuestion(ev.Question)
+	if key == "" || ev.Answer == "" {
+		return
+	}
 	e, ok := f.entries[key]
 	if !ok {
 		e = &Entry{
 			Key:      key,
-			Question: question,
-			Answer:   answer,
-			Template: template,
-			First:    f.now(),
+			Question: ev.Question,
+			First:    ev.Time,
 		}
 		f.entries[key] = e
 	}
+	e.Answer = ev.Answer
+	e.Template = ev.Template
 	e.Count++
-	e.Last = f.now()
+	if ev.Time.After(e.Last) {
+		e.Last = ev.Time
+	}
+	if notify && f.observer != nil {
+		f.lsn = f.observer(ev)
+	}
 }
 
 // Lookup finds an entry matching the (normalized) question.
@@ -121,7 +183,15 @@ func (f *FAQ) Render(n int) string {
 	return b.String()
 }
 
-// Save writes the FAQ as JSON lines.
+// faqHeader is the optional first line of a journaled FAQ file.
+type faqHeader struct {
+	JournalLSN uint64 `json:"journalLSN"`
+}
+
+const faqHeaderPrefix = `{"journalLSN":`
+
+// Save writes the FAQ as JSON lines. A journaled FAQ leads with a
+// header line recording the WAL position the snapshot covers.
 func (f *FAQ) Save(w io.Writer) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -132,6 +202,11 @@ func (f *FAQ) Save(w io.Writer) error {
 	sort.Strings(keys)
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	if f.lsn > 0 {
+		if err := enc.Encode(faqHeader{JournalLSN: f.lsn}); err != nil {
+			return fmt.Errorf("encode faq header: %w", err)
+		}
+	}
 	for _, k := range keys {
 		if err := enc.Encode(f.entries[k]); err != nil {
 			return fmt.Errorf("encode faq entry %q: %w", k, err)
@@ -150,6 +225,14 @@ func LoadFAQ(r io.Reader) (*FAQ, error) {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, faqHeaderPrefix) {
+			var h faqHeader
+			if err := json.Unmarshal([]byte(text), &h); err != nil {
+				return nil, fmt.Errorf("faq header line %d: %w", line, err)
+			}
+			f.lsn = h.JournalLSN
 			continue
 		}
 		var e Entry

@@ -215,3 +215,78 @@ func TestNormalizeQuestion(t *testing.T) {
 		t.Errorf("punctuation-only question should normalize to empty")
 	}
 }
+
+func TestFAQRecordRefreshesAnswerAndTemplate(t *testing.T) {
+	f := NewFAQ()
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	step := 0
+	f.SetClock(func() time.Time {
+		step++
+		return t0.Add(time.Duration(step) * time.Minute)
+	})
+	f.Record("What is a stack?", "A stack is a thing.", TemplateNone)
+	// A corrected answer for the same normalized question must replace
+	// the stale one, not be silently dropped.
+	f.Record("what is a STACK?", "A stack is a LIFO structure.", TemplateDefinition)
+	e, ok := f.Lookup("what is a stack")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if e.Answer != "A stack is a LIFO structure." {
+		t.Errorf("Answer = %q, want the corrected answer", e.Answer)
+	}
+	if e.Template != TemplateDefinition {
+		t.Errorf("Template = %v, want TemplateDefinition", e.Template)
+	}
+	if e.Count != 2 {
+		t.Errorf("Count = %d, want 2", e.Count)
+	}
+	if e.Question != "What is a stack?" {
+		t.Errorf("Question = %q, want the first raw phrasing", e.Question)
+	}
+	if !e.First.Equal(t0.Add(time.Minute)) {
+		t.Errorf("First = %v, want the original sighting", e.First)
+	}
+	if !e.Last.After(e.First) {
+		t.Errorf("Last = %v, want after First", e.Last)
+	}
+}
+
+func TestFAQSaveLoadJournalLSNRoundTrip(t *testing.T) {
+	f := NewFAQ()
+	f.Record("What is a stack?", "A stack is a LIFO structure.", TemplateDefinition)
+	f.SetJournalLSN(7)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFAQ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.JournalLSN(); got != 7 {
+		t.Errorf("JournalLSN = %d, want 7", got)
+	}
+	if back.Len() != 1 {
+		t.Errorf("Len = %d, want 1", back.Len())
+	}
+}
+
+func TestFAQApplyReplaysWithoutReJournaling(t *testing.T) {
+	f := NewFAQ()
+	calls := 0
+	f.SetObserver(func(FAQEvent) uint64 { calls++; return uint64(calls) })
+	at := time.Date(2026, 2, 2, 12, 0, 0, 0, time.UTC)
+	f.Apply(FAQEvent{Question: "What is a queue?", Answer: "A FIFO structure.", Template: TemplateDefinition, Time: at})
+	if calls != 0 {
+		t.Errorf("Apply notified the observer %d times, want 0", calls)
+	}
+	e, ok := f.Lookup("what is a queue")
+	if !ok || !e.First.Equal(at) {
+		t.Errorf("entry = %+v ok=%v, want First = event time", e, ok)
+	}
+	f.Record("What is a queue?", "A FIFO structure.", TemplateDefinition)
+	if calls != 1 {
+		t.Errorf("Record notified the observer %d times, want 1", calls)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"semagent/internal/corpus"
 	"semagent/internal/ontology"
@@ -121,9 +122,15 @@ func Load(dir string) (Snapshot, error) {
 	return snap, nil
 }
 
-// atomicWrite writes via a temp file and rename.
+// atomicWrite writes via a temp file and rename. The temp file is
+// fsynced before the rename and the parent directory after it: without
+// the first sync a crash can surface the renamed file with empty or
+// partial content (rename is atomic in the namespace, not for data
+// pages), and without the second the rename itself may not survive a
+// power loss.
 func atomicWrite(path string, write func(w io.Writer) error) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
@@ -133,9 +140,33 @@ func atomicWrite(path string, write func(w io.Writer) error) error {
 		_ = os.Remove(tmpName)
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmpName)
 		return err
 	}
-	return os.Rename(tmpName, path)
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so renames and unlinks inside it are
+// durable. Best effort on platforms where directories cannot be synced.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	_ = d.Close()
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.EBADF)) {
+		return nil // e.g. some filesystems refuse fsync on directories
+	}
+	return err
 }

@@ -137,3 +137,55 @@ func TestSaveOverwrites(t *testing.T) {
 		}
 	}
 }
+
+func TestSaveLoadPreservesJournalLSNs(t *testing.T) {
+	dir := t.TempDir()
+	snap := buildSnapshot()
+	snap.Ontology.SetJournalLSN(11)
+	snap.Corpus.SetJournalLSN(12)
+	snap.Profiles.SetJournalLSN(13)
+	snap.FAQ.SetJournalLSN(14)
+	if err := Save(dir, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got := back.Ontology.JournalLSN(); got != 11 {
+		t.Errorf("ontology LSN = %d, want 11", got)
+	}
+	if got := back.Corpus.JournalLSN(); got != 12 {
+		t.Errorf("corpus LSN = %d, want 12", got)
+	}
+	if got := back.Profiles.JournalLSN(); got != 13 {
+		t.Errorf("profiles LSN = %d, want 13", got)
+	}
+	if got := back.FAQ.JournalLSN(); got != 14 {
+		t.Errorf("faq LSN = %d, want 14", got)
+	}
+}
+
+func TestAtomicWriteSurvivesExistingFile(t *testing.T) {
+	// The fsync'd atomic write path must replace an existing database
+	// in place and leave no temp droppings behind.
+	dir := t.TempDir()
+	snap := buildSnapshot()
+	for i := 0; i < 2; i++ {
+		if err := Save(dir, snap); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if len(e.Name()) > 4 && e.Name()[:4] == ".tmp" {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+	if _, err := Load(dir); err != nil {
+		t.Fatalf("load after rewrite: %v", err)
+	}
+}
