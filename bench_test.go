@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"semagent/internal/core"
 	"semagent/internal/corpus"
@@ -355,6 +356,33 @@ func BenchmarkE11JournaledSupervision(b *testing.B) {
 				b.ReportMetric(float64(st.Fsyncs)/float64(b.N), "fsyncs/op")
 			}
 		})
+	}
+}
+
+// BenchmarkE12OverloadShedding measures the admission-controlled chat
+// server under 5× open-loop overload (experiment E12): real TCP
+// connections, oldest-drop shedding, supervision goodput as msg/s. The
+// acceptance bar is bounded p99 end-to-end latency (no growth with the
+// backlog) while supervised goodput holds near measured capacity; the
+// full three-multiplier sweep with the blocking contrast arm lives in
+// `evalharness -exp E12`.
+func BenchmarkE12OverloadShedding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunE12(eval.E12Config{
+			Rooms: 2, ClientsPerRoom: 2,
+			Duration:            400 * time.Millisecond,
+			Seed:                120,
+			Multipliers:         []float64{5},
+			SkipBlocking:        true,
+			CalibrationMessages: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		arm := res.Arms[0]
+		b.ReportMetric(arm.SupervisedRate, "msg/s")
+		b.ReportMetric(arm.ShedFraction*100, "shed-%")
+		b.ReportMetric(float64(arm.P99.Microseconds()), "p99-µs")
 	}
 }
 

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// run is one benchmark line's measurements: ns/op plus any custom
+// b.ReportMetric units.
+type run struct {
+	nsPerOp float64
+	metrics map[string]float64
+}
+
+// parseBenchFile reads `go test -bench` output and groups runs by
+// benchmark name with the -N GOMAXPROCS suffix stripped (the suffix
+// varies across runner shapes; the benchmark identity does not).
+func parseBenchFile(path string) (map[string][]run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]run)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, r, ok := parseBenchLine(sc.Text())
+		if ok {
+			out[name] = append(out[name], r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkE9ShardedSupervision/serial-uncached-4   3   385822375 ns/op   995.3 msg/s
+func parseBenchLine(line string) (string, run, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", run{}, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", run{}, false // iteration count must be an integer
+	}
+	r := run{metrics: make(map[string]float64)}
+	got := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", run{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.nsPerOp = v
+		} else {
+			r.metrics[unit] = v
+		}
+		got = true
+	}
+	if !got {
+		return "", run{}, false
+	}
+	return stripProcSuffix(fields[0]), r, true
+}
+
+// stripProcSuffix removes the trailing -N GOMAXPROCS marker go test
+// appends to benchmark names.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// row is one benchmark's comparison.
+type row struct {
+	Name     string
+	Unit     string  // metric the ratio is based on
+	Old, New float64 // medians in that unit
+	Ratio    float64 // normalized: 1.0 unchanged, < 1.0 regression
+}
+
+// minRatio floors a benchmark's performance ratio so a total collapse
+// (0 msg/s in the new run) still contributes a finite, gate-tripping
+// term to the geomean.
+const minRatio = 1e-3
+
+// report aggregates the gate's verdict.
+type report struct {
+	Rows    []row
+	Geomean float64
+}
+
+func (r *report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-52s %-8s %14s %14s %8s\n", "benchmark", "unit", "old", "new", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-52s %-8s %14.1f %14.1f %8.3f\n", row.Name, row.Unit, row.Old, row.New, row.Ratio)
+	}
+	fmt.Fprintf(&b, "geomean performance ratio: %.3f (1.0 = unchanged, < 1.0 = regression)\n", r.Geomean)
+	return b.String()
+}
+
+// compare matches benchmarks present in both runs and computes the
+// per-benchmark medians, normalized ratios, and their geomean.
+// "msg/s" (higher is better) wins over ns/op (lower is better) when
+// both sides report it — throughput is what the repo's experiment
+// benchmarks are scored on.
+func compare(oldRuns, newRuns map[string][]run) (*report, error) {
+	names := make([]string, 0, len(oldRuns))
+	for name := range oldRuns {
+		if _, ok := newRuns[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no benchmarks in common between the two runs")
+	}
+	sort.Strings(names)
+
+	rep := &report{}
+	logSum := 0.0
+	for _, name := range names {
+		o, n := oldRuns[name], newRuns[name]
+		r := row{Name: name}
+		if oldV, ok := medianMetric(o, "msg/s"); ok && oldV > 0 {
+			if newV, ok2 := medianMetric(n, "msg/s"); ok2 {
+				r.Unit, r.Old, r.New = "msg/s", oldV, newV
+				r.Ratio = newV / oldV
+			}
+		}
+		if r.Unit == "" {
+			oldNs, newNs := medianNs(o), medianNs(n)
+			if oldNs <= 0 || newNs <= 0 {
+				continue // nothing comparable on this benchmark
+			}
+			r.Unit, r.Old, r.New = "ns/op", oldNs, newNs
+			r.Ratio = oldNs / newNs
+		}
+		// A benchmark that collapsed to zero throughput is the worst
+		// regression there is — it must weigh the geomean down, never
+		// be skipped (log(0) is -Inf, so it gets a floor instead).
+		if r.Ratio < minRatio {
+			r.Ratio = minRatio
+		}
+		rep.Rows = append(rep.Rows, r)
+		logSum += math.Log(r.Ratio)
+	}
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("no comparable measurements between the two runs")
+	}
+	rep.Geomean = math.Exp(logSum / float64(len(rep.Rows)))
+	return rep, nil
+}
+
+func medianMetric(runs []run, unit string) (float64, bool) {
+	var vals []float64
+	for _, r := range runs {
+		if v, ok := r.metrics[unit]; ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	return median(vals), true
+}
+
+func medianNs(runs []run) float64 {
+	var vals []float64
+	for _, r := range runs {
+		if r.nsPerOp > 0 {
+			vals = append(vals, r.nsPerOp)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return median(vals)
+}
+
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeBenchOutput renders a synthetic -count=3 bench file where every
+// benchmark reports msgs msg/s and ns ns/op with mild run-to-run noise.
+func writeBenchOutput(t *testing.T, dir, fname string, msgs, ns float64) string {
+	t.Helper()
+	out := "goos: linux\ngoarch: amd64\npkg: semagent\n"
+	for _, bench := range []string{
+		"BenchmarkE9ShardedSupervision/sharded-cached-4",
+		"BenchmarkE12OverloadShedding-4",
+	} {
+		for _, jitter := range []float64{1.0, 0.97, 1.03} {
+			out += fmt.Sprintf("%s\t       3\t%10.0f ns/op\t%10.1f msg/s\n",
+				bench, ns*jitter, msgs*jitter)
+		}
+	}
+	out += "PASS\nok  \tsemagent\t1.0s\n"
+	path := filepath.Join(dir, fname)
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func loadAndCompare(t *testing.T, oldPath, newPath string) *report {
+	t.Helper()
+	oldRuns, err := parseBenchFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRuns, err := parseBenchFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := compare(oldRuns, newRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestSynthetic2xSlowdownTripsGate is the gate's own regression test:
+// a 2× throughput drop must land far below the 0.85 threshold. This is
+// the "demonstrably fails on a synthetic 2× slowdown" check of the CI
+// design, verified here instead of by breaking a real PR.
+func TestSynthetic2xSlowdownTripsGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBenchOutput(t, dir, "old.txt", 10000, 100000)
+	newPath := writeBenchOutput(t, dir, "new.txt", 5000, 200000) // 2× slower
+	rep := loadAndCompare(t, oldPath, newPath)
+	if rep.Geomean >= 0.85 {
+		t.Fatalf("geomean = %.3f for a 2× slowdown, want well below the 0.85 threshold", rep.Geomean)
+	}
+	if rep.Geomean < 0.45 || rep.Geomean > 0.55 {
+		t.Errorf("geomean = %.3f, want ≈0.5 for a uniform 2× slowdown", rep.Geomean)
+	}
+}
+
+// TestUnchangedRunPassesGate checks identical performance scores ≈1.0.
+func TestUnchangedRunPassesGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBenchOutput(t, dir, "old.txt", 10000, 100000)
+	newPath := writeBenchOutput(t, dir, "new.txt", 10000, 100000)
+	rep := loadAndCompare(t, oldPath, newPath)
+	if rep.Geomean < 0.99 || rep.Geomean > 1.01 {
+		t.Fatalf("geomean = %.3f for identical runs, want ≈1.0", rep.Geomean)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 matched benchmarks", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Unit != "msg/s" {
+			t.Errorf("%s compared on %s, want msg/s preferred", row.Name, row.Unit)
+		}
+	}
+}
+
+// TestModestNoisePassesGate checks that run noise below the threshold
+// does not trip the gate (the median across -count runs absorbs single
+// outliers by construction).
+func TestModestNoisePassesGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBenchOutput(t, dir, "old.txt", 10000, 100000)
+	newPath := writeBenchOutput(t, dir, "new.txt", 9200, 108000) // 8% down
+	rep := loadAndCompare(t, oldPath, newPath)
+	if rep.Geomean < 0.85 {
+		t.Fatalf("geomean = %.3f for an 8%% dip, gate should not trip", rep.Geomean)
+	}
+}
+
+// TestThroughputCollapseTripsGate checks the worst regression — a
+// benchmark reporting 0 msg/s in the new run — is floored into the
+// geomean rather than silently skipped.
+func TestThroughputCollapseTripsGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBenchOutput(t, dir, "old.txt", 10000, 100000)
+	newPath := writeBenchOutput(t, dir, "new.txt", 0, 100000) // collapsed
+	rep := loadAndCompare(t, oldPath, newPath)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want the collapsed benchmarks included", len(rep.Rows))
+	}
+	if rep.Geomean >= 0.85 {
+		t.Fatalf("geomean = %.3f for a throughput collapse, gate must trip", rep.Geomean)
+	}
+}
+
+// TestNsPerOpFallback strips the custom metric and checks the ns/op
+// comparison (lower is better → ratio inverts).
+func TestNsPerOpFallback(t *testing.T) {
+	dir := t.TempDir()
+	write := func(fname string, ns float64) string {
+		path := filepath.Join(dir, fname)
+		out := fmt.Sprintf("BenchmarkParserBySentenceLength/len05-4\t 100\t%10.0f ns/op\nPASS\n", ns)
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	rep := loadAndCompare(t, write("old.txt", 100000), write("new.txt", 200000))
+	if rep.Geomean < 0.49 || rep.Geomean > 0.51 {
+		t.Fatalf("geomean = %.3f for 2× slower ns/op, want 0.5", rep.Geomean)
+	}
+}
+
+// TestParseBenchLine covers the line parser against real go test shapes.
+func TestParseBenchLine(t *testing.T) {
+	name, r, ok := parseBenchLine("BenchmarkE12OverloadShedding-4 \t       1\t 633867425 ns/op\t       394.0 msg/s\t        78.68 shed-%")
+	if !ok || name != "BenchmarkE12OverloadShedding" {
+		t.Fatalf("parse failed: %q %v", name, ok)
+	}
+	if r.nsPerOp != 633867425 || r.metrics["msg/s"] != 394 {
+		t.Fatalf("run = %+v", r)
+	}
+	for _, bad := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tsemagent\t1.0s",
+		"BenchmarkBroken\tnotanumber\t123 ns/op",
+		"--- FAIL: TestX",
+	} {
+		if _, _, ok := parseBenchLine(bad); ok {
+			t.Errorf("parsed non-benchmark line %q", bad)
+		}
+	}
+}
+
+// TestNoOverlapErrors checks disjoint benchmark sets are an error, not
+// a silent pass.
+func TestNoOverlapErrors(t *testing.T) {
+	oldRuns := map[string][]run{"BenchmarkA": {{nsPerOp: 1}}}
+	newRuns := map[string][]run{"BenchmarkB": {{nsPerOp: 1}}}
+	if _, err := compare(oldRuns, newRuns); err == nil {
+		t.Fatal("disjoint runs compared without error")
+	}
+}

@@ -1,0 +1,62 @@
+// Command benchgate is the CI performance-regression gate: it compares
+// two `go test -bench` outputs (the PR head and the merge base, each
+// typically run with -count=5) benchmark by benchmark and fails when
+// the geometric-mean performance ratio regresses past the threshold.
+//
+// Usage:
+//
+//	go test -bench 'E9|E12' -benchtime=3x -count=5 . > new.txt   # on the PR head
+//	go test -bench 'E9|E12' -benchtime=3x -count=5 . > old.txt   # on the base
+//	benchgate -old old.txt -new new.txt -threshold 0.85
+//
+// For each benchmark present in both files the gate prefers the msg/s
+// custom metric (higher is better; the repo's experiment benchmarks all
+// report it) and falls back to ns/op (lower is better). Repeated runs
+// of one benchmark (-count) are collapsed to their median, which is
+// what benchstat does — a single noisy run must not fail the gate. The
+// per-benchmark ratio is normalized so 1.0 means unchanged and below
+// 1.0 means the new code is slower; the gate fails when the geometric
+// mean of all ratios drops under -threshold (default 0.85, a >15%
+// geomean regression).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "bench output of the base commit")
+		newPath   = flag.String("new", "", "bench output of the PR head")
+		threshold = flag.Float64("threshold", 0.85, "fail when the geomean performance ratio (new/old) drops below this")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	oldRuns, err := parseBenchFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newRuns, err := parseBenchFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	report, err := compare(oldRuns, newRuns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	fmt.Print(report.String())
+	if report.Geomean < *threshold {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean ratio %.3f below threshold %.3f (>%.0f%% regression)\n",
+			report.Geomean, *threshold, (1-*threshold)*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — geomean ratio %.3f (threshold %.3f)\n", report.Geomean, *threshold)
+}

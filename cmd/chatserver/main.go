@@ -9,6 +9,8 @@
 //	chatserver -addr :7788 -data ./classdata           # persist corpus/FAQ/profiles
 //	chatserver -addr :7788 -data ./classdata -journal  # crash-safe write-ahead log
 //	chatserver -addr :7788 -async                      # sidecar supervision
+//	chatserver -addr :7788 -async -shed oldest-drop    # overload-safe supervision
+//	chatserver -addr :7788 -metrics-addr :9090         # /metrics + /healthz
 //	chatserver -addr :7788 -nosupervise                # plain chat (E6 baseline)
 //
 // With -journal every learned fact (corpus record, profile event, FAQ
@@ -16,12 +18,23 @@
 // the data directory and replayed over the last checkpoint at boot, so
 // a crash or kill loses at most the mutations after the last group
 // commit instead of the whole session.
+//
+// With -metrics-addr the server exposes the full instrumentation layer
+// (DESIGN.md D10) as Prometheus text at /metrics and a readiness probe
+// at /healthz, and folds a periodic operational snapshot into the
+// instructor report (-ops-interval). With -shed the async supervision
+// pipeline sheds load at the -room-queue / -inflight watermarks instead
+// of back-pressuring the room: a traffic spike degrades supervision
+// coverage, never chat latency.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +43,8 @@ import (
 	"semagent/internal/chat"
 	"semagent/internal/core"
 	"semagent/internal/journal"
+	"semagent/internal/metrics"
+	"semagent/internal/pipeline"
 	"semagent/internal/storage"
 )
 
@@ -46,13 +61,26 @@ func main() {
 		journalSync = flag.Bool("journal-sync", false, "fsync the journal on every record instead of batched group commit")
 		ckptEvery   = flag.Duration("checkpoint-interval", 5*time.Minute, "journal checkpoint interval (0 disables the time trigger)")
 		ckptBytes   = flag.Int64("checkpoint-bytes", 4<<20, "journal checkpoint size threshold in bytes (0 disables the size trigger)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty = off)")
+		shed        = flag.String("shed", "none", "supervision admission control: none (block), reject-new, or oldest-drop (requires -async)")
+		roomQueue   = flag.Int("room-queue", 64, "per-room supervision queue-depth watermark for -shed (0 = no per-room cap)")
+		inflightCap = flag.Int("inflight", 4096, "global in-flight supervision watermark for -shed (0 = no global cap)")
+		opsEvery    = flag.Duration("ops-interval", 30*time.Second, "how often the operational metrics snapshot is folded into the instructor report (0 = off)")
 	)
 	flag.Parse()
+	policy, err := pipeline.ParseShedPolicy(*shed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chatserver:", err)
+		os.Exit(2)
+	}
 	cfg := serverConfig{
 		addr: *addr, dataDir: *dataDir, async: *async, noSupervise: *noSupervise,
 		workers: *workers, queue: *queue,
 		journal: *useJournal, journalSync: *journalSync,
 		ckptEvery: *ckptEvery, ckptBytes: *ckptBytes,
+		metricsAddr: *metricsAddr, shedPolicy: policy,
+		roomQueue: *roomQueue, inflightCap: *inflightCap, opsEvery: *opsEvery,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "chatserver:", err)
@@ -67,14 +95,28 @@ type serverConfig struct {
 	journal, journalSync bool
 	ckptEvery            time.Duration
 	ckptBytes            int64
+
+	metricsAddr string
+	shedPolicy  pipeline.ShedPolicy
+	roomQueue   int
+	inflightCap int
+	opsEvery    time.Duration
 }
 
 func run(c serverConfig) error {
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	opts := chat.ServerOptions{Logger: logger, Async: c.async, Workers: c.workers, SuperviseQueue: c.queue}
+	reg := metrics.NewRegistry()
+	opts := chat.ServerOptions{
+		Logger: logger, Async: c.async, Workers: c.workers, SuperviseQueue: c.queue,
+		ShedPolicy: c.shedPolicy, RoomHighWater: c.roomQueue, GlobalHighWater: c.inflightCap,
+		Metrics: reg,
+	}
 
 	if c.journal && c.dataDir == "" {
 		return fmt.Errorf("-journal requires -data")
+	}
+	if c.shedPolicy != pipeline.ShedNone && (!c.async || c.noSupervise) {
+		return fmt.Errorf("-shed requires async supervision (-async without -nosupervise)")
 	}
 	if c.journal && c.noSupervise {
 		// The journal records supervisor learning; with supervision off
@@ -100,6 +142,7 @@ func run(c serverConfig) error {
 				CheckpointInterval: orDisabled(c.ckptEvery),
 				CheckpointBytes:    orDisabledBytes(c.ckptBytes),
 				Logger:             logger,
+				Metrics:            reg,
 			}
 			mgr, err = journal.Open(c.dataDir, stores, jopts)
 			if err != nil {
@@ -123,6 +166,7 @@ func run(c serverConfig) error {
 			cfg.FAQ = snap.FAQ
 			logger.Printf("data dir %s loaded", c.dataDir)
 		}
+		cfg.Metrics = reg
 		var err error
 		sup, err = core.New(cfg)
 		if err != nil {
@@ -142,17 +186,70 @@ func run(c serverConfig) error {
 		return err
 	}
 	logger.Printf("chat server listening on %s", bound)
+	if c.shedPolicy != pipeline.ShedNone {
+		logger.Printf("admission control: %s (room watermark %d, global watermark %d)",
+			c.shedPolicy, c.roomQueue, c.inflightCap)
+	}
+
+	start := time.Now()
+	var metricsSrv *http.Server
+	if c.metricsAddr != "" {
+		metricsSrv = newMetricsServer(c.metricsAddr, reg, server, start)
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
+		logger.Printf("metrics on http://%s/metrics, health on /healthz", c.metricsAddr)
+	}
+
+	// The periodic operational snapshot: the instructor report carries
+	// the service's load/latency/shed state (DESIGN.md D10).
+	opsDone := make(chan struct{})
+	opsStopped := make(chan struct{})
+	close(opsStopped)
+	if sup != nil && c.opsEvery > 0 {
+		opsStopped = make(chan struct{})
+		go func() {
+			defer close(opsStopped)
+			t := time.NewTicker(c.opsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					sup.Analyzer().RecordOps(reg.Snapshot())
+				case <-opsDone:
+					return
+				}
+			}
+		}()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	<-sigCh
 	logger.Printf("shutting down")
+	close(opsDone)
+	if metricsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = metricsSrv.Shutdown(ctx)
+		cancel()
+	}
 	// Close first: it drains the async supervision pipeline, so the
 	// stats, summary and snapshot below include every queued message.
 	closeErr := server.Close()
+	if sup != nil {
+		// Final ops snapshot AFTER the drain — and after the ticker
+		// goroutine has fully stopped, so a straggling pre-drain
+		// snapshot cannot overwrite this one — keeping the report's
+		// operational section in agreement with its learning
+		// statistics.
+		<-opsStopped
+		sup.Analyzer().RecordOps(reg.Snapshot())
+	}
 	if st, ok := server.SupervisionStats(); ok {
-		logger.Printf("supervision pipeline: %d workers, %d submitted, %d completed, %d blocked submits, max shard queue %d",
-			st.Workers, st.Submitted, st.Completed, st.Blocked, st.MaxQueueDepth)
+		logger.Printf("supervision pipeline: %d workers, %d submitted, %d completed, %d blocked submits, %d shed, max shard queue %d",
+			st.Workers, st.Submitted, st.Completed, st.Blocked, st.Shed, st.MaxQueueDepth)
 	}
 	if sup != nil {
 		cs := sup.Parser().CacheStats()
@@ -187,6 +284,32 @@ func run(c serverConfig) error {
 		}
 	}
 	return closeErr
+}
+
+// newMetricsServer serves the Prometheus exposition at /metrics and a
+// readiness probe at /healthz: 200 with a small JSON body once the chat
+// listener is up (this server only starts after Listen succeeded, so
+// reachable means ready).
+func newMetricsServer(addr string, reg *metrics.Registry, server *chat.Server, start time.Time) *http.Server {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		body := map[string]interface{}{
+			"status":    "ok",
+			"uptime_s":  int64(time.Since(start).Seconds()),
+			"rooms":     len(server.RoomNames()),
+			"timestamp": time.Now().Format(time.RFC3339),
+		}
+		if st, ok := server.SupervisionStats(); ok {
+			body["supervision"] = map[string]int64{
+				"submitted": st.Submitted, "completed": st.Completed,
+				"shed": st.Shed, "pending": st.Pending(),
+			}
+		}
+		_ = json.NewEncoder(w).Encode(body)
+	})
+	return &http.Server{Addr: addr, Handler: mux}
 }
 
 // orDisabled maps the flag convention (0 = off) to the journal option

@@ -2,17 +2,23 @@
 // experiment per paper figure (E1–E8) plus the scale experiments E9
 // (concurrent rooms through the sharded supervision pipeline, cached
 // vs uncached parses), E10 (lock-free snapshot read path vs the legacy
-// locked ontology) and E11 (write-ahead journaling overhead and crash
-// recovery).
+// locked ontology), E11 (write-ahead journaling overhead and crash
+// recovery) and E12 (open-loop overload with admission-control
+// shedding).
 //
 // Usage:
 //
-//	evalharness -exp all            # run everything (default)
-//	evalharness -exp E3 -n 2000     # one experiment, bigger workload
+//	evalharness -exp all                  # run everything (default)
+//	evalharness -exp E3 -n 2000           # one experiment, bigger workload
 //	evalharness -exp E6 -seed 7
-//	evalharness -exp E9 -rooms 16   # scale: more concurrent rooms
-//	evalharness -exp E10 -json      # machine-readable results (JSON)
-//	evalharness -exp E11 -json      # journaling overhead (JSON)
+//	evalharness -exp E9 -rooms 16         # scale: more concurrent rooms
+//	evalharness -exp E10 -json            # machine-readable results (JSON)
+//	evalharness -exp E12 -json            # overload shedding (JSON)
+//	evalharness -exp E10,E11,E12 -json    # one JSON array: the CI perf trajectory
+//
+// A comma-separated -exp list runs each experiment in order; with -json
+// the output is a single JSON array of {"experiment", "result"} objects
+// (the bench_trajectory.json artifact in CI).
 package main
 
 import (
@@ -28,11 +34,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: E1..E11 or all")
+		exp      = flag.String("exp", "all", "experiment(s) to run: E1..E12, a comma-separated list, or all")
 		n        = flag.Int("n", 1000, "workload size (samples/questions)")
 		seed     = flag.Int64("seed", 1, "workload seed")
-		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11)")
-		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10, E11)")
+		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11, E12)")
+		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10, E11, E12)")
 	)
 	flag.Parse()
 	p := params{n: *n, seed: *seed, rooms: *rooms, json: *jsonFlag}
@@ -50,25 +56,73 @@ type params struct {
 	json  bool
 }
 
-func run(exp string, p params) error {
-	runners := map[string]func(params) error{
+// allExperiments is the canonical order.
+var allExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+
+// textRunners print human-readable tables; jsonResults produce the
+// machine-readable result objects for the experiments that support
+// -json (the perf-trajectory artifacts).
+var (
+	textRunners = map[string]func(params) error{
 		"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4,
 		"E5": runE5, "E6": runE6, "E7": runE7, "E8": runE8,
-		"E9": runE9, "E10": runE10, "E11": runE11,
+		"E9": runE9, "E10": runE10, "E11": runE11, "E12": runE12,
 	}
-	if exp == "ALL" {
-		for _, name := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
-			if err := runners[name](p); err != nil {
+	jsonResults = map[string]func(params) (interface{}, error){
+		"E10": resultE10, "E11": resultE11, "E12": resultE12,
+	}
+)
+
+// trajectoryEntry wraps one experiment's result in the combined-JSON
+// output.
+type trajectoryEntry struct {
+	Experiment string      `json:"experiment"`
+	Result     interface{} `json:"result"`
+}
+
+func run(expArg string, p params) error {
+	names := strings.Split(expArg, ",")
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+	}
+	if len(names) == 1 && names[0] == "ALL" {
+		names = allExperiments
+	}
+	for _, name := range names {
+		if _, ok := textRunners[name]; !ok {
+			return fmt.Errorf("unknown experiment %q (want E1..E12, a comma-separated list, or all)", name)
+		}
+	}
+
+	if p.json {
+		var entries []trajectoryEntry
+		for _, name := range names {
+			getter, ok := jsonResults[name]
+			if !ok {
+				return fmt.Errorf("%s does not support -json (supported: E10, E11, E12)", name)
+			}
+			res, err := getter(p)
+			if err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
+			entries = append(entries, trajectoryEntry{Experiment: name, Result: res})
 		}
-		return nil
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(entries) == 1 {
+			// Single experiment keeps the bare-object shape older
+			// tooling parses (e10.json / e11.json artifacts).
+			return enc.Encode(entries[0].Result)
+		}
+		return enc.Encode(entries)
 	}
-	runner, ok := runners[exp]
-	if !ok {
-		return fmt.Errorf("unknown experiment %q (want E1..E11 or all)", exp)
+
+	for _, name := range names {
+		if err := textRunners[name](p); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
 	}
-	return runner(p)
+	return nil
 }
 
 func header(title string) {
@@ -260,6 +314,12 @@ func runE9(p params) error {
 	return nil
 }
 
+func resultE11(p params) (interface{}, error) {
+	return eval.RunE11(eval.E11Config{
+		Rooms: p.rooms, MessagesPerRoom: p.n / 10, Seed: p.seed,
+	})
+}
+
 func runE11(p params) error {
 	perRoom := p.n / 10
 	res, err := eval.RunE11(eval.E11Config{
@@ -267,11 +327,6 @@ func runE11(p params) error {
 	})
 	if err != nil {
 		return err
-	}
-	if p.json {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
 	}
 	header("E11 write-ahead journaling overhead + crash recovery (D9)")
 	fmt.Printf("rooms: %d   messages/room: %d   workers: GOMAXPROCS\n",
@@ -291,15 +346,14 @@ func runE11(p params) error {
 	return nil
 }
 
+func resultE10(p params) (interface{}, error) {
+	return eval.RunE10(eval.E10Config{QueriesPerWorker: p.n * 20, Seed: p.seed})
+}
+
 func runE10(p params) error {
 	res, err := eval.RunE10(eval.E10Config{QueriesPerWorker: p.n * 20, Seed: p.seed})
 	if err != nil {
 		return err
-	}
-	if p.json {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
 	}
 	header("E10 lock-free snapshot read path vs locked ontology (D8)")
 	fmt.Printf("snapshot v%d: %d items, %d relations, %d table entries (radius %d), max phrase %d\n",
@@ -318,5 +372,32 @@ func runE10(p params) error {
 	for _, w := range workers {
 		fmt.Printf("speedup at %2d workers: %.1fx\n", w, res.Speedup[w])
 	}
+	return nil
+}
+
+func e12Config(p params) eval.E12Config {
+	return eval.E12Config{Rooms: p.rooms, Seed: p.seed}
+}
+
+func resultE12(p params) (interface{}, error) {
+	return eval.RunE12(e12Config(p))
+}
+
+func runE12(p params) error {
+	res, err := eval.RunE12(e12Config(p))
+	if err != nil {
+		return err
+	}
+	header("E12 overload shedding: open-loop load at N× capacity (D10)")
+	fmt.Printf("capacity: %.0f msg/s (uncached supervision + %s stage cost, workers: GOMAXPROCS)\n",
+		res.CapacityMsgsPerSec, res.Config.StageCost)
+	fmt.Println("arm         offered    sent/s  supervised  shed%        p50        p95        p99  timeouts")
+	for _, arm := range res.Arms {
+		fmt.Printf("%-10s %7.0f/s %8.0f  %9.0f/s %5.1f%%  %9s  %9s  %9s  %8d\n",
+			arm.Name, arm.OfferedRate, arm.SentRate, arm.SupervisedRate,
+			arm.ShedFraction*100, arm.P50, arm.P95, arm.P99, arm.Timeouts)
+	}
+	fmt.Printf("at max load: supervised goodput %.0f%% of capacity, p99 shed %s vs blocking %s (bounded: %v)\n",
+		res.GoodputVsCapacity*100, res.P99AtMaxShed, res.P99AtMaxBlocking, res.BoundedP99)
 	return nil
 }

@@ -8,8 +8,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"semagent/internal/metrics"
 	"semagent/internal/pipeline"
 )
 
@@ -41,6 +43,20 @@ type ServerOptions struct {
 	// them to joining clients, so late learners see the recent
 	// discussion (and its agent feedback). 0 disables replay.
 	HistorySize int
+
+	// ShedPolicy enables supervision admission control (DESIGN.md D10):
+	// instead of a full supervision queue back-pressuring the room,
+	// excess messages are still broadcast but their supervision is shed
+	// deterministically. Requires Async with a Supervisor.
+	ShedPolicy pipeline.ShedPolicy
+	// RoomHighWater / GlobalHighWater are the admission watermarks
+	// (pipeline.Config). Ignored when ShedPolicy is ShedNone.
+	RoomHighWater, GlobalHighWater int
+
+	// Metrics, if set, registers the chat layer's counters and latency
+	// histograms (semagent_chat_*) and the supervision pipeline's
+	// (semagent_pipeline_*).
+	Metrics *metrics.Registry
 }
 
 // Server is the chat room service.
@@ -49,6 +65,7 @@ type Server struct {
 	listener net.Listener
 	// pipe fans async supervision out by room; nil in inline/off modes.
 	pipe *pipeline.Pipeline
+	met  *chatMetrics
 
 	mu      sync.Mutex
 	rooms   map[string]*room
@@ -56,6 +73,28 @@ type Server struct {
 	closed  bool
 
 	wg sync.WaitGroup
+}
+
+// chatMetrics are the chat layer's hot-path instruments (nil when the
+// server runs unobserved).
+type chatMetrics struct {
+	messages, agentMsgs, shed, droppedClients *metrics.Counter
+	broadcastDur                              *metrics.Histogram
+	fanout                                    *metrics.Counter
+}
+
+func newChatMetrics(r *metrics.Registry) *chatMetrics {
+	if r == nil {
+		return nil
+	}
+	return &chatMetrics{
+		messages:       r.Counter("semagent_chat_messages_total", "chat lines received from clients"),
+		agentMsgs:      r.Counter("semagent_chat_agent_messages_total", "supervision responses delivered"),
+		shed:           r.Counter("semagent_chat_supervision_shed_total", "messages broadcast without supervision (admission control)"),
+		droppedClients: r.Counter("semagent_chat_dropped_clients_total", "stalled clients disconnected"),
+		broadcastDur:   r.DurationHistogram("semagent_chat_broadcast_seconds", "room broadcast fan-out latency"),
+		fanout:         r.Counter("semagent_chat_fanout_total", "per-recipient message deliveries"),
+	}
 }
 
 type room struct {
@@ -76,6 +115,9 @@ type client struct {
 	codec *Codec
 	out   chan Message
 	done  chan struct{}
+	// dropped latches the stalled-client disconnect so the counter and
+	// log fire once per client, not once per undeliverable message.
+	dropped atomic.Bool
 }
 
 // NewServer returns an unstarted server.
@@ -87,12 +129,39 @@ func NewServer(opts ServerOptions) *Server {
 		opts:    opts,
 		rooms:   make(map[string]*room),
 		clients: make(map[*client]struct{}),
+		met:     newChatMetrics(opts.Metrics),
 	}
 	if opts.Async && opts.Supervisor != nil {
-		s.pipe = pipeline.New(pipeline.Config{
+		cfg := pipeline.Config{
 			Workers:   opts.Workers,
 			QueueSize: opts.SuperviseQueue,
-			Block:     true,
+			// Without admission control a full shard blocks the
+			// submitting room (backpressure); with it, Submit sheds
+			// instead and the chat layer counts what went unsupervised.
+			Block:           true,
+			Policy:          opts.ShedPolicy,
+			RoomHighWater:   opts.RoomHighWater,
+			GlobalHighWater: opts.GlobalHighWater,
+			Metrics:         opts.Metrics,
+		}
+		if s.met != nil {
+			// OnShed sees every dropped supervision — rejected new
+			// tasks and oldest-drop evictions alike; counting Submit
+			// errors instead would miss the evictions entirely.
+			cfg.OnShed = func(string) { s.met.shed.Inc() }
+		}
+		s.pipe = pipeline.New(cfg)
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.GaugeFunc("semagent_chat_connections", "connected clients", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.clients))
+		})
+		opts.Metrics.GaugeFunc("semagent_chat_rooms", "active rooms", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.rooms))
 		})
 	}
 	return s
@@ -296,6 +365,9 @@ func (s *Server) handleSay(c *client, text string) {
 	if text == "" {
 		return
 	}
+	if s.met != nil {
+		s.met.messages.Inc()
+	}
 	now := time.Now()
 	chatMsg := Message{
 		Type: TypeChat, Room: c.room, From: c.name, Text: text, Time: now,
@@ -310,6 +382,9 @@ func (s *Server) handleSay(c *client, text string) {
 				Type: TypeAgent, Room: c.room, Agent: resp.Agent,
 				Text: resp.Text, Time: time.Now(), Private: resp.Private,
 			}
+			if s.met != nil {
+				s.met.agentMsgs.Inc()
+			}
 			if resp.Private {
 				s.enqueue(c, msg)
 			} else {
@@ -322,7 +397,10 @@ func (s *Server) handleSay(c *client, text string) {
 		// run in parallel, and a full shard queue back-pressures this
 		// room's senders instead of spawning unbounded goroutines. The
 		// room's sayMu makes broadcast order == submission order across
-		// clients; backpressure therefore stalls only this room.
+		// clients; backpressure therefore stalls only this room. With
+		// admission control the Submit never blocks: at a watermark the
+		// message is still broadcast but its supervision is shed (and
+		// counted) — overload degrades coverage, not chat latency.
 		s.mu.Lock()
 		r := s.rooms[c.room]
 		s.mu.Unlock()
@@ -331,7 +409,9 @@ func (s *Server) handleSay(c *client, text string) {
 		}
 		r.sayMu.Lock()
 		s.broadcast(c.room, chatMsg, nil)
-		_ = s.pipe.Submit(c.room, deliver) // ErrClosed only during shutdown
+		// Shed returns (ErrShed) are counted by the pipeline's OnShed
+		// hook; ErrClosed (shutdown) is the only other outcome.
+		_ = s.pipe.Submit(c.room, deliver)
 		r.sayMu.Unlock()
 		return
 	}
@@ -385,6 +465,10 @@ func (s *Server) leave(c *client) {
 // broadcast sends to every room member except skip (may be nil) and
 // records chat/agent traffic in the room history.
 func (s *Server) broadcast(roomName string, m Message, skip *client) {
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	r := s.rooms[roomName]
 	var members []*client
@@ -406,6 +490,10 @@ func (s *Server) broadcast(roomName string, m Message, skip *client) {
 	for _, c := range members {
 		s.enqueue(c, m)
 	}
+	if s.met != nil {
+		s.met.fanout.Add(int64(len(members)))
+		s.met.broadcastDur.ObserveSince(start)
+	}
 }
 
 // enqueue delivers without blocking; a stalled client is disconnected.
@@ -414,7 +502,12 @@ func (s *Server) enqueue(c *client, m Message) {
 	case c.out <- m:
 	case <-c.done:
 	default:
-		s.logf("chat: dropping stalled client %s in %s", c.name, c.room)
+		if c.dropped.CompareAndSwap(false, true) {
+			if s.met != nil {
+				s.met.droppedClients.Inc()
+			}
+			s.logf("chat: dropping stalled client %s in %s", c.name, c.room)
+		}
 		_ = c.conn.Close()
 	}
 }

@@ -1,0 +1,152 @@
+package chat
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"semagent/internal/metrics"
+	"semagent/internal/pipeline"
+)
+
+// TestSheddingKeepsChatDeliveryLive floods a room whose supervisor is
+// wedged and checks the chat layer stays live: every line is still
+// broadcast promptly, supervision is shed (and counted) instead of
+// back-pressuring the sender, and the counters agree between the chat
+// metrics and the pipeline stats.
+func TestSheddingKeepsChatDeliveryLive(t *testing.T) {
+	reg := metrics.NewRegistry()
+	gate := make(chan struct{})
+	var supervised atomic.Int64
+	slowSup := SupervisorFunc(func(room, user, text string) []Response {
+		supervised.Add(1)
+		<-gate // wedged until test end
+		return nil
+	})
+	s := NewServer(ServerOptions{
+		Supervisor: slowSup,
+		Async:      true,
+		Workers:    1,
+		ShedPolicy: pipeline.ShedRejectNew,
+		// Tiny watermark: everything beyond the wedged task + 2 queued
+		// sheds immediately.
+		RoomHighWater: 2,
+		Metrics:       reg,
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LIFO: the gate must open before Close drains the wedged pipeline.
+	defer s.Close()
+	defer close(gate)
+
+	cl, err := Dial(addr.String(), "class", "alice", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := cl.Say("the stack has a push operation"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every line must come back as a broadcast even though the
+	// supervisor never finishes a single message.
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < n {
+		select {
+		case m, ok := <-cl.Receive():
+			if !ok {
+				t.Fatalf("connection closed after %d/%d echoes", got, n)
+			}
+			if m.Type == TypeChat && m.From == "alice" {
+				got++
+			}
+		case <-deadline:
+			t.Fatalf("only %d/%d broadcasts arrived while supervisor wedged — chat stalled", got, n)
+		}
+	}
+
+	st, ok := s.SupervisionStats()
+	if !ok {
+		t.Fatal("no pipeline stats")
+	}
+	if st.Shed == 0 {
+		t.Fatalf("stats = %+v, want sheds under a wedged supervisor", st)
+	}
+	shedMetric := reg.Counter("semagent_chat_supervision_shed_total", "").Value()
+	if shedMetric != st.Shed {
+		t.Errorf("chat shed counter = %d, pipeline Shed = %d — dropped messages miscounted", shedMetric, st.Shed)
+	}
+	if st.Submitted+st.ShedNew != n {
+		t.Errorf("submitted %d + shed %d != %d sent", st.Submitted, st.ShedNew, n)
+	}
+	if msgs := reg.Counter("semagent_chat_messages_total", "").Value(); msgs != n {
+		t.Errorf("chat messages counter = %d, want %d", msgs, n)
+	}
+}
+
+// TestServerMetricsExposition runs a short supervised session and
+// checks the whole registry renders as valid Prometheus text with the
+// chat and pipeline families present.
+func TestServerMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sup := SupervisorFunc(func(room, user, text string) []Response {
+		return []Response{{Agent: "Echo_Agent", Text: "noted: " + text}}
+	})
+	s := NewServer(ServerOptions{Supervisor: sup, Async: true, Metrics: reg})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	cl, err := Dial(addr.String(), "class", "bob", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 5; i++ {
+		if err := cl.Say("hello there"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the agent responses so histograms have samples.
+	agents := 0
+	deadline := time.After(5 * time.Second)
+	for agents < 5 {
+		select {
+		case m := <-cl.Receive():
+			if m.Type == TypeAgent {
+				agents++
+			}
+		case <-deadline:
+			t.Fatalf("only %d/5 agent responses", agents)
+		}
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := metrics.ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("server exposition invalid: %v\n%s", err, out)
+	}
+	for _, fam := range []string{
+		"semagent_chat_messages_total",
+		"semagent_chat_broadcast_seconds_bucket",
+		"semagent_chat_connections",
+		"semagent_pipeline_submitted_total",
+		"semagent_pipeline_queue_wait_seconds_count",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+}

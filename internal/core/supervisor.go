@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"semagent/internal/angel"
 	"semagent/internal/chat"
 	"semagent/internal/corpus"
 	"semagent/internal/linkgrammar"
+	"semagent/internal/metrics"
 	"semagent/internal/ontology"
 	"semagent/internal/profile"
 	"semagent/internal/qa"
@@ -58,6 +60,45 @@ type Config struct {
 	// DisableRecording turns off corpus/profile/stats updates
 	// (useful for pure benchmarking of the agent pipeline).
 	DisableRecording bool
+	// Metrics, if set, registers per-stage latency histograms
+	// (semagent_stage_seconds{stage=angel|semantic|qa}), the whole-
+	// pipeline semagent_process_seconds, and per-verdict message
+	// counters. Nil runs the hot path uninstrumented at zero cost.
+	Metrics *metrics.Registry
+}
+
+// supMetrics are the supervisor's hot-path instruments.
+type supMetrics struct {
+	process                  *metrics.Histogram
+	angel, semantic, qaStage *metrics.Histogram
+	verdicts                 map[corpus.Verdict]*metrics.Counter
+}
+
+func newSupMetrics(r *metrics.Registry) *supMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &supMetrics{
+		process:  r.DurationHistogram("semagent_process_seconds", "whole supervision pipeline latency per message"),
+		angel:    r.DurationHistogram("semagent_stage_seconds", "supervision stage latency", metrics.L("stage", "angel")),
+		semantic: r.DurationHistogram("semagent_stage_seconds", "supervision stage latency", metrics.L("stage", "semantic")),
+		qaStage:  r.DurationHistogram("semagent_stage_seconds", "supervision stage latency", metrics.L("stage", "qa")),
+		verdicts: make(map[corpus.Verdict]*metrics.Counter),
+	}
+	for _, v := range []corpus.Verdict{
+		corpus.VerdictCorrect, corpus.VerdictSyntaxError,
+		corpus.VerdictSemanticError, corpus.VerdictQuestion,
+	} {
+		m.verdicts[v] = r.Counter("semagent_messages_total", "supervised messages by verdict", metrics.L("verdict", v.String()))
+	}
+	return m
+}
+
+func (m *supMetrics) record(v corpus.Verdict, start time.Time) {
+	m.process.ObserveSince(start)
+	if c := m.verdicts[v]; c != nil {
+		c.Inc()
+	}
 }
 
 // Supervisor is the composed system. It is safe for concurrent use:
@@ -82,6 +123,7 @@ type Supervisor struct {
 	analyzer *stats.Analyzer
 	gen      *stats.CorporaGenerator
 	recorder bool
+	met      *supMetrics
 
 	// Vocabulary follows the snapshot publish path: when Process sees a
 	// snapshot version it has not taught the dictionary from yet, it
@@ -141,6 +183,7 @@ func New(cfg Config) (*Supervisor, error) {
 		analyzer: stats.NewAnalyzer(),
 		gen:      stats.NewCorporaGenerator(store, faq),
 		recorder: !cfg.DisableRecording,
+		met:      newSupMetrics(cfg.Metrics),
 		taught:   make(map[string]bool),
 	}
 	if err := s.syncVocabulary(onto.Snapshot()); err != nil {
@@ -238,6 +281,10 @@ type Assessment struct {
 // worst the message is judged against the knowledge state from just
 // before the mutation (the bounded-staleness window of DESIGN.md D8).
 func (s *Supervisor) Process(room, user, text string) (*Assessment, error) {
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
+	}
 	snap := s.onto.Snapshot()
 	if snap.Version() > s.vocabVersion.Load() {
 		// A newly published snapshot may carry new course vocabulary:
@@ -259,17 +306,34 @@ func (s *Supervisor) Process(room, user, text string) (*Assessment, error) {
 	if cls.Pattern.IsQuestion() {
 		// Questions go to the QA subsystem; the Semantic Agent ignores
 		// them per §4.3 stage 1.
+		var qaStart time.Time
+		if s.met != nil {
+			qaStart = time.Now()
+		}
 		ans := s.qa.AskWith(snap, text)
+		if s.met != nil {
+			s.met.qaStage.ObserveSince(qaStart)
+		}
 		a.QAAnswer = &ans
 		a.Verdict = corpus.VerdictQuestion
 		if ans.Answered {
 			a.Responses = append(a.Responses, chat.Response{Agent: AgentQA, Text: ans.Text})
 		}
 		s.record(a, tokens, topics, nil)
+		if s.met != nil {
+			s.met.record(a.Verdict, start)
+		}
 		return a, nil
 	}
 
+	var angelStart time.Time
+	if s.met != nil {
+		angelStart = time.Now()
+	}
 	rep, err := s.angel.CheckWith(snap, text)
+	if s.met != nil {
+		s.met.angel.ObserveSince(angelStart)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("learning angel: %w", err)
 	}
@@ -285,10 +349,20 @@ func (s *Supervisor) Process(room, user, text string) (*Assessment, error) {
 			})
 		}
 		s.record(a, tokens, topics, rep.Tags)
+		if s.met != nil {
+			s.met.record(a.Verdict, start)
+		}
 		return a, nil
 	}
 
+	var semStart time.Time
+	if s.met != nil {
+		semStart = time.Now()
+	}
 	sem := s.semantic.AnalyzeWith(snap, a.Classification)
+	if s.met != nil {
+		s.met.semantic.ObserveSince(semStart)
+	}
 	a.Semantic = sem
 	if sem.Verdict == semantic.VerdictInterrogative {
 		a.Verdict = corpus.VerdictSemanticError
@@ -301,6 +375,9 @@ func (s *Supervisor) Process(room, user, text string) (*Assessment, error) {
 		})
 	}
 	s.record(a, tokens, topics, nil)
+	if s.met != nil {
+		s.met.record(a.Verdict, start)
+	}
 	return a, nil
 }
 

@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunE12Smoke runs a scaled-down E12 and checks the structural
+// invariants: capacity measured, one arm per multiplier plus the
+// blocking contrast, shed accounting consistent, latency quantiles
+// populated, and the result round-trips through JSON (the CI artifact
+// path). Absolute performance bars live in DESIGN.md §E12, recorded on
+// dedicated hardware — CI machines are too noisy to gate on them here.
+func TestRunE12Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E12 drives real TCP load; skipped in -short")
+	}
+	res, err := RunE12(E12Config{
+		Rooms: 2, ClientsPerRoom: 2,
+		Duration:            400 * time.Millisecond,
+		Seed:                12,
+		Multipliers:         []float64{1, 3},
+		CalibrationMessages: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityMsgsPerSec <= 0 {
+		t.Fatalf("capacity = %v, want > 0", res.CapacityMsgsPerSec)
+	}
+	if len(res.Arms) != 3 { // 2 shed arms + 1 blocking contrast
+		t.Fatalf("arms = %d, want 3", len(res.Arms))
+	}
+	for _, arm := range res.Arms {
+		if arm.SentRate <= 0 {
+			t.Errorf("%s: nothing sent", arm.Name)
+		}
+		if arm.P99 <= 0 {
+			t.Errorf("%s: p99 not recorded", arm.Name)
+		}
+		if arm.Shedding {
+			st := arm.Pipeline
+			if st.Shed != st.ShedNew+st.ShedOldest {
+				t.Errorf("%s: shed %d != new %d + oldest %d", arm.Name, st.Shed, st.ShedNew, st.ShedOldest)
+			}
+			if st.Blocked != 0 {
+				t.Errorf("%s: %d blocked submits under admission control", arm.Name, st.Blocked)
+			}
+		}
+	}
+	// The overloaded shed arm must actually shed, and its tail must stay
+	// interactive while the blocking contrast arm's grows with its
+	// backlog — the D10 claim, at smoke scale.
+	over := res.Arms[1]
+	if over.ShedCount == 0 {
+		t.Errorf("%s at %gx capacity shed nothing", over.Name, over.Multiplier)
+	}
+	if !res.BoundedP99 {
+		t.Errorf("p99 at max shed load = %v, want < %v", res.P99AtMaxShed, BoundedP99Limit)
+	}
+	if res.P99AtMaxBlocking <= res.P99AtMaxShed {
+		t.Errorf("blocking p99 %v <= shedding p99 %v — contrast arm shows no backlog",
+			res.P99AtMaxBlocking, res.P99AtMaxShed)
+	}
+	// JSON round-trip: the CI artifact path.
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back E12Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CapacityMsgsPerSec != res.CapacityMsgsPerSec || len(back.Arms) != len(res.Arms) {
+		t.Error("JSON round-trip lost data")
+	}
+}

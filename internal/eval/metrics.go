@@ -5,8 +5,9 @@ package eval
 
 import (
 	"fmt"
-	"sort"
 	"time"
+
+	"semagent/internal/quantile"
 )
 
 // Confusion is a binary confusion matrix; by convention "positive"
@@ -92,24 +93,10 @@ func (l *Latencies) Len() int { return len(l.samples) }
 
 // Quantile returns the q-quantile (0 <= q <= 1).
 func (l *Latencies) Quantile(q float64) time.Duration {
-	if len(l.samples) == 0 {
-		return 0
-	}
-	sorted := make([]time.Duration, len(l.samples))
-	copy(sorted, l.samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	return quantile.Duration(l.samples, q)
 }
 
 // Mean returns the average.
 func (l *Latencies) Mean() time.Duration {
-	if len(l.samples) == 0 {
-		return 0
-	}
-	var sum time.Duration
-	for _, d := range l.samples {
-		sum += d
-	}
-	return sum / time.Duration(len(l.samples))
+	return quantile.Mean(l.samples)
 }

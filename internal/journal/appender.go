@@ -11,8 +11,28 @@ import (
 	"sync"
 	"time"
 
+	"semagent/internal/metrics"
 	"semagent/internal/storage"
 )
+
+// journalMetrics are the write-ahead log's hot-path instruments (nil
+// when the journal runs unobserved).
+type journalMetrics struct {
+	records, fsyncs    *metrics.Counter
+	appendDur, syncDur *metrics.Histogram
+}
+
+func newJournalMetrics(r *metrics.Registry) *journalMetrics {
+	if r == nil {
+		return nil
+	}
+	return &journalMetrics{
+		records:   r.Counter("semagent_journal_records_total", "mutations appended to the WAL"),
+		fsyncs:    r.Counter("semagent_journal_fsyncs_total", "WAL fsync calls (group commits + per-record syncs)"),
+		appendDur: r.DurationHistogram("semagent_journal_append_seconds", "WAL append latency (buffered write, plus fsync in sync-every mode)"),
+		syncDur:   r.DurationHistogram("semagent_journal_fsync_seconds", "WAL flush+fsync latency"),
+	}
+}
 
 // segment file naming: journal.<8-digit-seq>.wal sorts lexically in
 // sequence order.
@@ -73,6 +93,7 @@ type appender struct {
 	size      int64  // bytes appended since last checkpoint
 	syncEvery bool
 	err       error // first append error; journal is degraded after
+	met       *journalMetrics
 
 	// counters for Stats
 	records uint64
@@ -81,7 +102,7 @@ type appender struct {
 
 // openAppender opens (or creates) the active segment for appending.
 // startLSN seeds the sequence counter from recovery.
-func openAppender(dir string, seq, startLSN uint64, syncEvery bool) (*appender, error) {
+func openAppender(dir string, seq, startLSN uint64, syncEvery bool, met *journalMetrics) (*appender, error) {
 	create := seq == 0
 	if create {
 		seq = 1
@@ -110,6 +131,7 @@ func openAppender(dir string, seq, startLSN uint64, syncEvery bool) (*appender, 
 		lsn:       startLSN,
 		size:      st.Size(),
 		syncEvery: syncEvery,
+		met:       met,
 	}, nil
 }
 
@@ -120,6 +142,12 @@ func openAppender(dir string, seq, startLSN uint64, syncEvery bool) (*appender, 
 // stores regardless, and the LSN contract is about state coverage, not
 // durability.
 func (a *appender) Append(typ string, payload interface{}) (uint64, error) {
+	if a.met != nil {
+		// Duration is observed on every attempt; the records counter
+		// only on success (see below) — a degraded journal must not
+		// look like it is still appending.
+		defer a.met.appendDur.ObserveSince(time.Now())
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.lsn++
@@ -134,6 +162,9 @@ func (a *appender) Append(typ string, payload interface{}) (uint64, error) {
 		return lsn, err
 	}
 	a.records++
+	if a.met != nil {
+		a.met.records.Inc()
+	}
 	a.size += int64(len(line))
 	a.dirty = true
 	if a.syncEvery {
@@ -155,6 +186,10 @@ func (a *appender) flushLocked() error {
 	if !a.dirty {
 		return nil
 	}
+	var start time.Time
+	if a.met != nil {
+		start = time.Now()
+	}
 	if err := a.bw.Flush(); err != nil {
 		a.fail(err)
 		return err
@@ -164,6 +199,10 @@ func (a *appender) flushLocked() error {
 		return err
 	}
 	a.fsyncs++
+	if a.met != nil {
+		a.met.syncDur.ObserveSince(start)
+		a.met.fsyncs.Inc()
+	}
 	a.dirty = false
 	return nil
 }

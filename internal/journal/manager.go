@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"semagent/internal/corpus"
+	"semagent/internal/metrics"
 	"semagent/internal/ontology"
 	"semagent/internal/profile"
 	"semagent/internal/qa"
@@ -72,6 +73,9 @@ type Options struct {
 	CheckpointInterval time.Duration
 	// Logger receives operational messages; nil discards them.
 	Logger *log.Logger
+	// Metrics, if set, registers the journal's counters and latency
+	// histograms (semagent_journal_*).
+	Metrics *metrics.Registry
 }
 
 func (o *Options) fill() {
@@ -171,12 +175,16 @@ func Open(dir string, stores Stores, opts Options) (*Manager, error) {
 			startLSN = lsn
 		}
 	}
-	ap, err := openAppender(dir, replay.LastSegment, startLSN, opts.SyncEveryRecord)
+	ap, err := openAppender(dir, replay.LastSegment, startLSN, opts.SyncEveryRecord, newJournalMetrics(opts.Metrics))
 	if err != nil {
 		_ = lock.Close()
 		return nil, err
 	}
 	m.ap = ap
+	if opts.Metrics != nil {
+		opts.Metrics.GaugeFunc("semagent_journal_last_lsn", "last assigned WAL sequence number",
+			func() int64 { return int64(ap.LastLSN()) })
+	}
 
 	// Recovery is complete: every store now reflects all mutations up
 	// to startLSN, so pin their LSNs there before new appends begin.

@@ -1,0 +1,286 @@
+// Package loadgen is the open-loop load generator of experiment E12
+// (DESIGN.md D10): scripted learners driving real TCP chat connections
+// at a configured offered rate, regardless of how fast the server
+// responds. Closed-loop clients (like eval.RunE6's) slow down when the
+// server does, which hides overload — an open-loop generator keeps
+// offering traffic at the target rate, so queue growth, shedding and
+// tail latency at 1×/2×/5× capacity become measurable instead of
+// self-censoring.
+//
+// A receiver goroutine per client matches its own broadcasts back in
+// FIFO order — the server guarantees per-sender order within a room, so
+// the k-th received own message is the k-th sent and the text needs no
+// correlation tag (tags would defeat the parse cache and change what
+// the supervisor sees). Messages whose echo misses the timeout count as
+// timeouts, not latency samples — the report therefore separates
+// delivered goodput from offered load.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"semagent/internal/chat"
+	"semagent/internal/ontology"
+	"semagent/internal/quantile"
+	"semagent/internal/workload"
+)
+
+// Config sizes one load-generation run.
+type Config struct {
+	// Addr is the chat server's TCP address.
+	Addr string
+	// Rooms and ClientsPerRoom shape the population (defaults 4 and 2).
+	Rooms, ClientsPerRoom int
+	// Rate is the aggregate offered message rate in messages/second
+	// across all clients (required, > 0).
+	Rate float64
+	// Duration is how long to offer load (default 2s).
+	Duration time.Duration
+	// Seed drives the workload generator (sentence mix per client).
+	Seed int64
+	// Mix selects the sentence mix; the zero value selects
+	// workload.DefaultMix.
+	Mix workload.Mix
+	// EchoTimeout is how long after the run to wait for stragglers and
+	// how stale an unmatched send may be before it counts as a timeout
+	// (default 5s).
+	EchoTimeout time.Duration
+	// Ontology seeds the generator vocabulary (default: the built-in
+	// course ontology).
+	Ontology *ontology.Ontology
+}
+
+func (c *Config) fill() {
+	if c.Rooms <= 0 {
+		c.Rooms = 4
+	}
+	if c.ClientsPerRoom <= 0 {
+		c.ClientsPerRoom = 2
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.EchoTimeout <= 0 {
+		c.EchoTimeout = 5 * time.Second
+	}
+	if c.Ontology == nil {
+		c.Ontology = ontology.BuildCourseOntology()
+	}
+	if c.Mix == (workload.Mix{}) {
+		c.Mix = workload.DefaultMix()
+	}
+}
+
+// Result is one run's measurements.
+type Result struct {
+	// Offered is the configured rate; OfferedSent the messages actually
+	// written (open loop: sends can lag the schedule only when the
+	// socket itself back-pressures — that gap is part of the result).
+	Offered  float64
+	Sent     int
+	SendRate float64
+	// Echoed counts messages whose own broadcast came back in time;
+	// Timeouts those that did not. Goodput is echoed messages/second
+	// over the whole measurement window (offered window plus the
+	// straggler grace period — late echoes must not be credited to the
+	// shorter window).
+	Echoed   int
+	Timeouts int
+	Goodput  float64
+	// End-to-end say-to-echo latency over the echoed messages.
+	P50, P95, P99, Mean time.Duration
+	Elapsed             time.Duration
+}
+
+// lgClient is one scripted connection.
+type lgClient struct {
+	room, user string
+	cl         *chat.Client
+	lines      []string
+
+	mu sync.Mutex
+	// pending holds the send times of messages whose echo has not come
+	// back yet, in send order; echoes pop from the front (the server
+	// preserves per-sender broadcast order).
+	pending []time.Time
+	echoed  []time.Duration
+	next    int
+}
+
+// Run drives the configured load against the server and reports.
+func Run(cfg Config) (*Result, error) {
+	cfg.fill()
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: Rate must be > 0")
+	}
+
+	// Pre-generate every client's script: enough lines to cover the
+	// whole run at full rate even if this client gets every tick.
+	gen := workload.NewGenerator(cfg.Seed, cfg.Ontology)
+	total := int(cfg.Rate*cfg.Duration.Seconds()) + 1
+	clients := make([]*lgClient, 0, cfg.Rooms*cfg.ClientsPerRoom)
+	for r := 0; r < cfg.Rooms; r++ {
+		for c := 0; c < cfg.ClientsPerRoom; c++ {
+			lc := &lgClient{
+				room: fmt.Sprintf("load-room-%d", r),
+				user: fmt.Sprintf("load-%d-%d", r, c),
+			}
+			per := total/(cfg.Rooms*cfg.ClientsPerRoom) + 1
+			for _, s := range gen.Generate(per, cfg.Mix) {
+				lc.lines = append(lc.lines, s.Text)
+			}
+			clients = append(clients, lc)
+		}
+	}
+
+	for _, lc := range clients {
+		cl, err := chat.Dial(cfg.Addr, lc.room, lc.user, cfg.EchoTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen dial %s: %w", lc.user, err)
+		}
+		lc.cl = cl
+	}
+	defer func() {
+		for _, lc := range clients {
+			_ = lc.cl.Close()
+		}
+	}()
+
+	// Receivers: match own echoes by prefix, record latency.
+	var rwg sync.WaitGroup
+	for _, lc := range clients {
+		rwg.Add(1)
+		go func(lc *lgClient) {
+			defer rwg.Done()
+			for m := range lc.cl.Receive() {
+				if m.Type != chat.TypeChat || m.From != lc.user {
+					continue
+				}
+				now := time.Now()
+				lc.mu.Lock()
+				if len(lc.pending) > 0 {
+					lc.echoed = append(lc.echoed, now.Sub(lc.pending[0]))
+					lc.pending = lc.pending[1:]
+				}
+				lc.mu.Unlock()
+			}
+		}(lc)
+	}
+
+	// The open-loop schedule: one global pacer hands ticks round-robin
+	// to the clients. Each client sends in its own goroutine so one
+	// back-pressured socket cannot stall the others' schedules.
+	sendCh := make([]chan struct{}, len(clients))
+	var swg sync.WaitGroup
+	sent := make([]int, len(clients))
+	for i, lc := range clients {
+		sendCh[i] = make(chan struct{}, 1024)
+		swg.Add(1)
+		go func(i int, lc *lgClient) {
+			defer swg.Done()
+			for range sendCh[i] {
+				lc.mu.Lock()
+				line := lc.lines[lc.next%len(lc.lines)]
+				lc.next++
+				lc.pending = append(lc.pending, time.Now())
+				lc.mu.Unlock()
+				if err := lc.cl.Say(line); err != nil {
+					lc.mu.Lock()
+					lc.pending = lc.pending[:len(lc.pending)-1]
+					lc.mu.Unlock()
+					return // connection gone; stop this sender
+				}
+				sent[i]++
+			}
+		}(i, lc)
+	}
+
+	// Batch pacer: at high rates a per-message ticker coalesces and
+	// under-delivers, so the pacer wakes on a coarse tick and issues
+	// however many sends the schedule says are due by now.
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	tick := 2 * time.Millisecond
+	issued := 0
+	for {
+		now := time.Now()
+		if now.After(deadline) {
+			break
+		}
+		due := int(cfg.Rate * now.Sub(start).Seconds())
+		for ; issued < due; issued++ {
+			// Non-blocking handoff: a client whose sender is stuck in a
+			// back-pressured Say accumulates its turns in the buffered
+			// channel — and once that fills, misses them. Open loop
+			// means the schedule never waits for the server.
+			select {
+			case sendCh[issued%len(sendCh)] <- struct{}{}:
+			default:
+			}
+		}
+		time.Sleep(tick)
+	}
+	for _, ch := range sendCh {
+		close(ch)
+	}
+	swg.Wait()
+	offeredWindow := time.Since(start)
+
+	// Grace period for stragglers: wait until every pending echo either
+	// arrives or ages past the timeout.
+	graceEnd := time.Now().Add(cfg.EchoTimeout)
+	for time.Now().Before(graceEnd) {
+		if outstanding(clients) == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Echoes are collected through the grace period, so goodput must be
+	// computed over that full window too — crediting drain-time echoes
+	// to the shorter offered window would inflate the delivery rate of
+	// an overloaded (especially blocking) server.
+	measureWindow := time.Since(start)
+	for _, lc := range clients {
+		_ = lc.cl.Close() // unblocks receivers
+	}
+	rwg.Wait()
+
+	res := &Result{Offered: cfg.Rate, Elapsed: offeredWindow}
+	var all latencySamples
+	for idx, lc := range clients {
+		res.Sent += sent[idx]
+		lc.mu.Lock()
+		res.Timeouts += len(lc.pending)
+		all = append(all, lc.echoed...)
+		lc.mu.Unlock()
+	}
+	res.Echoed = len(all)
+	if offeredWindow > 0 {
+		res.SendRate = float64(res.Sent) / offeredWindow.Seconds()
+	}
+	if measureWindow > 0 {
+		res.Goodput = float64(res.Echoed) / measureWindow.Seconds()
+	}
+	res.P50 = all.quantile(0.50)
+	res.P95 = all.quantile(0.95)
+	res.P99 = all.quantile(0.99)
+	res.Mean = all.mean()
+	return res, nil
+}
+
+func outstanding(clients []*lgClient) int {
+	n := 0
+	for _, lc := range clients {
+		lc.mu.Lock()
+		n += len(lc.pending)
+		lc.mu.Unlock()
+	}
+	return n
+}
+
+type latencySamples []time.Duration
+
+func (l latencySamples) quantile(q float64) time.Duration { return quantile.Duration(l, q) }
+func (l latencySamples) mean() time.Duration              { return quantile.Mean(l) }

@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"semagent/internal/chat"
+)
+
+// TestOpenLoopAgainstPlainRoom drives a modest open-loop load at an
+// unsupervised chat server and checks the accounting: everything sent
+// is echoed, latencies are recorded, goodput is positive.
+func TestOpenLoopAgainstPlainRoom(t *testing.T) {
+	s := chat.NewServer(chat.ServerOptions{})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	res, err := Run(Config{
+		Addr:  addr.String(),
+		Rooms: 2, ClientsPerRoom: 2,
+		Rate:     200,
+		Duration: 500 * time.Millisecond,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if res.Echoed != res.Sent {
+		t.Errorf("echoed %d != sent %d against an idle server", res.Echoed, res.Sent)
+	}
+	if res.Timeouts != 0 {
+		t.Errorf("timeouts = %d, want 0", res.Timeouts)
+	}
+	if res.Goodput <= 0 {
+		t.Errorf("goodput = %v, want > 0", res.Goodput)
+	}
+	if res.P99 <= 0 || res.P50 > res.P99 {
+		t.Errorf("latency quantiles p50=%v p99=%v malformed", res.P50, res.P99)
+	}
+	// Open loop at 200/s for 0.5s should offer roughly 100 messages;
+	// allow wide slack for CI noise but catch a broken pacer.
+	if res.Sent < 30 {
+		t.Errorf("sent = %d, want ≈100 at 200/s over 500ms", res.Sent)
+	}
+}
+
+// TestRateRequired checks the config validation.
+func TestRateRequired(t *testing.T) {
+	if _, err := Run(Config{Addr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("Rate 0 accepted")
+	}
+}
+
+// TestLatencyQuantiles covers the sample aggregation.
+func TestLatencyQuantiles(t *testing.T) {
+	var l latencySamples
+	for i := 100; i >= 1; i-- {
+		l = append(l, time.Duration(i)*time.Millisecond)
+	}
+	if got := l.quantile(0.50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := l.quantile(0.99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", got)
+	}
+	if got := l.mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", got)
+	}
+	var empty latencySamples
+	if empty.quantile(0.99) != 0 || empty.mean() != 0 {
+		t.Error("empty samples should report zero")
+	}
+}

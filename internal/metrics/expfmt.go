@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that r is well-formed Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE comments precede their
+// family's samples, sample lines parse (name, optional labels, float
+// value), names stay within the legal charset, histogram families carry
+// cumulative monotone _bucket series ending in le="+Inf" whose count
+// matches _count, and no family's samples interleave with another's.
+// The test suites use it to assert the /metrics endpoint speaks real
+// Prometheus, not something that merely looks like it.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	types := make(map[string]string)
+	seenFamily := make(map[string]bool) // family samples already closed
+	var current string                  // family whose samples we are in
+	buckets := make(map[string][]float64)
+	counts := make(map[string]float64)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if err := checkName(name); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE without type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				types[name] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(name, types)
+		if fam != current {
+			if seenFamily[fam] {
+				return fmt.Errorf("line %d: samples of %s interleave with another family", lineNo, fam)
+			}
+			if current != "" {
+				seenFamily[current] = true
+			}
+			current = fam
+		}
+		if types[fam] == "histogram" {
+			key := fam + "\x00" + labelsKeyWithout(labels, "le")
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				bound, err := parseLE(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				bs := buckets[key]
+				if len(bs)%2 == 0 && len(bs) > 0 && bound <= bs[len(bs)-2] {
+					return fmt.Errorf("line %d: le bounds not increasing", lineNo)
+				}
+				if n := len(bs); n > 0 && value < bs[n-1] {
+					return fmt.Errorf("line %d: bucket counts not cumulative", lineNo)
+				}
+				buckets[key] = append(bs, bound, value)
+			case strings.HasSuffix(name, "_count"):
+				counts[key] = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// Every histogram must end in +Inf and agree with its _count.
+	for key, bs := range buckets {
+		fam := key[:strings.IndexByte(key, '\x00')]
+		if len(bs) < 2 {
+			return fmt.Errorf("histogram %s: no buckets", fam)
+		}
+		lastBound, lastCount := bs[len(bs)-2], bs[len(bs)-1]
+		if lastBound != posInf {
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", fam)
+		}
+		if c, ok := counts[key]; ok && c != lastCount {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", fam, lastCount, c)
+		}
+	}
+	return nil
+}
+
+var posInf = math.Inf(1)
+
+func parseLE(le string) (float64, error) {
+	if le == "+Inf" {
+		return posInf, nil
+	}
+	return strconv.ParseFloat(le, 64)
+}
+
+// familyOf strips the histogram sample suffixes when the base name has
+// a registered histogram type.
+func familyOf(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample parses `name{l1="v1",...} value` (timestamp suffixes are
+// not emitted by this package and are rejected).
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if err := checkName(name); err != nil {
+		return "", nil, 0, err
+	}
+	labels = make(map[string]string)
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, ",")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+			}
+			lname := rest[:eq]
+			if err := checkName(lname); err != nil {
+				return "", nil, 0, err
+			}
+			rest = rest[eq+2:]
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' && j+1 < len(rest) {
+					j++
+					switch rest[j] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[j])
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			labels[lname] = val.String()
+		}
+	} else {
+		rest = rest[i:]
+	}
+	rest = strings.TrimSpace(rest)
+	if strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("trailing fields in %q", line)
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// labelsKeyWithout renders labels minus one name, sorted, as a map key.
+func labelsKeyWithout(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}

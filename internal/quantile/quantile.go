@@ -1,0 +1,35 @@
+// Package quantile holds the one latency-sample summary used by every
+// experiment (eval.Latencies, loadgen) so their quantile convention —
+// nearest-rank on the sorted samples, idx = q·(n−1) — cannot drift
+// apart between E6-style closed-loop runs and E12's open-loop runs.
+package quantile
+
+import (
+	"sort"
+	"time"
+)
+
+// Duration returns the q-quantile (0 <= q <= 1) of the samples.
+// The input is not modified.
+func Duration(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Mean returns the average of the samples.
+func Mean(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	return sum / time.Duration(len(samples))
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"semagent/internal/corpus"
+	"semagent/internal/metrics"
 	"semagent/internal/qa"
 	"semagent/internal/sentence"
 )
@@ -47,6 +48,13 @@ type Analyzer struct {
 	byRoom     map[string]int
 	firstSeen  time.Time
 	lastSeen   time.Time
+
+	// ops is the latest operational metrics snapshot (D10): the
+	// chatserver's periodic ticker folds the live registry in, so the
+	// instructor report shows load, latency and shed state alongside
+	// the learning statistics.
+	ops    metrics.Snapshot
+	hasOps bool
 }
 
 type userAgg struct {
@@ -187,6 +195,24 @@ func rank(m map[string]int, n int) []Ranked {
 	return out
 }
 
+// RecordOps stores the latest operational metrics snapshot for the
+// report. Call it periodically (the chatserver does) so instructors —
+// and anyone reading the session summary — see the service's load and
+// latency state next to the learning statistics.
+func (a *Analyzer) RecordOps(snap metrics.Snapshot) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ops = snap
+	a.hasOps = true
+}
+
+// OpsSnapshot returns the last recorded operational snapshot, if any.
+func (a *Analyzer) OpsSnapshot() (metrics.Snapshot, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ops, a.hasOps
+}
+
 // Report renders a teacher-facing summary.
 func (a *Analyzer) Report() string {
 	a.mu.Lock()
@@ -197,6 +223,7 @@ func (a *Analyzer) Report() string {
 	}
 	users := len(a.byUser)
 	rooms := len(a.byRoom)
+	ops, hasOps := a.ops, a.hasOps
 	a.mu.Unlock()
 
 	var b strings.Builder
@@ -224,6 +251,38 @@ func (a *Analyzer) Report() string {
 			fmt.Fprintf(&b, " %s(%d)", r.Name, r.Count)
 		}
 		b.WriteByte('\n')
+	}
+	if hasOps {
+		b.WriteString(renderOps(ops))
+	}
+	return b.String()
+}
+
+// renderOps formats the operational snapshot: every counter and gauge
+// as a name=value pair, every histogram as count plus p50/p95/p99.
+func renderOps(snap metrics.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Operational snapshot (%s):\n", snap.Time.Format(time.RFC3339))
+	for _, fam := range snap.Families {
+		for _, s := range fam.Series {
+			name := fam.Name
+			if len(s.Labels) > 0 {
+				parts := make([]string, 0, len(s.Labels))
+				for _, l := range s.Labels {
+					parts = append(parts, l.Name+"="+l.Value)
+				}
+				name += "{" + strings.Join(parts, ",") + "}"
+			}
+			switch fam.Kind {
+			case metrics.KindHistogram:
+				fmt.Fprintf(&b, "  %-52s n=%d p50=%s p95=%s p99=%s\n", name, s.Count,
+					time.Duration(s.P50).Round(time.Microsecond),
+					time.Duration(s.P95).Round(time.Microsecond),
+					time.Duration(s.P99).Round(time.Microsecond))
+			default:
+				fmt.Fprintf(&b, "  %-52s %d\n", name, s.Value)
+			}
+		}
 	}
 	return b.String()
 }
