@@ -3,8 +3,9 @@
 // (concurrent rooms through the sharded supervision pipeline, cached
 // vs uncached parses), E10 (lock-free snapshot read path vs the legacy
 // locked ontology), E11 (write-ahead journaling overhead and crash
-// recovery) and E12 (open-loop overload with admission-control
-// shedding).
+// recovery), E12 (open-loop overload with admission-control shedding)
+// and E13 (deterministic scenario-matrix simulation scoring per-persona
+// detection precision/recall).
 //
 // Usage:
 //
@@ -14,7 +15,8 @@
 //	evalharness -exp E9 -rooms 16         # scale: more concurrent rooms
 //	evalharness -exp E10 -json            # machine-readable results (JSON)
 //	evalharness -exp E12 -json            # overload shedding (JSON)
-//	evalharness -exp E10,E11,E12 -json    # one JSON array: the CI perf trajectory
+//	evalharness -exp E13 -json            # persona-matrix detection scores (JSON)
+//	evalharness -exp E10,E11,E12,E13 -json  # one JSON array: the CI perf trajectory
 //
 // A comma-separated -exp list runs each experiment in order; with -json
 // the output is a single JSON array of {"experiment", "result"} objects
@@ -34,10 +36,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment(s) to run: E1..E12, a comma-separated list, or all")
+		exp      = flag.String("exp", "all", "experiment(s) to run: E1..E13, a comma-separated list, or all")
 		n        = flag.Int("n", 1000, "workload size (samples/questions)")
 		seed     = flag.Int64("seed", 1, "workload seed")
-		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11, E12)")
+		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11, E12, E13)")
 		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10, E11, E12)")
 	)
 	flag.Parse()
@@ -57,7 +59,7 @@ type params struct {
 }
 
 // allExperiments is the canonical order.
-var allExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+var allExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 
 // textRunners print human-readable tables; jsonResults produce the
 // machine-readable result objects for the experiments that support
@@ -67,9 +69,11 @@ var (
 		"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4,
 		"E5": runE5, "E6": runE6, "E7": runE7, "E8": runE8,
 		"E9": runE9, "E10": runE10, "E11": runE11, "E12": runE12,
+		"E13": runE13,
 	}
 	jsonResults = map[string]func(params) (interface{}, error){
 		"E10": resultE10, "E11": resultE11, "E12": resultE12,
+		"E13": resultE13,
 	}
 )
 
@@ -99,7 +103,7 @@ func run(expArg string, p params) error {
 		for _, name := range names {
 			getter, ok := jsonResults[name]
 			if !ok {
-				return fmt.Errorf("%s does not support -json (supported: E10, E11, E12)", name)
+				return fmt.Errorf("%s does not support -json (supported: E10, E11, E12, E13)", name)
 			}
 			res, err := getter(p)
 			if err != nil {
@@ -372,6 +376,38 @@ func runE10(p params) error {
 	for _, w := range workers {
 		fmt.Printf("speedup at %2d workers: %.1fx\n", w, res.Speedup[w])
 	}
+	return nil
+}
+
+func e13Config(p params) eval.E13Config {
+	turns := p.n / 100
+	if turns < 2 {
+		turns = 2
+	}
+	return eval.E13Config{Rooms: p.rooms, Turns: turns, Seed: p.seed}
+}
+
+func resultE13(p params) (interface{}, error) {
+	return eval.RunE13(e13Config(p))
+}
+
+func runE13(p params) error {
+	res, err := eval.RunE13(e13Config(p))
+	if err != nil {
+		return err
+	}
+	header("E13 scenario matrix: per-persona detection precision/recall (D11)")
+	fmt.Printf("scenario: %s   messages: %d   supervised: %d   mined FAQ pairs: %d\n",
+		res.Scenario, res.Messages, res.Supervised, res.MinedPairs)
+	fmt.Println("persona       sent  supervised  shed    tp    fp    fn    tn  precision  recall")
+	for _, row := range res.Rows {
+		fmt.Printf("%-12s %5d  %10d  %4d  %4d  %4d  %4d  %4d  %9.3f  %6.3f\n",
+			row.Persona, row.Sent, row.Supervised, row.Shed,
+			row.TruePos, row.FalsePos, row.FalseNeg, row.TrueNeg,
+			row.Precision, row.Recall)
+	}
+	fmt.Printf("micro precision %.3f, micro recall %.3f, question answer rate %.1f%%\n",
+		res.MicroPrecision, res.MicroRecall, res.QuestionAnswerRate*100)
 	return nil
 }
 

@@ -1,0 +1,74 @@
+// Package examples holds the runnable demo programs, one per
+// subdirectory. This test-only file keeps them honest: every example
+// must build and run to a clean exit, so the demos cannot rot silently
+// as the library underneath them evolves.
+package examples
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// exampleArgs trims the long-running examples down to smoke size.
+var exampleArgs = map[string][]string{
+	"classroom": {"-messages", "12", "-students", "2", "-rooms", "1"},
+}
+
+// TestExamplesBuildAndRun builds each examples/<name> program into a
+// scratch dir and runs it as a subprocess with a hard deadline. A
+// non-zero exit, a hang, or output on a crash fails the suite.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke tests skipped in -short mode")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repoRoot, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	binDir := t.TempDir()
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if _, err := os.Stat(filepath.Join(name, "main.go")); err != nil {
+			continue // not an example program
+		}
+		ran++
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			build.Dir = repoRoot
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			run := exec.CommandContext(ctx, bin, exampleArgs[name]...)
+			out, err := run.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out\noutput:\n%s", name, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s exited with %v\noutput:\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no example programs found")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"semagent/internal/clock"
 )
 
 // rawDial opens a bare TCP connection to exercise protocol-level
@@ -92,17 +94,18 @@ func TestNameFreedAfterDisconnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The name must be reusable once the first session is gone.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
+	var lastErr error
+	ok := clock.Until(2*time.Second, func() bool {
 		second, err := Dial(addr, "room", "alice", time.Second)
-		if err == nil {
-			second.Close()
-			return
+		if err != nil {
+			lastErr = err
+			return false
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("name never freed: %v", err)
-		}
-		time.Sleep(20 * time.Millisecond)
+		second.Close()
+		return true
+	})
+	if !ok {
+		t.Fatalf("name never freed: %v", lastErr)
 	}
 }
 

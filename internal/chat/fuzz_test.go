@@ -1,0 +1,63 @@
+package chat
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds are the inline protocol-decoder seeds; the checked-in
+// corpus under testdata/fuzz/FuzzCodecRead extends them.
+var fuzzSeeds = []string{
+	`{"type":"say","text":"hello"}` + "\n",
+	`{"type":"join","room":"algo","from":"alice"}` + "\n",
+	`{"type":"agent","agent":"QA_System","text":"yes","private":true,"time":"2026-03-02T09:00:00Z"}` + "\n",
+	`{"type":"welcome","room":"algo","text":"welcome, alice"}` + "\n",
+	`{}` + "\n",
+	"\n",
+	"not json at all\n",
+	`{"type":"say","text":"unterminated`,
+	`{"type":12,"text":[]}` + "\n",
+	`{"type":"say","text":"` + strings.Repeat("a", 200) + `"}` + "\n",
+	"{\"type\":\"say\"}\n{\"type\":\"leave\"}\n",
+}
+
+// FuzzCodecRead throws arbitrary bytes at the wire decoder: it must
+// never panic, and every message it does accept must survive an
+// encode/decode round trip unchanged (or fail to encode cleanly —
+// e.g. out-of-range timestamps json cannot represent).
+func FuzzCodecRead(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		codec := NewCodec(struct {
+			io.Reader
+			io.Writer
+		}{bytes.NewReader(data), io.Discard})
+		for msgs := 0; msgs < 64; msgs++ {
+			m, err := codec.Read()
+			if err != nil {
+				return // malformed or exhausted input: rejected cleanly
+			}
+			var buf bytes.Buffer
+			out := NewCodec(struct {
+				io.Reader
+				io.Writer
+			}{&buf, &buf})
+			if err := out.Write(m); err != nil {
+				continue // unencodable decoded value (e.g. year > 9999)
+			}
+			back, err := out.Read()
+			if err != nil {
+				t.Fatalf("round trip read failed for %+v: %v", m, err)
+			}
+			if back.Type != m.Type || back.Room != m.Room || back.From != m.From ||
+				back.Text != m.Text || back.Agent != m.Agent || back.Private != m.Private ||
+				!back.Time.Equal(m.Time) {
+				t.Fatalf("round trip changed message:\n in: %+v\nout: %+v", m, back)
+			}
+		}
+	})
+}

@@ -77,6 +77,12 @@ func (c *Codec) Read() (Message, error) {
 	return m, nil
 }
 
+// Buffered reports how many decoded-but-unread bytes sit in the read
+// buffer. The scenario simulator combines it with the transport's own
+// pending count to drain "everything already delivered" without
+// blocking for more.
+func (c *Codec) Buffered() int { return c.r.Buffered() }
+
 // Write encodes and flushes one message.
 func (c *Codec) Write(m Message) error {
 	data, err := json.Marshal(m)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"semagent/internal/clock"
 	"semagent/internal/metrics"
 	"semagent/internal/pipeline"
 )
@@ -57,11 +58,18 @@ type ServerOptions struct {
 	// histograms (semagent_chat_*) and the supervision pipeline's
 	// (semagent_pipeline_*).
 	Metrics *metrics.Registry
+
+	// Clock stamps protocol messages (welcome, chat, system, agent).
+	// Nil selects the wall clock; the scenario simulator (package
+	// simulate, DESIGN.md D11) injects a virtual clock so the same seed
+	// always yields the same timestamps.
+	Clock clock.Clock
 }
 
 // Server is the chat room service.
 type Server struct {
 	opts     ServerOptions
+	clk      clock.Clock
 	listener net.Listener
 	// pipe fans async supervision out by room; nil in inline/off modes.
 	pipe *pipeline.Pipeline
@@ -71,6 +79,14 @@ type Server struct {
 	rooms   map[string]*room
 	clients map[*client]struct{}
 	closed  bool
+
+	// activeSays and activeBroadcasts count handleSay calls and
+	// broadcast fan-outs in flight; together with the per-client pending
+	// counters they let Quiesce prove the server has gone idle — the
+	// determinism barrier the scenario simulator settles on between
+	// scripted events.
+	activeSays       atomic.Int64
+	activeBroadcasts atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -118,6 +134,11 @@ type client struct {
 	// dropped latches the stalled-client disconnect so the counter and
 	// log fire once per client, not once per undeliverable message.
 	dropped atomic.Bool
+	// pending counts messages enqueued but not yet written to the
+	// connection; writerGone marks the writer goroutine's exit (after
+	// which pending can never drain). Both feed Quiesce.
+	pending    atomic.Int64
+	writerGone atomic.Bool
 }
 
 // NewServer returns an unstarted server.
@@ -127,6 +148,7 @@ func NewServer(opts ServerOptions) *Server {
 	}
 	s := &Server{
 		opts:    opts,
+		clk:     clock.Or(opts.Clock),
 		rooms:   make(map[string]*room),
 		clients: make(map[*client]struct{}),
 		met:     newChatMetrics(opts.Metrics),
@@ -183,10 +205,58 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chat listen: %w", err)
 	}
+	s.Serve(l)
+	return l.Addr(), nil
+}
+
+// Serve starts accepting connections from an injected listener — the
+// transport seam: production passes a TCP listener (Listen does), the
+// scenario simulator passes an in-memory memnet.Listener so whole
+// classrooms connect without a socket. Close closes the listener.
+func (s *Server) Serve(l net.Listener) {
 	s.listener = l
 	s.wg.Add(1)
 	go s.acceptLoop(l)
-	return l.Addr(), nil
+}
+
+// Quiesce blocks until the server is idle — no chat line mid-handling,
+// no broadcast mid-fan-out, no supervision task queued or running, and
+// every enqueued message written to its connection (clients whose
+// writer died are exempt: their queues can never drain) — or until the
+// real-time timeout expires, reporting whether idleness was reached.
+//
+// Quiesce only proves the absence of in-flight work the server has
+// already accepted; a caller that just wrote a message to a connection
+// must first observe its effect (e.g. read back its own broadcast echo)
+// before Quiesce can vouch for the consequences. The scenario simulator
+// uses exactly that two-step barrier between scripted events.
+func (s *Server) Quiesce(timeout time.Duration) bool {
+	return clock.Until(timeout, func() bool {
+		if s.activeSays.Load() != 0 || s.activeBroadcasts.Load() != 0 {
+			return false
+		}
+		// Pipeline pending is checked after activeSays: a say still in
+		// flight may be about to submit. Task completion enqueues the
+		// agent responses before the pipeline counts the task done, so
+		// Pending()==0 implies the responses are in the client queues,
+		// where the pending counters below see them.
+		if s.pipe != nil {
+			if st := s.pipe.Stats(); st.Pending() != 0 {
+				return false
+			}
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for c := range s.clients {
+			if c.writerGone.Load() {
+				continue
+			}
+			if c.pending.Load() != 0 {
+				return false
+			}
+		}
+		return true
+	})
 }
 
 func (s *Server) acceptLoop(l net.Listener) {
@@ -308,13 +378,16 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		defer c.writerGone.Store(true)
 		for {
 			select {
 			case m, ok := <-c.out:
 				if !ok {
 					return
 				}
-				if err := c.codec.Write(m); err != nil {
+				err := c.codec.Write(m)
+				c.pending.Add(-1)
+				if err != nil {
 					_ = c.conn.Close()
 					return
 				}
@@ -326,7 +399,7 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	s.broadcast(c.room, Message{
 		Type: TypeSystem, Room: c.room,
-		Text: c.name + " joined the room", Time: time.Now(),
+		Text: c.name + " joined the room", Time: s.clk.Now(),
 	}, nil)
 	s.logf("chat: %s joined %s", c.name, c.room)
 
@@ -354,13 +427,15 @@ func (s *Server) handleConn(conn net.Conn) {
 	close(c.done)
 	s.broadcast(c.room, Message{
 		Type: TypeSystem, Room: c.room,
-		Text: c.name + " left the room", Time: time.Now(),
+		Text: c.name + " left the room", Time: s.clk.Now(),
 	}, nil)
 	s.logf("chat: %s left %s", c.name, c.room)
 }
 
 // handleSay broadcasts a chat line and runs supervision.
 func (s *Server) handleSay(c *client, text string) {
+	s.activeSays.Add(1)
+	defer s.activeSays.Add(-1)
 	text = strings.TrimSpace(text)
 	if text == "" {
 		return
@@ -368,7 +443,7 @@ func (s *Server) handleSay(c *client, text string) {
 	if s.met != nil {
 		s.met.messages.Inc()
 	}
-	now := time.Now()
+	now := s.clk.Now()
 	chatMsg := Message{
 		Type: TypeChat, Room: c.room, From: c.name, Text: text, Time: now,
 	}
@@ -380,7 +455,7 @@ func (s *Server) handleSay(c *client, text string) {
 		for _, resp := range s.opts.Supervisor.Process(c.room, c.name, text) {
 			msg := Message{
 				Type: TypeAgent, Room: c.room, Agent: resp.Agent,
-				Text: resp.Text, Time: time.Now(), Private: resp.Private,
+				Text: resp.Text, Time: s.clk.Now(), Private: resp.Private,
 			}
 			if s.met != nil {
 				s.met.agentMsgs.Inc()
@@ -441,7 +516,7 @@ func (s *Server) join(c *client) error {
 	}
 	r.members[c.name] = c
 	s.clients[c] = struct{}{}
-	s.enqueue(c, Message{Type: TypeWelcome, Room: c.room, Text: "welcome, " + c.name, Time: time.Now()})
+	s.enqueue(c, Message{Type: TypeWelcome, Room: c.room, Text: "welcome, " + c.name, Time: s.clk.Now()})
 	for _, m := range r.history {
 		s.enqueue(c, m)
 	}
@@ -465,6 +540,8 @@ func (s *Server) leave(c *client) {
 // broadcast sends to every room member except skip (may be nil) and
 // records chat/agent traffic in the room history.
 func (s *Server) broadcast(roomName string, m Message, skip *client) {
+	s.activeBroadcasts.Add(1)
+	defer s.activeBroadcasts.Add(-1)
 	var start time.Time
 	if s.met != nil {
 		start = time.Now()
@@ -497,11 +574,18 @@ func (s *Server) broadcast(roomName string, m Message, skip *client) {
 }
 
 // enqueue delivers without blocking; a stalled client is disconnected.
+// The pending counter is raised before the send attempt and rolled back
+// on the non-delivery paths, so it can overcount a written message for
+// an instant but never undercount an outstanding one — the direction
+// Quiesce's soundness needs.
 func (s *Server) enqueue(c *client, m Message) {
+	c.pending.Add(1)
 	select {
 	case c.out <- m:
 	case <-c.done:
+		c.pending.Add(-1)
 	default:
+		c.pending.Add(-1)
 		if c.dropped.CompareAndSwap(false, true) {
 			if s.met != nil {
 				s.met.droppedClients.Inc()

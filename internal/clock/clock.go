@@ -1,0 +1,59 @@
+// Package clock abstracts time for the supervision stack. Production
+// code runs on the System clock (plain time.Now / time.NewTicker); the
+// scenario simulator (package simulate) and tests inject a Virtual
+// clock whose hands only move when the test says so — whole class
+// sessions run in milliseconds, background tickers fire exactly when
+// told to, and the same seed always produces the same timestamps
+// (DESIGN.md D11).
+//
+// The package also carries the condition-polling helper Until, the
+// replacement for the time.Sleep-based waits that used to make the
+// pipeline, chat and journal tests latently flaky: instead of guessing
+// how long a goroutine needs, callers state the condition they are
+// waiting for and poll it cheaply until a real-time deadline.
+package clock
+
+import "time"
+
+// Clock supplies the current time and tickers. Implementations must be
+// safe for concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Since returns the elapsed time on this clock since t.
+	Since(t time.Time) time.Duration
+	// NewTicker returns a ticker firing every d on this clock.
+	// d must be positive.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the clock-agnostic subset of time.Ticker.
+type Ticker interface {
+	// C returns the delivery channel.
+	C() <-chan time.Time
+	// Stop turns the ticker off. It does not close C.
+	Stop()
+}
+
+// System is the wall clock.
+var System Clock = systemClock{}
+
+// Or returns c, or System when c is nil — the one-liner every Options
+// struct uses to default its clock field.
+func Or(c Clock) Clock {
+	if c == nil {
+		return System
+	}
+	return c
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                   { return time.Now() }
+func (systemClock) Since(t time.Time) time.Duration  { return time.Since(t) }
+func (systemClock) NewTicker(d time.Duration) Ticker { return systemTicker{time.NewTicker(d)} }
+
+type systemTicker struct{ t *time.Ticker }
+
+func (s systemTicker) C() <-chan time.Time { return s.t.C }
+func (s systemTicker) Stop()               { s.t.Stop() }

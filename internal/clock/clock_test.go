@@ -1,0 +1,182 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSystemClockTracksWallTime(t *testing.T) {
+	before := time.Now()
+	got := System.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("System.Now() = %v outside [%v, %v]", got, before, after)
+	}
+	if d := System.Since(before); d < 0 {
+		t.Errorf("System.Since(now) = %v, want >= 0", d)
+	}
+	tk := System.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(time.Second):
+		t.Fatal("system ticker never fired")
+	}
+}
+
+func TestVirtualNowAndSince(t *testing.T) {
+	start := time.Date(2026, 1, 2, 9, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if got := v.Now(); !got.Equal(start) {
+		t.Fatalf("Now = %v, want %v", got, start)
+	}
+	v.Advance(90 * time.Second)
+	if got := v.Now(); !got.Equal(start.Add(90 * time.Second)) {
+		t.Fatalf("Now after advance = %v", got)
+	}
+	if got := v.Since(start); got != 90*time.Second {
+		t.Fatalf("Since = %v, want 90s", got)
+	}
+	v.Advance(0)
+	v.Advance(-time.Second)
+	if got := v.Now(); !got.Equal(start.Add(90 * time.Second)) {
+		t.Fatalf("non-positive Advance moved the clock: %v", got)
+	}
+}
+
+// takeTick drains one buffered tick, or reports none pending. Ticks are
+// delivered synchronously inside Advance into the ticker's 1-buffered
+// channel, so no consumer goroutine is needed.
+func takeTick(tk Ticker) (time.Time, bool) {
+	select {
+	case ts := <-tk.C():
+		return ts, true
+	default:
+		return time.Time{}, false
+	}
+}
+
+func TestVirtualTickerFiresPerPeriod(t *testing.T) {
+	start := time.Unix(0, 0).UTC()
+	v := NewVirtual(start)
+	tk := v.NewTicker(10 * time.Millisecond)
+	defer tk.Stop()
+
+	// One period: exactly one tick, stamped at the due time.
+	v.Advance(10 * time.Millisecond)
+	ts, ok := takeTick(tk)
+	if !ok {
+		t.Fatal("ticker did not fire on Advance")
+	}
+	if want := start.Add(10 * time.Millisecond); !ts.Equal(want) {
+		t.Errorf("tick at %v, want %v", ts, want)
+	}
+
+	// A short advance fires nothing.
+	v.Advance(4 * time.Millisecond)
+	if ts, ok := takeTick(tk); ok {
+		t.Fatalf("unexpected tick at %v", ts)
+	}
+
+	// Crossing the next boundary fires again.
+	v.Advance(6 * time.Millisecond)
+	ts, ok = takeTick(tk)
+	if !ok {
+		t.Fatal("second tick missing")
+	}
+	if want := start.Add(20 * time.Millisecond); !ts.Equal(want) {
+		t.Errorf("tick at %v, want %v", ts, want)
+	}
+}
+
+func TestVirtualTickerStopSilences(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	tk := v.NewTicker(time.Second)
+	tk.Stop()
+	v.Advance(5 * time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestVirtualTickerDropsWhenConsumerAbsent(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	tk := v.NewTicker(time.Second)
+	defer tk.Stop()
+	// No consumer: a long advance must not deadlock, and at most one
+	// tick is buffered.
+	v.Advance(10 * time.Second)
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("buffered ticks = %d, want 1 (time.Ticker semantics)", n)
+	}
+}
+
+func TestVirtualTwoTickersInterleave(t *testing.T) {
+	start := time.Unix(0, 0).UTC()
+	v := NewVirtual(start)
+	fast := v.NewTicker(3 * time.Second)
+	slow := v.NewTicker(5 * time.Second)
+	defer fast.Stop()
+	defer slow.Stop()
+
+	v.Advance(3 * time.Second)
+	if ts, ok := takeTick(fast); !ok || !ts.Equal(start.Add(3*time.Second)) {
+		t.Fatalf("fast tick = %v, %v; want @3s", ts, ok)
+	}
+	if ts, ok := takeTick(slow); ok {
+		t.Fatalf("slow ticked early at %v", ts)
+	}
+
+	v.Advance(2 * time.Second)
+	if ts, ok := takeTick(slow); !ok || !ts.Equal(start.Add(5*time.Second)) {
+		t.Fatalf("slow tick = %v, %v; want @5s", ts, ok)
+	}
+	if ts, ok := takeTick(fast); ok {
+		t.Fatalf("fast ticked again early at %v", ts)
+	}
+
+	v.Advance(time.Second)
+	if ts, ok := takeTick(fast); !ok || !ts.Equal(start.Add(6*time.Second)) {
+		t.Fatalf("fast tick = %v, %v; want @6s", ts, ok)
+	}
+}
+
+func TestOrDefaultsToSystem(t *testing.T) {
+	if Or(nil) != System {
+		t.Error("Or(nil) != System")
+	}
+	v := NewVirtual(time.Unix(0, 0))
+	if Or(v) != Clock(v) {
+		t.Error("Or(v) != v")
+	}
+}
+
+func TestUntil(t *testing.T) {
+	if !Until(time.Second, func() bool { return true }) {
+		t.Error("immediately-true condition reported false")
+	}
+	start := time.Now()
+	if Until(30*time.Millisecond, func() bool { return false }) {
+		t.Error("never-true condition reported true")
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("Until returned after %v, before the timeout", elapsed)
+	}
+	// A condition that flips mid-wait is seen.
+	flip := time.Now().Add(10 * time.Millisecond)
+	if !Until(time.Second, func() bool { return time.Now().After(flip) }) {
+		t.Error("condition that became true was missed")
+	}
+}

@@ -1,0 +1,34 @@
+package clock
+
+import (
+	"runtime"
+	"time"
+)
+
+// Until polls cond until it returns true or the real-time timeout
+// expires, reporting whether the condition was met. The poll cadence
+// starts at a goroutine yield (so conditions that are already true, or
+// become true within microseconds, cost almost nothing) and backs off
+// to short sleeps — never longer than a millisecond, so a met condition
+// is observed promptly.
+//
+// This is the replacement for sleep-and-hope waits in tests and for the
+// simulator's quiesce barrier: the caller states WHAT it waits for, and
+// the timeout exists only to turn a genuine bug into a clean failure
+// instead of a hang.
+func Until(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for i := 0; ; i++ {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return cond()
+		}
+		if i < 100 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

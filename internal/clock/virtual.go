@@ -1,0 +1,120 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Virtual is a manually advanced clock. Now returns the same instant
+// until Advance moves the hands; tickers fire synchronously inside
+// Advance, once per elapsed period, in timestamp order. A Virtual clock
+// never reads the wall clock, so code driven by it is deterministic:
+// the same sequence of Advance calls yields the same timestamps and the
+// same ticker firings every run.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*virtualTicker
+}
+
+// NewVirtual returns a virtual clock standing at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the virtual instant.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since returns the virtual time elapsed since t.
+func (v *Virtual) Since(t time.Time) time.Duration {
+	return v.Now().Sub(t)
+}
+
+// Advance moves the clock forward by d and delivers every ticker tick
+// due in the crossed window, in timestamp order. Tick delivery is a
+// non-blocking send into the ticker's 1-buffered channel (a consumer
+// that is not listening drops the tick, matching time.Ticker), so the
+// whole advance runs under the clock lock: concurrent Advance calls
+// serialize and Now never moves backwards.
+func (v *Virtual) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	target := v.now.Add(d)
+	for {
+		// Find the earliest pending tick at or before target.
+		var next *virtualTicker
+		for _, t := range v.tickers {
+			if t.stopped || t.next.After(target) {
+				continue
+			}
+			if next == nil || t.next.Before(next.next) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		due := next.next
+		next.next = due.Add(next.period)
+		if v.now.Before(due) {
+			v.now = due
+		}
+		select {
+		case next.ch <- due:
+		default: // consumer busy: drop, like time.Ticker
+		}
+	}
+	v.now = target
+}
+
+// NewTicker returns a ticker that fires during Advance, every period of
+// virtual time.
+func (v *Virtual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := &virtualTicker{
+		clock:  v,
+		period: d,
+		next:   v.now.Add(d),
+		ch:     make(chan time.Time, 1),
+	}
+	v.tickers = append(v.tickers, t)
+	return t
+}
+
+type virtualTicker struct {
+	clock   *Virtual
+	period  time.Duration
+	next    time.Time
+	ch      chan time.Time
+	stopped bool
+}
+
+func (t *virtualTicker) C() <-chan time.Time { return t.ch }
+
+func (t *virtualTicker) Stop() {
+	v := t.clock
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t.stopped = true
+	// Compact the ticker list so long-lived virtual clocks do not
+	// accumulate dead tickers. No ordering is maintained — Advance
+	// scans for the earliest pending tick on every iteration.
+	live := v.tickers[:0]
+	for _, other := range v.tickers {
+		if !other.stopped {
+			live = append(live, other)
+		}
+	}
+	v.tickers = live
+}

@@ -60,6 +60,12 @@ type Config struct {
 	// DisableRecording turns off corpus/profile/stats updates
 	// (useful for pure benchmarking of the agent pipeline).
 	DisableRecording bool
+	// Now supplies the event timestamps recorded into the statistic
+	// analyzer, the corpora generator and (through them) the learner
+	// corpus. Nil selects the wall clock. The scenario simulator
+	// (DESIGN.md D11) injects its virtual clock here so a replayed
+	// session carries identical timestamps every run.
+	Now func() time.Time
 	// Metrics, if set, registers per-stage latency histograms
 	// (semagent_stage_seconds{stage=angel|semantic|qa}), the whole-
 	// pipeline semagent_process_seconds, and per-verdict message
@@ -123,6 +129,7 @@ type Supervisor struct {
 	analyzer *stats.Analyzer
 	gen      *stats.CorporaGenerator
 	recorder bool
+	now      func() time.Time
 	met      *supMetrics
 
 	// Vocabulary follows the snapshot publish path: when Process sees a
@@ -183,8 +190,12 @@ func New(cfg Config) (*Supervisor, error) {
 		analyzer: stats.NewAnalyzer(),
 		gen:      stats.NewCorporaGenerator(store, faq),
 		recorder: !cfg.DisableRecording,
+		now:      cfg.Now,
 		met:      newSupMetrics(cfg.Metrics),
 		taught:   make(map[string]bool),
+	}
+	if s.now == nil {
+		s.now = timeNow
 	}
 	if err := s.syncVocabulary(onto.Snapshot()); err != nil {
 		return nil, fmt.Errorf("teach ontology terms: %w", err)
@@ -387,7 +398,7 @@ func (s *Supervisor) record(a *Assessment, tokens, topics, tags []string) {
 		return
 	}
 	ev := stats.Event{
-		Time:    timeNow(),
+		Time:    s.now(),
 		Room:    a.Room,
 		User:    a.User,
 		Text:    a.Text,

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"fmt"
+
+	"semagent/internal/simulate"
+)
+
+// E13Config parameterizes the scenario-matrix experiment: the
+// deterministic classroom simulator (package simulate, DESIGN.md D11)
+// replays a persona matrix — every student archetype in every room —
+// through the full supervision stack and scores detection against the
+// script's ground truth.
+type E13Config struct {
+	// Rooms is the number of parallel classrooms (default 2).
+	Rooms int `json:"rooms"`
+	// Turns is the speaking rounds per room (default 3).
+	Turns int   `json:"turns"`
+	Seed  int64 `json:"seed"`
+}
+
+// E13PersonaRow is one persona's detection scorecard.
+type E13PersonaRow struct {
+	Persona    string  `json:"persona"`
+	Sent       int     `json:"sent"`
+	Supervised int     `json:"supervised"`
+	Shed       int     `json:"shed"`
+	TruePos    int     `json:"true_pos"`
+	FalsePos   int     `json:"false_pos"`
+	FalseNeg   int     `json:"false_neg"`
+	TrueNeg    int     `json:"true_neg"`
+	Precision  float64 `json:"precision"`
+	Recall     float64 `json:"recall"`
+	Questions  int     `json:"questions,omitempty"`
+	Answered   int     `json:"answered,omitempty"`
+}
+
+// E13Result is the machine-readable outcome (evalharness -exp E13
+// -json; the bench_trajectory artifact in CI).
+type E13Result struct {
+	Config   E13Config `json:"config"`
+	Scenario string    `json:"scenario"`
+
+	Messages   int `json:"messages"`
+	Supervised int `json:"supervised"`
+
+	// Verdicts histograms supervision outcomes by verdict name.
+	Verdicts map[string]int `json:"verdicts"`
+	// Interventions counts agent responses by agent name.
+	Interventions map[string]int `json:"interventions"`
+
+	Rows []E13PersonaRow `json:"per_persona"`
+
+	// MicroPrecision / MicroRecall aggregate the confusion counts over
+	// all personas (detection = syntax/semantic intervention).
+	MicroPrecision float64 `json:"micro_precision"`
+	MicroRecall    float64 `json:"micro_recall"`
+	// QuestionAnswerRate is answered/asked across questioners.
+	QuestionAnswerRate float64 `json:"question_answer_rate"`
+	// MinedPairs counts FAQ pairs mined from the dialogue.
+	MinedPairs int `json:"mined_pairs"`
+}
+
+// RunE13 replays the scenario matrix and scores per-persona detection.
+func RunE13(cfg E13Config) (*E13Result, error) {
+	if cfg.Rooms <= 0 {
+		cfg.Rooms = 2
+	}
+	if cfg.Turns <= 0 {
+		cfg.Turns = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	sc := simulate.Matrix(cfg.Rooms, cfg.Turns, cfg.Seed)
+	res, err := simulate.Run(sc, "")
+	if err != nil {
+		return nil, fmt.Errorf("E13 matrix: %w", err)
+	}
+
+	out := &E13Result{
+		Config:        cfg,
+		Scenario:      sc.Name,
+		Messages:      res.Sent,
+		Supervised:    res.Supervised,
+		Verdicts:      make(map[string]int, len(res.Verdicts)),
+		Interventions: res.Interventions,
+		MinedPairs:    res.MinedPairs,
+	}
+	for v, n := range res.Verdicts {
+		out.Verdicts[v.String()] = n
+	}
+	var tp, fp, fn, asked, answered int
+	for _, s := range res.Personas() {
+		out.Rows = append(out.Rows, E13PersonaRow{
+			Persona:    string(s.Persona),
+			Sent:       s.Sent,
+			Supervised: s.Supervised,
+			Shed:       s.Shed,
+			TruePos:    s.TruePos,
+			FalsePos:   s.FalsePos,
+			FalseNeg:   s.FalseNeg,
+			TrueNeg:    s.TrueNeg,
+			Precision:  s.Precision(),
+			Recall:     s.Recall(),
+			Questions:  s.Questions,
+			Answered:   s.Answered,
+		})
+		tp += s.TruePos
+		fp += s.FalsePos
+		fn += s.FalseNeg
+		asked += s.Questions
+		answered += s.Answered
+	}
+	out.MicroPrecision, out.MicroRecall = 1, 1
+	if tp+fp > 0 {
+		out.MicroPrecision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		out.MicroRecall = float64(tp) / float64(tp+fn)
+	}
+	if asked > 0 {
+		out.QuestionAnswerRate = float64(answered) / float64(asked)
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestE13MatrixScoresEveryPersona(t *testing.T) {
+	res, err := RunE13(E13Config{Rooms: 2, Turns: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages == 0 || res.Supervised == 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+	if res.Messages != res.Supervised {
+		t.Errorf("matrix must keep full coverage: sent %d, supervised %d", res.Messages, res.Supervised)
+	}
+	byPersona := make(map[string]E13PersonaRow, len(res.Rows))
+	for _, row := range res.Rows {
+		byPersona[row.Persona] = row
+	}
+	for _, p := range []string{"contributor", "drifter", "abusive", "questioner", "spammer", "lurker", "late-joiner"} {
+		if _, ok := byPersona[p]; !ok {
+			t.Errorf("persona %s missing from E13 rows", p)
+		}
+	}
+	if row := byPersona["abusive"]; row.Recall == 0 {
+		t.Errorf("abusive recall = 0: %+v", row)
+	}
+	if row := byPersona["questioner"]; row.Questions == 0 {
+		t.Errorf("questioner asked nothing: %+v", row)
+	}
+	if res.MicroRecall == 0 {
+		t.Error("micro recall = 0")
+	}
+
+	// The result must be JSON-encodable (the -json trajectory artifact).
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestE13Deterministic(t *testing.T) {
+	a, err := RunE13(E13Config{Rooms: 2, Turns: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunE13(E13Config{Rooms: 2, Turns: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("same-seed E13 runs differ:\n%s\n%s", aj, bj)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"semagent/internal/clock"
 	"semagent/internal/corpus"
 	"semagent/internal/ontology"
 	"semagent/internal/storage"
@@ -282,19 +283,22 @@ func TestMutationsAfterCheckpointReplayOverSnapshot(t *testing.T) {
 
 func TestGroupCommitFlushesInBackground(t *testing.T) {
 	dir := t.TempDir()
+	vc := clock.NewVirtual(time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC))
 	opts := noAutoOpts
-	opts.GroupWindow = 5 * time.Millisecond
+	opts.GroupWindow = 20 * time.Millisecond
+	opts.Clock = vc
 	s1, m1 := openFresh(t, dir, opts)
 	mutate(t, s1, "one")
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if m1.Stats().Fsyncs > 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("group commit never fsynced")
-		}
-		time.Sleep(time.Millisecond)
+	// Nothing may hit the disk before the group window elapses — and on
+	// the virtual clock it only elapses when we say so.
+	if got := m1.Stats().Fsyncs; got != 0 {
+		t.Fatalf("fsyncs = %d before the group window", got)
+	}
+	vc.Advance(opts.GroupWindow)
+	// The tick is delivered synchronously, but the flusher goroutine
+	// consumes it asynchronously: poll the condition, not the clock.
+	if !clock.Until(2*time.Second, func() bool { return m1.Stats().Fsyncs > 0 }) {
+		t.Fatal("group commit never fsynced after the window elapsed")
 	}
 	if err := m1.Close(); err != nil {
 		t.Fatal(err)

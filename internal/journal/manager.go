@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"semagent/internal/clock"
 	"semagent/internal/corpus"
 	"semagent/internal/metrics"
 	"semagent/internal/ontology"
@@ -76,6 +77,11 @@ type Options struct {
 	// Metrics, if set, registers the journal's counters and latency
 	// histograms (semagent_journal_*).
 	Metrics *metrics.Registry
+	// Clock drives the group-commit and checkpoint tickers and the
+	// checkpoint-interval timing. Nil selects the wall clock; tests and
+	// the scenario simulator inject a virtual clock and advance it to
+	// trigger flushes deterministically instead of sleeping.
+	Clock clock.Clock
 }
 
 func (o *Options) fill() {
@@ -110,6 +116,7 @@ type Manager struct {
 	dir    string
 	stores Stores
 	opts   Options
+	clk    clock.Clock
 	ap     *appender
 	lock   *os.File // flock'd journal.lock: single writer per data dir
 	logger *log.Logger
@@ -145,13 +152,15 @@ func Open(dir string, stores Stores, opts Options) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	clk := clock.Or(opts.Clock)
 	m := &Manager{
 		dir:      dir,
 		stores:   stores,
 		opts:     opts,
+		clk:      clk,
 		lock:     lock,
 		logger:   opts.Logger,
-		lastCkpt: time.Now(),
+		lastCkpt: clk.Now(),
 		done:     make(chan struct{}),
 	}
 
@@ -236,13 +245,15 @@ func (m *Manager) append(typ string, payload interface{}) uint64 {
 func (m *Manager) startBackground() {
 	if !m.opts.SyncEveryRecord {
 		m.wg.Add(1)
+		// The ticker is created before the goroutine starts so a virtual
+		// clock advanced right after Open cannot race its registration.
+		t := m.clk.NewTicker(m.opts.GroupWindow)
 		go func() {
 			defer m.wg.Done()
-			t := time.NewTicker(m.opts.GroupWindow)
 			defer t.Stop()
 			for {
 				select {
-				case <-t.C:
+				case <-t.C():
 					if err := m.ap.Sync(); err != nil {
 						m.logf("journal: group commit: %v", err)
 					}
@@ -256,13 +267,13 @@ func (m *Manager) startBackground() {
 		return
 	}
 	m.wg.Add(1)
+	ckptTick := m.clk.NewTicker(time.Second)
 	go func() {
 		defer m.wg.Done()
-		t := time.NewTicker(time.Second)
-		defer t.Stop()
+		defer ckptTick.Stop()
 		for {
 			select {
-			case <-t.C:
+			case <-ckptTick.C():
 				if m.shouldCheckpoint() {
 					if err := m.Checkpoint(); err != nil {
 						m.logf("journal: checkpoint: %v", err)
@@ -283,7 +294,7 @@ func (m *Manager) shouldCheckpoint() bool {
 		m.ckptMu.Lock()
 		last := m.lastCkpt
 		m.ckptMu.Unlock()
-		if time.Since(last) >= m.opts.CheckpointInterval {
+		if m.clk.Since(last) >= m.opts.CheckpointInterval {
 			return true
 		}
 	}
@@ -338,7 +349,7 @@ func (m *Manager) Checkpoint() error {
 		return fmt.Errorf("journal: checkpoint sync dir: %w", err)
 	}
 	m.checkpoints++
-	m.lastCkpt = time.Now()
+	m.lastCkpt = m.clk.Now()
 	m.logf("journal: checkpoint %d complete (sealed through segment %d, lsn %d)",
 		m.checkpoints, sealed, m.ap.LastLSN())
 	return nil

@@ -1,0 +1,64 @@
+package linkgrammar
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenize hammers the chat-line tokenizer with arbitrary input.
+// Invariants: no panic; no empty tokens; tokens are lower-case ASCII
+// word characters with no leading or trailing hyphen/apostrophe; and
+// tokenization is a fixpoint (re-tokenizing the joined tokens yields
+// the same tokens), so downstream consumers can treat token lists as
+// canonical.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"The stack has a push operation.",
+		"doesn't DOESN'T doesn’t",
+		"last-in first-out (LIFO)!",
+		"what is a stack?",
+		"a--b ''c -- '' -",
+		"héllo wörld — ünïcode",
+		"tabs\tand\nnewlines\r\n",
+		"123 4a5 a1b2c3",
+		"emoji 🎓 classroom",
+		strings.Repeat("x", 300),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatalf("empty token in %v from %q", toks, s)
+			}
+			if tok[0] == '-' || tok[0] == '\'' || tok[len(tok)-1] == '-' || tok[len(tok)-1] == '\'' {
+				t.Fatalf("token %q has leading/trailing punctuation (input %q)", tok, s)
+			}
+			for i := 0; i < len(tok); i++ {
+				c := tok[i]
+				ok := c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '\''
+				if !ok {
+					t.Fatalf("token %q contains invalid byte %q (input %q)", tok, c, s)
+				}
+			}
+		}
+		again := Tokenize(strings.Join(toks, " "))
+		if len(again) != len(toks) {
+			t.Fatalf("tokenize not a fixpoint: %v -> %v (input %q)", toks, again, s)
+		}
+		for i := range toks {
+			if toks[i] != again[i] {
+				t.Fatalf("tokenize not a fixpoint at %d: %v -> %v (input %q)", i, toks, again, s)
+			}
+		}
+
+		// The question-mark cue must agree with the raw text.
+		q := EndsWithQuestionMark(s)
+		trimmed := strings.TrimRight(s, " \t\r\n")
+		if q != strings.HasSuffix(trimmed, "?") {
+			t.Fatalf("EndsWithQuestionMark(%q) = %v", s, q)
+		}
+	})
+}

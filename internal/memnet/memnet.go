@@ -1,0 +1,229 @@
+// Package memnet is an in-memory net transport for the scenario
+// simulator (DESIGN.md D11): a Listener whose Dial hands the server a
+// real net.Conn without any socket, and conn halves whose writes never
+// block — each half owns an unbounded buffer its peer reads from. The
+// chat server runs on it unmodified (Server.Serve accepts any
+// net.Listener), whole classrooms connect in microseconds, and a closed
+// peer surfaces io.EOF exactly like a dropped TCP connection.
+//
+// Writes being non-blocking is what makes the simulator's quiesce
+// barrier sound: once the server's per-client writer goroutine has
+// written a message, the bytes are immediately readable on the client
+// half, so "all pending writes flushed" implies "all messages
+// observable".
+package memnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// addr is the trivial net.Addr for in-memory endpoints.
+type addr string
+
+func (a addr) Network() string { return "mem" }
+func (a addr) String() string  { return string(a) }
+
+// Listener accepts in-memory connections created by its Dial method.
+type Listener struct {
+	mu     sync.Mutex
+	queue  chan net.Conn
+	done   chan struct{}
+	closed bool
+}
+
+// NewListener returns an open listener.
+func NewListener() *Listener {
+	return &Listener{queue: make(chan net.Conn, 16), done: make(chan struct{})}
+}
+
+// Dial connects to the listener, returning the client half. The server
+// half is delivered to Accept. The queue channel is never closed — a
+// Dial racing Close resolves through the done channel instead of
+// panicking on a send to a closed channel.
+func (l *Listener) Dial() (net.Conn, error) {
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		// Checked up front so a sequential dial-after-close fails
+		// deterministically (the select below picks at random when both
+		// cases are ready).
+		return nil, net.ErrClosed
+	}
+	client, server := Pipe()
+	select {
+	case l.queue <- server:
+		return client, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.queue:
+		return conn, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close stops the listener; blocked Accepts and Dials return
+// net.ErrClosed. Connections already handed out stay usable.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	close(l.done)
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return addr("memnet") }
+
+// Pipe returns the two halves of an in-memory connection. Data written
+// to one half is readable on the other. Writes never block.
+func Pipe() (*Conn, *Conn) {
+	a2b := newBuffer()
+	b2a := newBuffer()
+	a := &Conn{read: b2a, write: a2b, local: "client", remote: "server"}
+	b := &Conn{read: a2b, write: b2a, local: "server", remote: "client"}
+	return a, b
+}
+
+// buffer is one direction of a pipe: an unbounded byte queue with a
+// cond for blocking reads and a closed flag set by either end.
+type buffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	closed bool
+}
+
+func newBuffer() *buffer {
+	b := &buffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Conn is one half of an in-memory connection. It implements net.Conn.
+type Conn struct {
+	read          *buffer
+	write         *buffer
+	local, remote string
+
+	deadlineMu   sync.Mutex
+	readDeadline time.Time
+}
+
+// Read blocks until data, EOF (peer closed) or the read deadline.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.deadlineMu.Lock()
+	deadline := c.readDeadline
+	c.deadlineMu.Unlock()
+
+	var timer *time.Timer
+	timedOut := false
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return 0, timeoutError{}
+		}
+		timer = time.AfterFunc(d, func() {
+			c.read.mu.Lock()
+			timedOut = true
+			c.read.mu.Unlock()
+			c.read.cond.Broadcast()
+		})
+		defer timer.Stop()
+	}
+
+	b := c.read
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.data) == 0 && !b.closed && !timedOut {
+		b.cond.Wait()
+	}
+	if len(b.data) == 0 {
+		if b.closed {
+			return 0, io.EOF
+		}
+		return 0, timeoutError{}
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}
+
+// Write appends to the peer's read buffer; it never blocks. Writing to
+// a closed connection fails like a reset TCP socket.
+func (c *Conn) Write(p []byte) (int, error) {
+	b := c.write
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	b.data = append(b.data, p...)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+// Pending reports the bytes buffered for this half to read. The
+// simulator uses it to drain "everything already delivered" without
+// blocking for more.
+func (c *Conn) Pending() int {
+	c.read.mu.Lock()
+	defer c.read.mu.Unlock()
+	return len(c.read.data)
+}
+
+// Close tears down both directions; the peer's blocked reads return
+// io.EOF (after draining buffered data) and its writes fail.
+func (c *Conn) Close() error {
+	for _, b := range []*buffer{c.read, c.write} {
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
+		b.cond.Broadcast()
+	}
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return addr(c.local) }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return addr(c.remote) }
+
+// SetDeadline implements net.Conn (read side only; writes never block).
+func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline bounds Reads started after the call. An already
+// blocked Read keeps the deadline it was started with (the simulator
+// and chat.Dial both set the deadline before reading, never to
+// interrupt a read in flight).
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.deadlineMu.Lock()
+	c.readDeadline = t
+	c.deadlineMu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline is a no-op: writes never block.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+// timeoutError matches net.Error for deadline expiry.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "memnet: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }

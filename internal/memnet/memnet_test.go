@@ -1,0 +1,183 @@
+package memnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	if _, err := a.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Pending(); got != len("hello world") {
+		t.Fatalf("Pending = %d, want %d", got, len("hello world"))
+	}
+	buf := make([]byte, 64)
+	n, err := b.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "hello world" {
+		t.Fatalf("read %q", buf[:n])
+	}
+	if got := b.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d", got)
+	}
+}
+
+func TestWriteNeverBlocks(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	// A megabyte with no reader: must return immediately.
+	chunk := make([]byte, 4096)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 256; i++ {
+			if _, err := a.Write(chunk); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writes blocked without a reader")
+	}
+	if got := b.Pending(); got != 256*4096 {
+		t.Fatalf("Pending = %d, want %d", got, 256*4096)
+	}
+}
+
+func TestCloseGivesPeerEOFAfterDrain(t *testing.T) {
+	a, b := Pipe()
+	if _, err := a.Write([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Close()
+	buf := make([]byte, 8)
+	n, err := b.Read(buf)
+	if err != nil || string(buf[:n]) != "bye" {
+		t.Fatalf("drain read = %q, %v", buf[:n], err)
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("post-close read err = %v, want EOF", err)
+	}
+	if _, err := b.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+}
+
+func TestCloseWakesBlockedRead(t *testing.T) {
+	a, b := Pipe()
+	errs := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		_, err := b.Read(buf)
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the read block
+	_ = a.Close()
+	select {
+	case err := <-errs:
+		if err != io.EOF {
+			t.Fatalf("read err = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked read never woken by peer close")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	_ = b.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	buf := make([]byte, 8)
+	_, err := b.Read(buf)
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Fatalf("read err = %v, want a net.Error timeout", err)
+	}
+	// Clearing the deadline restores blocking reads.
+	_ = b.SetReadDeadline(time.Time{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		_, _ = a.Write([]byte("late"))
+	}()
+	n, err := b.Read(buf)
+	if err != nil || string(buf[:n]) != "late" {
+		t.Fatalf("read after deadline clear = %q, %v", buf[:n], err)
+	}
+}
+
+func TestListenerDialAccept(t *testing.T) {
+	l := NewListener()
+	defer l.Close()
+
+	type result struct {
+		conn net.Conn
+		err  error
+	}
+	accepted := make(chan result, 1)
+	go func() {
+		c, err := l.Accept()
+		accepted <- result{c, err}
+	}()
+	client, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	res := <-accepted
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	defer res.conn.Close()
+
+	if _, err := client.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := res.conn.Read(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("server read = %q, %v", buf[:n], err)
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	l := NewListener()
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != net.ErrClosed {
+			t.Fatalf("Accept err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept not released by Close")
+	}
+	if _, err := l.Dial(); err != net.ErrClosed {
+		t.Fatalf("Dial after close err = %v, want net.ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -2,12 +2,14 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"semagent/internal/clock"
 	"semagent/internal/metrics"
 )
 
@@ -219,7 +221,14 @@ func TestShedCountsExact(t *testing.T) {
 			defer wg.Done()
 			room := fmt.Sprintf("room-%d", g%4)
 			for i := 0; i < perG; i++ {
-				switch err := p.Submit(room, func() { time.Sleep(50 * time.Microsecond) }); err {
+				// Tasks yield a few times so submitters genuinely race
+				// the workers (no wall-clock sleep needed).
+				task := func() {
+					for y := 0; y < 8; y++ {
+						runtime.Gosched()
+					}
+				}
+				switch err := p.Submit(room, task); err {
 				case nil:
 					accepted.Add(1)
 				case ErrShed:
@@ -286,30 +295,25 @@ func TestSlowRoomDoesNotStallSiblings(t *testing.T) {
 	// The sibling's full workload completes while the slow room's
 	// worker is still gated. The fast room may transiently shed when
 	// its submitter outruns its own worker — that is the policy working
-	// — but it must always make progress: a brief retry gets through.
+	// — but it must always make progress: a retry gets through as soon
+	// as its worker drains.
 	const fastTasks = 100
 	var fastDone atomic.Int64
-	deadline := time.Now().Add(5 * time.Second)
 	for i := 0; i < fastTasks; i++ {
-		for {
-			err := p.Submit(fastRoom, func() { fastDone.Add(1) })
-			if err == nil {
-				break
-			}
-			if err != ErrShed {
-				t.Fatalf("fast room submit %d: %v", i, err)
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("fast room starved: submit %d kept shedding", i)
-			}
-			time.Sleep(100 * time.Microsecond)
+		var submitErr error
+		ok := clock.Until(5*time.Second, func() bool {
+			submitErr = p.Submit(fastRoom, func() { fastDone.Add(1) })
+			return submitErr != ErrShed
+		})
+		if !ok {
+			t.Fatalf("fast room starved: submit %d kept shedding", i)
+		}
+		if submitErr != nil {
+			t.Fatalf("fast room submit %d: %v", i, submitErr)
 		}
 	}
-	for fastDone.Load() < fastTasks {
-		if time.Now().After(deadline) {
-			t.Fatalf("sibling stalled: %d/%d done while slow room gated", fastDone.Load(), fastTasks)
-		}
-		time.Sleep(time.Millisecond)
+	if !clock.Until(5*time.Second, func() bool { return fastDone.Load() >= fastTasks }) {
+		t.Fatalf("sibling stalled: %d/%d done while slow room gated", fastDone.Load(), fastTasks)
 	}
 }
 
@@ -332,7 +336,10 @@ func TestSubmitBlockedDuringCloseReturns(t *testing.T) {
 
 	blocked := make(chan error, 1)
 	go func() { blocked <- p.Submit("room", func() {}) }()
-	time.Sleep(20 * time.Millisecond) // let the submitter commit to blocking
+	// The submitter has committed to blocking once the counter ticks.
+	if !clock.Until(5*time.Second, func() bool { return p.Stats().Blocked == 1 }) {
+		t.Fatal("submitter never reached the blocking path")
+	}
 
 	closed := make(chan struct{})
 	go func() { p.Close(); close(closed) }()

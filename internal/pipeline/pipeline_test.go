@@ -5,7 +5,24 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"semagent/internal/clock"
 )
+
+// closeCommitted polls until Close has marked the pipeline closed (new
+// submits would see ErrClosed) — the condition the old fixed sleeps
+// guessed at.
+func closeCommitted(t *testing.T, p *Pipeline) {
+	t.Helper()
+	ok := clock.Until(5*time.Second, func() bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.closed
+	})
+	if !ok {
+		t.Fatal("Close never committed")
+	}
+}
 
 // TestPerRoomOrdering submits numbered tasks for many rooms from one
 // goroutine per room and checks every room observed its tasks in
@@ -155,7 +172,7 @@ func TestCloseDrainsAndRejects(t *testing.T) {
 
 	closed := make(chan struct{})
 	go func() { p.Close(); close(closed) }()
-	time.Sleep(20 * time.Millisecond) // let Close commit before opening the gate
+	closeCommitted(t, p) // Close must commit before the gate opens
 	close(gate)
 	<-closed
 

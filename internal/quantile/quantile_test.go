@@ -1,0 +1,83 @@
+package quantile
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestDurationEmpty(t *testing.T) {
+	if got := Duration(nil, 0.5); got != 0 {
+		t.Errorf("Duration(nil) = %v, want 0", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestDurationSingleSample(t *testing.T) {
+	s := []time.Duration{ms(7)}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := Duration(s, q); got != ms(7) {
+			t.Errorf("Duration(q=%v) = %v, want 7ms", q, got)
+		}
+	}
+}
+
+// TestDurationNearestRank pins the convention the package exists to
+// centralize: idx = q·(n−1) on the ascending sort.
+func TestDurationNearestRank(t *testing.T) {
+	// 1..10ms, shuffled.
+	s := []time.Duration{ms(3), ms(9), ms(1), ms(7), ms(5), ms(10), ms(2), ms(8), ms(6), ms(4)}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, ms(1)},    // idx 0
+		{0.5, ms(5)},  // idx int(0.5*9) = 4
+		{0.95, ms(9)}, // idx int(0.95*9) = 8
+		{0.99, ms(9)}, // idx int(0.99*9) = 8
+		{1, ms(10)},   // idx 9
+	}
+	for _, c := range cases {
+		if got := Duration(s, c.q); got != c.want {
+			t.Errorf("Duration(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestDurationDoesNotMutateInput(t *testing.T) {
+	s := []time.Duration{ms(3), ms(1), ms(2)}
+	_ = Duration(s, 0.5)
+	if s[0] != ms(3) || s[1] != ms(1) || s[2] != ms(2) {
+		t.Errorf("input mutated: %v", s)
+	}
+}
+
+func TestQuantilesMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := make([]time.Duration, 500)
+	for i := range s {
+		s[i] = time.Duration(rng.Intn(1_000_000))
+	}
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		got := Duration(s, q)
+		if got < prev {
+			t.Fatalf("quantiles not monotonic: q=%v gave %v after %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]time.Duration{ms(1), ms(2), ms(3)}); got != ms(2) {
+		t.Errorf("Mean = %v, want 2ms", got)
+	}
+	// Integer division truncates toward zero, like time arithmetic.
+	if got := Mean([]time.Duration{ms(1), ms(2)}); got != 1500*time.Microsecond {
+		t.Errorf("Mean = %v, want 1.5ms", got)
+	}
+}

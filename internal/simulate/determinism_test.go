@@ -1,0 +1,70 @@
+package simulate
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSameSeedByteIdenticalTranscripts is the determinism contract
+// (DESIGN.md D11): running any scenario twice — fresh servers, fresh
+// goroutines, fresh journal directories — produces byte-identical
+// transcripts and identical verdict counts.
+func TestSameSeedByteIdenticalTranscripts(t *testing.T) {
+	for _, sc := range Scenarios() {
+		name := sc.Name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			// Rebuild the scenario from scratch both times: nothing may
+			// leak between runs through the Scenario value either.
+			first, err := Run(ScenarioByName(name), t.TempDir())
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			second, err := Run(ScenarioByName(name), t.TempDir())
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if !bytes.Equal(first.Transcript, second.Transcript) {
+				t.Fatalf("transcripts differ between runs:\n%s",
+					diffHint(first.Transcript, second.Transcript))
+			}
+			if len(first.Verdicts) != len(second.Verdicts) {
+				t.Fatalf("verdict histograms differ: %v vs %v", first.Verdicts, second.Verdicts)
+			}
+			for v, n := range first.Verdicts {
+				if second.Verdicts[v] != n {
+					t.Errorf("verdict %s: %d vs %d", v, n, second.Verdicts[v])
+				}
+			}
+			if first.Supervised != second.Supervised || first.Unsupervised != second.Unsupervised {
+				t.Errorf("coverage differs: %d/%d vs %d/%d",
+					first.Supervised, first.Unsupervised, second.Supervised, second.Unsupervised)
+			}
+		})
+	}
+}
+
+// TestDifferentSeedsDiverge guards against a simulator that ignores its
+// seed: two seeds must produce different dialogue.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := basicLecture()
+	b := &Scenario{Name: a.Name, Description: a.Description, Seed: a.Seed + 1}
+	bb := newScript(b)
+	bb.join("alice", "algo", PersonaContributor)
+	bb.join("bob", "algo", PersonaContributor)
+	for i := 0; i < 4; i++ {
+		bb.say("alice", "algo")
+		bb.say("bob", "algo")
+	}
+	ra, err := Run(a, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(b, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ra.Transcript, rb.Transcript) {
+		t.Fatal("different seeds produced identical transcripts")
+	}
+}

@@ -1,0 +1,145 @@
+package simulate
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"semagent/internal/workload"
+)
+
+// -update regenerates the golden transcripts:
+//
+//	go test ./internal/simulate -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden transcript files")
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "scenarios", name+".golden")
+}
+
+// TestGoldenTranscripts replays every scenario in the corpus and diffs
+// its transcript byte-for-byte against the checked-in golden file. A
+// mismatch means the supervision stack changed observable behaviour —
+// verdicts, interventions, ordering, report content — and the diff
+// shows exactly where; if the change is intended, re-record with
+// -update and review the golden diff in the PR.
+func TestGoldenTranscripts(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(sc, t.TempDir())
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			path := goldenPath(sc.Name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, res.Transcript, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to record): %v", err)
+			}
+			if !bytes.Equal(res.Transcript, want) {
+				t.Fatalf("transcript drifted from %s\n%s", path, diffHint(want, res.Transcript))
+			}
+		})
+	}
+}
+
+// diffHint renders the first divergent line of a golden mismatch.
+func diffHint(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first mismatch at line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("transcripts diverge in length: golden %d lines, got %d", len(wl), len(gl))
+}
+
+// TestGoldenCorpusShape enforces the regression-suite contract: at
+// least ten scenarios, every persona covered, and at least two fault
+// injections among them.
+func TestGoldenCorpusShape(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) < 10 {
+		t.Fatalf("corpus has %d scenarios, want >= 10", len(scs))
+	}
+	personas := make(map[PersonaKind]bool)
+	faults := make(map[string]bool)
+	names := make(map[string]bool)
+	for _, sc := range scs {
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		for _, p := range sc.Personas {
+			personas[p] = true
+		}
+		for _, st := range sc.Steps {
+			switch st.Kind {
+			case StepDrop:
+				faults["client-drop"] = true
+			case StepCrash:
+				faults["journal-crash"] = true
+			case StepBurst:
+				if sc.GateBursts {
+					faults["shed-storm"] = true
+				}
+			}
+		}
+	}
+	for _, p := range AllPersonas() {
+		if !personas[p] {
+			t.Errorf("persona %s not covered by any scenario", p)
+		}
+	}
+	if len(faults) < 2 {
+		t.Errorf("fault injections covered = %v, want >= 2 kinds", faults)
+	}
+	// Every golden file on disk corresponds to a scenario (no orphans).
+	entries, err := os.ReadDir(filepath.Join("testdata", "scenarios"))
+	if err != nil {
+		t.Fatalf("golden dir: %v", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".golden" {
+			continue
+		}
+		if !names[name[:len(name)-len(".golden")]] {
+			t.Errorf("orphan golden file %s", name)
+		}
+	}
+}
+
+// TestScenarioGroundTruthShape checks the scripts carry usable ground
+// truth: every say/burst line is labelled.
+func TestScenarioGroundTruthShape(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for i, st := range sc.Steps {
+			if st.Kind != StepSay && st.Kind != StepBurst {
+				continue
+			}
+			if len(st.Texts) == 0 || len(st.Texts) != len(st.Expect) {
+				t.Errorf("%s step %d: %d texts vs %d labels", sc.Name, i+1, len(st.Texts), len(st.Expect))
+			}
+			for _, k := range st.Expect {
+				if k < workload.KindCorrect || k > workload.KindQuestion {
+					t.Errorf("%s step %d: bad ground-truth kind %v", sc.Name, i+1, k)
+				}
+			}
+		}
+	}
+}

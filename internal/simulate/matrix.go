@@ -1,0 +1,70 @@
+package simulate
+
+import "fmt"
+
+// Matrix builds the E13 scenario matrix: rooms parallel classrooms,
+// each populated with the full persona set, speaking for turns rounds
+// on the async sharded pipeline, with a rapid-fire burst and late-join/
+// drop churn per room. Unlike the golden corpus (fixed small scripts),
+// the matrix scales with its parameters — the experiment harness uses
+// it to measure per-persona detection precision/recall at workload
+// size.
+func Matrix(rooms, turns int, seed int64) *Scenario {
+	if rooms <= 0 {
+		rooms = 2
+	}
+	if turns <= 0 {
+		turns = 3
+	}
+	sc := &Scenario{
+		Name:        fmt.Sprintf("e13-matrix-%dx%d", rooms, turns),
+		Description: "E13 persona matrix: every persona in every room, full supervision coverage",
+		Seed:        seed,
+		Async:       true,
+		Workers:     2,
+		HistorySize: 8,
+	}
+	b := newScript(sc)
+	roomName := func(r int) string { return fmt.Sprintf("room-%02d", r) }
+	user := func(prefix string, r int) string { return fmt.Sprintf("%s-%02d", prefix, r) }
+
+	for r := 0; r < rooms; r++ {
+		room := roomName(r)
+		b.join(user("con", r), room, PersonaContributor)
+		b.join(user("dri", r), room, PersonaDrifter)
+		b.join(user("abu", r), room, PersonaAbusive)
+		b.join(user("que", r), room, PersonaQuestioner)
+		b.join(user("spa", r), room, PersonaSpammer)
+		b.join(user("lur", r), room, PersonaLurker)
+	}
+	for t := 0; t < turns; t++ {
+		for r := 0; r < rooms; r++ {
+			room := roomName(r)
+			b.say(user("con", r), room)
+			if t%3 == 2 {
+				// Even good students slip: a labelled grammar mutation
+				// (workload §3) keeps the contributor's recall honest —
+				// some corruptions (word-order swaps) are genuinely hard
+				// for the Learning_Angel, so E13 shows the same misses
+				// E2 measures instead of a vacuous 1.000 column.
+				s := b.g.SyntaxError()
+				b.sayText(user("con", r), room, s.Text, s.Kind)
+			}
+			b.say(user("dri", r), room)
+			b.ask(user("que", r), user("con", r), room)
+			b.say(user("abu", r), room)
+			b.say(user("spa", r), room)
+		}
+	}
+	// Churn and a rapid-fire burst per room (absorbed by backpressure:
+	// coverage stays complete, so the confusion counts score the whole
+	// workload).
+	for r := 0; r < rooms; r++ {
+		room := roomName(r)
+		b.join(user("late", r), room, PersonaLateJoiner)
+		b.say(user("late", r), room)
+		b.burst(user("spa", r), room, 4)
+		b.drop(user("late", r), room, false)
+	}
+	return sc
+}

@@ -1,0 +1,92 @@
+package simulate
+
+import (
+	"math/rand"
+
+	"semagent/internal/workload"
+)
+
+// PersonaKind names a scripted student archetype. The persona library
+// covers the classroom behaviours the paper's agent must handle: solid
+// on-topic contribution, off-topic drift, abuse, questions, floods,
+// silence, and churn (late joins / disconnects).
+type PersonaKind string
+
+// The persona library.
+const (
+	// PersonaContributor speaks grammatical, on-topic course sentences.
+	PersonaContributor PersonaKind = "contributor"
+	// PersonaDrifter produces grammatical but domain-nonsensical
+	// sentences — the off-topic drift the Semantic Agent flags.
+	PersonaDrifter PersonaKind = "drifter"
+	// PersonaAbusive posts hostile, ungrammatical outbursts the
+	// Learning_Angel flags as unparseable.
+	PersonaAbusive PersonaKind = "abusive"
+	// PersonaQuestioner asks course questions the QA system answers.
+	PersonaQuestioner PersonaKind = "questioner"
+	// PersonaSpammer floods the room with repeated junk lines —
+	// rapid-fire bursts that exercise backpressure and shedding.
+	PersonaSpammer PersonaKind = "spammer"
+	// PersonaLurker joins and listens without speaking.
+	PersonaLurker PersonaKind = "lurker"
+	// PersonaLateJoiner joins mid-session (seeing the history replay),
+	// contributes briefly and disconnects.
+	PersonaLateJoiner PersonaKind = "late-joiner"
+)
+
+// AllPersonas lists every persona kind, in stable order.
+func AllPersonas() []PersonaKind {
+	return []PersonaKind{
+		PersonaContributor, PersonaDrifter, PersonaAbusive,
+		PersonaQuestioner, PersonaSpammer, PersonaLurker, PersonaLateJoiner,
+	}
+}
+
+// abusiveLines are hostile outbursts. They carry out-of-dictionary
+// chat-speak and broken grammar on purpose: the reproduction has no
+// profanity list, so abuse is caught the way the paper's Learning_Angel
+// catches it — as unparseable, comment-worthy input.
+var abusiveLines = []string{
+	"u r all idiots lol",
+	"shut up shut up nobody cares",
+	"this class dumb and u dumber",
+	"stop talk stupid stupid",
+	"omg ur answer so trash lol",
+}
+
+// spamLines are the rapid-fire junk a flooding client repeats.
+var spamLines = []string{
+	"spam spam spam spam",
+	"buy follow click click click",
+	"aaaa bbbb cccc dddd",
+}
+
+// Utter produces one labelled utterance for the persona. The expected
+// verdict is the scenario ground truth E13 scores detection against:
+// contributors should pass, drifters should trip the Semantic Agent,
+// abusive/spam lines should trip the Learning_Angel, questions should
+// route to QA.
+func (k PersonaKind) Utter(g *workload.Generator, rng *rand.Rand) (string, workload.Kind) {
+	switch k {
+	case PersonaDrifter:
+		s := g.SemanticError()
+		return s.Text, workload.KindSemanticError
+	case PersonaAbusive:
+		return abusiveLines[rng.Intn(len(abusiveLines))], workload.KindSyntaxError
+	case PersonaQuestioner:
+		s := g.Question(false)
+		return s.Text, workload.KindQuestion
+	case PersonaSpammer:
+		return spamLines[rng.Intn(len(spamLines))], workload.KindSyntaxError
+	default: // contributor, late-joiner, (lurker never utters)
+		s := g.Correct()
+		return s.Text, workload.KindCorrect
+	}
+}
+
+// ShouldFlag reports whether ground truth says the supervision stack
+// ought to intervene on a message of this kind (the "positive" class of
+// E13's per-persona precision/recall).
+func ShouldFlag(k workload.Kind) bool {
+	return k == workload.KindSyntaxError || k == workload.KindSemanticError
+}

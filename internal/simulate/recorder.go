@@ -1,0 +1,130 @@
+package simulate
+
+import (
+	"sync"
+
+	"semagent/internal/chat"
+	"semagent/internal/core"
+	"semagent/internal/corpus"
+	"semagent/internal/workload"
+)
+
+// verdictEntry is one supervised message with its ground truth.
+type verdictEntry struct {
+	Room, User, Text string
+	Expect           workload.Kind
+	Verdict          corpus.Verdict
+	// Agents are the responder names of the interventions this message
+	// drew (in response order).
+	Agents []string
+}
+
+// recorder wraps the core Supervisor as the chat.Supervisor: it matches
+// every processed message against the ground-truth expectation queued
+// when the script sent it, logs the verdict, and (when gated) holds
+// processing shut so a flooding burst's shed decisions depend only on
+// queue depth. The recorder survives a mid-session crash/recovery —
+// only its inner supervisor is swapped — so the verdict log spans the
+// whole session.
+type recorder struct {
+	mu      sync.Mutex
+	inner   *core.Supervisor
+	gate    chan struct{}
+	expects map[string][]workload.Kind // per-user FIFO of ground truth
+	log     []verdictEntry
+}
+
+func newRecorder(sup *core.Supervisor) *recorder {
+	return &recorder{inner: sup, expects: make(map[string][]workload.Kind)}
+}
+
+// swap installs the post-recovery supervisor.
+func (r *recorder) swap(sup *core.Supervisor) {
+	r.mu.Lock()
+	r.inner = sup
+	r.mu.Unlock()
+}
+
+// expect queues ground truth for the next message user sends. Message
+// order is preserved per room (pipeline sharding) and each user speaks
+// in one room at a time, so a per-user FIFO matches exactly.
+func (r *recorder) expect(user string, kind workload.Kind) {
+	r.mu.Lock()
+	r.expects[user] = append(r.expects[user], kind)
+	r.mu.Unlock()
+}
+
+// closeGate makes Process block until openGate; openGate releases it.
+func (r *recorder) closeGate() {
+	r.mu.Lock()
+	r.gate = make(chan struct{})
+	r.mu.Unlock()
+}
+
+func (r *recorder) openGate() {
+	r.mu.Lock()
+	if r.gate != nil {
+		close(r.gate)
+		r.gate = nil
+	}
+	r.mu.Unlock()
+}
+
+// Process implements chat.Supervisor.
+func (r *recorder) Process(room, user, text string) []chat.Response {
+	r.mu.Lock()
+	gate := r.gate
+	sup := r.inner
+	// The expectation is consumed up front: even if the supervisor
+	// errors below, the per-user FIFO must stay aligned with the
+	// message stream or every later verdict would be scored against
+	// the wrong ground truth.
+	entry := verdictEntry{Room: room, User: user, Text: text, Verdict: corpus.VerdictUnknown}
+	if q := r.expects[user]; len(q) > 0 {
+		entry.Expect = q[0]
+		r.expects[user] = q[1:]
+	}
+	r.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+
+	a, err := sup.Process(room, user, text)
+	if err == nil {
+		entry.Verdict = a.Verdict
+		for _, resp := range a.Responses {
+			entry.Agents = append(entry.Agents, resp.Agent)
+		}
+	}
+
+	r.mu.Lock()
+	r.log = append(r.log, entry)
+	r.mu.Unlock()
+	if err != nil {
+		return nil
+	}
+	return a.Responses
+}
+
+// entries returns a copy of the verdict log.
+func (r *recorder) entries() []verdictEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]verdictEntry, len(r.log))
+	copy(out, r.log)
+	return out
+}
+
+// unsupervised returns, per user, the expectations never consumed —
+// messages whose supervision was shed (or cut off by a crash).
+func (r *recorder) unsupervised() map[string][]workload.Kind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]workload.Kind)
+	for user, q := range r.expects {
+		if len(q) > 0 {
+			out[user] = append([]workload.Kind(nil), q...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package simulate
+
+import (
+	"sort"
+
+	"semagent/internal/core"
+	"semagent/internal/corpus"
+	"semagent/internal/journal"
+	"semagent/internal/pipeline"
+	"semagent/internal/workload"
+)
+
+// PersonaStats scores one persona's session: how much it spoke, how
+// much of that was supervised (vs shed), and how the stack's verdicts
+// compare to the scripted ground truth. "Flagging" means a syntax- or
+// semantic-error verdict — the interventions E13 scores.
+type PersonaStats struct {
+	Persona    PersonaKind `json:"persona"`
+	Sent       int         `json:"sent"`
+	Supervised int         `json:"supervised"`
+	Shed       int         `json:"shed"`
+
+	// Detection confusion over supervised messages.
+	TruePos  int `json:"true_pos"`
+	FalsePos int `json:"false_pos"`
+	FalseNeg int `json:"false_neg"`
+	TrueNeg  int `json:"true_neg"`
+
+	// Question routing.
+	Questions int `json:"questions"`
+	Answered  int `json:"answered"`
+}
+
+// Precision is TP/(TP+FP); 1 when nothing was flagged.
+func (s *PersonaStats) Precision() float64 {
+	if s.TruePos+s.FalsePos == 0 {
+		return 1
+	}
+	return float64(s.TruePos) / float64(s.TruePos+s.FalsePos)
+}
+
+// Recall is TP/(TP+FN); 1 when nothing was there to find.
+func (s *PersonaStats) Recall() float64 {
+	if s.TruePos+s.FalseNeg == 0 {
+		return 1
+	}
+	return float64(s.TruePos) / float64(s.TruePos+s.FalseNeg)
+}
+
+// RecoveryStats reports a StepCrash outcome.
+type RecoveryStats struct {
+	ReplayedRecords int `json:"replayed_records"`
+	CorpusBefore    int `json:"corpus_before"`
+	CorpusAfter     int `json:"corpus_after"`
+	FAQBefore       int `json:"faq_before"`
+	FAQAfter        int `json:"faq_after"`
+}
+
+// Result is everything a scenario run produced: the byte-exact
+// transcript and the aggregate statistics E13 and the golden tests
+// consume.
+type Result struct {
+	Scenario   *Scenario
+	Transcript []byte
+
+	// Sent counts scripted chat lines; Supervised the ones that reached
+	// the supervisor; Unsupervised the remainder (shed or cut off).
+	Sent, Supervised, Unsupervised int
+
+	// Verdicts histograms the supervisor's outcomes.
+	Verdicts map[corpus.Verdict]int
+	// Interventions counts agent responses by responder name.
+	Interventions map[string]int
+	// PerPersona scores each persona present in the scenario.
+	PerPersona map[PersonaKind]*PersonaStats
+
+	// MinedPairs and FAQLen report the corpora generator's QA mining.
+	MinedPairs int
+	FAQLen     int
+
+	Pipeline    pipeline.Stats
+	HasPipeline bool
+	Journal     *journal.Stats
+	Recovery    *RecoveryStats
+
+	// report is the instructor-facing analyzer summary (post-recovery
+	// only, when the scenario crashed: the analyzer is not journaled).
+	report string
+}
+
+// Report returns the instructor-facing learning-statistics summary.
+func (r *Result) Report() string { return r.report }
+
+// Personas returns the per-persona stats in stable (name) order.
+func (r *Result) Personas() []*PersonaStats {
+	out := make([]*PersonaStats, 0, len(r.PerPersona))
+	for _, s := range r.PerPersona {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Persona < out[j].Persona })
+	return out
+}
+
+func buildResult(r *runner, pst pipeline.Stats, hasPipe bool, jstats *journal.Stats) *Result {
+	res := &Result{
+		Scenario:      r.sc,
+		Verdicts:      make(map[corpus.Verdict]int),
+		Interventions: make(map[string]int),
+		PerPersona:    make(map[PersonaKind]*PersonaStats),
+		MinedPairs:    r.sup.Generator().MinedPairs(),
+		FAQLen:        r.sup.FAQ().Len(),
+		Pipeline:      pst,
+		HasPipeline:   hasPipe,
+		Journal:       jstats,
+		Recovery:      r.recovery,
+		report:        r.sup.Analyzer().Report(),
+	}
+	persona := func(user string) *PersonaStats {
+		kind := r.sc.Personas[user]
+		s := res.PerPersona[kind]
+		if s == nil {
+			s = &PersonaStats{Persona: kind}
+			res.PerPersona[kind] = s
+		}
+		return s
+	}
+	// Every participant appears, even all-quiet lurkers.
+	for user := range r.sc.Personas {
+		persona(user)
+	}
+	for user, n := range r.sentByUser {
+		res.Sent += n
+		persona(user).Sent += n
+	}
+	for _, e := range r.rec.entries() {
+		res.Supervised++
+		res.Verdicts[e.Verdict]++
+		s := persona(e.User)
+		s.Supervised++
+		for _, agent := range e.Agents {
+			res.Interventions[agent]++
+		}
+		flagged := e.Verdict == corpus.VerdictSyntaxError || e.Verdict == corpus.VerdictSemanticError
+		should := ShouldFlag(e.Expect)
+		switch {
+		case flagged && should:
+			s.TruePos++
+		case flagged && !should:
+			s.FalsePos++
+		case !flagged && should:
+			s.FalseNeg++
+		default:
+			s.TrueNeg++
+		}
+		if e.Expect == workload.KindQuestion {
+			s.Questions++
+			for _, agent := range e.Agents {
+				if agent == core.AgentQA {
+					s.Answered++
+					break
+				}
+			}
+		}
+	}
+	for user, kinds := range r.rec.unsupervised() {
+		res.Unsupervised += len(kinds)
+		persona(user).Shed += len(kinds)
+	}
+	return res
+}

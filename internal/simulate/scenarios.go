@@ -1,0 +1,331 @@
+package simulate
+
+import (
+	"time"
+
+	"semagent/internal/pipeline"
+)
+
+// Scenarios builds the golden regression corpus: every scenario is a
+// reproducible classroom situation the supervision stack must keep
+// handling the same way. The set covers all seven personas and three
+// fault injections (abrupt client drop mid-message, journal crash with
+// recovery mid-session, and an admission-control shed storm).
+func Scenarios() []*Scenario {
+	return []*Scenario{
+		basicLecture(),
+		qaSession(),
+		abusiveOutbursts(),
+		offtopicDrift(),
+		mixedClassroom(),
+		rapidFireSpam(),
+		shedStorm(),
+		lateJoiners(),
+		clientDropMidMessage(),
+		journalCrashRecovery(),
+		quizReview(),
+		multiRoomParallel(),
+	}
+}
+
+// ScenarioByName finds a scenario in the corpus.
+func ScenarioByName(name string) *Scenario {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	return nil
+}
+
+// basicLecture: three contributors discuss the course while a lurker
+// listens; everything should pass supervision untouched.
+func basicLecture() *Scenario {
+	sc := &Scenario{
+		Name:        "basic-lecture",
+		Description: "on-topic contributors and a silent lurker; supervision stays quiet",
+		Seed:        101,
+	}
+	b := newScript(sc)
+	b.join("alice", "algo", PersonaContributor)
+	b.join("bob", "algo", PersonaContributor)
+	b.join("carol", "algo", PersonaContributor)
+	b.join("lena", "algo", PersonaLurker)
+	for i := 0; i < 4; i++ {
+		b.say("alice", "algo")
+		b.say("bob", "algo")
+		b.say("carol", "algo")
+	}
+	b.leave("lena", "algo")
+	return sc
+}
+
+// qaSession: questioners ask, contributors answer on topic — the
+// adjacency pairs the corpora generator mines into the FAQ.
+func qaSession() *Scenario {
+	sc := &Scenario{
+		Name:        "qa-session",
+		Description: "question/answer adjacency pairs feed QA answering and FAQ mining",
+		Seed:        202,
+	}
+	b := newScript(sc)
+	b.join("quinn", "ds-course", PersonaQuestioner)
+	b.join("quentin", "ds-course", PersonaQuestioner)
+	b.join("amy", "ds-course", PersonaContributor)
+	for i := 0; i < 4; i++ {
+		b.ask("quinn", "amy", "ds-course")
+		b.ask("quentin", "amy", "ds-course")
+	}
+	// An expired pairing window: the question goes stale before the
+	// topical answer arrives, so no pair is mined from it.
+	q := b.g.Question(false)
+	b.sayText("quinn", "ds-course", q.Text, q.Kind)
+	b.advance(3 * time.Minute)
+	b.say("amy", "ds-course")
+	return sc
+}
+
+// abusiveOutbursts: an abusive student heckles a working classroom; the
+// Learning_Angel intervenes privately.
+func abusiveOutbursts() *Scenario {
+	sc := &Scenario{
+		Name:        "abusive-outbursts",
+		Description: "hostile unparseable outbursts drawing private Learning_Angel comments",
+		Seed:        303,
+	}
+	b := newScript(sc)
+	b.join("alice", "algo", PersonaContributor)
+	b.join("bob", "algo", PersonaContributor)
+	b.join("mallory", "algo", PersonaAbusive)
+	for i := 0; i < 3; i++ {
+		b.say("alice", "algo")
+		b.say("mallory", "algo")
+		b.say("bob", "algo")
+	}
+	b.say("mallory", "algo")
+	return sc
+}
+
+// offtopicDrift: a drifter keeps producing grammatical nonsense about
+// the course domain; the Semantic Agent flags it.
+func offtopicDrift() *Scenario {
+	sc := &Scenario{
+		Name:        "offtopic-drift",
+		Description: "grammatical but domain-nonsensical drift flagged by the Semantic Agent",
+		Seed:        404,
+	}
+	b := newScript(sc)
+	b.join("alice", "ds-course", PersonaContributor)
+	b.join("dora", "ds-course", PersonaDrifter)
+	b.join("bob", "ds-course", PersonaContributor)
+	for i := 0; i < 4; i++ {
+		b.say("alice", "ds-course")
+		b.say("dora", "ds-course")
+	}
+	b.say("bob", "ds-course")
+	return sc
+}
+
+// mixedClassroom: every persona in one async two-room session — the
+// E13 shape at golden size.
+func mixedClassroom() *Scenario {
+	sc := &Scenario{
+		Name:        "mixed-classroom",
+		Description: "all seven personas across two rooms on the async sharded pipeline",
+		Seed:        505,
+		Async:       true,
+		Workers:     2,
+		HistorySize: 8,
+	}
+	b := newScript(sc)
+	b.join("alice", "room-a", PersonaContributor)
+	b.join("dora", "room-a", PersonaDrifter)
+	b.join("quinn", "room-a", PersonaQuestioner)
+	b.join("lena", "room-a", PersonaLurker)
+	b.join("bob", "room-b", PersonaContributor)
+	b.join("mallory", "room-b", PersonaAbusive)
+	b.join("spike", "room-b", PersonaSpammer)
+	for i := 0; i < 3; i++ {
+		b.say("alice", "room-a")
+		b.say("dora", "room-a")
+		b.ask("quinn", "alice", "room-a")
+		b.say("bob", "room-b")
+		b.say("mallory", "room-b")
+		b.say("spike", "room-b")
+	}
+	b.join("zoe", "room-a", PersonaLateJoiner)
+	b.say("zoe", "room-a")
+	b.say("alice", "room-a")
+	b.drop("zoe", "room-a", false)
+	return sc
+}
+
+// rapidFireSpam: a spammer floods an async room without admission
+// control — backpressure absorbs the burst, nothing is lost.
+func rapidFireSpam() *Scenario {
+	sc := &Scenario{
+		Name:        "rapid-fire-spam",
+		Description: "rapid-fire burst under blocking backpressure: every line still supervised",
+		Seed:        606,
+		Async:       true,
+		Workers:     2,
+		// A small queue: the burst overruns it and the flooding client's
+		// reader is back-pressured, but supervision coverage stays 100%.
+		SuperviseQueue: 4,
+	}
+	b := newScript(sc)
+	b.join("alice", "algo", PersonaContributor)
+	b.join("spike", "algo", PersonaSpammer)
+	b.say("alice", "algo")
+	b.burst("spike", "algo", 12)
+	b.say("alice", "algo")
+	return sc
+}
+
+// shedStorm: the same flood with admission control — supervision of the
+// excess is deterministically shed, chat delivery never degrades.
+func shedStorm() *Scenario {
+	sc := &Scenario{
+		Name:        "shed-storm",
+		Description: "admission control sheds a gated flood at the room watermark (D10)",
+		Seed:        707,
+		Async:       true,
+		Workers:     2,
+		ShedPolicy:  pipeline.ShedRejectNew,
+		// With supervision gated shut during the burst, exactly
+		// RoomHighWater lines are accepted and the rest shed.
+		RoomHighWater: 4,
+		GateBursts:    true,
+	}
+	b := newScript(sc)
+	b.join("alice", "algo", PersonaContributor)
+	b.join("spike", "algo", PersonaSpammer)
+	b.say("alice", "algo")
+	b.burst("spike", "algo", 20)
+	b.say("alice", "algo")
+	return sc
+}
+
+// lateJoiners: history replay for a late joiner, then churn.
+func lateJoiners() *Scenario {
+	sc := &Scenario{
+		Name:        "late-joiners",
+		Description: "history replay catches a late joiner up; a disconnector churns out",
+		Seed:        808,
+		HistorySize: 6,
+	}
+	b := newScript(sc)
+	b.join("alice", "algo", PersonaContributor)
+	b.join("bob", "algo", PersonaContributor)
+	for i := 0; i < 4; i++ {
+		b.say("alice", "algo")
+		b.say("bob", "algo")
+	}
+	b.join("zoe", "algo", PersonaLateJoiner) // sees the last 6 lines replayed
+	b.say("zoe", "algo")
+	b.say("alice", "algo")
+	b.leave("zoe", "algo")
+	b.say("bob", "algo")
+	return sc
+}
+
+// clientDropMidMessage: a connection dies with a torn frame on the
+// wire; the room must observe the departure and stay healthy.
+func clientDropMidMessage() *Scenario {
+	sc := &Scenario{
+		Name:        "client-drop-midmessage",
+		Description: "fault: abrupt disconnect with a half-written frame; the room stays healthy",
+		Seed:        909,
+	}
+	b := newScript(sc)
+	b.join("alice", "algo", PersonaContributor)
+	b.join("ghost", "algo", PersonaLateJoiner)
+	b.say("alice", "algo")
+	b.say("ghost", "algo")
+	b.drop("ghost", "algo", true)
+	b.say("alice", "algo")
+	b.say("alice", "algo")
+	return sc
+}
+
+// journalCrashRecovery: the process dies mid-session with the journal
+// unsealed; recovery must reproduce every learned fact before class
+// resumes.
+func journalCrashRecovery() *Scenario {
+	sc := &Scenario{
+		Name:        "journal-crash-recovery",
+		Description: "fault: crash with unsealed WAL mid-session; stores recovered by replay",
+		Seed:        1010,
+		Journal:     true,
+	}
+	b := newScript(sc)
+	b.join("alice", "ds-course", PersonaContributor)
+	b.join("quinn", "ds-course", PersonaQuestioner)
+	b.say("alice", "ds-course")
+	b.ask("quinn", "alice", "ds-course")
+	b.say("alice", "ds-course")
+	b.crash()
+	b.join("alice", "ds-course", PersonaContributor)
+	b.join("quinn", "ds-course", PersonaQuestioner)
+	b.say("alice", "ds-course")
+	b.ask("quinn", "alice", "ds-course")
+	return sc
+}
+
+// quizReview: a quiz-style session of checkable questions, including
+// one about an unknown term the QA system must refuse.
+func quizReview() *Scenario {
+	sc := &Scenario{
+		Name:        "quiz-review",
+		Description: "quiz session: course questions answered, out-of-ontology question refused",
+		Seed:        1111,
+	}
+	b := newScript(sc)
+	b.join("tutor", "quiz", PersonaContributor)
+	b.join("quinn", "quiz", PersonaQuestioner)
+	b.join("quentin", "quiz", PersonaQuestioner)
+	for i := 0; i < 3; i++ {
+		b.say("quinn", "quiz")
+		b.say("quentin", "quiz")
+		b.say("tutor", "quiz")
+	}
+	// An out-of-ontology probe: answering it would be worse than
+	// refusing (E4's refusal criterion).
+	q := b.g.Question(true)
+	b.sayText("quinn", "quiz", q.Text, q.Kind)
+	b.say("tutor", "quiz")
+	return sc
+}
+
+// multiRoomParallel: three rooms running on the sharded pipeline at
+// once, one step at a time — per-room order under concurrency.
+func multiRoomParallel() *Scenario {
+	sc := &Scenario{
+		Name:        "multi-room-parallel",
+		Description: "three classrooms sharded across the async pipeline",
+		Seed:        1212,
+		Async:       true,
+		Workers:     3,
+	}
+	b := newScript(sc)
+	rooms := []string{"algo", "ds-course", "os"}
+	users := map[string][2]string{
+		"algo":      {"alice", "quinn"},
+		"ds-course": {"bob", "dora"},
+		"os":        {"carol", "mallory"},
+	}
+	b.join("alice", "algo", PersonaContributor)
+	b.join("quinn", "algo", PersonaQuestioner)
+	b.join("bob", "ds-course", PersonaContributor)
+	b.join("dora", "ds-course", PersonaDrifter)
+	b.join("carol", "os", PersonaContributor)
+	b.join("mallory", "os", PersonaAbusive)
+	for i := 0; i < 3; i++ {
+		for _, room := range rooms {
+			pair := users[room]
+			b.say(pair[0], room)
+			b.say(pair[1], room)
+		}
+	}
+	return sc
+}

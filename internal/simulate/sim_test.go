@@ -1,0 +1,163 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+
+	"semagent/internal/corpus"
+	"semagent/internal/ontology"
+	"semagent/internal/workload"
+)
+
+func TestPersonaUtterancesCarryGroundTruth(t *testing.T) {
+	g := workload.NewGenerator(1, ontology.BuildCourseOntology())
+	rng := rand.New(rand.NewSource(2))
+	wantKind := map[PersonaKind]workload.Kind{
+		PersonaContributor: workload.KindCorrect,
+		PersonaDrifter:     workload.KindSemanticError,
+		PersonaAbusive:     workload.KindSyntaxError,
+		PersonaQuestioner:  workload.KindQuestion,
+		PersonaSpammer:     workload.KindSyntaxError,
+		PersonaLateJoiner:  workload.KindCorrect,
+	}
+	for p, want := range wantKind {
+		text, kind := p.Utter(g, rng)
+		if text == "" {
+			t.Errorf("%s produced empty text", p)
+		}
+		if kind != want {
+			t.Errorf("%s kind = %v, want %v", p, kind, want)
+		}
+	}
+}
+
+func TestShedStormShedsExactlyAtWatermark(t *testing.T) {
+	res, err := Run(shedStorm(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := res.Scenario
+	var burst int
+	for _, st := range sc.Steps {
+		if st.Kind == StepBurst {
+			burst = len(st.Texts)
+		}
+	}
+	if burst == 0 {
+		t.Fatal("scenario has no burst")
+	}
+	wantShed := burst - sc.RoomHighWater
+	if res.Unsupervised != wantShed {
+		t.Errorf("unsupervised = %d, want %d (burst %d - watermark %d)",
+			res.Unsupervised, wantShed, burst, sc.RoomHighWater)
+	}
+	if got := res.Pipeline.ShedNew; got != int64(wantShed) {
+		t.Errorf("pipeline shed-new = %d, want %d", got, wantShed)
+	}
+	spam := res.PerPersona[PersonaSpammer]
+	if spam == nil || spam.Shed != wantShed {
+		t.Errorf("spammer shed = %+v, want %d", spam, wantShed)
+	}
+	// Chat delivery never degraded: every line was still broadcast, so
+	// sent == supervised + unsupervised.
+	if res.Sent != res.Supervised+res.Unsupervised {
+		t.Errorf("sent %d != supervised %d + unsupervised %d",
+			res.Sent, res.Supervised, res.Unsupervised)
+	}
+}
+
+func TestRapidFireBackpressureLosesNothing(t *testing.T) {
+	res, err := Run(rapidFireSpam(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsupervised != 0 {
+		t.Errorf("unsupervised = %d, want 0 under blocking backpressure", res.Unsupervised)
+	}
+	if res.Sent != res.Supervised {
+		t.Errorf("sent %d != supervised %d", res.Sent, res.Supervised)
+	}
+}
+
+func TestCrashRecoveryReproducesStores(t *testing.T) {
+	res, err := Run(journalCrashRecovery(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Recovery
+	if rec == nil {
+		t.Fatal("no recovery stats recorded")
+	}
+	if rec.CorpusAfter != rec.CorpusBefore {
+		t.Errorf("corpus %d -> %d across crash, want identical", rec.CorpusBefore, rec.CorpusAfter)
+	}
+	if rec.FAQAfter != rec.FAQBefore {
+		t.Errorf("faq %d -> %d across crash, want identical", rec.FAQBefore, rec.FAQAfter)
+	}
+	if rec.ReplayedRecords == 0 {
+		t.Error("recovery replayed zero WAL records")
+	}
+}
+
+func TestInterventionsLandWhereExpected(t *testing.T) {
+	res, err := Run(abusiveOutbursts(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := res.PerPersona[PersonaAbusive]
+	if ab == nil || ab.TruePos == 0 {
+		t.Fatalf("abusive persona stats = %+v, want detections", ab)
+	}
+	if res.Verdicts[corpus.VerdictSyntaxError] == 0 {
+		t.Error("no syntax-error verdicts in the abusive scenario")
+	}
+
+	res, err = Run(offtopicDrift(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := res.PerPersona[PersonaDrifter]
+	if dr == nil || dr.TruePos == 0 {
+		t.Fatalf("drifter persona stats = %+v, want detections", dr)
+	}
+	if res.Verdicts[corpus.VerdictSemanticError] == 0 {
+		t.Error("no semantic-error verdicts in the drift scenario")
+	}
+}
+
+func TestQASessionMinesFAQ(t *testing.T) {
+	res, err := Run(qaSession(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinedPairs == 0 {
+		t.Error("qa-session mined no FAQ pairs")
+	}
+	q := res.PerPersona[PersonaQuestioner]
+	if q == nil || q.Questions == 0 {
+		t.Fatalf("questioner stats = %+v, want questions", q)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(&Scenario{Name: "bad", GateBursts: true}, ""); err == nil {
+		t.Error("GateBursts without Async accepted")
+	}
+	if _, err := Run(&Scenario{Name: "bad", Journal: true}, ""); err == nil {
+		t.Error("Journal without dir accepted")
+	}
+}
+
+func TestPersonaStatsRates(t *testing.T) {
+	s := &PersonaStats{TruePos: 3, FalsePos: 1, FalseNeg: 2}
+	if got := s.Precision(); got != 0.75 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := s.Recall(); got != 0.6 {
+		t.Errorf("recall = %v", got)
+	}
+	empty := &PersonaStats{}
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("empty stats should score 1.0")
+	}
+}

@@ -1,0 +1,138 @@
+package simulate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"semagent/internal/chat"
+	"semagent/internal/corpus"
+)
+
+// transcript renders a scenario run as a stable, human-readable text:
+// a config header, one block per scripted step listing every message
+// each participant received, and a closing summary. Byte-identical
+// transcripts across runs are the package's core contract, so every
+// map printed here is sorted and every timestamp comes off the virtual
+// clock.
+type transcript struct {
+	b strings.Builder
+}
+
+func newTranscript(sc *Scenario) *transcript {
+	t := &transcript{}
+	fmt.Fprintf(&t.b, "# scenario: %s\n", sc.Name)
+	fmt.Fprintf(&t.b, "# %s\n", sc.Description)
+	fmt.Fprintf(&t.b, "# seed=%d async=%v shed=%s room-highwater=%d history=%d journal=%v step-interval=%s\n",
+		sc.Seed, sc.Async, sc.ShedPolicy, sc.RoomHighWater, sc.HistorySize, sc.Journal, sc.StepInterval)
+	return t
+}
+
+func (t *transcript) step(i int, desc string) {
+	fmt.Fprintf(&t.b, "\n-- step %d: %s\n", i+1, desc)
+}
+
+func (t *transcript) note(text string) {
+	fmt.Fprintf(&t.b, "   * %s\n", text)
+}
+
+// message renders one received message under the current step.
+func (t *transcript) message(client string, m chat.Message) {
+	fmt.Fprintf(&t.b, "   %-8s <- [%s] %s\n", client, stamp(m.Time), renderMessage(m))
+}
+
+// stamp renders a virtual timestamp as an offset from the scenario
+// epoch ("+4s").
+func stamp(ts time.Time) string {
+	if ts.IsZero() {
+		return "  -  "
+	}
+	return "+" + ts.Sub(simEpoch).String()
+}
+
+func renderMessage(m chat.Message) string {
+	switch m.Type {
+	case chat.TypeWelcome:
+		return fmt.Sprintf("welcome %q", m.Text)
+	case chat.TypeChat:
+		return fmt.Sprintf("chat %s: %q", m.From, m.Text)
+	case chat.TypeSystem:
+		return fmt.Sprintf("system %q", m.Text)
+	case chat.TypeAgent:
+		scope := "room"
+		if m.Private {
+			scope = "private"
+		}
+		return fmt.Sprintf("agent %s (%s): %q", m.Agent, scope, m.Text)
+	case chat.TypeError:
+		return fmt.Sprintf("error %q", m.Text)
+	default:
+		return fmt.Sprintf("%s %q", m.Type, m.Text)
+	}
+}
+
+// summary appends the closing statistics block.
+func (t *transcript) summary(res *Result) {
+	fmt.Fprintf(&t.b, "\n== summary ==\n")
+	fmt.Fprintf(&t.b, "sent=%d supervised=%d unsupervised=%d\n", res.Sent, res.Supervised, res.Unsupervised)
+
+	verdictOrder := []corpus.Verdict{
+		corpus.VerdictCorrect, corpus.VerdictSyntaxError,
+		corpus.VerdictSemanticError, corpus.VerdictQuestion, corpus.VerdictUnknown,
+	}
+	parts := make([]string, 0, len(verdictOrder))
+	for _, v := range verdictOrder {
+		if c := res.Verdicts[v]; c > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", v, c))
+		}
+	}
+	fmt.Fprintf(&t.b, "verdicts: %s\n", strings.Join(parts, " "))
+
+	agents := make([]string, 0, len(res.Interventions))
+	for a := range res.Interventions {
+		agents = append(agents, a)
+	}
+	sort.Strings(agents)
+	parts = parts[:0]
+	for _, a := range agents {
+		parts = append(parts, fmt.Sprintf("%s=%d", a, res.Interventions[a]))
+	}
+	fmt.Fprintf(&t.b, "interventions: %s\n", strings.Join(parts, " "))
+	fmt.Fprintf(&t.b, "faq: mined-pairs=%d entries=%d\n", res.MinedPairs, res.FAQLen)
+
+	if res.HasPipeline {
+		p := res.Pipeline
+		fmt.Fprintf(&t.b, "pipeline: submitted=%d completed=%d shed-new=%d shed-oldest=%d\n",
+			p.Submitted, p.Completed, p.ShedNew, p.ShedOldest)
+	}
+	if res.Journal != nil {
+		fmt.Fprintf(&t.b, "journal: records=%d last-lsn=%d replayed=%d\n",
+			res.Journal.Records, res.Journal.LastLSN, res.Journal.Replay.Applied)
+	}
+	if res.Recovery != nil {
+		fmt.Fprintf(&t.b, "recovery: replayed=%d corpus=%d->%d faq=%d->%d\n",
+			res.Recovery.ReplayedRecords, res.Recovery.CorpusBefore, res.Recovery.CorpusAfter,
+			res.Recovery.FAQBefore, res.Recovery.FAQAfter)
+	}
+
+	fmt.Fprintf(&t.b, "per-persona: (detection precision/recall over supervised messages)\n")
+	for _, s := range res.Personas() {
+		fmt.Fprintf(&t.b, "  %-12s sent=%-3d supervised=%-3d shed=%-3d tp=%d fp=%d fn=%d tn=%d precision=%.2f recall=%.2f",
+			s.Persona, s.Sent, s.Supervised, s.Shed,
+			s.TruePos, s.FalsePos, s.FalseNeg, s.TrueNeg, s.Precision(), s.Recall())
+		if s.Questions > 0 {
+			fmt.Fprintf(&t.b, " questions=%d answered=%d", s.Questions, s.Answered)
+		}
+		fmt.Fprintf(&t.b, "\n")
+	}
+
+	fmt.Fprintf(&t.b, "instructor report:\n")
+	for _, line := range strings.Split(strings.TrimRight(res.report, "\n"), "\n") {
+		fmt.Fprintf(&t.b, "  | %s\n", line)
+	}
+}
+
+func (t *transcript) bytes() []byte {
+	return []byte(t.b.String())
+}
