@@ -3,9 +3,11 @@
 // (concurrent rooms through the sharded supervision pipeline, cached
 // vs uncached parses), E10 (lock-free snapshot read path vs the legacy
 // locked ontology), E11 (write-ahead journaling overhead and crash
-// recovery), E12 (open-loop overload with admission-control shedding)
-// and E13 (deterministic scenario-matrix simulation scoring per-persona
-// detection precision/recall).
+// recovery), E12 (open-loop overload with admission-control shedding),
+// E13 (deterministic scenario-matrix simulation scoring per-persona
+// detection precision/recall) and E14 (population-scale chaos sweep:
+// generated classrooms with seeded fault schedules, audited against
+// invariants).
 //
 // Usage:
 //
@@ -16,6 +18,7 @@
 //	evalharness -exp E10 -json            # machine-readable results (JSON)
 //	evalharness -exp E12 -json            # overload shedding (JSON)
 //	evalharness -exp E13 -json            # persona-matrix detection scores (JSON)
+//	evalharness -exp E14 -seed 7 -json    # chaos sweep; exits nonzero on violation
 //	evalharness -exp E10,E11,E12,E13 -json  # one JSON array: the CI perf trajectory
 //
 // A comma-separated -exp list runs each experiment in order; with -json
@@ -36,14 +39,21 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment(s) to run: E1..E13, a comma-separated list, or all")
+		exp      = flag.String("exp", "all", "experiment(s) to run: E1..E14, a comma-separated list, or all")
 		n        = flag.Int("n", 1000, "workload size (samples/questions)")
 		seed     = flag.Int64("seed", 1, "workload seed")
-		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11, E12, E13)")
-		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10, E11, E12)")
+		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11, E12, E13, E14)")
+		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10..E14)")
 	)
 	flag.Parse()
 	p := params{n: *n, seed: *seed, rooms: *rooms, json: *jsonFlag}
+	// E14 defaults to its population-scale room count unless -rooms was
+	// given explicitly (the shared default of 8 is an E9-era knob).
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "rooms" {
+			p.roomsSet = true
+		}
+	})
 	if err := run(strings.ToUpper(*exp), p); err != nil {
 		fmt.Fprintln(os.Stderr, "evalharness:", err)
 		os.Exit(1)
@@ -52,14 +62,15 @@ func main() {
 
 // params carries the command-line knobs to the experiment runners.
 type params struct {
-	n     int
-	seed  int64
-	rooms int
-	json  bool
+	n        int
+	seed     int64
+	rooms    int
+	roomsSet bool
+	json     bool
 }
 
 // allExperiments is the canonical order.
-var allExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+var allExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 
 // textRunners print human-readable tables; jsonResults produce the
 // machine-readable result objects for the experiments that support
@@ -69,20 +80,27 @@ var (
 		"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4,
 		"E5": runE5, "E6": runE6, "E7": runE7, "E8": runE8,
 		"E9": runE9, "E10": runE10, "E11": runE11, "E12": runE12,
-		"E13": runE13,
+		"E13": runE13, "E14": runE14,
 	}
 	jsonResults = map[string]func(params) (interface{}, error){
 		"E10": resultE10, "E11": resultE11, "E12": resultE12,
-		"E13": resultE13,
+		"E13": resultE13, "E14": resultE14,
 	}
 )
 
 // trajectoryEntry wraps one experiment's result in the combined-JSON
-// output.
+// output. Seed echoes the -seed the run was invoked with, so any
+// artifact names its own reproducing command.
 type trajectoryEntry struct {
 	Experiment string      `json:"experiment"`
+	Seed       int64       `json:"seed"`
 	Result     interface{} `json:"result"`
 }
+
+// failer is implemented by results that can fail the run after their
+// JSON is emitted (E14: invariant violations must both upload the
+// artifact and exit nonzero with the reproducing seed).
+type failer interface{ Failed() error }
 
 func run(expArg string, p params) error {
 	names := strings.Split(expArg, ",")
@@ -94,7 +112,7 @@ func run(expArg string, p params) error {
 	}
 	for _, name := range names {
 		if _, ok := textRunners[name]; !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E12, a comma-separated list, or all)", name)
+			return fmt.Errorf("unknown experiment %q (want E1..E14, a comma-separated list, or all)", name)
 		}
 	}
 
@@ -103,22 +121,35 @@ func run(expArg string, p params) error {
 		for _, name := range names {
 			getter, ok := jsonResults[name]
 			if !ok {
-				return fmt.Errorf("%s does not support -json (supported: E10, E11, E12, E13)", name)
+				return fmt.Errorf("%s does not support -json (supported: E10..E14)", name)
 			}
 			res, err := getter(p)
 			if err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
-			entries = append(entries, trajectoryEntry{Experiment: name, Result: res})
+			entries = append(entries, trajectoryEntry{Experiment: name, Seed: p.seed, Result: res})
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if len(entries) == 1 {
 			// Single experiment keeps the bare-object shape older
 			// tooling parses (e10.json / e11.json artifacts).
-			return enc.Encode(entries[0].Result)
+			if err := enc.Encode(entries[0].Result); err != nil {
+				return err
+			}
+		} else if err := enc.Encode(entries); err != nil {
+			return err
 		}
-		return enc.Encode(entries)
+		// The artifact is written either way; a failed result (E14
+		// invariant violation) still exits nonzero with its seed.
+		for _, e := range entries {
+			if f, ok := e.Result.(failer); ok {
+				if err := f.Failed(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	}
 
 	for _, name := range names {
@@ -408,6 +439,56 @@ func runE13(p params) error {
 	}
 	fmt.Printf("micro precision %.3f, micro recall %.3f, question answer rate %.1f%%\n",
 		res.MicroPrecision, res.MicroRecall, res.QuestionAnswerRate*100)
+	return nil
+}
+
+func e14Config(p params) eval.E14Config {
+	cfg := eval.E14Config{Seed: p.seed}
+	if p.roomsSet {
+		cfg.Rooms = p.rooms
+	}
+	return cfg
+}
+
+func resultE14(p params) (interface{}, error) {
+	return eval.RunE14(e14Config(p))
+}
+
+func runE14(p params) error {
+	res, err := eval.RunE14(e14Config(p))
+	if err != nil {
+		return err
+	}
+	header("E14 population-scale chaos sweep: generated scenarios vs invariants (D12)")
+	fmt.Printf("master seed: %d   waves: %d   rooms: %d   students: %d\n",
+		res.Config.Seed, res.Waves, res.Rooms, res.Students)
+	fmt.Printf("messages: %d   supervised: %d   shed: %d\n",
+		res.Messages, res.Supervised, res.Shed)
+	fmt.Printf("faults: %d drops (%d torn), %d storms, %d crashes (%d WAL records replayed)\n",
+		res.Faults.Drops, res.Faults.TornDrops, res.Faults.Storms,
+		res.Faults.Crashes, res.Faults.ReplayedRecords)
+	names := make([]string, 0, len(res.InvariantChecks))
+	for name := range res.InvariantChecks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("invariant           waves-audited  violations")
+	for _, name := range names {
+		count := 0
+		for _, v := range res.Violations {
+			if v.Invariant == name {
+				count++
+			}
+		}
+		fmt.Printf("%-19s %13d  %10d\n", name, res.InvariantChecks[name], count)
+	}
+	if err := res.Failed(); err != nil {
+		for _, v := range res.Violations {
+			fmt.Printf("VIOLATION wave %d (seed %d) %s: %s\n", v.Wave, v.Seed, v.Invariant, v.Detail)
+		}
+		return err
+	}
+	fmt.Printf("all invariants held; reproduce with: evalharness -exp E14 -seed %d\n", res.Config.Seed)
 	return nil
 }
 

@@ -53,6 +53,11 @@ type ServerOptions struct {
 	// RoomHighWater / GlobalHighWater are the admission watermarks
 	// (pipeline.Config). Ignored when ShedPolicy is ShedNone.
 	RoomHighWater, GlobalHighWater int
+	// OnShed, if set, observes every supervision task admission control
+	// drops, with the room it belonged to — the per-room attribution the
+	// chaos simulator's shed-exactness checker needs (metrics only keep
+	// a global counter). Called outside all server and pipeline locks.
+	OnShed func(room string)
 
 	// Metrics, if set, registers the chat layer's counters and latency
 	// histograms (semagent_chat_*) and the supervision pipeline's
@@ -166,11 +171,18 @@ func NewServer(opts ServerOptions) *Server {
 			GlobalHighWater: opts.GlobalHighWater,
 			Metrics:         opts.Metrics,
 		}
-		if s.met != nil {
+		if s.met != nil || opts.OnShed != nil {
 			// OnShed sees every dropped supervision — rejected new
 			// tasks and oldest-drop evictions alike; counting Submit
 			// errors instead would miss the evictions entirely.
-			cfg.OnShed = func(string) { s.met.shed.Inc() }
+			cfg.OnShed = func(room string) {
+				if s.met != nil {
+					s.met.shed.Inc()
+				}
+				if opts.OnShed != nil {
+					opts.OnShed(room)
+				}
+			}
 		}
 		s.pipe = pipeline.New(cfg)
 	}

@@ -16,12 +16,12 @@ import (
 // immutable compiled snapshot removes both.
 type E10Config struct {
 	// Workers lists the concurrency levels to sweep (default 1, 4, 16).
-	Workers []int
+	Workers []int `json:"workers"`
 	// QueriesPerWorker is each worker's Related+Distance query count
 	// (default 20000).
-	QueriesPerWorker int
+	QueriesPerWorker int `json:"queries_per_worker"`
 	// Seed drives the pair selection.
-	Seed int64
+	Seed int64 `json:"seed"`
 }
 
 // E10Arm is one measured (path, workers) cell.

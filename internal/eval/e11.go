@@ -16,16 +16,16 @@ import (
 // durable learning.
 type E11Config struct {
 	// Rooms is the number of concurrent classrooms (default 8).
-	Rooms int
+	Rooms int `json:"rooms"`
 	// MessagesPerRoom is the dialogue length per room (default 64).
-	MessagesPerRoom int
+	MessagesPerRoom int `json:"messages_per_room"`
 	// Workers sizes the pipeline pool (0 = GOMAXPROCS).
-	Workers int
+	Workers int `json:"workers"`
 	// Seed drives the workload generator.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Dir is the base directory for per-arm journal dirs (default: the
 	// OS temp dir). Each arm gets a fresh directory, removed afterwards.
-	Dir string
+	Dir string `json:"-"`
 }
 
 // E11Arm is one measured journaling configuration.

@@ -41,30 +41,32 @@ func e12Process(sup *core.Supervisor, stageCost time.Duration, room, user, text 
 // control.
 type E12Config struct {
 	// Rooms / ClientsPerRoom shape the load population (defaults 4, 2).
-	Rooms, ClientsPerRoom int
+	Rooms          int `json:"rooms"`
+	ClientsPerRoom int `json:"clients_per_room"`
 	// Duration is each arm's offered-load window (default 1200ms).
-	Duration time.Duration
+	Duration time.Duration `json:"duration"`
 	// Seed drives the workload generator.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Multipliers are the offered-load multiples of measured capacity
 	// (default 1×, 2×, 5×), each run with shedding on.
 	Multipliers []float64
 	// RoomHighWater / GlobalHighWater are the admission watermarks of
 	// the shedding arms (defaults 16 and 256).
-	RoomHighWater, GlobalHighWater int
+	RoomHighWater   int `json:"room_high_water"`
+	GlobalHighWater int `json:"global_high_water"`
 	// Workers sizes the supervision pool (0 = GOMAXPROCS).
-	Workers int
+	Workers int `json:"workers"`
 	// SkipBlocking drops the blocking contrast arm (the highest
 	// multiplier with admission control off), which is slow by design.
-	SkipBlocking bool
+	SkipBlocking bool `json:"skip_blocking,omitempty"`
 	// CalibrationMessages sizes the in-process capacity measurement
 	// (default 256).
-	CalibrationMessages int
+	CalibrationMessages int `json:"calibration_messages"`
 	// StageCost is added to every supervised message (calibration and
 	// server arms alike) as a sleep — the modeled analysis weight of a
 	// production deployment (see e12Process). Default 1.5ms; negative
 	// disables it.
-	StageCost time.Duration
+	StageCost time.Duration `json:"stage_cost"`
 }
 
 func (c *E12Config) fill() {

@@ -1,0 +1,295 @@
+package eval
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"semagent/internal/simulate"
+	"semagent/internal/simulate/gen"
+)
+
+// E14Config parameterizes the population-scale chaos sweep: the
+// property-based scenario generator (internal/simulate/gen, DESIGN.md
+// D12) draws whole classroom populations plus fault schedules from one
+// seed, replays them through the full supervision stack on the virtual
+// clock, and audits every run against the chaos invariants instead of
+// golden transcripts.
+type E14Config struct {
+	// Rooms is the total classroom population, split across waves
+	// (default 1000).
+	Rooms int `json:"rooms"`
+	// Seed is the master seed; every wave seed derives from it, so the
+	// whole sweep reproduces from this one number.
+	Seed int64 `json:"seed"`
+	// RoomsPerWave bounds one simulated server's room count (default
+	// 50; the wave count is also floored at 4 so every chaos profile —
+	// drops, storms, crashes — appears in every sweep).
+	RoomsPerWave int `json:"rooms_per_wave"`
+
+	// Parallel bounds concurrently running waves (default GOMAXPROCS).
+	// Excluded from the JSON artifact: parallelism cannot change the
+	// results, only the wall clock.
+	Parallel int `json:"-"`
+}
+
+// E14Faults aggregates the fault injections the sweep explored.
+type E14Faults struct {
+	Drops           int `json:"drops"`
+	TornDrops       int `json:"torn_drops"`
+	Storms          int `json:"storms"`
+	Crashes         int `json:"crashes"`
+	ReplayedRecords int `json:"replayed_records"`
+}
+
+// E14Wave reports one generated population: its chaos profile, scale,
+// outcome counters and invariant audit.
+type E14Wave struct {
+	Index      int             `json:"index"`
+	Seed       int64           `json:"seed"`
+	Profile    string          `json:"profile"`
+	Rooms      int             `json:"rooms"`
+	Students   int             `json:"students"`
+	Messages   int             `json:"messages"`
+	Supervised int             `json:"supervised"`
+	Shed       int             `json:"shed"`
+	Faults     E14Faults       `json:"faults"`
+	Checked    []string        `json:"checked"`
+	Violations []gen.Violation `json:"violations,omitempty"`
+}
+
+// E14Violation is one invariant breach with its reproducing wave seed.
+type E14Violation struct {
+	Wave      int    `json:"wave"`
+	Seed      int64  `json:"seed"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+// E14Result is the machine-readable sweep outcome (evalharness -exp
+// E14 -json; the chaos-soak artifact in CI). It carries no wall-clock
+// fields: the same config must reproduce the same bytes.
+type E14Result struct {
+	Config E14Config `json:"config"`
+
+	Waves      int `json:"waves"`
+	Rooms      int `json:"rooms"`
+	Students   int `json:"students"`
+	Messages   int `json:"messages"`
+	Supervised int `json:"supervised"`
+	Shed       int `json:"shed"`
+
+	Faults E14Faults `json:"faults"`
+	// InvariantChecks counts, per invariant, the waves it was audited
+	// in (durability requires a crash wave, shed-exact a pipeline).
+	InvariantChecks map[string]int `json:"invariant_checks"`
+
+	WaveResults []E14Wave      `json:"wave_results"`
+	Violations  []E14Violation `json:"violations"`
+}
+
+// Failed returns an error when any invariant was violated, carrying
+// the first reproducing wave seed — the CI soak job surfaces it.
+func (r *E14Result) Failed() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	v := r.Violations[0]
+	return fmt.Errorf("E14: %d invariant violation(s); first: wave %d (seed %d) violated %s: %s — reproduce with: evalharness -exp E14 -json -seed %d -rooms %d",
+		len(r.Violations), v.Wave, v.Seed, v.Invariant, v.Detail, r.Config.Seed, r.Config.Rooms)
+}
+
+// splitmix64 is the wave-seed derivation: a well-mixed 64-bit permuted
+// stream so neighbouring master seeds explore unrelated populations.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// waveProfiles rotate over the wave index so every sweep of >= 4 waves
+// exercises every fault class — and therefore every invariant.
+var waveProfiles = []struct {
+	name string
+	cfg  func(c *gen.Config)
+}{
+	{"uniform-drops", func(c *gen.Config) {
+		c.Arrival = gen.ArrivalUniform
+		c.DropFraction, c.TornFraction = 0.5, 0.5
+	}},
+	{"poisson-drops-storms", func(c *gen.Config) {
+		c.Arrival = gen.ArrivalPoisson
+		c.DropFraction, c.TornFraction = 0.4, 0.5
+		c.StormFraction = 0.5
+	}},
+	{"bursty-storms", func(c *gen.Config) {
+		c.Arrival = gen.ArrivalBursty
+		c.StormFraction = 0.75
+	}},
+	{"poisson-crash", func(c *gen.Config) {
+		c.Arrival = gen.ArrivalPoisson
+		c.DropFraction, c.TornFraction = 0.3, 0.5
+		c.Crashes = 1
+	}},
+}
+
+// RunE14 sweeps a generated population of cfg.Rooms classrooms split
+// into chaos-profiled waves, replays every wave through the full stack
+// (waves run concurrently; each wave is internally deterministic and
+// results aggregate in wave order, so the outcome is parallelism-
+// independent), and audits each against the chaos invariants.
+func RunE14(cfg E14Config) (*E14Result, error) {
+	if cfg.Rooms <= 0 {
+		cfg.Rooms = 1000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.RoomsPerWave <= 0 {
+		cfg.RoomsPerWave = 50
+	}
+	waves := (cfg.Rooms + cfg.RoomsPerWave - 1) / cfg.RoomsPerWave
+	if waves < 4 {
+		waves = 4
+	}
+	if waves > cfg.Rooms {
+		waves = cfg.Rooms
+	}
+	parallel := cfg.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > waves {
+		parallel = waves
+	}
+
+	out := &E14Result{
+		Config:          cfg,
+		Waves:           waves,
+		InvariantChecks: make(map[string]int),
+		WaveResults:     make([]E14Wave, waves),
+		Violations:      []E14Violation{},
+	}
+
+	type waveErr struct {
+		idx int
+		err error
+	}
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Mutex
+		firstE  *waveErr
+	)
+	sem := make(chan struct{}, parallel)
+	base, rem := cfg.Rooms/waves, cfg.Rooms%waves
+	for i := 0; i < waves; i++ {
+		rooms := base
+		if i < rem {
+			rooms++
+		}
+		profile := waveProfiles[i%len(waveProfiles)]
+		gcfg := gen.Config{
+			Seed:  int64(splitmix64(uint64(cfg.Seed)+uint64(i)*0x9E3779B97F4A7C15) &^ (1 << 63)),
+			Rooms: rooms,
+		}
+		profile.cfg(&gcfg)
+
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, gcfg gen.Config, profile string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			wave, err := runWave(i, profile, gcfg)
+			if err != nil {
+				errOnce.Lock()
+				if firstE == nil {
+					firstE = &waveErr{i, err}
+				}
+				errOnce.Unlock()
+				return
+			}
+			out.WaveResults[i] = wave
+		}(i, gcfg, profile.name)
+	}
+	wg.Wait()
+	if firstE != nil {
+		return nil, fmt.Errorf("E14 wave %d: %w", firstE.idx, firstE.err)
+	}
+
+	// Aggregate in wave order: the artifact is byte-identical however
+	// the waves were scheduled.
+	for _, w := range out.WaveResults {
+		out.Rooms += w.Rooms
+		out.Students += w.Students
+		out.Messages += w.Messages
+		out.Supervised += w.Supervised
+		out.Shed += w.Shed
+		out.Faults.Drops += w.Faults.Drops
+		out.Faults.TornDrops += w.Faults.TornDrops
+		out.Faults.Storms += w.Faults.Storms
+		out.Faults.Crashes += w.Faults.Crashes
+		out.Faults.ReplayedRecords += w.Faults.ReplayedRecords
+		for _, name := range w.Checked {
+			out.InvariantChecks[name]++
+		}
+		for _, v := range w.Violations {
+			out.Violations = append(out.Violations, E14Violation{
+				Wave: w.Index, Seed: w.Seed, Invariant: v.Invariant, Detail: v.Detail,
+			})
+		}
+	}
+	sort.Slice(out.Violations, func(i, j int) bool {
+		a, b := out.Violations[i], out.Violations[j]
+		if a.Wave != b.Wave {
+			return a.Wave < b.Wave
+		}
+		return a.Invariant < b.Invariant
+	})
+	return out, nil
+}
+
+// runWave generates, replays and audits one population.
+func runWave(idx int, profile string, gcfg gen.Config) (E14Wave, error) {
+	sc, plan, err := gen.Generate(gcfg)
+	if err != nil {
+		return E14Wave{}, fmt.Errorf("generate: %w", err)
+	}
+	dir := ""
+	if sc.Journal {
+		dir, err = os.MkdirTemp("", "e14-wave-*")
+		if err != nil {
+			return E14Wave{}, fmt.Errorf("journal dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	res, err := simulate.Run(sc, dir)
+	if err != nil {
+		return E14Wave{}, fmt.Errorf("run %s: %w", sc.Name, err)
+	}
+	rep := gen.Check(sc, res)
+	wave := E14Wave{
+		Index:      idx,
+		Seed:       gcfg.Seed,
+		Profile:    profile,
+		Rooms:      plan.Rooms,
+		Students:   plan.Students,
+		Messages:   res.Sent,
+		Supervised: res.Supervised,
+		Shed:       res.Unsupervised,
+		Faults: E14Faults{
+			Drops:     plan.Drops,
+			TornDrops: plan.TornDrops,
+			Storms:    plan.Storms,
+			Crashes:   plan.Crashes,
+		},
+		Checked:    rep.Checked,
+		Violations: rep.Violations,
+	}
+	for _, rec := range res.Recoveries {
+		wave.Faults.ReplayedRecords += rec.ReplayedRecords
+	}
+	return wave, nil
+}

@@ -89,6 +89,7 @@ type appender struct {
 	bw        *bufio.Writer
 	seq       uint64 // active segment sequence
 	lsn       uint64 // last assigned LSN
+	synced    uint64 // highest LSN covered by a successful fsync
 	dirty     bool   // unflushed appends
 	size      int64  // bytes appended since last checkpoint
 	syncEvery bool
@@ -124,11 +125,14 @@ func openAppender(dir string, seq, startLSN uint64, syncEvery bool, met *journal
 		return nil, err
 	}
 	return &appender{
-		dir:       dir,
-		f:         f,
-		bw:        bufio.NewWriterSize(f, 64*1024),
-		seq:       seq,
-		lsn:       startLSN,
+		dir: dir,
+		f:   f,
+		bw:  bufio.NewWriterSize(f, 64*1024),
+		seq: seq,
+		lsn: startLSN,
+		// Everything recovery handed us is already on disk: the synced
+		// watermark starts where the replayed log ends.
+		synced:    startLSN,
 		size:      st.Size(),
 		syncEvery: syncEvery,
 		met:       met,
@@ -181,7 +185,9 @@ func (a *appender) fail(err error) {
 	}
 }
 
-// flushLocked drains the buffer to the OS and fsyncs.
+// flushLocked drains the buffer to the OS and fsyncs. On success every
+// record appended so far is durable, so the synced watermark advances to
+// the last assigned LSN.
 func (a *appender) flushLocked() error {
 	if !a.dirty {
 		return nil
@@ -199,6 +205,7 @@ func (a *appender) flushLocked() error {
 		return err
 	}
 	a.fsyncs++
+	a.synced = a.lsn
 	if a.met != nil {
 		a.met.syncDur.ObserveSince(start)
 		a.met.fsyncs.Inc()

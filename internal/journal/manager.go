@@ -98,7 +98,14 @@ func (o *Options) fill() {
 
 // Stats is a snapshot of the journal counters.
 type Stats struct {
-	LastLSN     uint64
+	LastLSN uint64
+	// SyncedLSN is the durability watermark: the highest LSN covered by
+	// a successful fsync. Equal to LastLSN in sync-every-record mode; in
+	// group-commit mode it lags by at most one window. A crash loses
+	// nothing at or below it — the invariant the chaos simulator's
+	// durability checker (internal/simulate/gen) asserts across
+	// crash/recovery cycles.
+	SyncedLSN   uint64
 	Records     uint64 // appended this run
 	Fsyncs      uint64
 	Checkpoints uint64
@@ -382,6 +389,7 @@ func (m *Manager) Stats() Stats {
 	m.ap.mu.Lock()
 	st := Stats{
 		LastLSN:     m.ap.lsn,
+		SyncedLSN:   m.ap.synced,
 		Records:     m.ap.records,
 		Fsyncs:      m.ap.fsyncs,
 		Checkpoints: ckpts,

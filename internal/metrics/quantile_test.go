@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// The histogram quantile estimator interpolates linearly inside the
+// winning bucket. These tests pin the arithmetic at the places it is
+// easiest to get silently wrong: exact bucket boundaries, the empty
+// and single-sample edge cases, and the +Inf overflow bucket.
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]int64{10, 20}, 1)
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if got := NewHistogram(nil, 1).Quantile(0.5); got != 0 {
+		t.Errorf("empty boundless histogram Quantile(0.5) = %d, want 0", got)
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	// One sample in the (10, 20] bucket: the estimator knows only the
+	// bucket, so the estimate interpolates across it — q of the way
+	// from the lower to the upper bound.
+	h := NewHistogram([]int64{10, 20, 40}, 1)
+	h.Observe(15)
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.5, 15},  // 10 + 0.5*10
+		{0.95, 19}, // 10 + 0.95*10, truncated
+		{0.99, 19},
+		{1, 20}, // the full bucket width: its upper bound
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("single-sample Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileAtBucketBoundary(t *testing.T) {
+	// 50 samples in (0, 100], 50 in (100, 200]: the median rank lands
+	// exactly on the last sample of the first bucket, so p50 must be
+	// exactly the shared boundary — not a value from either side.
+	h := NewHistogram([]int64{100, 200, 300}, 1)
+	for i := 0; i < 50; i++ {
+		h.Observe(50)
+		h.Observe(150)
+	}
+	if got := h.Quantile(0.5); got != 100 {
+		t.Errorf("p50 at bucket boundary = %d, want 100", got)
+	}
+	// Ranks inside the second bucket interpolate within (100, 200]:
+	// p95 -> rank 95, 45 of the second bucket's 50 -> 100 + 0.9*100.
+	if got := h.Quantile(0.95); got != 190 {
+		t.Errorf("p95 = %d, want 190", got)
+	}
+	// p99 -> rank 99, frac 49/50 -> 198.
+	if got := h.Quantile(0.99); got != 198 {
+		t.Errorf("p99 = %d, want 198", got)
+	}
+	if got := h.Quantile(1); got != 200 {
+		t.Errorf("p100 = %d, want 200", got)
+	}
+}
+
+func TestQuantileFirstBucketInterpolatesFromZero(t *testing.T) {
+	// All mass in the first bucket: interpolation runs from 0, not from
+	// the first bound.
+	h := NewHistogram([]int64{100, 200}, 1)
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("p50 all-first-bucket = %d, want 50", got)
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Errorf("p99 all-first-bucket = %d, want 99", got)
+	}
+}
+
+func TestQuantileOverflowBucketClamps(t *testing.T) {
+	// Samples beyond the last bound land in the +Inf bucket; quantiles
+	// there report the last finite bound (the documented conservative
+	// underestimate) rather than inventing an unbounded value.
+	h := NewHistogram([]int64{10, 20}, 1)
+	h.Observe(5)
+	h.Observe(1_000_000)
+	h.Observe(2_000_000)
+	for _, q := range []float64{0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 20 {
+			t.Errorf("overflow-bucket Quantile(%v) = %d, want last bound 20", q, got)
+		}
+	}
+	// A quantile whose rank stays in a finite bucket is unaffected by
+	// the overflow mass.
+	if got := h.Quantile(0.3); got > 10 {
+		t.Errorf("p30 = %d, want within the first bucket (<= 10)", got)
+	}
+}
+
+func TestQuantileDurationBounds(t *testing.T) {
+	// The default latency bounds are doubling powers of 2 microseconds;
+	// a uniform ramp across one bucket must land its percentiles inside
+	// that bucket's bounds.
+	h := NewHistogram(DefDurationBounds(), 1e-9)
+	lower, upper := 512*time.Microsecond, 1024*time.Microsecond
+	for d := lower + time.Microsecond; d <= upper; d += time.Microsecond {
+		h.ObserveDuration(d)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := time.Duration(h.Quantile(q))
+		if got <= lower || got > upper {
+			t.Errorf("Quantile(%v) = %v, want within (%v, %v]", q, got, lower, upper)
+		}
+	}
+	if p50 := time.Duration(h.Quantile(0.5)); p50 < 700*time.Microsecond || p50 > 800*time.Microsecond {
+		t.Errorf("p50 of uniform (512us, 1024us] ramp = %v, want ~768us (mid-bucket)", p50)
+	}
+}

@@ -151,6 +151,28 @@ type Stats struct {
 // Pending is the number of accepted tasks not yet completed or evicted.
 func (s Stats) Pending() int64 { return s.Submitted - s.Completed - s.ShedOldest }
 
+// Merge adds another snapshot's counters into this one and returns the
+// sum (gauges take the maximum). Callers that restart a pipeline — the
+// chaos simulator rebuilds one per crash/recovery cycle — use it to
+// account a whole session across pipeline lifetimes.
+func (s Stats) Merge(o Stats) Stats {
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.Submitted += o.Submitted
+	s.Completed += o.Completed
+	s.Rejected += o.Rejected
+	s.Blocked += o.Blocked
+	s.Shed += o.Shed
+	s.ShedNew += o.ShedNew
+	s.ShedOldest += o.ShedOldest
+	s.QueueDepth += o.QueueDepth
+	if o.MaxQueueDepth > s.MaxQueueDepth {
+		s.MaxQueueDepth = o.MaxQueueDepth
+	}
+	return s
+}
+
 // task is one queued unit of work with its room attribution (for
 // per-room accounting and shed notification) and enqueue time (for the
 // queue-wait histogram).

@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"math/rand"
+	"time"
+
+	"semagent/internal/simulate"
+)
+
+// scheduleChaos draws the fault schedule for the generated population:
+// gated shed storms, abrupt client drops (about half leaving a torn
+// half-written frame), and journal crash points. It runs after the
+// dialogue is fully scheduled and draws from its own rng stream
+// (seed+2), so the fault schedule and the dialogue are independent
+// functions of the same master seed — turning a fault class off does
+// not reshuffle the conversation it was injected into.
+//
+// Replayability rules the schedule obeys:
+//   - a storm burst fires after its speaker's join;
+//   - a drop lands strictly after its victim's last scheduled action
+//     (storms included), so no speech is scripted on a dead connection;
+//   - crash points land mid-session; lower() re-joins every participant
+//     the crash cut off before their next scripted action.
+//
+// Returns the sorted crash times; drops and storms are appended to the
+// event timeline directly.
+func (b *builder) scheduleChaos() []time.Duration {
+	crng := rand.New(rand.NewSource(b.cfg.Seed + 2))
+	span := b.span()
+	for _, students := range b.rooms {
+		// Shed storm: one participant floods the room with a gated
+		// rapid-fire burst, forcing admission control to shed.
+		if crng.Float64() < b.cfg.StormFraction {
+			storm := students[crng.Intn(len(students))]
+			// Prefer a resident spammer — the natural flooder.
+			for _, s := range students {
+				if s.persona == simulate.PersonaSpammer {
+					storm = s
+					break
+				}
+			}
+			at := span/4 + time.Duration(crng.Int63n(int64(span/4)+1))
+			if min := storm.join + time.Millisecond; at < min {
+				at = min
+			}
+			st := simulate.Step{Kind: simulate.StepBurst, User: storm.name, Room: storm.room}
+			for i := 0; i < b.cfg.BurstLen; i++ {
+				text, kind := storm.persona.Utter(b.g, crng)
+				st.Texts = append(st.Texts, text)
+				st.Expect = append(st.Expect, kind)
+			}
+			b.add(at, st)
+			if at > storm.lastAt {
+				storm.lastAt = at
+			}
+			b.plan.Utterances += b.cfg.BurstLen
+			b.plan.Storms++
+		}
+		// Abrupt disconnect: one victim's connection dies after their
+		// last scheduled action, optionally mid-frame.
+		if crng.Float64() < b.cfg.DropFraction {
+			victim := students[crng.Intn(len(students))]
+			torn := crng.Float64() < b.cfg.TornFraction
+			at := victim.lastAt + b.cfg.MeanGap/4 + time.Duration(crng.Int63n(int64(b.cfg.MeanGap/4)+1))
+			b.add(at, simulate.Step{Kind: simulate.StepDrop, User: victim.name, Room: victim.room, Partial: torn})
+			victim.lastAt = at
+			b.plan.Drops++
+			if torn {
+				b.plan.TornDrops++
+			}
+		}
+	}
+	// Crash points: spread over the mid-session window [0.35, 0.8] of
+	// the nominal span with per-crash jitter, kept in order.
+	var crashes []time.Duration
+	for i := 0; i < b.cfg.Crashes; i++ {
+		lo := 0.35 + 0.45*float64(i)/float64(b.cfg.Crashes)
+		width := 0.45 / float64(b.cfg.Crashes)
+		frac := lo + width*crng.Float64()
+		crashes = append(crashes, time.Duration(frac*float64(span)).Truncate(time.Millisecond))
+	}
+	b.plan.Crashes = len(crashes)
+	return crashes
+}

@@ -1,0 +1,127 @@
+package gen
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"semagent/internal/simulate"
+)
+
+// validateScript asserts the structural well-formedness every generated
+// script must have to be replayable: participants join before they act
+// (and re-join after a crash cuts them off), dropped connections never
+// speak again without re-joining, crashes only appear in journaled
+// scenarios, bursts only in gated ones, and every step carries the
+// payload its kind requires.
+func validateScript(sc *simulate.Scenario) error {
+	alive := make(map[string]string) // user -> room
+	joined := make(map[string]string)
+	for i, st := range sc.Steps {
+		switch st.Kind {
+		case simulate.StepJoin:
+			if st.User == "" || st.Room == "" {
+				return fmt.Errorf("step %d: join without user/room", i)
+			}
+			if room, ok := alive[st.User]; ok {
+				return fmt.Errorf("step %d: %s joined while already connected to %s", i, st.User, room)
+			}
+			if room, ok := joined[st.User]; ok && room != st.Room {
+				return fmt.Errorf("step %d: %s re-joined %s but belongs to %s", i, st.User, st.Room, room)
+			}
+			joined[st.User] = st.Room
+			alive[st.User] = st.Room
+		case simulate.StepSay, simulate.StepBurst:
+			room, ok := alive[st.User]
+			if !ok {
+				return fmt.Errorf("step %d: %s speaks without a live connection", i, st.User)
+			}
+			if room != st.Room {
+				return fmt.Errorf("step %d: %s speaks in %s but is connected to %s", i, st.User, st.Room, room)
+			}
+			if len(st.Texts) == 0 || len(st.Texts) != len(st.Expect) {
+				return fmt.Errorf("step %d: %d texts vs %d expectations", i, len(st.Texts), len(st.Expect))
+			}
+			if st.Kind == simulate.StepSay && len(st.Texts) != 1 {
+				return fmt.Errorf("step %d: say carries %d texts", i, len(st.Texts))
+			}
+			if st.Kind == simulate.StepBurst && !sc.GateBursts {
+				return fmt.Errorf("step %d: burst in an ungated scenario", i)
+			}
+			for _, txt := range st.Texts {
+				if txt == "" {
+					return fmt.Errorf("step %d: empty chat line", i)
+				}
+			}
+		case simulate.StepLeave, simulate.StepDrop:
+			if _, ok := alive[st.User]; !ok {
+				return fmt.Errorf("step %d: %s disconnects without a live connection", i, st.User)
+			}
+			delete(alive, st.User)
+		case simulate.StepAdvance:
+			if st.Advance <= 0 {
+				return fmt.Errorf("step %d: advance of %v", i, st.Advance)
+			}
+		case simulate.StepCrash:
+			if !sc.Journal {
+				return fmt.Errorf("step %d: crash in an unjournaled scenario", i)
+			}
+			alive = make(map[string]string)
+		default:
+			return fmt.Errorf("step %d: unknown kind %d", i, st.Kind)
+		}
+	}
+	return nil
+}
+
+// FuzzScenarioConfig: ANY config — however pathological — must
+// normalize into a valid, replayable, seed-deterministic script without
+// panicking. This is the contract that lets E14 sweep arbitrary seeds
+// and lets a reproducing seed be trusted byte for byte.
+func FuzzScenarioConfig(f *testing.F) {
+	// Seed corpus: one representative per chaos profile plus the
+	// pathological shapes normalize() exists for.
+	f.Add(int64(1), 1, 0, 0, 0, 0, int64(0), uint8(0), 0.0, 0.0, 0.0, 0, false)
+	f.Add(int64(42), 5, 3, 6, 2, 4, int64(30000), uint8(1), 0.5, 0.5, 0.5, 1, true)
+	f.Add(int64(63), 8, 2, 9, 1, 6, int64(5000), uint8(2), 1.0, 1.0, 1.0, 4, true)
+	f.Add(int64(-7), -3, 50, 2, 9, 1, int64(-1000), uint8(255), 3.5, -2.0, 0.9, 99, false)
+	f.Add(int64(1<<62), 20, 1, 1, 64, 64, int64(86400000), uint8(3), 0.01, 0.99, 0.01, 2, true)
+
+	f.Fuzz(func(t *testing.T, seed int64, rooms, minS, maxS, minU, maxU int,
+		meanGapMS int64, arrival uint8, dropF, tornF, stormF float64,
+		crashes int, journal bool) {
+		if rooms > 20 {
+			rooms %= 21 // bound fuzz iteration cost, not generator range
+		}
+		cfg := Config{
+			Seed: seed, Rooms: rooms,
+			MinStudents: minS, MaxStudents: maxS,
+			MinUtterances: minU, MaxUtterances: maxU,
+			MeanGap:      time.Duration(meanGapMS) * time.Millisecond,
+			Arrival:      Arrival(arrival),
+			DropFraction: dropF, TornFraction: tornF, StormFraction: stormF,
+			Crashes: crashes, Journal: journal,
+		}
+		sc, plan, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate(%+v): %v", cfg, err)
+		}
+		if err := validateScript(sc); err != nil {
+			t.Fatalf("Generate(%+v) produced an invalid script: %v", cfg, err)
+		}
+		if plan.Rooms < 1 || plan.Students < plan.Rooms {
+			t.Fatalf("implausible plan %+v", plan)
+		}
+		sc2, plan2, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate (replay): %v", err)
+		}
+		if plan != plan2 {
+			t.Fatalf("same config, different plans: %+v vs %+v", plan, plan2)
+		}
+		if !reflect.DeepEqual(sc, sc2) {
+			t.Fatalf("same config, different scenarios — seed reproduction broken")
+		}
+	})
+}

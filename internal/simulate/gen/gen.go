@@ -1,0 +1,486 @@
+// Package gen is the population-scale chaos engine over the classroom
+// simulator (DESIGN.md D12): a seeded property-based scenario generator
+// plus a chaos scheduler, verified by invariant checkers instead of
+// golden bytes.
+//
+// The 12 hand-written scenarios of package simulate pin known behaviour;
+// this package explores unknown behaviour. Generate draws a whole
+// classroom population from one seed — persona mixes per room, student
+// arrival and utterance schedules (uniform, Poisson, or bursty arrival
+// processes on the virtual clock), room counts into the thousands — and
+// the chaos layer (chaos.go) draws fault injections from the same seed:
+// client drops with torn frames, journal crash + WAL-replay recovery,
+// and gated admission-control shed storms. A Scenario is pure data by
+// the time it runs, so any failure reproduces exactly from the printed
+// seed.
+//
+// Because generated sessions have no hand-written expected transcript,
+// correctness is asserted as invariants over the run's structured
+// observations (invariants.go): durability, per-room FIFO, exact shed
+// accounting, no phantom verdicts, and conservation. Experiment E14
+// (internal/eval) sweeps generated scenarios in parallel waves and
+// fails CI with the reproducing seed on any violation.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"semagent/internal/ontology"
+	"semagent/internal/pipeline"
+	"semagent/internal/simulate"
+	"semagent/internal/workload"
+)
+
+// Arrival selects the utterance arrival process drawn per student.
+type Arrival uint8
+
+// Arrival processes.
+const (
+	// ArrivalUniform spaces utterances evenly with ±25% jitter.
+	ArrivalUniform Arrival = iota
+	// ArrivalPoisson draws exponential inter-utterance gaps — the
+	// classic memoryless chat model.
+	ArrivalPoisson
+	// ArrivalBursty clusters utterances: short in-cluster gaps with
+	// long silences between clusters, the flash-crowd shape that
+	// stresses queues hardest.
+	ArrivalBursty
+	arrivalCount
+)
+
+// String names the arrival process.
+func (a Arrival) String() string {
+	switch a {
+	case ArrivalUniform:
+		return "uniform"
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalBursty:
+		return "bursty"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes one generated scenario. Generate normalizes any
+// out-of-range field (clamping, swapping inverted ranges, zeroing NaNs)
+// instead of failing: the fuzz contract is that every Config yields a
+// valid, replayable, seed-deterministic script.
+type Config struct {
+	Seed int64 `json:"seed"`
+	// Rooms is the classroom count (clamped to [1, 100000]).
+	Rooms int `json:"rooms"`
+	// MinStudents/MaxStudents bound the per-room population draw
+	// (defaults 3..6, clamped to [1, 64]).
+	MinStudents, MaxStudents int
+	// MinUtterances/MaxUtterances bound how much each speaking student
+	// says (defaults 2..4, clamped to [0, 64]).
+	MinUtterances, MaxUtterances int
+	// Arrival is the utterance arrival process (reduced modulo the
+	// known processes, so any byte is valid).
+	Arrival Arrival
+	// MeanGap is the mean virtual time between one student's
+	// utterances (default 30s, clamped to [10ms, 10m]).
+	MeanGap time.Duration
+
+	// DropFraction is the probability a room loses one client to an
+	// abrupt disconnect; TornFraction the probability such a drop
+	// leaves a torn half-written frame on the wire.
+	DropFraction float64
+	TornFraction float64
+	// StormFraction is the probability a room hosts a gated shed storm:
+	// a rapid-fire burst admission control must shed deterministically.
+	StormFraction float64
+	// BurstLen is the storm burst length (default 8, clamped [2, 256]).
+	BurstLen int
+	// RoomHighWater is the admission watermark under storms (default 4,
+	// clamped [1, 256]).
+	RoomHighWater int
+	// Crashes is how many journal-crash + WAL-replay-recovery points to
+	// schedule (clamped [0, 4]); any crash forces Journal on.
+	Crashes int
+	// Journal runs the session over a sync-every-record write-ahead
+	// journal.
+	Journal bool
+}
+
+// Plan summarizes what Generate actually scheduled — the fault and
+// population counts E14 reports.
+type Plan struct {
+	Rooms      int `json:"rooms"`
+	Students   int `json:"students"`
+	Utterances int `json:"utterances"` // scripted chat lines (bursts included)
+	Drops      int `json:"drops"`
+	TornDrops  int `json:"torn_drops"`
+	Storms     int `json:"storms"`
+	Crashes    int `json:"crashes"`
+}
+
+// clampInt bounds v to [lo, hi].
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// clampFrac bounds a probability to [0, 1], treating NaN as 0.
+func clampFrac(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// normalize returns a config every field of which is in range.
+func (c Config) normalize() Config {
+	c.Rooms = clampInt(c.Rooms, 1, 100000)
+	if c.MinStudents == 0 && c.MaxStudents == 0 {
+		c.MinStudents, c.MaxStudents = 3, 6
+	}
+	c.MinStudents = clampInt(c.MinStudents, 1, 64)
+	c.MaxStudents = clampInt(c.MaxStudents, 1, 64)
+	if c.MinStudents > c.MaxStudents {
+		c.MinStudents, c.MaxStudents = c.MaxStudents, c.MinStudents
+	}
+	if c.MinUtterances == 0 && c.MaxUtterances == 0 {
+		c.MinUtterances, c.MaxUtterances = 2, 4
+	}
+	c.MinUtterances = clampInt(c.MinUtterances, 0, 64)
+	c.MaxUtterances = clampInt(c.MaxUtterances, 0, 64)
+	if c.MinUtterances > c.MaxUtterances {
+		c.MinUtterances, c.MaxUtterances = c.MaxUtterances, c.MinUtterances
+	}
+	c.Arrival = Arrival(uint8(c.Arrival) % uint8(arrivalCount))
+	if c.MeanGap == 0 {
+		c.MeanGap = 30 * time.Second
+	}
+	if c.MeanGap < 10*time.Millisecond {
+		c.MeanGap = 10 * time.Millisecond
+	}
+	if c.MeanGap > 10*time.Minute {
+		c.MeanGap = 10 * time.Minute
+	}
+	c.DropFraction = clampFrac(c.DropFraction)
+	c.TornFraction = clampFrac(c.TornFraction)
+	c.StormFraction = clampFrac(c.StormFraction)
+	if c.BurstLen == 0 {
+		c.BurstLen = 8
+	}
+	c.BurstLen = clampInt(c.BurstLen, 2, 256)
+	if c.RoomHighWater == 0 {
+		c.RoomHighWater = 4
+	}
+	c.RoomHighWater = clampInt(c.RoomHighWater, 1, 256)
+	c.Crashes = clampInt(c.Crashes, 0, 4)
+	if c.Crashes > 0 {
+		c.Journal = true // StepCrash requires a journal to recover from
+	}
+	return c
+}
+
+// stepInterval is the implicit virtual-clock advance per scripted step;
+// event-time gaps beyond it become explicit StepAdvance steps.
+const stepInterval = 500 * time.Millisecond
+
+// event is one scheduled script action with its virtual time. seq is
+// the draw order, the deterministic tie-break (and the guarantee that a
+// student's join sorts before their same-instant first utterance).
+type event struct {
+	at   time.Duration
+	seq  int
+	step simulate.Step
+}
+
+// student is one generated participant.
+type student struct {
+	name    string
+	room    string
+	persona simulate.PersonaKind
+	join    time.Duration
+	lastAt  time.Duration // latest scheduled event (chaos appends after it)
+}
+
+// builder carries the generation state: one workload generator for
+// sentence content, one rng for structure (population, schedules), and
+// a separate chaos rng (chaos.go) so fault schedules and dialogue are
+// independent streams of the same master seed.
+type builder struct {
+	cfg   Config
+	g     *workload.Generator
+	rng   *rand.Rand
+	seq   int
+	evs   []event
+	plan  Plan
+	rooms [][]*student // per room
+}
+
+func (b *builder) add(at time.Duration, step simulate.Step) {
+	b.evs = append(b.evs, event{at: at.Truncate(time.Millisecond), seq: b.seq, step: step})
+	b.seq++
+}
+
+// gap draws one inter-utterance gap for the configured arrival process.
+// burstLeft tracks the bursty process's in-cluster countdown.
+func (b *builder) gap(burstLeft *int) time.Duration {
+	mean := float64(b.cfg.MeanGap)
+	var g float64
+	switch b.cfg.Arrival {
+	case ArrivalPoisson:
+		g = b.rng.ExpFloat64() * mean
+	case ArrivalBursty:
+		if *burstLeft > 0 {
+			*burstLeft--
+			g = mean / 20 * (0.5 + b.rng.Float64())
+		} else {
+			*burstLeft = 1 + b.rng.Intn(3)
+			g = mean * 2 * (0.5 + b.rng.ExpFloat64())
+		}
+	default: // uniform
+		g = mean * (0.75 + 0.5*b.rng.Float64())
+	}
+	if g < float64(time.Millisecond) {
+		g = float64(time.Millisecond)
+	}
+	return time.Duration(g)
+}
+
+// personaWeights is the classroom mix drawn per student.
+var personaWeights = []struct {
+	kind   simulate.PersonaKind
+	weight int
+	code   string
+}{
+	{simulate.PersonaContributor, 30, "con"},
+	{simulate.PersonaDrifter, 15, "dri"},
+	{simulate.PersonaAbusive, 10, "abu"},
+	{simulate.PersonaQuestioner, 15, "que"},
+	{simulate.PersonaSpammer, 10, "spa"},
+	{simulate.PersonaLurker, 10, "lur"},
+	{simulate.PersonaLateJoiner, 10, "lat"},
+}
+
+func (b *builder) drawPersona() (simulate.PersonaKind, string) {
+	total := 0
+	for _, w := range personaWeights {
+		total += w.weight
+	}
+	n := b.rng.Intn(total)
+	for _, w := range personaWeights {
+		if n < w.weight {
+			return w.kind, w.code
+		}
+		n -= w.weight
+	}
+	return simulate.PersonaContributor, "con"
+}
+
+// span is the nominal session length schedules are placed within.
+func (b *builder) span() time.Duration {
+	return b.cfg.MeanGap * time.Duration(b.cfg.MaxUtterances+2)
+}
+
+// buildRoom generates one room's population and dialogue schedule.
+func (b *builder) buildRoom(r int) {
+	room := fmt.Sprintf("room-%05d", r)
+	n := b.cfg.MinStudents
+	if b.cfg.MaxStudents > b.cfg.MinStudents {
+		n += b.rng.Intn(b.cfg.MaxStudents - b.cfg.MinStudents + 1)
+	}
+	span := b.span()
+	students := make([]*student, 0, n)
+	for j := 0; j < n; j++ {
+		kind, code := b.drawPersona()
+		s := &student{
+			name:    fmt.Sprintf("r%05d-%s%d", r, code, j),
+			room:    room,
+			persona: kind,
+		}
+		// Join times stagger over the opening window; late-joiners
+		// arrive mid-session and see the history replay.
+		if kind == simulate.PersonaLateJoiner {
+			s.join = span/2 + time.Duration(b.rng.Int63n(int64(span/4)+1))
+		} else {
+			s.join = time.Duration(b.rng.Int63n(int64(span/4) + 1))
+		}
+		s.lastAt = s.join
+		b.add(s.join, simulate.Step{Kind: simulate.StepJoin, User: s.name, Room: room})
+		students = append(students, s)
+		b.plan.Students++
+	}
+	// Utterance schedules: each speaking student draws a count and an
+	// arrival-process schedule; questioners get a topical peer answer
+	// (the adjacency pair the corpora generator mines into the FAQ).
+	for j, s := range students {
+		if s.persona == simulate.PersonaLurker {
+			continue
+		}
+		count := b.cfg.MinUtterances
+		if b.cfg.MaxUtterances > b.cfg.MinUtterances {
+			count += b.rng.Intn(b.cfg.MaxUtterances - b.cfg.MinUtterances + 1)
+		}
+		if s.persona == simulate.PersonaLateJoiner && count > 1 {
+			count = 1 // late joiners contribute briefly
+		}
+		burstLeft := 0
+		at := s.join
+		for u := 0; u < count; u++ {
+			at += b.gap(&burstLeft)
+			if s.persona == simulate.PersonaQuestioner {
+				q := b.g.Question(false)
+				b.say(s, at, q.Text, workload.KindQuestion)
+				if len(q.Topics) > 0 && len(students) > 1 {
+					// A deterministic peer answers shortly after.
+					peer := students[(j+1+b.rng.Intn(len(students)-1))%len(students)]
+					if peer == s {
+						peer = students[(j+1)%len(students)]
+					}
+					answerAt := at + b.cfg.MeanGap/10
+					if min := peer.join + time.Millisecond; answerAt < min {
+						answerAt = min
+					}
+					b.say(peer, answerAt, fmt.Sprintf("the %s is a useful structure", q.Topics[0]), workload.KindCorrect)
+				}
+			} else {
+				text, kind := s.persona.Utter(b.g, b.rng)
+				b.say(s, at, text, kind)
+			}
+		}
+	}
+	b.rooms = append(b.rooms, students)
+}
+
+// say schedules one labelled chat line and advances the speaker's
+// last-event watermark (chaos places drops after it).
+func (b *builder) say(s *student, at time.Duration, text string, kind workload.Kind) {
+	b.add(at, simulate.Step{
+		Kind: simulate.StepSay, User: s.name, Room: s.room,
+		Texts: []string{text}, Expect: []workload.Kind{kind},
+	})
+	if at > s.lastAt {
+		s.lastAt = at
+	}
+	b.plan.Utterances++
+}
+
+// Generate materializes a scenario from the config: population and
+// dialogue first (this file), then the fault schedule (chaos.go), then
+// the merged timeline is lowered to a step script. The same Config
+// always yields a deep-equal Scenario.
+func Generate(cfg Config) (*simulate.Scenario, Plan, error) {
+	cfg = cfg.normalize()
+	b := &builder{
+		cfg: cfg,
+		// Two independent streams, same convention as the hand-written
+		// scenario scripts: the workload generator consumes the seed
+		// itself, structural draws use seed+1 (chaos uses seed+2).
+		g:    workload.NewGenerator(cfg.Seed, ontology.BuildCourseOntology()),
+		rng:  rand.New(rand.NewSource(cfg.Seed + 1)),
+		plan: Plan{Rooms: cfg.Rooms},
+	}
+	for r := 0; r < cfg.Rooms; r++ {
+		b.buildRoom(r)
+	}
+	crashes := b.scheduleChaos()
+
+	// Merge the global timeline: virtual time, draw order as tie-break.
+	sort.SliceStable(b.evs, func(i, j int) bool {
+		if b.evs[i].at != b.evs[j].at {
+			return b.evs[i].at < b.evs[j].at
+		}
+		return b.evs[i].seq < b.evs[j].seq
+	})
+
+	sc := &simulate.Scenario{
+		Name: fmt.Sprintf("gen-s%d-r%d-%s", cfg.Seed, cfg.Rooms, cfg.Arrival),
+		Description: fmt.Sprintf(
+			"generated population: %d rooms, %d students, %s arrivals, %d drops (%d torn), %d storms, %d crashes",
+			b.plan.Rooms, b.plan.Students, cfg.Arrival,
+			b.plan.Drops, b.plan.TornDrops, b.plan.Storms, b.plan.Crashes),
+		Seed:         cfg.Seed,
+		Async:        true,
+		Workers:      2, // pinned, like every deterministic scenario
+		HistorySize:  8,
+		Journal:      cfg.Journal,
+		StepInterval: stepInterval,
+		Personas:     make(map[string]simulate.PersonaKind),
+	}
+	if b.plan.Storms > 0 {
+		sc.GateBursts = true
+		sc.ShedPolicy = pipeline.ShedRejectNew
+		sc.RoomHighWater = cfg.RoomHighWater
+	}
+	for _, students := range b.rooms {
+		for _, s := range students {
+			sc.Personas[s.name] = s.persona
+		}
+	}
+	sc.Steps = lower(b.evs, crashes)
+	return sc, b.plan, nil
+}
+
+// lower converts the sorted event timeline into the final step script:
+// inter-event gaps beyond the implicit per-step advance become explicit
+// StepAdvance steps, and every participant with scripted actions after
+// a crash is re-joined first (the crash cut every connection).
+func lower(evs []event, crashes []time.Duration) []simulate.Step {
+	var steps []simulate.Step
+	prev := time.Duration(0)
+	crashIdx := 0
+	alive := make(map[string]string) // user -> room while connected
+	emit := func(at time.Duration, st simulate.Step) {
+		if gap := at - prev; gap > stepInterval {
+			steps = append(steps, simulate.Step{Kind: simulate.StepAdvance, Advance: (gap - stepInterval).Truncate(time.Millisecond)})
+		}
+		steps = append(steps, st)
+		if at > prev {
+			prev = at
+		}
+	}
+	for _, e := range evs {
+		// Fire every crash scheduled before this event.
+		for crashIdx < len(crashes) && crashes[crashIdx] <= e.at {
+			emit(crashes[crashIdx], simulate.Step{Kind: simulate.StepCrash})
+			crashIdx++
+			alive = make(map[string]string)
+		}
+		st := e.step
+		switch st.Kind {
+		case simulate.StepJoin:
+			alive[st.User] = st.Room
+		case simulate.StepSay, simulate.StepBurst, simulate.StepLeave, simulate.StepDrop:
+			if _, ok := alive[st.User]; !ok {
+				// Connection lost to a crash: reconnect before acting.
+				emit(e.at, simulate.Step{Kind: simulate.StepJoin, User: st.User, Room: st.Room})
+				alive[st.User] = st.Room
+			}
+			if st.Kind == simulate.StepLeave || st.Kind == simulate.StepDrop {
+				delete(alive, st.User)
+			}
+		}
+		if st.Kind == simulate.StepJoin {
+			if len(steps) > 0 {
+				last := steps[len(steps)-1]
+				if last.Kind == simulate.StepJoin && last.User == st.User {
+					continue // already re-joined by the crash path above
+				}
+			}
+		}
+		emit(e.at, st)
+	}
+	for crashIdx < len(crashes) {
+		emit(crashes[crashIdx], simulate.Step{Kind: simulate.StepCrash})
+		crashIdx++
+	}
+	return steps
+}

@@ -1,0 +1,348 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"semagent/internal/chat"
+	"semagent/internal/simulate"
+)
+
+// Invariant names, the property vocabulary E14 reports against.
+const (
+	// InvDurability: no fsync'd journal mutation is lost across a crash
+	// — every recovery replays at least up to the pre-crash durable
+	// watermark, with zero apply errors, and no knowledge store shrinks.
+	InvDurability = "durability"
+	// InvFIFO: per-room FIFO — every client observes each sender's
+	// messages in send order, and any two clients that both observe two
+	// distinguishable messages observe them in the same order.
+	InvFIFO = "room-fifo"
+	// InvShedExact: shed accounting is exact — unconsumed ground-truth
+	// expectations, the chat server's per-room shed attributions and
+	// the pipeline's shed counters all agree.
+	InvShedExact = "shed-exact"
+	// InvPhantom: no verdict exists for a message the script never sent
+	// (matched as a (room, user, text) multiset).
+	InvPhantom = "no-phantom-verdict"
+	// InvConservation: every scripted message is accounted for — it was
+	// either supervised (has a verdict) or shed (left an unconsumed
+	// expectation), and pipeline intake/outcome counters balance.
+	InvConservation = "conservation"
+)
+
+// InvariantNames lists every invariant in report order.
+func InvariantNames() []string {
+	return []string{InvDurability, InvFIFO, InvShedExact, InvPhantom, InvConservation}
+}
+
+// Violation is one invariant breach with enough detail to debug from
+// the reproducing seed.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+// Report is the outcome of checking one run: which invariants were
+// applicable (a crash-free run cannot check durability; an inline run
+// has no pipeline counters to cross-check) and every breach found.
+type Report struct {
+	Checked    []string    `json:"checked"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Check audits a completed run against every applicable invariant. It
+// reads only exported Scenario/Result data, so tests can tamper with a
+// copy of the observations to prove each checker actually fires.
+func Check(sc *simulate.Scenario, res *simulate.Result) Report {
+	rep := Report{Checked: []string{InvFIFO, InvPhantom, InvConservation}}
+	rep.Violations = append(rep.Violations, checkFIFO(sc, res)...)
+	rep.Violations = append(rep.Violations, checkPhantom(sc, res)...)
+	rep.Violations = append(rep.Violations, checkConservation(res)...)
+	if res.HasPipeline {
+		rep.Checked = append(rep.Checked, InvShedExact)
+		rep.Violations = append(rep.Violations, checkShedExact(sc, res)...)
+	}
+	if len(res.Recoveries) > 0 {
+		rep.Checked = append(rep.Checked, InvDurability)
+		rep.Violations = append(rep.Violations, checkDurability(res)...)
+	}
+	sort.Strings(rep.Checked)
+	return rep
+}
+
+// scriptedSends walks the script and returns, per room, each sender's
+// chat lines in send order (bursts expand in burst order).
+func scriptedSends(sc *simulate.Scenario) map[string]map[string][]string {
+	sends := make(map[string]map[string][]string)
+	for _, st := range sc.Steps {
+		if st.Kind != simulate.StepSay && st.Kind != simulate.StepBurst {
+			continue
+		}
+		room := sends[st.Room]
+		if room == nil {
+			room = make(map[string][]string)
+			sends[st.Room] = room
+		}
+		room[st.User] = append(room[st.User], st.Texts...)
+	}
+	return sends
+}
+
+// userRoom maps each participant to the room their script joins (the
+// generator keeps every user in one room for the whole session).
+func userRoom(sc *simulate.Scenario) map[string]string {
+	rooms := make(map[string]string)
+	for _, st := range sc.Steps {
+		if st.Kind == simulate.StepJoin {
+			if _, ok := rooms[st.User]; !ok {
+				rooms[st.User] = st.Room
+			}
+		}
+	}
+	return rooms
+}
+
+// checkDurability audits every crash/recovery cycle: replay must cover
+// the pre-crash durable (fsync'd) watermark with zero apply errors, and
+// the rebuilt knowledge stores must not shrink.
+func checkDurability(res *simulate.Result) []Violation {
+	var out []Violation
+	for i, rec := range res.Recoveries {
+		if rec.ReplayErrors > 0 {
+			out = append(out, Violation{InvDurability, fmt.Sprintf(
+				"recovery %d: %d journal records failed to apply on replay", i, rec.ReplayErrors)})
+		}
+		if rec.ReplayLastLSN < rec.PreCrashSyncedLSN {
+			out = append(out, Violation{InvDurability, fmt.Sprintf(
+				"recovery %d: replay stopped at LSN %d but LSN %d was fsync'd before the crash — durable mutations lost",
+				i, rec.ReplayLastLSN, rec.PreCrashSyncedLSN)})
+		}
+		if rec.CorpusAfter < rec.CorpusBefore {
+			out = append(out, Violation{InvDurability, fmt.Sprintf(
+				"recovery %d: corpus shrank across recovery (%d -> %d)", i, rec.CorpusBefore, rec.CorpusAfter)})
+		}
+		if rec.FAQAfter < rec.FAQBefore {
+			out = append(out, Violation{InvDurability, fmt.Sprintf(
+				"recovery %d: FAQ shrank across recovery (%d -> %d)", i, rec.FAQBefore, rec.FAQAfter)})
+		}
+	}
+	return out
+}
+
+// checkFIFO audits per-room message ordering over the delivery log.
+//
+// Core check (always sound): for every client, the chat messages it
+// received from one sender in one room must form a subsequence of that
+// sender's scripted send sequence — same order, no duplicates, no
+// inventions. Clients may legitimately miss a prefix (joined late,
+// bounded history replay) or a suffix (dropped), but never reorder.
+//
+// Cross-receiver check: two clients must agree on the relative order of
+// any two messages they both received. Restricted to senders whose
+// scripted lines are pairwise distinct — repeated texts (spam floods)
+// make message identity ambiguous under history truncation, so a
+// repeated line cannot be attributed to a unique send.
+func checkFIFO(sc *simulate.Scenario, res *simulate.Result) []Violation {
+	var out []Violation
+	sends := scriptedSends(sc)
+
+	// Senders with pairwise-distinct texts, per room: eligible for the
+	// cross-receiver order check under unambiguous identity.
+	distinct := make(map[string]map[string]bool)
+	for room, bySender := range sends {
+		distinct[room] = make(map[string]bool)
+		for sender, texts := range bySender {
+			seen := make(map[string]bool, len(texts))
+			ok := true
+			for _, t := range texts {
+				if seen[t] {
+					ok = false
+					break
+				}
+				seen[t] = true
+			}
+			distinct[room][sender] = ok
+		}
+	}
+
+	type msgID struct {
+		sender string
+		idx    int
+	}
+	// Per (client, room): cursor per sender for the subsequence check,
+	// and the identified message sequence for the cross-receiver check.
+	type key struct{ client, room string }
+	cursors := make(map[key]map[string]int)
+	idSeqs := make(map[key][]msgID)
+	for _, d := range res.Deliveries {
+		if d.Type != chat.TypeChat || d.From == "" {
+			continue
+		}
+		k := key{d.Client, d.Room}
+		cur := cursors[k]
+		if cur == nil {
+			cur = make(map[string]int)
+			cursors[k] = cur
+		}
+		seq := sends[d.Room][d.From]
+		// Greedy subsequence match: find this text at or after the
+		// sender cursor. Failure means a reorder, a duplicate delivery
+		// or an invented message.
+		pos := cur[d.From]
+		found := -1
+		for i := pos; i < len(seq); i++ {
+			if seq[i] == d.Text {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			out = append(out, Violation{InvFIFO, fmt.Sprintf(
+				"client %s in %s: message %q from %s out of order (or not a pending send) after %d matched",
+				d.Client, d.Room, d.Text, d.From, pos)})
+			continue
+		}
+		cur[d.From] = found + 1
+		if distinct[d.Room][d.From] {
+			idSeqs[k] = append(idSeqs[k], msgID{d.From, found})
+		}
+	}
+
+	// Cross-receiver order consistency, per room.
+	byRoom := make(map[string][]key)
+	for k := range idSeqs {
+		byRoom[k.room] = append(byRoom[k.room], k)
+	}
+	for room, keys := range byRoom {
+		sort.Slice(keys, func(i, j int) bool { return keys[i].client < keys[j].client })
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				a, b := idSeqs[keys[i]], idSeqs[keys[j]]
+				posA := make(map[msgID]int, len(a))
+				for p, id := range a {
+					posA[id] = p
+				}
+				last := -1
+				for _, id := range b {
+					p, ok := posA[id]
+					if !ok {
+						continue
+					}
+					if p < last {
+						out = append(out, Violation{InvFIFO, fmt.Sprintf(
+							"room %s: clients %s and %s disagree on the order of %s's message %d",
+							room, keys[i].client, keys[j].client, id.sender, id.idx)})
+					} else {
+						last = p
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkPhantom audits the verdict log against the script: every verdict
+// must correspond to a scripted (room, user, text) send, and no send
+// may draw more verdicts than the script issued it.
+func checkPhantom(sc *simulate.Scenario, res *simulate.Result) []Violation {
+	var out []Violation
+	budget := make(map[string]int)
+	mk := func(room, user, text string) string { return room + "\x00" + user + "\x00" + text }
+	for _, st := range sc.Steps {
+		if st.Kind != simulate.StepSay && st.Kind != simulate.StepBurst {
+			continue
+		}
+		for _, t := range st.Texts {
+			budget[mk(st.Room, st.User, t)]++
+		}
+	}
+	for _, e := range res.VerdictLog {
+		k := mk(e.Room, e.User, e.Text)
+		if budget[k] == 0 {
+			out = append(out, Violation{InvPhantom, fmt.Sprintf(
+				"verdict %q for message %q from %s in %s exceeds the scripted sends of that message",
+				e.Verdict, e.Text, e.User, e.Room)})
+			continue
+		}
+		budget[k]--
+	}
+	return out
+}
+
+// checkShedExact cross-checks the three independent shed observers: the
+// recorder's unconsumed expectations (ground truth), the chat server's
+// per-room OnShed attributions, and the pipeline's admission counters.
+// Scenario crashes settle in-flight work first, so the equalities are
+// exact, not bounds.
+func checkShedExact(sc *simulate.Scenario, res *simulate.Result) []Violation {
+	var out []Violation
+	pt := res.PipelineTotal
+	roomOf := userRoom(sc)
+
+	var roomSum int64
+	for _, n := range res.ShedByRoom {
+		roomSum += int64(n)
+	}
+	if roomSum != pt.Shed {
+		out = append(out, Violation{InvShedExact, fmt.Sprintf(
+			"per-room shed attributions sum to %d but the pipeline shed %d", roomSum, pt.Shed)})
+	}
+	if int64(res.Unsupervised) != pt.Shed {
+		out = append(out, Violation{InvShedExact, fmt.Sprintf(
+			"%d scripted messages went unsupervised but the pipeline shed %d", res.Unsupervised, pt.Shed)})
+	}
+	// Per-room: unconsumed expectations, attributed to rooms via the
+	// script's user->room mapping, must match OnShed's attribution.
+	wantByRoom := make(map[string]int)
+	for user, n := range res.UnsupervisedByUser {
+		wantByRoom[roomOf[user]] += n
+	}
+	rooms := make(map[string]bool)
+	for r := range wantByRoom {
+		rooms[r] = true
+	}
+	for r := range res.ShedByRoom {
+		rooms[r] = true
+	}
+	sorted := make([]string, 0, len(rooms))
+	for r := range rooms {
+		sorted = append(sorted, r)
+	}
+	sort.Strings(sorted)
+	for _, r := range sorted {
+		if wantByRoom[r] != res.ShedByRoom[r] {
+			out = append(out, Violation{InvShedExact, fmt.Sprintf(
+				"room %s: %d unconsumed expectations vs %d shed attributions",
+				r, wantByRoom[r], res.ShedByRoom[r])})
+		}
+	}
+	return out
+}
+
+// checkConservation audits that every scripted message is accounted
+// for: supervised exactly once, or shed and counted as such — nothing
+// vanishes, nothing is double-counted.
+func checkConservation(res *simulate.Result) []Violation {
+	var out []Violation
+	if res.Sent != len(res.VerdictLog)+res.Unsupervised {
+		out = append(out, Violation{InvConservation, fmt.Sprintf(
+			"%d messages sent but %d supervised + %d unsupervised",
+			res.Sent, len(res.VerdictLog), res.Unsupervised)})
+	}
+	if res.HasPipeline {
+		pt := res.PipelineTotal
+		if int64(res.Sent) != pt.Submitted+pt.ShedNew {
+			out = append(out, Violation{InvConservation, fmt.Sprintf(
+				"%d messages sent but pipeline accepted %d + refused %d at admission",
+				res.Sent, pt.Submitted, pt.ShedNew)})
+		}
+		if pt.Submitted != pt.Completed+pt.ShedOldest {
+			out = append(out, Violation{InvConservation, fmt.Sprintf(
+				"pipeline accepted %d tasks but completed %d + evicted %d",
+				pt.Submitted, pt.Completed, pt.ShedOldest)})
+		}
+	}
+	return out
+}

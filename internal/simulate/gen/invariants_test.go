@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"testing"
+
+	"semagent/internal/chat"
+	"semagent/internal/corpus"
+	"semagent/internal/simulate"
+)
+
+// The meta-tests: every invariant checker is itself tested by injecting
+// the violation class it exists to catch into a copy of a real run's
+// observations and asserting the checker fires. A checker that passes
+// HEAD but would also pass a broken system is worthless — this is the
+// proof each one has teeth.
+
+// tamperBase runs one kitchen-sink population (storms + drops + crash)
+// and asserts it is clean, so any violation found after tampering was
+// introduced by the tamper.
+func tamperBase(t *testing.T) (*simulate.Scenario, *simulate.Result) {
+	t.Helper()
+	sc, res, _ := runProfile(t, Config{
+		Seed: 63, Rooms: 5, Arrival: ArrivalBursty,
+		DropFraction: 0.6, TornFraction: 0.5, StormFraction: 0.6,
+		Crashes: 1,
+	})
+	if t.Failed() {
+		t.Fatalf("baseline run must be violation-free before tampering")
+	}
+	return sc, res
+}
+
+// hasViolation reports whether rep contains a violation of the named
+// invariant.
+func hasViolation(rep Report, invariant string) bool {
+	for _, v := range rep.Violations {
+		if v.Invariant == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+// shallowCopy clones the Result fields the checkers read, deep enough
+// that tampering the copy cannot leak into sibling subtests.
+func shallowCopy(res *simulate.Result) *simulate.Result {
+	cp := *res
+	cp.VerdictLog = append([]simulate.VerdictEntry(nil), res.VerdictLog...)
+	cp.Deliveries = append([]simulate.Delivery(nil), res.Deliveries...)
+	cp.Recoveries = append([]simulate.RecoveryStats(nil), res.Recoveries...)
+	cp.ShedByRoom = make(map[string]int, len(res.ShedByRoom))
+	for k, v := range res.ShedByRoom {
+		cp.ShedByRoom[k] = v
+	}
+	cp.UnsupervisedByUser = make(map[string]int, len(res.UnsupervisedByUser))
+	for k, v := range res.UnsupervisedByUser {
+		cp.UnsupervisedByUser[k] = v
+	}
+	return &cp
+}
+
+func TestCheckersFire(t *testing.T) {
+	sc, res := tamperBase(t)
+
+	t.Run("durability/lost-fsync-record", func(t *testing.T) {
+		cp := shallowCopy(res)
+		// Recovery claims to have replayed short of the durable
+		// watermark: an fsync'd mutation vanished.
+		cp.Recoveries[0].ReplayLastLSN = cp.Recoveries[0].PreCrashSyncedLSN - 1
+		if !hasViolation(Check(sc, cp), InvDurability) {
+			t.Fatalf("durability checker ignored a replay below the fsync watermark")
+		}
+	})
+
+	t.Run("durability/replay-errors", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.Recoveries[0].ReplayErrors = 3
+		if !hasViolation(Check(sc, cp), InvDurability) {
+			t.Fatalf("durability checker ignored replay apply errors")
+		}
+	})
+
+	t.Run("durability/store-shrank", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.Recoveries[0].CorpusAfter = cp.Recoveries[0].CorpusBefore - 1
+		if !hasViolation(Check(sc, cp), InvDurability) {
+			t.Fatalf("durability checker ignored a corpus that shrank across recovery")
+		}
+	})
+
+	t.Run("room-fifo/reordered-messages", func(t *testing.T) {
+		cp := shallowCopy(res)
+		i, j := findReorderableDeliveries(t, sc, cp)
+		cp.Deliveries[i], cp.Deliveries[j] = cp.Deliveries[j], cp.Deliveries[i]
+		if !hasViolation(Check(sc, cp), InvFIFO) {
+			t.Fatalf("FIFO checker ignored two same-sender messages delivered out of order")
+		}
+	})
+
+	t.Run("room-fifo/duplicate-delivery", func(t *testing.T) {
+		cp := shallowCopy(res)
+		i, _ := findReorderableDeliveries(t, sc, cp)
+		cp.Deliveries = append(cp.Deliveries, cp.Deliveries[i])
+		if !hasViolation(Check(sc, cp), InvFIFO) {
+			t.Fatalf("FIFO checker ignored a duplicated delivery")
+		}
+	})
+
+	t.Run("shed-exact/undercounted-room", func(t *testing.T) {
+		cp := shallowCopy(res)
+		room := someShedRoom(t, cp)
+		cp.ShedByRoom[room]--
+		if !hasViolation(Check(sc, cp), InvShedExact) {
+			t.Fatalf("shed checker ignored an undercounted room attribution")
+		}
+	})
+
+	t.Run("shed-exact/pipeline-mismatch", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.PipelineTotal.Shed++
+		cp.PipelineTotal.ShedNew++
+		if !hasViolation(Check(sc, cp), InvShedExact) {
+			t.Fatalf("shed checker ignored pipeline counters disagreeing with ground truth")
+		}
+	})
+
+	t.Run("no-phantom-verdict/never-sent", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.VerdictLog = append(cp.VerdictLog, simulate.VerdictEntry{
+			Room: "room-00000", User: "r00000-con0",
+			Text:    "this message was never scripted",
+			Verdict: corpus.VerdictCorrect,
+		})
+		if !hasViolation(Check(sc, cp), InvPhantom) {
+			t.Fatalf("phantom checker ignored a verdict for a never-sent message")
+		}
+	})
+
+	t.Run("no-phantom-verdict/double-verdict", func(t *testing.T) {
+		cp := shallowCopy(res)
+		if len(cp.VerdictLog) == 0 {
+			t.Fatalf("baseline has no verdicts to duplicate")
+		}
+		cp.VerdictLog = append(cp.VerdictLog, cp.VerdictLog[0])
+		if !hasViolation(Check(sc, cp), InvPhantom) {
+			t.Fatalf("phantom checker ignored the same send drawing two verdicts")
+		}
+	})
+
+	t.Run("conservation/vanished-message", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.Sent++
+		if !hasViolation(Check(sc, cp), InvConservation) {
+			t.Fatalf("conservation checker ignored a sent message with no outcome")
+		}
+	})
+
+	t.Run("conservation/pipeline-leak", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.PipelineTotal.Completed--
+		if !hasViolation(Check(sc, cp), InvConservation) {
+			t.Fatalf("conservation checker ignored an accepted task that never completed")
+		}
+	})
+}
+
+// findReorderableDeliveries picks two chat deliveries to the same
+// client, in the same room, from the same sender, with different texts,
+// where the sender's scripted lines are pairwise distinct — a pair
+// whose swap is unambiguously a FIFO violation.
+func findReorderableDeliveries(t *testing.T, sc *simulate.Scenario, res *simulate.Result) (int, int) {
+	t.Helper()
+	sends := scriptedSends(sc)
+	distinctSender := func(room, sender string) bool {
+		seen := make(map[string]bool)
+		for _, txt := range sends[room][sender] {
+			if seen[txt] {
+				return false
+			}
+			seen[txt] = true
+		}
+		return true
+	}
+	type key struct{ client, room, from string }
+	first := make(map[key]int)
+	for i, d := range res.Deliveries {
+		if d.Type != chat.TypeChat || d.From == "" {
+			continue
+		}
+		k := key{d.Client, d.Room, d.From}
+		if j, ok := first[k]; ok {
+			if res.Deliveries[j].Text != d.Text && distinctSender(d.Room, d.From) {
+				return j, i
+			}
+			continue
+		}
+		first[k] = i
+	}
+	t.Fatalf("no reorderable delivery pair in baseline run — grow the scenario")
+	return 0, 0
+}
+
+// someShedRoom returns a room with a nonzero shed attribution.
+func someShedRoom(t *testing.T, res *simulate.Result) string {
+	t.Helper()
+	for room, n := range res.ShedByRoom {
+		if n > 0 {
+			return room
+		}
+	}
+	t.Fatalf("baseline run shed nothing — storms did not fire")
+	return ""
+}

@@ -9,8 +9,11 @@ import (
 	"semagent/internal/workload"
 )
 
-// verdictEntry is one supervised message with its ground truth.
-type verdictEntry struct {
+// VerdictEntry is one supervised message with its ground truth. The
+// full per-message log is exported on Result.VerdictLog so the chaos
+// invariant checkers (internal/simulate/gen) can audit every verdict
+// against the script — no verdict may exist for a never-sent message.
+type VerdictEntry struct {
 	Room, User, Text string
 	Expect           workload.Kind
 	Verdict          corpus.Verdict
@@ -31,7 +34,7 @@ type recorder struct {
 	inner   *core.Supervisor
 	gate    chan struct{}
 	expects map[string][]workload.Kind // per-user FIFO of ground truth
-	log     []verdictEntry
+	log     []VerdictEntry
 }
 
 func newRecorder(sup *core.Supervisor) *recorder {
@@ -79,7 +82,7 @@ func (r *recorder) Process(room, user, text string) []chat.Response {
 	// errors below, the per-user FIFO must stay aligned with the
 	// message stream or every later verdict would be scored against
 	// the wrong ground truth.
-	entry := verdictEntry{Room: room, User: user, Text: text, Verdict: corpus.VerdictUnknown}
+	entry := VerdictEntry{Room: room, User: user, Text: text, Verdict: corpus.VerdictUnknown}
 	if q := r.expects[user]; len(q) > 0 {
 		entry.Expect = q[0]
 		r.expects[user] = q[1:]
@@ -107,10 +110,10 @@ func (r *recorder) Process(room, user, text string) []chat.Response {
 }
 
 // entries returns a copy of the verdict log.
-func (r *recorder) entries() []verdictEntry {
+func (r *recorder) entries() []VerdictEntry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]verdictEntry, len(r.log))
+	out := make([]VerdictEntry, len(r.log))
 	copy(out, r.log)
 	return out
 }

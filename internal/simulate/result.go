@@ -3,6 +3,7 @@ package simulate
 import (
 	"sort"
 
+	"semagent/internal/chat"
 	"semagent/internal/core"
 	"semagent/internal/corpus"
 	"semagent/internal/journal"
@@ -47,13 +48,42 @@ func (s *PersonaStats) Recall() float64 {
 	return float64(s.TruePos) / float64(s.TruePos+s.FalseNeg)
 }
 
-// RecoveryStats reports a StepCrash outcome.
+// RecoveryStats reports a StepCrash outcome. The LSN watermarks are
+// what the durability invariant audits: everything fsync'd before the
+// crash (PreCrashSyncedLSN) must be covered by the replay
+// (ReplayLastLSN) with zero apply errors — a lost fsync'd mutation is
+// exactly a replay that ends below the pre-crash synced watermark.
 type RecoveryStats struct {
 	ReplayedRecords int `json:"replayed_records"`
 	CorpusBefore    int `json:"corpus_before"`
 	CorpusAfter     int `json:"corpus_after"`
 	FAQBefore       int `json:"faq_before"`
 	FAQAfter        int `json:"faq_after"`
+
+	// PreCrashLSN / PreCrashSyncedLSN are the journal's last assigned
+	// and last durably fsync'd LSNs at the moment of the crash.
+	PreCrashLSN       uint64 `json:"pre_crash_lsn"`
+	PreCrashSyncedLSN uint64 `json:"pre_crash_synced_lsn"`
+	// ReplayLastLSN is the highest LSN recovery saw; ReplayErrors counts
+	// records that failed to apply.
+	ReplayLastLSN uint64 `json:"replay_last_lsn"`
+	ReplayErrors  int    `json:"replay_errors"`
+}
+
+// Delivery is one message observed at a client, in arrival order — the
+// structured counterpart of a transcript line. The chaos invariant
+// checkers consume these instead of parsing transcript text: per-room
+// FIFO is asserted over the Delivery sequence of each client.
+type Delivery struct {
+	// Step is the 0-based scripted step during which the message was
+	// drained (len(Steps) for the final settle).
+	Step   int          `json:"step"`
+	Client string       `json:"client"`
+	Type   chat.MsgType `json:"type"`
+	Room   string       `json:"room"`
+	From   string       `json:"from,omitempty"`
+	Agent  string       `json:"agent,omitempty"`
+	Text   string       `json:"text"`
 }
 
 // Result is everything a scenario run produced: the byte-exact
@@ -74,14 +104,33 @@ type Result struct {
 	// PerPersona scores each persona present in the scenario.
 	PerPersona map[PersonaKind]*PersonaStats
 
+	// VerdictLog is the session-wide per-message supervision log in
+	// processing order (it survives crash/recovery — the recorder does).
+	VerdictLog []VerdictEntry
+	// Deliveries is every message every client received, in drain order.
+	Deliveries []Delivery
+	// UnsupervisedByUser counts, per sender, the scripted messages whose
+	// supervision never ran (shed by admission control).
+	UnsupervisedByUser map[string]int
+	// ShedByRoom counts supervision sheds per room, observed through the
+	// chat server's OnShed seam as admission control drops them.
+	ShedByRoom map[string]int
+
 	// MinedPairs and FAQLen report the corpora generator's QA mining.
 	MinedPairs int
 	FAQLen     int
 
 	Pipeline    pipeline.Stats
 	HasPipeline bool
-	Journal     *journal.Stats
-	Recovery    *RecoveryStats
+	// PipelineTotal accumulates pipeline counters across the whole
+	// session, including pipelines torn down by crash/recovery cycles
+	// (Pipeline alone covers only the final incarnation).
+	PipelineTotal pipeline.Stats
+	Journal       *journal.Stats
+	// Recovery reports the last crash/recovery cycle; Recoveries all of
+	// them in order.
+	Recovery   *RecoveryStats
+	Recoveries []RecoveryStats
 
 	// report is the instructor-facing analyzer summary (post-recovery
 	// only, when the scenario crashed: the analyzer is not journaled).
@@ -107,12 +156,17 @@ func buildResult(r *runner, pst pipeline.Stats, hasPipe bool, jstats *journal.St
 		Verdicts:      make(map[corpus.Verdict]int),
 		Interventions: make(map[string]int),
 		PerPersona:    make(map[PersonaKind]*PersonaStats),
+		VerdictLog:    r.rec.entries(),
+		Deliveries:    r.deliveries,
+		ShedByRoom:    r.copyShedByRoom(),
 		MinedPairs:    r.sup.Generator().MinedPairs(),
 		FAQLen:        r.sup.FAQ().Len(),
 		Pipeline:      pst,
 		HasPipeline:   hasPipe,
+		PipelineTotal: r.pipeTotal.Merge(pst),
 		Journal:       jstats,
 		Recovery:      r.recovery,
+		Recoveries:    r.recoveries,
 		report:        r.sup.Analyzer().Report(),
 	}
 	persona := func(user string) *PersonaStats {
@@ -132,7 +186,7 @@ func buildResult(r *runner, pst pipeline.Stats, hasPipe bool, jstats *journal.St
 		res.Sent += n
 		persona(user).Sent += n
 	}
-	for _, e := range r.rec.entries() {
+	for _, e := range res.VerdictLog {
 		res.Supervised++
 		res.Verdicts[e.Verdict]++
 		s := persona(e.User)
@@ -162,8 +216,10 @@ func buildResult(r *runner, pst pipeline.Stats, hasPipe bool, jstats *journal.St
 			}
 		}
 	}
+	res.UnsupervisedByUser = make(map[string]int)
 	for user, kinds := range r.rec.unsupervised() {
 		res.Unsupervised += len(kinds)
+		res.UnsupervisedByUser[user] = len(kinds)
 		persona(user).Shed += len(kinds)
 	}
 	return res

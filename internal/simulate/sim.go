@@ -23,6 +23,7 @@ package simulate
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"semagent/internal/chat"
@@ -106,6 +107,30 @@ type runner struct {
 	sentByUser map[string]int
 	tr         *transcript
 	recovery   *RecoveryStats
+	recoveries []RecoveryStats
+
+	// curStep tags drained deliveries with the step that produced them.
+	curStep    int
+	deliveries []Delivery
+	// pipeTotal accumulates the pipeline counters of server incarnations
+	// already torn down by a crash; buildResult merges the final one in.
+	pipeTotal pipeline.Stats
+
+	// shedByRoom is fed by the chat server's OnShed seam; the mutex is
+	// the runner's only concurrently-touched state (sheds happen on the
+	// client reader goroutines).
+	shedMu     sync.Mutex
+	shedByRoom map[string]int
+}
+
+func (r *runner) copyShedByRoom() map[string]int {
+	r.shedMu.Lock()
+	defer r.shedMu.Unlock()
+	out := make(map[string]int, len(r.shedByRoom))
+	for room, n := range r.shedByRoom {
+		out[room] = n
+	}
+	return out
 }
 
 // Run replays the scenario and returns its transcript and statistics.
@@ -128,6 +153,7 @@ func Run(sc *Scenario, dir string) (*Result, error) {
 		clients:    make(map[string]*simClient),
 		sentByUser: make(map[string]int),
 		tr:         newTranscript(sc),
+		shedByRoom: make(map[string]int),
 	}
 	if err := r.start(); err != nil {
 		return nil, err
@@ -192,7 +218,12 @@ func (r *runner) start() error {
 		HistorySize:    r.sc.HistorySize,
 		ShedPolicy:     r.sc.ShedPolicy,
 		RoomHighWater:  r.sc.RoomHighWater,
-		Clock:          r.vc,
+		OnShed: func(room string) {
+			r.shedMu.Lock()
+			r.shedByRoom[room]++
+			r.shedMu.Unlock()
+		},
+		Clock: r.vc,
 	})
 	r.server.Serve(r.listener)
 	return nil
@@ -226,18 +257,24 @@ func (r *runner) clientNames() []string {
 }
 
 // flushInboxes renders every client's drained messages (clients in name
-// order, each inbox in arrival order) and clears them.
+// order, each inbox in arrival order) into both the transcript and the
+// structured delivery log, and clears them.
 func (r *runner) flushInboxes() {
 	for _, name := range r.clientNames() {
 		c := r.clients[name]
 		for _, m := range c.inbox {
 			r.tr.message(c.name, m)
+			r.deliveries = append(r.deliveries, Delivery{
+				Step: r.curStep, Client: c.name, Type: m.Type,
+				Room: m.Room, From: m.From, Agent: m.Agent, Text: m.Text,
+			})
 		}
 		c.inbox = nil
 	}
 }
 
 func (r *runner) step(i int, st Step) error {
+	r.curStep = i
 	if st.Kind == StepAdvance {
 		r.vc.Advance(st.Advance)
 		r.tr.step(i, fmt.Sprintf("advance clock by %s", st.Advance))
@@ -434,7 +471,13 @@ func (r *runner) crash() error {
 	}
 	preCorpus := r.stores.Corpus.Len()
 	preFAQ := r.stores.FAQ.Len()
+	preJournal := r.mgr.Stats()
 	_ = r.server.Close()
+	if pst, ok := r.server.SupervisionStats(); ok {
+		// This incarnation's pipeline dies with the crash; bank its
+		// counters so the session-wide totals survive.
+		r.pipeTotal = r.pipeTotal.Merge(pst)
+	}
 	r.mgr.Abandon()
 	for _, name := range r.clientNames() {
 		c := r.clients[name]
@@ -450,12 +493,17 @@ func (r *runner) crash() error {
 	}
 	rs := r.mgr.Stats().Replay
 	r.recovery = &RecoveryStats{
-		ReplayedRecords: rs.Applied,
-		CorpusBefore:    preCorpus,
-		CorpusAfter:     r.stores.Corpus.Len(),
-		FAQBefore:       preFAQ,
-		FAQAfter:        r.stores.FAQ.Len(),
+		ReplayedRecords:   rs.Applied,
+		CorpusBefore:      preCorpus,
+		CorpusAfter:       r.stores.Corpus.Len(),
+		FAQBefore:         preFAQ,
+		FAQAfter:          r.stores.FAQ.Len(),
+		PreCrashLSN:       preJournal.LastLSN,
+		PreCrashSyncedLSN: preJournal.SyncedLSN,
+		ReplayLastLSN:     rs.LastLSN,
+		ReplayErrors:      rs.Errors,
 	}
+	r.recoveries = append(r.recoveries, *r.recovery)
 	r.tr.note(fmt.Sprintf("recovery: replayed %d WAL records; corpus %d -> %d, faq %d -> %d",
 		rs.Applied, preCorpus, r.recovery.CorpusAfter, preFAQ, r.recovery.FAQAfter))
 	return nil
@@ -466,6 +514,7 @@ func (r *runner) finish() (*Result, error) {
 	if err := r.settle(); err != nil {
 		return nil, err
 	}
+	r.curStep = len(r.sc.Steps)
 	r.flushInboxes()
 	pst, hasPipe := r.server.SupervisionStats()
 	var jstats *journal.Stats
