@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"semagent/internal/chat"
 	"semagent/internal/core"
 	"semagent/internal/corpus"
 	"semagent/internal/eval"
@@ -276,6 +277,126 @@ func BenchmarkE9ShardedSupervision(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(len(msgs)*b.N)/b.Elapsed().Seconds(), "msg/s")
+		})
+	}
+}
+
+// BenchmarkE15WireToVerdict measures the full wire-to-verdict path
+// (experiment E15): real TCP loopback, async batched supervision, one
+// sub-benchmark per wire framing (DESIGN.md D13). Senders are
+// pipelined and the timer stops only after every sender's own echo
+// returned and the server quiesced, so msg/s is supervised throughput
+// and -benchmem's allocs/op is the process-wide heap cost per chat
+// message, both ends of the wire included. The worker-count sweep
+// lives in `evalharness -exp E15`; this fixed-shape variant feeds the
+// benchgate allocation budget.
+func BenchmarkE15WireToVerdict(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		wire chat.Wire
+	}{
+		{"text", chat.WireText},
+		{"binary", chat.WireBinary},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			sup, err := core.New(core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			server := chat.NewServer(chat.ServerOptions{
+				Supervisor:     sup.ChatSupervisor(),
+				Async:          true,
+				Workers:        4,
+				BatchSupervise: true,
+				// Deep client queues: pipelined senders outrun their own
+				// read loops in bursts, and a dropped client would hang
+				// the echo wait.
+				SendQueue: 4096,
+			})
+			addr, err := server.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer server.Close()
+
+			gen := workload.NewGenerator(150, sup.Ontology())
+			lines := make([]string, 256)
+			for i, s := range gen.Generate(len(lines), workload.DefaultMix()) {
+				lines[i] = s.Text
+			}
+
+			const rooms, perRoom = 4, 2
+			type bclient struct {
+				cl   *chat.Client
+				user string
+			}
+			var clients []bclient
+			var echoWG, rwg sync.WaitGroup
+			for r := 0; r < rooms; r++ {
+				for c := 0; c < perRoom; c++ {
+					user := fmt.Sprintf("user-%d-%d", r, c)
+					cl, err := chat.DialWire(addr.String(),
+						fmt.Sprintf("room-%d", r), user, tc.wire, 5*time.Second)
+					if err != nil {
+						b.Fatal(err)
+					}
+					clients = append(clients, bclient{cl: cl, user: user})
+					rwg.Add(1)
+					go func(cl *chat.Client, user string) {
+						defer rwg.Done()
+						for m := range cl.Receive() {
+							if m.Type == chat.TypeChat && m.From == user {
+								echoWG.Done()
+							}
+						}
+					}(cl, user)
+				}
+			}
+			defer rwg.Wait()
+			defer func() {
+				for _, c := range clients {
+					_ = c.cl.Close()
+				}
+			}()
+
+			counts := make([]int, len(clients))
+			for i := 0; i < b.N; i++ {
+				counts[i%len(clients)]++
+			}
+			echoWG.Add(b.N)
+			errCh := make(chan error, len(clients))
+			b.ResetTimer()
+			var swg sync.WaitGroup
+			for i, c := range clients {
+				swg.Add(1)
+				go func(c bclient, n, off int) {
+					defer swg.Done()
+					for k := 0; k < n; k++ {
+						if err := c.cl.Say(lines[(off+k)%len(lines)]); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(c, counts[i], i*31)
+			}
+			swg.Wait()
+			select {
+			case err := <-errCh:
+				b.Fatal(err)
+			default:
+			}
+			echoed := make(chan struct{})
+			go func() { echoWG.Wait(); close(echoed) }()
+			select {
+			case <-echoed:
+			case <-time.After(120 * time.Second):
+				b.Fatal("echo timeout")
+			}
+			if !server.Quiesce(60 * time.Second) {
+				b.Fatal("server did not quiesce")
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msg/s")
 		})
 	}
 }

@@ -102,19 +102,21 @@ type row struct {
 // term to the geomean.
 const minRatio = 1e-3
 
-// report aggregates the gate's verdict.
+// report aggregates one gate's verdict; Label names the quantity the
+// ratios score ("performance" or "allocation").
 type report struct {
+	Label   string
 	Rows    []row
 	Geomean float64
 }
 
 func (r *report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-52s %-8s %14s %14s %8s\n", "benchmark", "unit", "old", "new", "ratio")
+	fmt.Fprintf(&b, "%-52s %-9s %14s %14s %8s\n", "benchmark", "unit", "old", "new", "ratio")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-52s %-8s %14.1f %14.1f %8.3f\n", row.Name, row.Unit, row.Old, row.New, row.Ratio)
+		fmt.Fprintf(&b, "%-52s %-9s %14.1f %14.1f %8.3f\n", row.Name, row.Unit, row.Old, row.New, row.Ratio)
 	}
-	fmt.Fprintf(&b, "geomean performance ratio: %.3f (1.0 = unchanged, < 1.0 = regression)\n", r.Geomean)
+	fmt.Fprintf(&b, "geomean %s ratio: %.3f (1.0 = unchanged, < 1.0 = regression)\n", r.Label, r.Geomean)
 	return b.String()
 }
 
@@ -135,7 +137,7 @@ func compare(oldRuns, newRuns map[string][]run) (*report, error) {
 	}
 	sort.Strings(names)
 
-	rep := &report{}
+	rep := &report{Label: "performance"}
 	logSum := 0.0
 	for _, name := range names {
 		o, n := oldRuns[name], newRuns[name]
@@ -168,6 +170,53 @@ func compare(oldRuns, newRuns map[string][]run) (*report, error) {
 	}
 	rep.Geomean = math.Exp(logSum / float64(len(rep.Rows)))
 	return rep, nil
+}
+
+// compareAllocs matches benchmarks whose runs carry -benchmem's
+// allocs/op in both files and scores the allocation budget the same
+// way compare scores performance: per-benchmark medians, a normalized
+// ratio (allocations are lower-is-better, so ratio = old/new), and
+// the geomean across benchmarks. Benchmarks without allocs/op on both
+// sides are skipped — a baseline captured before the gate ran with
+// -benchmem must not fail the build — and a nil report means no
+// benchmark had comparable allocation data at all.
+func compareAllocs(oldRuns, newRuns map[string][]run) *report {
+	names := make([]string, 0, len(oldRuns))
+	for name := range oldRuns {
+		if _, ok := newRuns[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	rep := &report{Label: "allocation"}
+	logSum := 0.0
+	for _, name := range names {
+		oldV, okOld := medianMetric(oldRuns[name], "allocs/op")
+		newV, okNew := medianMetric(newRuns[name], "allocs/op")
+		if !okOld || !okNew || oldV <= 0 {
+			continue
+		}
+		r := row{Name: name, Unit: "allocs/op", Old: oldV, New: newV}
+		div := newV
+		if div <= 0 {
+			// Zero allocations is the best possible outcome, not a
+			// division hazard worth skipping: floor the divisor at one
+			// allocation so the ratio stays finite.
+			div = 1
+		}
+		r.Ratio = oldV / div
+		if r.Ratio < minRatio {
+			r.Ratio = minRatio
+		}
+		rep.Rows = append(rep.Rows, r)
+		logSum += math.Log(r.Ratio)
+	}
+	if len(rep.Rows) == 0 {
+		return nil
+	}
+	rep.Geomean = math.Exp(logSum / float64(len(rep.Rows)))
+	return rep
 }
 
 func medianMetric(runs []run, unit string) (float64, bool) {

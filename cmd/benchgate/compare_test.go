@@ -151,6 +151,96 @@ func TestParseBenchLine(t *testing.T) {
 	}
 }
 
+// writeBenchmemOutput renders a -benchmem bench file: every benchmark
+// reports ns/op, msg/s, B/op and allocs/op.
+func writeBenchmemOutput(t *testing.T, dir, fname string, msgs, allocs float64) string {
+	t.Helper()
+	out := "goos: linux\ngoarch: amd64\npkg: semagent\n"
+	for _, bench := range []string{
+		"BenchmarkE9ShardedSupervision/sharded-cached-4",
+		"BenchmarkE15WireToVerdict/binary-4",
+	} {
+		for _, jitter := range []float64{1.0, 0.97, 1.03} {
+			out += fmt.Sprintf("%s\t       3\t%10.0f ns/op\t%10.1f msg/s\t%8.0f B/op\t%8.0f allocs/op\n",
+				bench, 100000*jitter, msgs*jitter, allocs*30*jitter, allocs*jitter)
+		}
+	}
+	out += "PASS\nok  \tsemagent\t1.0s\n"
+	path := filepath.Join(dir, fname)
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestAllocRegressionTripsAllocGate checks the allocation gate: a 50%
+// allocs/op increase must land below the 0.85 allocation threshold
+// while the performance geomean stays clean.
+func TestAllocRegressionTripsAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBenchmemOutput(t, dir, "old.txt", 10000, 400)
+	newPath := writeBenchmemOutput(t, dir, "new.txt", 10000, 600) // +50% allocs
+	oldRuns, err := parseBenchFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRuns, err := parseBenchFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := compare(oldRuns, newRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.Geomean < 0.99 || perf.Geomean > 1.01 {
+		t.Errorf("performance geomean = %.3f, want ≈1.0 (throughput unchanged)", perf.Geomean)
+	}
+	arep := compareAllocs(oldRuns, newRuns)
+	if arep == nil {
+		t.Fatal("compareAllocs returned nil with allocs/op present on both sides")
+	}
+	if len(arep.Rows) != 2 {
+		t.Fatalf("alloc rows = %d, want 2", len(arep.Rows))
+	}
+	if arep.Geomean >= 0.85 {
+		t.Fatalf("alloc geomean = %.3f for a +50%% allocation regression, gate must trip", arep.Geomean)
+	}
+	if arep.Geomean < 0.60 || arep.Geomean > 0.73 {
+		t.Errorf("alloc geomean = %.3f, want ≈0.67 for a uniform +50%% regression", arep.Geomean)
+	}
+}
+
+// TestAllocImprovementPassesAllocGate checks the intended direction —
+// fewer allocations — scores above 1.0 and passes.
+func TestAllocImprovementPassesAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBenchmemOutput(t, dir, "old.txt", 10000, 600)
+	newPath := writeBenchmemOutput(t, dir, "new.txt", 10000, 200) // 3× fewer
+	oldRuns, _ := parseBenchFile(oldPath)
+	newRuns, _ := parseBenchFile(newPath)
+	arep := compareAllocs(oldRuns, newRuns)
+	if arep == nil {
+		t.Fatal("compareAllocs returned nil")
+	}
+	if arep.Geomean < 2.9 || arep.Geomean > 3.1 {
+		t.Fatalf("alloc geomean = %.3f, want ≈3.0 for 3× fewer allocs/op", arep.Geomean)
+	}
+}
+
+// TestAllocGateSkippedWithoutBenchmem checks a baseline captured
+// without -benchmem yields a nil allocation report (gate skipped),
+// never a failure.
+func TestAllocGateSkippedWithoutBenchmem(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBenchOutput(t, dir, "old.txt", 10000, 100000) // no allocs/op
+	newPath := writeBenchmemOutput(t, dir, "new.txt", 10000, 400)
+	oldRuns, _ := parseBenchFile(oldPath)
+	newRuns, _ := parseBenchFile(newPath)
+	if arep := compareAllocs(oldRuns, newRuns); arep != nil {
+		t.Fatalf("alloc report = %+v, want nil when the baseline lacks -benchmem data", arep)
+	}
+}
+
 // TestNoOverlapErrors checks disjoint benchmark sets are an error, not
 // a silent pass.
 func TestNoOverlapErrors(t *testing.T) {

@@ -18,6 +18,13 @@
 // 1.0 means the new code is slower; the gate fails when the geometric
 // mean of all ratios drops under -threshold (default 0.85, a >15%
 // geomean regression).
+//
+// When both files were produced with -benchmem the gate additionally
+// scores the allocation budget: allocs/op medians per benchmark,
+// ratio old/new (lower is better), and a second geomean gated by
+// -allocthreshold (default 0.85; 0 disables). Benchmarks lacking
+// allocs/op on either side are skipped, so baselines captured before
+// -benchmem was added never fail the build.
 package main
 
 import (
@@ -28,9 +35,10 @@ import (
 
 func main() {
 	var (
-		oldPath   = flag.String("old", "", "bench output of the base commit")
-		newPath   = flag.String("new", "", "bench output of the PR head")
-		threshold = flag.Float64("threshold", 0.85, "fail when the geomean performance ratio (new/old) drops below this")
+		oldPath        = flag.String("old", "", "bench output of the base commit")
+		newPath        = flag.String("new", "", "bench output of the PR head")
+		threshold      = flag.Float64("threshold", 0.85, "fail when the geomean performance ratio (new/old) drops below this")
+		allocThreshold = flag.Float64("allocthreshold", 0.85, "fail when the geomean allocs/op ratio (old/new) drops below this; 0 disables")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -53,10 +61,29 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Print(report.String())
+	fail := false
 	if report.Geomean < *threshold {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean ratio %.3f below threshold %.3f (>%.0f%% regression)\n",
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean performance ratio %.3f below threshold %.3f (>%.0f%% regression)\n",
 			report.Geomean, *threshold, (1-*threshold)*100)
+		fail = true
+	} else {
+		fmt.Printf("benchgate: OK — geomean performance ratio %.3f (threshold %.3f)\n", report.Geomean, *threshold)
+	}
+	if *allocThreshold > 0 {
+		if arep := compareAllocs(oldRuns, newRuns); arep != nil {
+			fmt.Print(arep.String())
+			if arep.Geomean < *allocThreshold {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean allocation ratio %.3f below threshold %.3f (>%.0f%% more allocs/op)\n",
+					arep.Geomean, *allocThreshold, (1 / *allocThreshold - 1)*100)
+				fail = true
+			} else {
+				fmt.Printf("benchgate: OK — geomean allocation ratio %.3f (threshold %.3f)\n", arep.Geomean, *allocThreshold)
+			}
+		} else {
+			fmt.Println("benchgate: no allocs/op data in both runs — allocation gate skipped (run with -benchmem to enable)")
+		}
+	}
+	if fail {
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: OK — geomean ratio %.3f (threshold %.3f)\n", report.Geomean, *threshold)
 }

@@ -22,20 +22,29 @@ func main() {
 		addr = flag.String("addr", "127.0.0.1:7788", "server address")
 		room = flag.String("room", "ds-course", "room to join")
 		name = flag.String("name", "", "user name (required)")
+		wire = flag.String("wire", "text", "wire format: text (newline-JSON) or binary (length-prefixed frames, if the server agrees)")
 	)
 	flag.Parse()
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "chatclient: -name is required")
 		os.Exit(1)
 	}
-	if err := run(*addr, *room, *name); err != nil {
+	if *wire != "text" && *wire != "binary" {
+		fmt.Fprintf(os.Stderr, "chatclient: -wire must be text or binary, got %q\n", *wire)
+		os.Exit(1)
+	}
+	w := chat.WireText
+	if *wire == "binary" {
+		w = chat.WireBinary
+	}
+	if err := run(*addr, *room, *name, w); err != nil {
 		fmt.Fprintln(os.Stderr, "chatclient:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, room, name string) error {
-	client, err := chat.Dial(addr, room, name, 5*time.Second)
+func run(addr, room, name string, wire chat.Wire) error {
+	client, err := chat.DialWire(addr, room, name, wire, 5*time.Second)
 	if err != nil {
 		return err
 	}

@@ -5,9 +5,11 @@
 // locked ontology), E11 (write-ahead journaling overhead and crash
 // recovery), E12 (open-loop overload with admission-control shedding),
 // E13 (deterministic scenario-matrix simulation scoring per-persona
-// detection precision/recall) and E14 (population-scale chaos sweep:
+// detection precision/recall), E14 (population-scale chaos sweep:
 // generated classrooms with seeded fault schedules, audited against
-// invariants).
+// invariants) and E15 (wire-to-verdict throughput and allocations,
+// newline-JSON vs length-prefixed binary framing, across supervision
+// pool sizes).
 //
 // Usage:
 //
@@ -19,6 +21,7 @@
 //	evalharness -exp E12 -json            # overload shedding (JSON)
 //	evalharness -exp E13 -json            # persona-matrix detection scores (JSON)
 //	evalharness -exp E14 -seed 7 -json    # chaos sweep; exits nonzero on violation
+//	evalharness -exp E15 -json            # text vs binary wire comparison (JSON)
 //	evalharness -exp E10,E11,E12,E13 -json  # one JSON array: the CI perf trajectory
 //
 // A comma-separated -exp list runs each experiment in order; with -json
@@ -39,11 +42,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment(s) to run: E1..E14, a comma-separated list, or all")
+		exp      = flag.String("exp", "all", "experiment(s) to run: E1..E15, a comma-separated list, or all")
 		n        = flag.Int("n", 1000, "workload size (samples/questions)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11, E12, E13, E14)")
-		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10..E14)")
+		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10..E15)")
 	)
 	flag.Parse()
 	p := params{n: *n, seed: *seed, rooms: *rooms, json: *jsonFlag}
@@ -70,7 +73,7 @@ type params struct {
 }
 
 // allExperiments is the canonical order.
-var allExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+var allExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 
 // textRunners print human-readable tables; jsonResults produce the
 // machine-readable result objects for the experiments that support
@@ -80,11 +83,11 @@ var (
 		"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4,
 		"E5": runE5, "E6": runE6, "E7": runE7, "E8": runE8,
 		"E9": runE9, "E10": runE10, "E11": runE11, "E12": runE12,
-		"E13": runE13, "E14": runE14,
+		"E13": runE13, "E14": runE14, "E15": runE15,
 	}
 	jsonResults = map[string]func(params) (interface{}, error){
 		"E10": resultE10, "E11": resultE11, "E12": resultE12,
-		"E13": resultE13, "E14": resultE14,
+		"E13": resultE13, "E14": resultE14, "E15": resultE15,
 	}
 )
 
@@ -112,7 +115,7 @@ func run(expArg string, p params) error {
 	}
 	for _, name := range names {
 		if _, ok := textRunners[name]; !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E14, a comma-separated list, or all)", name)
+			return fmt.Errorf("unknown experiment %q (want E1..E15, a comma-separated list, or all)", name)
 		}
 	}
 
@@ -121,7 +124,7 @@ func run(expArg string, p params) error {
 		for _, name := range names {
 			getter, ok := jsonResults[name]
 			if !ok {
-				return fmt.Errorf("%s does not support -json (supported: E10..E14)", name)
+				return fmt.Errorf("%s does not support -json (supported: E10..E15)", name)
 			}
 			res, err := getter(p)
 			if err != nil {
@@ -452,6 +455,35 @@ func e14Config(p params) eval.E14Config {
 
 func resultE14(p params) (interface{}, error) {
 	return eval.RunE14(e14Config(p))
+}
+
+func e15Config(p params) eval.E15Config {
+	// -n scales each client's script (default 1000 → 125 lines/client
+	// across the 4×2 population).
+	return eval.E15Config{MessagesEach: p.n / 8, Seed: p.seed}
+}
+
+func resultE15(p params) (interface{}, error) {
+	return eval.RunE15(e15Config(p))
+}
+
+func runE15(p params) error {
+	res, err := eval.RunE15(e15Config(p))
+	if err != nil {
+		return err
+	}
+	header("E15 wire-to-verdict: text vs binary framing over TCP (D13)")
+	fmt.Printf("rooms: %d   clients/room: %d   messages/client: %d   batch: %v\n",
+		res.Config.Rooms, res.Config.ClientsPerRoom, res.Config.MessagesEach, !res.Config.NoBatch)
+	fmt.Println("wire     workers   msgs  throughput   allocs/msg   bytes/msg")
+	for _, arm := range res.Arms {
+		fmt.Printf("%-8s %7d  %5d  %8.0f/s  %11.0f  %10.0f\n",
+			arm.Wire, arm.Workers, arm.Messages, arm.Throughput,
+			arm.AllocsPerMsg, arm.BytesPerMsg)
+	}
+	fmt.Printf("binary vs text at %d workers: %.2fx throughput, %.0f%% fewer allocs/msg\n",
+		res.Arms[len(res.Arms)-1].Workers, res.BinarySpeedup, res.AllocReduction*100)
+	return nil
 }
 
 func runE14(p params) error {

@@ -100,7 +100,14 @@ func (a *Agent) Check(text string) (*Report, error) {
 // supervisor pins one snapshot per message so the syntax and semantic
 // stages agree on the vocabulary.
 func (a *Agent) CheckWith(snap *ontology.Snapshot, text string) (*Report, error) {
-	tokens := linkgrammar.Tokenize(text)
+	return a.CheckTokens(snap, text, linkgrammar.Tokenize(text))
+}
+
+// CheckTokens is CheckWith for a caller that already tokenized the
+// message (the supervisor tokenizes once for classification and passes
+// the result down, instead of paying a second Tokenize here). The
+// tokens must be Tokenize(text); the report retains the slice.
+func (a *Agent) CheckTokens(snap *ontology.Snapshot, text string, tokens []string) (*Report, error) {
 	rep := &Report{Text: text, Tokens: tokens}
 	if len(tokens) == 0 {
 		rep.OK = true

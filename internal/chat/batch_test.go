@@ -1,0 +1,159 @@
+package chat
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedBatchSupervisor blocks its first ProcessBatch call until the
+// gate opens, so a test can pile messages into the room's pending
+// buffer and prove they coalesce into one drain task.
+type gatedBatchSupervisor struct {
+	entered chan struct{} // closed when the first batch starts
+	gate    chan struct{} // the first batch waits for this
+
+	mu      sync.Mutex
+	batches []int
+	first   bool
+}
+
+func (g *gatedBatchSupervisor) Process(room, user, text string) []Response {
+	res := g.ProcessBatch(room, []string{user}, []string{text})
+	return res[0]
+}
+
+func (g *gatedBatchSupervisor) ProcessBatch(room string, users, texts []string) [][]Response {
+	g.mu.Lock()
+	block := !g.first
+	g.first = true
+	g.batches = append(g.batches, len(texts))
+	g.mu.Unlock()
+	if block {
+		close(g.entered)
+		<-g.gate
+	}
+	out := make([][]Response, len(texts))
+	for i := range texts {
+		out[i] = []Response{
+			{Agent: "Learning_Angel", Text: "verdict: " + texts[i]},
+			{Agent: "Learning_Angel", Text: "hint for " + users[i], Private: true},
+		}
+	}
+	return out
+}
+
+// TestBatchSuperviseCoalesces proves the BatchSupervise path: messages
+// arriving while a batch task is mid-supervision are drained by that
+// same task (no extra pipeline tasks), every message still gets its
+// responses in order, and private responses reach only the speaker.
+func TestBatchSuperviseCoalesces(t *testing.T) {
+	sup := &gatedBatchSupervisor{
+		entered: make(chan struct{}),
+		gate:    make(chan struct{}),
+	}
+	addr := startServer(t, ServerOptions{
+		Supervisor: sup, Async: true, Workers: 1, BatchSupervise: true,
+	})
+
+	speaker, err := Dial(addr, "room", "speaker", time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer speaker.Close()
+	watcher, err := Dial(addr, "room", "watcher", time.Second)
+	if err != nil {
+		t.Fatalf("dial watcher: %v", err)
+	}
+	defer watcher.Close()
+	waitFor(t, speaker, time.Second, func(m Message) bool {
+		return m.Type == TypeSystem
+	})
+
+	const rounds = 5
+	if err := speaker.Say("msg 0"); err != nil {
+		t.Fatalf("say 0: %v", err)
+	}
+	<-sup.entered // batch task is now blocked inside ProcessBatch
+	for i := 1; i < rounds; i++ {
+		if err := speaker.Say(fmt.Sprintf("msg %d", i)); err != nil {
+			t.Fatalf("say %d: %v", i, err)
+		}
+	}
+	// The room's sayMu serializes handleSay: once the watcher sees the
+	// last broadcast, every earlier message is already in the pending
+	// batch buffer.
+	waitFor(t, watcher, 2*time.Second, func(m Message) bool {
+		return m.Type == TypeChat && m.Text == fmt.Sprintf("msg %d", rounds-1)
+	})
+	close(sup.gate)
+
+	// Both clients see every public verdict, in order.
+	for _, c := range []*Client{speaker, watcher} {
+		for i := 0; i < rounds; i++ {
+			want := fmt.Sprintf("verdict: msg %d", i)
+			m := waitFor(t, c, 2*time.Second, func(m Message) bool {
+				return m.Type == TypeAgent && m.Agent == "Learning_Angel" &&
+					m.Text == want
+			})
+			if m.Private {
+				t.Fatalf("public verdict arrived marked private: %+v", m)
+			}
+		}
+	}
+	// The speaker gets the private hints; the watcher must never.
+	waitFor(t, speaker, 2*time.Second, func(m Message) bool {
+		return m.Private && m.Text == "hint for speaker"
+	})
+	for {
+		select {
+		case m := <-watcher.Receive():
+			if m.Private {
+				t.Fatalf("private response leaked to watcher: %+v", m)
+			}
+			continue
+		case <-time.After(100 * time.Millisecond):
+		}
+		break
+	}
+
+	sup.mu.Lock()
+	batches := append([]int(nil), sup.batches...)
+	sup.mu.Unlock()
+	total, maxBatch := 0, 0
+	for _, n := range batches {
+		total += n
+		if n > maxBatch {
+			maxBatch = n
+		}
+	}
+	if total != rounds {
+		t.Fatalf("batches %v supervised %d messages, want %d", batches, total, rounds)
+	}
+	if maxBatch < 2 {
+		t.Fatalf("no coalescing happened: batch sizes %v", batches)
+	}
+}
+
+// TestBatchSuperviseFallsBackWithoutInterface keeps the option safe to
+// set with a plain Supervisor: per-message supervision still runs.
+func TestBatchSuperviseFallsBackWithoutInterface(t *testing.T) {
+	sup := SupervisorFunc(func(room, user, text string) []Response {
+		return []Response{{Agent: "Learning_Angel", Text: "saw " + text}}
+	})
+	addr := startServer(t, ServerOptions{
+		Supervisor: sup, Async: true, Workers: 2, BatchSupervise: true,
+	})
+	c, err := Dial(addr, "room", "alice", time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Say("hello"); err != nil {
+		t.Fatalf("say: %v", err)
+	}
+	waitFor(t, c, 2*time.Second, func(m Message) bool {
+		return m.Type == TypeAgent && m.Text == "saw hello"
+	})
+}

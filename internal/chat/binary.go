@@ -1,0 +1,200 @@
+package chat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Binary framing (negotiated per connection, DESIGN.md D13):
+//
+//	frame   := len(4, LE) payload            len = payload size, ≤ 64 KiB
+//	payload := type(1) flags(1) [time(12)] str(Room) str(From)
+//	           str(Text) str(Agent) str(Wire) [str(type name)]
+//	time    := unix seconds (8, LE) nanoseconds (4, LE), present iff
+//	           flagTime; a zero Time is omitted
+//	str     := uvarint length, bytes
+//
+// The type byte indexes the known message types; 0 means "other" and a
+// trailing str carries the literal type name, so any Message round-trips
+// (the fuzz target depends on that totality).
+
+const (
+	flagPrivate = 1 << 0
+	flagTime    = 1 << 1
+)
+
+// typeCodes maps the protocol's message types to frame type bytes.
+// Code 0 is reserved for "other".
+var typeCodes = map[MsgType]byte{
+	TypeJoin: 1, TypeSay: 2, TypeLeave: 3, TypeWelcome: 4,
+	TypeChat: 5, TypeSystem: 6, TypeAgent: 7, TypeError: 8,
+}
+
+var typeNames = [...]MsgType{
+	1: TypeJoin, 2: TypeSay, 3: TypeLeave, 4: TypeWelcome,
+	5: TypeChat, 6: TypeSystem, 7: TypeAgent, 8: TypeError,
+}
+
+func appendUvarintString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendBinaryFrame appends m as one complete frame (length prefix
+// included) to dst. It never fails: every Message has an encoding.
+func appendBinaryFrame(dst []byte, m Message) []byte {
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backpatched below
+
+	code := typeCodes[m.Type]
+	flags := byte(0)
+	if m.Private {
+		flags |= flagPrivate
+	}
+	if !m.Time.IsZero() {
+		flags |= flagTime
+	}
+	dst = append(dst, code, flags)
+	if flags&flagTime != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(m.Time.Unix()))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Time.Nanosecond()))
+	}
+	dst = appendUvarintString(dst, m.Room)
+	dst = appendUvarintString(dst, m.From)
+	dst = appendUvarintString(dst, m.Text)
+	dst = appendUvarintString(dst, m.Agent)
+	dst = appendUvarintString(dst, string(m.Wire))
+	if code == 0 {
+		dst = appendUvarintString(dst, string(m.Type))
+	}
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+// internCap bounds the decode-side string table; beyond it, repeated
+// names simply allocate (a hostile peer cannot grow the table without
+// bound).
+const internCap = 4096
+
+// internString returns a string equal to b, reusing a previously decoded
+// one when possible. Only short strings are worth the table space.
+func (c *Codec) internString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > 64 {
+		return string(b)
+	}
+	if s, ok := c.intern[string(b)]; ok { // no-alloc map probe
+		return s
+	}
+	s := string(b)
+	if c.intern == nil {
+		c.intern = make(map[string]string)
+	}
+	if len(c.intern) < internCap {
+		c.intern[s] = s
+	}
+	return s
+}
+
+// cutUvarintString splits one length-prefixed string off b.
+func cutUvarintString(b []byte) (s, rest []byte, err error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > uint64(len(b)-w) {
+		return nil, nil, fmt.Errorf("chat: corrupt binary frame string")
+	}
+	return b[w : w+int(n)], b[w+int(n):], nil
+}
+
+// readBinary reads and decodes one frame.
+func (c *Codec) readBinary() (Message, error) {
+	var m Message
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return m, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxLineBytes {
+		// Reject before buffering: the payload is never read.
+		return m, fmt.Errorf("%w (binary frame of %d bytes)", ErrTooLarge, n)
+	}
+	if n < 2 {
+		return m, fmt.Errorf("chat: binary frame too short (%d bytes)", n)
+	}
+	if cap(c.readBuf) < int(n) {
+		c.readBuf = make([]byte, n)
+	}
+	buf := c.readBuf[:n]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return m, err
+	}
+
+	code, flags := buf[0], buf[1]
+	rest := buf[2:]
+	if flags&flagTime != 0 {
+		if len(rest) < 12 {
+			return m, fmt.Errorf("chat: corrupt binary frame time")
+		}
+		sec := int64(binary.LittleEndian.Uint64(rest))
+		nsec := binary.LittleEndian.Uint32(rest[8:])
+		if nsec >= 1e9 {
+			return m, fmt.Errorf("chat: corrupt binary frame time")
+		}
+		m.Time = time.Unix(sec, int64(nsec))
+		rest = rest[12:]
+	}
+	m.Private = flags&flagPrivate != 0
+
+	var field []byte
+	var err error
+	if field, rest, err = cutUvarintString(rest); err != nil {
+		return m, err
+	}
+	m.Room = c.internString(field)
+	if field, rest, err = cutUvarintString(rest); err != nil {
+		return m, err
+	}
+	m.From = c.internString(field)
+	if field, rest, err = cutUvarintString(rest); err != nil {
+		return m, err
+	}
+	m.Text = string(field)
+	if field, rest, err = cutUvarintString(rest); err != nil {
+		return m, err
+	}
+	m.Agent = c.internString(field)
+	if field, rest, err = cutUvarintString(rest); err != nil {
+		return m, err
+	}
+	m.Wire = Wire(c.internString(field))
+
+	if int(code) < len(typeNames) && code > 0 {
+		m.Type = typeNames[code]
+	} else if code == 0 {
+		if field, rest, err = cutUvarintString(rest); err != nil {
+			return m, err
+		}
+		m.Type = MsgType(c.internString(field))
+	} else {
+		return m, fmt.Errorf("chat: unknown binary frame type %d", code)
+	}
+	if len(rest) != 0 {
+		return m, fmt.Errorf("chat: %d trailing bytes in binary frame", len(rest))
+	}
+	return m, nil
+}
+
+// writeBinary encodes m into the codec's scratch buffer and flushes it.
+func (c *Codec) writeBinary(m Message) error {
+	c.writeBuf = appendBinaryFrame(c.writeBuf[:0], m)
+	if len(c.writeBuf) > maxLineBytes+4 {
+		return fmt.Errorf("%w (binary frame of %d bytes)", ErrTooLarge, len(c.writeBuf)-4)
+	}
+	return c.WriteRaw(c.writeBuf)
+}

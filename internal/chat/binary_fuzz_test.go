@@ -1,0 +1,77 @@
+package chat
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// binaryFuzzSeeds are valid frame streams plus corrupted variants; the
+// checked-in corpus under testdata/fuzz/FuzzBinaryCodec extends them.
+func binaryFuzzSeeds() [][]byte {
+	var seeds [][]byte
+	for _, m := range []Message{
+		{Type: TypeSay, Text: "hello"},
+		{Type: TypeJoin, Room: "algo", From: "alice", Wire: WireBinary},
+		{Type: TypeAgent, Room: "r", Agent: "QA_System", Text: "yes", Private: true,
+			Time: time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC)},
+		{Type: MsgType("x-extension")},
+		{},
+	} {
+		seeds = append(seeds, appendBinaryFrame(nil, m))
+	}
+	// Two frames back to back.
+	seeds = append(seeds, appendBinaryFrame(appendBinaryFrame(nil,
+		Message{Type: TypeSay, Text: "a"}), Message{Type: TypeLeave}))
+	// Truncations, garbage, and an oversized length prefix.
+	whole := appendBinaryFrame(nil, Message{Type: TypeChat, From: "bob", Text: "hi"})
+	seeds = append(seeds,
+		whole[:len(whole)-1],
+		whole[:3],
+		[]byte{0xff, 0xff, 0xff, 0x7f},
+		[]byte("not a frame at all"),
+		append([]byte{5, 0, 0, 0}, 0xde, 0xad, 0xbe, 0xef, 0x99),
+	)
+	return seeds
+}
+
+// FuzzBinaryCodec throws arbitrary bytes at the binary-frame decoder:
+// it must never panic, reject truncated/oversized/garbage frames with
+// an error, and every message it does accept must survive an
+// encode→decode round trip with every field intact.
+func FuzzBinaryCodec(f *testing.F) {
+	for _, s := range binaryFuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		codec := NewCodec(struct {
+			io.Reader
+			io.Writer
+		}{bytes.NewReader(data), io.Discard})
+		codec.SetReadWire(WireBinary)
+		for msgs := 0; msgs < 64; msgs++ {
+			m, err := codec.Read()
+			if err != nil {
+				return // malformed or exhausted input: rejected cleanly
+			}
+			var buf bytes.Buffer
+			out := NewCodec(struct {
+				io.Reader
+				io.Writer
+			}{&buf, &buf})
+			out.SetReadWire(WireBinary)
+			out.SetWriteWire(WireBinary)
+			if err := out.Write(m); err != nil {
+				t.Fatalf("re-encode failed for accepted message %+v: %v", m, err)
+			}
+			back, err := out.Read()
+			if err != nil {
+				t.Fatalf("round trip read failed for %+v: %v", m, err)
+			}
+			if !sameMessage(m, back) {
+				t.Fatalf("round trip changed message:\n in: %+v\nout: %+v", m, back)
+			}
+		}
+	})
+}

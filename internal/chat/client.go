@@ -25,8 +25,22 @@ type Client struct {
 // receive loop. It waits for the server's welcome (or error) so that a
 // returned *Client is fully joined.
 func Dial(addr, roomName, userName string, timeout time.Duration) (*Client, error) {
+	return DialWire(addr, roomName, userName, WireText, timeout)
+}
+
+// DialWire is Dial requesting a wire format. WireBinary asks the server
+// to switch to length-prefixed binary framing: the join and welcome are
+// exchanged in text, and if the welcome acknowledges the request both
+// sides speak binary from the next message on. A server that ignores
+// the request leaves the connection on text — the client follows the
+// welcome's echo, not its own preference.
+func DialWire(addr, roomName, userName string, wire Wire, timeout time.Duration) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
+	}
+	join := Message{Type: TypeJoin, Room: roomName, From: userName}
+	if wire == WireBinary {
+		join.Wire = WireBinary
 	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -38,7 +52,7 @@ func Dial(addr, roomName, userName string, timeout time.Duration) (*Client, erro
 		incoming: make(chan Message, 64),
 		done:     make(chan struct{}),
 	}
-	if err := c.codec.Write(Message{Type: TypeJoin, Room: roomName, From: userName}); err != nil {
+	if err := c.codec.Write(join); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("chat join: %w", err)
 	}
@@ -51,6 +65,10 @@ func Dial(addr, roomName, userName string, timeout time.Duration) (*Client, erro
 	}
 	switch first.Type {
 	case TypeWelcome:
+		if first.Wire == WireBinary {
+			c.codec.SetReadWire(WireBinary)
+			c.codec.SetWriteWire(WireBinary)
+		}
 	case TypeError:
 		_ = conn.Close()
 		return nil, fmt.Errorf("chat join rejected: %s", first.Text)

@@ -1,0 +1,61 @@
+package chat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// frame is one broadcast message encoded once per wire format and
+// shared by every recipient. Ownership rule (DESIGN.md D13): the
+// broadcaster sets refs to the recipient count before enqueuing; each
+// recipient path — written, dropped, or disconnected — releases exactly
+// one reference, and the last release returns the frame to the pool.
+// A frame whose writer goroutine died with messages still queued is
+// simply garbage-collected; the pool never sees a live-referenced frame.
+type frame struct {
+	refs atomic.Int32
+	text []byte // JSON line, newline-terminated; nil if no text recipient
+	bin  []byte // length-prefixed binary frame; nil if no binary recipient
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// newFrame encodes m for the wire formats that have recipients. An
+// encode failure (unmarshalable message — cannot happen for protocol
+// traffic) falls back to nil bytes; the writer re-encodes per client.
+func newFrame(m Message, needText, needBinary bool, refs int) *frame {
+	f := framePool.Get().(*frame)
+	f.refs.Store(int32(refs))
+	// Zero length marks "not encoded" (a real encoding is never empty);
+	// slicing to zero keeps the pooled capacity.
+	f.text, f.bin = f.text[:0], f.bin[:0]
+	if needText {
+		if b, err := AppendEncoded(f.text, m, WireText); err == nil {
+			f.text = b
+		}
+	}
+	if needBinary {
+		f.bin = appendBinaryFrame(f.bin, m)
+	}
+	return f
+}
+
+// bytesFor returns the shared encoding for a client's wire format, or
+// nil when the writer must fall back to encoding the Message itself.
+func (f *frame) bytesFor(w Wire) []byte {
+	b := f.text
+	if w == WireBinary {
+		b = f.bin
+	}
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}
+
+// release drops one reference, recycling the frame on the last one.
+func (f *frame) release() {
+	if f.refs.Add(-1) == 0 {
+		framePool.Put(f)
+	}
+}

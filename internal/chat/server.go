@@ -34,6 +34,17 @@ type ServerOptions struct {
 	// (default 256). A full shard blocks the flooding client's reader
 	// — backpressure — rather than dropping supervision.
 	SuperviseQueue int
+	// BatchSupervise coalesces a room's queued messages into one
+	// supervision task: the first message of a burst schedules a batch
+	// task, later messages arriving before it runs piggyback on it, and
+	// the task drains the room's pending buffer through the
+	// supervisor's ProcessBatch — one snapshot pin and dictionary
+	// warm-up per burst instead of per message. Requires Async and a
+	// Supervisor implementing BatchSupervisor; ignored (per-message
+	// tasks) otherwise. Response semantics, per-room ordering and
+	// Quiesce are unchanged; under admission control a shed batch task
+	// sheds the messages it covered.
+	BatchSupervise bool
 	// Logger receives operational messages; nil discards them.
 	Logger *log.Logger
 	// SendQueue is the per-client outgoing buffer. When a slow client's
@@ -44,6 +55,12 @@ type ServerOptions struct {
 	// them to joining clients, so late learners see the recent
 	// discussion (and its agent feedback). 0 disables replay.
 	HistorySize int
+
+	// DisableBinaryWire makes the server ignore binary-framing requests
+	// in joins: every connection stays on newline-JSON. Clients follow
+	// the welcome's echo, so a DialWire(WireBinary) client against this
+	// server simply keeps talking text (the -wire text operator switch).
+	DisableBinaryWire bool
 
 	// ShedPolicy enables supervision admission control (DESIGN.md D10):
 	// instead of a full supervision queue back-pressuring the room,
@@ -78,7 +95,10 @@ type Server struct {
 	listener net.Listener
 	// pipe fans async supervision out by room; nil in inline/off modes.
 	pipe *pipeline.Pipeline
-	met  *chatMetrics
+	// batcher is the supervisor's batch interface when BatchSupervise
+	// coalescing is active; nil runs per-message supervision tasks.
+	batcher BatchSupervisor
+	met     *chatMetrics
 
 	mu      sync.Mutex
 	rooms   map[string]*room
@@ -127,14 +147,45 @@ type room struct {
 	// supervision pipeline sees messages in the order the room did —
 	// even when they come from different clients' reader goroutines.
 	sayMu sync.Mutex
+
+	// Batch coalescing state (BatchSupervise mode), guarded by batchMu
+	// — a separate, innermost lock so the batch worker draining pending
+	// never contends with a submitter blocked on queue space under
+	// sayMu. Invariant: batchScheduled ⇒ a task is queued, running, or
+	// mid-Submit that will drain pendingBatch (a shed clears both).
+	batchMu        sync.Mutex
+	pendingBatch   []batchItem
+	batchScheduled bool
+}
+
+// batchItem is one coalesced chat line awaiting batch supervision; the
+// client is kept so private responses reach the speaker.
+type batchItem struct {
+	c    *client
+	user string
+	text string
+}
+
+// outMsg is one queued delivery: the Message, plus the shared
+// pre-encoded frame when it came from a broadcast fan-out. The writer
+// prefers the frame's bytes for its wire format and releases its
+// reference after the write attempt.
+type outMsg struct {
+	m Message
+	f *frame
 }
 
 type client struct {
-	name  string
-	room  string
+	name string
+	room string
+	// wire is the negotiated framing, fixed at join ("" = text). The
+	// codec itself switches only after the welcome is written; queue
+	// order guarantees everything enqueued after the join is written
+	// after that switch.
+	wire  Wire
 	conn  net.Conn
 	codec *Codec
-	out   chan Message
+	out   chan outMsg
 	done  chan struct{}
 	// dropped latches the stalled-client disconnect so the counter and
 	// log fire once per client, not once per undeliverable message.
@@ -159,6 +210,11 @@ func NewServer(opts ServerOptions) *Server {
 		met:     newChatMetrics(opts.Metrics),
 	}
 	if opts.Async && opts.Supervisor != nil {
+		if opts.BatchSupervise {
+			// Coalescing needs the batch entry point; a supervisor
+			// without one keeps per-message tasks.
+			s.batcher, _ = opts.Supervisor.(BatchSupervisor)
+		}
 		cfg := pipeline.Config{
 			Workers:   opts.Workers,
 			QueueSize: opts.SuperviseQueue,
@@ -171,11 +227,23 @@ func NewServer(opts ServerOptions) *Server {
 			GlobalHighWater: opts.GlobalHighWater,
 			Metrics:         opts.Metrics,
 		}
-		if s.met != nil || opts.OnShed != nil {
+		if s.batcher != nil {
+			// One wakeup can drain several rooms' batch tasks sharing a
+			// shard — the same amortization, one level down.
+			cfg.BatchDrain = 8
+		}
+		if s.met != nil || opts.OnShed != nil || s.batcher != nil {
 			// OnShed sees every dropped supervision — rejected new
 			// tasks and oldest-drop evictions alike; counting Submit
 			// errors instead would miss the evictions entirely.
 			cfg.OnShed = func(room string) {
+				if s.batcher != nil {
+					// The shed task was a batch drainer: clear the room's
+					// coalescing state so the messages it covered are
+					// dropped and the next say schedules a fresh task
+					// (otherwise batchScheduled would latch true forever).
+					s.clearBatch(room)
+				}
 				if s.met != nil {
 					s.met.shed.Inc()
 				}
@@ -378,13 +446,20 @@ func (s *Server) handleConn(conn net.Conn) {
 		// The queue must absorb the join-time burst — welcome plus a
 		// full history replay, enqueued before the writer goroutine
 		// starts — on top of the configured live-traffic slack.
-		out:  make(chan Message, s.opts.SendQueue+s.opts.HistorySize+1),
+		out:  make(chan outMsg, s.opts.SendQueue+s.opts.HistorySize+1),
 		done: make(chan struct{}),
+	}
+	if first.Wire == WireBinary && !s.opts.DisableBinaryWire {
+		c.wire = WireBinary
 	}
 	if err := s.join(c); err != nil {
 		_ = codec.Write(Message{Type: TypeError, Text: err.Error()})
 		return
 	}
+	// The join is accepted: everything the client sends from here on is
+	// in its negotiated framing (it switches on receiving the welcome,
+	// and sends nothing between join and welcome).
+	codec.SetReadWire(c.wire)
 
 	// Writer goroutine: the only writer to the codec after join.
 	s.wg.Add(1)
@@ -393,15 +468,28 @@ func (s *Server) handleConn(conn net.Conn) {
 		defer c.writerGone.Store(true)
 		for {
 			select {
-			case m, ok := <-c.out:
+			case om, ok := <-c.out:
 				if !ok {
 					return
 				}
-				err := c.codec.Write(m)
+				var err error
+				if b := om.frameBytes(c.wire); b != nil {
+					err = c.codec.WriteRaw(b)
+				} else {
+					err = c.codec.Write(om.m)
+				}
+				if om.f != nil {
+					om.f.release()
+				}
 				c.pending.Add(-1)
 				if err != nil {
 					_ = c.conn.Close()
 					return
+				}
+				if om.m.Type == TypeWelcome && c.wire == WireBinary {
+					// The welcome (sent as text) acknowledged the binary
+					// negotiation; every later write is a binary frame.
+					c.codec.SetWriteWire(WireBinary)
 				}
 			case <-c.done:
 				return
@@ -418,6 +506,12 @@ func (s *Server) handleConn(conn net.Conn) {
 	for {
 		m, err := codec.Read()
 		if err != nil {
+			if errors.Is(err, ErrTooLarge) {
+				// Best-effort notice, then drop: the codec refused to
+				// buffer the oversized unit, so the stream position is
+				// unrecoverable.
+				s.enqueue(c, Message{Type: TypeError, Text: err.Error()})
+			}
 			break
 		}
 		switch m.Type {
@@ -496,14 +590,100 @@ func (s *Server) handleSay(c *client, text string) {
 		}
 		r.sayMu.Lock()
 		s.broadcast(c.room, chatMsg, nil)
-		// Shed returns (ErrShed) are counted by the pipeline's OnShed
-		// hook; ErrClosed (shutdown) is the only other outcome.
-		_ = s.pipe.Submit(c.room, deliver)
+		if s.batcher != nil {
+			s.submitBatch(r, c, text)
+		} else {
+			// Shed returns (ErrShed) are counted by the pipeline's OnShed
+			// hook; ErrClosed (shutdown) is the only other outcome.
+			_ = s.pipe.Submit(c.room, deliver)
+		}
 		r.sayMu.Unlock()
 		return
 	}
 	s.broadcast(c.room, chatMsg, nil)
 	deliver()
+}
+
+// submitBatch coalesces one message into the room's pending batch and
+// schedules the drain task when none is in flight. Callers hold the
+// room's sayMu, so pending order is broadcast order and at most one
+// goroutine per room is in the schedule/rollback path at a time.
+func (s *Server) submitBatch(r *room, c *client, text string) {
+	r.batchMu.Lock()
+	r.pendingBatch = append(r.pendingBatch, batchItem{c: c, user: c.name, text: text})
+	schedule := !r.batchScheduled
+	if schedule {
+		r.batchScheduled = true
+	}
+	r.batchMu.Unlock()
+	if !schedule {
+		return // piggybacks on the task already in flight
+	}
+	if err := s.pipe.Submit(r.name, func() { s.superviseBatch(r) }); err != nil {
+		// Shed (OnShed already cleared the room's state) or shutdown:
+		// drop the burst so the next say schedules a fresh task.
+		s.clearBatch(r.name)
+	}
+}
+
+// superviseBatch is the coalesced drain task: it empties the room's
+// pending buffer through the supervisor's batch entry point, looping so
+// messages that arrived while a batch was mid-supervision are drained
+// by this task instead of scheduling another. It clears batchScheduled
+// only on seeing an empty buffer, under the same lock appends take —
+// so every coalesced message is covered by some task until supervised
+// or deliberately shed.
+func (s *Server) superviseBatch(r *room) {
+	var items []batchItem
+	for {
+		r.batchMu.Lock()
+		if len(r.pendingBatch) == 0 {
+			r.batchScheduled = false
+			r.batchMu.Unlock()
+			return
+		}
+		items = append(items[:0], r.pendingBatch...)
+		r.pendingBatch = r.pendingBatch[:0]
+		r.batchMu.Unlock()
+
+		users := make([]string, len(items))
+		texts := make([]string, len(items))
+		for i, it := range items {
+			users[i], texts[i] = it.user, it.text
+		}
+		for i, resps := range s.batcher.ProcessBatch(r.name, users, texts) {
+			for _, resp := range resps {
+				msg := Message{
+					Type: TypeAgent, Room: r.name, Agent: resp.Agent,
+					Text: resp.Text, Time: s.clk.Now(), Private: resp.Private,
+				}
+				if s.met != nil {
+					s.met.agentMsgs.Inc()
+				}
+				if resp.Private {
+					s.enqueue(items[i].c, msg)
+				} else {
+					s.broadcast(r.name, msg, nil)
+				}
+			}
+		}
+	}
+}
+
+// clearBatch drops a room's coalescing state after its drain task was
+// shed or refused: the covered messages lose their supervision (that is
+// what shedding means) and the next say schedules afresh.
+func (s *Server) clearBatch(roomName string) {
+	s.mu.Lock()
+	r := s.rooms[roomName]
+	s.mu.Unlock()
+	if r == nil {
+		return
+	}
+	r.batchMu.Lock()
+	r.pendingBatch = r.pendingBatch[:0]
+	r.batchScheduled = false
+	r.batchMu.Unlock()
 }
 
 // join registers the client and queues its welcome plus the room's
@@ -528,7 +708,9 @@ func (s *Server) join(c *client) error {
 	}
 	r.members[c.name] = c
 	s.clients[c] = struct{}{}
-	s.enqueue(c, Message{Type: TypeWelcome, Room: c.room, Text: "welcome, " + c.name, Time: s.clk.Now()})
+	// Wire echoes the client's negotiated framing ("" for text keeps the
+	// welcome JSON byte-identical to the pre-negotiation protocol).
+	s.enqueue(c, Message{Type: TypeWelcome, Room: c.room, Text: "welcome, " + c.name, Time: s.clk.Now(), Wire: c.wire})
 	for _, m := range r.history {
 		s.enqueue(c, m)
 	}
@@ -576,13 +758,33 @@ func (s *Server) broadcast(roomName string, m Message, skip *client) {
 		}
 	}
 	s.mu.Unlock()
-	for _, c := range members {
-		s.enqueue(c, m)
+	if len(members) > 0 {
+		// Encode once per wire format present among the recipients and
+		// share the bytes; each recipient's writer releases one reference.
+		needText, needBinary := false, false
+		for _, c := range members {
+			if c.wire == WireBinary {
+				needBinary = true
+			} else {
+				needText = true
+			}
+		}
+		f := newFrame(m, needText, needBinary, len(members))
+		for _, c := range members {
+			s.send(c, outMsg{m: m, f: f})
+		}
 	}
 	if s.met != nil {
 		s.met.fanout.Add(int64(len(members)))
 		s.met.broadcastDur.ObserveSince(start)
 	}
+}
+
+func (om outMsg) frameBytes(w Wire) []byte {
+	if om.f == nil {
+		return nil
+	}
+	return om.f.bytesFor(w)
 }
 
 // enqueue delivers without blocking; a stalled client is disconnected.
@@ -591,13 +793,23 @@ func (s *Server) broadcast(roomName string, m Message, skip *client) {
 // an instant but never undercount an outstanding one — the direction
 // Quiesce's soundness needs.
 func (s *Server) enqueue(c *client, m Message) {
+	s.send(c, outMsg{m: m})
+}
+
+func (s *Server) send(c *client, om outMsg) {
 	c.pending.Add(1)
 	select {
-	case c.out <- m:
+	case c.out <- om:
 	case <-c.done:
 		c.pending.Add(-1)
+		if om.f != nil {
+			om.f.release()
+		}
 	default:
 		c.pending.Add(-1)
+		if om.f != nil {
+			om.f.release()
+		}
 		if c.dropped.CompareAndSwap(false, true) {
 			if s.met != nil {
 				s.met.droppedClients.Inc()

@@ -1,0 +1,268 @@
+package chat
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newBinaryPipeCodec() *Codec {
+	var buf bytes.Buffer
+	c := NewCodec(struct {
+		io.Reader
+		io.Writer
+	}{&buf, &buf})
+	c.SetReadWire(WireBinary)
+	c.SetWriteWire(WireBinary)
+	return c
+}
+
+func sameMessage(a, b Message) bool {
+	return a.Type == b.Type && a.Room == b.Room && a.From == b.From &&
+		a.Text == b.Text && a.Agent == b.Agent && a.Private == b.Private &&
+		a.Wire == b.Wire && a.Time.Equal(b.Time)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{},
+		{Type: TypeSay, Text: "hello"},
+		{Type: TypeJoin, Room: "algo", From: "alice", Wire: WireBinary},
+		{Type: TypeWelcome, Room: "algo", Text: "welcome, alice", Wire: WireBinary,
+			Time: time.Date(2026, 3, 2, 9, 0, 0, 123456789, time.UTC)},
+		{Type: TypeAgent, Room: "r", Agent: "QA_System", Text: "yes", Private: true,
+			Time: time.Unix(0, 1)},
+		{Type: MsgType("custom-extension"), Text: "forward compatible"},
+		{Type: TypeChat, From: "bob", Text: strings.Repeat("长句 ", 1000)},
+		{Type: TypeSystem, Time: time.Unix(-5, 999999999)},
+	}
+	codec := newBinaryPipeCodec()
+	for _, m := range msgs {
+		if err := codec.Write(m); err != nil {
+			t.Fatalf("write %+v: %v", m, err)
+		}
+		got, err := codec.Read()
+		if err != nil {
+			t.Fatalf("read back %+v: %v", m, err)
+		}
+		if !sameMessage(m, got) {
+			t.Errorf("round trip changed message:\n in: %+v\nout: %+v", m, got)
+		}
+	}
+}
+
+func TestBinaryDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty payload":   {0, 0, 0, 0},
+		"short payload":   {1, 0, 0, 0, 5},
+		"bad type code":   append([]byte{2, 0, 0, 0}, 99, 0),
+		"truncated body":  {12, 0, 0, 0, 5, 0},
+		"oversized frame": {0xff, 0xff, 0xff, 0xff},
+		"bad string len":  append([]byte{6, 0, 0, 0}, 5, 0, 0xff, 0xff, 0xff, 0xff),
+		"bad nanos": append([]byte{20, 0, 0, 0}, 5, flagTime,
+			0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0),
+	}
+	for name, data := range cases {
+		codec := NewCodec(struct {
+			io.Reader
+			io.Writer
+		}{bytes.NewReader(data), io.Discard})
+		codec.SetReadWire(WireBinary)
+		if _, err := codec.Read(); err == nil {
+			t.Errorf("%s: decoder accepted garbage frame % x", name, data)
+		}
+	}
+}
+
+// errAfter serves b's content forever (cycling) and fails the test if
+// more than limit bytes are consumed — the tripwire that distinguishes
+// "rejected during the read" from "buffered the whole flood first".
+type errAfter struct {
+	b     []byte
+	n     int
+	limit int
+}
+
+func (r *errAfter) Read(p []byte) (int, error) {
+	if r.n > r.limit {
+		return 0, fmt.Errorf("reader consumed %d bytes, over the %d tripwire", r.n, r.limit)
+	}
+	for i := range p {
+		p[i] = r.b[(r.n+i)%len(r.b)]
+	}
+	r.n += len(p)
+	return len(p), nil
+}
+
+// TestReadBoundedOnNewlineFreeFlood is the regression test for the
+// unbounded-memory bug: a client streaming bytes with no newline used
+// to accumulate in memory until the line ended. The codec must now
+// fail with ErrTooLarge at the 64 KiB cap, long before the tripwire.
+func TestReadBoundedOnNewlineFreeFlood(t *testing.T) {
+	r := &errAfter{b: []byte(`{"type":"say","text":"aaaaaaaa`), limit: 4 * maxLineBytes}
+	codec := NewCodec(struct {
+		io.Reader
+		io.Writer
+	}{r, io.Discard})
+	_, err := codec.Read()
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("newline-free flood: got err %v, want ErrTooLarge", err)
+	}
+	if r.n > 2*maxLineBytes {
+		t.Fatalf("codec consumed %d bytes before rejecting (cap %d)", r.n, maxLineBytes)
+	}
+}
+
+// TestBinaryReadBoundedOnHugeFrame mirrors the regression for binary
+// framing: a header advertising an over-cap frame is rejected before
+// any payload is buffered.
+func TestBinaryReadBoundedOnHugeFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	r := &errAfter{b: append(hdr[:], bytes.Repeat([]byte{'x'}, 1024)...), limit: 4 * maxLineBytes}
+	codec := NewCodec(struct {
+		io.Reader
+		io.Writer
+	}{r, io.Discard})
+	codec.SetReadWire(WireBinary)
+	_, err := codec.Read()
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("huge frame: got err %v, want ErrTooLarge", err)
+	}
+}
+
+// TestServerDropsOversizedSender proves the server half of the fix:
+// the flooding connection is dropped, and the room stays healthy.
+func TestServerDropsOversizedSender(t *testing.T) {
+	addr := startServer(t, ServerOptions{})
+
+	flooder, err := Dial(addr, "room", "flooder", time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer flooder.Close()
+	watcher, err := Dial(addr, "room", "watcher", time.Second)
+	if err != nil {
+		t.Fatalf("dial watcher: %v", err)
+	}
+	defer watcher.Close()
+
+	// Bypass Say to write a newline-free flood directly. Just over the
+	// cap: enough to trigger the reject, small enough that the write
+	// cannot block on loopback buffers after the server stops reading.
+	if _, err := flooder.conn.Write(bytes.Repeat([]byte{'a'}, maxLineBytes+8192)); err != nil {
+		t.Fatalf("flood write: %v", err)
+	}
+	waitFor(t, watcher, 2*time.Second, func(m Message) bool {
+		return m.Type == TypeSystem && strings.Contains(m.Text, "flooder left")
+	})
+	if err := watcher.Say("still alive"); err != nil {
+		t.Fatalf("watcher say after flood: %v", err)
+	}
+	waitFor(t, watcher, time.Second, func(m Message) bool {
+		return m.Type == TypeChat && m.Text == "still alive"
+	})
+}
+
+// TestMixedWireInterop joins a text client and a binary client to the
+// same supervised room and requires both to observe identical broadcast
+// order and identical agent verdicts — the two framings must be pure
+// transport, never behavior.
+func TestMixedWireInterop(t *testing.T) {
+	sup := SupervisorFunc(func(room, user, text string) []Response {
+		return []Response{{Agent: "Learning_Angel", Text: "verdict: " + text}}
+	})
+	addr := startServer(t, ServerOptions{Supervisor: sup})
+
+	textC, err := DialWire(addr, "room", "texty", WireText, time.Second)
+	if err != nil {
+		t.Fatalf("text dial: %v", err)
+	}
+	defer textC.Close()
+	binC, err := DialWire(addr, "room", "binny", WireBinary, time.Second)
+	if err != nil {
+		t.Fatalf("binary dial: %v", err)
+	}
+	defer binC.Close()
+
+	waitFor(t, textC, time.Second, func(m Message) bool {
+		return m.Type == TypeSystem && strings.Contains(m.Text, "binny joined")
+	})
+
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		var c *Client
+		if i%2 == 0 {
+			c = textC
+		} else {
+			c = binC
+		}
+		if err := c.Say(fmt.Sprintf("line %d", i)); err != nil {
+			t.Fatalf("say %d: %v", i, err)
+		}
+		// Wait for the round's verdict on both clients before the next
+		// say, so the expected global order is deterministic.
+		want := fmt.Sprintf("verdict: line %d", i)
+		for _, cl := range []*Client{textC, binC} {
+			waitFor(t, cl, 2*time.Second, func(m Message) bool {
+				return m.Type == TypeAgent && m.Text == want
+			})
+		}
+	}
+}
+
+// TestMixedWireBroadcastOrder checks the stronger property: the exact
+// per-client transcript (chat and agent messages) is identical across
+// wire formats.
+func TestMixedWireBroadcastOrder(t *testing.T) {
+	sup := SupervisorFunc(func(room, user, text string) []Response {
+		return []Response{{Agent: "Semantic_Agent", Text: "saw " + text}}
+	})
+	// Synchronous supervision: chat and agent broadcasts come from one
+	// goroutine, so the global order is deterministic and any divergence
+	// between the two transcripts can only be a wire-format bug.
+	addr := startServer(t, ServerOptions{Supervisor: sup})
+
+	textC, err := DialWire(addr, "room", "texty", WireText, time.Second)
+	if err != nil {
+		t.Fatalf("text dial: %v", err)
+	}
+	defer textC.Close()
+	binC, err := DialWire(addr, "room", "binny", WireBinary, time.Second)
+	if err != nil {
+		t.Fatalf("binary dial: %v", err)
+	}
+	defer binC.Close()
+	waitFor(t, textC, time.Second, func(m Message) bool {
+		return m.Type == TypeSystem && strings.Contains(m.Text, "binny joined")
+	})
+
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		if err := textC.Say(fmt.Sprintf("msg %d", i)); err != nil {
+			t.Fatalf("say %d: %v", i, err)
+		}
+	}
+	transcript := func(c *Client) []string {
+		var out []string
+		for len(out) < 2*rounds {
+			m := waitFor(t, c, 2*time.Second, func(m Message) bool {
+				return m.Type == TypeChat || m.Type == TypeAgent
+			})
+			out = append(out, fmt.Sprintf("%s|%s|%s|%s", m.Type, m.From, m.Agent, m.Text))
+		}
+		return out
+	}
+	textSeen := transcript(textC)
+	binSeen := transcript(binC)
+	for i := range textSeen {
+		if textSeen[i] != binSeen[i] {
+			t.Fatalf("transcripts diverge at %d:\n text: %v\n  bin: %v", i, textSeen, binSeen)
+		}
+	}
+}

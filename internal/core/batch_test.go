@@ -1,0 +1,89 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"semagent/internal/chat"
+)
+
+// TestProcessBatchMatchesProcess runs the same mixed burst through the
+// per-message and batched entry points on two fresh supervisors and
+// requires identical assessments — batching amortizes fixed costs, it
+// must never change a verdict or a response.
+func TestProcessBatchMatchesProcess(t *testing.T) {
+	users := []string{"alice", "bob", "alice", "carol", "bob"}
+	texts := []string{
+		"The stack has a push operation.",
+		"The stack have a push operation.",
+		"Does the queue have a pop operation?",
+		"zxqvk blorp mmmh.",
+		"A binary tree is a data structure.",
+	}
+
+	single := newSupervisor(t)
+	var want []*Assessment
+	for i := range texts {
+		a, err := single.Process("room", users[i], texts[i])
+		if err != nil {
+			t.Fatalf("process %d: %v", i, err)
+		}
+		want = append(want, a)
+	}
+
+	batched := newSupervisor(t)
+	got, err := batched.ProcessBatch("room", users, texts)
+	if err != nil {
+		t.Fatalf("process batch: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d assessments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Verdict != want[i].Verdict {
+			t.Errorf("message %d: verdict %s (batched) != %s (single)", i, got[i].Verdict, want[i].Verdict)
+		}
+		if !reflect.DeepEqual(got[i].Responses, want[i].Responses) {
+			t.Errorf("message %d: responses diverge\nbatched: %+v\n single: %+v", i, got[i].Responses, want[i].Responses)
+		}
+		if got[i].Classification.Pattern != want[i].Classification.Pattern {
+			t.Errorf("message %d: pattern %v != %v", i, got[i].Classification.Pattern, want[i].Classification.Pattern)
+		}
+	}
+
+	// Recording must be per message in both modes.
+	if s, b := single.Analyzer().Total(), batched.Analyzer().Total(); s != b || b != len(texts) {
+		t.Errorf("analyzer totals: single %d, batched %d, want %d", s, b, len(texts))
+	}
+}
+
+// TestProcessBatchLengthMismatch rejects misaligned inputs.
+func TestProcessBatchLengthMismatch(t *testing.T) {
+	s := newSupervisor(t)
+	if _, err := s.ProcessBatch("room", []string{"a"}, []string{"x", "y"}); err == nil {
+		t.Fatal("mismatched users/texts accepted")
+	}
+}
+
+// TestChatSupervisorImplementsBatch pins the adapter's batch interface:
+// the chat server's BatchSupervise mode depends on this assertion, and
+// commands must keep their place inside a coalesced burst.
+func TestChatSupervisorImplementsBatch(t *testing.T) {
+	s := newSupervisor(t)
+	bs, ok := s.ChatSupervisor().(chat.BatchSupervisor)
+	if !ok {
+		t.Fatal("ChatSupervisor does not implement chat.BatchSupervisor")
+	}
+	out := bs.ProcessBatch("room",
+		[]string{"alice", "alice"},
+		[]string{"/profile", "The stack has a push operation."})
+	if len(out) != 2 {
+		t.Fatalf("batch returned %d response sets, want 2", len(out))
+	}
+	if len(out[0]) == 0 {
+		t.Error("command inside a batch produced no response")
+	}
+	if len(out[1]) != 0 {
+		t.Errorf("correct sentence drew responses: %+v", out[1])
+	}
+}

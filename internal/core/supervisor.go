@@ -292,18 +292,57 @@ type Assessment struct {
 // worst the message is judged against the knowledge state from just
 // before the mutation (the bounded-staleness window of DESIGN.md D8).
 func (s *Supervisor) Process(room, user, text string) (*Assessment, error) {
-	var start time.Time
-	if s.met != nil {
-		start = time.Now()
+	snap, err := s.pinSnapshot()
+	if err != nil {
+		return nil, err
 	}
+	return s.processWith(snap, room, user, text)
+}
+
+// ProcessBatch supervises a burst of same-room messages in submission
+// order with one snapshot pin and at most one vocabulary sync for the
+// whole batch — the per-message fixed costs a busy classroom pays
+// thousands of times per minute are paid once per burst. Each message
+// is still assessed independently and recorded individually; the
+// result slice is index-aligned with users/texts. On error the slice
+// holds the assessments completed so far (nil from the failed index).
+func (s *Supervisor) ProcessBatch(room string, users, texts []string) ([]*Assessment, error) {
+	if len(users) != len(texts) {
+		return nil, fmt.Errorf("process batch: %d users for %d texts", len(users), len(texts))
+	}
+	snap, err := s.pinSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Assessment, len(texts))
+	for i := range texts {
+		a, err := s.processWith(snap, room, users[i], texts[i])
+		if err != nil {
+			return out, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// pinSnapshot takes the per-message (or per-batch) ontology snapshot
+// and, when a newer snapshot carries new course vocabulary, teaches it
+// before parsing (bumping the dictionary generation and flushing the
+// parse cache exactly once per publication).
+func (s *Supervisor) pinSnapshot() (*ontology.Snapshot, error) {
 	snap := s.onto.Snapshot()
 	if snap.Version() > s.vocabVersion.Load() {
-		// A newly published snapshot may carry new course vocabulary:
-		// teach it before parsing (bumps the dictionary generation and
-		// flushes the parse cache exactly once per publication).
 		if err := s.syncVocabulary(snap); err != nil {
 			return nil, fmt.Errorf("sync vocabulary: %w", err)
 		}
+	}
+	return snap, nil
+}
+
+func (s *Supervisor) processWith(snap *ontology.Snapshot, room, user, text string) (*Assessment, error) {
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
 	}
 	tokens := linkgrammar.Tokenize(text)
 	cls := sentence.Classify(tokens, linkgrammar.EndsWithQuestionMark(text))
@@ -341,7 +380,7 @@ func (s *Supervisor) Process(room, user, text string) (*Assessment, error) {
 	if s.met != nil {
 		angelStart = time.Now()
 	}
-	rep, err := s.angel.CheckWith(snap, text)
+	rep, err := s.angel.CheckTokens(snap, text, tokens)
 	if s.met != nil {
 		s.met.angel.ObserveSince(angelStart)
 	}
@@ -444,16 +483,43 @@ func (s *Supervisor) Recommend(user string, limit int) []recommend.Recommendatio
 
 // ChatSupervisor adapts the Supervisor to the chat.Supervisor interface;
 // pipeline errors turn into (rare) silent skips rather than crashing the
-// chat room.
+// chat room. The returned value also implements chat.BatchSupervisor, so
+// a server running with BatchSupervise coalesces a room's burst into one
+// snapshot pin and vocabulary check.
 func (s *Supervisor) ChatSupervisor() chat.Supervisor {
-	return chat.SupervisorFunc(func(room, user, text string) []chat.Response {
+	return chatAdapter{s}
+}
+
+type chatAdapter struct{ s *Supervisor }
+
+func (ad chatAdapter) Process(room, user, text string) []chat.Response {
+	if IsCommand(text) {
+		return ad.s.Command(room, user, text)
+	}
+	a, err := ad.s.Process(room, user, text)
+	if err != nil {
+		return nil
+	}
+	return a.Responses
+}
+
+// ProcessBatch implements chat.BatchSupervisor: one snapshot pin and
+// vocabulary sync for the whole burst, per-message assessment and
+// recording unchanged. Commands keep their place in the burst.
+func (ad chatAdapter) ProcessBatch(room string, users, texts []string) [][]chat.Response {
+	out := make([][]chat.Response, len(texts))
+	snap, err := ad.s.pinSnapshot()
+	if err != nil {
+		return out
+	}
+	for i, text := range texts {
 		if IsCommand(text) {
-			return s.Command(room, user, text)
+			out[i] = ad.s.Command(room, users[i], text)
+			continue
 		}
-		a, err := s.Process(room, user, text)
-		if err != nil {
-			return nil
+		if a, err := ad.s.processWith(snap, room, users[i], text); err == nil {
+			out[i] = a.Responses
 		}
-		return a.Responses
-	})
+	}
+	return out
 }

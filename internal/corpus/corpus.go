@@ -62,6 +62,11 @@ type Record struct {
 	Topics []string `json:"topics,omitempty"`
 	// Tags carries free-form labels ("agreement", "determiner", ...).
 	Tags []string `json:"tags,omitempty"`
+
+	// contentLen caches len(uniqueContentTokens(Tokens)), computed when
+	// the record is indexed. Suggest's Jaccard union needs only the
+	// count, so candidates are scored without re-tokenizing the record.
+	contentLen int
 }
 
 // Observer is the write-ahead-log hook: it receives every mutation
@@ -137,7 +142,9 @@ func (s *Store) Add(r Record) int64 {
 	rec.Tags = append([]string(nil), r.Tags...)
 	s.records = append(s.records, &rec)
 	s.byID[rec.ID] = &rec
-	for _, t := range uniqueContentTokens(rec.Tokens) {
+	content := uniqueContentTokens(rec.Tokens)
+	rec.contentLen = len(content)
+	for _, t := range content {
 		s.byToken[t] = append(s.byToken[t], rec.ID)
 	}
 	if s.observer != nil {
@@ -186,7 +193,9 @@ func (s *Store) putLocked(r Record) {
 		s.byID[stored.ID] = &stored
 	}
 	rec := s.byID[stored.ID]
-	for _, t := range uniqueContentTokens(rec.Tokens) {
+	content := uniqueContentTokens(rec.Tokens)
+	rec.contentLen = len(content)
+	for _, t := range content {
 		s.byToken[t] = append(s.byToken[t], rec.ID)
 	}
 	if rec.ID >= s.nextID {
@@ -267,14 +276,21 @@ func (s *Store) Suggest(tokens []string, topics []string, limit int) []Suggestio
 			hits[id]++
 		}
 	}
-	var out []Suggestion
+	// Score candidates by ID + cached content-token count only; the
+	// full Record is copied just for the winners below, so a query
+	// against a large corpus stays O(candidates) small allocations
+	// instead of re-tokenizing and copying every matching record.
+	type scored struct {
+		id    int64
+		score float64
+	}
+	cands := make([]scored, 0, len(hits))
 	for id, shared := range hits {
 		r := s.byID[id]
 		if r.Verdict != VerdictCorrect {
 			continue
 		}
-		candTokens := uniqueContentTokens(r.Tokens)
-		union := len(candTokens) + len(query) - shared
+		union := r.contentLen + len(query) - shared
 		if union <= 0 {
 			continue
 		}
@@ -284,16 +300,23 @@ func (s *Store) Suggest(tokens []string, topics []string, limit int) []Suggestio
 				score += 0.25
 			}
 		}
-		out = append(out, Suggestion{Record: *r, Score: score})
+		cands = append(cands, scored{id: id, score: score})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
 		}
-		return out[i].Record.ID < out[j].Record.ID
+		return cands[i].id < cands[j].id
 	})
-	if len(out) > limit {
-		out = out[:limit]
+	if len(cands) > limit {
+		cands = cands[:limit]
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	out := make([]Suggestion, len(cands))
+	for i, c := range cands {
+		out[i] = Suggestion{Record: *s.byID[c.id], Score: c.score}
 	}
 	return out
 }

@@ -1,0 +1,41 @@
+package eval
+
+import "testing"
+
+// TestE15Small runs a miniature sweep end to end: both wire formats
+// must complete the workload, produce positive throughput and
+// plausible allocation counts, and the result must carry the headline
+// ratios the harness prints.
+func TestE15Small(t *testing.T) {
+	res, err := RunE15(E15Config{
+		WorkerSweep:    []int{1, 2},
+		Rooms:          2,
+		ClientsPerRoom: 2,
+		MessagesEach:   15,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatalf("RunE15: %v", err)
+	}
+	if len(res.Arms) != 4 {
+		t.Fatalf("arms = %d, want 4 (2 wires × 2 worker counts)", len(res.Arms))
+	}
+	wantWires := []string{"text", "binary", "text", "binary"}
+	for i, arm := range res.Arms {
+		if arm.Wire != wantWires[i] {
+			t.Errorf("arm %d wire = %s, want %s", i, arm.Wire, wantWires[i])
+		}
+		if arm.Messages != 2*2*15 {
+			t.Errorf("arm %d messages = %d, want %d", i, arm.Messages, 60)
+		}
+		if arm.Throughput <= 0 {
+			t.Errorf("arm %d throughput = %f", i, arm.Throughput)
+		}
+		if arm.AllocsPerMsg <= 0 {
+			t.Errorf("arm %d allocs/msg = %f", i, arm.AllocsPerMsg)
+		}
+	}
+	if res.BinarySpeedup <= 0 {
+		t.Errorf("binary speedup = %f", res.BinarySpeedup)
+	}
+}

@@ -67,6 +67,39 @@ func cacheKey(tokens []string) string {
 	return strings.Join(tokens, "\x1f")
 }
 
+// appendCacheKey builds cacheKey(tokens) into dst, so a pooled buffer
+// can carry the key to getBytes without allocating a string per lookup.
+func appendCacheKey(dst []byte, tokens []string) []byte {
+	for i, t := range tokens {
+		if i > 0 {
+			dst = append(dst, 0x1f)
+		}
+		dst = append(dst, t...)
+	}
+	return dst
+}
+
+// getBytes is get for a key held in a byte buffer. The map lookup uses
+// the compiler's map[string(bytes)] fast path, so cache hits cost no
+// allocation; only a miss (which parses anyway) materializes the key.
+func (c *parseCache) getBytes(key []byte, gen uint64) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncGenLocked(gen)
+	if gen < c.gen {
+		c.misses++
+		return nil, false
+	}
+	el, ok := c.idx[string(key)]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
 // get returns the cached result for key, flushing the cache first when
 // the dictionary generation moved forward. A reader holding an older
 // generation (it read Generation before a concurrent Define landed)

@@ -191,23 +191,37 @@ func concatDisjunct(a, b *Disjunct) *Disjunct {
 // keeping the cheapest copy, and orders the result by cost so that the
 // parser visits cheap disjuncts first.
 func dedupeDisjuncts(ds []*Disjunct) []*Disjunct {
-	seen := make(map[string]*Disjunct, len(ds))
+	// Keys are rendered once per disjunct and carried through the sort —
+	// a comparator calling key() would rebuild two strings per
+	// comparison, which dominated the dictionary's cold-start allocation
+	// profile.
+	type keyed struct {
+		d   *Disjunct
+		key string
+	}
+	seen := make(map[string]int, len(ds))
+	kept := make([]keyed, 0, len(ds))
 	for _, d := range ds {
 		key := d.key()
-		if prev, ok := seen[key]; !ok || d.Cost < prev.Cost {
-			seen[key] = d
+		if i, ok := seen[key]; ok {
+			if d.Cost < kept[i].d.Cost {
+				kept[i].d = d
+			}
+			continue
 		}
+		seen[key] = len(kept)
+		kept = append(kept, keyed{d: d, key: key})
 	}
-	out := make([]*Disjunct, 0, len(seen))
-	for _, d := range seen {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Cost != out[j].Cost {
-			return out[i].Cost < out[j].Cost
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].d.Cost != kept[j].d.Cost {
+			return kept[i].d.Cost < kept[j].d.Cost
 		}
-		return out[i].key() < out[j].key()
+		return kept[i].key < kept[j].key
 	})
+	out := make([]*Disjunct, len(kept))
+	for i, k := range kept {
+		out[i] = k.d
+	}
 	return out
 }
 

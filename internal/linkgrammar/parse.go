@@ -3,6 +3,8 @@ package linkgrammar
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Options configures a Parser.
@@ -42,6 +44,21 @@ type Parser struct {
 	dict  *Dictionary
 	opts  Options
 	cache *parseCache // nil when Options.CacheSize <= 0
+
+	// scratch pools per-parse working state (cache-key buffer, disjunct
+	// table, memoization map) so the steady-state parse path — the same
+	// workload the cache stats describe — reuses its large containers
+	// instead of reallocating them per sentence. Pooled scratch never
+	// escapes: everything a Result or Linkage retains (words, tokens,
+	// links) is freshly allocated.
+	scratch   sync.Pool
+	countHint atomic.Int64 // running average of memo-map size, sizes fresh maps
+}
+
+// parseScratch is the pooled working state of one ParseTokens call.
+type parseScratch struct {
+	key []byte
+	st  parseState
 }
 
 // NewParser returns a parser over dict with the given options. Zero
@@ -61,10 +78,27 @@ func NewParser(dict *Dictionary, opts Options) *Parser {
 		opts.MaxNulls = 0
 	}
 	p := &Parser{dict: dict, opts: opts}
+	p.scratch.New = func() any { return new(parseScratch) }
 	if opts.CacheSize > 0 {
 		p.cache = newParseCache(opts.CacheSize)
 	}
 	return p
+}
+
+// releaseScratch clears the references pooled scratch holds (dictionary
+// disjuncts, interned connector nodes) and returns it to the pool,
+// folding the observed memo size into the sizing hint for fresh maps.
+func (p *Parser) releaseScratch(sc *parseScratch) {
+	if sc.st.counts != nil {
+		hint := p.countHint.Load()
+		p.countHint.Store((3*hint + int64(len(sc.st.counts))) / 4)
+		clear(sc.st.counts)
+	}
+	for i := range sc.st.disjuncts {
+		sc.st.disjuncts[i] = nil
+	}
+	sc.st.dict, sc.st.words = nil, nil
+	p.scratch.Put(sc)
 }
 
 // CacheStats reports the parse-cache counters (zero value when caching
@@ -119,26 +153,36 @@ func (p *Parser) ParseTokens(tokens []string) (*Result, error) {
 		return nil, fmt.Errorf("sentence has %d tokens, limit is %d", len(tokens), p.opts.MaxTokens)
 	}
 
-	var key string
+	sc := p.scratch.Get().(*parseScratch)
+	defer p.releaseScratch(sc)
+
 	var gen uint64
 	if p.cache != nil {
-		key, gen = cacheKey(tokens), p.dict.Generation()
-		if res, ok := p.cache.get(key, gen); ok {
+		sc.key = appendCacheKey(sc.key[:0], tokens)
+		gen = p.dict.Generation()
+		if res, ok := p.cache.getBytes(sc.key, gen); ok {
 			return res, nil
 		}
 	}
 
-	words := make([]string, 0, len(tokens)+1)
-	words = append(words, LeftWall)
-	words = append(words, tokens...)
+	// words is retained by every Linkage (and res.Tokens aliases it), so
+	// it is allocated fresh; the caller's tokens slice is copied here and
+	// never retained, which keeps pooled token slices safe to reuse.
+	words := make([]string, len(tokens)+1)
+	words[0] = LeftWall
+	copy(words[1:], tokens)
 
-	res := &Result{Tokens: tokens}
-	st := &parseState{
-		dict:      p.dict,
-		words:     words,
-		disjuncts: make([][]*Disjunct, len(words)),
-		counts:    make(map[countKey]int64),
+	res := &Result{Tokens: words[1:]}
+	if cap(sc.st.disjuncts) < len(words) {
+		sc.st.disjuncts = make([][]*Disjunct, len(words))
 	}
+	if sc.st.counts == nil {
+		sc.st.counts = make(map[countKey]int64, p.countHint.Load())
+	}
+	sc.st.dict = p.dict
+	sc.st.words = words
+	sc.st.disjuncts = sc.st.disjuncts[:len(words)]
+	st := &sc.st
 	for i, w := range words {
 		ds, err := p.dict.Disjuncts(w)
 		if err != nil {
@@ -179,7 +223,7 @@ func (p *Parser) ParseTokens(tokens []string) (*Result, error) {
 		break
 	}
 	if p.cache != nil {
-		p.cache.put(key, res, gen)
+		p.cache.put(string(sc.key), res, gen)
 	}
 	return res, nil
 }

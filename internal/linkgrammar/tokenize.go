@@ -6,47 +6,103 @@ import "strings"
 // sentence on the left, as in the CMU parser.
 const LeftWall = "left-wall"
 
+// lowerByte maps ASCII upper case to lower case and leaves every other
+// byte unchanged — a table lookup instead of strings.ToLower on the
+// supervision hot path.
+var lowerByte = func() (t [256]byte) {
+	for i := range t {
+		t[i] = byte(i)
+	}
+	for c := 'A'; c <= 'Z'; c++ {
+		t[c] = byte(c) + ('a' - 'A')
+	}
+	return
+}()
+
 // Tokenize splits a raw chat line into dictionary tokens: lower-cased
 // words with sentence punctuation stripped. Apostrophes inside words are
 // kept so contractions ("doesn't") match their dictionary entries.
 // Hyphenated compounds are kept whole ("last-in").
 func Tokenize(sentence string) []string {
-	var toks []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			toks = append(toks, strings.ToLower(cur.String()))
-			cur.Reset()
-		}
-	}
-	for _, r := range sentence {
+	return AppendTokens(nil, sentence)
+}
+
+// AppendTokens tokenizes sentence exactly like Tokenize but appends
+// into dst, so a caller that owns a pooled slice pays no allocation for
+// the slice header and — for tokens that are already lower-case ASCII —
+// none for the token either: such tokens are substrings of sentence.
+// Only tokens that need transformation (upper case to fold, a Unicode
+// apostrophe to normalize) are materialized through a scratch buffer.
+//
+// The returned strings either alias sentence or are freshly allocated;
+// they never alias dst's previous contents or any pooled storage, so
+// retaining them is always safe.
+func AppendTokens(dst []string, sentence string) []string {
+	var buf []byte // scratch for tokens that need transformation
+	start := 0     // token start in sentence while in substring mode
+	buffered := false
+	cur := 0  // token length in bytes so far
+	keep := 0 // token length up to the last alphanumeric byte
+
+	// Tokens always begin with an alphanumeric byte, so trimming the
+	// trailing hyphens/apostrophes of malformed input ("foo--", "it'")
+	// is a truncation to keep — no second pass over the tokens.
+	for i := 0; i < len(sentence); i++ {
+		c := sentence[i]
 		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
-			cur.WriteRune(r)
-		case r == '\'' || r == '’':
-			if cur.Len() > 0 {
-				cur.WriteByte('\'')
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			if buffered {
+				buf = append(buf, c)
+			} else if cur == 0 {
+				start = i
 			}
-		case r == '-':
-			if cur.Len() > 0 {
-				cur.WriteByte('-')
+			cur++
+			keep = cur
+		case c >= 'A' && c <= 'Z':
+			if !buffered {
+				buf = append(buf[:0], sentence[start:start+cur]...)
+				buffered = true
 			}
+			buf = append(buf, lowerByte[c])
+			cur++
+			keep = cur
+		case c == '\'' || c == '-':
+			if cur > 0 {
+				if buffered {
+					buf = append(buf, c)
+				}
+				cur++
+			}
+		case c == 0xe2 && i+2 < len(sentence) && sentence[i+1] == 0x80 && sentence[i+2] == 0x99:
+			// U+2019 right single quote, normalized to '.
+			if cur > 0 {
+				if !buffered {
+					buf = append(buf[:0], sentence[start:start+cur]...)
+					buffered = true
+				}
+				buf = append(buf, '\'')
+				cur++
+			}
+			i += 2
 		default:
-			flush()
+			if keep > 0 {
+				if buffered {
+					dst = append(dst, string(buf[:keep]))
+				} else {
+					dst = append(dst, sentence[start:start+keep])
+				}
+			}
+			buffered, cur, keep = false, 0, 0
 		}
 	}
-	flush()
-	// Trim trailing hyphens/apostrophes left by malformed input.
-	for i, t := range toks {
-		toks[i] = strings.Trim(t, "-'")
-	}
-	out := toks[:0]
-	for _, t := range toks {
-		if t != "" {
-			out = append(out, t)
+	if keep > 0 {
+		if buffered {
+			dst = append(dst, string(buf[:keep]))
+		} else {
+			dst = append(dst, sentence[start:start+keep])
 		}
 	}
-	return out
+	return dst
 }
 
 // EndsWithQuestionMark reports whether the raw sentence is punctuated as

@@ -1,0 +1,103 @@
+package linkgrammar
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// tokenizeReference is the original two-extra-pass implementation,
+// kept as the behavioral oracle for the single-pass rewrite.
+func tokenizeReference(sentence string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range sentence {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			cur.WriteRune(r)
+		case r == '\'' || r == '’':
+			if cur.Len() > 0 {
+				cur.WriteByte('\'')
+			}
+		case r == '-':
+			if cur.Len() > 0 {
+				cur.WriteByte('-')
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	for i, t := range toks {
+		toks[i] = strings.Trim(t, "-'")
+	}
+	out := toks[:0]
+	for _, t := range toks {
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func TestTokenizeMatchesReference(t *testing.T) {
+	cases := []string{
+		"",
+		"The stack has a push operation.",
+		"doesn't DOESN'T doesn’t",
+		"last-in first-out (LIFO)!",
+		"trailing-- hyphens-' and'’ apostrophes''",
+		"'leading ’quote -dash",
+		"MiXeD CaSe WORDS",
+		"a--b c''d e-'f",
+		"héllo wörld über",
+		"数 non-ascii ütf8",
+		"x", "-", "'", "’", "--''’’",
+		"tabs\tand\nnewlines\r\nsplit",
+		"1234 56-78 9'0",
+		"\xe2\x80", "\xe2\x80\x99", "a\xe2\x80", "a\xff b",
+	}
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []byte("aA zZ09-'?.\xe2\x80\x99\xc3\xa9")
+	for i := 0; i < 500; i++ {
+		b := make([]byte, rng.Intn(40))
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		cases = append(cases, string(b))
+	}
+	for _, in := range cases {
+		want := tokenizeReference(in)
+		got := Tokenize(in)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %q, reference = %q", in, got, want)
+		}
+		appended := AppendTokens([]string{"seed"}, in)
+		if appended[0] != "seed" || !reflect.DeepEqual(appended[1:], append([]string{}, want...)) {
+			t.Errorf("AppendTokens(%q) = %q, want seed+%q", in, appended, want)
+		}
+	}
+}
+
+func TestAppendTokensZeroAllocFastPath(t *testing.T) {
+	// Already-lowercase ASCII input: every token is a substring of the
+	// input, so with a pre-sized destination the call must not allocate.
+	in := "the stack has a push operation and a pop operation"
+	dst := make([]string, 0, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = AppendTokens(dst[:0], in)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTokens allocated %.1f times per run on lowercase input", allocs)
+	}
+	if len(dst) != 10 {
+		t.Fatalf("got %d tokens, want 10: %q", len(dst), dst)
+	}
+}

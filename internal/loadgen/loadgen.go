@@ -50,6 +50,9 @@ type Config struct {
 	// Ontology seeds the generator vocabulary (default: the built-in
 	// course ontology).
 	Ontology *ontology.Ontology
+	// Wire selects the client framing (chat.WireBinary negotiates
+	// length-prefixed frames; the zero value stays on newline-JSON).
+	Wire chat.Wire
 }
 
 func (c *Config) fill() {
@@ -136,7 +139,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for _, lc := range clients {
-		cl, err := chat.Dial(cfg.Addr, lc.room, lc.user, cfg.EchoTimeout)
+		cl, err := chat.DialWire(cfg.Addr, lc.room, lc.user, cfg.Wire, cfg.EchoTimeout)
 		if err != nil {
 			return nil, fmt.Errorf("loadgen dial %s: %w", lc.user, err)
 		}

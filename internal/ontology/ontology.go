@@ -325,8 +325,24 @@ func (o *Ontology) SetDomain(domain string) {
 }
 
 // Normalize canonicalizes an item name for lookup: lower case, single
-// spaces, hyphens treated as spaces.
+// spaces, hyphens treated as spaces. Already-normalized input — the
+// overwhelmingly common case, since tokens arrive lowercased from the
+// tokenizer and item names are stored normalized — is detected in one
+// scan and returned as-is, so lookup misses cost zero allocations
+// (strings.Fields allocates its slice unconditionally on the slow
+// path, and misses outnumber hits on ordinary chat text).
 func Normalize(name string) string {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c >= 'A' && c <= 'Z') || c == '-' || c >= 0x80 || c < ' ' ||
+			(c == ' ' && (i == 0 || i == len(name)-1 || name[i+1] == ' ')) {
+			return normalizeSlow(name)
+		}
+	}
+	return name
+}
+
+func normalizeSlow(name string) string {
 	name = strings.ToLower(strings.TrimSpace(name))
 	name = strings.ReplaceAll(name, "-", " ")
 	return strings.Join(strings.Fields(name), " ")

@@ -323,3 +323,38 @@ func clipStr(s string) string {
 	}
 	return s
 }
+
+// TestNormalizeFastPath pins the zero-allocation fast path for
+// already-normalized names against the canonicalizing slow path: the
+// two must agree on every input, the fast path must return the input
+// string unchanged, and a lookup-miss-shaped call must not allocate.
+func TestNormalizeFastPath(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"stack", "stack"},
+		{"binary search tree", "binary search tree"},
+		{"Stack", "stack"},
+		{"  stack  ", "stack"},
+		{"binary-search-tree", "binary search tree"},
+		{"two  spaces", "two spaces"},
+		{"tab\there", "tab here"},
+		{"trailing ", "trailing"},
+		{" leading", "leading"},
+		{"", ""},
+		{"éclair", "éclair"}, // non-ASCII takes the slow path, unchanged
+		{"UPPER-Case  Mix ", "upper case mix"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if got := normalizeSlow(c.in); got != c.want {
+			t.Errorf("normalizeSlow(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		Normalize("already normalized name")
+	})
+	if allocs != 0 {
+		t.Fatalf("Normalize on normalized input allocated %.1f times per run, want 0", allocs)
+	}
+}
