@@ -1,0 +1,168 @@
+// Command semalint is this repository's multichecker: it runs the
+// domain analyzers of internal/lint (DESIGN.md D14) plus a curated
+// set of upstream vet passes over the module and fails on any
+// diagnostic that is not annotated with a reasoned //semalint:allow
+// directive.
+//
+// Usage:
+//
+//	go run ./cmd/semalint ./...
+//	go run ./cmd/semalint ./internal/pipeline ./internal/chat
+//	go run ./cmd/semalint -injectedclock.packages=semagent/internal/chat ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 the load or the
+// analysis itself failed.
+//
+// Packages are typechecked from source by internal/lint/load — no
+// network, no build cache, no export data — so the gate runs
+// identically in CI and on a laptop. Test files are not analyzed:
+// tests legitimately use the wall clock and synthetic metric names.
+//
+// The upstream set is lostcancel, copylock and atomic: the
+// concurrency passes most relevant to a worker-pool codebase.
+// nilness is deliberately absent — it requires go/ssa, which the
+// toolchain does not vendor and this repository refuses to fetch;
+// revisit if x/tools ever becomes a full dependency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+
+	"semagent/internal/lint"
+	"semagent/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// upstream is the curated set of vendored vet passes run alongside
+// the domain suite.
+func upstream() []*analysis.Analyzer {
+	return []*analysis.Analyzer{lostcancel.Analyzer, copylock.Analyzer, atomic.Analyzer}
+}
+
+// run is main, minus the process exit — the unit tests drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("semalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	analyzers := append(lint.Suite(), upstream()...)
+	for _, a := range analyzers {
+		prefix := a.Name + "."
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, prefix+f.Name, f.Usage)
+		})
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: semalint [flags] [./... | packages]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			title, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, title)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "semalint: %v\n", err)
+		return 2
+	}
+	loader := load.New(modPath, modRoot)
+	pkgs, err := selectPackages(loader, modRoot, modPath, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "semalint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, loader.Fset, analyzers, lint.Options{ReportUnusedAllows: true})
+	if err != nil {
+		fmt.Fprintf(stderr, "semalint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(modRoot, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "semalint: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectPackages loads either the whole module ("./..." or no
+// arguments) or the named directories.
+func selectPackages(loader *load.Loader, modRoot, modPath string, args []string) ([]*load.Package, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var pkgs []*load.Package
+	for _, arg := range args {
+		if arg == "./..." || arg == "all" {
+			all, err := loader.LoadModule()
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, all...)
+			continue
+		}
+		dir, err := filepath.Abs(arg)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(modRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("package %s is outside module %s", arg, modPath)
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(dir, pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns
+// the module root and path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

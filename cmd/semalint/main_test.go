@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The fixture packages under internal/lint/testdata import only the
+// standard library (time, sync), so the real multichecker can be
+// driven over them end to end — module discovery, source loading,
+// analysis, directive suppression and exit status included. The
+// analyzer fixtures that need stand-in repo packages (fake ontology,
+// pipeline, metrics) are exercised by internal/lint's harness tests;
+// this file pins the binary's contract: exit codes and the diagnostic
+// stream.
+
+const fixtureRoot = "../../internal/lint/testdata/src"
+
+// runSemalint drives run() and returns exit status, stdout and stderr.
+func runSemalint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestFixtureTreeDiagnostics runs the multichecker over the stdlib-only
+// fixture packages and pins the exit status and the exact diagnostic
+// count: clockuser carries 4 unannotated wall-clock uses and pooluse 5
+// pooled-value escapes; the fixtures' //semalint:allow directives must
+// suppress their lines (and, being used, must not be reported as
+// stale).
+func TestFixtureTreeDiagnostics(t *testing.T) {
+	code, stdout, stderr := runSemalint(t,
+		"-injectedclock.packages=semagent/internal/lint/testdata/src/clockuser",
+		fixtureRoot+"/clockuser", fixtureRoot+"/pooluse")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (diagnostics present)\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	const wantDiags = 9
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(lines) != wantDiags {
+		t.Errorf("got %d diagnostics, want %d:\n%s", len(lines), wantDiags, stdout)
+	}
+	if !strings.Contains(stderr, "9 diagnostic(s)") {
+		t.Errorf("stderr summary = %q, want the diagnostic count", stderr)
+	}
+	for _, part := range []string{"injectedclock", "pooldiscipline", "direct time.Now", "pooled value"} {
+		if !strings.Contains(stdout, part) {
+			t.Errorf("diagnostic stream lacks %q:\n%s", part, stdout)
+		}
+	}
+	// Module-relative positions: the CI log must be clickable from the
+	// repo root, not from wherever the binary ran.
+	if !strings.HasPrefix(lines[0], "internal/lint/testdata/src/") {
+		t.Errorf("positions not module-relative: %q", lines[0])
+	}
+}
+
+// TestCleanPackageExitsZero runs the full analyzer set over packages
+// that must be clean — the loader itself and the clock package the
+// discipline is built around.
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, stdout, stderr := runSemalint(t, "../../internal/lint/load", "../../internal/clock")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run produced output:\n%s", stdout)
+	}
+}
+
+// TestBadFlagExitsTwo pins the usage-error exit code.
+func TestBadFlagExitsTwo(t *testing.T) {
+	code, _, _ := runSemalint(t, "-no.such.flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (usage error)", code)
+	}
+}
+
+// TestOutsideModuleExitsTwo pins the load-failure exit code.
+func TestOutsideModuleExitsTwo(t *testing.T) {
+	code, _, stderr := runSemalint(t, "/")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (load failure)\nstderr:\n%s", code, stderr)
+	}
+}

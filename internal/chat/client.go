@@ -56,6 +56,7 @@ func DialWire(addr, roomName, userName string, wire Wire, timeout time.Duration)
 		_ = conn.Close()
 		return nil, fmt.Errorf("chat join: %w", err)
 	}
+	//semalint:allow injectedclock: a net.Conn read deadline is wall-clock by contract, simulated or not
 	_ = conn.SetReadDeadline(time.Now().Add(timeout))
 	first, err := c.codec.Read()
 	_ = conn.SetReadDeadline(time.Time{})

@@ -37,6 +37,7 @@ func newFrame(m Message, needText, needBinary bool, refs int) *frame {
 	if needBinary {
 		f.bin = appendBinaryFrame(f.bin, m)
 	}
+	//semalint:allow pooldiscipline: ownership transfers to the refs recipients; the last release() performs the Put (D13)
 	return f
 }
 

@@ -226,6 +226,10 @@ func NewServer(opts ServerOptions) *Server {
 			RoomHighWater:   opts.RoomHighWater,
 			GlobalHighWater: opts.GlobalHighWater,
 			Metrics:         opts.Metrics,
+			// The supervision pipeline shares the server's clock, so a
+			// simulated server's task-latency accounting runs on the
+			// simulation's virtual time.
+			Clock: s.clk,
 		}
 		if s.batcher != nil {
 			// One wakeup can drain several rooms' batch tasks sharing a
@@ -595,6 +599,7 @@ func (s *Server) handleSay(c *client, text string) {
 		} else {
 			// Shed returns (ErrShed) are counted by the pipeline's OnShed
 			// hook; ErrClosed (shutdown) is the only other outcome.
+			//semalint:allow shedhandled: sheds are counted by the OnShed hook above; ErrClosed only means shutdown
 			_ = s.pipe.Submit(c.room, deliver)
 		}
 		r.sayMu.Unlock()
@@ -738,7 +743,7 @@ func (s *Server) broadcast(roomName string, m Message, skip *client) {
 	defer s.activeBroadcasts.Add(-1)
 	var start time.Time
 	if s.met != nil {
-		start = time.Now()
+		start = s.clk.Now()
 	}
 	s.mu.Lock()
 	r := s.rooms[roomName]
@@ -776,7 +781,7 @@ func (s *Server) broadcast(roomName string, m Message, skip *client) {
 	}
 	if s.met != nil {
 		s.met.fanout.Add(int64(len(members)))
-		s.met.broadcastDur.ObserveSince(start)
+		s.met.broadcastDur.ObserveDuration(s.clk.Since(start))
 	}
 }
 

@@ -3,4 +3,6 @@ package core
 import "time"
 
 // timeNow is indirected for tests that need deterministic event times.
+//
+//semalint:allow injectedclock: this var IS the package's clock seam; every other core file must call timeNow()
 var timeNow = time.Now

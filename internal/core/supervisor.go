@@ -342,7 +342,7 @@ func (s *Supervisor) pinSnapshot() (*ontology.Snapshot, error) {
 func (s *Supervisor) processWith(snap *ontology.Snapshot, room, user, text string) (*Assessment, error) {
 	var start time.Time
 	if s.met != nil {
-		start = time.Now()
+		start = timeNow()
 	}
 	tokens := linkgrammar.Tokenize(text)
 	cls := sentence.Classify(tokens, linkgrammar.EndsWithQuestionMark(text))
@@ -358,7 +358,7 @@ func (s *Supervisor) processWith(snap *ontology.Snapshot, room, user, text strin
 		// them per §4.3 stage 1.
 		var qaStart time.Time
 		if s.met != nil {
-			qaStart = time.Now()
+			qaStart = timeNow()
 		}
 		ans := s.qa.AskWith(snap, text)
 		if s.met != nil {
@@ -378,7 +378,7 @@ func (s *Supervisor) processWith(snap *ontology.Snapshot, room, user, text strin
 
 	var angelStart time.Time
 	if s.met != nil {
-		angelStart = time.Now()
+		angelStart = timeNow()
 	}
 	rep, err := s.angel.CheckTokens(snap, text, tokens)
 	if s.met != nil {
@@ -407,7 +407,7 @@ func (s *Supervisor) processWith(snap *ontology.Snapshot, room, user, text strin
 
 	var semStart time.Time
 	if s.met != nil {
-		semStart = time.Now()
+		semStart = timeNow()
 	}
 	sem := s.semantic.AnalyzeWith(snap, a.Classification)
 	if s.met != nil {

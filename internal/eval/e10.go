@@ -77,6 +77,7 @@ func RunE10(cfg E10Config) (*E10Result, error) {
 				lp.Distance(p.a, p.b)
 			}
 		})
+		//semalint:allow snapshotonce: the per-arm re-pin is the experiment under measurement; the ontology is not edited mid-run
 		snap := onto.Snapshot()
 		snapshot := runE10Arm("snapshot", workers, cfg.QueriesPerWorker, pairs, func(p e10Pair) {
 			if !snap.Related(p.a, p.b, 0) {

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"semagent/internal/clock"
 	"semagent/internal/metrics"
 	"semagent/internal/storage"
 )
@@ -95,6 +96,7 @@ type appender struct {
 	syncEvery bool
 	err       error // first append error; journal is degraded after
 	met       *journalMetrics
+	clk       clock.Clock // latency timestamps; virtual under the simulator
 
 	// counters for Stats
 	records uint64
@@ -103,7 +105,7 @@ type appender struct {
 
 // openAppender opens (or creates) the active segment for appending.
 // startLSN seeds the sequence counter from recovery.
-func openAppender(dir string, seq, startLSN uint64, syncEvery bool, met *journalMetrics) (*appender, error) {
+func openAppender(dir string, seq, startLSN uint64, syncEvery bool, met *journalMetrics, clk clock.Clock) (*appender, error) {
 	create := seq == 0
 	if create {
 		seq = 1
@@ -136,6 +138,7 @@ func openAppender(dir string, seq, startLSN uint64, syncEvery bool, met *journal
 		size:      st.Size(),
 		syncEvery: syncEvery,
 		met:       met,
+		clk:       clock.Or(clk),
 	}, nil
 }
 
@@ -150,7 +153,8 @@ func (a *appender) Append(typ string, payload interface{}) (uint64, error) {
 		// Duration is observed on every attempt; the records counter
 		// only on success (see below) — a degraded journal must not
 		// look like it is still appending.
-		defer a.met.appendDur.ObserveSince(time.Now())
+		start := a.clk.Now()
+		defer func() { a.met.appendDur.ObserveDuration(a.clk.Since(start)) }()
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -194,7 +198,7 @@ func (a *appender) flushLocked() error {
 	}
 	var start time.Time
 	if a.met != nil {
-		start = time.Now()
+		start = a.clk.Now()
 	}
 	if err := a.bw.Flush(); err != nil {
 		a.fail(err)
@@ -207,7 +211,7 @@ func (a *appender) flushLocked() error {
 	a.fsyncs++
 	a.synced = a.lsn
 	if a.met != nil {
-		a.met.syncDur.ObserveSince(start)
+		a.met.syncDur.ObserveDuration(a.clk.Since(start))
 		a.met.fsyncs.Inc()
 	}
 	a.dirty = false

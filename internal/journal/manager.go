@@ -191,7 +191,7 @@ func Open(dir string, stores Stores, opts Options) (*Manager, error) {
 			startLSN = lsn
 		}
 	}
-	ap, err := openAppender(dir, replay.LastSegment, startLSN, opts.SyncEveryRecord, newJournalMetrics(opts.Metrics))
+	ap, err := openAppender(dir, replay.LastSegment, startLSN, opts.SyncEveryRecord, newJournalMetrics(opts.Metrics), clk)
 	if err != nil {
 		_ = lock.Close()
 		return nil, err

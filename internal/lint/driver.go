@@ -1,0 +1,348 @@
+// Package lint is semalint: a suite of domain-specific analyzers that
+// turn this repository's hand-enforced concurrency and determinism
+// conventions into machine-checked invariants (DESIGN.md D14). The
+// analyzers are ordinary golang.org/x/tools/go/analysis passes; the
+// driver in this file runs them over packages typechecked by
+// internal/lint/load and applies the //semalint:allow escape hatch.
+//
+// Directive grammar, checked by the driver:
+//
+//	//semalint:allow <analyzer>[,<analyzer>...]: <reason>
+//
+// A directive suppresses matching diagnostics on its own line and on
+// the line directly below it (so it works both as a trailing comment
+// and as a comment above the offending statement). A directive placed
+// on or above the package clause applies to the whole file. The
+// reason is mandatory: an annotation that cannot say why it exists is
+// a convention violation, not an exemption. Directives that suppress
+// nothing are themselves reported, so stale annotations cannot
+// accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"semagent/internal/lint/load"
+)
+
+// Diagnostic is one finding, resolved to a printable position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Options configures a driver run.
+type Options struct {
+	// ReportUnusedAllows adds a diagnostic for every //semalint:allow
+	// directive that names a run analyzer but suppressed nothing.
+	// cmd/semalint enables it; the fixture harness does not, because
+	// fixtures exercise one analyzer at a time.
+	ReportUnusedAllows bool
+}
+
+// Run applies the analyzers to every package, honoring Requires
+// dependencies, and returns the surviving diagnostics sorted by
+// position. Facts are kept in memory and flow between the analyzed
+// packages (which Run visits dependencies-first); facts about
+// packages outside the analyzed set — the standard library — are
+// simply absent, which only costs fact-using passes precision, not
+// soundness.
+func Run(pkgs []*load.Package, fset *token.FileSet, analyzers []*analysis.Analyzer, opts Options) ([]Diagnostic, error) {
+	order, err := expand(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	roots := make(map[*analysis.Analyzer]bool, len(analyzers))
+	rootNames := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		roots[a] = true
+		rootNames[a.Name] = true
+	}
+	facts := newFactStore()
+
+	var diags []Diagnostic
+	for _, pkg := range topoSort(pkgs) {
+		sup, supDiags := collectDirectives(pkg, fset)
+		diags = append(diags, supDiags...)
+		results := make(map[*analysis.Analyzer]interface{}, len(order))
+		for _, a := range order {
+			report := func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if sup.allows(a.Name, pos) {
+					return
+				}
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			}
+			if !roots[a] {
+				report = func(analysis.Diagnostic) {} // required-only pass (e.g. inspect)
+			}
+			res, err := a.Run(newPass(a, pkg, fset, results, report, facts))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+			}
+			results[a] = res
+		}
+		if opts.ReportUnusedAllows {
+			diags = append(diags, sup.unused(rootNames)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// expand returns the analyzers plus their transitive requirements in
+// a valid execution order.
+func expand(analyzers []*analysis.Analyzer) ([]*analysis.Analyzer, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var order []*analysis.Analyzer
+	seen := make(map[*analysis.Analyzer]bool)
+	var visit func(a *analysis.Analyzer)
+	visit = func(a *analysis.Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		order = append(order, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return order, nil
+}
+
+// topoSort orders the packages dependencies-first (stable within a
+// rank by the incoming order, which is sorted by path) so exported
+// facts are available when an importer is analyzed.
+func topoSort(pkgs []*load.Package) []*load.Package {
+	byPath := make(map[string]*load.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	out := make([]*load.Package, 0, len(pkgs))
+	seen := make(map[string]bool, len(pkgs))
+	var visit func(p *load.Package)
+	visit = func(p *load.Package) {
+		if seen[p.PkgPath] {
+			return
+		}
+		seen[p.PkgPath] = true
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+func newPass(a *analysis.Analyzer, pkg *load.Package, fset *token.FileSet,
+	results map[*analysis.Analyzer]interface{}, report func(analysis.Diagnostic), facts *factStore) *analysis.Pass {
+	resultOf := make(map[*analysis.Analyzer]interface{}, len(a.Requires))
+	for _, req := range a.Requires {
+		resultOf[req] = results[req]
+	}
+	return &analysis.Pass{
+		Analyzer:     a,
+		Fset:         fset,
+		Files:        pkg.Files,
+		OtherFiles:   pkg.OtherFiles,
+		IgnoredFiles: pkg.IgnoredFiles,
+		Pkg:          pkg.Types,
+		TypesInfo:    pkg.TypesInfo,
+		TypesSizes:   types.SizesFor("gc", runtime.GOARCH),
+		Report:       report,
+		ResultOf:     resultOf,
+		ReadFile:     os.ReadFile,
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return facts.importObject(a, obj, fact)
+		},
+		ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+			return facts.importPackage(a, p, fact)
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			facts.exportObject(a, obj, fact)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			facts.exportPackage(a, pkg.Types, fact)
+		},
+		AllPackageFacts: func() []analysis.PackageFact { return facts.allPackage(a) },
+		AllObjectFacts:  func() []analysis.ObjectFact { return facts.allObject(a) },
+	}
+}
+
+// directive is one parsed //semalint:allow comment.
+type directive struct {
+	pos      token.Position
+	names    map[string]bool
+	fileWide bool
+	used     bool
+}
+
+// suppressions indexes a package's directives by file and line.
+type suppressions struct {
+	byLine   map[string]map[int][]*directive
+	fileWide map[string][]*directive
+}
+
+const directivePrefix = "//semalint:allow"
+
+// collectDirectives parses every //semalint:allow comment in the
+// package. Malformed directives (no analyzer name, or no reason after
+// the colon) are reported as diagnostics of the pseudo-analyzer
+// "semalint" — an escape hatch without a documented reason does not
+// count as documentation.
+func collectDirectives(pkg *load.Package, fset *token.FileSet) (*suppressions, []Diagnostic) {
+	sup := &suppressions{
+		byLine:   make(map[string]map[int][]*directive),
+		fileWide: make(map[string][]*directive),
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		pkgLine := fset.Position(f.Package).Line
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				names, reason, ok := parseDirective(rest)
+				if !ok || reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "semalint",
+						Message:  "malformed //semalint:allow directive: want //semalint:allow <analyzer>[,<analyzer>]: <reason>",
+					})
+					continue
+				}
+				d := &directive{pos: pos, names: names, fileWide: pos.Line <= pkgLine}
+				if d.fileWide {
+					sup.fileWide[pos.Filename] = append(sup.fileWide[pos.Filename], d)
+				} else {
+					lines := sup.byLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]*directive)
+						sup.byLine[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], d)
+				}
+			}
+		}
+	}
+	return sup, diags
+}
+
+// parseDirective splits " name1,name2: reason".
+func parseDirective(rest string) (names map[string]bool, reason string, ok bool) {
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false // e.g. //semalint:allowed — not this directive
+	}
+	nameList, reason, found := strings.Cut(rest, ":")
+	if !found {
+		return nil, "", false
+	}
+	names = make(map[string]bool)
+	for _, n := range strings.Split(nameList, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, "", false
+		}
+		names[n] = true
+	}
+	return names, strings.TrimSpace(reason), true
+}
+
+// allows reports whether a diagnostic of the named analyzer at pos is
+// suppressed, marking the matching directive used.
+func (s *suppressions) allows(name string, pos token.Position) bool {
+	hit := false
+	for _, d := range s.fileWide[pos.Filename] {
+		if d.names[name] {
+			d.used = true
+			hit = true
+		}
+	}
+	if lines := s.byLine[pos.Filename]; lines != nil {
+		for _, line := range [2]int{pos.Line, pos.Line - 1} {
+			for _, d := range lines[line] {
+				if d.names[name] {
+					d.used = true
+					hit = true
+				}
+			}
+		}
+	}
+	return hit
+}
+
+// unused reports directives that name a run analyzer yet suppressed
+// nothing.
+func (s *suppressions) unused(run map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	report := func(d *directive) {
+		if d.used {
+			return
+		}
+		relevant := false
+		for n := range d.names {
+			if run[n] {
+				relevant = true
+				break
+			}
+		}
+		if relevant {
+			diags = append(diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "semalint",
+				Message:  "unused //semalint:allow directive: nothing here triggers the named analyzer",
+			})
+		}
+	}
+	for _, ds := range s.fileWide {
+		for _, d := range ds {
+			report(d)
+		}
+	}
+	for _, lines := range s.byLine {
+		for _, ds := range lines {
+			for _, d := range ds {
+				report(d)
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/types"
+	"reflect"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// factStore is the driver's in-memory fact table. Upstream drivers
+// gob-serialize facts so separate processes can exchange them; this
+// driver analyzes the whole module in one process in dependency
+// order, so facts just live in maps keyed by the shared type objects
+// (internal/lint/load memoizes packages, so an object has one
+// identity across every importer).
+type factStore struct {
+	object map[objectFactKey]analysis.Fact
+	pkg    map[packageFactKey]analysis.Fact
+}
+
+type objectFactKey struct {
+	a   *analysis.Analyzer
+	obj types.Object
+	t   reflect.Type
+}
+
+type packageFactKey struct {
+	a   *analysis.Analyzer
+	pkg *types.Package
+	t   reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		object: make(map[objectFactKey]analysis.Fact),
+		pkg:    make(map[packageFactKey]analysis.Fact),
+	}
+}
+
+// copyFact copies the stored fact's pointee into the caller's pointer
+// — the Import contract is copy-out, so a caller mutating its copy
+// cannot corrupt the store.
+func copyFact(dst, src analysis.Fact) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
+func (s *factStore) importObject(a *analysis.Analyzer, obj types.Object, fact analysis.Fact) bool {
+	stored, ok := s.object[objectFactKey{a, obj, reflect.TypeOf(fact)}]
+	if ok {
+		copyFact(fact, stored)
+	}
+	return ok
+}
+
+func (s *factStore) exportObject(a *analysis.Analyzer, obj types.Object, fact analysis.Fact) {
+	s.object[objectFactKey{a, obj, reflect.TypeOf(fact)}] = fact
+}
+
+func (s *factStore) importPackage(a *analysis.Analyzer, pkg *types.Package, fact analysis.Fact) bool {
+	stored, ok := s.pkg[packageFactKey{a, pkg, reflect.TypeOf(fact)}]
+	if ok {
+		copyFact(fact, stored)
+	}
+	return ok
+}
+
+func (s *factStore) exportPackage(a *analysis.Analyzer, pkg *types.Package, fact analysis.Fact) {
+	s.pkg[packageFactKey{a, pkg, reflect.TypeOf(fact)}] = fact
+}
+
+func (s *factStore) allObject(a *analysis.Analyzer) []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for k, f := range s.object {
+		if k.a == a {
+			out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+		}
+	}
+	return out
+}
+
+func (s *factStore) allPackage(a *analysis.Analyzer) []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for k, f := range s.pkg {
+		if k.a == a {
+			out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// wallClockFuncs are the package time functions that read or schedule
+// against the wall clock. Referencing one (not just calling it —
+// storing time.Now in a struct field smuggles the wall clock just as
+// effectively) inside a clock-injected package defeats the virtual
+// clock that makes the simulator and the chaos engine deterministic
+// (DESIGN.md D11).
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+	"Since": true, "Until": true,
+}
+
+const injectedClockDoc = `forbid direct wall-clock use in clock-injected packages
+
+Packages that take a clock.Clock (directly or via their Options
+struct) must route every time read and every timer through it;
+a single raw time.Now makes latency accounting nondeterministic
+under the simulator's virtual clock and undermines golden-transcript
+reproducibility. The check applies to packages whose import path
+matches the -injectedclock.packages prefixes and to any package that
+imports the injected clock package itself. Deliberate wall-clock use
+(real socket deadlines, wall timestamps on exported snapshots) is
+annotated in place:
+
+	//semalint:allow injectedclock: <reason>`
+
+// InjectedClock is the injectedclock analyzer.
+var InjectedClock = &analysis.Analyzer{
+	Name:     "injectedclock",
+	Doc:      injectedClockDoc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runInjectedClock,
+}
+
+var (
+	injectedClockPackages = "semagent/internal/chat,semagent/internal/core,semagent/internal/journal," +
+		"semagent/internal/pipeline,semagent/internal/simulate,semagent/internal/memnet," +
+		"semagent/internal/metrics,semagent/internal/loadgen"
+	injectedClockPkgPath = "semagent/internal/clock"
+)
+
+func init() {
+	InjectedClock.Flags.StringVar(&injectedClockPackages, "packages", injectedClockPackages,
+		"comma-separated import path prefixes of clock-injected packages")
+	InjectedClock.Flags.StringVar(&injectedClockPkgPath, "clockpkg", injectedClockPkgPath,
+		"import path of the injected clock package")
+}
+
+func runInjectedClock(pass *analysis.Pass) (interface{}, error) {
+	if !clockInjected(pass.Pkg) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+			return
+		}
+		pass.ReportRangef(sel, "direct time.%s in clock-injected package %s: route it through the injected clock.Clock",
+			fn.Name(), pass.Pkg.Path())
+	})
+	return nil, nil
+}
+
+// clockInjected reports whether the package is under the configured
+// clock-discipline: listed by prefix, or importing the clock package
+// (which is itself exempt — it is the System fallback implementation).
+func clockInjected(pkg *types.Package) bool {
+	path := pkg.Path()
+	if path == injectedClockPkgPath || strings.HasPrefix(path, injectedClockPkgPath+"/") {
+		return false
+	}
+	for _, prefix := range strings.Split(injectedClockPackages, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix == "" {
+			continue
+		}
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == injectedClockPkgPath {
+			return true
+		}
+	}
+	return false
+}

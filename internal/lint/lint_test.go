@@ -1,0 +1,52 @@
+package lint_test
+
+import (
+	"testing"
+
+	"semagent/internal/lint"
+	"semagent/internal/lint/linttest"
+)
+
+// The fixture packages use short GOPATH-style import paths, so each
+// test points the analyzer's package flags at them. The harness
+// restores the real defaults at cleanup.
+
+func TestInjectedClockFixtures(t *testing.T) {
+	linttest.SetFlag(t, lint.InjectedClock, "packages", "clockuser")
+	linttest.SetFlag(t, lint.InjectedClock, "clockpkg", "clockpkg")
+	linttest.Run(t, "testdata/src", lint.InjectedClock, "clockuser", "clockimporter", "okclock")
+}
+
+func TestSnapshotOnceFixtures(t *testing.T) {
+	linttest.SetFlag(t, lint.SnapshotOnce, "ontologypkg", "ontology")
+	linttest.Run(t, "testdata/src", lint.SnapshotOnce, "snapuser")
+}
+
+func TestShedHandledFixtures(t *testing.T) {
+	linttest.SetFlag(t, lint.ShedHandled, "pipelinepkg", "pipeline")
+	linttest.Run(t, "testdata/src", lint.ShedHandled, "sheduser")
+}
+
+func TestPoolDisciplineFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.PoolDiscipline, "pooluse")
+}
+
+func TestMetricNamesFixtures(t *testing.T) {
+	linttest.SetFlag(t, lint.MetricNames, "metricspkg", "metrics")
+	linttest.Run(t, "testdata/src", lint.MetricNames, "metricuser")
+}
+
+// TestSuite pins the suite roster: the CI gate runs exactly these
+// analyzers, in this order.
+func TestSuite(t *testing.T) {
+	want := []string{"injectedclock", "snapshotonce", "shedhandled", "pooldiscipline", "metricnames"}
+	suite := lint.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("Suite()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package linttest is the golden-fixture harness for the semalint
+// analyzers: it loads fixture packages laid out in GOPATH/src style
+// under a testdata root, runs one analyzer through the real lint
+// driver (directive suppression included), and compares the surviving
+// diagnostics against // want "regex" comments in the fixture source —
+// the analysistest contract, minus the go/packages dependency the
+// vendored toolchain copy of x/tools does not ship.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"semagent/internal/lint"
+	"semagent/internal/lint/load"
+)
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the named fixture packages under srcRoot, applies the
+// analyzer via the lint driver, and fails the test on any mismatch
+// between diagnostics and // want comments. It returns the surviving
+// diagnostics so callers can make additional assertions.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) []lint.Diagnostic {
+	t.Helper()
+	root, err := filepath.Abs(srcRoot)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	loader := load.New("", "", root)
+	var pkgs []*load.Package
+	for _, path := range pkgPaths {
+		pkg, err := loader.LoadDir(filepath.Join(root, filepath.FromSlash(path)), path)
+		if err != nil {
+			t.Fatalf("linttest: load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags, err := lint.Run(pkgs, loader.Fset, []*analysis.Analyzer{a}, lint.Options{})
+	if err != nil {
+		t.Fatalf("linttest: run %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, loader.Fset, pkgs)
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+	return diags
+}
+
+// matchWant marks every expectation at the diagnostic's line whose
+// regexp matches; it reports whether any did.
+func matchWant(wants []*want, d lint.Diagnostic) bool {
+	hit := false
+	for _, w := range wants {
+		if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// collectWants parses the // want comments of every fixture file.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWant(t, fset.Position(c.Pos()), c)...)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// wantLiteralRE matches the string literals of a want comment.
+var wantLiteralRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// parseWant extracts the expectations of one comment, if it is a want
+// comment. Expectations attach to the comment's own line, so the
+// fixture idiom is a trailing comment on the flagged statement.
+func parseWant(t *testing.T, pos token.Position, c *ast.Comment) []*want {
+	t.Helper()
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return nil // /* */ comments are prose, not expectations
+	}
+	text, ok = strings.CutPrefix(strings.TrimSpace(text), "want ")
+	if !ok {
+		return nil
+	}
+	lits := wantLiteralRE.FindAllString(text, -1)
+	if len(lits) == 0 {
+		t.Fatalf("%s: malformed want comment: no string literal in %q", pos, c.Text)
+	}
+	var wants []*want
+	for _, lit := range lits {
+		pattern, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: malformed want literal %s: %v", pos, lit, err)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+		}
+		wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+	}
+	return wants
+}
+
+// SetFlag sets an analyzer flag for the duration of the test,
+// restoring the previous value at cleanup — fixture packages use short
+// import paths, not the real module's.
+func SetFlag(t *testing.T, a *analysis.Analyzer, name, value string) {
+	t.Helper()
+	f := a.Flags.Lookup(name)
+	if f == nil {
+		t.Fatalf("linttest: analyzer %s has no flag %q", a.Name, name)
+	}
+	prev := f.Value.String()
+	if err := f.Value.Set(value); err != nil {
+		t.Fatalf("linttest: set -%s.%s=%s: %v", a.Name, name, value, err)
+	}
+	t.Cleanup(func() {
+		if err := f.Value.Set(prev); err != nil {
+			panic(fmt.Sprintf("linttest: restore -%s.%s=%s: %v", a.Name, name, prev, err))
+		}
+	})
+}

@@ -1,0 +1,295 @@
+// Package load typechecks Go packages from source. It is the loading
+// layer under cmd/semalint and the lint test harness: a small,
+// network-free replacement for golang.org/x/tools/go/packages, which
+// is not vendored with the toolchain. Resolution is deliberately
+// simple because this repository is a closed world — every import is
+// either the module itself, the repository vendor tree, the standard
+// library (including its internal vendor tree), or a test fixture
+// root. Everything is parsed and typechecked from source in
+// dependency order, so the loader needs no export data, build cache
+// or go command.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one typechecked package with the syntax trees an
+// analyzer pass needs.
+type Package struct {
+	// PkgPath is the import path as written at the import site that
+	// first caused the load (for module packages, the module-relative
+	// import path).
+	PkgPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Files are the parsed syntax trees, with comments, in file-name
+	// order.
+	Files []*ast.File
+	// Types and TypesInfo are the typechecker's outputs.
+	Types     *types.Package
+	TypesInfo *types.Info
+	// IgnoredFiles are Go files in Dir excluded by build constraints.
+	IgnoredFiles []string
+	// OtherFiles are non-Go files in Dir (assembly, embeds).
+	OtherFiles []string
+}
+
+// Loader resolves import paths and typechecks packages from source,
+// memoizing by directory so diamond imports share one instance.
+type Loader struct {
+	// Fset is the shared file set for every package this loader
+	// touches.
+	Fset *token.FileSet
+	// ModulePath and ModuleDir root the module being analyzed:
+	// imports of ModulePath/... resolve into ModuleDir. Optional.
+	ModulePath string
+	ModuleDir  string
+	// Roots are extra resolution roots (fixture trees in GOPATH/src
+	// layout), tried after the module, vendor and GOROOT.
+	Roots []string
+
+	ctx     build.Context
+	sizes   types.Sizes
+	byDir   map[string]*Package
+	loading map[string]bool
+}
+
+// New returns a Loader for the module rooted at moduleDir. The
+// returned loader disables cgo so every dependency — the standard
+// library's net included — selects its pure-Go fallback and stays
+// typecheckable from source.
+func New(modulePath, moduleDir string, roots ...string) *Loader {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		Roots:      roots,
+		ctx:        ctx,
+		sizes:      types.SizesFor("gc", runtime.GOARCH),
+		byDir:      make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom; srcDir disambiguates the
+// standard library's internal vendor tree.
+func (l *Loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir, err := l.resolve(path, srcDir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.loadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// resolve maps an import path to a source directory. Order: the
+// module itself, the module vendor tree, GOROOT, GOROOT's vendor tree
+// (the standard library imports golang.org/x/... spellings that live
+// there), then the fixture roots.
+func (l *Loader) resolve(path, srcDir string) (string, error) {
+	if !validImportPath(path) {
+		return "", fmt.Errorf("load: invalid import path %q", path)
+	}
+	var cands []string
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			cands = append(cands, l.ModuleDir)
+		} else if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			cands = append(cands, filepath.Join(l.ModuleDir, filepath.FromSlash(rest)))
+		}
+	}
+	if l.ModuleDir != "" {
+		cands = append(cands, filepath.Join(l.ModuleDir, "vendor", filepath.FromSlash(path)))
+	}
+	goroot := filepath.Join(l.ctx.GOROOT, "src")
+	cands = append(cands,
+		filepath.Join(goroot, filepath.FromSlash(path)),
+		filepath.Join(goroot, "vendor", filepath.FromSlash(path)))
+	for _, root := range l.Roots {
+		cands = append(cands, filepath.Join(root, filepath.FromSlash(path)))
+	}
+	for _, dir := range cands {
+		if hasGoFiles(dir) {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("load: cannot resolve import %q (from %s)", path, srcDir)
+}
+
+// LoadDir typechecks the package in dir under the given import path
+// (and, transitively, everything it imports).
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	return l.loadDir(dir, pkgPath)
+}
+
+func (l *Loader) loadDir(dir, pkgPath string) (*Package, error) {
+	dir = filepath.Clean(dir)
+	if pkg, ok := l.byDir[dir]; ok {
+		return pkg, nil
+	}
+	if l.loading[dir] {
+		return nil, fmt.Errorf("load: import cycle through %q", pkgPath)
+	}
+	l.loading[dir] = true
+	defer delete(l.loading, dir)
+
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", pkgPath, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", pkgPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	var firstErr error
+	cfg := types.Config{
+		Importer: l,
+		Sizes:    l.sizes,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := cfg.Check(pkgPath, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("load %s: %w", pkgPath, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", pkgPath, err)
+	}
+	pkg := &Package{
+		PkgPath:      pkgPath,
+		Dir:          dir,
+		Files:        files,
+		Types:        tpkg,
+		TypesInfo:    info,
+		IgnoredFiles: absAll(dir, bp.IgnoredGoFiles),
+		OtherFiles:   absAll(dir, append(append([]string{}, bp.SFiles...), bp.EmbedPatterns...)),
+	}
+	l.byDir[dir] = pkg
+	return pkg, nil
+}
+
+// LoadModule loads every package of the loader's module (skipping
+// vendor, testdata and hidden directories), returning them sorted by
+// import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	dirs, err := ModulePackageDirs(l.ModuleDir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := l.ModulePath
+		if rel != "." {
+			pkgPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.loadDir(dir, pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// ModulePackageDirs returns every directory under root that holds a
+// buildable Go package, skipping vendor, testdata and hidden or
+// underscore-prefixed directories.
+func ModulePackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "vendor" || name == "testdata" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func validImportPath(p string) bool {
+	return p != "" && !strings.HasPrefix(p, "/") && !strings.HasPrefix(p, ".") && !strings.Contains(p, "\\")
+}
+
+func absAll(dir string, names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if strings.Contains(n, "*") {
+			continue // embed pattern, not a file name
+		}
+		out = append(out, filepath.Join(dir, n))
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+const poolDisciplineDoc = `forbid pooled values escaping their owning function
+
+A value from sync.Pool.Get is only safe while its getter controls it:
+once stored in a struct field, a package-level variable or a channel,
+or returned to a caller, nothing ties its lifetime to the matching
+Put, and a recycled object gets mutated under a live reader — the
+exact corruption class the refcounted broadcast frames (DESIGN.md
+D13) are designed around. The analyzer tracks values originating in a
+(*sync.Pool).Get call (through type assertions) and reports the
+escaping use. Ownership-transfer patterns that are safe by protocol —
+a refcount whose last release performs the Put — are annotated in
+place:
+
+	//semalint:allow pooldiscipline: <reason>`
+
+// PoolDiscipline is the pooldiscipline analyzer.
+var PoolDiscipline = &analysis.Analyzer{
+	Name:     "pooldiscipline",
+	Doc:      poolDisciplineDoc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runPoolDiscipline,
+}
+
+func runPoolDiscipline(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil {
+			checkPoolDiscipline(pass, body)
+		}
+	})
+	return nil, nil
+}
+
+func checkPoolDiscipline(pass *analysis.Pass, body *ast.BlockStmt) {
+	// pooled collects the local variables bound to a Get result in
+	// this function scope.
+	pooled := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its own scope
+		}
+		if assign, ok := n.(*ast.AssignStmt); ok && len(assign.Lhs) == len(assign.Rhs) {
+			for i, rhs := range assign.Rhs {
+				if !isPoolGet(pass, rhs) {
+					continue
+				}
+				if id, ok := assign.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						pooled[obj] = true
+					} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						pooled[obj] = true
+					}
+				} else {
+					reportPoolEscape(pass, assign.Lhs[i], rhs)
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				if i >= len(stmt.Lhs) {
+					break
+				}
+				if isPooledValue(pass, rhs, pooled) && !isPoolGet(pass, rhs) {
+					reportPoolEscape(pass, stmt.Lhs[i], rhs)
+				}
+			}
+		case *ast.SendStmt:
+			if isPooledValue(pass, stmt.Value, pooled) || isPoolGet(pass, stmt.Value) {
+				pass.ReportRangef(stmt, "pooled value sent on a channel: the receiver's lifetime is not tied to the matching Put")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range stmt.Results {
+				if isPooledValue(pass, res, pooled) || isPoolGet(pass, res) {
+					pass.ReportRangef(res, "pooled value returned from its getter: the caller's use is not tied to the matching Put")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportPoolEscape classifies the escaping destination.
+func reportPoolEscape(pass *analysis.Pass, lhs, rhs ast.Expr) {
+	switch dst := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pass.TypesInfo.Uses[dst.Sel].(*types.Var); ok && v.IsField() {
+			pass.ReportRangef(rhs, "pooled value stored in struct field %s: it outlives the function that must Put it", v.Name())
+		}
+	case *ast.Ident:
+		if v, ok := objectOf(pass, dst).(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+			pass.ReportRangef(rhs, "pooled value stored in package-level variable %s: it outlives the function that must Put it", v.Name())
+		}
+	}
+}
+
+// isPoolGet reports whether e is (a type assertion over) a
+// (*sync.Pool).Get call.
+func isPoolGet(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.FullName() == "(*sync.Pool).Get"
+}
+
+// isPooledValue reports whether e reads a variable bound to a pooled
+// Get result (through a type assertion).
+func isPooledValue(pass *analysis.Pass, e ast.Expr, pooled map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := objectOf(pass, id)
+	return obj != nil && pooled[obj]
+}
+
+func objectOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+const snapshotOnceDoc = `flag functions that pin more than one ontology snapshot
+
+The lock-free ontology (DESIGN.md D8) publishes immutable snapshots;
+one unit of analysis must pin exactly one and use it throughout, or a
+concurrent ontology edit lands between two pins and the verdict is
+computed against two different knowledge generations — the torn-
+generation bug the snapshot design exists to prevent. The analyzer
+reports (a) a second Snapshot() pin on the same receiver within one
+function, and (b) a fresh Snapshot() pin inside a function that
+already holds a pinned *Snapshot (as a parameter or a field of its
+receiver). Deliberate re-pins — benchmark loops measuring pin cost —
+are annotated in place:
+
+	//semalint:allow snapshotonce: <reason>`
+
+// SnapshotOnce is the snapshotonce analyzer.
+var SnapshotOnce = &analysis.Analyzer{
+	Name:     "snapshotonce",
+	Doc:      snapshotOnceDoc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runSnapshotOnce,
+}
+
+var (
+	snapshotOncePkg    = "semagent/internal/ontology"
+	snapshotOnceMethod = "Snapshot"
+)
+
+func init() {
+	SnapshotOnce.Flags.StringVar(&snapshotOncePkg, "ontologypkg", snapshotOncePkg,
+		"import path of the package whose Snapshot method pins a generation")
+	SnapshotOnce.Flags.StringVar(&snapshotOnceMethod, "method", snapshotOnceMethod,
+		"name of the pinning method")
+}
+
+func runSnapshotOnce(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == snapshotOncePkg {
+		// The ontology package's own one-line convenience wrappers
+		// (Distance, Lookup, ...) each pin once by design.
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		var ftype *ast.FuncType
+		var recv *ast.FieldList
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body, ftype, recv = fn.Body, fn.Type, fn.Recv
+		case *ast.FuncLit:
+			body, ftype = fn.Body, fn.Type
+		}
+		if body == nil {
+			return
+		}
+		checkSnapshotOnce(pass, ftype, recv, body)
+	})
+	return nil, nil
+}
+
+func checkSnapshotOnce(pass *analysis.Pass, ftype *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt) {
+	pinned := heldSnapshotPin(pass, ftype, recv)
+	// first maps each receiver identity to the position of its first
+	// pin in this function.
+	first := make(map[types.Object]token.Pos)
+	var anon []token.Pos // pins whose receiver has no stable object
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own scope
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Name() != snapshotOnceMethod || !isOntologyMethod(fn) {
+			return true
+		}
+		if pinned != "" {
+			pass.ReportRangef(call, "fresh %s() pin in a function that already holds a pinned snapshot (%s): one unit of analysis must see one ontology generation",
+				snapshotOnceMethod, pinned)
+			return true
+		}
+		if obj := receiverObject(pass, sel.X); obj != nil {
+			if firstPos, dup := first[obj]; dup {
+				pass.ReportRangef(call, "second %s() pin on %q in one function (first pin at %s): reuse the first snapshot or the two pins may span an ontology edit",
+					snapshotOnceMethod, obj.Name(), pass.Fset.Position(firstPos))
+			} else {
+				first[obj] = call.Pos()
+			}
+		} else {
+			if len(anon) > 0 {
+				pass.ReportRangef(call, "second %s() pin in one function (first pin at %s): reuse the first snapshot or the two pins may span an ontology edit",
+					snapshotOnceMethod, pass.Fset.Position(anon[0]))
+			}
+			anon = append(anon, call.Pos())
+		}
+		return true
+	})
+}
+
+// isOntologyMethod reports whether fn is a method declared in the
+// configured ontology package.
+func isOntologyMethod(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == snapshotOncePkg && fn.Type().(*types.Signature).Recv() != nil
+}
+
+// heldSnapshotPin reports how the function already holds a pinned
+// snapshot ("parameter x", "receiver field snap"), or "" when it
+// holds none.
+func heldSnapshotPin(pass *analysis.Pass, ftype *ast.FuncType, recv *ast.FieldList) string {
+	if ftype != nil && ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			if t, ok := pass.TypesInfo.Types[field.Type]; ok && isSnapshotPtr(t.Type) {
+				name := "_"
+				if len(field.Names) > 0 {
+					name = field.Names[0].Name
+				}
+				return "parameter " + name
+			}
+		}
+	}
+	if recv != nil && len(recv.List) == 1 {
+		if t, ok := pass.TypesInfo.Types[recv.List[0].Type]; ok {
+			rt := t.Type
+			if ptr, ok := rt.(*types.Pointer); ok {
+				rt = ptr.Elem()
+			}
+			if st, ok := rt.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					if isSnapshotPtr(st.Field(i).Type()) {
+						return "receiver field " + st.Field(i).Name()
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// isSnapshotPtr reports whether t is *ontology.Snapshot (the pinned
+// generation handle).
+func isSnapshotPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == snapshotOncePkg && obj.Name() == "Snapshot"
+}
+
+// receiverObject resolves the receiver expression of a method call to
+// a stable object: a variable for o.Snapshot(), the field for
+// c.onto.Snapshot(). Returns nil for receivers with no stable
+// identity (function results, map index).
+func receiverObject(pass *analysis.Pass, x ast.Expr) types.Object {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[e.Sel]; ok {
+			return obj
+		}
+	case *ast.StarExpr:
+		return receiverObject(pass, e.X)
+	}
+	return nil
+}

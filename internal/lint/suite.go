@@ -1,0 +1,16 @@
+package lint
+
+import "golang.org/x/tools/go/analysis"
+
+// Suite returns the five domain analyzers in reporting order. The
+// curated upstream passes cmd/semalint adds on top live there, not
+// here: the suite is the part the fixture tests pin.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		InjectedClock,
+		SnapshotOnce,
+		ShedHandled,
+		PoolDiscipline,
+		MetricNames,
+	}
+}

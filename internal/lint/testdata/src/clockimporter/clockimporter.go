@@ -1,0 +1,18 @@
+// Package clockimporter is not listed in -injectedclock.packages, but
+// it imports the clock package — which opts it into the discipline by
+// itself: a package that takes an injected clock must use it.
+package clockimporter
+
+import (
+	"time"
+
+	"clockpkg"
+)
+
+// Stamp falls back to the wall clock instead of requiring a clock.
+func Stamp(c clockpkg.Clock) time.Time {
+	if c != nil {
+		return c.Now()
+	}
+	return time.Now() // want `direct time\.Now in clock-injected package clockimporter`
+}

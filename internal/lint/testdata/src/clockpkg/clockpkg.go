@@ -1,0 +1,19 @@
+// Package clockpkg stands in for the injected clock package:
+// importing it opts a package into the clock discipline. The clock
+// package itself is exempt — it is the wall-clock fallback
+// implementation.
+package clockpkg
+
+import "time"
+
+// Clock is the injected time source.
+type Clock interface {
+	Now() time.Time
+}
+
+type system struct{}
+
+func (system) Now() time.Time { return time.Now() }
+
+// System is the wall-clock fallback.
+var System Clock = system{}

@@ -1,0 +1,37 @@
+// Package clockuser is the injectedclock positive fixture: the test
+// lists its import path via -injectedclock.packages, so every
+// wall-clock use below must be reported unless annotated.
+package clockuser
+
+import "time"
+
+// Epoch is built from constants, not the wall clock: fine.
+var Epoch = time.Unix(0, 0)
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time {
+	return time.Now() // want `direct time\.Now in clock-injected package clockuser`
+}
+
+// Nap schedules against the wall clock.
+func Nap() {
+	time.Sleep(time.Millisecond) // want `direct time\.Sleep in clock-injected package clockuser`
+}
+
+// Hold smuggles the wall clock out as a value — a reference, not a
+// call, and just as nondeterministic.
+func Hold() func() time.Time {
+	return time.Now // want `direct time\.Now in clock-injected package clockuser`
+}
+
+// Elapsed measures against the wall clock.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `direct time\.Since in clock-injected package clockuser`
+}
+
+// Allowed is wall-clock on purpose; the reasoned directive suppresses
+// the diagnostic.
+func Allowed() time.Time {
+	//semalint:allow injectedclock: fixture exercising the escape hatch
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+// Package okclock is the injectedclock negative fixture: it is not
+// listed in -injectedclock.packages and imports no clock package, so
+// its wall-clock use is outside the discipline.
+package okclock
+
+import "time"
+
+// Stamp may read the wall clock freely.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,16 @@
+// Package ontology stands in for the real lock-free ontology: the
+// snapshotonce fixture only needs the Snapshot() pin and a method on
+// the pinned handle.
+package ontology
+
+// Ontology is the mutable store.
+type Ontology struct{ version int }
+
+// Snapshot pins the current generation.
+func (o *Ontology) Snapshot() *Snapshot { return &Snapshot{version: o.version} }
+
+// Snapshot is one immutable generation.
+type Snapshot struct{ version int }
+
+// Version reports the pinned generation.
+func (s *Snapshot) Version() int { return s.version }

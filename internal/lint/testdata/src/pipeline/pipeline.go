@@ -1,0 +1,11 @@
+// Package pipeline stands in for the real admission-controlled
+// pipeline: the shedhandled fixture only needs an error-returning
+// Submit method.
+package pipeline
+
+// Pipeline is the sharded worker pool.
+type Pipeline struct{}
+
+// Submit enqueues a task; the error reports a shed, a full queue or a
+// closed pipeline.
+func (p *Pipeline) Submit(room string, fn func()) error { return nil }

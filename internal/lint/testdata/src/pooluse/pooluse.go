@@ -1,0 +1,59 @@
+// Package pooluse is the pooldiscipline fixture: a pooled value that
+// escapes its getter has no lifetime tied to the matching Put, and a
+// recycled object gets mutated under a live reader.
+package pooluse
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+var global *buf
+
+// Leaked stores the pooled value in a package-level variable.
+func Leaked() {
+	v := pool.Get().(*buf)
+	global = v // want `pooled value stored in package-level variable global`
+}
+
+type holder struct{ b *buf }
+
+// Fielded stores the pooled value in a struct field.
+func Fielded(h *holder) {
+	v := pool.Get().(*buf)
+	h.b = v // want `pooled value stored in struct field b`
+}
+
+// Sent pushes the pooled value across a channel.
+func Sent(ch chan *buf) {
+	v := pool.Get().(*buf)
+	ch <- v // want `pooled value sent on a channel`
+}
+
+// Returned hands the pooled value to the caller.
+func Returned() *buf {
+	v := pool.Get().(*buf)
+	return v // want `pooled value returned from its getter`
+}
+
+// ReturnedDirect returns the Get result without ever binding it.
+func ReturnedDirect() *buf {
+	return pool.Get().(*buf) // want `pooled value returned from its getter`
+}
+
+// Scoped uses the value and puts it back: the discipline.
+func Scoped() int {
+	v := pool.Get().(*buf)
+	n := len(v.b)
+	pool.Put(v)
+	return n
+}
+
+// Transferred escapes under the escape hatch — the stand-in for a
+// refcounted ownership transfer whose last release performs the Put.
+func Transferred() *buf {
+	v := pool.Get().(*buf)
+	//semalint:allow pooldiscipline: fixture stands in for refcounted ownership transfer
+	return v
+}

@@ -1,0 +1,42 @@
+// Package sheduser is the shedhandled fixture: a discarded admission
+// error turns deliberate, counted load shedding into a silent
+// supervision coverage hole.
+package sheduser
+
+import "pipeline"
+
+// Discarded drops the admission error outright.
+func Discarded(p *pipeline.Pipeline) {
+	p.Submit("room", func() {}) // want `error of pipeline\.Submit discarded`
+}
+
+// Blanked hides the error behind the blank identifier.
+func Blanked(p *pipeline.Pipeline) {
+	_ = p.Submit("room", func() {}) // want `error of pipeline\.Submit assigned to _`
+}
+
+// Launched makes the error unobservable.
+func Launched(p *pipeline.Pipeline) {
+	go p.Submit("room", func() {}) // want `error of pipeline\.Submit unobservable from go/defer`
+}
+
+// Handled checks the error: the contract.
+func Handled(p *pipeline.Pipeline) error {
+	if err := p.Submit("room", func() {}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Propagated hands the error to the caller: fine.
+func Propagated(p *pipeline.Pipeline) error {
+	err := p.Submit("room", func() {})
+	return err
+}
+
+// Accounted discards the error under the escape hatch — the stand-in
+// for a call site whose sheds the OnShed hook counts.
+func Accounted(p *pipeline.Pipeline) {
+	//semalint:allow shedhandled: fixture stands in for an OnShed-accounted call site
+	p.Submit("room", func() {})
+}

@@ -1,0 +1,53 @@
+// Package snapuser is the snapshotonce fixture: two pins in one unit
+// of analysis may span a concurrent ontology edit and judge one
+// sentence against two knowledge generations.
+package snapuser
+
+import "ontology"
+
+// TwoPins pins the same ontology twice in one function.
+func TwoPins(o *ontology.Ontology) (int, int) {
+	a := o.Snapshot()
+	b := o.Snapshot() // want `second Snapshot\(\) pin on "o"`
+	return a.Version(), b.Version()
+}
+
+// TwoOntologies pins two different stores once each: fine.
+func TwoOntologies(o1, o2 *ontology.Ontology) (int, int) {
+	return o1.Snapshot().Version(), o2.Snapshot().Version()
+}
+
+type holder struct {
+	onto *ontology.Ontology
+	snap *ontology.Snapshot
+}
+
+// FreshPinWithHeld pins fresh although the receiver already holds a
+// pinned snapshot.
+func (h *holder) FreshPinWithHeld() int {
+	return h.onto.Snapshot().Version() // want `fresh Snapshot\(\) pin in a function that already holds a pinned snapshot \(receiver field snap\)`
+}
+
+// FreshPinWithParam pins fresh next to a pinned-snapshot parameter.
+func FreshPinWithParam(o *ontology.Ontology, snap *ontology.Snapshot) int {
+	return o.Snapshot().Version() + snap.Version() // want `fresh Snapshot\(\) pin in a function that already holds a pinned snapshot \(parameter snap\)`
+}
+
+// HeldOnly uses the held pin throughout: the discipline.
+func (h *holder) HeldOnly() int { return h.snap.Version() }
+
+// LitScopes pins once per function scope — a literal is its own unit
+// of analysis, so neither pin is a duplicate.
+func LitScopes(o *ontology.Ontology) func() int {
+	s := o.Snapshot()
+	_ = s.Version()
+	return func() int { return o.Snapshot().Version() }
+}
+
+// AllowedRePin re-pins deliberately with the escape hatch.
+func AllowedRePin(o *ontology.Ontology) (int, int) {
+	a := o.Snapshot()
+	//semalint:allow snapshotonce: fixture exercising a deliberate re-pin
+	b := o.Snapshot()
+	return a.Version(), b.Version()
+}

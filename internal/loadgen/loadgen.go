@@ -14,7 +14,7 @@
 // the supervisor sees). Messages whose echo misses the timeout count as
 // timeouts, not latency samples — the report therefore separates
 // delivered goodput from offered load.
-package loadgen
+package loadgen //semalint:allow injectedclock: open-loop pacing and latency are measured against the real wire; virtual time would self-censor overload
 
 import (
 	"fmt"

@@ -132,10 +132,12 @@ func (c *Conn) Read(p []byte) (int, error) {
 	var timer *time.Timer
 	timedOut := false
 	if !deadline.IsZero() {
+		//semalint:allow injectedclock: net.Conn deadlines are wall-clock by contract; memnet mirrors the real network API
 		d := time.Until(deadline)
 		if d <= 0 {
 			return 0, timeoutError{}
 		}
+		//semalint:allow injectedclock: deadline emulation fires in real time, like the kernel timer it stands in for
 		timer = time.AfterFunc(d, func() {
 			c.read.mu.Lock()
 			timedOut = true

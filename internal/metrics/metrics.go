@@ -148,7 +148,12 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a latency sample.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
-// ObserveSince records the latency from start to now.
+// ObserveSince records the latency from start to now. It is a
+// wall-clock convenience: clock-injected callers must pair their own
+// clock's Now/Since with ObserveDuration instead, or virtual-time runs
+// will record wall latencies.
+//
+//semalint:allow injectedclock: wall-clock convenience API by contract; clock-injected code uses ObserveDuration
 func (h *Histogram) ObserveSince(start time.Time) { h.Observe(int64(time.Since(start))) }
 
 // Count returns the number of observations.
@@ -552,6 +557,7 @@ type Snapshot struct {
 
 // Snapshot captures the registry.
 func (r *Registry) Snapshot() Snapshot {
+	//semalint:allow injectedclock: the snapshot timestamp is operator-facing report metadata, wall-clock by design
 	snap := Snapshot{Time: time.Now()}
 	for _, f := range r.view() {
 		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"semagent/internal/clock"
 	"semagent/internal/metrics"
 )
 
@@ -134,6 +135,12 @@ type Config struct {
 	// Metrics, if set, registers the pipeline's counters, gauges and
 	// latency histograms (semagent_pipeline_*).
 	Metrics *metrics.Registry
+
+	// Clock supplies the timestamps behind the queue-wait and
+	// task-duration histograms. nil selects the wall clock; the
+	// simulator injects a virtual clock so latency accounting is
+	// deterministic and reproducible from the seed (DESIGN.md D11).
+	Clock clock.Clock
 }
 
 // Stats is a snapshot of pipeline counters.
@@ -248,6 +255,7 @@ type Pipeline struct {
 	shards []*shard
 	cfg    Config
 	met    *pipeMetrics
+	clk    clock.Clock
 	// trackRooms gates the per-room depth ledger and trackInflight the
 	// shared in-flight counter: each only has readers under admission
 	// control (plus the metrics gauge for the latter), so the default
@@ -296,6 +304,7 @@ func New(cfg Config) *Pipeline {
 		shards:        make([]*shard, cfg.Workers),
 		cfg:           cfg,
 		met:           newPipeMetrics(cfg.Metrics),
+		clk:           clock.Or(cfg.Clock),
 		trackRooms:    cfg.Policy != ShedNone,
 		trackInflight: cfg.Policy != ShedNone || cfg.Metrics != nil,
 		closing:       make(chan struct{}),
@@ -342,13 +351,17 @@ func (p *Pipeline) worker(sh *shard) {
 // runTask executes one task with full per-task accounting; batch
 // draining changes when tasks run, never how they are counted.
 func (p *Pipeline) runTask(sh *shard, t *task) {
+	// Timestamps come from the injected clock so that, under the
+	// simulator's virtual clock, the same seed reproduces the same
+	// latency histograms bit for bit.
+	var start time.Time
 	if p.met != nil {
-		p.met.queueWait.ObserveSince(t.enqueued)
+		p.met.queueWait.ObserveDuration(p.clk.Since(t.enqueued))
+		start = p.clk.Now()
 	}
-	start := time.Now()
 	t.fn()
 	if p.met != nil {
-		p.met.taskDur.ObserveSince(start)
+		p.met.taskDur.ObserveDuration(p.clk.Since(start))
 		p.met.completed.Inc()
 	}
 	p.finishTask(sh, t)
@@ -395,7 +408,7 @@ func (p *Pipeline) Submit(room string, fn func()) error {
 		// submit-to-dequeue, which deliberately includes a blocking
 		// Submit's wait for queue space (the stamp cannot be set after
 		// the send — the worker may already have dequeued the task).
-		t.enqueued = time.Now()
+		t.enqueued = p.clk.Now()
 	}
 
 	p.mu.Lock()

@@ -22,7 +22,13 @@ import (
 // anything not enumerated is invalid, and every ontology edit requires
 // recompiling the dictionary.
 type SLGChecker struct {
-	onto *ontology.Ontology
+	// snap is the one ontology generation the dictionary was compiled
+	// from. Analysis extracts terms from this same pinned snapshot —
+	// never from a fresh pin — so a sentence can never be judged
+	// against a dictionary of one generation and a vocabulary of
+	// another (the torn-generation hazard of DESIGN.md D8, enforced
+	// by the snapshotonce analyzer of D14).
+	snap *ontology.Snapshot
 	// allowed maps feature item ID -> set of concept item IDs.
 	allowed map[int]map[int]bool
 	// entries counts compiled (feature, concept) rows: the dictionary
@@ -33,8 +39,9 @@ type SLGChecker struct {
 // NewSLGChecker compiles the baseline dictionary from one consistent
 // snapshot of the ontology.
 func NewSLGChecker(onto *ontology.Ontology) *SLGChecker {
-	c := &SLGChecker{onto: onto, allowed: make(map[int]map[int]bool)}
+	c := &SLGChecker{allowed: make(map[int]map[int]bool)}
 	snap := onto.Snapshot()
+	c.snap = snap
 	items := snap.Items()
 	for _, it := range items {
 		if it.Kind == ontology.KindConcept {
@@ -71,7 +78,7 @@ func (c *SLGChecker) Analyze(cls sentence.Classification) *Analysis {
 		out.Verdict = VerdictSkipped
 		return out
 	}
-	out.Keywords = c.onto.Snapshot().ExtractTerms(cls.Tokens)
+	out.Keywords = c.snap.ExtractTerms(cls.Tokens)
 	if len(out.Keywords) < 2 {
 		out.Verdict = VerdictSkipped
 		return out

@@ -56,6 +56,7 @@ type simClient struct {
 
 // read blocks for the next message (bounded by settleTimeout).
 func (c *simClient) read() (chat.Message, error) {
+	//semalint:allow injectedclock: the settle guard bounds a real blocking read on a live conn; virtual time cannot unblock it
 	_ = c.conn.SetReadDeadline(time.Now().Add(settleTimeout))
 	m, err := c.codec.Read()
 	if err != nil {
