@@ -507,6 +507,28 @@ func BenchmarkE12OverloadShedding(b *testing.B) {
 	}
 }
 
+// BenchmarkE16ClusterFailover measures the cluster failover path
+// (experiment E16): the three-arm drill — a golden single-node session
+// against the same session on the room-partitioned fabric, with and
+// without a mid-session owner kill — plus a small node-kill/partition
+// sweep audited against the failover invariant. The reported metrics
+// are the reconnect-window size and the promotion's WAL replay, the
+// costs a node death actually imposes on a live classroom.
+func BenchmarkE16ClusterFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunE16(eval.E16Config{Seed: 160, Rooms: 4, RoomsPerWave: 1, Nodes: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Failed(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.WindowDeliveries), "window-msgs")
+		b.ReportMetric(float64(res.Promotion.ReplayApplied), "replayed-recs")
+		b.ReportMetric(float64(res.Failovers+1), "failovers")
+	}
+}
+
 // BenchmarkE10SnapshotReadPath measures the knowledge-layer read path
 // (experiment E10): the legacy locked ontology (RWMutex + map-allocating
 // Dijkstra per query) against the immutable compiled snapshot

@@ -120,6 +120,43 @@ func (r *report) String() string {
 	return b.String()
 }
 
+// Markdown renders the report as a GitHub-flavored table for the job
+// step summary: per-benchmark old/new medians and the signed delta (a
+// positive delta is an improvement, the ratio is normalized that way).
+func (r *report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Benchmark %s gate\n\n", r.Label)
+	b.WriteString("| benchmark | unit | old | new | delta |\n")
+	b.WriteString("|---|---|---:|---:|---:|\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "| `%s` | %s | %.1f | %.1f | %+.1f%% |\n",
+			row.Name, row.Unit, row.Old, row.New, (row.Ratio-1)*100)
+	}
+	fmt.Fprintf(&b, "\n**geomean %s ratio: %.3f** (1.0 = unchanged, < 1.0 = regression)\n\n", r.Label, r.Geomean)
+	return b.String()
+}
+
+// appendStepSummary writes the markdown tables to the file GitHub
+// Actions exposes via $GITHUB_STEP_SUMMARY; outside Actions (the env
+// var unset) it is a no-op.
+func appendStepSummary(reports ...*report) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: step summary:", err)
+		return
+	}
+	defer f.Close()
+	for _, r := range reports {
+		if r != nil {
+			_, _ = f.WriteString(r.Markdown())
+		}
+	}
+}
+
 // compare matches benchmarks present in both runs and computes the
 // per-benchmark medians, normalized ratios, and their geomean.
 // "msg/s" (higher is better) wins over ns/op (lower is better) when

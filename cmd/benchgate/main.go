@@ -25,6 +25,10 @@
 // -allocthreshold (default 0.85; 0 disables). Benchmarks lacking
 // allocs/op on either side are skipped, so baselines captured before
 // -benchmem was added never fail the build.
+//
+// When $GITHUB_STEP_SUMMARY is set (GitHub Actions exports it in every
+// job) the same per-benchmark old/new/delta tables are appended there
+// as markdown, so the comparison shows up on the run's summary page.
 package main
 
 import (
@@ -55,22 +59,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	report, err := compare(oldRuns, newRuns)
+	rep, err := compare(oldRuns, newRuns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	fmt.Print(report.String())
+	fmt.Print(rep.String())
 	fail := false
-	if report.Geomean < *threshold {
+	if rep.Geomean < *threshold {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean performance ratio %.3f below threshold %.3f (>%.0f%% regression)\n",
-			report.Geomean, *threshold, (1-*threshold)*100)
+			rep.Geomean, *threshold, (1-*threshold)*100)
 		fail = true
 	} else {
-		fmt.Printf("benchgate: OK — geomean performance ratio %.3f (threshold %.3f)\n", report.Geomean, *threshold)
+		fmt.Printf("benchgate: OK — geomean performance ratio %.3f (threshold %.3f)\n", rep.Geomean, *threshold)
 	}
+	var arep *report
 	if *allocThreshold > 0 {
-		if arep := compareAllocs(oldRuns, newRuns); arep != nil {
+		if arep = compareAllocs(oldRuns, newRuns); arep != nil {
 			fmt.Print(arep.String())
 			if arep.Geomean < *allocThreshold {
 				fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean allocation ratio %.3f below threshold %.3f (>%.0f%% more allocs/op)\n",
@@ -83,6 +88,7 @@ func main() {
 			fmt.Println("benchgate: no allocs/op data in both runs — allocation gate skipped (run with -benchmem to enable)")
 		}
 	}
+	appendStepSummary(rep, arep)
 	if fail {
 		os.Exit(1)
 	}

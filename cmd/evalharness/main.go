@@ -7,9 +7,13 @@
 // E13 (deterministic scenario-matrix simulation scoring per-persona
 // detection precision/recall), E14 (population-scale chaos sweep:
 // generated classrooms with seeded fault schedules, audited against
-// invariants) and E15 (wire-to-verdict throughput and allocations,
+// invariants), E15 (wire-to-verdict throughput and allocations,
 // newline-JSON vs length-prefixed binary framing, across supervision
-// pool sizes).
+// pool sizes) and E16 (cluster failover: a deterministic three-arm
+// drill — golden single-node session vs the identical session on the
+// room-partitioned fabric, with and without a mid-session owner
+// kill — plus a generated node-kill/partition chaos sweep audited
+// against the failover invariant).
 //
 // Usage:
 //
@@ -22,6 +26,7 @@
 //	evalharness -exp E13 -json            # persona-matrix detection scores (JSON)
 //	evalharness -exp E14 -seed 7 -json    # chaos sweep; exits nonzero on violation
 //	evalharness -exp E15 -json            # text vs binary wire comparison (JSON)
+//	evalharness -exp E16 -seed 7 -json    # cluster failover drill + chaos sweep
 //	evalharness -exp E10,E11,E12,E13 -json  # one JSON array: the CI perf trajectory
 //
 // A comma-separated -exp list runs each experiment in order; with -json
@@ -42,11 +47,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment(s) to run: E1..E15, a comma-separated list, or all")
+		exp      = flag.String("exp", "all", "experiment(s) to run: E1..E16, a comma-separated list, or all")
 		n        = flag.Int("n", 1000, "workload size (samples/questions)")
 		seed     = flag.Int64("seed", 1, "workload seed")
-		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11, E12, E13, E14)")
-		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10..E15)")
+		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11, E12, E13, E14, E16)")
+		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10..E16)")
 	)
 	flag.Parse()
 	p := params{n: *n, seed: *seed, rooms: *rooms, json: *jsonFlag}
@@ -73,7 +78,7 @@ type params struct {
 }
 
 // allExperiments is the canonical order.
-var allExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+var allExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
 
 // textRunners print human-readable tables; jsonResults produce the
 // machine-readable result objects for the experiments that support
@@ -83,11 +88,12 @@ var (
 		"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4,
 		"E5": runE5, "E6": runE6, "E7": runE7, "E8": runE8,
 		"E9": runE9, "E10": runE10, "E11": runE11, "E12": runE12,
-		"E13": runE13, "E14": runE14, "E15": runE15,
+		"E13": runE13, "E14": runE14, "E15": runE15, "E16": runE16,
 	}
 	jsonResults = map[string]func(params) (interface{}, error){
 		"E10": resultE10, "E11": resultE11, "E12": resultE12,
 		"E13": resultE13, "E14": resultE14, "E15": resultE15,
+		"E16": resultE16,
 	}
 )
 
@@ -115,7 +121,7 @@ func run(expArg string, p params) error {
 	}
 	for _, name := range names {
 		if _, ok := textRunners[name]; !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E15, a comma-separated list, or all)", name)
+			return fmt.Errorf("unknown experiment %q (want E1..E16, a comma-separated list, or all)", name)
 		}
 	}
 
@@ -124,7 +130,7 @@ func run(expArg string, p params) error {
 		for _, name := range names {
 			getter, ok := jsonResults[name]
 			if !ok {
-				return fmt.Errorf("%s does not support -json (supported: E10..E15)", name)
+				return fmt.Errorf("%s does not support -json (supported: E10..E16)", name)
 			}
 			res, err := getter(p)
 			if err != nil {
@@ -521,6 +527,67 @@ func runE14(p params) error {
 		return err
 	}
 	fmt.Printf("all invariants held; reproduce with: evalharness -exp E14 -seed %d\n", res.Config.Seed)
+	return nil
+}
+
+func e16Config(p params) eval.E16Config {
+	cfg := eval.E16Config{Seed: p.seed}
+	if p.roomsSet {
+		cfg.Rooms = p.rooms
+	}
+	return cfg
+}
+
+func resultE16(p params) (interface{}, error) {
+	return eval.RunE16(e16Config(p))
+}
+
+func runE16(p params) error {
+	res, err := eval.RunE16(e16Config(p))
+	if err != nil {
+		return err
+	}
+	header("E16 cluster failover: golden vs fabric vs mid-session owner kill (D15)")
+	fmt.Printf("drill seed: %d   kill step: %d   reconnect-window deliveries: %d\n",
+		res.Config.Seed, res.KillStep, res.WindowDeliveries)
+	fmt.Println("arm        sent  supervised  deliveries  verdicts")
+	for _, arm := range []struct {
+		name string
+		a    eval.E16Arm
+	}{
+		{"golden", res.Golden},
+		{"cluster", res.Cluster},
+		{"failover", res.Failover},
+	} {
+		fmt.Printf("%-9s %5d  %10d  %10d  %8d\n",
+			arm.name, arm.a.Sent, arm.a.Supervised, arm.a.Deliveries, arm.a.Verdicts)
+	}
+	p16 := res.Promotion
+	fmt.Printf("promotion: %s -> %s, %d rooms moved; standby LSN %d >= dead fsync LSN %d, replayed %d records (%d errors)\n",
+		p16.Dead, p16.Promoted, len(p16.Moves), p16.SinkLastLSN, p16.DeadSyncedLSN, p16.ReplayApplied, p16.ReplayErrors)
+	fmt.Printf("sweep: %d waves, %d rooms, %d students, %d messages; %d node kills, %d partitions, %d failovers\n",
+		res.Waves, res.Rooms, res.Students, res.Messages,
+		res.Faults.NodeKills, res.Faults.Partitions, res.Failovers)
+	names := make([]string, 0, len(res.InvariantChecks))
+	for name := range res.InvariantChecks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("invariant              waves-audited")
+	for _, name := range names {
+		fmt.Printf("%-22s %13d\n", name, res.InvariantChecks[name])
+	}
+	if err := res.Failed(); err != nil {
+		for _, d := range res.Divergences {
+			fmt.Printf("DIVERGENCE %s\n", d)
+		}
+		for _, v := range res.Violations {
+			fmt.Printf("VIOLATION wave %d (seed %d) %s: %s\n", v.Wave, v.Seed, v.Invariant, v.Detail)
+		}
+		return err
+	}
+	fmt.Printf("drill matched golden outside the window and all invariants held; reproduce with: evalharness -exp E16 -seed %d\n",
+		res.Config.Seed)
 	return nil
 }
 

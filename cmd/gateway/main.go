@@ -1,0 +1,196 @@
+// Command gateway runs the room-partitioned classroom fabric behind a
+// real TCP edge (DESIGN.md D15): N supervised chat nodes — each with
+// its own journal, WAL-shipped warm standby, and supervision stack —
+// fronted by the cluster gateway. Clients connect once to the gateway
+// address; each room is routed to its owner node over the binary wire
+// protocol, and when a node dies its standby is promoted without the
+// clients re-dialing.
+//
+// A tiny admin console reads from stdin:
+//
+//	status        print live nodes and the room-ownership map
+//	kill n0       crash lineage n0 (standby promoted after the lease)
+//	quit          graceful shutdown
+//
+// Quickstart (two nodes plus the gateway in one process):
+//
+//	gateway -listen :9200 -nodes 2 -data /tmp/classroom
+//	nc localhost 9200             # then: {"type":"join","room":"algebra","from":"alice"}
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"semagent/internal/chat"
+	"semagent/internal/cluster"
+	"semagent/internal/core"
+	"semagent/internal/journal"
+	"semagent/internal/memnet"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":9200", "client edge address (TCP)")
+		nodes  = flag.Int("nodes", 2, "node lineages in the fabric")
+		data   = flag.String("data", "", "base directory for journals and standbys (required)")
+		lease  = flag.Duration("lease", 10*time.Second, "room-ownership lease")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "gateway: -data is required")
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "gateway: ", log.LstdFlags)
+
+	fab, err := cluster.NewFabric(cluster.FabricConfig{
+		Nodes:   *nodes,
+		Lease:   *lease,
+		BaseDir: *data,
+		Start:   startNode(logger),
+	})
+	if err != nil {
+		logger.Fatalf("fabric: %v", err)
+	}
+	gw := cluster.NewGateway(fab, nil)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	gw.Serve(ln)
+	logger.Printf("serving %d-node fabric on %s (lease %s, data %s)", *nodes, ln.Addr(), *lease, *data)
+
+	// Failovers are scheduled per kill, one lease (plus slack) after the
+	// owner died — the map refuses to promote over a live lease, and an
+	// idle tick would find nothing to do.
+	var failMu sync.Mutex
+	failover := func() {
+		failMu.Lock()
+		defer failMu.Unlock()
+		promos, err := fab.Failover()
+		if err != nil {
+			logger.Printf("failover: %v", err)
+		}
+		for _, p := range promos {
+			logger.Printf("promoted %s -> %s: %d rooms moved, standby LSN %d (dead fsync %d), replayed %d records (%d errors)",
+				p.Dead, p.Promoted, len(p.Moves), p.SinkLastLSN, p.DeadSyncedLSN, p.ReplayApplied, p.ReplayErrors)
+		}
+	}
+
+	done := make(chan struct{})
+	go console(os.Stdin, logger, fab, gw, *lease, failover, done)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case <-done:
+	}
+	logger.Printf("shutting down")
+	if err := gw.Close(); err != nil {
+		logger.Printf("gateway close: %v", err)
+	}
+	if err := fab.Close(); err != nil {
+		logger.Printf("fabric close: %v", err)
+	}
+	for _, err := range fab.ShipErrors() {
+		logger.Printf("replication: %v", err)
+	}
+}
+
+// startNode builds the FabricConfig.Start callback: one full
+// supervision stack per incarnation, journaled over the incarnation's
+// directory with the WAL-shipping hook installed, serving its chat
+// protocol on an in-process transport only the gateway dials.
+func startNode(logger *log.Logger) func(cluster.NodeID, string, func(uint64)) (*cluster.NodeHandle, error) {
+	return func(id cluster.NodeID, dir string, onSync func(uint64)) (*cluster.NodeHandle, error) {
+		stores, err := journal.LoadStores(dir)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: load stores: %w", id, err)
+		}
+		mgr, err := journal.Open(dir, stores, journal.Options{
+			Logger: logger,
+			OnSync: onSync,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %s: open journal: %w", id, err)
+		}
+		sup, err := core.New(core.Config{
+			Ontology: stores.Ontology,
+			Corpus:   stores.Corpus,
+			Profiles: stores.Profiles,
+			FAQ:      stores.FAQ,
+		})
+		if err != nil {
+			_ = mgr.Close()
+			return nil, fmt.Errorf("node %s: supervisor: %w", id, err)
+		}
+		srv := chat.NewServer(chat.ServerOptions{
+			Supervisor: sup.ChatSupervisor(),
+			Async:      true,
+		})
+		ln := memnet.NewListener()
+		srv.Serve(ln)
+		return &cluster.NodeHandle{
+			Dial: func() (net.Conn, error) { return ln.Dial() },
+			Idle: srv.Idle,
+			Kill: func() error {
+				// The simulated power cut: no flush, no seal — recovery
+				// must come from the shipped WAL.
+				err := srv.Close()
+				mgr.Abandon()
+				return err
+			},
+			Stop: func() error {
+				err := srv.Close()
+				if cerr := mgr.Close(); err == nil {
+					err = cerr
+				}
+				return err
+			},
+			Stats: mgr.Stats,
+		}, nil
+	}
+}
+
+// console is the stdin admin loop.
+func console(in *os.File, logger *log.Logger, fab *cluster.Fabric, gw *cluster.Gateway, lease time.Duration, failover func(), done chan<- struct{}) {
+	defer close(done)
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "status":
+			fmt.Printf("live nodes: %v   gateway links: %d\n", fab.LiveNodes(), gw.Links())
+			for _, o := range fab.Owners().Snapshot() {
+				fmt.Printf("  room %-20s -> %s (epoch %d)\n", o.Room, o.Node, o.Epoch)
+			}
+		case "kill":
+			if len(fields) != 2 {
+				fmt.Println("usage: kill <lineage>   e.g. kill n0")
+				continue
+			}
+			if err := fab.Kill(fields[1]); err != nil {
+				fmt.Printf("kill: %v\n", err)
+				continue
+			}
+			logger.Printf("killed %s; promoting its standby in %s", fields[1], lease+time.Second)
+			time.AfterFunc(lease+time.Second, failover)
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("commands: status | kill <lineage> | quit")
+		}
+	}
+}

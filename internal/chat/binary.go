@@ -23,6 +23,7 @@ import (
 const (
 	flagPrivate = 1 << 0
 	flagTime    = 1 << 1
+	flagResume  = 1 << 2
 )
 
 // typeCodes maps the protocol's message types to frame type bytes.
@@ -55,6 +56,9 @@ func appendBinaryFrame(dst []byte, m Message) []byte {
 	}
 	if !m.Time.IsZero() {
 		flags |= flagTime
+	}
+	if m.Resume {
+		flags |= flagResume
 	}
 	dst = append(dst, code, flags)
 	if flags&flagTime != 0 {
@@ -150,6 +154,7 @@ func (c *Codec) readBinary() (Message, error) {
 		rest = rest[12:]
 	}
 	m.Private = flags&flagPrivate != 0
+	m.Resume = flags&flagResume != 0
 
 	var field []byte
 	var err error

@@ -58,6 +58,13 @@ type Message struct {
 	// the server echoes it on the welcome to acknowledge, and both sides
 	// switch immediately after the welcome (see DESIGN.md D13).
 	Wire Wire `json:"wire,omitempty"`
+	// Resume marks a join as a reconnection that already observed the
+	// room: the server skips the history replay it would otherwise
+	// enqueue behind the welcome. The cluster gateway sets it when it
+	// re-routes a live client to a new or recovered owner, so failover
+	// never re-delivers messages the client has already seen
+	// (DESIGN.md D15).
+	Resume bool `json:"resume,omitempty"`
 }
 
 // maxLineBytes bounds a single protocol unit — a text line or a binary

@@ -182,11 +182,14 @@ type client struct {
 	// codec itself switches only after the welcome is written; queue
 	// order guarantees everything enqueued after the join is written
 	// after that switch.
-	wire  Wire
-	conn  net.Conn
-	codec *Codec
-	out   chan outMsg
-	done  chan struct{}
+	wire Wire
+	// resume marks a reconnecting join (Message.Resume): the client has
+	// already seen the room, so no history replay.
+	resume bool
+	conn   net.Conn
+	codec  *Codec
+	out    chan outMsg
+	done   chan struct{}
 	// dropped latches the stalled-client disconnect so the counter and
 	// log fire once per client, not once per undeliverable message.
 	dropped atomic.Bool
@@ -315,32 +318,38 @@ func (s *Server) Serve(l net.Listener) {
 // before Quiesce can vouch for the consequences. The scenario simulator
 // uses exactly that two-step barrier between scripted events.
 func (s *Server) Quiesce(timeout time.Duration) bool {
-	return clock.Until(timeout, func() bool {
-		if s.activeSays.Load() != 0 || s.activeBroadcasts.Load() != 0 {
+	return clock.Until(timeout, s.Idle)
+}
+
+// Idle is Quiesce's instantaneous predicate: true when no work the
+// server has accepted is still in flight. Exported so composite
+// barriers (the cluster fabric's multi-node quiesce) can AND it with
+// their own idleness conditions inside one clock.Until poll.
+func (s *Server) Idle() bool {
+	if s.activeSays.Load() != 0 || s.activeBroadcasts.Load() != 0 {
+		return false
+	}
+	// Pipeline pending is checked after activeSays: a say still in
+	// flight may be about to submit. Task completion enqueues the
+	// agent responses before the pipeline counts the task done, so
+	// Pending()==0 implies the responses are in the client queues,
+	// where the pending counters below see them.
+	if s.pipe != nil {
+		if st := s.pipe.Stats(); st.Pending() != 0 {
 			return false
 		}
-		// Pipeline pending is checked after activeSays: a say still in
-		// flight may be about to submit. Task completion enqueues the
-		// agent responses before the pipeline counts the task done, so
-		// Pending()==0 implies the responses are in the client queues,
-		// where the pending counters below see them.
-		if s.pipe != nil {
-			if st := s.pipe.Stats(); st.Pending() != 0 {
-				return false
-			}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.clients {
+		if c.writerGone.Load() {
+			continue
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		for c := range s.clients {
-			if c.writerGone.Load() {
-				continue
-			}
-			if c.pending.Load() != 0 {
-				return false
-			}
+		if c.pending.Load() != 0 {
+			return false
 		}
-		return true
-	})
+	}
+	return true
 }
 
 func (s *Server) acceptLoop(l net.Listener) {
@@ -443,10 +452,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 
 	c := &client{
-		name:  first.From,
-		room:  first.Room,
-		conn:  conn,
-		codec: codec,
+		name:   first.From,
+		room:   first.Room,
+		resume: first.Resume,
+		conn:   conn,
+		codec:  codec,
 		// The queue must absorb the join-time burst — welcome plus a
 		// full history replay, enqueued before the writer goroutine
 		// starts — on top of the configured live-traffic slack.
@@ -716,8 +726,10 @@ func (s *Server) join(c *client) error {
 	// Wire echoes the client's negotiated framing ("" for text keeps the
 	// welcome JSON byte-identical to the pre-negotiation protocol).
 	s.enqueue(c, Message{Type: TypeWelcome, Room: c.room, Text: "welcome, " + c.name, Time: s.clk.Now(), Wire: c.wire})
-	for _, m := range r.history {
-		s.enqueue(c, m)
+	if !c.resume {
+		for _, m := range r.history {
+			s.enqueue(c, m)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,435 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"semagent/internal/clock"
+	"semagent/internal/journal"
+)
+
+// NodeHandle is the fabric's view of one running node incarnation. The
+// fabric never builds servers or supervisors itself — the Start
+// callback in FabricConfig does, so this package stays independent of
+// the core supervision stack and the same fabric drives both the
+// deterministic simulator (memnet transports, virtual clock) and
+// cmd/gateway (real stores, wall clock).
+type NodeHandle struct {
+	// Dial opens a connection to the node's chat server.
+	Dial func() (net.Conn, error)
+	// Idle reports the node's instantaneous quiescence (chat.Server.Idle
+	// plus anything node-local); used by the fabric's settle barrier.
+	Idle func() bool
+	// Kill crashes the node: close the chat server and abandon its
+	// journal without flushing (the simulated power cut).
+	Kill func() error
+	// Stop shuts the node down gracefully (final checkpoint, seal).
+	Stop func() error
+	// Stats returns the node's journal counters (SyncedLSN watermark,
+	// replay figures after a promotion).
+	Stats func() journal.Stats
+}
+
+// FabricConfig configures a classroom fabric.
+type FabricConfig struct {
+	// Nodes is the initial node count (default 2).
+	Nodes int
+	// Lease is the room-ownership lease (default 10s on the fabric's
+	// clock).
+	Lease time.Duration
+	// BaseDir holds every incarnation's journal directory and warm
+	// standby directory.
+	BaseDir string
+	// Clock drives leases and liveness; the simulator injects its
+	// virtual clock.
+	Clock clock.Clock
+	// Start launches a node incarnation over the given journal
+	// directory. The incarnation MUST install onSync as its journal
+	// Options.OnSync hook — that hook is the WAL shipping path; without
+	// it the node has no warm standby and its rooms die with it.
+	Start func(id NodeID, dir string, onSync func(synced uint64)) (*NodeHandle, error)
+}
+
+// nodeState is one live (or dead-awaiting-failover) incarnation.
+type nodeState struct {
+	base   string // lineage name: "n0" stays "n0" across incarnations
+	gen    int    // incarnation number within the lineage
+	id     NodeID // "n0", "n0+1", ...
+	dir    string
+	handle *NodeHandle
+
+	// WAL shipping: tail of this node's journal into its standby sink.
+	// shipMu serializes the seeding ship at provision time with the
+	// journal's OnSync calls (which the appender lock already orders
+	// among themselves).
+	shipMu    sync.Mutex
+	tail      *journal.TailReader
+	sink      *journal.Sink
+	shipEpoch uint64
+	shipErr   error
+
+	killedSynced uint64 // SyncedLSN captured at Kill time
+}
+
+// RoomMove records one room's ownership transfer during a failover.
+type RoomMove struct {
+	Room        string `json:"room"`
+	EpochBefore uint64 `json:"epoch_before"`
+	EpochAfter  uint64 `json:"epoch_after"`
+}
+
+// Promotion reports one dead node's standby being promoted.
+type Promotion struct {
+	Dead     NodeID     `json:"dead"`
+	Promoted NodeID     `json:"promoted"`
+	Moves    []RoomMove `json:"moves"`
+	// DeadSyncedLSN is the durability watermark the dead owner reached;
+	// SinkLastLSN is what its standby had durably received. The failover
+	// invariant (gen.InvFailover) requires Sink ≥ Dead: nothing a
+	// client saw fsync'd may be lost.
+	DeadSyncedLSN uint64 `json:"dead_synced_lsn"`
+	SinkLastLSN   uint64 `json:"sink_last_lsn"`
+	ShippedRecs   uint64 `json:"shipped_records"`
+	ReplayApplied int    `json:"replay_applied"`
+	ReplayErrors  int    `json:"replay_errors"`
+	ReplayLastLSN uint64 `json:"replay_last_lsn"`
+}
+
+// Fabric owns the ownership map and the node incarnations. All
+// liveness transitions (Kill, Failover) are explicit calls — no
+// background goroutines — so the simulator replays identical schedules
+// from identical seeds; cmd/gateway drives the same calls from a
+// ticker on the system clock.
+type Fabric struct {
+	cfg FabricConfig
+	clk clock.Clock
+
+	owners *OwnerMap
+
+	mu    sync.Mutex
+	nodes map[NodeID]*nodeState // live incarnations
+	bases map[string]*nodeState // lineage -> live incarnation (nil entry while dead)
+	dead  []*nodeState          // killed, awaiting Failover
+	epoch uint64                // ship-epoch counter across incarnations
+}
+
+// NewFabric provisions the initial nodes (lineages "n0".."n<N-1>") and
+// returns the running fabric.
+func NewFabric(cfg FabricConfig) (*Fabric, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.Start == nil {
+		return nil, fmt.Errorf("cluster: FabricConfig.Start is required")
+	}
+	f := &Fabric{
+		cfg:   cfg,
+		clk:   clock.Or(cfg.Clock),
+		nodes: make(map[NodeID]*nodeState),
+		bases: make(map[string]*nodeState),
+	}
+	f.owners = NewOwnerMap(cfg.Lease, f.clk)
+	for i := 0; i < cfg.Nodes; i++ {
+		base := fmt.Sprintf("n%d", i)
+		ns, err := f.provision(base, 0, "")
+		if err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		f.nodes[ns.id] = ns
+		f.bases[base] = ns
+	}
+	return f, nil
+}
+
+// provision starts incarnation gen of a lineage. dir == "" means a
+// fresh journal directory; a promotion passes the dead node's standby
+// directory instead, so the new incarnation boots by replaying the
+// shipped WAL. After Start, the whole durable log is shipped once into
+// the incarnation's own fresh standby — so a lineage killed twice in a
+// row without intervening mutations still loses nothing.
+func (f *Fabric) provision(base string, gen int, dir string) (*nodeState, error) {
+	id := NodeID(base)
+	if gen > 0 {
+		id = NodeID(fmt.Sprintf("%s+%d", base, gen))
+	}
+	if dir == "" {
+		dir = filepath.Join(f.cfg.BaseDir, string(id))
+	}
+	sink, err := journal.OpenSink(filepath.Join(f.cfg.BaseDir, string(id)+"-standby"))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: standby for %s: %w", id, err)
+	}
+	f.epoch++
+	ns := &nodeState{
+		base: base, gen: gen, id: id, dir: dir,
+		tail: journal.NewTailReader(dir), sink: sink, shipEpoch: f.epoch,
+	}
+	handle, err := f.cfg.Start(id, dir, ns.ship)
+	if err != nil {
+		_ = sink.Close()
+		return nil, fmt.Errorf("cluster: start %s: %w", id, err)
+	}
+	ns.handle = handle
+	// Seed the standby with everything already durable (non-empty for a
+	// promoted incarnation booting from shipped segments).
+	ns.ship(handle.Stats().SyncedLSN)
+	return ns, nil
+}
+
+// ship streams every durable record up to synced into the standby.
+// Installed as the journal's OnSync hook, so replication lag is
+// exactly durability lag.
+func (ns *nodeState) ship(synced uint64) {
+	ns.shipMu.Lock()
+	defer ns.shipMu.Unlock()
+	if ns.shipErr != nil {
+		return
+	}
+	recs, err := ns.tail.Next(synced)
+	if err != nil {
+		ns.shipErr = err
+		return
+	}
+	if len(recs) == 0 {
+		return
+	}
+	if err := ns.sink.Apply(ns.shipEpoch, recs); err != nil {
+		ns.shipErr = err
+	}
+}
+
+// ShipErrors returns replication errors accumulated by any incarnation
+// (live or dead), sorted by node id. Empty means every fsync'd record
+// reached its standby.
+func (f *Fabric) ShipErrors() []error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var states []*nodeState
+	for _, ns := range f.nodes {
+		states = append(states, ns)
+	}
+	states = append(states, f.dead...)
+	sort.Slice(states, func(i, j int) bool { return states[i].id < states[j].id })
+	var errs []error
+	for _, ns := range states {
+		ns.shipMu.Lock()
+		if ns.shipErr != nil {
+			errs = append(errs, fmt.Errorf("node %s: %w", ns.id, ns.shipErr))
+		}
+		ns.shipMu.Unlock()
+	}
+	return errs
+}
+
+// Owners exposes the ownership map (status endpoints, tests).
+func (f *Fabric) Owners() *OwnerMap { return f.owners }
+
+// Current resolves a lineage base name to its live incarnation.
+func (f *Fabric) Current(base string) (NodeID, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ns := f.bases[base]
+	if ns == nil {
+		return "", false
+	}
+	return ns.id, true
+}
+
+// LiveNodes returns the live incarnation ids, sorted.
+func (f *Fabric) LiveNodes() []NodeID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]NodeID, 0, len(f.nodes))
+	for id := range f.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Owner resolves (and on first contact assigns) a room's owner. New
+// rooms are placed by a stable hash of the room name over the sorted
+// live lineages, so placement is deterministic for a given set of
+// live nodes.
+func (f *Fabric) Owner(room string) (Ownership, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if o, ok := f.owners.Lookup(room); ok {
+		return o, nil
+	}
+	var live []string
+	for base, ns := range f.bases {
+		if ns != nil {
+			live = append(live, base)
+		}
+	}
+	if len(live) == 0 {
+		return Ownership{}, fmt.Errorf("cluster: no live nodes to own room %q", room)
+	}
+	sort.Strings(live)
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(room))
+	base := live[int(h.Sum32())%len(live)]
+	return f.owners.Acquire(room, f.bases[base].id)
+}
+
+// DialNode connects to a live incarnation's chat server.
+func (f *Fabric) DialNode(id NodeID) (net.Conn, error) {
+	f.mu.Lock()
+	ns := f.nodes[id]
+	f.mu.Unlock()
+	if ns == nil {
+		return nil, fmt.Errorf("cluster: node %s is not live", id)
+	}
+	return ns.handle.Dial()
+}
+
+// NodeStats returns a live incarnation's journal counters.
+func (f *Fabric) NodeStats(id NodeID) (journal.Stats, bool) {
+	f.mu.Lock()
+	ns := f.nodes[id]
+	f.mu.Unlock()
+	if ns == nil {
+		return journal.Stats{}, false
+	}
+	return ns.handle.Stats(), true
+}
+
+// Kill crashes a lineage's live incarnation: its chat server closes
+// (every gateway link to it severs), its journal is abandoned without
+// a flush, and the incarnation joins the dead list until Failover
+// promotes its standby. The SyncedLSN watermark is captured first —
+// it is the durability bar the promotion must clear.
+func (f *Fabric) Kill(base string) error {
+	f.mu.Lock()
+	ns := f.bases[base]
+	if ns == nil {
+		f.mu.Unlock()
+		return fmt.Errorf("cluster: lineage %s has no live incarnation", base)
+	}
+	delete(f.nodes, ns.id)
+	f.bases[base] = nil
+	f.dead = append(f.dead, ns)
+	f.mu.Unlock()
+
+	ns.killedSynced = ns.handle.Stats().SyncedLSN
+	return ns.handle.Kill()
+}
+
+// Failover promotes every dead incarnation's warm standby: the sink is
+// fenced (a late group commit from the dead owner must not land) and
+// closed, a new incarnation boots on the sink's directory — ordinary
+// WAL recovery over the shipped segments — and each of the dead
+// node's rooms moves to it with a bumped fencing epoch. Live owners'
+// leases are renewed in the same pass (probe-based renewal: the
+// fabric has no renewal goroutine, see the package comment).
+//
+// Promotions require the dead owner's lease to have expired on the
+// fabric's clock; callers advance past the lease (simulator) or run
+// Failover on a ticker slower than nothing but faster than the lease
+// (cmd/gateway).
+func (f *Fabric) Failover() ([]Promotion, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dead := f.dead
+	f.dead = nil
+	var promos []Promotion
+	for _, ns := range dead {
+		ns.sink.Fence(ns.shipEpoch + 1)
+		sinkLSN, shipped := ns.sink.LastLSN(), ns.sink.Records()
+		if err := ns.sink.Close(); err != nil {
+			return promos, fmt.Errorf("cluster: close standby of %s: %w", ns.id, err)
+		}
+		succ, err := f.provision(ns.base, ns.gen+1, ns.sink.Dir())
+		if err != nil {
+			return promos, fmt.Errorf("cluster: promote standby of %s: %w", ns.id, err)
+		}
+		f.nodes[succ.id] = succ
+		f.bases[ns.base] = succ
+		p := Promotion{
+			Dead: ns.id, Promoted: succ.id,
+			DeadSyncedLSN: ns.killedSynced, SinkLastLSN: sinkLSN, ShippedRecs: shipped,
+		}
+		st := succ.handle.Stats()
+		p.ReplayApplied = st.Replay.Applied
+		p.ReplayErrors = st.Replay.Errors
+		p.ReplayLastLSN = st.Replay.LastLSN
+		for _, room := range f.owners.Rooms(ns.id) {
+			before, _ := f.owners.Lookup(room)
+			after, err := f.owners.Promote(room, succ.id)
+			if err != nil {
+				return promos, fmt.Errorf("cluster: promote %s: %w", room, err)
+			}
+			p.Moves = append(p.Moves, RoomMove{Room: room, EpochBefore: before.Epoch, EpochAfter: after.Epoch})
+		}
+		promos = append(promos, p)
+	}
+	// Renew the live owners (promoted incarnations included).
+	ids := make([]NodeID, 0, len(f.nodes))
+	for id := range f.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for _, room := range f.owners.Rooms(id) {
+			if o, ok := f.owners.Lookup(room); ok && o.Node == id {
+				if _, err := f.owners.Renew(room, id, o.Epoch); err != nil {
+					return promos, err
+				}
+			}
+		}
+	}
+	return promos, nil
+}
+
+// NodesIdle reports whether every live node is instantaneously idle.
+// Combined with Gateway.Idle under one clock.Until poll, this is the
+// cluster-wide settle barrier.
+func (f *Fabric) NodesIdle() bool {
+	f.mu.Lock()
+	states := make([]*nodeState, 0, len(f.nodes))
+	for _, ns := range f.nodes {
+		states = append(states, ns)
+	}
+	f.mu.Unlock()
+	for _, ns := range states {
+		if !ns.handle.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops every live incarnation gracefully and closes the
+// standbys. Dead incarnations were already torn down by Kill.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	states := make([]*nodeState, 0, len(f.nodes))
+	for _, ns := range f.nodes {
+		states = append(states, ns)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].id < states[j].id })
+	f.nodes = make(map[NodeID]*nodeState)
+	for base := range f.bases {
+		f.bases[base] = nil
+	}
+	f.mu.Unlock()
+	var first error
+	for _, ns := range states {
+		if ns.handle != nil {
+			if err := ns.handle.Stop(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := ns.sink.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

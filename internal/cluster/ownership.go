@@ -1,0 +1,211 @@
+// Package cluster is the multi-node classroom fabric (DESIGN.md D15):
+// a versioned room-ownership map with leases and fencing epochs, a
+// warm-standby failover fabric that promotes a dead owner's replica
+// from its shipped WAL segments, and a gateway that owns the client
+// edge and relays each room to its current owner over the binary wire
+// protocol.
+//
+// Rooms are the shard key (they already shard the supervision
+// pipeline, DESIGN.md D7), so ownership is per room: exactly one node
+// holds a room's lease at a time, and every transfer — graceful
+// handoff or crash promotion — increments the room's fencing epoch.
+// A deposed owner that wakes up and tries to keep writing presents a
+// stale epoch and is refused (journal.Sink.Apply returns ErrFenced),
+// which is what makes "at most one live owner per room" a safety
+// property rather than a timing assumption.
+//
+// All liveness decisions are probe-based against an injected clock:
+// nothing in this package spawns a renewal goroutine, so the scenario
+// simulator drives failover deterministically by advancing its virtual
+// clock past the lease and calling Fabric.Failover.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"semagent/internal/clock"
+)
+
+// NodeID names a cluster node incarnation.
+type NodeID string
+
+// Ownership is one room's current assignment.
+type Ownership struct {
+	Room    string    `json:"room"`
+	Node    NodeID    `json:"node"`
+	Epoch   uint64    `json:"epoch"`
+	Expires time.Time `json:"expires"`
+}
+
+// Errors returned by ownership transitions.
+var (
+	// ErrOwned: the room is held by another node whose lease is live.
+	ErrOwned = errors.New("cluster: room owned by another live node")
+	// ErrFenced: the caller's epoch is stale — it was deposed and must
+	// not write.
+	ErrFenced = errors.New("cluster: stale epoch (owner deposed)")
+	// ErrLeaseLive: promotion refused because the current owner's
+	// lease has not expired.
+	ErrLeaseLive = errors.New("cluster: current owner lease still live")
+)
+
+// OwnerMap is the versioned room-ownership table. It is safe for
+// concurrent use; every successful mutation bumps Version so watchers
+// (the gateway's relay links) can cheaply detect "the world changed
+// since I routed this room".
+type OwnerMap struct {
+	lease time.Duration
+	clk   clock.Clock
+
+	mu      sync.Mutex
+	rooms   map[string]Ownership
+	version uint64
+}
+
+// NewOwnerMap returns an empty map handing out leases of the given
+// duration on the given clock (nil = system clock).
+func NewOwnerMap(lease time.Duration, clk clock.Clock) *OwnerMap {
+	if lease <= 0 {
+		lease = 10 * time.Second
+	}
+	return &OwnerMap{lease: lease, clk: clock.Or(clk), rooms: make(map[string]Ownership)}
+}
+
+// Lease returns the configured lease duration.
+func (m *OwnerMap) Lease() time.Duration { return m.lease }
+
+// Version returns the map's mutation counter.
+func (m *OwnerMap) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// Lookup returns the room's current assignment. ok is false when the
+// room has never been acquired. An expired assignment is still
+// returned — expiry gates *transitions* (Acquire/Promote), not reads,
+// so a router can keep forwarding to a slow-but-alive owner until
+// someone actually takes the room over.
+func (m *OwnerMap) Lookup(room string) (Ownership, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.rooms[room]
+	return o, ok
+}
+
+// Acquire claims an unowned or lease-expired room for node, or renews
+// node's own live claim. Claiming a room whose previous owner differs
+// (expired lease) increments the epoch exactly like a promotion; a
+// same-node renewal keeps it. Returns ErrOwned while another node's
+// lease is live.
+func (m *OwnerMap) Acquire(room string, node NodeID) (Ownership, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clk.Now()
+	o, ok := m.rooms[room]
+	switch {
+	case !ok:
+		o = Ownership{Room: room, Node: node, Epoch: 1}
+	case o.Node == node:
+		// renewal, epoch unchanged
+	case now.Before(o.Expires):
+		return Ownership{}, fmt.Errorf("%w: %s held by %s until %s", ErrOwned, room, o.Node, o.Expires.Format(time.RFC3339))
+	default:
+		o.Node = node
+		o.Epoch++
+	}
+	o.Expires = now.Add(m.lease)
+	m.rooms[room] = o
+	m.version++
+	return o, nil
+}
+
+// Renew extends node's lease on the room. The caller must present its
+// current epoch; a deposed owner renewing with a stale epoch gets
+// ErrFenced instead of silently resurrecting its claim.
+func (m *OwnerMap) Renew(room string, node NodeID, epoch uint64) (Ownership, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.rooms[room]
+	if !ok || o.Node != node || o.Epoch != epoch {
+		return Ownership{}, fmt.Errorf("%w: renew %s as %s@%d (current %s@%d)", ErrFenced, room, node, epoch, o.Node, o.Epoch)
+	}
+	o.Expires = m.clk.Now().Add(m.lease)
+	m.rooms[room] = o
+	m.version++
+	return o, nil
+}
+
+// Handoff transfers the room from its current owner to another node.
+// This is the graceful path (drain, rebalance): the outgoing owner
+// must present its live claim, and the new owner starts a fresh epoch
+// immediately — no lease wait.
+func (m *OwnerMap) Handoff(room string, from, to NodeID, epoch uint64) (Ownership, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.rooms[room]
+	if !ok || o.Node != from || o.Epoch != epoch {
+		return Ownership{}, fmt.Errorf("%w: handoff %s from %s@%d (current %s@%d)", ErrFenced, room, from, epoch, o.Node, o.Epoch)
+	}
+	o.Node = to
+	o.Epoch++
+	o.Expires = m.clk.Now().Add(m.lease)
+	m.rooms[room] = o
+	m.version++
+	return o, nil
+}
+
+// Promote seizes a room whose owner's lease has expired (the crash
+// path). It refuses while the lease is live: a promotion racing a
+// healthy owner must lose, otherwise two nodes would both believe
+// they own the room.
+func (m *OwnerMap) Promote(room string, to NodeID) (Ownership, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.rooms[room]
+	if !ok {
+		return Ownership{}, fmt.Errorf("cluster: promote unknown room %q", room)
+	}
+	if o.Node != to && m.clk.Now().Before(o.Expires) {
+		return Ownership{}, fmt.Errorf("%w: %s held by %s until %s", ErrLeaseLive, room, o.Node, o.Expires.Format(time.RFC3339))
+	}
+	if o.Node != to {
+		o.Node = to
+		o.Epoch++
+	}
+	o.Expires = m.clk.Now().Add(m.lease)
+	m.rooms[room] = o
+	m.version++
+	return o, nil
+}
+
+// Rooms returns the rooms currently assigned to node, sorted.
+func (m *OwnerMap) Rooms(node NodeID) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for room, o := range m.rooms {
+		if o.Node == node {
+			out = append(out, room)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns every assignment sorted by room, for status
+// endpoints and result reporting.
+func (m *OwnerMap) Snapshot() []Ownership {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Ownership, 0, len(m.rooms))
+	for _, o := range m.rooms {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Room < out[j].Room })
+	return out
+}

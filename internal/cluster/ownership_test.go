@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"semagent/internal/clock"
+)
+
+var testEpoch = time.Date(2026, time.March, 2, 9, 0, 0, 0, time.UTC)
+
+func TestAcquireAndRenew(t *testing.T) {
+	vc := clock.NewVirtual(testEpoch)
+	m := NewOwnerMap(10*time.Second, vc)
+
+	o, err := m.Acquire("algebra", "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Node != "n0" || o.Epoch != 1 {
+		t.Fatalf("first acquire = %+v, want n0@1", o)
+	}
+	// Same-node re-acquire renews without bumping the epoch.
+	o2, err := m.Acquire("algebra", "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Epoch != 1 {
+		t.Fatalf("renewal bumped epoch to %d", o2.Epoch)
+	}
+	if !o2.Expires.After(o.Expires.Add(-time.Nanosecond)) {
+		t.Fatalf("renewal did not extend the lease")
+	}
+	// Another node is refused while the lease is live.
+	if _, err := m.Acquire("algebra", "n1"); !errors.Is(err, ErrOwned) {
+		t.Fatalf("live-lease steal returned %v, want ErrOwned", err)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	vc := clock.NewVirtual(testEpoch)
+	m := NewOwnerMap(10*time.Second, vc)
+	if _, err := m.Acquire("algebra", "n0"); err != nil {
+		t.Fatal(err)
+	}
+	vc.Advance(9 * time.Second)
+	if _, err := m.Acquire("algebra", "n1"); !errors.Is(err, ErrOwned) {
+		t.Fatalf("steal 1s before expiry returned %v, want ErrOwned", err)
+	}
+	vc.Advance(2 * time.Second)
+	o, err := m.Acquire("algebra", "n1")
+	if err != nil {
+		t.Fatalf("acquire after expiry: %v", err)
+	}
+	if o.Node != "n1" || o.Epoch != 2 {
+		t.Fatalf("post-expiry acquire = %+v, want n1@2", o)
+	}
+	// Lookup still returns expired assignments: expiry gates
+	// transitions, not reads.
+	vc.Advance(time.Minute)
+	if got, ok := m.Lookup("algebra"); !ok || got.Node != "n1" {
+		t.Fatalf("Lookup after expiry = %+v %v, want n1, true", got, ok)
+	}
+}
+
+// TestEpochFencing: a deposed owner presenting its old epoch must be
+// refused on every write path — renew and handoff alike.
+func TestEpochFencing(t *testing.T) {
+	vc := clock.NewVirtual(testEpoch)
+	m := NewOwnerMap(10*time.Second, vc)
+	if _, err := m.Acquire("algebra", "n0"); err != nil {
+		t.Fatal(err)
+	}
+	// n0 dies; its lease expires; n1 is promoted with a bumped epoch.
+	vc.Advance(11 * time.Second)
+	o, err := m.Promote("algebra", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Node != "n1" || o.Epoch != 2 {
+		t.Fatalf("promotion = %+v, want n1@2", o)
+	}
+	// The deposed owner wakes up and tries its late writes.
+	if _, err := m.Renew("algebra", "n0", 1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed renew returned %v, want ErrFenced", err)
+	}
+	if _, err := m.Handoff("algebra", "n0", "n2", 1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed handoff returned %v, want ErrFenced", err)
+	}
+	// The real owner with the real epoch is fine.
+	if _, err := m.Renew("algebra", "n1", 2); err != nil {
+		t.Fatalf("live renew: %v", err)
+	}
+}
+
+func TestPromoteRefusesLiveLease(t *testing.T) {
+	vc := clock.NewVirtual(testEpoch)
+	m := NewOwnerMap(10*time.Second, vc)
+	if _, err := m.Acquire("algebra", "n0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Promote("algebra", "n1"); !errors.Is(err, ErrLeaseLive) {
+		t.Fatalf("promotion against a live lease returned %v, want ErrLeaseLive", err)
+	}
+}
+
+func TestHandoffBumpsEpochImmediately(t *testing.T) {
+	vc := clock.NewVirtual(testEpoch)
+	m := NewOwnerMap(10*time.Second, vc)
+	o, err := m.Acquire("algebra", "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Graceful handoff needs no lease wait.
+	got, err := m.Handoff("algebra", "n0", "n1", o.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != "n1" || got.Epoch != o.Epoch+1 {
+		t.Fatalf("handoff = %+v, want n1@%d", got, o.Epoch+1)
+	}
+}
+
+// TestConcurrentHandoffVsJoin races a graceful handoff against client
+// joins resolving the room (the gateway's Lookup + version probes).
+// Must be -race clean, and every observed state must be coherent: the
+// epoch never decreases and the (node, epoch) pairs only move forward.
+func TestConcurrentHandoffVsJoin(t *testing.T) {
+	vc := clock.NewVirtual(testEpoch)
+	m := NewOwnerMap(10*time.Second, vc)
+	o, err := m.Acquire("algebra", "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers: simulated joins resolving the room continuously.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cur, ok := m.Lookup("algebra")
+				if !ok {
+					t.Error("room vanished mid-handoff")
+					return
+				}
+				if cur.Epoch < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", cur.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = cur.Epoch
+				_ = m.Version()
+			}
+		}()
+	}
+	// Writer: ping-pong the room between n0 and n1 via handoffs.
+	epoch := o.Epoch
+	owner, next := NodeID("n0"), NodeID("n1")
+	for i := 0; i < 200; i++ {
+		got, err := m.Handoff("algebra", owner, next, epoch)
+		if err != nil {
+			t.Fatalf("handoff %d: %v", i, err)
+		}
+		epoch = got.Epoch
+		owner, next = next, owner
+	}
+	close(stop)
+	wg.Wait()
+	if got, _ := m.Lookup("algebra"); got.Epoch != o.Epoch+200 {
+		t.Fatalf("final epoch %d, want %d", got.Epoch, o.Epoch+200)
+	}
+}
+
+func TestRoomsAndSnapshot(t *testing.T) {
+	vc := clock.NewVirtual(testEpoch)
+	m := NewOwnerMap(10*time.Second, vc)
+	for _, room := range []string{"c", "a", "b"} {
+		if _, err := m.Acquire(room, "n0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Acquire("z", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Rooms("n0")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Rooms(n0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rooms(n0) = %v, want %v", got, want)
+		}
+	}
+	snap := m.Snapshot()
+	if len(snap) != 4 || snap[0].Room != "a" || snap[3].Room != "z" {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	if v := m.Version(); v != 4 {
+		t.Fatalf("Version = %d after 4 mutations", v)
+	}
+}

@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// e16TestConfig keeps the sweep small: 4 waves of 2 rooms each, plus
+// the fixed three-arm drill.
+var e16TestConfig = E16Config{Seed: 7, Rooms: 8, RoomsPerWave: 2, Nodes: 2}
+
+func TestE16DrillAndSweep(t *testing.T) {
+	res, err := RunE16(e16TestConfig)
+	if err != nil {
+		t.Fatalf("RunE16: %v", err)
+	}
+	if err := res.Failed(); err != nil {
+		t.Fatalf("E16 failed: %v", err)
+	}
+	if res.WindowDeliveries == 0 {
+		t.Fatalf("kill produced no reconnect window")
+	}
+	if res.Golden != res.Cluster {
+		t.Fatalf("cluster transparency arm diverged: golden %+v cluster %+v", res.Golden, res.Cluster)
+	}
+	// The failover arm delivers exactly the golden session plus the
+	// reconnect window, and supervises every scripted message.
+	if res.Failover.Deliveries != res.Golden.Deliveries+res.WindowDeliveries {
+		t.Fatalf("failover deliveries %d, want golden %d + window %d",
+			res.Failover.Deliveries, res.Golden.Deliveries, res.WindowDeliveries)
+	}
+	if res.Failover.Supervised != res.Failover.Sent {
+		t.Fatalf("failover arm supervised %d of %d sent", res.Failover.Supervised, res.Failover.Sent)
+	}
+	if res.Promotion.Dead != "n1" || res.Promotion.SinkLastLSN < res.Promotion.DeadSyncedLSN {
+		t.Fatalf("promotion record %+v", res.Promotion)
+	}
+	if res.Failovers == 0 {
+		t.Fatalf("sweep scheduled no node kills")
+	}
+	if res.InvariantChecks["failover-exactly-once"] == 0 {
+		t.Fatalf("sweep never audited the failover invariant: %v", res.InvariantChecks)
+	}
+}
+
+// TestE16Deterministic is the CI gate's contract: the same config must
+// produce a byte-identical JSON artifact across consecutive runs.
+func TestE16Deterministic(t *testing.T) {
+	run := func() []byte {
+		res, err := RunE16(e16TestConfig)
+		if err != nil {
+			t.Fatalf("RunE16: %v", err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("same config produced different JSON artifacts:\n%s\n---\n%s", a, b)
+	}
+}

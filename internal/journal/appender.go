@@ -97,6 +97,11 @@ type appender struct {
 	err       error // first append error; journal is degraded after
 	met       *journalMetrics
 	clk       clock.Clock // latency timestamps; virtual under the simulator
+	// onSync, when set, runs after every successful fsync with the new
+	// synced watermark, still under mu. The cluster's replication
+	// shipper hangs here: replication lag is exactly durability lag, so
+	// "nothing a client saw fsync'd is lost" holds by construction.
+	onSync func(synced uint64)
 
 	// counters for Stats
 	records uint64
@@ -215,6 +220,9 @@ func (a *appender) flushLocked() error {
 		a.met.fsyncs.Inc()
 	}
 	a.dirty = false
+	if a.onSync != nil {
+		a.onSync(a.synced)
+	}
 	return nil
 }
 

@@ -82,6 +82,14 @@ type Options struct {
 	// the scenario simulator inject a virtual clock and advance it to
 	// trigger flushes deterministically instead of sleeping.
 	Clock clock.Clock
+	// OnSync, when set, runs after every successful fsync with the new
+	// durability watermark, synchronously under the appender lock (no
+	// new appends can land until it returns). The cluster's replication
+	// shipper uses it to stream sealed bytes to a warm standby before
+	// any checkpoint can delete them: because it fires inside Rotate's
+	// flush too, a segment is always fully shipped before it is sealed
+	// and truncated. Keep it fast and never call back into the journal.
+	OnSync func(synced uint64)
 }
 
 func (o *Options) fill() {
@@ -196,6 +204,7 @@ func Open(dir string, stores Stores, opts Options) (*Manager, error) {
 		_ = lock.Close()
 		return nil, err
 	}
+	ap.onSync = opts.OnSync
 	m.ap = ap
 	if opts.Metrics != nil {
 		opts.Metrics.GaugeFunc("semagent_journal_last_lsn", "last assigned WAL sequence number",

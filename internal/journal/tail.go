@@ -1,0 +1,142 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Position is a tail reader's cursor: a byte offset inside a journal
+// segment. Offsets only ever point at record boundaries — the reader
+// never advances past a torn or partial line.
+type Position struct {
+	Segment uint64 `json:"segment"`
+	Offset  int64  `json:"offset"`
+}
+
+// ShippedRecord pairs a decoded journal record with the exact bytes it
+// occupied on disk (newline included). Replication appends Raw
+// verbatim on the standby, so the replica's segments replay with the
+// same decoder and CRCs as the primary's.
+type ShippedRecord struct {
+	Record
+	Raw []byte
+}
+
+// TailReader incrementally reads validated records from a journal
+// directory, advancing across sealed segments. It is the shipping
+// side of WAL replication (DESIGN.md D15): the owner's journal calls
+// it from the OnSync hook, so every read happens after an fsync and
+// before any checkpoint can truncate the segments just read.
+//
+// TailReader is not safe for concurrent use; the OnSync hook already
+// serializes calls under the appender lock.
+type TailReader struct {
+	dir     string
+	pos     Position
+	lastLSN uint64
+}
+
+// NewTailReader starts a cursor at the beginning of the journal in
+// dir. For a complete replica the reader must be attached before the
+// first checkpoint truncates anything — the fabric provisions fresh
+// data directories for exactly this reason (see DESIGN.md D15 for the
+// seeding caveat on pre-existing directories).
+func NewTailReader(dir string) *TailReader {
+	return &TailReader{dir: dir}
+}
+
+// Pos returns the cursor.
+func (t *TailReader) Pos() Position { return t.pos }
+
+// LastLSN returns the highest LSN the reader has returned.
+func (t *TailReader) LastLSN() uint64 { return t.lastLSN }
+
+// Next returns every complete record past the cursor with LSN at most
+// maxLSN (0 = no bound), advancing the cursor. It stops without error
+// at a torn or partial line — the bytes may simply not be flushed
+// yet — and resumes there on the following call. A segment is only
+// left behind once a later segment exists (i.e. it was sealed by
+// rotation), so the cursor never skips bytes that are still being
+// appended.
+func (t *TailReader) Next(maxLSN uint64) ([]ShippedRecord, error) {
+	seqs, err := listSegments(t.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: tail list: %w", err)
+	}
+	var out []ShippedRecord
+	for i, seq := range seqs {
+		if seq < t.pos.Segment {
+			continue // already consumed and sealed (or checkpoint-deleted)
+		}
+		offset := int64(0)
+		if seq == t.pos.Segment {
+			offset = t.pos.Offset
+		}
+		stop, newOffset, err := t.readSegment(seq, offset, maxLSN, &out)
+		if err != nil {
+			return out, err
+		}
+		t.pos = Position{Segment: seq, Offset: newOffset}
+		if stop || i == len(seqs)-1 {
+			// Either a bound/tear stopped us mid-segment, or this is the
+			// active segment: the cursor stays here.
+			return out, nil
+		}
+		// Fully consumed and a later segment exists: the segment was
+		// sealed by rotation, move to the next one.
+		t.pos = Position{Segment: seqs[i+1], Offset: 0}
+	}
+	return out, nil
+}
+
+// readSegment scans one segment from offset, appending complete valid
+// records to out. stop=true means the scan ended at a record the
+// caller must not pass yet (torn line, LSN above the bound, or a
+// non-monotonic LSN).
+func (t *TailReader) readSegment(seq uint64, offset int64, maxLSN uint64, out *[]ShippedRecord) (stop bool, newOffset int64, err error) {
+	path := filepath.Join(t.dir, segmentName(seq))
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Checkpoint-deleted under us; synchronous shipping makes
+			// this benign (everything in it was already consumed).
+			return false, 0, nil
+		}
+		return false, offset, fmt.Errorf("journal: tail open: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return false, offset, fmt.Errorf("journal: tail seek: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return false, offset, fmt.Errorf("journal: tail read: %w", err)
+	}
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return true, offset, nil // partial line: not flushed yet
+		}
+		line := data[:nl+1]
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			rec, ok := decodeRecord(trimmed)
+			if !ok || rec.LSN <= t.lastLSN {
+				return true, offset, nil
+			}
+			if maxLSN > 0 && rec.LSN > maxLSN {
+				return true, offset, nil
+			}
+			t.lastLSN = rec.LSN
+			raw := make([]byte, len(line))
+			copy(raw, line)
+			*out = append(*out, ShippedRecord{Record: rec, Raw: raw})
+		}
+		offset += int64(len(line))
+		data = data[nl+1:]
+	}
+	return false, offset, nil
+}

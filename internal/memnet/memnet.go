@@ -188,6 +188,30 @@ func (c *Conn) Pending() int {
 	return len(c.read.data)
 }
 
+// WaitReadable blocks until at least one byte is readable or the peer
+// closes, consuming nothing. The cluster gateway's relay pumps park
+// here instead of inside Read so that "pump is between messages" and
+// "pump is mid-transfer" are distinguishable states: a pump that has
+// passed WaitReadable marks itself busy before reading, and the
+// fabric's quiesce barrier counts only parked pumps as idle.
+func (c *Conn) WaitReadable() {
+	b := c.read
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.data) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+}
+
+// Closed reports whether this half's read direction has been torn down
+// (by either end). Once true, pending data may still drain but no new
+// bytes will ever arrive.
+func (c *Conn) Closed() bool {
+	c.read.mu.Lock()
+	defer c.read.mu.Unlock()
+	return c.read.closed
+}
+
 // Close tears down both directions; the peer's blocked reads return
 // io.EOF (after draining buffered data) and its writes fail.
 func (c *Conn) Close() error {

@@ -1,0 +1,301 @@
+package simulate
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"semagent/internal/chat"
+	"semagent/internal/cluster"
+	"semagent/internal/core"
+	"semagent/internal/journal"
+	"semagent/internal/memnet"
+)
+
+// Cluster mode (DESIGN.md D15): instead of one in-process server, the
+// scenario runs on a room-partitioned fabric — N nodes, each with its
+// own knowledge stores and journal, behind a gateway that owns the
+// client edge. Sim clients dial the gateway exactly as they dialed the
+// single server; everything else (virtual clock, memnet, settle
+// barrier, transcript) is unchanged. StepKillNode crashes a node and
+// promotes its journal-shipped warm standby; StepPartition severs the
+// gateway's links to a node without killing it.
+
+// simNode is one node incarnation built by the fabric's Start
+// callback: private stores, journal (with the WAL-shipping OnSync
+// hook) and chat server over its own in-memory listener.
+type simNode struct {
+	id       cluster.NodeID
+	listener *memnet.Listener
+	server   *chat.Server
+	sup      *core.Supervisor
+	stores   journal.Stores
+	mgr      *journal.Manager
+}
+
+// clusterRuntime is the runner's cluster-mode substrate.
+type clusterRuntime struct {
+	fab        *cluster.Fabric
+	gw         *cluster.Gateway
+	gwListener *memnet.Listener
+	lease      time.Duration
+
+	// mu guards nodes: incarnations come and go on the sim thread, but
+	// the recorder resolves rooms to supervisors from pipeline workers.
+	mu    sync.Mutex
+	nodes map[cluster.NodeID]*simNode
+}
+
+// live returns the live incarnations sorted by id — the iteration
+// order every cross-node aggregate uses.
+func (cr *clusterRuntime) live() []*simNode {
+	cr.mu.Lock()
+	out := make([]*simNode, 0, len(cr.nodes))
+	for _, n := range cr.nodes {
+		out = append(out, n)
+	}
+	cr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// resolveSup routes a room to its owner's supervisor (the recorder's
+// resolve seam). A nil return means the owner died between enqueue and
+// processing; the recorder logs the message as unprocessed.
+func (cr *clusterRuntime) resolveSup(room string) *core.Supervisor {
+	o, ok := cr.fab.Owners().Lookup(room)
+	if !ok {
+		return nil
+	}
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	n := cr.nodes[o.Node]
+	if n == nil {
+		return nil
+	}
+	return n.sup
+}
+
+// startCluster brings up the fabric and the gateway. Called once from
+// start(); node incarnations after that are born only through
+// Fabric.Failover.
+func (r *runner) startCluster() error {
+	cc := r.sc.Cluster
+	cr := &clusterRuntime{nodes: make(map[cluster.NodeID]*simNode)}
+	r.cluster = cr
+	r.rec = newRecorder(nil)
+	r.rec.resolve = cr.resolveSup
+	workers := r.sc.Workers
+	if workers <= 0 {
+		workers = 2 // pinned, as in single-node mode
+	}
+	start := func(id cluster.NodeID, dir string, onSync func(synced uint64)) (*cluster.NodeHandle, error) {
+		stores, err := journal.LoadStores(dir)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: load stores: %w", id, err)
+		}
+		mgr, err := journal.Open(dir, stores, journal.Options{
+			SyncEveryRecord:    true,
+			CheckpointBytes:    -1,
+			CheckpointInterval: -1,
+			Clock:              r.vc,
+			OnSync:             onSync,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %s: open journal: %w", id, err)
+		}
+		sup, err := core.New(core.Config{
+			Now:      r.vc.Now,
+			Ontology: stores.Ontology,
+			Corpus:   stores.Corpus,
+			Profiles: stores.Profiles,
+			FAQ:      stores.FAQ,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %s: build supervisor: %w", id, err)
+		}
+		n := &simNode{id: id, stores: stores, mgr: mgr, sup: sup, listener: memnet.NewListener()}
+		n.server = chat.NewServer(chat.ServerOptions{
+			Supervisor:     r.rec,
+			Async:          r.sc.Async,
+			Workers:        workers,
+			SuperviseQueue: r.sc.SuperviseQueue,
+			SendQueue:      1024,
+			HistorySize:    r.sc.HistorySize,
+			ShedPolicy:     r.sc.ShedPolicy,
+			RoomHighWater:  r.sc.RoomHighWater,
+			OnShed: func(room string) {
+				r.shedMu.Lock()
+				r.shedByRoom[room]++
+				r.shedMu.Unlock()
+			},
+			Clock: r.vc,
+		})
+		n.server.Serve(n.listener)
+		cr.mu.Lock()
+		cr.nodes[id] = n
+		cr.mu.Unlock()
+		return &cluster.NodeHandle{
+			Dial: n.listener.Dial,
+			Idle: n.server.Idle,
+			Kill: func() error {
+				// Mirror StepCrash: server down, pipeline counters banked,
+				// journal abandoned unsealed.
+				_ = n.server.Close()
+				if pst, ok := n.server.SupervisionStats(); ok {
+					r.pipeTotal = r.pipeTotal.Merge(pst)
+				}
+				n.mgr.Abandon()
+				cr.mu.Lock()
+				delete(cr.nodes, id)
+				cr.mu.Unlock()
+				return nil
+			},
+			Stop: func() error {
+				cr.mu.Lock()
+				delete(cr.nodes, id)
+				cr.mu.Unlock()
+				if err := n.server.Close(); err != nil {
+					return err
+				}
+				return n.mgr.Close()
+			},
+			Stats: n.mgr.Stats,
+		}, nil
+	}
+	fab, err := cluster.NewFabric(cluster.FabricConfig{
+		Nodes:   cc.Nodes,
+		Lease:   cc.Lease,
+		BaseDir: r.dir,
+		Clock:   r.vc,
+		Start:   start,
+	})
+	if err != nil {
+		return fmt.Errorf("start fabric: %w", err)
+	}
+	cr.fab = fab
+	cr.lease = fab.Owners().Lease()
+	cr.gw = cluster.NewGateway(fab, r.vc)
+	cr.gwListener = memnet.NewListener()
+	cr.gw.Serve(cr.gwListener)
+	return nil
+}
+
+// dialEdge opens a client connection: the gateway in cluster mode, the
+// server's listener otherwise.
+func (r *runner) dialEdge() (net.Conn, error) {
+	if r.cluster != nil {
+		return r.cluster.gwListener.Dial()
+	}
+	return r.listener.Dial()
+}
+
+// roomServer resolves the chat server handling a room: the owner node
+// in cluster mode, the single server otherwise.
+func (r *runner) roomServer(room string) (*chat.Server, error) {
+	if r.cluster == nil {
+		return r.server, nil
+	}
+	o, err := r.cluster.fab.Owner(room)
+	if err != nil {
+		return nil, err
+	}
+	r.cluster.mu.Lock()
+	n := r.cluster.nodes[o.Node]
+	r.cluster.mu.Unlock()
+	if n == nil {
+		return nil, fmt.Errorf("room %s: owner %s is not live", room, o.Node)
+	}
+	return n.server, nil
+}
+
+// killNode crashes a lineage's live incarnation, expires its lease on
+// the virtual clock and promotes its warm standby. The settle that
+// follows in step() rides every gateway link through the failover.
+func (r *runner) killNode(st Step) error {
+	cr := r.cluster
+	if cr == nil {
+		return fmt.Errorf("StepKillNode requires Scenario.Cluster")
+	}
+	if err := r.settle(); err != nil {
+		return err
+	}
+	if err := cr.fab.Kill(st.Node); err != nil {
+		return err
+	}
+	r.tr.note(fmt.Sprintf("node %s: killed (journal abandoned unsealed)", st.Node))
+	// Promotion fences on lease expiry; advance past it. The golden arm
+	// of a failover comparison must advance by the same extra amount.
+	r.vc.Advance(cr.lease + time.Second)
+	promos, err := cr.fab.Failover()
+	if err != nil {
+		return err
+	}
+	for _, p := range promos {
+		r.failovers = append(r.failovers, FailoverStats{Step: r.curStep, Promotion: p})
+		r.tr.note(fmt.Sprintf(
+			"failover: %s -> %s; %d rooms moved, sink lsn %d covers dead synced lsn %d (replayed %d records)",
+			p.Dead, p.Promoted, len(p.Moves), p.SinkLastLSN, p.DeadSyncedLSN, p.ReplayApplied))
+	}
+	return nil
+}
+
+// partitionNode severs the gateway's links to a live node; the links
+// reconnect to the same owner with Resume joins during the settle.
+func (r *runner) partitionNode(st Step) error {
+	cr := r.cluster
+	if cr == nil {
+		return fmt.Errorf("StepPartition requires Scenario.Cluster")
+	}
+	if err := r.settle(); err != nil {
+		return err
+	}
+	id, ok := cr.fab.Current(st.Node)
+	if !ok {
+		return fmt.Errorf("partition: lineage %s has no live incarnation", st.Node)
+	}
+	cut := cr.gw.CutNode(id)
+	r.tr.note(fmt.Sprintf("partition: severed %d gateway links to %s", cut, id))
+	return nil
+}
+
+// Cross-node aggregates for buildResult. In single-node mode they read
+// the one supervisor; in cluster mode they fold the live incarnations
+// in id order.
+
+func (r *runner) minedPairs() int {
+	if r.cluster == nil {
+		return r.sup.Generator().MinedPairs()
+	}
+	total := 0
+	for _, n := range r.cluster.live() {
+		total += n.sup.Generator().MinedPairs()
+	}
+	return total
+}
+
+func (r *runner) faqLen() int {
+	if r.cluster == nil {
+		return r.sup.FAQ().Len()
+	}
+	total := 0
+	for _, n := range r.cluster.live() {
+		total += n.sup.FAQ().Len()
+	}
+	return total
+}
+
+func (r *runner) analyzerReport() string {
+	if r.cluster == nil {
+		return r.sup.Analyzer().Report()
+	}
+	var b strings.Builder
+	for _, n := range r.cluster.live() {
+		fmt.Fprintf(&b, "== node %s ==\n", n.id)
+		b.WriteString(n.sup.Analyzer().Report())
+	}
+	return b.String()
+}

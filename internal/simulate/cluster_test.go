@@ -1,0 +1,100 @@
+package simulate
+
+import (
+	"bytes"
+	"testing"
+)
+
+// clusterScenario builds a small two-room session on a two-node
+// fabric: chatter in both rooms, a node kill mid-session, then more
+// chatter that must land on the promoted standby.
+func clusterScenario(name string, kill bool) *Scenario {
+	sc := &Scenario{
+		Name:    name,
+		Seed:    41,
+		Async:   true,
+		Cluster: &ClusterConfig{Nodes: 2},
+	}
+	b := newScript(sc)
+	b.join("alice", "algebra", PersonaContributor)
+	b.join("bob", "algebra", PersonaQuestioner)
+	b.join("carol", "biology", PersonaContributor)
+	b.say("alice", "algebra")
+	b.ask("bob", "alice", "algebra")
+	b.say("carol", "biology")
+	if kill {
+		// Both rooms hash onto some node; kill n0 regardless — killing a
+		// node that owns no rooms still exercises promotion.
+		b.killNode("n0")
+	}
+	b.say("alice", "algebra")
+	b.say("carol", "biology")
+	b.ask("bob", "alice", "algebra")
+	return sc
+}
+
+func TestClusterSession(t *testing.T) {
+	res, err := Run(clusterScenario("cluster-session", false), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Supervised != res.Sent {
+		t.Fatalf("sent %d supervised %d; want all supervised", res.Sent, res.Supervised)
+	}
+	if len(res.Failovers) != 0 {
+		t.Fatalf("unexpected failovers: %+v", res.Failovers)
+	}
+}
+
+func TestClusterFailover(t *testing.T) {
+	res, err := Run(clusterScenario("cluster-failover", true), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failovers) != 1 {
+		t.Fatalf("failovers = %d, want 1", len(res.Failovers))
+	}
+	fo := res.Failovers[0]
+	if fo.Dead != "n0" || fo.Promoted != "n0+1" {
+		t.Fatalf("promotion %s -> %s, want n0 -> n0+1", fo.Dead, fo.Promoted)
+	}
+	if fo.SinkLastLSN < fo.DeadSyncedLSN {
+		t.Fatalf("standby watermark %d below dead owner's synced %d: fsync'd data lost",
+			fo.SinkLastLSN, fo.DeadSyncedLSN)
+	}
+	if fo.ReplayErrors != 0 {
+		t.Fatalf("promotion replay had %d errors", fo.ReplayErrors)
+	}
+	for _, mv := range fo.Moves {
+		if mv.EpochAfter != mv.EpochBefore+1 {
+			t.Fatalf("room %s epoch %d -> %d, want +1", mv.Room, mv.EpochBefore, mv.EpochAfter)
+		}
+	}
+	// Every scripted message was supervised: nothing fell into the
+	// failover crack (sends are settled before the kill, and post-kill
+	// sends go to the promoted owner).
+	if res.Supervised != res.Sent {
+		t.Fatalf("sent %d supervised %d across failover", res.Sent, res.Supervised)
+	}
+}
+
+// TestClusterDeterminism replays the failover scenario twice and
+// requires byte-identical transcripts — the whole point of driving the
+// fabric from the virtual clock with explicit liveness transitions.
+// (The killed lineage owns a single-client room here: within the
+// reconnect window of a multi-client room, relink order — and hence
+// which join notices each client observes — is scheduling-dependent,
+// which is why E16 compares that window by delivery count only.)
+func TestClusterDeterminism(t *testing.T) {
+	a, err := Run(clusterScenario("cluster-det", true), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(clusterScenario("cluster-det", true), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Transcript, b.Transcript) {
+		t.Fatalf("transcripts differ across identical runs:\n--- a ---\n%s\n--- b ---\n%s", a.Transcript, b.Transcript)
+	}
+}

@@ -1,0 +1,86 @@
+package simulate
+
+import "time"
+
+// DrillMode selects one arm of the E16 failover drill. The three arms
+// share one script (built from the same seed, so every scripted line is
+// identical); they differ only in the server substrate and in what
+// happens at the kill step.
+type DrillMode int
+
+const (
+	// DrillGolden runs the session on a single in-process server — the
+	// ground-truth transcript.
+	DrillGolden DrillMode = iota
+	// DrillCluster runs the identical session on a two-node fabric
+	// behind the gateway with no faults: the cluster-transparency arm,
+	// which must match the golden arm byte for byte.
+	DrillCluster
+	// DrillFailover kills the owner of the busiest room mid-session;
+	// outside the bounded reconnect window the session must still match
+	// the golden arm exactly.
+	DrillFailover
+)
+
+// drillLease is the drill's ownership lease (virtual time).
+const drillLease = 10 * time.Second
+
+// FailoverDrill builds the E16 drill scenario for one arm and returns
+// it with the kill-step index. At that index the failover arm kills
+// lineage n1 (which owns "algebra", 3 clients, and "chemistry", 1
+// client, under the fabric's FNV room hash); the other arms advance
+// the virtual clock by the same total the kill costs (one step
+// interval + lease + 1s), so all three arms stay clock-aligned —
+// QA-pairing windows and profile timestamps expire identically.
+func FailoverDrill(seed int64, mode DrillMode) (*Scenario, int) {
+	sc := &Scenario{
+		Name:        "e16-drill",
+		Description: "E16 failover drill: golden vs cluster vs mid-session owner kill",
+		Seed:        seed,
+		Async:       true,
+		Workers:     2,
+		// HistorySize 0: no history replay on join, so the post-failover
+		// late joiner sees the same messages in every arm.
+		HistorySize: 0,
+	}
+	if mode != DrillGolden {
+		sc.Cluster = &ClusterConfig{Nodes: 2, Lease: drillLease}
+	}
+	b := newScript(sc)
+	b.join("alice", "algebra", PersonaContributor)
+	b.join("bob", "algebra", PersonaQuestioner)
+	b.join("carol", "algebra", PersonaContributor)
+	b.join("dave", "biology", PersonaContributor)
+	b.join("erin", "biology", PersonaQuestioner)
+	b.join("frank", "chemistry", PersonaContributor)
+
+	// Phase 1: chatter in every room, with QA adjacency pairs completed
+	// well before the kill (the pending-question window is in-memory
+	// state; a kill between a question and its answer is out of scope).
+	b.say("alice", "algebra")
+	b.ask("bob", "alice", "algebra")
+	b.say("dave", "biology")
+	b.say("frank", "chemistry")
+	b.ask("erin", "dave", "biology")
+	b.say("carol", "algebra")
+
+	killStep := len(sc.Steps)
+	if mode == DrillFailover {
+		b.killNode("n1")
+	} else {
+		// StepAdvance skips the per-step interval advance, so the total
+		// here mirrors the kill step's clock cost exactly.
+		b.advance(sc.StepInterval + drillLease + time.Second)
+	}
+
+	// Phase 2: the same rooms keep working — on the promoted standby in
+	// the failover arm — and a late joiner lands post-failover.
+	b.say("alice", "algebra")
+	b.say("dave", "biology")
+	b.ask("bob", "carol", "algebra")
+	b.say("frank", "chemistry")
+	b.join("grace", "algebra", PersonaQuestioner)
+	b.ask("grace", "alice", "algebra")
+	b.say("erin", "biology")
+	return sc, killStep
+}

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -80,5 +81,31 @@ func (b *builder) scheduleChaos() []time.Duration {
 		crashes = append(crashes, time.Duration(frac*float64(span)).Truncate(time.Millisecond))
 	}
 	b.plan.Crashes = len(crashes)
+
+	// Cluster faults ride the ordinary event timeline: a node kill (or
+	// partition) settles the stack, fires the fault, and the gateway
+	// carries every client across it — no connections are cut, so no
+	// re-join lowering is needed (unlike StepCrash). Kill points use the
+	// same staggered mid-session window as crashes; targets are drawn
+	// uniformly over the lineages, repeats allowed (a lineage can die,
+	// promote, and die again).
+	for i := 0; i < b.cfg.NodeKills; i++ {
+		lo := 0.35 + 0.45*float64(i)/float64(b.cfg.NodeKills)
+		width := 0.45 / float64(b.cfg.NodeKills)
+		frac := lo + width*crng.Float64()
+		at := time.Duration(frac * float64(span)).Truncate(time.Millisecond)
+		node := fmt.Sprintf("n%d", crng.Intn(b.cfg.ClusterNodes))
+		b.add(at, simulate.Step{Kind: simulate.StepKillNode, Node: node})
+		b.plan.NodeKills++
+	}
+	for i := 0; i < b.cfg.Partitions; i++ {
+		lo := 0.25 + 0.6*float64(i)/float64(b.cfg.Partitions)
+		width := 0.6 / float64(b.cfg.Partitions)
+		frac := lo + width*crng.Float64()
+		at := time.Duration(frac * float64(span)).Truncate(time.Millisecond)
+		node := fmt.Sprintf("n%d", crng.Intn(b.cfg.ClusterNodes))
+		b.add(at, simulate.Step{Kind: simulate.StepPartition, Node: node})
+		b.plan.Partitions++
+	}
 	return crashes
 }

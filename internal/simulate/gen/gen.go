@@ -106,7 +106,23 @@ type Config struct {
 	// Journal runs the session over a sync-every-record write-ahead
 	// journal.
 	Journal bool
+
+	// NodeKills schedules that many node-kill + standby-promotion
+	// points on a room-partitioned cluster (clamped [0, 3]); Partitions
+	// schedules gateway↔node network partitions (clamped [0, 3]).
+	// Either being nonzero switches the run to cluster mode: the
+	// scenario gains a Cluster config, Journal turns on (failover
+	// replays the shipped WAL) and Crashes zeroes out (StepCrash is a
+	// single-process fault).
+	NodeKills  int
+	Partitions int
+	// ClusterNodes is the fabric size in cluster mode (default 2,
+	// clamped [2, 8]).
+	ClusterNodes int
 }
+
+// clustered reports whether the config runs in cluster mode.
+func (c Config) clustered() bool { return c.NodeKills > 0 || c.Partitions > 0 }
 
 // Plan summarizes what Generate actually scheduled — the fault and
 // population counts E14 reports.
@@ -118,6 +134,8 @@ type Plan struct {
 	TornDrops  int `json:"torn_drops"`
 	Storms     int `json:"storms"`
 	Crashes    int `json:"crashes"`
+	NodeKills  int `json:"node_kills"`
+	Partitions int `json:"partitions"`
 }
 
 // clampInt bounds v to [lo, hi].
@@ -185,6 +203,16 @@ func (c Config) normalize() Config {
 	c.Crashes = clampInt(c.Crashes, 0, 4)
 	if c.Crashes > 0 {
 		c.Journal = true // StepCrash requires a journal to recover from
+	}
+	c.NodeKills = clampInt(c.NodeKills, 0, 3)
+	c.Partitions = clampInt(c.Partitions, 0, 3)
+	if c.clustered() {
+		c.Journal = true // failover is a replay of the shipped WAL
+		c.Crashes = 0    // StepCrash is a single-process fault
+		if c.ClusterNodes == 0 {
+			c.ClusterNodes = 2
+		}
+		c.ClusterNodes = clampInt(c.ClusterNodes, 2, 8)
 	}
 	return c
 }
@@ -401,12 +429,17 @@ func Generate(cfg Config) (*simulate.Scenario, Plan, error) {
 		return b.evs[i].seq < b.evs[j].seq
 	})
 
+	name := fmt.Sprintf("gen-s%d-r%d-%s", cfg.Seed, cfg.Rooms, cfg.Arrival)
+	if cfg.clustered() {
+		name += fmt.Sprintf("-c%d", cfg.ClusterNodes)
+	}
 	sc := &simulate.Scenario{
-		Name: fmt.Sprintf("gen-s%d-r%d-%s", cfg.Seed, cfg.Rooms, cfg.Arrival),
+		Name: name,
 		Description: fmt.Sprintf(
-			"generated population: %d rooms, %d students, %s arrivals, %d drops (%d torn), %d storms, %d crashes",
+			"generated population: %d rooms, %d students, %s arrivals, %d drops (%d torn), %d storms, %d crashes, %d node kills, %d partitions",
 			b.plan.Rooms, b.plan.Students, cfg.Arrival,
-			b.plan.Drops, b.plan.TornDrops, b.plan.Storms, b.plan.Crashes),
+			b.plan.Drops, b.plan.TornDrops, b.plan.Storms, b.plan.Crashes,
+			b.plan.NodeKills, b.plan.Partitions),
 		Seed:         cfg.Seed,
 		Async:        true,
 		Workers:      2, // pinned, like every deterministic scenario
@@ -419,6 +452,9 @@ func Generate(cfg Config) (*simulate.Scenario, Plan, error) {
 		sc.GateBursts = true
 		sc.ShedPolicy = pipeline.ShedRejectNew
 		sc.RoomHighWater = cfg.RoomHighWater
+	}
+	if cfg.clustered() {
+		sc.Cluster = &simulate.ClusterConfig{Nodes: cfg.ClusterNodes}
 	}
 	for _, students := range b.rooms {
 		for _, s := range students {

@@ -154,7 +154,10 @@ func TestCrashRecovery(t *testing.T) {
 	}
 }
 
-// TestKitchenSink: every fault class at once in one population.
+// TestKitchenSink: every fault class at once. Journal crashes are a
+// single-process fault and node kills a cluster fault — mutually
+// exclusive by construction — so covering the full invariant set takes
+// one run of each shape; together they must check everything.
 func TestKitchenSink(t *testing.T) {
 	sc, res, plan := runProfile(t, Config{
 		Seed: 63, Rooms: 5, Arrival: ArrivalBursty,
@@ -164,12 +167,56 @@ func TestKitchenSink(t *testing.T) {
 	if plan.Drops == 0 || plan.Storms == 0 || plan.Crashes == 0 {
 		t.Fatalf("kitchen sink scheduled too little chaos: %+v", plan)
 	}
-	rep := Check(sc, res)
-	if len(rep.Checked) != len(InvariantNames()) {
-		t.Fatalf("checked %v, want all of %v", rep.Checked, InvariantNames())
-	}
 	if res.Sent == 0 {
 		t.Fatalf("no messages sent")
+	}
+	checked := make(map[string]bool)
+	for _, name := range Check(sc, res).Checked {
+		checked[name] = true
+	}
+	csc, cres, cplan := runProfile(t, Config{
+		Seed: 63, Rooms: 5, Arrival: ArrivalBursty,
+		DropFraction: 0.6, TornFraction: 0.5, StormFraction: 0.6,
+		NodeKills: 1, Partitions: 1,
+	})
+	if cplan.NodeKills != 1 || cplan.Partitions != 1 || cplan.Crashes != 0 {
+		t.Fatalf("cluster kitchen sink scheduled the wrong chaos: %+v", cplan)
+	}
+	for _, name := range Check(csc, cres).Checked {
+		checked[name] = true
+	}
+	for _, name := range InvariantNames() {
+		if !checked[name] {
+			t.Fatalf("invariant %s not covered by either kitchen-sink shape", name)
+		}
+	}
+}
+
+// TestClusterChaos: node kills and partitions over a populated fabric,
+// with the failover invariant applicable and clean (via runProfile).
+func TestClusterChaos(t *testing.T) {
+	sc, res, plan := runProfile(t, Config{
+		Seed: 59, Rooms: 6, Arrival: ArrivalPoisson,
+		DropFraction: 0.3, NodeKills: 2, Partitions: 1, ClusterNodes: 3,
+	})
+	if sc.Cluster == nil || sc.Cluster.Nodes != 3 {
+		t.Fatalf("cluster config not materialized: %+v", sc.Cluster)
+	}
+	if plan.NodeKills != 2 || plan.Partitions != 1 {
+		t.Fatalf("scheduled %+v, want 2 kills and 1 partition", plan)
+	}
+	if len(res.Failovers) != 2 {
+		t.Fatalf("observed %d failovers, want 2", len(res.Failovers))
+	}
+	rep := Check(sc, res)
+	found := false
+	for _, name := range rep.Checked {
+		if name == InvFailover {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failover invariant not in checked set %v", rep.Checked)
 	}
 }
 

@@ -29,11 +29,17 @@ const (
 	// either supervised (has a verdict) or shed (left an unconsumed
 	// expectation), and pipeline intake/outcome counters balance.
 	InvConservation = "conservation"
+	// InvFailover: a room's supervision survives its owner's death
+	// exactly once per kill — every scripted node kill yields exactly
+	// one promotion, the standby's shipped watermark covers everything
+	// the dead owner fsync'd, the promotion replay applies cleanly, and
+	// each moved room's fencing epoch advances by exactly one.
+	InvFailover = "failover-exactly-once"
 )
 
 // InvariantNames lists every invariant in report order.
 func InvariantNames() []string {
-	return []string{InvDurability, InvFIFO, InvShedExact, InvPhantom, InvConservation}
+	return []string{InvDurability, InvFIFO, InvShedExact, InvPhantom, InvConservation, InvFailover}
 }
 
 // Violation is one invariant breach with enough detail to debug from
@@ -67,8 +73,76 @@ func Check(sc *simulate.Scenario, res *simulate.Result) Report {
 		rep.Checked = append(rep.Checked, InvDurability)
 		rep.Violations = append(rep.Violations, checkDurability(res)...)
 	}
+	if sc.Cluster != nil && scriptedKills(sc) > 0 {
+		rep.Checked = append(rep.Checked, InvFailover)
+		rep.Violations = append(rep.Violations, checkFailover(sc, res)...)
+	}
 	sort.Strings(rep.Checked)
 	return rep
+}
+
+// scriptedKills counts the StepKillNode steps in the script.
+func scriptedKills(sc *simulate.Scenario) int {
+	kills := 0
+	for _, st := range sc.Steps {
+		if st.Kind == simulate.StepKillNode {
+			kills++
+		}
+	}
+	return kills
+}
+
+// checkFailover audits every node-kill promotion: exactly one
+// promotion per scripted kill, no fsync'd record beyond the standby's
+// watermark, a clean replay, and monotone single-step epoch fencing —
+// the same room never survives one death twice.
+func checkFailover(sc *simulate.Scenario, res *simulate.Result) []Violation {
+	var out []Violation
+	if kills := scriptedKills(sc); len(res.Failovers) != kills {
+		out = append(out, Violation{InvFailover, fmt.Sprintf(
+			"%d node kills scripted but %d promotions recorded", kills, len(res.Failovers))})
+	}
+	// (room, pre-move epoch) pairs must be globally unique: a second
+	// promotion of the same room at the same epoch would mean its
+	// supervision "survived" one death twice.
+	seen := make(map[string]bool)
+	for i, fo := range res.Failovers {
+		if fo.ReplayErrors > 0 {
+			out = append(out, Violation{InvFailover, fmt.Sprintf(
+				"failover %d (%s -> %s): %d journal records failed to apply on promotion replay",
+				i, fo.Dead, fo.Promoted, fo.ReplayErrors)})
+		}
+		if fo.SinkLastLSN < fo.DeadSyncedLSN {
+			out = append(out, Violation{InvFailover, fmt.Sprintf(
+				"failover %d (%s -> %s): standby watermark %d below the dead owner's fsync'd %d — durable mutations lost",
+				i, fo.Dead, fo.Promoted, fo.SinkLastLSN, fo.DeadSyncedLSN)})
+		}
+		if fo.ReplayLastLSN < fo.DeadSyncedLSN {
+			out = append(out, Violation{InvFailover, fmt.Sprintf(
+				"failover %d (%s -> %s): promotion replay stopped at LSN %d but LSN %d was fsync'd before the kill",
+				i, fo.Dead, fo.Promoted, fo.ReplayLastLSN, fo.DeadSyncedLSN)})
+		}
+		inMove := make(map[string]bool)
+		for _, mv := range fo.Moves {
+			if mv.EpochAfter != mv.EpochBefore+1 {
+				out = append(out, Violation{InvFailover, fmt.Sprintf(
+					"failover %d: room %s fencing epoch jumped %d -> %d, want exactly +1",
+					i, mv.Room, mv.EpochBefore, mv.EpochAfter)})
+			}
+			if inMove[mv.Room] {
+				out = append(out, Violation{InvFailover, fmt.Sprintf(
+					"failover %d: room %s moved twice in one promotion", i, mv.Room)})
+			}
+			inMove[mv.Room] = true
+			key := fmt.Sprintf("%s@%d", mv.Room, mv.EpochBefore)
+			if seen[key] {
+				out = append(out, Violation{InvFailover, fmt.Sprintf(
+					"room %s at epoch %d survived two separate owner deaths", mv.Room, mv.EpochBefore)})
+			}
+			seen[key] = true
+		}
+	}
+	return out
 }
 
 // scriptedSends walks the script and returns, per room, each sender's

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"semagent/internal/chat"
+	"semagent/internal/cluster"
 	"semagent/internal/corpus"
 	"semagent/internal/simulate"
 )
@@ -55,6 +56,11 @@ func shallowCopy(res *simulate.Result) *simulate.Result {
 	cp.UnsupervisedByUser = make(map[string]int, len(res.UnsupervisedByUser))
 	for k, v := range res.UnsupervisedByUser {
 		cp.UnsupervisedByUser[k] = v
+	}
+	cp.Failovers = make([]simulate.FailoverStats, len(res.Failovers))
+	for i, fo := range res.Failovers {
+		cp.Failovers[i] = fo
+		cp.Failovers[i].Moves = append([]cluster.RoomMove(nil), fo.Moves...)
 	}
 	return &cp
 }
@@ -160,6 +166,84 @@ func TestCheckersFire(t *testing.T) {
 		cp.PipelineTotal.Completed--
 		if !hasViolation(Check(sc, cp), InvConservation) {
 			t.Fatalf("conservation checker ignored an accepted task that never completed")
+		}
+	})
+}
+
+// TestFailoverCheckerFires: the failover invariant's meta-tests run on
+// a cluster-shaped baseline (node kills are incompatible with
+// StepCrash, so they cannot share tamperBase).
+func TestFailoverCheckerFires(t *testing.T) {
+	sc, res, _ := runProfile(t, Config{
+		Seed: 59, Rooms: 6, Arrival: ArrivalPoisson,
+		NodeKills: 2, Partitions: 1, ClusterNodes: 3,
+	})
+	if t.Failed() {
+		t.Fatalf("baseline cluster run must be violation-free before tampering")
+	}
+	if len(res.Failovers) == 0 {
+		t.Fatalf("baseline run recorded no failovers")
+	}
+	firstWithMoves := -1
+	for i, fo := range res.Failovers {
+		if len(fo.Moves) > 0 {
+			firstWithMoves = i
+			break
+		}
+	}
+
+	t.Run("lost-promotion", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.Failovers = cp.Failovers[:len(cp.Failovers)-1]
+		if !hasViolation(Check(sc, cp), InvFailover) {
+			t.Fatalf("failover checker ignored a scripted kill with no promotion")
+		}
+	})
+
+	t.Run("standby-behind-fsync", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.Failovers[0].SinkLastLSN = cp.Failovers[0].DeadSyncedLSN - 1
+		if !hasViolation(Check(sc, cp), InvFailover) {
+			t.Fatalf("failover checker ignored a standby watermark below the dead owner's fsync")
+		}
+	})
+
+	t.Run("replay-errors", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.Failovers[0].ReplayErrors = 2
+		if !hasViolation(Check(sc, cp), InvFailover) {
+			t.Fatalf("failover checker ignored promotion replay errors")
+		}
+	})
+
+	t.Run("short-replay", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.Failovers[0].ReplayLastLSN = cp.Failovers[0].DeadSyncedLSN - 1
+		if !hasViolation(Check(sc, cp), InvFailover) {
+			t.Fatalf("failover checker ignored a promotion replay below the fsync watermark")
+		}
+	})
+
+	t.Run("epoch-jump", func(t *testing.T) {
+		if firstWithMoves < 0 {
+			t.Skip("no failover moved a room on this seed")
+		}
+		cp := shallowCopy(res)
+		cp.Failovers[firstWithMoves].Moves[0].EpochAfter += 1
+		if !hasViolation(Check(sc, cp), InvFailover) {
+			t.Fatalf("failover checker ignored a fencing epoch that jumped by more than one")
+		}
+	})
+
+	t.Run("double-survival", func(t *testing.T) {
+		if firstWithMoves < 0 {
+			t.Skip("no failover moved a room on this seed")
+		}
+		cp := shallowCopy(res)
+		fo := &cp.Failovers[firstWithMoves]
+		fo.Moves = append(fo.Moves, fo.Moves[0])
+		if !hasViolation(Check(sc, cp), InvFailover) {
+			t.Fatalf("failover checker ignored one room surviving the same death twice")
 		}
 	})
 }

@@ -35,6 +35,10 @@ type recorder struct {
 	gate    chan struct{}
 	expects map[string][]workload.Kind // per-user FIFO of ground truth
 	log     []VerdictEntry
+	// resolve, when set, routes each message to the supervisor owning
+	// its room (cluster mode: one supervisor per node, DESIGN.md D15).
+	// It overrides inner, which stays nil in cluster mode.
+	resolve func(room string) *core.Supervisor
 }
 
 func newRecorder(sup *core.Supervisor) *recorder {
@@ -87,9 +91,22 @@ func (r *recorder) Process(room, user, text string) []chat.Response {
 		entry.Expect = q[0]
 		r.expects[user] = q[1:]
 	}
+	resolve := r.resolve
 	r.mu.Unlock()
 	if gate != nil {
 		<-gate
+	}
+	if resolve != nil {
+		sup = resolve(room)
+	}
+	if sup == nil {
+		// Owner died between enqueue and processing (cluster mode); the
+		// expectation was already consumed, so the entry still lands in
+		// the log with VerdictUnknown.
+		r.mu.Lock()
+		r.log = append(r.log, entry)
+		r.mu.Unlock()
+		return nil
 	}
 
 	a, err := sup.Process(room, user, text)

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"semagent/internal/chat"
+	"semagent/internal/cluster"
 	"semagent/internal/core"
 	"semagent/internal/corpus"
 	"semagent/internal/journal"
@@ -70,6 +71,18 @@ type RecoveryStats struct {
 	ReplayErrors  int    `json:"replay_errors"`
 }
 
+// FailoverStats reports one StepKillNode outcome: the fabric promotion
+// record plus the step at which the kill landed. The failover invariant
+// audits it the way the durability invariant audits RecoveryStats: the
+// standby's shipped watermark (SinkLastLSN) must cover everything the
+// dead node had fsync'd (DeadSyncedLSN) and the promotion replay must
+// apply cleanly.
+type FailoverStats struct {
+	// Step is the 0-based scripted step of the StepKillNode.
+	Step int `json:"step"`
+	cluster.Promotion
+}
+
 // Delivery is one message observed at a client, in arrival order — the
 // structured counterpart of a transcript line. The chaos invariant
 // checkers consume these instead of parsing transcript text: per-room
@@ -131,6 +144,9 @@ type Result struct {
 	// them in order.
 	Recovery   *RecoveryStats
 	Recoveries []RecoveryStats
+	// Failovers reports every StepKillNode promotion, in step order
+	// (cluster mode only).
+	Failovers []FailoverStats
 
 	// report is the instructor-facing analyzer summary (post-recovery
 	// only, when the scenario crashed: the analyzer is not journaled).
@@ -159,15 +175,16 @@ func buildResult(r *runner, pst pipeline.Stats, hasPipe bool, jstats *journal.St
 		VerdictLog:    r.rec.entries(),
 		Deliveries:    r.deliveries,
 		ShedByRoom:    r.copyShedByRoom(),
-		MinedPairs:    r.sup.Generator().MinedPairs(),
-		FAQLen:        r.sup.FAQ().Len(),
+		MinedPairs:    r.minedPairs(),
+		FAQLen:        r.faqLen(),
 		Pipeline:      pst,
 		HasPipeline:   hasPipe,
 		PipelineTotal: r.pipeTotal.Merge(pst),
 		Journal:       jstats,
 		Recovery:      r.recovery,
 		Recoveries:    r.recoveries,
-		report:        r.sup.Analyzer().Report(),
+		Failovers:     r.failovers,
+		report:        r.analyzerReport(),
 	}
 	persona := func(user string) *PersonaStats {
 		kind := r.sc.Personas[user]

@@ -39,6 +39,18 @@ const (
 	// off, and a fresh supervisor is rebuilt from the journal replay
 	// (requires Scenario.Journal).
 	StepCrash
+	// StepKillNode crashes one cluster node (Step.Node names the
+	// lineage, e.g. "n0"): its chat server dies and its journal is
+	// abandoned unsealed, the virtual clock advances past the ownership
+	// lease, and the fabric promotes the node's warm standby. Client
+	// connections ride through the gateway — nobody re-dials (requires
+	// Scenario.Cluster).
+	StepKillNode
+	// StepPartition severs every gateway→node connection to one node
+	// (Step.Node) without killing it — a network partition. Links
+	// reconnect to the same owner with Resume joins (requires
+	// Scenario.Cluster).
+	StepPartition
 )
 
 // Step is one scripted event.
@@ -54,6 +66,19 @@ type Step struct {
 	Advance time.Duration
 	// Partial marks a StepDrop that first writes a torn frame.
 	Partial bool
+	// Node names the target lineage for StepKillNode / StepPartition
+	// (e.g. "n1" — the base name, not an incarnation like "n1+2").
+	Node string
+}
+
+// ClusterConfig runs a scenario on a room-partitioned multi-node
+// fabric behind a gateway instead of a single in-process server
+// (DESIGN.md D15). Requires Journal: failover replays the shipped WAL.
+type ClusterConfig struct {
+	// Nodes is the number of node lineages (default 2).
+	Nodes int
+	// Lease is the room-ownership lease (default 10s of virtual time).
+	Lease time.Duration
 }
 
 // Scenario is a reproducible classroom session: a fixed seed, a server
@@ -79,6 +104,10 @@ type Scenario struct {
 	// GateBursts holds supervision shut while a StepBurst floods, so
 	// shedding is a pure function of queue depth. Async only.
 	GateBursts bool
+	// Cluster, when set, runs the session on a multi-node fabric
+	// behind a gateway (enables StepKillNode / StepPartition; implies
+	// Journal).
+	Cluster *ClusterConfig
 
 	// StepInterval is the virtual time between consecutive steps
 	// (default 2s).
@@ -169,4 +198,12 @@ func (b *scriptBuilder) advance(d time.Duration) {
 
 func (b *scriptBuilder) crash() {
 	b.sc.Steps = append(b.sc.Steps, Step{Kind: StepCrash})
+}
+
+func (b *scriptBuilder) killNode(node string) {
+	b.sc.Steps = append(b.sc.Steps, Step{Kind: StepKillNode, Node: node})
+}
+
+func (b *scriptBuilder) partition(node string) {
+	b.sc.Steps = append(b.sc.Steps, Step{Kind: StepPartition, Node: node})
 }

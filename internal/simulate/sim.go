@@ -110,6 +110,11 @@ type runner struct {
 	recovery   *RecoveryStats
 	recoveries []RecoveryStats
 
+	// cluster is non-nil when the scenario runs on the multi-node
+	// fabric; failovers collects every StepKillNode promotion.
+	cluster   *clusterRuntime
+	failovers []FailoverStats
+
 	// curStep tags drained deliveries with the step that produced them.
 	curStep    int
 	deliveries []Delivery
@@ -141,6 +146,14 @@ func Run(sc *Scenario, dir string) (*Result, error) {
 	if sc.GateBursts && !sc.Async {
 		return nil, fmt.Errorf("simulate %s: GateBursts requires Async", sc.Name)
 	}
+	if sc.Cluster != nil {
+		if dir == "" {
+			return nil, fmt.Errorf("simulate %s: Cluster requires a data dir", sc.Name)
+		}
+		// Cluster sessions are journaled by definition: failover is a
+		// replay of the shipped WAL.
+		sc.Journal = true
+	}
 	if sc.Journal && dir == "" {
 		return nil, fmt.Errorf("simulate %s: Journal requires a data dir", sc.Name)
 	}
@@ -171,6 +184,9 @@ func Run(sc *Scenario, dir string) (*Result, error) {
 // the recorder, and a server listening on a fresh in-memory transport.
 // It is called once at scenario start and again after a StepCrash.
 func (r *runner) start() error {
+	if r.sc.Cluster != nil {
+		return r.startCluster()
+	}
 	cfg := core.Config{Now: r.vc.Now}
 	if r.sc.Journal {
 		stores, err := journal.LoadStores(r.dir)
@@ -233,7 +249,16 @@ func (r *runner) start() error {
 // settle blocks until the whole stack is idle, then drains every
 // delivered message into the clients' inboxes.
 func (r *runner) settle() error {
-	if !r.server.Quiesce(settleTimeout) {
+	if cr := r.cluster; cr != nil {
+		// Cluster-wide barrier: every node's server idle AND every
+		// gateway link parked with a current, live backend — observed in
+		// one poll, so nothing is in flight across the relay hop either.
+		if !clock.Until(settleTimeout, func() bool {
+			return cr.fab.NodesIdle() && cr.gw.Idle()
+		}) {
+			return fmt.Errorf("cluster did not quiesce")
+		}
+	} else if !r.server.Quiesce(settleTimeout) {
 		return fmt.Errorf("server did not quiesce")
 	}
 	for _, name := range r.clientNames() {
@@ -306,6 +331,12 @@ func (r *runner) step(i int, st Step) error {
 	case StepCrash:
 		r.tr.step(i, "crash: process dies, journal unsealed; recover from WAL replay")
 		err = r.crash()
+	case StepKillNode:
+		r.tr.step(i, fmt.Sprintf("kill node %s: incarnation dies, warm standby promoted after lease expiry", st.Node))
+		err = r.killNode(st)
+	case StepPartition:
+		r.tr.step(i, fmt.Sprintf("partition node %s: gateway links severed, resume-reconnect to same owner", st.Node))
+		err = r.partitionNode(st)
 	default:
 		err = fmt.Errorf("unknown step kind %d", st.Kind)
 	}
@@ -320,7 +351,7 @@ func (r *runner) step(i int, st Step) error {
 }
 
 func (r *runner) join(st Step) error {
-	conn, err := r.listener.Dial()
+	conn, err := r.dialEdge()
 	if err != nil {
 		return err
 	}
@@ -368,9 +399,13 @@ func (r *runner) burst(st Step) error {
 	if c == nil || !c.alive {
 		return fmt.Errorf("burst from unknown or disconnected user %s", st.User)
 	}
+	srv, err := r.roomServer(st.Room)
+	if err != nil {
+		return err
+	}
 	var before pipeline.Stats
 	if r.sc.GateBursts {
-		before, _ = r.server.SupervisionStats()
+		before, _ = srv.SupervisionStats()
 		r.rec.closeGate()
 		defer r.rec.openGate()
 	}
@@ -384,7 +419,7 @@ func (r *runner) burst(st Step) error {
 	// All echoes back: every line has been broadcast and its supervision
 	// submitted (or refused by admission control).
 	echoes := 0
-	err := c.readUntil(func(m chat.Message) bool {
+	err = c.readUntil(func(m chat.Message) bool {
 		if m.Type == chat.TypeChat && m.From == st.User {
 			echoes++
 		}
@@ -399,7 +434,7 @@ func (r *runner) burst(st Step) error {
 		// before releasing the gate, so accepted-vs-shed is exact.
 		want := int64(len(st.Texts))
 		ok := clock.Until(settleTimeout, func() bool {
-			st, _ := r.server.SupervisionStats()
+			st, _ := srv.SupervisionStats()
 			return (st.Submitted+st.ShedNew)-(before.Submitted+before.ShedNew) >= want
 		})
 		if !ok {
@@ -446,8 +481,12 @@ func (r *runner) leave(st Step, drop bool) error {
 	}
 	// Last member out: nothing observable remains, the membership table
 	// is the only signal.
+	srv, err := r.roomServer(st.Room)
+	if err != nil {
+		return err
+	}
 	if !clock.Until(settleTimeout, func() bool {
-		for _, name := range r.server.Members(st.Room) {
+		for _, name := range srv.Members(st.Room) {
 			if name == st.User {
 				return false
 			}
@@ -464,6 +503,9 @@ func (r *runner) leave(st Step, drop bool) error {
 // restarts the server. The recorder (and its session-wide verdict log)
 // survives; the knowledge stores must come back via recovery.
 func (r *runner) crash() error {
+	if r.cluster != nil {
+		return fmt.Errorf("StepCrash is not supported in cluster mode (use StepKillNode)")
+	}
 	if r.mgr == nil {
 		return fmt.Errorf("StepCrash requires Scenario.Journal")
 	}
@@ -517,16 +559,39 @@ func (r *runner) finish() (*Result, error) {
 	}
 	r.curStep = len(r.sc.Steps)
 	r.flushInboxes()
-	pst, hasPipe := r.server.SupervisionStats()
+	var pst pipeline.Stats
+	var hasPipe bool
 	var jstats *journal.Stats
-	if r.mgr != nil {
-		st := r.mgr.Stats()
-		jstats = &st
+	if cr := r.cluster; cr != nil {
+		for _, n := range cr.live() {
+			if st, ok := n.server.SupervisionStats(); ok {
+				pst = pst.Merge(st)
+				hasPipe = true
+			}
+		}
+	} else {
+		pst, hasPipe = r.server.SupervisionStats()
+		if r.mgr != nil {
+			st := r.mgr.Stats()
+			jstats = &st
+		}
 	}
 	res := buildResult(r, pst, hasPipe, jstats)
 	r.tr.summary(res)
 	res.Transcript = r.tr.bytes()
 
+	if cr := r.cluster; cr != nil {
+		if err := cr.gw.Close(); err != nil {
+			return nil, fmt.Errorf("gateway close: %w", err)
+		}
+		if err := cr.fab.Close(); err != nil {
+			return nil, fmt.Errorf("fabric close: %w", err)
+		}
+		if errs := cr.fab.ShipErrors(); len(errs) > 0 {
+			return nil, fmt.Errorf("wal shipping: %w", errs[0])
+		}
+		return res, nil
+	}
 	if err := r.server.Close(); err != nil {
 		return nil, fmt.Errorf("server close: %w", err)
 	}
