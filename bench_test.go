@@ -665,3 +665,25 @@ func BenchmarkPruningAblation(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE17AdversarialFailover measures the adversarial chaos path
+// (experiment E17): one population carrying all four fault classes —
+// a severed-and-healed ship stream, a promotion-coordinator crash with
+// resume, a lagged standby killed mid-lag and clock-skewed lease
+// races — replayed twice for byte-identity, plus a one-wave sweep.
+// The reported metrics are the promotion resumes and race outcomes,
+// the work the fabric does to survive an actively hostile schedule.
+func BenchmarkE17AdversarialFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunE17(eval.E17Config{Seed: 170, Rooms: 4, RoomsPerWave: 1, Nodes: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Failed(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Failovers+res.Drill.Failovers), "failovers")
+		b.ReportMetric(float64(res.Faults.Resumes+res.Drill.Faults.Resumes), "resumes")
+		b.ReportMetric(float64(res.Races+res.Drill.Races), "races")
+	}
+}

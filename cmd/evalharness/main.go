@@ -13,7 +13,12 @@
 // drill — golden single-node session vs the identical session on the
 // room-partitioned fabric, with and without a mid-session owner
 // kill — plus a generated node-kill/partition chaos sweep audited
-// against the failover invariant).
+// against the failover invariant) and E17 (adversarial cluster chaos:
+// an all-classes determinism drill — asymmetric ship-stream partitions,
+// staged promotion-coordinator crashes, lagged standbys and
+// clock-skewed lease races in one population, replayed byte-identical —
+// plus a sweep rotating one profile per fault class, audited against
+// the four adversarial invariants).
 //
 // Usage:
 //
@@ -27,6 +32,7 @@
 //	evalharness -exp E14 -seed 7 -json    # chaos sweep; exits nonzero on violation
 //	evalharness -exp E15 -json            # text vs binary wire comparison (JSON)
 //	evalharness -exp E16 -seed 7 -json    # cluster failover drill + chaos sweep
+//	evalharness -exp E17 -seed 7 -json    # adversarial chaos: partitions, staged crashes, skew
 //	evalharness -exp E10,E11,E12,E13 -json  # one JSON array: the CI perf trajectory
 //
 // A comma-separated -exp list runs each experiment in order; with -json
@@ -47,11 +53,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment(s) to run: E1..E16, a comma-separated list, or all")
+		exp      = flag.String("exp", "all", "experiment(s) to run: E1..E17, a comma-separated list, or all")
 		n        = flag.Int("n", 1000, "workload size (samples/questions)")
 		seed     = flag.Int64("seed", 1, "workload seed")
-		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11, E12, E13, E14, E16)")
-		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10..E16)")
+		rooms    = flag.Int("rooms", 8, "concurrent rooms (E9, E11, E12, E13, E14, E16, E17)")
+		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON results (E10..E17)")
 	)
 	flag.Parse()
 	p := params{n: *n, seed: *seed, rooms: *rooms, json: *jsonFlag}
@@ -78,7 +84,7 @@ type params struct {
 }
 
 // allExperiments is the canonical order.
-var allExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+var allExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
 
 // textRunners print human-readable tables; jsonResults produce the
 // machine-readable result objects for the experiments that support
@@ -89,11 +95,12 @@ var (
 		"E5": runE5, "E6": runE6, "E7": runE7, "E8": runE8,
 		"E9": runE9, "E10": runE10, "E11": runE11, "E12": runE12,
 		"E13": runE13, "E14": runE14, "E15": runE15, "E16": runE16,
+		"E17": runE17,
 	}
 	jsonResults = map[string]func(params) (interface{}, error){
 		"E10": resultE10, "E11": resultE11, "E12": resultE12,
 		"E13": resultE13, "E14": resultE14, "E15": resultE15,
-		"E16": resultE16,
+		"E16": resultE16, "E17": resultE17,
 	}
 )
 
@@ -121,7 +128,7 @@ func run(expArg string, p params) error {
 	}
 	for _, name := range names {
 		if _, ok := textRunners[name]; !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E16, a comma-separated list, or all)", name)
+			return fmt.Errorf("unknown experiment %q (want E1..E17, a comma-separated list, or all)", name)
 		}
 	}
 
@@ -130,7 +137,7 @@ func run(expArg string, p params) error {
 		for _, name := range names {
 			getter, ok := jsonResults[name]
 			if !ok {
-				return fmt.Errorf("%s does not support -json (supported: E10..E16)", name)
+				return fmt.Errorf("%s does not support -json (supported: E10..E17)", name)
 			}
 			res, err := getter(p)
 			if err != nil {
@@ -573,9 +580,9 @@ func runE16(p params) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Println("invariant              waves-audited")
+	fmt.Println("invariant                         waves-audited")
 	for _, name := range names {
-		fmt.Printf("%-22s %13d\n", name, res.InvariantChecks[name])
+		fmt.Printf("%-33s %13d\n", name, res.InvariantChecks[name])
 	}
 	if err := res.Failed(); err != nil {
 		for _, d := range res.Divergences {
@@ -587,6 +594,58 @@ func runE16(p params) error {
 		return err
 	}
 	fmt.Printf("drill matched golden outside the window and all invariants held; reproduce with: evalharness -exp E16 -seed %d\n",
+		res.Config.Seed)
+	return nil
+}
+
+func e17Config(p params) eval.E17Config {
+	cfg := eval.E17Config{Seed: p.seed}
+	if p.roomsSet {
+		cfg.Rooms = p.rooms
+	}
+	return cfg
+}
+
+func resultE17(p params) (interface{}, error) {
+	return eval.RunE17(e17Config(p))
+}
+
+func runE17(p params) error {
+	res, err := eval.RunE17(e17Config(p))
+	if err != nil {
+		return err
+	}
+	header("E17 adversarial cluster chaos: partitions, staged crashes, lag, skew (D16)")
+	d := res.Drill
+	fmt.Printf("drill seed: %d   byte-identical replay: %v\n", d.Seed, d.Identical)
+	fmt.Printf("drill: %d messages, %d supervised, %d failovers (%d resumed, %d lossy), %d races (%d seized, %d refused)\n",
+		d.Messages, d.Supervised, d.Failovers, d.Faults.Resumes, d.Faults.LossyPromotions,
+		d.Races, d.Faults.Seizures, d.Faults.Refusals)
+	f := res.Faults
+	fmt.Printf("sweep: %d waves, %d rooms, %d students, %d messages; faults: %d ship cuts (%d heals), %d staged crashes, %d lagged kills, %d skew races, %d kills, %d partitions\n",
+		res.Waves, res.Rooms, res.Students, res.Messages,
+		f.ShipCuts, f.ShipHeals, f.PromoCrash, f.LaggedKills, f.SkewRaces, f.NodeKills, f.Partitions)
+	fmt.Printf("outcomes: %d failovers (%d resumed, %d lossy), %d races (%d seized, %d refused)\n",
+		res.Failovers, f.Resumes, f.LossyPromotions, res.Races, f.Seizures, f.Refusals)
+	names := make([]string, 0, len(res.InvariantChecks))
+	for name := range res.InvariantChecks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("invariant                         waves-audited")
+	for _, name := range names {
+		fmt.Printf("%-33s %13d\n", name, res.InvariantChecks[name])
+	}
+	if err := res.Failed(); err != nil {
+		for _, v := range res.Drill.Violations {
+			fmt.Printf("DRILL VIOLATION %s: %s\n", v.Invariant, v.Detail)
+		}
+		for _, v := range res.Violations {
+			fmt.Printf("VIOLATION wave %d (seed %d) %s: %s\n", v.Wave, v.Seed, v.Invariant, v.Detail)
+		}
+		return err
+	}
+	fmt.Printf("replay byte-identical and all adversarial invariants held; reproduce with: evalharness -exp E17 -seed %d\n",
 		res.Config.Seed)
 	return nil
 }

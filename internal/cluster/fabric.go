@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net"
@@ -11,6 +12,7 @@ import (
 
 	"semagent/internal/clock"
 	"semagent/internal/journal"
+	"semagent/internal/metrics"
 )
 
 // NodeHandle is the fabric's view of one running node incarnation. The
@@ -53,6 +55,11 @@ type FabricConfig struct {
 	// Options.OnSync hook — that hook is the WAL shipping path; without
 	// it the node has no warm standby and its rooms die with it.
 	Start func(id NodeID, dir string, onSync func(synced uint64)) (*NodeHandle, error)
+	// Metrics optionally registers the fabric's replication health
+	// series: semagent_cluster_ship_failures_total,
+	// semagent_cluster_ship_stalled and
+	// semagent_cluster_ship_lag_records.
+	Metrics *metrics.Registry
 }
 
 // nodeState is one live (or dead-awaiting-failover) incarnation.
@@ -67,13 +74,29 @@ type nodeState struct {
 	// shipMu serializes the seeding ship at provision time with the
 	// journal's OnSync calls (which the appender lock already orders
 	// among themselves).
-	shipMu    sync.Mutex
-	tail      *journal.TailReader
-	sink      *journal.Sink
-	shipEpoch uint64
-	shipErr   error
+	shipMu     sync.Mutex
+	tail       *journal.TailReader
+	sink       *journal.Sink
+	shipEpoch  uint64
+	shipTarget uint64 // highest durable watermark seen; ships catch up to it
+	shipCut    bool   // asymmetric partition: ship stream severed
+	shipFails  int    // consecutive failed ship attempts since last success
+	shipErr    error  // last ship failure; nil again after a successful retry
+
+	failures *metrics.Counter // semagent_cluster_ship_failures_total (nil = unregistered)
 
 	killedSynced uint64 // SyncedLSN captured at Kill time
+
+	// Promotion progress (guarded by Fabric.mu): an interrupted
+	// Failover records how far it got so the next call resumes instead
+	// of redoing — or worse, wedging — the half-finished stages.
+	promoFenced  bool
+	promoSealed  bool
+	promoSealLSN uint64
+	promoShipped uint64
+	promoSucc    *nodeState
+	promoMoves   []RoomMove
+	promoResumes int
 }
 
 // RoomMove records one room's ownership transfer during a failover.
@@ -98,6 +121,14 @@ type Promotion struct {
 	ReplayApplied int    `json:"replay_applied"`
 	ReplayErrors  int    `json:"replay_errors"`
 	ReplayLastLSN uint64 `json:"replay_last_lsn"`
+	// Resumes counts how many times this promotion was re-entered after
+	// an interruption (0 = completed in one pass).
+	Resumes int `json:"resumes"`
+	// Lossy is the audit verdict: SinkLastLSN < DeadSyncedLSN means
+	// durable records never reached the standby (a severed or faulted
+	// ship stream at kill time). The failover must say so rather than
+	// silently promote.
+	Lossy bool `json:"lossy"`
 }
 
 // Fabric owns the ownership map and the node incarnations. All
@@ -111,11 +142,15 @@ type Fabric struct {
 
 	owners *OwnerMap
 
-	mu    sync.Mutex
-	nodes map[NodeID]*nodeState // live incarnations
-	bases map[string]*nodeState // lineage -> live incarnation (nil entry while dead)
-	dead  []*nodeState          // killed, awaiting Failover
-	epoch uint64                // ship-epoch counter across incarnations
+	mu         sync.Mutex
+	nodes      map[NodeID]*nodeState    // live incarnations
+	bases      map[string]*nodeState    // lineage -> live incarnation (nil entry while dead)
+	dead       []*nodeState             // killed, awaiting Failover
+	epoch      uint64                   // ship-epoch counter across incarnations
+	skews      map[string]time.Duration // per-lineage clock offset for lease races
+	crashStage FailoverStage            // armed one-shot crash point inside Failover
+
+	shipFailures *metrics.Counter
 }
 
 // NewFabric provisions the initial nodes (lineages "n0".."n<N-1>") and
@@ -134,6 +169,11 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 		bases: make(map[string]*nodeState),
 	}
 	f.owners = NewOwnerMap(cfg.Lease, f.clk)
+	if cfg.Metrics != nil {
+		f.shipFailures = cfg.Metrics.Counter("semagent_cluster_ship_failures_total", "WAL ship attempts that failed (tail read or sink apply) and will retry")
+		cfg.Metrics.GaugeFunc("semagent_cluster_ship_stalled", "ship streams currently impaired (severed or erroring)", f.stalledStreams)
+		cfg.Metrics.GaugeFunc("semagent_cluster_ship_lag_records", "max standby replication lag in LSNs across live nodes", f.maxShipLag)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		base := fmt.Sprintf("n%d", i)
 		ns, err := f.provision(base, 0, "")
@@ -169,6 +209,7 @@ func (f *Fabric) provision(base string, gen int, dir string) (*nodeState, error)
 	ns := &nodeState{
 		base: base, gen: gen, id: id, dir: dir,
 		tail: journal.NewTailReader(dir), sink: sink, shipEpoch: f.epoch,
+		failures: f.shipFailures,
 	}
 	handle, err := f.cfg.Start(id, dir, ns.ship)
 	if err != nil {
@@ -184,29 +225,197 @@ func (f *Fabric) provision(base string, gen int, dir string) (*nodeState, error)
 
 // ship streams every durable record up to synced into the standby.
 // Installed as the journal's OnSync hook, so replication lag is
-// exactly durability lag.
+// exactly durability lag. A failed attempt (tail read or sink apply)
+// rewinds the tail cursor and retries from the last durable position
+// on the next call — one transient error must never kill the stream
+// for good (that bug shipped once; see DESIGN.md D16).
 func (ns *nodeState) ship(synced uint64) {
 	ns.shipMu.Lock()
 	defer ns.shipMu.Unlock()
-	if ns.shipErr != nil {
-		return
+	if synced > ns.shipTarget {
+		ns.shipTarget = synced
 	}
-	recs, err := ns.tail.Next(synced)
-	if err != nil {
-		ns.shipErr = err
-		return
+	if ns.shipCut {
+		return // severed: remember the watermark, ship nothing
 	}
-	if len(recs) == 0 {
-		return
-	}
-	if err := ns.sink.Apply(ns.shipEpoch, recs); err != nil {
-		ns.shipErr = err
-	}
+	ns.shipLocked()
 }
 
-// ShipErrors returns replication errors accumulated by any incarnation
-// (live or dead), sorted by node id. Empty means every fsync'd record
-// reached its standby.
+// shipLocked attempts one catch-up to shipTarget. Callers hold shipMu.
+// On any failure the tail cursor rewinds to its pre-read mark, so the
+// sink always holds a contiguous LSN prefix of the primary's journal —
+// a half-advanced cursor would turn the next success into a gap.
+func (ns *nodeState) shipLocked() {
+	mark := ns.tail.Mark()
+	recs, err := ns.tail.Next(ns.shipTarget)
+	if err == nil && len(recs) > 0 {
+		err = ns.sink.Apply(ns.shipEpoch, recs)
+	}
+	if err != nil {
+		ns.tail.Reset(mark)
+		ns.shipFails++
+		ns.shipErr = err
+		if ns.failures != nil {
+			ns.failures.Inc()
+		}
+		return
+	}
+	ns.shipFails = 0
+	ns.shipErr = nil
+}
+
+// CutShip severs a lineage's WAL ship stream: the node keeps serving
+// clients and fsync'ing its journal, but nothing reaches its standby
+// until HealShip. This is the asymmetric half of a partition —
+// Gateway.CutNode severs the client edge, CutShip severs the
+// replication edge — and it is how a kill with real standby lag is
+// staged.
+func (f *Fabric) CutShip(base string) error {
+	ns, err := f.liveIncarnation(base)
+	if err != nil {
+		return err
+	}
+	ns.shipMu.Lock()
+	ns.shipCut = true
+	ns.shipMu.Unlock()
+	return nil
+}
+
+// HealShip reconnects a severed ship stream (clearing any injected
+// sink fault too) and immediately ships everything that accumulated
+// while cut — the journal will not necessarily fsync again soon, so
+// waiting for the next OnSync could leave the standby lagging forever.
+func (f *Fabric) HealShip(base string) error {
+	ns, err := f.liveIncarnation(base)
+	if err != nil {
+		return err
+	}
+	ns.shipMu.Lock()
+	defer ns.shipMu.Unlock()
+	ns.shipCut = false
+	ns.sink.InjectFault(nil)
+	ns.shipLocked()
+	return ns.shipErr
+}
+
+// InjectSinkFault makes the lineage's standby reject every Apply with
+// err (nil clears). Unlike CutShip the shipper keeps trying, so the
+// failure is surfaced — counted, reported by Health — rather than
+// silently absorbed.
+func (f *Fabric) InjectSinkFault(base string, err error) error {
+	ns, lerr := f.liveIncarnation(base)
+	if lerr != nil {
+		return lerr
+	}
+	ns.sink.InjectFault(err)
+	return nil
+}
+
+func (f *Fabric) liveIncarnation(base string) (*nodeState, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ns := f.bases[base]
+	if ns == nil {
+		return nil, fmt.Errorf("cluster: lineage %s has no live incarnation", base)
+	}
+	return ns, nil
+}
+
+// NodeHealth is one incarnation's replication health: how far its
+// standby lags behind its durability watermark, and whether the ship
+// stream is impaired. Operators see a lagging standby here *before*
+// the kill that would make the lag a loss.
+type NodeHealth struct {
+	Node      NodeID `json:"node"`
+	Base      string `json:"base"`
+	Live      bool   `json:"live"`
+	SyncedLSN uint64 `json:"synced_lsn"`
+	SinkLSN   uint64 `json:"sink_lsn"`
+	// Lag is SyncedLSN - SinkLSN: durable records the standby has not
+	// received. Nonzero lag with no ShipCut/ShipFailures/ShipErr is a
+	// silent stall — exactly what the ship-resumes-or-surfaces
+	// invariant forbids.
+	Lag          uint64 `json:"lag"`
+	ShipCut      bool   `json:"ship_cut,omitempty"`
+	ShipFailures int    `json:"ship_failures,omitempty"`
+	ShipErr      string `json:"ship_err,omitempty"`
+}
+
+// Health reports replication health for every incarnation — live ones
+// against their journal's current SyncedLSN, dead-awaiting-failover
+// ones against the watermark captured at kill time — sorted by node
+// id.
+func (f *Fabric) Health() []NodeHealth {
+	f.mu.Lock()
+	states := make([]*nodeState, 0, len(f.nodes)+len(f.dead))
+	live := make(map[*nodeState]bool, len(f.nodes))
+	for _, ns := range f.nodes {
+		states = append(states, ns)
+		live[ns] = true
+	}
+	states = append(states, f.dead...)
+	f.mu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].id < states[j].id })
+	out := make([]NodeHealth, 0, len(states))
+	for _, ns := range states {
+		h := NodeHealth{Node: ns.id, Base: ns.base, Live: live[ns]}
+		if live[ns] {
+			h.SyncedLSN = ns.handle.Stats().SyncedLSN
+		} else {
+			h.SyncedLSN = ns.killedSynced
+		}
+		h.SinkLSN = ns.sink.LastLSN()
+		if h.SyncedLSN > h.SinkLSN {
+			h.Lag = h.SyncedLSN - h.SinkLSN
+		}
+		ns.shipMu.Lock()
+		h.ShipCut = ns.shipCut
+		h.ShipFailures = ns.shipFails
+		if ns.shipErr != nil {
+			h.ShipErr = ns.shipErr.Error()
+		}
+		ns.shipMu.Unlock()
+		out = append(out, h)
+	}
+	return out
+}
+
+// stalledStreams counts live ship streams currently impaired (severed
+// or erroring) — the semagent_cluster_ship_stalled gauge.
+func (f *Fabric) stalledStreams() int64 {
+	f.mu.Lock()
+	states := make([]*nodeState, 0, len(f.nodes))
+	for _, ns := range f.nodes {
+		states = append(states, ns)
+	}
+	f.mu.Unlock()
+	var n int64
+	for _, ns := range states {
+		ns.shipMu.Lock()
+		if ns.shipCut || ns.shipErr != nil {
+			n++
+		}
+		ns.shipMu.Unlock()
+	}
+	return n
+}
+
+// maxShipLag is the worst standby replication lag (in LSNs) across
+// live nodes — the semagent_cluster_ship_lag_records gauge.
+func (f *Fabric) maxShipLag() int64 {
+	var max uint64
+	for _, h := range f.Health() {
+		if h.Live && h.Lag > max {
+			max = h.Lag
+		}
+	}
+	return int64(max)
+}
+
+// ShipErrors returns the replication errors currently outstanding on
+// any incarnation (live or dead), sorted by node id. A transient
+// failure that a later ship retried past is NOT reported — empty means
+// every stream is healthy now, not that none ever hiccuped.
 func (f *Fabric) ShipErrors() []error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -322,6 +531,43 @@ func (f *Fabric) Kill(base string) error {
 	return ns.handle.Kill()
 }
 
+// FailoverStage names a deterministic crash point inside Failover.
+// The stages bracket every durable transition of a promotion, so a
+// chaos schedule can kill the coordinator between any two of them and
+// the next Failover call must resume — not redo, not wedge — the
+// half-finished promotion.
+type FailoverStage int
+
+const (
+	StageNone       FailoverStage = iota
+	StageFenced                   // sink fenced, not yet sealed
+	StageSealed                   // sink closed, successor not yet booted
+	StageRestarted                // successor booted, no room moved yet
+	StageMidPromote               // first room moved, the rest still on the dead owner
+)
+
+// ErrFailoverInterrupted reports that Failover stopped at an armed
+// crash point. The interrupted promotion's lineage stays on the dead
+// list with its progress recorded; calling Failover again resumes it.
+var ErrFailoverInterrupted = errors.New("cluster: failover interrupted at crash point")
+
+// CrashNextFailover arms a one-shot crash point: the next Failover
+// call returns ErrFailoverInterrupted when it reaches the stage.
+func (f *Fabric) CrashNextFailover(stage FailoverStage) {
+	f.mu.Lock()
+	f.crashStage = stage
+	f.mu.Unlock()
+}
+
+// crashAt consumes an armed crash point. Callers hold f.mu.
+func (f *Fabric) crashAt(stage FailoverStage) bool {
+	if f.crashStage != stage || stage == StageNone {
+		return false
+	}
+	f.crashStage = StageNone
+	return true
+}
+
 // Failover promotes every dead incarnation's warm standby: the sink is
 // fenced (a late group commit from the dead owner must not land) and
 // closed, a new incarnation boots on the sink's directory — ordinary
@@ -330,6 +576,13 @@ func (f *Fabric) Kill(base string) error {
 // leases are renewed in the same pass (probe-based renewal: the
 // fabric has no renewal goroutine, see the package comment).
 //
+// Failover is re-entrant: a promotion interrupted by an armed crash
+// point (or a caller crash between stages) left the dead incarnation
+// on the dead list with its completed stages recorded, and the next
+// call picks up exactly where it stopped. A dead node only leaves the
+// dead list when its promotion fully completes, so interruption can
+// never strand a lineage half-promoted.
+//
 // Promotions require the dead owner's lease to have expired on the
 // fabric's clock; callers advance past the lease (simulator) or run
 // Failover on a ticker slower than nothing but faster than the lease
@@ -337,38 +590,15 @@ func (f *Fabric) Kill(base string) error {
 func (f *Fabric) Failover() ([]Promotion, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	dead := f.dead
-	f.dead = nil
 	var promos []Promotion
-	for _, ns := range dead {
-		ns.sink.Fence(ns.shipEpoch + 1)
-		sinkLSN, shipped := ns.sink.LastLSN(), ns.sink.Records()
-		if err := ns.sink.Close(); err != nil {
-			return promos, fmt.Errorf("cluster: close standby of %s: %w", ns.id, err)
-		}
-		succ, err := f.provision(ns.base, ns.gen+1, ns.sink.Dir())
+	for len(f.dead) > 0 {
+		ns := f.dead[0]
+		p, err := f.promoteLocked(ns)
 		if err != nil {
-			return promos, fmt.Errorf("cluster: promote standby of %s: %w", ns.id, err)
-		}
-		f.nodes[succ.id] = succ
-		f.bases[ns.base] = succ
-		p := Promotion{
-			Dead: ns.id, Promoted: succ.id,
-			DeadSyncedLSN: ns.killedSynced, SinkLastLSN: sinkLSN, ShippedRecs: shipped,
-		}
-		st := succ.handle.Stats()
-		p.ReplayApplied = st.Replay.Applied
-		p.ReplayErrors = st.Replay.Errors
-		p.ReplayLastLSN = st.Replay.LastLSN
-		for _, room := range f.owners.Rooms(ns.id) {
-			before, _ := f.owners.Lookup(room)
-			after, err := f.owners.Promote(room, succ.id)
-			if err != nil {
-				return promos, fmt.Errorf("cluster: promote %s: %w", room, err)
-			}
-			p.Moves = append(p.Moves, RoomMove{Room: room, EpochBefore: before.Epoch, EpochAfter: after.Epoch})
+			return promos, err
 		}
 		promos = append(promos, p)
+		f.dead = f.dead[1:]
 	}
 	// Renew the live owners (promoted incarnations included).
 	ids := make([]NodeID, 0, len(f.nodes))
@@ -386,6 +616,169 @@ func (f *Fabric) Failover() ([]Promotion, error) {
 		}
 	}
 	return promos, nil
+}
+
+// promoteLocked runs (or resumes) one dead incarnation's promotion.
+// Callers hold f.mu. Each stage checks recorded progress first, so a
+// resumed call skips completed work; armed crash points fire between
+// stages via crashAt.
+func (f *Fabric) promoteLocked(ns *nodeState) (Promotion, error) {
+	if ns.promoFenced { // any prior progress means this is a resume
+		ns.promoResumes++
+	}
+	if !ns.promoFenced {
+		ns.sink.Fence(ns.shipEpoch + 1)
+		ns.promoFenced = true
+		if f.crashAt(StageFenced) {
+			return Promotion{}, fmt.Errorf("%w: %s fenced", ErrFailoverInterrupted, ns.id)
+		}
+	}
+	if !ns.promoSealed {
+		ns.promoSealLSN, ns.promoShipped = ns.sink.LastLSN(), ns.sink.Records()
+		if err := ns.sink.Close(); err != nil {
+			return Promotion{}, fmt.Errorf("cluster: close standby of %s: %w", ns.id, err)
+		}
+		ns.promoSealed = true
+		if f.crashAt(StageSealed) {
+			return Promotion{}, fmt.Errorf("%w: %s sealed", ErrFailoverInterrupted, ns.id)
+		}
+	}
+	if ns.promoSucc == nil {
+		succ, err := f.provision(ns.base, ns.gen+1, ns.sink.Dir())
+		if err != nil {
+			return Promotion{}, fmt.Errorf("cluster: promote standby of %s: %w", ns.id, err)
+		}
+		f.nodes[succ.id] = succ
+		f.bases[ns.base] = succ
+		ns.promoSucc = succ
+		if f.crashAt(StageRestarted) {
+			return Promotion{}, fmt.Errorf("%w: %s restarted", ErrFailoverInterrupted, ns.id)
+		}
+	}
+	succ := ns.promoSucc
+	// Rooms() only returns rooms still on the dead id, so a resumed
+	// loop naturally continues with the rooms the interruption left
+	// behind (the moved ones already answer to the successor).
+	for _, room := range f.owners.Rooms(ns.id) {
+		before, _ := f.owners.Lookup(room)
+		after, err := f.owners.Promote(room, succ.id)
+		if err != nil {
+			return Promotion{}, fmt.Errorf("cluster: promote %s: %w", room, err)
+		}
+		ns.promoMoves = append(ns.promoMoves, RoomMove{Room: room, EpochBefore: before.Epoch, EpochAfter: after.Epoch})
+		if f.crashAt(StageMidPromote) {
+			return Promotion{}, fmt.Errorf("%w: %s mid-promote after %s", ErrFailoverInterrupted, ns.id, room)
+		}
+	}
+	if f.crashAt(StageMidPromote) {
+		// The dead owner held no (remaining) rooms; an armed crash point
+		// still fires so schedules stay deterministic.
+		return Promotion{}, fmt.Errorf("%w: %s mid-promote (no rooms)", ErrFailoverInterrupted, ns.id)
+	}
+	p := Promotion{
+		Dead: ns.id, Promoted: succ.id, Moves: ns.promoMoves,
+		DeadSyncedLSN: ns.killedSynced, SinkLastLSN: ns.promoSealLSN, ShippedRecs: ns.promoShipped,
+		Resumes: ns.promoResumes,
+		Lossy:   ns.promoSealLSN < ns.killedSynced,
+	}
+	st := succ.handle.Stats()
+	p.ReplayApplied = st.Replay.Applied
+	p.ReplayErrors = st.Replay.Errors
+	p.ReplayLastLSN = st.Replay.LastLSN
+	return p, nil
+}
+
+// SetSkew assigns a lineage a clock offset for lease races: the
+// lineage's RaceLeases decisions run at Now()+skew, modeling a node
+// whose local clock runs fast (positive skew sees leases expire early).
+func (f *Fabric) SetSkew(base string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.skews == nil {
+		f.skews = make(map[string]time.Duration)
+	}
+	f.skews[base] = d
+}
+
+// LeaseRace records one clock-skewed acquisition attempt against
+// another lineage's room. Safety under skew is NOT "the seizure was
+// refused" — a skewed clock may legitimately see an expired lease —
+// it is the fence: a seizure bumps the epoch and the deposed owner's
+// next epoch-checked write is refused.
+type LeaseRace struct {
+	Room       string `json:"room"`
+	Challenger NodeID `json:"challenger"`
+	Owner      NodeID `json:"owner"`
+	// LeaseLive reports whether the owner's lease was still live on the
+	// UNSKEWED fabric clock at race time.
+	LeaseLive bool  `json:"lease_live"`
+	SkewMS    int64 `json:"skew_ms"`
+	Seized    bool  `json:"seized"`
+	// Refused carries the refusal error when the race lost.
+	Refused     string `json:"refused,omitempty"`
+	EpochBefore uint64 `json:"epoch_before"`
+	EpochAfter  uint64 `json:"epoch_after"`
+	// OldOwnerFenced: after a seizure, the deposed owner renewing with
+	// its old epoch on the unskewed clock got ErrFenced. This is the
+	// single-writer guarantee; it must be true for every seizure.
+	OldOwnerFenced bool `json:"old_owner_fenced,omitempty"`
+}
+
+// RaceLeases has the challenger lineage attempt a skewed-clock Acquire
+// on the first room of every other live lineage, records whether the
+// epoch fence held, and — because the challenger holds no replica of a
+// seized room's state — hands every seized room straight back via
+// Handoff (bumping the epoch again). The room's service never moves;
+// what the race probes is the ownership map's safety under disagreeing
+// clocks. Callers must re-route any links for seized rooms (their
+// routed epoch is now stale twice over).
+func (f *Fabric) RaceLeases(challenger string) ([]LeaseRace, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := f.bases[challenger]
+	if ch == nil {
+		return nil, fmt.Errorf("cluster: lineage %s has no live incarnation", challenger)
+	}
+	now := f.clk.Now()
+	skewed := now.Add(f.skews[challenger])
+	var others []string
+	for base, ns := range f.bases {
+		if ns != nil && base != challenger {
+			others = append(others, base)
+		}
+	}
+	sort.Strings(others)
+	var races []LeaseRace
+	for _, base := range others {
+		owner := f.bases[base]
+		rooms := f.owners.Rooms(owner.id)
+		if len(rooms) == 0 {
+			continue
+		}
+		room := rooms[0]
+		before, _ := f.owners.Lookup(room)
+		race := LeaseRace{
+			Room: room, Challenger: ch.id, Owner: owner.id,
+			LeaseLive:   now.Before(before.Expires),
+			SkewMS:      f.skews[challenger].Milliseconds(),
+			EpochBefore: before.Epoch,
+			EpochAfter:  before.Epoch,
+		}
+		after, err := f.owners.AcquireAt(skewed, room, ch.id)
+		if err != nil {
+			race.Refused = err.Error()
+		} else {
+			race.Seized = true
+			race.EpochAfter = after.Epoch
+			_, rerr := f.owners.RenewAt(now, room, owner.id, before.Epoch)
+			race.OldOwnerFenced = errors.Is(rerr, ErrFenced)
+			if _, err := f.owners.Handoff(room, ch.id, owner.id, after.Epoch); err != nil {
+				return races, fmt.Errorf("cluster: hand back %s after race: %w", room, err)
+			}
+		}
+		races = append(races, race)
+	}
+	return races, nil
 }
 
 // NodesIdle reports whether every live node is instantaneously idle.

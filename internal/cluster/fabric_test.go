@@ -1,0 +1,443 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"semagent/internal/clock"
+	"semagent/internal/corpus"
+	"semagent/internal/journal"
+	"semagent/internal/metrics"
+)
+
+// fabHarness runs a Fabric over journal-only nodes: each incarnation
+// is a real journal manager (SyncEveryRecord, so every mutation fsyncs
+// and ships) with no chat server on top — the tests drive mutations
+// straight through the journaled stores. This is the narrowest harness
+// that exercises the real shipping, promotion and recovery machinery.
+type fabHarness struct {
+	t   *testing.T
+	vc  *clock.Virtual
+	reg *metrics.Registry
+	fab *Fabric
+
+	mu     sync.Mutex
+	stores map[NodeID]journal.Stores
+	mgrs   map[NodeID]*journal.Manager
+	dirs   map[NodeID]string
+	seq    int
+}
+
+func newFabHarness(t *testing.T, nodes int) *fabHarness {
+	t.Helper()
+	h := &fabHarness{
+		t:      t,
+		vc:     clock.NewVirtual(time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)),
+		reg:    metrics.NewRegistry(),
+		stores: make(map[NodeID]journal.Stores),
+		mgrs:   make(map[NodeID]*journal.Manager),
+		dirs:   make(map[NodeID]string),
+	}
+	start := func(id NodeID, dir string, onSync func(synced uint64)) (*NodeHandle, error) {
+		stores, err := journal.LoadStores(dir)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: load stores: %w", id, err)
+		}
+		mgr, err := journal.Open(dir, stores, journal.Options{
+			SyncEveryRecord:    true,
+			CheckpointBytes:    -1,
+			CheckpointInterval: -1,
+			Clock:              h.vc,
+			OnSync:             onSync,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %s: open journal: %w", id, err)
+		}
+		h.mu.Lock()
+		h.stores[id] = stores
+		h.mgrs[id] = mgr
+		h.dirs[id] = dir
+		h.mu.Unlock()
+		return &NodeHandle{
+			Dial:  func() (net.Conn, error) { return nil, fmt.Errorf("harness nodes have no chat server") },
+			Idle:  func() bool { return true },
+			Kill:  func() error { mgr.Abandon(); return nil },
+			Stop:  func() error { return mgr.Close() },
+			Stats: mgr.Stats,
+		}, nil
+	}
+	fab, err := NewFabric(FabricConfig{
+		Nodes:   nodes,
+		BaseDir: t.TempDir(),
+		Clock:   h.vc,
+		Metrics: h.reg,
+		Start: func(id NodeID, dir string, onSync func(uint64)) (*NodeHandle, error) {
+			nh, err := start(id, dir, onSync)
+			return nh, err
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewFabric: %v", err)
+	}
+	h.fab = fab
+	t.Cleanup(func() { _ = fab.Close() })
+	return h
+}
+
+// mutate appends n corpus records through the lineage's live
+// incarnation; with SyncEveryRecord each one fsyncs and ships.
+func (h *fabHarness) mutate(base string, n int) {
+	h.t.Helper()
+	id, ok := h.fab.Current(base)
+	if !ok {
+		h.t.Fatalf("lineage %s has no live incarnation", base)
+	}
+	h.mu.Lock()
+	s := h.stores[id]
+	h.mu.Unlock()
+	for i := 0; i < n; i++ {
+		h.seq++
+		s.Corpus.Add(corpus.Record{
+			Text:    fmt.Sprintf("the dog runs %s %d", base, h.seq),
+			Tokens:  []string{"the", "dog", "runs"},
+			Verdict: corpus.VerdictCorrect,
+			User:    "alice",
+			Room:    "r1",
+		})
+	}
+}
+
+// health returns the lineage's live health entry.
+func (h *fabHarness) health(base string) NodeHealth {
+	h.t.Helper()
+	for _, nh := range h.fab.Health() {
+		if nh.Base == base && nh.Live {
+			return nh
+		}
+	}
+	h.t.Fatalf("no live health entry for lineage %s in %+v", base, h.fab.Health())
+	return NodeHealth{}
+}
+
+// journalBytes concatenates a directory's journal segments in order —
+// sink and primary use the same naming, so the same reader compares
+// both sides of a ship stream byte for byte.
+func journalBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "journal.") && strings.HasSuffix(e.Name(), ".wal") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+	}
+	return buf.Bytes()
+}
+
+// sinkDir resolves the live incarnation's standby directory.
+func (h *fabHarness) sinkDir(base string) string {
+	h.t.Helper()
+	id, ok := h.fab.Current(base)
+	if !ok {
+		h.t.Fatalf("lineage %s has no live incarnation", base)
+	}
+	h.mu.Lock()
+	dir := h.dirs[id]
+	h.mu.Unlock()
+	return filepath.Join(filepath.Dir(dir), string(id)+"-standby")
+}
+
+func (h *fabHarness) primaryDir(base string) string {
+	h.t.Helper()
+	id, ok := h.fab.Current(base)
+	if !ok {
+		h.t.Fatalf("lineage %s has no live incarnation", base)
+	}
+	h.mu.Lock()
+	dir := h.dirs[id]
+	h.mu.Unlock()
+	return dir
+}
+
+func (h *fabHarness) metricsText() string {
+	var buf bytes.Buffer
+	if err := h.reg.WritePrometheus(&buf); err != nil {
+		h.t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+// TestShipSeverHealByteIdentical: an asymmetric partition (ship stream
+// cut, node still serving) accumulates lag, Health surfaces it, and
+// HealShip catches the standby up to a byte-identical copy of the
+// primary's journal.
+func TestShipSeverHealByteIdentical(t *testing.T) {
+	h := newFabHarness(t, 2)
+	h.mutate("n0", 3)
+	if nh := h.health("n0"); nh.Lag != 0 || nh.ShipCut {
+		t.Fatalf("healthy stream reports %+v", nh)
+	}
+
+	if err := h.fab.CutShip("n0"); err != nil {
+		t.Fatal(err)
+	}
+	h.mutate("n0", 4)
+	nh := h.health("n0")
+	if !nh.ShipCut {
+		t.Fatalf("cut stream not flagged: %+v", nh)
+	}
+	if nh.Lag == 0 {
+		t.Fatalf("mutations under a severed stream produced no lag: %+v", nh)
+	}
+	if !strings.Contains(h.metricsText(), "semagent_cluster_ship_stalled 1") {
+		t.Fatalf("stalled gauge did not count the severed stream:\n%s", h.metricsText())
+	}
+
+	if err := h.fab.HealShip("n0"); err != nil {
+		t.Fatalf("HealShip: %v", err)
+	}
+	nh = h.health("n0")
+	if nh.Lag != 0 || nh.ShipCut || nh.ShipErr != "" {
+		t.Fatalf("healed stream still impaired: %+v", nh)
+	}
+	want := journalBytes(t, h.primaryDir("n0"))
+	got := journalBytes(t, h.sinkDir("n0"))
+	if len(want) == 0 {
+		t.Fatalf("primary journal is empty — mutations did not land")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sink segments diverge from primary after heal: %d vs %d bytes", len(got), len(want))
+	}
+}
+
+// TestShipTransientFaultRetries: a sink fault must not kill the stream
+// for good. The shipper surfaces the failure (Health, counter, gauge)
+// and — once the fault clears — the next ship retries from the last
+// durable position with no gap. This is the regression test for the
+// sticky-shipErr bug (DESIGN.md D16).
+func TestShipTransientFaultRetries(t *testing.T) {
+	h := newFabHarness(t, 2)
+	h.mutate("n0", 2)
+
+	injected := errors.New("standby disk wedged")
+	if err := h.fab.InjectSinkFault("n0", injected); err != nil {
+		t.Fatal(err)
+	}
+	h.mutate("n0", 3)
+	nh := h.health("n0")
+	if nh.ShipFailures == 0 || nh.ShipErr == "" {
+		t.Fatalf("faulted stream not surfaced: %+v", nh)
+	}
+	if !strings.Contains(nh.ShipErr, "standby disk wedged") {
+		t.Fatalf("ShipErr %q does not carry the injected fault", nh.ShipErr)
+	}
+	if nh.Lag == 0 {
+		t.Fatalf("faulted stream reports zero lag: %+v", nh)
+	}
+	if errs := h.fab.ShipErrors(); len(errs) != 1 {
+		t.Fatalf("ShipErrors = %v, want exactly the outstanding fault", errs)
+	}
+	if !strings.Contains(h.metricsText(), "semagent_cluster_ship_failures_total") {
+		t.Fatalf("ship failure counter missing:\n%s", h.metricsText())
+	}
+
+	// Clear the fault WITHOUT HealShip: the very next OnSync must retry
+	// and catch up on its own — retries belong to the shipper, not the
+	// operator.
+	if err := h.fab.InjectSinkFault("n0", nil); err != nil {
+		t.Fatal(err)
+	}
+	h.mutate("n0", 1)
+	nh = h.health("n0")
+	if nh.Lag != 0 || nh.ShipErr != "" || nh.ShipFailures != 0 {
+		t.Fatalf("stream did not recover after fault cleared: %+v", nh)
+	}
+	if errs := h.fab.ShipErrors(); len(errs) != 0 {
+		t.Fatalf("recovered stream still reports errors: %v", errs)
+	}
+	if !bytes.Equal(journalBytes(t, h.sinkDir("n0")), journalBytes(t, h.primaryDir("n0"))) {
+		t.Fatalf("sink diverges from primary after retry")
+	}
+}
+
+// TestFailoverCrashStagesResume: for every crash point, a failover
+// interrupted there must resume — not redo, not wedge — on the next
+// call, completing exactly one promotion with Resumes == 1 and every
+// room moved exactly once.
+func TestFailoverCrashStagesResume(t *testing.T) {
+	stages := []FailoverStage{StageFenced, StageSealed, StageRestarted, StageMidPromote}
+	for _, stage := range stages {
+		t.Run(fmt.Sprintf("stage-%d", stage), func(t *testing.T) {
+			h := newFabHarness(t, 2)
+			if _, err := h.fab.Owners().Acquire("room-a", "n0"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.fab.Owners().Acquire("room-b", "n0"); err != nil {
+				t.Fatal(err)
+			}
+			h.mutate("n0", 3)
+			if err := h.fab.Kill("n0"); err != nil {
+				t.Fatal(err)
+			}
+			h.vc.Advance(h.fab.Owners().Lease() + time.Second)
+
+			h.fab.CrashNextFailover(stage)
+			promos, err := h.fab.Failover()
+			if !errors.Is(err, ErrFailoverInterrupted) {
+				t.Fatalf("armed stage %d: Failover returned %v, want interruption", stage, err)
+			}
+			if len(promos) != 0 {
+				t.Fatalf("interrupted failover reported completed promotions: %+v", promos)
+			}
+
+			promos, err = h.fab.Failover()
+			if err != nil {
+				t.Fatalf("resumed Failover: %v", err)
+			}
+			if len(promos) != 1 {
+				t.Fatalf("resumed Failover completed %d promotions, want 1", len(promos))
+			}
+			p := promos[0]
+			if p.Resumes != 1 {
+				t.Fatalf("promotion resumed %d times, want exactly 1", p.Resumes)
+			}
+			if p.Lossy || p.SinkLastLSN < p.DeadSyncedLSN {
+				t.Fatalf("healthy-stream promotion lost data: %+v", p)
+			}
+			if p.ReplayErrors != 0 || p.ReplayLastLSN < p.DeadSyncedLSN {
+				t.Fatalf("promotion replay incomplete: %+v", p)
+			}
+			rooms := map[string]bool{}
+			for _, mv := range p.Moves {
+				if rooms[mv.Room] {
+					t.Fatalf("room %s moved twice in one promotion: %+v", mv.Room, p.Moves)
+				}
+				rooms[mv.Room] = true
+				if mv.EpochAfter != mv.EpochBefore+1 {
+					t.Fatalf("room %s epoch jumped %d -> %d", mv.Room, mv.EpochBefore, mv.EpochAfter)
+				}
+			}
+			if !rooms["room-a"] || !rooms["room-b"] {
+				t.Fatalf("dead owner's rooms not all moved: %+v", p.Moves)
+			}
+			if id, ok := h.fab.Current("n0"); !ok || id != p.Promoted {
+				t.Fatalf("lineage n0 resolves to %q, want promoted %q", id, p.Promoted)
+			}
+			// A third call has nothing left to do.
+			if promos, err := h.fab.Failover(); err != nil || len(promos) != 0 {
+				t.Fatalf("idle Failover = %v, %v", promos, err)
+			}
+		})
+	}
+}
+
+// TestLaggedStandbyLossyPromotion: records fsync'd behind a faulted
+// ship stream die with the node, and the promotion audit must say so —
+// Lossy, with the sink watermark visibly below the dead owner's.
+func TestLaggedStandbyLossyPromotion(t *testing.T) {
+	h := newFabHarness(t, 2)
+	if _, err := h.fab.Owners().Acquire("room-a", "n0"); err != nil {
+		t.Fatal(err)
+	}
+	h.mutate("n0", 2)
+	if err := h.fab.InjectSinkFault("n0", errors.New("standby lagging")); err != nil {
+		t.Fatal(err)
+	}
+	h.mutate("n0", 3) // durable on the primary, never reaches the sink
+	if err := h.fab.Kill("n0"); err != nil {
+		t.Fatal(err)
+	}
+	h.vc.Advance(h.fab.Owners().Lease() + time.Second)
+	promos, err := h.fab.Failover()
+	if err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	if len(promos) != 1 {
+		t.Fatalf("%d promotions, want 1", len(promos))
+	}
+	p := promos[0]
+	if !p.Lossy {
+		t.Fatalf("lagged-standby promotion not flagged lossy: %+v", p)
+	}
+	if p.SinkLastLSN >= p.DeadSyncedLSN {
+		t.Fatalf("sink watermark %d should trail dead owner's %d", p.SinkLastLSN, p.DeadSyncedLSN)
+	}
+	if p.ReplayErrors != 0 || p.ReplayLastLSN != p.SinkLastLSN {
+		t.Fatalf("replay must cover exactly what was shipped: %+v", p)
+	}
+}
+
+// TestRaceLeasesFencing: a challenger on a fast clock may seize a
+// still-live lease — that is legitimate under skew — but the epoch
+// fence must hold: the seizure bumps the epoch, the deposed owner's
+// stale-epoch renewal is refused, and the room is handed straight back
+// (epoch +2 total, owner unchanged).
+func TestRaceLeasesFencing(t *testing.T) {
+	h := newFabHarness(t, 2)
+	if _, err := h.fab.Owners().Acquire("room-a", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := h.fab.Owners().Lookup("room-a")
+
+	// Fast clock: two lease spans ahead — the lease looks long expired.
+	h.fab.SetSkew("n0", 2*h.fab.Owners().Lease())
+	races, err := h.fab.RaceLeases("n0")
+	if err != nil {
+		t.Fatalf("RaceLeases: %v", err)
+	}
+	if len(races) != 1 {
+		t.Fatalf("%d races, want 1 (n1's first room)", len(races))
+	}
+	r := races[0]
+	if !r.Seized || !r.LeaseLive {
+		t.Fatalf("skewed challenger should seize a live lease: %+v", r)
+	}
+	if r.EpochAfter != r.EpochBefore+1 {
+		t.Fatalf("seizure epoch %d -> %d, want +1", r.EpochBefore, r.EpochAfter)
+	}
+	if !r.OldOwnerFenced {
+		t.Fatalf("deposed owner was not fenced: %+v", r)
+	}
+	after, _ := h.fab.Owners().Lookup("room-a")
+	if after.Node != "n1" || after.Epoch != before.Epoch+2 {
+		t.Fatalf("hand-back left room at %s@%d, want n1@%d", after.Node, after.Epoch, before.Epoch+2)
+	}
+
+	// Mild skew inside the fresh lease: the race must lose, loudly.
+	h.fab.SetSkew("n0", time.Second)
+	races, err = h.fab.RaceLeases("n0")
+	if err != nil {
+		t.Fatalf("RaceLeases: %v", err)
+	}
+	if len(races) != 1 || races[0].Seized {
+		t.Fatalf("mild skew should be refused: %+v", races)
+	}
+	if races[0].Refused == "" || races[0].EpochAfter != races[0].EpochBefore {
+		t.Fatalf("refusal must carry the error and hold the epoch: %+v", races[0])
+	}
+	final, _ := h.fab.Owners().Lookup("room-a")
+	if final.Node != "n1" || final.Epoch != after.Epoch {
+		t.Fatalf("refused race moved the room: %+v", final)
+	}
+}

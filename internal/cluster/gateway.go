@@ -152,6 +152,31 @@ func (g *Gateway) CutNode(id NodeID) int {
 	return cut
 }
 
+// CutRoom severs every link routed to the given room, regardless of
+// which node serves it. After an ownership-map epoch change that moved
+// no state (a clock-skew lease race and hand-back), the links' routed
+// epoch is stale and Idle would report a reconnect owed forever — the
+// cut forces the relink that refreshes it. Returns how many links were
+// cut.
+func (g *Gateway) CutRoom(room string) int {
+	g.mu.Lock()
+	links := make([]*link, 0, len(g.links))
+	for lk := range g.links {
+		links = append(links, lk)
+	}
+	g.mu.Unlock()
+	cut := 0
+	for _, lk := range links {
+		lk.mu.Lock()
+		if lk.room == room && lk.backConn != nil {
+			_ = lk.backConn.Close()
+			cut++
+		}
+		lk.mu.Unlock()
+	}
+	return cut
+}
+
 // Links reports the number of live client links.
 func (g *Gateway) Links() int {
 	g.mu.Lock()

@@ -51,6 +51,11 @@ var (
 	// ErrLeaseLive: promotion refused because the current owner's
 	// lease has not expired.
 	ErrLeaseLive = errors.New("cluster: current owner lease still live")
+	// ErrUnknownRoom: the room has never been acquired. Distinct from
+	// ErrFenced — a renewal against an unknown room is a caller bug or
+	// a wiped map, not a deposed owner, and the error text must not
+	// invent a "current @0" owner from the zero value.
+	ErrUnknownRoom = errors.New("cluster: unknown room")
 )
 
 // OwnerMap is the versioned room-ownership table. It is safe for
@@ -103,9 +108,17 @@ func (m *OwnerMap) Lookup(room string) (Ownership, bool) {
 // same-node renewal keeps it. Returns ErrOwned while another node's
 // lease is live.
 func (m *OwnerMap) Acquire(room string, node NodeID) (Ownership, error) {
+	return m.AcquireAt(m.clk.Now(), room, node)
+}
+
+// AcquireAt is Acquire evaluated at an explicit instant. The skew
+// harness uses it to model a node whose local clock runs fast or slow:
+// the node decides "that lease looks expired" on its own skewed time,
+// and the epoch fence — not the clock — is what must keep the old
+// owner from writing afterwards.
+func (m *OwnerMap) AcquireAt(now time.Time, room string, node NodeID) (Ownership, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	now := m.clk.Now()
 	o, ok := m.rooms[room]
 	switch {
 	case !ok:
@@ -128,13 +141,21 @@ func (m *OwnerMap) Acquire(room string, node NodeID) (Ownership, error) {
 // current epoch; a deposed owner renewing with a stale epoch gets
 // ErrFenced instead of silently resurrecting its claim.
 func (m *OwnerMap) Renew(room string, node NodeID, epoch uint64) (Ownership, error) {
+	return m.RenewAt(m.clk.Now(), room, node, epoch)
+}
+
+// RenewAt is Renew evaluated at an explicit instant (see AcquireAt).
+func (m *OwnerMap) RenewAt(now time.Time, room string, node NodeID, epoch uint64) (Ownership, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	o, ok := m.rooms[room]
-	if !ok || o.Node != node || o.Epoch != epoch {
+	if !ok {
+		return Ownership{}, fmt.Errorf("%w: renew %s as %s@%d", ErrUnknownRoom, room, node, epoch)
+	}
+	if o.Node != node || o.Epoch != epoch {
 		return Ownership{}, fmt.Errorf("%w: renew %s as %s@%d (current %s@%d)", ErrFenced, room, node, epoch, o.Node, o.Epoch)
 	}
-	o.Expires = m.clk.Now().Add(m.lease)
+	o.Expires = now.Add(m.lease)
 	m.rooms[room] = o
 	m.version++
 	return o, nil
@@ -148,7 +169,10 @@ func (m *OwnerMap) Handoff(room string, from, to NodeID, epoch uint64) (Ownershi
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	o, ok := m.rooms[room]
-	if !ok || o.Node != from || o.Epoch != epoch {
+	if !ok {
+		return Ownership{}, fmt.Errorf("%w: handoff %s from %s@%d", ErrUnknownRoom, room, from, epoch)
+	}
+	if o.Node != from || o.Epoch != epoch {
 		return Ownership{}, fmt.Errorf("%w: handoff %s from %s@%d (current %s@%d)", ErrFenced, room, from, epoch, o.Node, o.Epoch)
 	}
 	o.Node = to
@@ -168,7 +192,7 @@ func (m *OwnerMap) Promote(room string, to NodeID) (Ownership, error) {
 	defer m.mu.Unlock()
 	o, ok := m.rooms[room]
 	if !ok {
-		return Ownership{}, fmt.Errorf("cluster: promote unknown room %q", room)
+		return Ownership{}, fmt.Errorf("%w: promote %q", ErrUnknownRoom, room)
 	}
 	if o.Node != to && m.clk.Now().Before(o.Expires) {
 		return Ownership{}, fmt.Errorf("%w: %s held by %s until %s", ErrLeaseLive, room, o.Node, o.Expires.Format(time.RFC3339))

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -207,5 +208,42 @@ func TestRoomsAndSnapshot(t *testing.T) {
 	}
 	if v := m.Version(); v != 4 {
 		t.Fatalf("Version = %d after 4 mutations", v)
+	}
+}
+
+// TestUnknownRoomDistinctFromFenced: transitions against a room the
+// map has never seen must say so — ErrUnknownRoom, with no invented
+// "current @0" owner in the text — while genuine stale-epoch refusals
+// keep ErrFenced and name the actual current owner.
+func TestUnknownRoomDistinctFromFenced(t *testing.T) {
+	vc := clock.NewVirtual(testEpoch)
+	m := NewOwnerMap(10*time.Second, vc)
+
+	if _, err := m.Renew("ghost", "n0", 1); !errors.Is(err, ErrUnknownRoom) {
+		t.Fatalf("renew unknown room returned %v, want ErrUnknownRoom", err)
+	} else if !strings.Contains(err.Error(), "unknown room") || strings.Contains(err.Error(), "current @0") {
+		t.Fatalf("renew unknown room text misleads: %q", err)
+	}
+	if _, err := m.Handoff("ghost", "n0", "n1", 1); !errors.Is(err, ErrUnknownRoom) {
+		t.Fatalf("handoff unknown room returned %v, want ErrUnknownRoom", err)
+	}
+	if _, err := m.Promote("ghost", "n1"); !errors.Is(err, ErrUnknownRoom) {
+		t.Fatalf("promote unknown room returned %v, want ErrUnknownRoom", err)
+	}
+
+	// The known-room stale-epoch path still reports ErrFenced with the
+	// real current owner.
+	if _, err := m.Acquire("room-a", "n0"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Renew("room-a", "n0", 99)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale renew returned %v, want ErrFenced", err)
+	}
+	if errors.Is(err, ErrUnknownRoom) {
+		t.Fatalf("stale renew must not also claim the room is unknown: %v", err)
+	}
+	if !strings.Contains(err.Error(), "current n0@1") {
+		t.Fatalf("stale renew text should name the current owner: %q", err)
 	}
 }

@@ -27,9 +27,10 @@ func TestE14SmallSweep(t *testing.T) {
 		t.Fatalf("profile rotation missed a fault class: %+v", res.Faults)
 	}
 	for _, name := range gen.InvariantNames() {
-		if name == gen.InvFailover {
-			// Only clustered scenarios can audit failover; E14's sweep is
-			// single-node by design — E16's sweep owns this invariant.
+		if gen.ClusterOnly(name) {
+			// Only clustered scenarios can audit failover, shipping,
+			// promotion, and lease invariants; E14's sweep is single-node
+			// by design — E16/E17's sweeps own those.
 			continue
 		}
 		if res.InvariantChecks[name] == 0 {

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// e17TestConfig keeps the sweep small: 4 waves of 2 rooms each, plus
+// the all-classes determinism drill.
+var e17TestConfig = E17Config{Seed: 7, Rooms: 8, RoomsPerWave: 2, Nodes: 3}
+
+func TestE17DrillAndSweep(t *testing.T) {
+	res, err := RunE17(e17TestConfig)
+	if err != nil {
+		t.Fatalf("RunE17: %v", err)
+	}
+	if err := res.Failed(); err != nil {
+		t.Fatalf("E17 failed: %v", err)
+	}
+	if !res.Drill.Identical {
+		t.Fatalf("all-classes drill replay was not byte-identical")
+	}
+	// The drill carries every class at once.
+	df := res.Drill.Faults
+	if df.ShipCuts == 0 || df.PromoCrash == 0 || df.LaggedKills == 0 || df.SkewRaces == 0 {
+		t.Fatalf("drill missing a fault class: %+v", df)
+	}
+	if res.Drill.Failovers == 0 || res.Drill.Races == 0 {
+		t.Fatalf("drill observed %d failovers and %d races — chaos did not land",
+			res.Drill.Failovers, res.Drill.Races)
+	}
+	// A staged kill resumed, a lagged kill was declared lossy, and the
+	// races resolved one way or the other.
+	if df.Resumes == 0 {
+		t.Fatalf("staged promotion crash never resumed: %+v", df)
+	}
+	if df.Seizures+df.Refusals != res.Drill.Races {
+		t.Fatalf("races %d but %d seizures + %d refusals", res.Drill.Races, df.Seizures, df.Refusals)
+	}
+	// Every adversarial invariant was audited somewhere in the sweep.
+	for _, name := range []string{"ship-resumes-or-surfaces", "promotion-completes-exactly-once",
+		"no-silent-loss", "single-writer-under-skew"} {
+		if res.InvariantChecks[name] == 0 {
+			t.Fatalf("sweep never audited %s: %v", name, res.InvariantChecks)
+		}
+	}
+	if res.Failovers == 0 {
+		t.Fatalf("sweep scheduled no node kills")
+	}
+}
+
+// TestE17Deterministic is the CI gate's contract: the same config must
+// produce a byte-identical JSON artifact across consecutive runs.
+func TestE17Deterministic(t *testing.T) {
+	run := func() []byte {
+		res, err := RunE17(e17TestConfig)
+		if err != nil {
+			t.Fatalf("RunE17: %v", err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("same config produced different JSON artifacts:\n%s\n---\n%s", a, b)
+	}
+}

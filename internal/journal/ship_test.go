@@ -282,3 +282,76 @@ func TestShipThenPromote(t *testing.T) {
 		t.Errorf("promoted profile alice = %+v, ok=%v; want 2 messages", p, ok)
 	}
 }
+
+// TestTailMarkResetReplaysAfterFailure: a ship attempt whose downstream
+// apply fails must be re-readable. Rewinding only the position is not
+// enough — Next refuses LSNs at or below its watermark — so Mark/Reset
+// capture both, and a reset re-read returns the identical records.
+func TestTailMarkResetReplaysAfterFailure(t *testing.T) {
+	dir := t.TempDir()
+	writeSegment(t, dir, 1, []uint64{1, 2, 3}, "")
+
+	tr := NewTailReader(dir)
+	if recs, err := tr.Next(1); err != nil {
+		t.Fatal(err)
+	} else {
+		wantLSNs(t, recs, 1)
+	}
+	mark := tr.Mark()
+	first, err := tr.Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLSNs(t, first, 2, 3)
+
+	// The sink rejected the batch: rewind and re-read.
+	tr.Reset(mark)
+	second, err := tr.Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLSNs(t, second, 2, 3)
+	for i := range first {
+		if string(first[i].Raw) != string(second[i].Raw) {
+			t.Fatalf("re-read record %d diverges from the original read", i)
+		}
+	}
+
+	// Without the reset the records would have been lost for good.
+	if recs, err := tr.Next(0); err != nil || len(recs) != 0 {
+		t.Fatalf("cursor did not advance past the re-read: %v, %v", recs, err)
+	}
+}
+
+// TestSinkInjectFaultSurfacesAndHeals: an injected sink fault fails
+// Apply before anything is written, surfaces the injected error
+// verbatim, and clearing it makes the same batch apply cleanly.
+func TestSinkInjectFaultSurfacesAndHeals(t *testing.T) {
+	src := t.TempDir()
+	writeSegment(t, src, 1, []uint64{1, 2}, "")
+	recs, err := NewTailReader(src).Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenSink(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	wedged := errors.New("standby disk wedged")
+	s.InjectFault(wedged)
+	if err := s.Apply(1, recs); !errors.Is(err, wedged) {
+		t.Fatalf("faulted apply returned %v, want the injected error", err)
+	}
+	if s.LastLSN() != 0 || s.Records() != 0 {
+		t.Fatalf("faulted apply wrote: lastLSN %d records %d", s.LastLSN(), s.Records())
+	}
+	s.InjectFault(nil)
+	if err := s.Apply(1, recs); err != nil {
+		t.Fatalf("apply after fault cleared: %v", err)
+	}
+	if s.LastLSN() != 2 || s.Records() != 2 {
+		t.Fatalf("healed sink lastLSN %d records %d, want 2/2", s.LastLSN(), s.Records())
+	}
+}

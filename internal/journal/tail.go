@@ -54,6 +54,30 @@ func (t *TailReader) Pos() Position { return t.pos }
 // LastLSN returns the highest LSN the reader has returned.
 func (t *TailReader) LastLSN() uint64 { return t.lastLSN }
 
+// TailMark captures a tail reader's full cursor state (position AND
+// LSN watermark) so a failed ship attempt can rewind. Rewinding only
+// the position is not enough: Next refuses records at or below
+// lastLSN, so a stale watermark would silently skip the re-read.
+type TailMark struct {
+	Pos     Position
+	LastLSN uint64
+}
+
+// Mark snapshots the cursor before a read whose downstream effect
+// (sink apply) may fail.
+func (t *TailReader) Mark() TailMark {
+	return TailMark{Pos: t.pos, LastLSN: t.lastLSN}
+}
+
+// Reset rewinds the cursor to a previously captured mark. After a
+// tail or sink error the shipper resets and retries from the last
+// durable position on the next OnSync, keeping the sink a contiguous
+// LSN prefix of the primary's journal — no gaps, ever.
+func (t *TailReader) Reset(m TailMark) {
+	t.pos = m.Pos
+	t.lastLSN = m.LastLSN
+}
+
 // Next returns every complete record past the cursor with LSN at most
 // maxLSN (0 = no bound), advancing the cursor. It stops without error
 // at a torn or partial line — the bytes may simply not be flushed

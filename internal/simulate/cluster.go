@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -230,6 +231,16 @@ func (r *runner) killNode(st Step) error {
 	// Promotion fences on lease expiry; advance past it. The golden arm
 	// of a failover comparison must advance by the same extra amount.
 	r.vc.Advance(cr.lease + time.Second)
+	if st.Stage > 0 {
+		// Kill-during-promotion: arm the crash point, prove the first
+		// Failover stops there, then resume. A promotion that completes
+		// despite the armed stage (or wedges on resume) fails the run.
+		cr.fab.CrashNextFailover(cluster.FailoverStage(st.Stage))
+		if _, err := cr.fab.Failover(); !errors.Is(err, cluster.ErrFailoverInterrupted) {
+			return fmt.Errorf("staged failover: wanted interruption at stage %d, got %v", st.Stage, err)
+		}
+		r.tr.note(fmt.Sprintf("failover: coordinator crashed at stage %d, re-entering", st.Stage))
+	}
 	promos, err := cr.fab.Failover()
 	if err != nil {
 		return err
@@ -259,6 +270,93 @@ func (r *runner) partitionNode(st Step) error {
 	}
 	cut := cr.gw.CutNode(id)
 	r.tr.note(fmt.Sprintf("partition: severed %d gateway links to %s", cut, id))
+	return nil
+}
+
+// errInjectedSinkFault is the deterministic apply error StepSinkFault
+// plants in a standby sink.
+var errInjectedSinkFault = errors.New("injected sink fault (chaos)")
+
+// cutShip severs a lineage's WAL ship stream while its client edge
+// stays up — the asymmetric partition.
+func (r *runner) cutShip(st Step) error {
+	cr := r.cluster
+	if cr == nil {
+		return fmt.Errorf("StepCutShip requires Scenario.Cluster")
+	}
+	if err := r.settle(); err != nil {
+		return err
+	}
+	if err := cr.fab.CutShip(st.Node); err != nil {
+		return err
+	}
+	r.tr.note(fmt.Sprintf("ship stream %s: severed (clients unaffected)", st.Node))
+	return nil
+}
+
+// healShip reconnects a severed ship stream; the accumulated backlog
+// ships before the step returns.
+func (r *runner) healShip(st Step) error {
+	cr := r.cluster
+	if cr == nil {
+		return fmt.Errorf("StepHealShip requires Scenario.Cluster")
+	}
+	if err := r.settle(); err != nil {
+		return err
+	}
+	if err := cr.fab.HealShip(st.Node); err != nil {
+		return err
+	}
+	r.tr.note(fmt.Sprintf("ship stream %s: healed (standby caught up)", st.Node))
+	return nil
+}
+
+// sinkFault wedges a lineage's standby sink so every apply fails. The
+// shipper must surface the failures (counter, Health) and retry — and
+// a kill before the heal must audit as a lossy promotion.
+func (r *runner) sinkFault(st Step) error {
+	cr := r.cluster
+	if cr == nil {
+		return fmt.Errorf("StepSinkFault requires Scenario.Cluster")
+	}
+	if err := r.settle(); err != nil {
+		return err
+	}
+	if err := cr.fab.InjectSinkFault(st.Node, errInjectedSinkFault); err != nil {
+		return err
+	}
+	r.tr.note(fmt.Sprintf("standby sink %s: fault injected (applies fail until healed)", st.Node))
+	return nil
+}
+
+// skewRace gives a lineage a clock offset and races it for every other
+// live lineage's leases. Seized rooms are handed straight back by the
+// fabric (the challenger has no replica); the step re-routes their
+// gateway links so the settle barrier sees fresh epochs.
+func (r *runner) skewRace(st Step) error {
+	cr := r.cluster
+	if cr == nil {
+		return fmt.Errorf("StepSkewRace requires Scenario.Cluster")
+	}
+	if err := r.settle(); err != nil {
+		return err
+	}
+	cr.fab.SetSkew(st.Node, st.Skew)
+	races, err := cr.fab.RaceLeases(st.Node)
+	if err != nil {
+		return err
+	}
+	for _, race := range races {
+		r.leaseRaces = append(r.leaseRaces, LeaseRaceStats{Step: r.curStep, LeaseRace: race})
+		if race.Seized {
+			cut := cr.gw.CutRoom(race.Room)
+			r.tr.note(fmt.Sprintf(
+				"lease race: %s seized %s from %s (epoch %d->%d, old owner fenced=%v), handed back; %d links re-routed",
+				race.Challenger, race.Room, race.Owner, race.EpochBefore, race.EpochAfter, race.OldOwnerFenced, cut))
+		} else {
+			r.tr.note(fmt.Sprintf("lease race: %s refused %s: %s", race.Challenger, race.Room, race.Refused))
+		}
+	}
 	return nil
 }
 

@@ -95,7 +95,22 @@ func (b *builder) scheduleChaos() []time.Duration {
 		frac := lo + width*crng.Float64()
 		at := time.Duration(frac * float64(span)).Truncate(time.Millisecond)
 		node := fmt.Sprintf("n%d", crng.Intn(b.cfg.ClusterNodes))
-		b.add(at, simulate.Step{Kind: simulate.StepKillNode, Node: node})
+		kill := simulate.Step{Kind: simulate.StepKillNode, Node: node}
+		// The first PromotionCrashes kills crash their failover at a
+		// deterministic stage (cycling through the four crash points)
+		// and must resume; the first LaggedKills kills get a sink fault
+		// planted shortly before, so the dead node's standby lags at
+		// kill time and the promotion audit must flag the loss. A kill
+		// can be both — staged AND lagged — which is the nastiest case.
+		if i < b.cfg.PromotionCrashes {
+			kill.Stage = 1 + i%4
+			b.plan.PromotionCrashes++
+		}
+		if i < b.cfg.LaggedKills {
+			b.add(at-span/10, simulate.Step{Kind: simulate.StepSinkFault, Node: node})
+			b.plan.LaggedKills++
+		}
+		b.add(at, kill)
 		b.plan.NodeKills++
 	}
 	for i := 0; i < b.cfg.Partitions; i++ {
@@ -106,6 +121,37 @@ func (b *builder) scheduleChaos() []time.Duration {
 		node := fmt.Sprintf("n%d", crng.Intn(b.cfg.ClusterNodes))
 		b.add(at, simulate.Step{Kind: simulate.StepPartition, Node: node})
 		b.plan.Partitions++
+	}
+	// Asymmetric partitions: sever one lineage's ship stream mid-session
+	// and heal it a sixth of a span later. Every cut is paired with its
+	// heal — a cut the session never heals is a lagged kill's job, not a
+	// ship cut's.
+	for i := 0; i < b.cfg.ShipCuts; i++ {
+		lo := 0.3 + 0.4*float64(i)/float64(b.cfg.ShipCuts)
+		width := 0.4 / float64(b.cfg.ShipCuts)
+		frac := lo + width*crng.Float64()
+		at := time.Duration(frac * float64(span)).Truncate(time.Millisecond)
+		node := fmt.Sprintf("n%d", crng.Intn(b.cfg.ClusterNodes))
+		b.add(at, simulate.Step{Kind: simulate.StepCutShip, Node: node})
+		b.add(at+span/6, simulate.Step{Kind: simulate.StepHealShip, Node: node})
+		b.plan.ShipCuts++
+		b.plan.ShipHeals++
+	}
+	// Clock-skewed lease races: a challenger lineage's clock runs fast —
+	// alternately a little (half a default lease) and absurdly (two
+	// spans) — and it races Acquire against every other lineage's rooms.
+	for i := 0; i < b.cfg.SkewRaces; i++ {
+		lo := 0.4 + 0.45*float64(i)/float64(b.cfg.SkewRaces)
+		width := 0.45 / float64(b.cfg.SkewRaces)
+		frac := lo + width*crng.Float64()
+		at := time.Duration(frac * float64(span)).Truncate(time.Millisecond)
+		node := fmt.Sprintf("n%d", crng.Intn(b.cfg.ClusterNodes))
+		skew := 5 * time.Second // half the default 10s lease
+		if i%2 == 1 {
+			skew = 2 * span
+		}
+		b.add(at, simulate.Step{Kind: simulate.StepSkewRace, Node: node, Skew: skew})
+		b.plan.SkewRaces++
 	}
 	return crashes
 }

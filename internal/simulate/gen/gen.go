@@ -119,10 +119,36 @@ type Config struct {
 	// ClusterNodes is the fabric size in cluster mode (default 2,
 	// clamped [2, 8]).
 	ClusterNodes int
+
+	// The four adversarial fault classes of ROADMAP item 5 (DESIGN.md
+	// D16). Any being nonzero switches the run to cluster mode, exactly
+	// like NodeKills/Partitions.
+	//
+	// ShipCuts schedules asymmetric partitions (clamped [0, 3]): a
+	// lineage's WAL ship stream is severed while its client edge stays
+	// up, and healed later in the same session.
+	ShipCuts int
+	// PromotionCrashes upgrades that many node kills to kills during
+	// promotion (clamped [0, 3]): the failover crashes at a
+	// deterministic stage and must resume. Forces NodeKills up to
+	// cover them.
+	PromotionCrashes int
+	// LaggedKills upgrades that many node kills to lagged-standby kills
+	// (clamped [0, 3]): a sink fault wedges the standby before the
+	// kill, so the promotion audit must flag the loss. Forces NodeKills
+	// up to cover them.
+	LaggedKills int
+	// SkewRaces schedules clock-skewed lease races (clamped [0, 3]): a
+	// lineage with a skewed clock races Acquire against every other
+	// lineage's leases; the epoch fence must hold.
+	SkewRaces int
 }
 
 // clustered reports whether the config runs in cluster mode.
-func (c Config) clustered() bool { return c.NodeKills > 0 || c.Partitions > 0 }
+func (c Config) clustered() bool {
+	return c.NodeKills > 0 || c.Partitions > 0 ||
+		c.ShipCuts > 0 || c.PromotionCrashes > 0 || c.LaggedKills > 0 || c.SkewRaces > 0
+}
 
 // Plan summarizes what Generate actually scheduled — the fault and
 // population counts E14 reports.
@@ -136,6 +162,12 @@ type Plan struct {
 	Crashes    int `json:"crashes"`
 	NodeKills  int `json:"node_kills"`
 	Partitions int `json:"partitions"`
+
+	ShipCuts         int `json:"ship_cuts"`
+	ShipHeals        int `json:"ship_heals"`
+	PromotionCrashes int `json:"promotion_crashes"`
+	LaggedKills      int `json:"lagged_kills"`
+	SkewRaces        int `json:"skew_races"`
 }
 
 // clampInt bounds v to [lo, hi].
@@ -206,6 +238,18 @@ func (c Config) normalize() Config {
 	}
 	c.NodeKills = clampInt(c.NodeKills, 0, 3)
 	c.Partitions = clampInt(c.Partitions, 0, 3)
+	c.ShipCuts = clampInt(c.ShipCuts, 0, 3)
+	c.PromotionCrashes = clampInt(c.PromotionCrashes, 0, 3)
+	c.LaggedKills = clampInt(c.LaggedKills, 0, 3)
+	c.SkewRaces = clampInt(c.SkewRaces, 0, 3)
+	// Promotion crashes and lagged kills are flavours of node kills;
+	// there must be enough kills to host them.
+	if c.NodeKills < c.PromotionCrashes {
+		c.NodeKills = c.PromotionCrashes
+	}
+	if c.NodeKills < c.LaggedKills {
+		c.NodeKills = c.LaggedKills
+	}
 	if c.clustered() {
 		c.Journal = true // failover is a replay of the shipped WAL
 		c.Crashes = 0    // StepCrash is a single-process fault
@@ -436,10 +480,11 @@ func Generate(cfg Config) (*simulate.Scenario, Plan, error) {
 	sc := &simulate.Scenario{
 		Name: name,
 		Description: fmt.Sprintf(
-			"generated population: %d rooms, %d students, %s arrivals, %d drops (%d torn), %d storms, %d crashes, %d node kills, %d partitions",
+			"generated population: %d rooms, %d students, %s arrivals, %d drops (%d torn), %d storms, %d crashes, %d node kills (%d staged, %d lagged), %d partitions, %d ship cuts, %d skew races",
 			b.plan.Rooms, b.plan.Students, cfg.Arrival,
 			b.plan.Drops, b.plan.TornDrops, b.plan.Storms, b.plan.Crashes,
-			b.plan.NodeKills, b.plan.Partitions),
+			b.plan.NodeKills, b.plan.PromotionCrashes, b.plan.LaggedKills,
+			b.plan.Partitions, b.plan.ShipCuts, b.plan.SkewRaces),
 		Seed:         cfg.Seed,
 		Async:        true,
 		Workers:      2, // pinned, like every deterministic scenario

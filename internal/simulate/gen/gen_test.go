@@ -177,10 +177,14 @@ func TestKitchenSink(t *testing.T) {
 	csc, cres, cplan := runProfile(t, Config{
 		Seed: 63, Rooms: 5, Arrival: ArrivalBursty,
 		DropFraction: 0.6, TornFraction: 0.5, StormFraction: 0.6,
-		NodeKills: 1, Partitions: 1,
+		NodeKills: 2, Partitions: 1, ShipCuts: 1,
+		PromotionCrashes: 1, LaggedKills: 1, SkewRaces: 1,
 	})
-	if cplan.NodeKills != 1 || cplan.Partitions != 1 || cplan.Crashes != 0 {
+	if cplan.NodeKills != 2 || cplan.Partitions != 1 || cplan.Crashes != 0 {
 		t.Fatalf("cluster kitchen sink scheduled the wrong chaos: %+v", cplan)
+	}
+	if cplan.ShipCuts != 1 || cplan.PromotionCrashes != 1 || cplan.LaggedKills != 1 || cplan.SkewRaces != 1 {
+		t.Fatalf("adversarial chaos not scheduled: %+v", cplan)
 	}
 	for _, name := range Check(csc, cres).Checked {
 		checked[name] = true

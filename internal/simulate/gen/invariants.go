@@ -32,14 +32,51 @@ const (
 	// InvFailover: a room's supervision survives its owner's death
 	// exactly once per kill — every scripted node kill yields exactly
 	// one promotion, the standby's shipped watermark covers everything
-	// the dead owner fsync'd, the promotion replay applies cleanly, and
-	// each moved room's fencing epoch advances by exactly one.
+	// the dead owner fsync'd (unless the script deliberately impaired
+	// the ship stream — then no-silent-loss takes over), the promotion
+	// replay applies cleanly, and each moved room's fencing epoch
+	// advances by exactly one.
 	InvFailover = "failover-exactly-once"
+	// InvShipResume: a ship stream either works or says so — at session
+	// end no live node may combine nonzero replication lag with a clean
+	// bill of health (no cut flag, no failure count, no error), and a
+	// stream whose scripted faults were all healed must have caught up
+	// completely.
+	InvShipResume = "ship-resumes-or-surfaces"
+	// InvPromoteOnce: every kill produces exactly one completed
+	// promotion — interrupted failovers resume (exactly one resume per
+	// scripted crash point) rather than redo or wedge, and no dead
+	// incarnation is promoted twice.
+	InvPromoteOnce = "promotion-completes-exactly-once"
+	// InvNoSilentLoss: the failover audit tells the truth — Lossy is
+	// set iff the standby's watermark trails the dead owner's fsync'd
+	// watermark, and a kill whose ship stream was never impaired must
+	// not lose anything.
+	InvNoSilentLoss = "no-silent-loss"
+	// InvSingleWriter: under clock skew the epoch fence holds — every
+	// seized lease bumps the epoch by exactly one and fences the
+	// deposed owner; every refused race leaves the epoch untouched and
+	// carries the refusing error.
+	InvSingleWriter = "single-writer-under-skew"
 )
 
 // InvariantNames lists every invariant in report order.
 func InvariantNames() []string {
-	return []string{InvDurability, InvFIFO, InvShedExact, InvPhantom, InvConservation, InvFailover}
+	return []string{
+		InvDurability, InvFIFO, InvShedExact, InvPhantom, InvConservation, InvFailover,
+		InvShipResume, InvPromoteOnce, InvNoSilentLoss, InvSingleWriter,
+	}
+}
+
+// ClusterOnly reports whether an invariant can only be audited on a
+// clustered run — single-node sweeps (E14) have no ship streams,
+// promotions, or lease races to check, so these belong to E16/E17.
+func ClusterOnly(name string) bool {
+	switch name {
+	case InvFailover, InvShipResume, InvPromoteOnce, InvNoSilentLoss, InvSingleWriter:
+		return true
+	}
+	return false
 }
 
 // Violation is one invariant breach with enough detail to debug from
@@ -73,9 +110,21 @@ func Check(sc *simulate.Scenario, res *simulate.Result) Report {
 		rep.Checked = append(rep.Checked, InvDurability)
 		rep.Violations = append(rep.Violations, checkDurability(res)...)
 	}
-	if sc.Cluster != nil && scriptedKills(sc) > 0 {
-		rep.Checked = append(rep.Checked, InvFailover)
-		rep.Violations = append(rep.Violations, checkFailover(sc, res)...)
+	if sc.Cluster != nil {
+		if scriptedKills(sc) > 0 {
+			rep.Checked = append(rep.Checked, InvFailover, InvPromoteOnce, InvNoSilentLoss)
+			rep.Violations = append(rep.Violations, checkFailover(sc, res)...)
+			rep.Violations = append(rep.Violations, checkPromoteOnce(sc, res)...)
+			rep.Violations = append(rep.Violations, checkNoSilentLoss(sc, res)...)
+		}
+		if len(res.ShipHealth) > 0 {
+			rep.Checked = append(rep.Checked, InvShipResume)
+			rep.Violations = append(rep.Violations, checkShipResume(sc, res)...)
+		}
+		if scriptedSkewRaces(sc) > 0 {
+			rep.Checked = append(rep.Checked, InvSingleWriter)
+			rep.Violations = append(rep.Violations, checkSingleWriter(res)...)
+		}
 	}
 	sort.Strings(rep.Checked)
 	return rep
@@ -92,6 +141,51 @@ func scriptedKills(sc *simulate.Scenario) int {
 	return kills
 }
 
+// scriptedSkewRaces counts the StepSkewRace steps in the script.
+func scriptedSkewRaces(sc *simulate.Scenario) int {
+	races := 0
+	for _, st := range sc.Steps {
+		if st.Kind == simulate.StepSkewRace {
+			races++
+		}
+	}
+	return races
+}
+
+// lossyKills walks the script tracking each lineage's ship-stream
+// impairment (cuts and sink faults set it, heals clear it, a kill
+// consumes it — the successor starts a fresh stream) and returns the
+// step indices of kills where standby loss is *permitted*. Permitted,
+// not expected: an impaired stream with nothing left to ship still
+// loses nothing.
+func lossyKills(sc *simulate.Scenario) map[int]bool {
+	impaired := make(map[string]bool)
+	out := make(map[int]bool)
+	for i, st := range sc.Steps {
+		switch st.Kind {
+		case simulate.StepCutShip, simulate.StepSinkFault:
+			impaired[st.Node] = true
+		case simulate.StepHealShip:
+			impaired[st.Node] = false
+		case simulate.StepKillNode:
+			out[i] = impaired[st.Node]
+			impaired[st.Node] = false
+		}
+	}
+	return out
+}
+
+// stagedKills maps kill step index -> armed failover crash stage.
+func stagedKills(sc *simulate.Scenario) map[int]int {
+	out := make(map[int]int)
+	for i, st := range sc.Steps {
+		if st.Kind == simulate.StepKillNode && st.Stage > 0 {
+			out[i] = st.Stage
+		}
+	}
+	return out
+}
+
 // checkFailover audits every node-kill promotion: exactly one
 // promotion per scripted kill, no fsync'd record beyond the standby's
 // watermark, a clean replay, and monotone single-step epoch fencing —
@@ -106,21 +200,33 @@ func checkFailover(sc *simulate.Scenario, res *simulate.Result) []Violation {
 	// promotion of the same room at the same epoch would mean its
 	// supervision "survived" one death twice.
 	seen := make(map[string]bool)
+	lossy := lossyKills(sc)
 	for i, fo := range res.Failovers {
 		if fo.ReplayErrors > 0 {
 			out = append(out, Violation{InvFailover, fmt.Sprintf(
 				"failover %d (%s -> %s): %d journal records failed to apply on promotion replay",
 				i, fo.Dead, fo.Promoted, fo.ReplayErrors)})
 		}
-		if fo.SinkLastLSN < fo.DeadSyncedLSN {
-			out = append(out, Violation{InvFailover, fmt.Sprintf(
-				"failover %d (%s -> %s): standby watermark %d below the dead owner's fsync'd %d — durable mutations lost",
-				i, fo.Dead, fo.Promoted, fo.SinkLastLSN, fo.DeadSyncedLSN)})
-		}
-		if fo.ReplayLastLSN < fo.DeadSyncedLSN {
-			out = append(out, Violation{InvFailover, fmt.Sprintf(
-				"failover %d (%s -> %s): promotion replay stopped at LSN %d but LSN %d was fsync'd before the kill",
-				i, fo.Dead, fo.Promoted, fo.ReplayLastLSN, fo.DeadSyncedLSN)})
+		if lossy[fo.Step] {
+			// The script impaired this stream on purpose: the watermark
+			// may trail, but replay must still cover everything the sink
+			// DID receive (no-silent-loss audits the truthfulness).
+			if fo.ReplayLastLSN < fo.SinkLastLSN {
+				out = append(out, Violation{InvFailover, fmt.Sprintf(
+					"failover %d (%s -> %s): promotion replay stopped at LSN %d below the standby's own watermark %d",
+					i, fo.Dead, fo.Promoted, fo.ReplayLastLSN, fo.SinkLastLSN)})
+			}
+		} else {
+			if fo.SinkLastLSN < fo.DeadSyncedLSN {
+				out = append(out, Violation{InvFailover, fmt.Sprintf(
+					"failover %d (%s -> %s): standby watermark %d below the dead owner's fsync'd %d — durable mutations lost",
+					i, fo.Dead, fo.Promoted, fo.SinkLastLSN, fo.DeadSyncedLSN)})
+			}
+			if fo.ReplayLastLSN < fo.DeadSyncedLSN {
+				out = append(out, Violation{InvFailover, fmt.Sprintf(
+					"failover %d (%s -> %s): promotion replay stopped at LSN %d but LSN %d was fsync'd before the kill",
+					i, fo.Dead, fo.Promoted, fo.ReplayLastLSN, fo.DeadSyncedLSN)})
+			}
 		}
 		inMove := make(map[string]bool)
 		for _, mv := range fo.Moves {
@@ -140,6 +246,133 @@ func checkFailover(sc *simulate.Scenario, res *simulate.Result) []Violation {
 					"room %s at epoch %d survived two separate owner deaths", mv.Room, mv.EpochBefore)})
 			}
 			seen[key] = true
+		}
+	}
+	return out
+}
+
+// checkPromoteOnce audits promotion multiplicity: one completed
+// promotion per dead incarnation, and the resume counter must match
+// the script — exactly one resume for a kill with an armed crash
+// point, zero otherwise. A resume on a clean kill means the failover
+// restarted work it had completed; a missing resume on a staged kill
+// means the crash point never fired (or the promotion wedged and a
+// fresh one was minted instead).
+func checkPromoteOnce(sc *simulate.Scenario, res *simulate.Result) []Violation {
+	var out []Violation
+	staged := stagedKills(sc)
+	seenDead := make(map[string]bool)
+	for i, fo := range res.Failovers {
+		dead := string(fo.Dead)
+		if seenDead[dead] {
+			out = append(out, Violation{InvPromoteOnce, fmt.Sprintf(
+				"failover %d: dead incarnation %s promoted more than once", i, fo.Dead)})
+		}
+		seenDead[dead] = true
+		wantResumes := 0
+		if staged[fo.Step] > 0 {
+			wantResumes = 1
+		}
+		if fo.Resumes != wantResumes {
+			out = append(out, Violation{InvPromoteOnce, fmt.Sprintf(
+				"failover %d (%s -> %s): %d promotion resumes recorded, want %d (crash stage %d scripted at step %d)",
+				i, fo.Dead, fo.Promoted, fo.Resumes, wantResumes, staged[fo.Step], fo.Step)})
+		}
+	}
+	return out
+}
+
+// checkNoSilentLoss audits the failover audit itself: the Lossy flag
+// must equal the watermark comparison it claims to summarize, and a
+// kill whose ship stream the script never impaired must not have lost
+// anything — loss is only ever permitted where a fault was injected,
+// and even there it must be declared.
+func checkNoSilentLoss(sc *simulate.Scenario, res *simulate.Result) []Violation {
+	var out []Violation
+	lossy := lossyKills(sc)
+	for i, fo := range res.Failovers {
+		actualLoss := fo.SinkLastLSN < fo.DeadSyncedLSN
+		if fo.Lossy != actualLoss {
+			out = append(out, Violation{InvNoSilentLoss, fmt.Sprintf(
+				"failover %d (%s -> %s): audit says lossy=%v but sink watermark %d vs dead fsync'd %d says %v",
+				i, fo.Dead, fo.Promoted, fo.Lossy, fo.SinkLastLSN, fo.DeadSyncedLSN, actualLoss)})
+		}
+		if !lossy[fo.Step] && actualLoss {
+			out = append(out, Violation{InvNoSilentLoss, fmt.Sprintf(
+				"failover %d (%s -> %s): standby lost records (%d < %d) with no scripted ship impairment",
+				i, fo.Dead, fo.Promoted, fo.SinkLastLSN, fo.DeadSyncedLSN)})
+		}
+	}
+	return out
+}
+
+// checkShipResume audits the final replication-health snapshot: a live
+// node with nonzero lag must be flagged as impaired (cut, failing or
+// erroring) — the silent stall this invariant is named for — and a
+// lineage whose scripted faults were all healed must have caught up
+// completely by the final settle.
+func checkShipResume(sc *simulate.Scenario, res *simulate.Result) []Violation {
+	var out []Violation
+	// Re-walk the script to find lineages still impaired at session end.
+	impaired := make(map[string]bool)
+	for _, st := range sc.Steps {
+		switch st.Kind {
+		case simulate.StepCutShip, simulate.StepSinkFault:
+			impaired[st.Node] = true
+		case simulate.StepHealShip:
+			impaired[st.Node] = false
+		case simulate.StepKillNode:
+			impaired[st.Node] = false
+		}
+	}
+	for _, h := range res.ShipHealth {
+		if !h.Live {
+			continue // dead-awaiting-failover: audited by the promotion
+		}
+		surfaced := h.ShipCut || h.ShipFailures > 0 || h.ShipErr != ""
+		if h.Lag > 0 && !surfaced {
+			out = append(out, Violation{InvShipResume, fmt.Sprintf(
+				"node %s: standby lags %d records (synced %d, sink %d) with a clean health report — silent ship stall",
+				h.Node, h.Lag, h.SyncedLSN, h.SinkLSN)})
+		}
+		if !impaired[h.Base] && (h.Lag > 0 || h.ShipCut || h.ShipErr != "") {
+			out = append(out, Violation{InvShipResume, fmt.Sprintf(
+				"node %s: ship stream was healed (or never impaired) but ended lag=%d cut=%v err=%q — stream did not resume",
+				h.Node, h.Lag, h.ShipCut, h.ShipErr)})
+		}
+	}
+	return out
+}
+
+// checkSingleWriter audits every clock-skewed lease race: a seizure
+// must bump the fencing epoch by exactly one AND verifiably fence the
+// deposed owner; a refusal must leave the epoch untouched and name the
+// refusing error. Whichever clock the challenger believed, at most one
+// node may hold a writable claim.
+func checkSingleWriter(res *simulate.Result) []Violation {
+	var out []Violation
+	for i, lr := range res.LeaseRaces {
+		if lr.Seized {
+			if lr.EpochAfter != lr.EpochBefore+1 {
+				out = append(out, Violation{InvSingleWriter, fmt.Sprintf(
+					"race %d: %s seized %s with epoch %d -> %d, want exactly +1",
+					i, lr.Challenger, lr.Room, lr.EpochBefore, lr.EpochAfter)})
+			}
+			if !lr.OldOwnerFenced {
+				out = append(out, Violation{InvSingleWriter, fmt.Sprintf(
+					"race %d: %s seized %s from %s but the deposed owner was NOT fenced — two writable claims",
+					i, lr.Challenger, lr.Room, lr.Owner)})
+			}
+		} else {
+			if lr.EpochAfter != lr.EpochBefore {
+				out = append(out, Violation{InvSingleWriter, fmt.Sprintf(
+					"race %d: refused race on %s moved the epoch %d -> %d",
+					i, lr.Room, lr.EpochBefore, lr.EpochAfter)})
+			}
+			if lr.Refused == "" {
+				out = append(out, Violation{InvSingleWriter, fmt.Sprintf(
+					"race %d: race on %s neither seized nor carries a refusal error", i, lr.Room)})
+			}
 		}
 	}
 	return out

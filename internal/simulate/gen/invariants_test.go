@@ -62,6 +62,8 @@ func shallowCopy(res *simulate.Result) *simulate.Result {
 		cp.Failovers[i] = fo
 		cp.Failovers[i].Moves = append([]cluster.RoomMove(nil), fo.Moves...)
 	}
+	cp.LeaseRaces = append([]simulate.LeaseRaceStats(nil), res.LeaseRaces...)
+	cp.ShipHealth = append([]cluster.NodeHealth(nil), res.ShipHealth...)
 	return &cp
 }
 
@@ -244,6 +246,151 @@ func TestFailoverCheckerFires(t *testing.T) {
 		fo.Moves = append(fo.Moves, fo.Moves[0])
 		if !hasViolation(Check(sc, cp), InvFailover) {
 			t.Fatalf("failover checker ignored one room surviving the same death twice")
+		}
+	})
+}
+
+// TestAdversarialCheckersFire: meta-tests for the four adversarial
+// invariants (ship-resume, promote-once, no-silent-loss,
+// single-writer). The baseline schedules every adversarial fault class
+// at once so each checker is applicable, then each subtest injects the
+// exact lie its checker exists to catch.
+func TestAdversarialCheckersFire(t *testing.T) {
+	sc, res, plan := runProfile(t, Config{
+		Seed: 63, Rooms: 4, Arrival: ArrivalPoisson,
+		NodeKills: 2, PromotionCrashes: 1, LaggedKills: 1,
+		ShipCuts: 1, SkewRaces: 2, ClusterNodes: 3,
+	})
+	if t.Failed() {
+		t.Fatalf("baseline adversarial run must be violation-free before tampering")
+	}
+	if plan.PromotionCrashes != 1 || plan.LaggedKills != 1 || plan.ShipCuts != 1 || plan.SkewRaces != 2 {
+		t.Fatalf("adversarial chaos not fully scheduled: %+v", plan)
+	}
+	if len(res.Failovers) == 0 || len(res.ShipHealth) == 0 {
+		t.Fatalf("baseline recorded %d failovers and %d health entries — nothing to tamper",
+			len(res.Failovers), len(res.ShipHealth))
+	}
+	liveAt := -1
+	for i, h := range res.ShipHealth {
+		if h.Live {
+			liveAt = i
+			break
+		}
+	}
+	if liveAt < 0 {
+		t.Fatalf("no live node in the final health snapshot")
+	}
+
+	t.Run("ship-resume/silent-stall", func(t *testing.T) {
+		cp := shallowCopy(res)
+		// A lagging standby whose health report claims nothing is wrong:
+		// the exact silent death the invariant exists for.
+		h := &cp.ShipHealth[liveAt]
+		h.Lag, h.ShipCut, h.ShipFailures, h.ShipErr = 7, false, 0, ""
+		h.SinkLSN = h.SyncedLSN - 7
+		if !hasViolation(Check(sc, cp), InvShipResume) {
+			t.Fatalf("ship-resume checker ignored a lagging standby with a clean health report")
+		}
+	})
+
+	t.Run("ship-resume/healed-stream-still-cut", func(t *testing.T) {
+		cp := shallowCopy(res)
+		// The script healed every cut, yet a node ends the session with
+		// its stream still severed.
+		cp.ShipHealth[liveAt].ShipCut = true
+		if !hasViolation(Check(sc, cp), InvShipResume) {
+			t.Fatalf("ship-resume checker ignored a healed stream that stayed cut")
+		}
+	})
+
+	t.Run("promote-once/phantom-resume", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.Failovers[0].Resumes++
+		if !hasViolation(Check(sc, cp), InvPromoteOnce) {
+			t.Fatalf("promote-once checker ignored a resume count disagreeing with the script")
+		}
+	})
+
+	t.Run("promote-once/double-promotion", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.Failovers = append(cp.Failovers, cp.Failovers[0])
+		if !hasViolation(Check(sc, cp), InvPromoteOnce) {
+			t.Fatalf("promote-once checker ignored the same dead incarnation promoted twice")
+		}
+	})
+
+	t.Run("no-silent-loss/lying-audit", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.Failovers[0].Lossy = !cp.Failovers[0].Lossy
+		if !hasViolation(Check(sc, cp), InvNoSilentLoss) {
+			t.Fatalf("no-silent-loss checker ignored a Lossy flag contradicting the watermarks")
+		}
+	})
+
+	t.Run("no-silent-loss/unimpaired-loss", func(t *testing.T) {
+		// Find a kill the script never impaired and make it lose data —
+		// truthfully flagged, but loss without an injected fault.
+		lossy := lossyKills(sc)
+		clean := -1
+		for i, fo := range res.Failovers {
+			if !lossy[fo.Step] {
+				clean = i
+				break
+			}
+		}
+		if clean < 0 {
+			t.Skip("every kill on this seed was impaired")
+		}
+		cp := shallowCopy(res)
+		cp.Failovers[clean].SinkLastLSN = cp.Failovers[clean].DeadSyncedLSN - 1
+		cp.Failovers[clean].Lossy = true
+		if !hasViolation(Check(sc, cp), InvNoSilentLoss) {
+			t.Fatalf("no-silent-loss checker ignored data loss on an unimpaired kill")
+		}
+	})
+
+	t.Run("single-writer/unfenced-seizure", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.LeaseRaces = append(cp.LeaseRaces, simulate.LeaseRaceStats{
+			Step: 0,
+			LeaseRace: cluster.LeaseRace{
+				Room: "room-00000", Challenger: "n1", Owner: "n0",
+				Seized: true, EpochBefore: 3, EpochAfter: 4,
+				OldOwnerFenced: false,
+			},
+		})
+		if !hasViolation(Check(sc, cp), InvSingleWriter) {
+			t.Fatalf("single-writer checker ignored a seizure that left the old owner unfenced")
+		}
+	})
+
+	t.Run("single-writer/epoch-jump", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.LeaseRaces = append(cp.LeaseRaces, simulate.LeaseRaceStats{
+			Step: 0,
+			LeaseRace: cluster.LeaseRace{
+				Room: "room-00000", Challenger: "n1", Owner: "n0",
+				Seized: true, EpochBefore: 3, EpochAfter: 6,
+				OldOwnerFenced: true,
+			},
+		})
+		if !hasViolation(Check(sc, cp), InvSingleWriter) {
+			t.Fatalf("single-writer checker ignored a seizure whose epoch jumped by more than one")
+		}
+	})
+
+	t.Run("single-writer/silent-refusal", func(t *testing.T) {
+		cp := shallowCopy(res)
+		cp.LeaseRaces = append(cp.LeaseRaces, simulate.LeaseRaceStats{
+			Step: 0,
+			LeaseRace: cluster.LeaseRace{
+				Room: "room-00000", Challenger: "n1", Owner: "n0",
+				Seized: false, EpochBefore: 3, EpochAfter: 3,
+			},
+		})
+		if !hasViolation(Check(sc, cp), InvSingleWriter) {
+			t.Fatalf("single-writer checker ignored a race that neither seized nor explains why not")
 		}
 	})
 }

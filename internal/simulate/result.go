@@ -83,6 +83,16 @@ type FailoverStats struct {
 	cluster.Promotion
 }
 
+// LeaseRaceStats reports one StepSkewRace acquisition attempt: the
+// fabric's race record plus the step at which it ran. The
+// single-writer invariant audits it: a seizure must bump the epoch and
+// fence the deposed owner; a refusal must carry the refusing error.
+type LeaseRaceStats struct {
+	// Step is the 0-based scripted step of the StepSkewRace.
+	Step int `json:"step"`
+	cluster.LeaseRace
+}
+
 // Delivery is one message observed at a client, in arrival order — the
 // structured counterpart of a transcript line. The chaos invariant
 // checkers consume these instead of parsing transcript text: per-room
@@ -147,6 +157,14 @@ type Result struct {
 	// Failovers reports every StepKillNode promotion, in step order
 	// (cluster mode only).
 	Failovers []FailoverStats
+	// LeaseRaces reports every StepSkewRace acquisition attempt, in
+	// step order (cluster mode only).
+	LeaseRaces []LeaseRaceStats
+	// ShipHealth is the fabric's final replication-health snapshot,
+	// taken after the last settle and before teardown. A healthy run
+	// ends with zero lag and no impairment flags on every live node;
+	// the ship-resumes-or-surfaces invariant audits exactly that.
+	ShipHealth []cluster.NodeHealth
 
 	// report is the instructor-facing analyzer summary (post-recovery
 	// only, when the scenario crashed: the analyzer is not journaled).
@@ -184,7 +202,11 @@ func buildResult(r *runner, pst pipeline.Stats, hasPipe bool, jstats *journal.St
 		Recovery:      r.recovery,
 		Recoveries:    r.recoveries,
 		Failovers:     r.failovers,
+		LeaseRaces:    r.leaseRaces,
 		report:        r.analyzerReport(),
+	}
+	if r.cluster != nil {
+		res.ShipHealth = r.cluster.fab.Health()
 	}
 	persona := func(user string) *PersonaStats {
 		kind := r.sc.Personas[user]

@@ -51,6 +51,25 @@ const (
 	// reconnect to the same owner with Resume joins (requires
 	// Scenario.Cluster).
 	StepPartition
+	// StepCutShip severs one lineage's WAL ship stream (Step.Node)
+	// while its client edge stays up — the asymmetric partition. The
+	// node keeps serving and fsync'ing; its standby stops hearing from
+	// it until StepHealShip (requires Scenario.Cluster).
+	StepCutShip
+	// StepHealShip reconnects a severed ship stream (and clears any
+	// injected sink fault); everything that accumulated while cut ships
+	// immediately.
+	StepHealShip
+	// StepSinkFault injects a persistent apply error into one lineage's
+	// standby sink. Unlike StepCutShip the shipper keeps failing
+	// visibly (failure counter, Health report) until healed — or until
+	// a StepKillNode makes the lag a lossy promotion.
+	StepSinkFault
+	// StepSkewRace gives one lineage (Step.Node) a clock skew
+	// (Step.Skew) and has it race lease acquisition against every other
+	// live lineage's rooms; the epoch fence must hold whatever the
+	// skewed clock believes (requires Scenario.Cluster).
+	StepSkewRace
 )
 
 // Step is one scripted event.
@@ -66,9 +85,17 @@ type Step struct {
 	Advance time.Duration
 	// Partial marks a StepDrop that first writes a torn frame.
 	Partial bool
-	// Node names the target lineage for StepKillNode / StepPartition
+	// Node names the target lineage for StepKillNode / StepPartition /
+	// StepCutShip / StepHealShip / StepSinkFault / StepSkewRace
 	// (e.g. "n1" — the base name, not an incarnation like "n1+2").
 	Node string
+	// Stage arms a deterministic crash point inside the failover that a
+	// StepKillNode triggers (0 = clean failover; see
+	// cluster.FailoverStage). The step then drives BOTH failover calls:
+	// the interrupted one and the resume.
+	Stage int
+	// Skew is the challenger's clock offset for StepSkewRace.
+	Skew time.Duration
 }
 
 // ClusterConfig runs a scenario on a room-partitioned multi-node
@@ -206,4 +233,24 @@ func (b *scriptBuilder) killNode(node string) {
 
 func (b *scriptBuilder) partition(node string) {
 	b.sc.Steps = append(b.sc.Steps, Step{Kind: StepPartition, Node: node})
+}
+
+func (b *scriptBuilder) cutShip(node string) {
+	b.sc.Steps = append(b.sc.Steps, Step{Kind: StepCutShip, Node: node})
+}
+
+func (b *scriptBuilder) healShip(node string) {
+	b.sc.Steps = append(b.sc.Steps, Step{Kind: StepHealShip, Node: node})
+}
+
+func (b *scriptBuilder) sinkFault(node string) {
+	b.sc.Steps = append(b.sc.Steps, Step{Kind: StepSinkFault, Node: node})
+}
+
+func (b *scriptBuilder) killNodeStaged(node string, stage int) {
+	b.sc.Steps = append(b.sc.Steps, Step{Kind: StepKillNode, Node: node, Stage: stage})
+}
+
+func (b *scriptBuilder) skewRace(node string, skew time.Duration) {
+	b.sc.Steps = append(b.sc.Steps, Step{Kind: StepSkewRace, Node: node, Skew: skew})
 }
